@@ -1,0 +1,95 @@
+// Extension bench: the mesh-contention side channel the paper cites as
+// its motivating threat (Sec. I, ref [2], Paccagnella et al.).
+//
+// A victim stream loads a row of directed mesh links; an eavesdropper
+// measures probe latency. The table shows the latency delta (signal) for
+// a map-aware overlapping probe vs a map-blind disjoint probe across
+// victim intensities, plus the resulting on/off eavesdropping accuracy
+// under probe noise.
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "mesh/contention.hpp"
+
+namespace {
+
+using namespace corelocate;
+
+double eavesdrop_accuracy(mesh::ContendedMesh& mesh, int stream,
+                          const covert::Bits& pattern, const mesh::Coord& src,
+                          const mesh::Coord& dst, double intensity, util::Rng& rng) {
+  std::vector<double> samples;
+  for (std::uint8_t bit : pattern) {
+    mesh.set_intensity(stream, bit ? intensity : 0.0);
+    double sum = 0.0;
+    for (int p = 0; p < 4; ++p) {
+      sum += mesh.probe_latency(src, dst) + rng.gaussian(0.0, 1.0);
+    }
+    samples.push_back(sum / 4.0);
+  }
+  const double lo = *std::min_element(samples.begin(), samples.end());
+  const double hi = *std::max_element(samples.begin(), samples.end());
+  const double threshold = (lo + hi) / 2.0;
+  int correct = 0;
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    correct += ((samples[i] > threshold) ? 1 : 0) == pattern[i];
+  }
+  return static_cast<double>(correct) / static_cast<double>(pattern.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliFlags flags(argc, argv);
+  flags.validate({"bits", "csv"});
+  const int bits = static_cast<int>(flags.get_int("bits", 400));
+
+  bench::print_header("Extension: mesh-contention eavesdropping SNR",
+                      "Sec. I ref [2] (motivating location-based attack)");
+
+  const sim::InstanceFactory factory(sim::InstanceFactory::kDefaultFleetSeed);
+  util::Rng rng(bench::kFleetSeed + 9);
+  const sim::InstanceConfig machine =
+      factory.make_instance(sim::XeonModel::k8259CL, rng);
+
+  const mesh::Coord victim_src{2, 0};
+  const mesh::Coord victim_dst{2, machine.grid.cols() - 1};
+  mesh::ContendedMesh mesh(machine.grid);
+  const int stream = mesh.add_stream(victim_src, victim_dst, 0.0);
+
+  const mesh::Coord aware_src{2, 1};
+  const mesh::Coord aware_dst{2, machine.grid.cols() - 2};
+  const mesh::Coord blind_src{0, 1};
+  const mesh::Coord blind_dst{0, machine.grid.cols() - 2};
+
+  util::TablePrinter table({"victim intensity", "overlap latency delta",
+                            "disjoint latency delta", "aware accuracy",
+                            "blind accuracy"});
+  for (double intensity : {0.2, 0.4, 0.6, 0.8}) {
+    mesh.set_intensity(stream, intensity);
+    const double overlap_delta =
+        mesh.probe_latency(aware_src, aware_dst) - mesh.idle_latency(aware_src, aware_dst);
+    const double blind_delta =
+        mesh.probe_latency(blind_src, blind_dst) - mesh.idle_latency(blind_src, blind_dst);
+    util::Rng pattern_rng(17);
+    const covert::Bits pattern = covert::random_bits(bits, pattern_rng);
+    util::Rng probe_rng(23);
+    const double aware = eavesdrop_accuracy(mesh, stream, pattern, aware_src, aware_dst,
+                                            intensity, probe_rng);
+    const double blind = eavesdrop_accuracy(mesh, stream, pattern, blind_src, blind_dst,
+                                            intensity, probe_rng);
+    table.add_row({util::fmt(intensity, 1), util::fmt(overlap_delta, 1) + " cycles",
+                   util::fmt(blind_delta, 1) + " cycles", util::fmt_pct(aware, 1),
+                   util::fmt_pct(blind, 1)});
+  }
+  if (flags.get_bool("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "expectation: signal exists only on overlapping directed links — "
+               "placement knowledge\n(the core map) is what separates ~100% "
+               "eavesdropping from coin-flipping\n";
+  return 0;
+}

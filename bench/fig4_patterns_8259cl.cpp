@@ -1,0 +1,37 @@
+// Fig. 4: the three most frequently observed core location mappings on
+// the Xeon Platinum 8259CL fleet, rendered as "OS-core-id / CHA-id" tile
+// grids (LLC-only tiles render as "-/cha").
+//
+// Paper expectation: three distinct 5x6-grid patterns; CHA ids numbered
+// column-major skipping fused-off tiles; two LLC-only tiles per die.
+
+#include "bench_common.hpp"
+#include "core/pattern_stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace corelocate;
+  const util::CliFlags flags(argc, argv);
+  flags.validate({"instances", "top"});
+  const int instances = static_cast<int>(flags.get_int("instances", 100));
+  const int top = static_cast<int>(flags.get_int("top", 3));
+
+  bench::print_header("Fig. 4: most frequent 8259CL core location mappings", "Fig. 4");
+
+  const sim::InstanceFactory factory(sim::InstanceFactory::kDefaultFleetSeed);
+  std::vector<core::CoreMap> maps;
+  for (int i = 0; i < instances; ++i) {
+    const bench::LocatedInstance li = bench::locate_instance(
+        sim::XeonModel::k8259CL, bench::kFleetSeed * 3 + static_cast<std::uint64_t>(i),
+        factory);
+    if (li.result.success) maps.push_back(li.result.map);
+  }
+  const core::PatternStats stats = core::collect_pattern_stats(maps);
+  int rank = 1;
+  for (const auto& entry : stats.top(top)) {
+    std::cout << "\nPattern #" << rank++ << " (" << entry.count << "/" << instances
+              << " instances):\n"
+              << entry.representative.canonical().render();
+  }
+  std::cout << "\n(total unique patterns: " << stats.unique_patterns() << ")\n";
+  return 0;
+}

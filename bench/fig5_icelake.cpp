@@ -1,0 +1,75 @@
+// Fig. 5: core location mapping of third-generation (Ice Lake) Xeon 6354
+// instances — 18 cores + 8 LLC-only tiles on an 8x6 grid.
+//
+// Paper expectation: the method works on Ice Lake too; out of 10 cloud
+// instances, 6 unique mapping patterns; the CHA numbering rule differs
+// visibly from Skylake/Cascade Lake (row-major rather than column-major).
+//
+// Honest caveat this bench also reports: the Ice Lake die is much
+// sparser (18 of 44 tiles with live cores), so for some fuse-out patterns
+// the positive-only bounding-box formulation compresses parts of the map
+// (paper Sec. II-D's acknowledged failure mode); the recovered maps still
+// explain every observation.
+
+#include "bench_common.hpp"
+#include "core/pattern_stats.hpp"
+#include "core/refinement.hpp"
+
+int main(int argc, char** argv) {
+  using namespace corelocate;
+  const util::CliFlags flags(argc, argv);
+  flags.validate({"instances"});
+  const int instances = static_cast<int>(flags.get_int("instances", 10));
+
+  bench::print_header("Fig. 5: Ice Lake Xeon 6354 core location mapping", "Fig. 5");
+
+  const sim::InstanceFactory factory(sim::InstanceFactory::kDefaultFleetSeed);
+  std::vector<core::CoreMap> maps;
+  int exact = 0;
+  int exact_refined = 0;
+  int consistent = 0;
+  bool printed_example = false;
+  for (int i = 0; i < instances; ++i) {
+    const bench::LocatedInstance li = bench::locate_instance(
+        sim::XeonModel::k6354, bench::kFleetSeed * 7 + static_cast<std::uint64_t>(i),
+        factory);
+    if (!li.result.success) {
+      std::cout << "instance " << i << " failed: " << li.result.message << "\n";
+      continue;
+    }
+    maps.push_back(li.result.map);
+    const core::MapAccuracy acc = core::score_against_truth(li.result.map, li.config);
+    const core::ConsistencyReport report =
+        core::check_consistency(li.result.map.cha_position, li.result.observations,
+                                li.config.grid.rows(), li.config.grid.cols());
+    if (acc.all_cores_correct()) ++exact;
+    if (report.positive_violations == 0) ++consistent;
+    core::RefinementOptions refine;
+    refine.grid_rows = li.config.grid.rows();
+    refine.grid_cols = li.config.grid.cols();
+    const core::RefinementResult refined = core::solve_with_refinement(
+        li.result.observations, li.config.cha_count(), refine);
+    if (refined.solved.success) {
+      core::CoreMap rmap = li.result.map;
+      rmap.cha_position = refined.solved.cha_position;
+      if (core::score_against_truth(rmap, li.config).all_cores_correct()) {
+        ++exact_refined;
+      }
+    }
+    if (acc.all_cores_correct() && !printed_example) {
+      printed_example = true;
+      std::cout << "\nExample recovered 6354 map (instance " << i
+                << ", exact vs ground truth; compare paper Fig. 5):\n"
+                << li.result.map.render();
+    }
+  }
+  const core::PatternStats stats = core::collect_pattern_stats(maps);
+  std::cout << "\ninstances mapped:               " << maps.size() << "/" << instances
+            << "\nunique mapping patterns:        " << stats.unique_patterns()
+            << "   (paper: 6 out of 10)"
+            << "\nmaps exact (paper method):      " << exact << "/" << maps.size()
+            << "\nmaps exact (+neg-info cuts):    " << exact_refined << "/" << maps.size()
+            << "\nmaps explaining all observations: " << consistent << "/" << maps.size()
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Fig. 7: bit transfer rate vs. bit error probability for different
+// sender-receiver hop counts and directions, on a cloud-noisy machine.
+//
+// Paper expectation (8259CL, 10 kbit random payload per point):
+//  * 1-hop pairs achieve ~0% BER at 1 bps;
+//  * the vertical 1-hop channel beats the horizontal one (core tiles are
+//    horizontally long rectangles): at 4 bps the horizontal channel is
+//    >20% while the vertical stays <10%;
+//  * 2-hop and 3-hop channels are too unreliable for communication.
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace corelocate;
+
+struct HopConfig {
+  const char* name;
+  int dr;
+  int dc;
+};
+
+double measure(const core::CoreMap& map, const sim::InstanceConfig& config,
+               const HopConfig& hop, double rate, int bits, std::uint64_t seed) {
+  const auto pairs = covert::pairs_at_offset(map, hop.dr, hop.dc);
+  if (pairs.empty()) return -1.0;
+  const auto [sender, receiver] = pairs[seed % pairs.size()];
+  util::Rng payload_rng(seed * 7919 + 13);
+  const covert::ChannelSpec spec = covert::make_channel_on(
+      config, {sender}, receiver, covert::random_bits(bits, payload_rng));
+  covert::TransmissionConfig cfg;
+  cfg.bit_rate_bps = rate;
+  cfg.seed = seed;
+  thermal::ThermalModel model(config.grid, bench::cloud_thermal_params(), seed);
+  bench::mark_tenants(model, config, {spec});
+  const covert::TransmissionResult result = covert::run_transmission(model, {spec}, cfg);
+  return result.channels.front().ber;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliFlags flags(argc, argv);
+  flags.validate({"bits", "csv"});
+  const int bits = static_cast<int>(flags.get_int("bits", 10000));
+
+  bench::print_header(
+      "Fig. 7: BER vs bit rate for sender-receiver hop count/direction", "Fig. 7");
+  std::cout << "payload: " << bits << " random bits per point (paper: 10 kbit)\n\n";
+
+  const sim::InstanceFactory factory(sim::InstanceFactory::kDefaultFleetSeed);
+  const bench::LocatedInstance li =
+      bench::locate_instance(sim::XeonModel::k8259CL, bench::kFleetSeed, factory);
+  if (!li.result.success) {
+    std::cout << "pipeline failed: " << li.result.message << "\n";
+    return 1;
+  }
+
+  const HopConfig hops[] = {{"1-hop horizontal", 0, 1},
+                            {"1-hop vertical", 1, 0},
+                            {"2-hop vertical", 2, 0},
+                            {"3-hop vertical", 3, 0}};
+  util::TablePrinter table({"bit rate", "1-hop horiz BER", "1-hop vert BER",
+                            "2-hop vert BER", "3-hop vert BER"});
+  for (double rate : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0}) {
+    std::vector<std::string> row{util::fmt(rate, 0) + " bps"};
+    for (const HopConfig& hop : hops) {
+      const double ber =
+          measure(li.result.map, li.config, hop, rate, bits,
+                  static_cast<std::uint64_t>(rate * 100) + 17);
+      row.push_back(ber < 0 ? "n/a" : util::fmt_pct(ber, 2));
+    }
+    table.add_row(std::move(row));
+  }
+  if (flags.get_bool("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "shape to match: vertical < horizontal at the same rate; "
+               ">=2 hops unusable above ~1 bps\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Fig. 8b: aggregated throughput from multiple concurrent 1-hop vertical
+// channels, placed disjointly across the die using the recovered map.
+//
+// Paper expectation (8259CL): with x8 channels the aggregated covert
+// throughput reaches up to 15 bps at <1% bit error rate — 3x the
+// previously reported single-channel capacity; pushing to 40 bps
+// aggregate (x8 at 5 bps) drives the error rate far above 1%.
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace corelocate;
+  const util::CliFlags flags(argc, argv);
+  flags.validate({"bits", "csv"});
+  const int bits = static_cast<int>(flags.get_int("bits", 10000));
+
+  bench::print_header("Fig. 8b: multi-channel aggregated throughput", "Fig. 8b");
+  std::cout << "payload: " << bits << " random bits per channel (paper: 10 kbit)\n\n";
+
+  const sim::InstanceFactory factory(sim::InstanceFactory::kDefaultFleetSeed);
+  const bench::LocatedInstance li =
+      bench::locate_instance(sim::XeonModel::k8259CL, bench::kFleetSeed, factory);
+  if (!li.result.success) {
+    std::cout << "pipeline failed: " << li.result.message << "\n";
+    return 1;
+  }
+  const core::CoreMap& map = li.result.map;
+
+  util::TablePrinter table({"channels", "per-channel rate", "aggregate rate",
+                            "mean BER", "worst BER"});
+  double best_clean_aggregate = 0.0;
+  std::string best_clean_config;
+  for (int channels : {1, 2, 4, 6, 8}) {
+    const auto pairs = covert::plan_disjoint_vertical_pairs(map, channels);
+    for (double rate : {1.0, 2.0, 2.5, 3.0, 5.0}) {
+      std::vector<covert::ChannelSpec> specs;
+      util::Rng payload_rng(static_cast<std::uint64_t>(channels * 31 + rate * 7));
+      for (const auto& [sender, receiver] : pairs) {
+        specs.push_back(covert::make_channel_on(
+            li.config, {sender}, receiver, covert::random_bits(bits, payload_rng)));
+      }
+      covert::TransmissionConfig cfg;
+      cfg.bit_rate_bps = rate;
+      cfg.seed = static_cast<std::uint64_t>(channels * 1000 + rate * 10);
+      thermal::ThermalModel model(li.config.grid, bench::cloud_thermal_params(),
+                                  cfg.seed);
+      bench::mark_tenants(model, li.config, specs);
+      const covert::TransmissionResult result =
+          covert::run_transmission(model, specs, cfg);
+      double sum = 0.0;
+      double worst = 0.0;
+      for (const covert::ChannelOutcome& outcome : result.channels) {
+        sum += outcome.ber;
+        worst = std::max(worst, outcome.ber);
+      }
+      const double mean = sum / static_cast<double>(result.channels.size());
+      const double aggregate = rate * static_cast<double>(pairs.size());
+      table.add_row({"x" + std::to_string(pairs.size()), util::fmt(rate, 1) + " bps",
+                     util::fmt(aggregate, 1) + " bps", util::fmt_pct(mean, 2),
+                     util::fmt_pct(worst, 2)});
+      if (mean < 0.01 && aggregate > best_clean_aggregate) {
+        best_clean_aggregate = aggregate;
+        best_clean_config = "x" + std::to_string(pairs.size()) + " @ " +
+                            util::fmt(rate, 1) + " bps";
+      }
+    }
+  }
+  if (flags.get_bool("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "max aggregate throughput at <1% mean BER: "
+            << util::fmt(best_clean_aggregate, 1) << " bps (" << best_clean_config
+            << ")   [paper: up to 15 bps at <1%]\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// google-benchmark microbenchmarks for the solver stack: LP simplex, the
+// MILP branch & bound, and both map-solver engines.
+
+#include <benchmark/benchmark.h>
+
+#include "core/decomposed_map_solver.hpp"
+#include "core/ilp_map_solver.hpp"
+#include "ilp/branch_and_bound.hpp"
+#include "sim/instance_factory.hpp"
+
+namespace {
+
+using namespace corelocate;
+
+void BM_SimplexSmallLp(benchmark::State& state) {
+  ilp::LpProblem lp;
+  lp.var_count = 6;
+  lp.objective = {1, -2, 3, -1, 2, -3};
+  lp.lower.assign(6, 0.0);
+  lp.upper.assign(6, 10.0);
+  for (int i = 0; i < 8; ++i) {
+    ilp::LpRow row;
+    for (int j = 0; j < 6; ++j) {
+      if ((i + j) % 3 != 0) row.terms.push_back({j, (i * 7 + j * 3) % 5 - 2.0});
+    }
+    row.sense = ilp::Sense::kLessEq;
+    row.rhs = 5.0 + i;
+    lp.rows.push_back(row);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ilp::solve_lp(lp));
+  }
+}
+BENCHMARK(BM_SimplexSmallLp);
+
+void BM_MilpBigMGadget(benchmark::State& state) {
+  for (auto _ : state) {
+    ilp::Model m;
+    const ilp::Variable y = m.add_integer(0.0, 20.0);
+    const ilp::Variable n1 = m.add_binary();
+    const ilp::Variable n2 = m.add_binary();
+    m.add_constraint(ilp::LinExpr(y) + 10.0 * ilp::LinExpr(n1), ilp::Sense::kGreaterEq,
+                     5.0);
+    m.add_constraint(ilp::LinExpr(y) + 10.0 * ilp::LinExpr(n2), ilp::Sense::kGreaterEq,
+                     8.0);
+    m.add_constraint(ilp::LinExpr(n1) + ilp::LinExpr(n2), ilp::Sense::kEqual, 1.0);
+    m.minimize(ilp::LinExpr(y));
+    benchmark::DoNotOptimize(ilp::solve_milp(m));
+  }
+}
+BENCHMARK(BM_MilpBigMGadget);
+
+sim::InstanceConfig bench_instance(sim::XeonModel model) {
+  sim::InstanceFactory factory;
+  util::Rng rng(1234);
+  return factory.make_instance(model, rng);
+}
+
+void BM_DecomposedSolver8124M(benchmark::State& state) {
+  const sim::InstanceConfig config = bench_instance(sim::XeonModel::k8124M);
+  const core::ObservationSet obs = core::synthesize_observations(config);
+  core::DecomposedSolverOptions options;
+  options.grid_rows = config.grid.rows();
+  options.grid_cols = config.grid.cols();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::DecomposedMapSolver(options).solve(obs, config.cha_count()));
+  }
+}
+BENCHMARK(BM_DecomposedSolver8124M);
+
+void BM_DecomposedSolver6354(benchmark::State& state) {
+  const sim::InstanceConfig config = bench_instance(sim::XeonModel::k6354);
+  const core::ObservationSet obs = core::synthesize_observations(config);
+  core::DecomposedSolverOptions options;
+  options.grid_rows = config.grid.rows();
+  options.grid_cols = config.grid.cols();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::DecomposedMapSolver(options).solve(obs, config.cha_count()));
+  }
+}
+BENCHMARK(BM_DecomposedSolver6354);
+
+void BM_IlpModelBuild8124M(benchmark::State& state) {
+  const sim::InstanceConfig config = bench_instance(sim::XeonModel::k8124M);
+  const core::ObservationSet obs = core::synthesize_observations(config);
+  core::IlpMapSolverOptions options;
+  options.grid_rows = config.grid.rows();
+  options.grid_cols = config.grid.cols();
+  options.max_observations = 40;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::IlpMapSolver(options).build_model(
+        obs, config.cha_count()));
+  }
+}
+BENCHMARK(BM_IlpModelBuild8124M);
+
+}  // namespace
+
+BENCHMARK_MAIN();

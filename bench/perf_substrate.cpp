@@ -1,0 +1,87 @@
+// google-benchmark microbenchmarks for the substrates: mesh routing,
+// traffic accounting, coherence transactions, thermal stepping and the
+// end-to-end probing primitives.
+
+#include <benchmark/benchmark.h>
+
+#include "core/eviction_set.hpp"
+#include "sim/virtual_xeon.hpp"
+#include "thermal/thermal_model.hpp"
+
+namespace {
+
+using namespace corelocate;
+
+void BM_RouteYx(benchmark::State& state) {
+  mesh::TileGrid grid(8, 6);
+  int i = 0;
+  for (auto _ : state) {
+    const mesh::Coord src{i % 8, (i * 3) % 6};
+    const mesh::Coord dst{(i * 5) % 8, (i * 7) % 6};
+    benchmark::DoNotOptimize(mesh::route_yx(grid, src, dst));
+    ++i;
+  }
+}
+BENCHMARK(BM_RouteYx);
+
+void BM_TrafficInject(benchmark::State& state) {
+  mesh::TileGrid grid(8, 6);
+  mesh::TrafficRecorder recorder(grid);
+  const mesh::Route route = mesh::route_yx(grid, {7, 0}, {0, 5});
+  for (auto _ : state) {
+    recorder.inject(route, 2);
+  }
+  benchmark::DoNotOptimize(recorder.grand_total());
+}
+BENCHMARK(BM_TrafficInject);
+
+sim::InstanceConfig bench_instance() {
+  sim::InstanceFactory factory;
+  util::Rng rng(77);
+  return factory.make_instance(sim::XeonModel::k8259CL, rng);
+}
+
+void BM_CoherenceWriteReadRound(benchmark::State& state) {
+  sim::VirtualXeon cpu(bench_instance());
+  const cache::LineAddr line = 0x424242;
+  for (auto _ : state) {
+    cpu.exec_write(0, line);
+    cpu.exec_read(5, line);
+  }
+}
+BENCHMARK(BM_CoherenceWriteReadRound);
+
+void BM_HomeProbe(benchmark::State& state) {
+  sim::VirtualXeon cpu(bench_instance());
+  util::Rng rng(3);
+  core::EvictionSetBuilder builder(cpu, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.home_of_line(builder.draw_candidate()));
+  }
+}
+BENCHMARK(BM_HomeProbe);
+
+void BM_ThermalStep(benchmark::State& state) {
+  const sim::InstanceConfig config = bench_instance();
+  thermal::ThermalModel model(config.grid);
+  const double dt = 0.4 * model.max_stable_dt();
+  for (auto _ : state) {
+    model.step(dt);
+  }
+  benchmark::DoNotOptimize(model.temperature({0, 0}));
+}
+BENCHMARK(BM_ThermalStep);
+
+void BM_ThermalSecondOfSimulation(benchmark::State& state) {
+  const sim::InstanceConfig config = bench_instance();
+  thermal::ThermalModel model(config.grid);
+  for (auto _ : state) {
+    model.advance(1.0, 0.02);
+  }
+  benchmark::DoNotOptimize(model.temperature({0, 0}));
+}
+BENCHMARK(BM_ThermalSecondOfSimulation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+// Mesh-contention eavesdropping demo — the location-based attack the
+// paper cites as its motivation (Sec. I, ref [2]).
+//
+// A victim core periodically hammers its LLC slice, loading a sequence of
+// directed mesh links. An attacker with two cores measures round-trip
+// probe latency between them. If — and only if — the probe path shares
+// directed links with the victim's path, the victim's on/off activity
+// pattern shows up as latency modulation. Choosing an overlapping probe
+// path requires knowing the physical core map.
+//
+//   $ ./contention_probe [--bits 200] [--intensity 0.6] [--seed 3]
+
+#include <algorithm>
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "covert/bitstream.hpp"
+#include "mesh/contention.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace corelocate;
+
+namespace {
+
+/// Eavesdrops `pattern` through latency probes; returns fraction of bits
+/// recovered. The attacker thresholds at the midpoint of the observed
+/// latency range.
+double eavesdrop(mesh::ContendedMesh& mesh, int victim_stream,
+                 const covert::Bits& pattern, const mesh::Coord& probe_src,
+                 const mesh::Coord& probe_dst, double intensity, util::Rng& rng) {
+  std::vector<double> samples;
+  samples.reserve(pattern.size());
+  for (std::uint8_t bit : pattern) {
+    mesh.set_intensity(victim_stream, bit ? intensity : 0.0);
+    // A handful of noisy probes per bit period, averaged.
+    double sum = 0.0;
+    for (int p = 0; p < 4; ++p) {
+      sum += mesh.probe_latency(probe_src, probe_dst) + rng.gaussian(0.0, 1.0);
+    }
+    samples.push_back(sum / 4.0);
+  }
+  const double lo = *std::min_element(samples.begin(), samples.end());
+  const double hi = *std::max_element(samples.begin(), samples.end());
+  const double threshold = (lo + hi) / 2.0;
+  int correct = 0;
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    const std::uint8_t guessed = samples[i] > threshold ? 1 : 0;
+    correct += guessed == pattern[i];
+  }
+  return static_cast<double>(correct) / static_cast<double>(pattern.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliFlags flags(argc, argv);
+  flags.validate({"bits", "intensity", "seed"});
+  const int bits = static_cast<int>(flags.get_int("bits", 200));
+  const double intensity = flags.get_double("intensity", 0.6);
+  const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed", 3));
+
+  // Locate the machine.
+  sim::InstanceFactory factory;
+  util::Rng rng(seed);
+  const sim::InstanceConfig machine = factory.make_instance(sim::XeonModel::k8259CL, rng);
+  sim::VirtualXeon cpu(machine);
+  util::Rng tool_rng(seed + 1);
+  const core::LocateResult located = core::locate_cores(
+      cpu, tool_rng, core::options_for(sim::spec_for(sim::XeonModel::k8259CL)));
+  if (!located.success) {
+    std::cout << "locating failed: " << located.message << "\n";
+    return 1;
+  }
+
+  // Victim: core 0 hammering the LLC slice four columns away on its row
+  // (the kind of long horizontal flow step 1 discovers).
+  const mesh::Coord victim_src = machine.tile_of_os_core(0);
+  mesh::Coord victim_dst = victim_src;
+  victim_dst.col = victim_src.col < machine.grid.cols() / 2 ? machine.grid.cols() - 1 : 0;
+  std::cout << "victim flow: " << mesh::to_string(victim_src) << " -> "
+            << mesh::to_string(victim_dst) << " at intensity " << intensity << "\n";
+
+  mesh::ContendedMesh contended(machine.grid);
+  const int victim_stream = contended.add_stream(victim_src, victim_dst, 0.0);
+
+  // Location-aware attacker: probe along the victim's row, same direction.
+  const bool east = victim_dst.col > victim_src.col;
+  mesh::Coord aware_src{victim_src.row,
+                        east ? victim_src.col : victim_dst.col + 1};
+  mesh::Coord aware_dst{victim_src.row,
+                        east ? victim_dst.col : victim_src.col};
+  if (!east) std::swap(aware_src, aware_dst);
+  // Location-blind attacker: a probe on another row (what lstopo-style
+  // logical IDs would likely give you).
+  const mesh::Coord blind_src{(victim_src.row + 2) % machine.grid.rows(), 0};
+  const mesh::Coord blind_dst{(victim_src.row + 2) % machine.grid.rows(),
+                              machine.grid.cols() - 1};
+
+  util::Rng pattern_rng(seed + 2);
+  const covert::Bits pattern = covert::random_bits(bits, pattern_rng);
+  util::Rng probe_rng(seed + 3);
+  const double aware_acc = eavesdrop(contended, victim_stream, pattern, aware_src,
+                                     aware_dst, intensity, probe_rng);
+  const double blind_acc = eavesdrop(contended, victim_stream, pattern, blind_src,
+                                     blind_dst, intensity, probe_rng);
+
+  util::TablePrinter table({"attacker placement", "probe path", "bits recovered"});
+  table.add_row({"map-aware (overlapping links)",
+                 mesh::to_string(aware_src) + " -> " + mesh::to_string(aware_dst),
+                 util::fmt_pct(aware_acc, 1)});
+  table.add_row({"map-blind (disjoint links)",
+                 mesh::to_string(blind_src) + " -> " + mesh::to_string(blind_dst),
+                 util::fmt_pct(blind_acc, 1)});
+  table.print(std::cout);
+  std::cout << "\nknowing the physical map turns the contention channel on; "
+               "without it the probe\npath misses the victim's links and the "
+               "attacker sees only noise (~50%).\n";
+  return 0;
+}

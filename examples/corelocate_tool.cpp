@@ -1,0 +1,163 @@
+// corelocate_tool — the command-line face of the library, mirroring how
+// the paper's released artifact is used in practice.
+//
+//   corelocate_tool map      --db maps.db [--model 8259CL] [--seed N]
+//                            [--engine decomposed|ilp|refined]
+//       locate a machine's cores (root phase) and store the map by PPIN
+//   corelocate_tool list     --db maps.db
+//       list every mapped machine
+//   corelocate_tool show     --db maps.db --ppin HEX
+//       render a stored map
+//   corelocate_tool verify   --db maps.db [--seed N]
+//       re-map the machine and check the stored map still matches
+//       (maps are permanent per physical CPU)
+//
+// In this reproduction the "machine" is the simulator; on hardware the
+// same flow would run against /dev/cpu/*/msr.
+
+#include <iostream>
+
+#include "core/map_store.hpp"
+#include "core/pipeline.hpp"
+#include "util/cli.hpp"
+
+using namespace corelocate;
+
+namespace {
+
+sim::XeonModel parse_model(const std::string& name) {
+  if (name == "8124M") return sim::XeonModel::k8124M;
+  if (name == "8175M") return sim::XeonModel::k8175M;
+  if (name == "8259CL") return sim::XeonModel::k8259CL;
+  if (name == "6354") return sim::XeonModel::k6354;
+  throw std::invalid_argument("unknown model: " + name);
+}
+
+core::SolverEngine parse_engine(const std::string& name) {
+  if (name == "decomposed") return core::SolverEngine::kDecomposed;
+  if (name == "ilp") return core::SolverEngine::kIlp;
+  if (name == "refined") return core::SolverEngine::kRefined;
+  throw std::invalid_argument("unknown engine: " + name);
+}
+
+core::MapStore load_db(const std::string& path) {
+  try {
+    return core::MapStore::load_file(path);
+  } catch (const std::runtime_error&) {
+    return core::MapStore{};  // fresh database
+  }
+}
+
+int cmd_map(const util::CliFlags& flags) {
+  const std::string db = flags.get("db", "corelocate-maps.db");
+  const sim::XeonModel model = parse_model(flags.get("model", "8259CL"));
+  const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const core::SolverEngine engine = parse_engine(flags.get("engine", "refined"));
+
+  sim::InstanceFactory factory;
+  util::Rng rng(seed);
+  const sim::InstanceConfig machine = factory.make_instance(model, rng);
+  sim::VirtualXeon cpu(machine);
+  util::Rng tool_rng(seed ^ 0x70011ULL);
+  core::LocateOptions options = core::options_for(sim::spec_for(model));
+  options.engine = engine;
+  const core::LocateResult result = core::locate_cores(cpu, tool_rng, options);
+  if (!result.success) {
+    std::cerr << "mapping failed: " << result.message << "\n";
+    return 1;
+  }
+  core::MapStore store = load_db(db);
+  store.put(result.map);
+  store.save_file(db);
+  std::cout << "mapped " << sim::to_string(model) << " (PPIN 0x" << std::hex
+            << result.map.ppin << std::dec << ", " << result.message << ")\n"
+            << result.map.render() << "stored in " << db << " ("
+            << store.size() << " machines)\n";
+  return 0;
+}
+
+int cmd_list(const util::CliFlags& flags) {
+  const core::MapStore store = load_db(flags.get("db", "corelocate-maps.db"));
+  if (store.size() == 0) {
+    std::cout << "(no machines mapped yet)\n";
+    return 0;
+  }
+  for (std::uint64_t ppin : store.ppins()) {
+    const core::CoreMap map = *store.get(ppin);
+    std::cout << "0x" << std::hex << ppin << std::dec << "  "
+              << map.os_core_to_cha.size() << " cores, " << map.cha_count()
+              << " CHAs, grid " << map.rows << "x" << map.cols << "\n";
+  }
+  return 0;
+}
+
+int cmd_show(const util::CliFlags& flags) {
+  const core::MapStore store = load_db(flags.get("db", "corelocate-maps.db"));
+  const std::string ppin_hex = flags.get("ppin", "");
+  if (ppin_hex.empty()) {
+    std::cerr << "show requires --ppin HEX\n";
+    return 1;
+  }
+  const std::uint64_t ppin = std::stoull(ppin_hex, nullptr, 16);
+  const auto map = store.get(ppin);
+  if (!map.has_value()) {
+    std::cerr << "no map stored for PPIN 0x" << std::hex << ppin << std::dec << "\n";
+    return 1;
+  }
+  std::cout << map->render();
+  return 0;
+}
+
+int cmd_verify(const util::CliFlags& flags) {
+  const std::string db = flags.get("db", "corelocate-maps.db");
+  const sim::XeonModel model = parse_model(flags.get("model", "8259CL"));
+  const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+
+  sim::InstanceFactory factory;
+  util::Rng rng(seed);
+  const sim::InstanceConfig machine = factory.make_instance(model, rng);
+  sim::VirtualXeon cpu(machine);
+  const std::uint64_t ppin = msr::PmonDriver(cpu.msr()).read_ppin();
+  const core::MapStore store = load_db(db);
+  const auto stored = store.get(ppin);
+  if (!stored.has_value()) {
+    std::cerr << "machine 0x" << std::hex << ppin << std::dec
+              << " not in the database — run `map` first\n";
+    return 1;
+  }
+  util::Rng tool_rng(seed ^ 0x7E21F1ULL);
+  core::LocateOptions options = core::options_for(sim::spec_for(model));
+  options.engine = core::SolverEngine::kRefined;
+  const core::LocateResult fresh = core::locate_cores(cpu, tool_rng, options);
+  if (!fresh.success) {
+    std::cerr << "re-mapping failed: " << fresh.message << "\n";
+    return 1;
+  }
+  const bool match = fresh.map.pattern_key() == stored->pattern_key();
+  std::cout << "machine 0x" << std::hex << ppin << std::dec << ": stored map "
+            << (match ? "CONFIRMED" : "DIFFERS") << "\n";
+  return match ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::CliFlags flags(argc, argv);
+    flags.validate({"db", "model", "seed", "engine", "ppin"});
+    if (flags.positional().empty()) {
+      std::cerr << "usage: corelocate_tool map|list|show|verify [--db FILE] ...\n";
+      return 1;
+    }
+    const std::string& command = flags.positional().front();
+    if (command == "map") return cmd_map(flags);
+    if (command == "list") return cmd_list(flags);
+    if (command == "show") return cmd_show(flags);
+    if (command == "verify") return cmd_verify(flags);
+    std::cerr << "unknown command: " << command << "\n";
+    return 1;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}

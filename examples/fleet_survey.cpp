@@ -1,0 +1,80 @@
+// Fleet survey: map many cloud instances of one CPU model and study the
+// population — how many distinct physical core layouts exist, how often
+// each occurs, and whether the OS<->CHA id mapping varies (the paper's
+// Sec. III measurement campaign in miniature).
+//
+//   $ ./fleet_survey [--model 8259CL] [--instances 30] [--render-top 2]
+
+#include <iostream>
+
+#include "core/pattern_stats.hpp"
+#include "core/pipeline.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace corelocate;
+
+namespace {
+
+sim::XeonModel parse_model(const std::string& name) {
+  if (name == "8124M") return sim::XeonModel::k8124M;
+  if (name == "8175M") return sim::XeonModel::k8175M;
+  if (name == "8259CL") return sim::XeonModel::k8259CL;
+  if (name == "6354") return sim::XeonModel::k6354;
+  throw std::invalid_argument("unknown model: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliFlags flags(argc, argv);
+  flags.validate({"model", "instances", "render-top"});
+  const sim::XeonModel model = parse_model(flags.get("model", "8259CL"));
+  const int instances = static_cast<int>(flags.get_int("instances", 30));
+  const int render_top = static_cast<int>(flags.get_int("render-top", 2));
+
+  sim::InstanceFactory factory;
+  std::vector<core::CoreMap> maps;
+  std::vector<std::vector<int>> id_mappings;
+  for (int i = 0; i < instances; ++i) {
+    util::Rng rng(0xF1EE7ULL + static_cast<std::uint64_t>(i));
+    const sim::InstanceConfig machine = factory.make_instance(model, rng);
+    sim::VirtualXeon cpu(machine);
+    util::Rng tool_rng(0x700CULL + static_cast<std::uint64_t>(i));
+    const core::LocateResult result =
+        core::locate_cores(cpu, tool_rng, core::options_for(sim::spec_for(model)));
+    if (!result.success) {
+      std::cout << "instance " << i << " failed: " << result.message << "\n";
+      continue;
+    }
+    maps.push_back(result.map);
+    id_mappings.push_back(result.cha_mapping.os_core_to_cha);
+    std::cout << "instance " << i << ": PPIN 0x" << std::hex << result.map.ppin
+              << std::dec << ", pattern " << result.map.pattern_key().substr(0, 24)
+              << "...\n";
+  }
+
+  const core::PatternStats patterns = core::collect_pattern_stats(maps);
+  const core::IdMappingStats ids = core::collect_id_mapping_stats(id_mappings);
+
+  std::cout << "\n=== survey of " << maps.size() << " " << sim::to_string(model)
+            << " instances ===\n"
+            << "unique physical layouts:  " << patterns.unique_patterns() << "\n"
+            << "unique OS<->CHA mappings: " << ids.unique_mappings() << "\n\n";
+
+  util::TablePrinter table({"rank", "instances", "share"});
+  int rank = 1;
+  for (const auto& entry : patterns.top(8)) {
+    table.add_row({std::to_string(rank++), std::to_string(entry.count),
+                   util::fmt_pct(static_cast<double>(entry.count) /
+                                 static_cast<double>(maps.size()))});
+  }
+  table.print(std::cout);
+
+  rank = 1;
+  for (const auto& entry : patterns.top(render_top)) {
+    std::cout << "\nlayout #" << rank++ << " (" << entry.count << " instances):\n"
+              << entry.representative.canonical().render();
+  }
+  return 0;
+}

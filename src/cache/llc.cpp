@@ -1,0 +1,105 @@
+#include "cache/llc.hpp"
+
+#include <stdexcept>
+
+namespace corelocate::cache {
+
+LlcSlice::LlcSlice(LlcGeometry geometry) : geometry_(geometry) {
+  if (geometry_.sets <= 0 || geometry_.ways <= 0) {
+    throw std::invalid_argument("LlcSlice: non-positive geometry");
+  }
+  if ((geometry_.sets & (geometry_.sets - 1)) != 0) {
+    throw std::invalid_argument("LlcSlice: set count must be a power of two");
+  }
+  ways_.assign(static_cast<std::size_t>(geometry_.sets) *
+                   static_cast<std::size_t>(geometry_.ways),
+               Way{});
+}
+
+int LlcSlice::set_of(LineAddr line) const noexcept {
+  // Slices index with line-address bits above the L2's (keeps the slice
+  // sets from aliasing the L2 sets one-to-one).
+  return static_cast<int>((line >> 2) & static_cast<LineAddr>(geometry_.sets - 1));
+}
+
+LlcSlice::Way* LlcSlice::find(LineAddr line) noexcept {
+  const int set = set_of(line);
+  Way* base = &ways_[static_cast<std::size_t>(set) * static_cast<std::size_t>(geometry_.ways)];
+  for (int w = 0; w < geometry_.ways; ++w) {
+    if (base[w].valid && base[w].line == line) return &base[w];
+  }
+  return nullptr;
+}
+
+const LlcSlice::Way* LlcSlice::find(LineAddr line) const noexcept {
+  return const_cast<LlcSlice*>(this)->find(line);
+}
+
+bool LlcSlice::contains(LineAddr line) const noexcept { return find(line) != nullptr; }
+
+void LlcSlice::touch(LineAddr line) noexcept {
+  Way* way = find(line);
+  if (way != nullptr) way->lru = ++clock_;
+}
+
+std::optional<LineAddr> LlcSlice::insert(LineAddr line) {
+  if (Way* hit = find(line); hit != nullptr) {
+    hit->lru = ++clock_;
+    return std::nullopt;
+  }
+  const int set = set_of(line);
+  Way* base = &ways_[static_cast<std::size_t>(set) * static_cast<std::size_t>(geometry_.ways)];
+  Way* slot = nullptr;
+  for (int w = 0; w < geometry_.ways; ++w) {
+    if (!base[w].valid) {
+      slot = &base[w];
+      break;
+    }
+  }
+  std::optional<LineAddr> victim;
+  if (slot == nullptr) {
+    slot = base;
+    for (int w = 1; w < geometry_.ways; ++w) {
+      if (base[w].lru < slot->lru) slot = &base[w];
+    }
+    victim = slot->line;
+    --occupancy_;
+  }
+  slot->line = line;
+  slot->valid = true;
+  slot->lru = ++clock_;
+  ++occupancy_;
+  return victim;
+}
+
+bool LlcSlice::remove(LineAddr line) noexcept {
+  Way* way = find(line);
+  if (way == nullptr) return false;
+  way->valid = false;
+  --occupancy_;
+  return true;
+}
+
+SlicedLlc::SlicedLlc(int slice_count, LlcGeometry geometry) {
+  if (slice_count <= 0) throw std::invalid_argument("SlicedLlc: need >= 1 slice");
+  slices_.assign(static_cast<std::size_t>(slice_count), LlcSlice{geometry});
+  lookup_counts_.assign(static_cast<std::size_t>(slice_count), 0);
+}
+
+LlcSlice& SlicedLlc::slice(int cha_id) {
+  return slices_.at(static_cast<std::size_t>(cha_id));
+}
+
+const LlcSlice& SlicedLlc::slice(int cha_id) const {
+  return slices_.at(static_cast<std::size_t>(cha_id));
+}
+
+void SlicedLlc::count_lookup(int cha_id) {
+  ++lookup_counts_.at(static_cast<std::size_t>(cha_id));
+}
+
+std::uint64_t SlicedLlc::lookups(int cha_id) const {
+  return lookup_counts_.at(static_cast<std::size_t>(cha_id));
+}
+
+}  // namespace corelocate::cache

@@ -1,0 +1,32 @@
+#include "cache/slice_hash.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace corelocate::cache {
+
+SliceHash::SliceHash(int slice_count, std::uint64_t key) : slice_count_(slice_count) {
+  if (slice_count <= 0) throw std::invalid_argument("SliceHash: slice_count must be > 0");
+  // Derive the GF(2) fold masks from the key. Each digest bit is the XOR
+  // (parity) of a keyed subset of the line-address bits.
+  std::uint64_t sm = key ^ 0xC0FFEE5ABCD12345ULL;
+  for (auto& mask : masks_) {
+    mask = util::splitmix64(sm);
+    // Keep the masks inside the physically meaningful address bits and
+    // guarantee they are non-zero so every digest bit actually varies.
+    mask &= (1ULL << 40) - 1;
+    if (mask == 0) mask = 1;
+  }
+}
+
+int SliceHash::slice_of(LineAddr line) const noexcept {
+  std::uint32_t digest = 0;
+  for (int b = 0; b < kDigestBits; ++b) {
+    digest |= static_cast<std::uint32_t>(std::popcount(line & masks_[b]) & 1) << b;
+  }
+  return static_cast<int>(digest % static_cast<std::uint32_t>(slice_count_));
+}
+
+}  // namespace corelocate::cache

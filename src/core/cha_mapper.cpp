@@ -1,0 +1,77 @@
+#include "core/cha_mapper.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace corelocate::core {
+
+ChaMapper::ChaMapper(sim::VirtualXeon& cpu, util::Rng& rng, ChaMapperOptions options)
+    : cpu_(cpu), rng_(rng), options_(options), driver_(cpu.msr()) {}
+
+std::uint64_t ChaMapper::probe_mesh_cycles(int os_core,
+                                           const std::vector<cache::LineAddr>& set) {
+  const int cha_count = cpu_.cha_count();
+  // Warm-up passes drain transients (first-touch memory fetches, victims
+  // left in this core's L2 set by the previous probe) before counting.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const cache::LineAddr line : set) cpu_.exec_write(os_core, line);
+  }
+  // Counter 1: all vertical BL ingress; counter 2: all horizontal.
+  for (int cha = 0; cha < cha_count; ++cha) {
+    driver_.program(cha, 1, msr::ChaEvent::kVertRingBlInUse,
+                    msr::kUmaskVertUp | msr::kUmaskVertDown);
+    driver_.program(cha, 2, msr::ChaEvent::kHorzRingBlInUse,
+                    msr::kUmaskHorzLeft | msr::kUmaskHorzRight);
+  }
+  for (int pass = 0; pass < options_.probe_passes; ++pass) {
+    for (const cache::LineAddr line : set) cpu_.exec_write(os_core, line);
+  }
+  std::uint64_t total = 0;
+  for (int cha = 0; cha < cha_count; ++cha) {
+    total += driver_.read(cha, 1);
+    total += driver_.read(cha, 2);
+  }
+  return total;
+}
+
+ChaMappingResult ChaMapper::map() {
+  EvictionSetBuilder builder(cpu_, rng_, options_.eviction);
+  ChaMappingResult result;
+  result.eviction_sets = builder.build_all();
+
+  const int cores = cpu_.os_core_count();
+  const int chas = cpu_.cha_count();
+  result.os_core_to_cha.assign(static_cast<std::size_t>(cores), -1);
+
+  std::vector<char> cha_taken(static_cast<std::size_t>(chas), 0);
+  for (int os_core = 0; os_core < cores; ++os_core) {
+    std::uint64_t quietest = ~0ULL;
+    int quietest_cha = -1;
+    for (int cha = 0; cha < chas; ++cha) {
+      if (cha_taken[static_cast<std::size_t>(cha)]) continue;
+      const auto& set = result.eviction_sets[static_cast<std::size_t>(cha)];
+      const std::uint64_t cycles = probe_mesh_cycles(os_core, set);
+      const std::uint64_t quiet_threshold =
+          options_.quiet_cycles_per_line * set.size() * 1ULL;
+      if (cycles < quietest) {
+        quietest = cycles;
+        quietest_cha = cha;
+      }
+      if (cycles <= quiet_threshold) break;  // unambiguous: same tile
+    }
+    if (quietest_cha < 0) {
+      throw std::runtime_error("ChaMapper: no CHA probed for core " +
+                               std::to_string(os_core));
+    }
+    result.os_core_to_cha[static_cast<std::size_t>(os_core)] = quietest_cha;
+    cha_taken[static_cast<std::size_t>(quietest_cha)] = 1;
+  }
+
+  for (int cha = 0; cha < chas; ++cha) {
+    if (!cha_taken[static_cast<std::size_t>(cha)]) result.llc_only_chas.push_back(cha);
+  }
+  return result;
+}
+
+}  // namespace corelocate::core

@@ -1,0 +1,146 @@
+#include "core/core_map.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace corelocate::core {
+
+std::optional<int> CoreMap::os_core_of_cha(int cha) const {
+  for (std::size_t os = 0; os < os_core_to_cha.size(); ++os) {
+    if (os_core_to_cha[os] == cha) return static_cast<int>(os);
+  }
+  return std::nullopt;
+}
+
+std::optional<int> CoreMap::cha_at(const mesh::Coord& coord) const {
+  for (std::size_t cha = 0; cha < cha_position.size(); ++cha) {
+    if (cha_position[cha] == coord) return static_cast<int>(cha);
+  }
+  return std::nullopt;
+}
+
+CoreMap CoreMap::normalized() const {
+  CoreMap result = *this;
+  if (cha_position.empty()) return result;
+  int min_row = std::numeric_limits<int>::max();
+  int min_col = std::numeric_limits<int>::max();
+  int max_row = std::numeric_limits<int>::min();
+  int max_col = std::numeric_limits<int>::min();
+  for (const mesh::Coord& pos : cha_position) {
+    min_row = std::min(min_row, pos.row);
+    min_col = std::min(min_col, pos.col);
+    max_row = std::max(max_row, pos.row);
+    max_col = std::max(max_col, pos.col);
+  }
+  for (mesh::Coord& pos : result.cha_position) {
+    pos.row -= min_row;
+    pos.col -= min_col;
+  }
+  result.rows = max_row - min_row + 1;
+  result.cols = max_col - min_col + 1;
+  return result;
+}
+
+CoreMap CoreMap::mirrored() const {
+  CoreMap result = normalized();
+  for (mesh::Coord& pos : result.cha_position) {
+    pos.col = result.cols - 1 - pos.col;
+  }
+  return result;
+}
+
+namespace {
+
+std::string serialize(const CoreMap& map) {
+  std::ostringstream oss;
+  oss << map.rows << 'x' << map.cols << '|';
+  for (int cha = 0; cha < map.cha_count(); ++cha) {
+    const mesh::Coord pos = map.cha_position[static_cast<std::size_t>(cha)];
+    const auto os = map.os_core_of_cha(cha);
+    oss << cha << '@' << pos.row << ',' << pos.col << '/'
+        << (os.has_value() ? std::to_string(*os) : std::string("-")) << ';';
+  }
+  return oss.str();
+}
+
+}  // namespace
+
+CoreMap CoreMap::canonical() const {
+  CoreMap straight = normalized();
+  CoreMap flipped = mirrored();
+  return serialize(straight) <= serialize(flipped) ? straight : flipped;
+}
+
+std::string CoreMap::pattern_key() const { return serialize(canonical()); }
+
+std::string CoreMap::render() const {
+  const CoreMap norm = normalized();
+  constexpr int kCell = 7;
+  std::ostringstream oss;
+  for (int r = 0; r < norm.rows; ++r) {
+    oss << '|';
+    for (int c = 0; c < norm.cols; ++c) {
+      std::string label = ".";
+      if (const auto cha = norm.cha_at(mesh::Coord{r, c}); cha.has_value()) {
+        const auto os = norm.os_core_of_cha(*cha);
+        label = (os.has_value() ? std::to_string(*os) : std::string("-")) + "/" +
+                std::to_string(*cha);
+      }
+      oss << ' ' << label;
+      for (int pad = static_cast<int>(label.size()); pad < kCell; ++pad) oss << ' ';
+      oss << '|';
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+MapAccuracy score_against_truth(const CoreMap& map, const sim::InstanceConfig& truth) {
+  CoreMap reference = truth_map(truth);
+  reference = reference.normalized();
+
+  auto score_variant = [&](const CoreMap& candidate) {
+    MapAccuracy acc;
+    const int n = std::min(candidate.cha_count(), reference.cha_count());
+    for (int cha = 0; cha < n; ++cha) {
+      const bool llc_only =
+          std::find(reference.llc_only_chas.begin(), reference.llc_only_chas.end(), cha) !=
+          reference.llc_only_chas.end();
+      const bool match = candidate.cha_position[static_cast<std::size_t>(cha)] ==
+                         reference.cha_position[static_cast<std::size_t>(cha)];
+      if (llc_only) {
+        ++acc.llc_only_total;
+        if (match) ++acc.llc_only_correct;
+      } else {
+        ++acc.core_tiles_total;
+        if (match) ++acc.core_tiles_correct;
+      }
+    }
+    return acc;
+  };
+
+  MapAccuracy straight = score_variant(map.normalized());
+  MapAccuracy flipped = score_variant(map.mirrored());
+  flipped.mirrored = true;
+  const auto better = [](const MapAccuracy& a, const MapAccuracy& b) {
+    if (a.core_tiles_correct != b.core_tiles_correct) {
+      return a.core_tiles_correct > b.core_tiles_correct;
+    }
+    return a.llc_only_correct >= b.llc_only_correct;
+  };
+  return better(straight, flipped) ? straight : flipped;
+}
+
+CoreMap truth_map(const sim::InstanceConfig& config) {
+  CoreMap map;
+  map.rows = config.grid.rows();
+  map.cols = config.grid.cols();
+  map.ppin = config.ppin;
+  map.cha_position = config.cha_tiles;
+  map.os_core_to_cha = config.os_core_to_cha;
+  map.llc_only_chas = config.llc_only_chas();
+  return map;
+}
+
+}  // namespace corelocate::core

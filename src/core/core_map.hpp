@@ -1,0 +1,78 @@
+#pragma once
+// The reconstructed core map and its canonical forms.
+//
+// A CoreMap places every CHA on the tile grid and carries the OS-core-id
+// mapping from step 1. Because the mesh observations cannot distinguish a
+// map from its horizontal mirror (the odd-column tile flip hides the
+// horizontal travel direction), maps are compared and counted *modulo*
+// translation and horizontal mirroring, matching the paper's "relative
+// locations are correctly mapped" guarantee (Sec. II-D).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mesh/grid.hpp"
+#include "sim/instance_factory.hpp"
+
+namespace corelocate::core {
+
+struct CoreMap {
+  int rows = 0;  ///< grid height used during reconstruction (T_h)
+  int cols = 0;  ///< grid width used during reconstruction (T_w)
+  std::uint64_t ppin = 0;
+  std::vector<mesh::Coord> cha_position;  ///< by CHA id
+  std::vector<int> os_core_to_cha;        ///< by OS core id
+  std::vector<int> llc_only_chas;         ///< CHAs with no core
+
+  int cha_count() const noexcept { return static_cast<int>(cha_position.size()); }
+
+  /// OS core id at a CHA, or nullopt for LLC-only CHAs.
+  std::optional<int> os_core_of_cha(int cha) const;
+
+  /// CHA id occupying a grid cell, or nullopt.
+  std::optional<int> cha_at(const mesh::Coord& coord) const;
+
+  /// Translates so the minimum occupied row/column is 0.
+  CoreMap normalized() const;
+
+  /// Horizontal mirror (column c -> width-1-c over occupied extent).
+  CoreMap mirrored() const;
+
+  /// Canonical form: normalized, and the lexicographically smaller of the
+  /// map and its mirror — a stable identity for pattern statistics.
+  CoreMap canonical() const;
+
+  /// Serialized canonical identity (pattern key for Table II counting).
+  std::string pattern_key() const;
+
+  /// ASCII rendering in the style of the paper's Fig. 4/5: each occupied
+  /// tile shows "os/cha" ("-/cha" for LLC-only tiles).
+  std::string render() const;
+};
+
+/// How well a reconstructed map matches the ground truth, modulo
+/// translation + horizontal mirror.
+struct MapAccuracy {
+  int core_tiles_total = 0;
+  int core_tiles_correct = 0;
+  int llc_only_total = 0;
+  int llc_only_correct = 0;
+  bool mirrored = false;  ///< best alignment used the mirror
+
+  bool all_cores_correct() const noexcept {
+    return core_tiles_correct == core_tiles_total;
+  }
+  bool exact() const noexcept {
+    return all_cores_correct() && llc_only_correct == llc_only_total;
+  }
+};
+
+/// Scores `map` against the instance ground truth.
+MapAccuracy score_against_truth(const CoreMap& map, const sim::InstanceConfig& truth);
+
+/// Builds the ground-truth CoreMap of an instance (for tests/benches).
+CoreMap truth_map(const sim::InstanceConfig& config);
+
+}  // namespace corelocate::core

@@ -1,0 +1,389 @@
+#include "core/decomposed_map_solver.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+namespace corelocate::core {
+
+namespace {
+
+/// Difference-constraint system: edges a->b with weight w encode
+/// X_b >= X_a + w. Solves for the elementwise-minimal non-negative
+/// assignment by longest-path fixpoint; reports infeasibility on positive
+/// cycles or when the extent exceeds `max_value`.
+class DifferenceSystem {
+ public:
+  explicit DifferenceSystem(int variables)
+      : values_(static_cast<std::size_t>(variables), 0) {}
+
+  void add_edge(int from, int to, int weight) { edges_.push_back({from, to, weight}); }
+
+  /// Returns false on a positive cycle or if any value would exceed
+  /// `max_value`.
+  bool solve(int max_value) {
+    std::fill(values_.begin(), values_.end(), 0);
+    const int n = static_cast<int>(values_.size());
+    for (int pass = 0; pass <= n; ++pass) {
+      bool changed = false;
+      for (const Edge& e : edges_) {
+        const int candidate = values_[static_cast<std::size_t>(e.from)] + e.weight;
+        if (candidate > values_[static_cast<std::size_t>(e.to)]) {
+          values_[static_cast<std::size_t>(e.to)] = candidate;
+          if (values_[static_cast<std::size_t>(e.to)] > max_value) return false;
+          changed = true;
+        }
+      }
+      if (!changed) return true;
+    }
+    return false;  // still changing after |V| passes: positive cycle
+  }
+
+  int value(int variable) const { return values_[static_cast<std::size_t>(variable)]; }
+
+ private:
+  struct Edge {
+    int from;
+    int to;
+    int weight;
+  };
+  std::vector<Edge> edges_;
+  std::vector<int> values_;
+};
+
+/// Union-find over CHA ids for column classes.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(static_cast<std::size_t>(n)) {
+    for (int i = 0; i < n; ++i) parent_[static_cast<std::size_t>(i)] = i;
+  }
+  int find(int x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+  void unite(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[static_cast<std::size_t>(std::max(a, b))] = std::min(a, b);
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+struct DirEdge {
+  int from;
+  int to;
+  int weight;
+  friend bool operator<(const DirEdge& a, const DirEdge& b) {
+    return std::tie(a.from, a.to, a.weight) < std::tie(b.from, b.to, b.weight);
+  }
+  friend bool operator==(const DirEdge&, const DirEdge&) = default;
+};
+
+/// One horizontal path's direction choice: the east bundle, or its mirror.
+struct DirectionGroup {
+  std::vector<DirEdge> east;  // west is the exact mirror (edges reversed)
+  int multiplicity = 0;       // how many paths share this bundle
+};
+
+std::vector<DirEdge> mirrored(const std::vector<DirEdge>& east) {
+  std::vector<DirEdge> west;
+  west.reserve(east.size());
+  for (const DirEdge& e : east) west.push_back(DirEdge{e.to, e.from, e.weight});
+  std::sort(west.begin(), west.end());
+  return west;
+}
+
+/// Incremental longest-path state over committed edges. Values are
+/// bounded by `max_value`, so each node can rise at most max_value times
+/// in total — tests and commits are near-constant-time.
+class IncrementalDiff {
+ public:
+  IncrementalDiff(int variables, int max_value)
+      : n_(variables),
+        max_value_(max_value),
+        adj_(static_cast<std::size_t>(variables)),
+        dist_(static_cast<std::size_t>(variables), 0) {}
+
+  /// Tries `extra` on top of the committed set. Returns the relaxed
+  /// distance vector when feasible, nullopt otherwise. Does not mutate
+  /// committed state.
+  std::optional<std::vector<int>> test(const std::vector<DirEdge>& extra) const {
+    std::vector<int> dist = dist_;
+    // Temporary adjacency for the extra edges.
+    std::vector<std::vector<DirEdge>> extra_adj(static_cast<std::size_t>(n_));
+    std::vector<int> work;
+    for (const DirEdge& e : extra) {
+      extra_adj[static_cast<std::size_t>(e.from)].push_back(e);
+      if (relax(dist, e)) {
+        if (dist[static_cast<std::size_t>(e.to)] > max_value_) return std::nullopt;
+        work.push_back(e.to);
+      }
+    }
+    while (!work.empty()) {
+      const int node = work.back();
+      work.pop_back();
+      auto push_out = [&](const DirEdge& e) {
+        if (relax(dist, e)) {
+          if (dist[static_cast<std::size_t>(e.to)] > max_value_) return false;
+          work.push_back(e.to);
+        }
+        return true;
+      };
+      for (const DirEdge& e : adj_[static_cast<std::size_t>(node)]) {
+        if (!push_out(e)) return std::nullopt;
+      }
+      for (const DirEdge& e : extra_adj[static_cast<std::size_t>(node)]) {
+        if (!push_out(e)) return std::nullopt;
+      }
+    }
+    return dist;
+  }
+
+  /// Commits edges known (via test) to be feasible.
+  void commit(const std::vector<DirEdge>& edges, std::vector<int> relaxed_dist) {
+    for (const DirEdge& e : edges) adj_[static_cast<std::size_t>(e.from)].push_back(e);
+    dist_ = std::move(relaxed_dist);
+  }
+
+  const std::vector<int>& dist() const noexcept { return dist_; }
+
+ private:
+  static bool relax(std::vector<int>& dist, const DirEdge& e) {
+    const int candidate = dist[static_cast<std::size_t>(e.from)] + e.weight;
+    if (candidate > dist[static_cast<std::size_t>(e.to)]) {
+      dist[static_cast<std::size_t>(e.to)] = candidate;
+      return true;
+    }
+    return false;
+  }
+
+  int n_;
+  int max_value_;
+  std::vector<std::vector<DirEdge>> adj_;
+  std::vector<int> dist_;
+};
+
+/// DFS with unit propagation over per-group direction choices.
+class DirectionSearch {
+ public:
+  DirectionSearch(const std::vector<DirectionGroup>& groups, int cha_count, int max_col,
+                  std::int64_t max_nodes, std::vector<DirEdge> base_edges = {})
+      : groups_(groups),
+        cha_count_(cha_count),
+        max_col_(max_col),
+        max_nodes_(max_nodes),
+        base_edges_(std::move(base_edges)) {}
+
+  /// Returns the final per-CHA-class column values, or nullopt.
+  std::optional<std::vector<int>> run(std::int64_t& nodes_out) {
+    nodes_ = 0;
+    std::vector<int> assignment(groups_.size(), 0);
+    IncrementalDiff state(cha_count_, max_col_);
+    if (!base_edges_.empty()) {
+      auto relaxed = state.test(base_edges_);
+      if (!relaxed.has_value()) {
+        nodes_out = 0;
+        return std::nullopt;  // the injected cuts alone are infeasible
+      }
+      state.commit(base_edges_, std::move(*relaxed));
+    }
+    std::optional<std::vector<int>> result;
+    if (groups_.empty()) {
+      result = state.dist();
+    } else {
+      // Break the global mirror symmetry: group 0 eastbound.
+      if (auto relaxed = state.test(groups_[0].east); relaxed.has_value()) {
+        IncrementalDiff seeded = state;
+        seeded.commit(groups_[0].east, std::move(*relaxed));
+        assignment[0] = 1;
+        result = dfs(seeded, assignment);
+      }
+      if (!result.has_value() && nodes_ <= max_nodes_) {
+        // Fallback (kept for robustness; mirror symmetry should make the
+        // eastbound seeding sufficient).
+        std::fill(assignment.begin(), assignment.end(), 0);
+        if (auto relaxed = state.test(mirrored(groups_[0].east)); relaxed.has_value()) {
+          state.commit(mirrored(groups_[0].east), std::move(*relaxed));
+          assignment[0] = 2;
+          result = dfs(state, assignment);
+        }
+      }
+    }
+    nodes_out = nodes_;
+    return result;
+  }
+
+  bool budget_exceeded() const noexcept { return nodes_ > max_nodes_; }
+
+ private:
+  std::optional<std::vector<int>> dfs(IncrementalDiff state, std::vector<int> assignment) {
+    if (++nodes_ > max_nodes_) return std::nullopt;
+    // Unit propagation to fixpoint: commit every forced group.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t g = 0; g < groups_.size(); ++g) {
+        if (assignment[g] != 0) continue;
+        auto east = state.test(groups_[g].east);
+        auto west = state.test(mirrored(groups_[g].east));
+        if (!east.has_value() && !west.has_value()) return std::nullopt;
+        if (east.has_value() != west.has_value()) {
+          if (east.has_value()) {
+            state.commit(groups_[g].east, std::move(*east));
+            assignment[g] = 1;
+          } else {
+            state.commit(mirrored(groups_[g].east), std::move(*west));
+            assignment[g] = 2;
+          }
+          changed = true;
+        }
+      }
+    }
+    std::size_t undecided = groups_.size();
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+      if (assignment[g] == 0) {
+        undecided = g;
+        break;
+      }
+    }
+    if (undecided == groups_.size()) return state.dist();
+    for (int dir : {1, 2}) {
+      const std::vector<DirEdge> edges =
+          (dir == 1) ? groups_[undecided].east : mirrored(groups_[undecided].east);
+      auto relaxed = state.test(edges);
+      if (!relaxed.has_value()) continue;
+      IncrementalDiff child = state;
+      child.commit(edges, std::move(*relaxed));
+      std::vector<int> child_assign = assignment;
+      child_assign[undecided] = dir;
+      if (auto solved = dfs(std::move(child), std::move(child_assign));
+          solved.has_value()) {
+        return solved;
+      }
+      if (nodes_ > max_nodes_) return std::nullopt;
+    }
+    return std::nullopt;
+  }
+
+  const std::vector<DirectionGroup>& groups_;
+  int cha_count_;
+  int max_col_;
+  std::int64_t max_nodes_;
+  std::vector<DirEdge> base_edges_;
+  std::int64_t nodes_ = 0;
+};
+
+}  // namespace
+
+DecomposedMapSolver::DecomposedMapSolver(DecomposedSolverOptions options)
+    : options_(options) {
+  if (options_.grid_rows <= 0 || options_.grid_cols <= 0) {
+    throw std::invalid_argument("DecomposedMapSolver: non-positive grid dimensions");
+  }
+}
+
+MapSolveResult DecomposedMapSolver::solve(const ObservationSet& observations,
+                                          int cha_count) const {
+  MapSolveResult result;
+  if (const std::string err = validate_observations(observations, cha_count);
+      !err.empty()) {
+    result.message = "invalid observations: " + err;
+    return result;
+  }
+
+  // ---- Rows: pure difference constraints -----------------------------------
+  DifferenceSystem rows(cha_count);
+  for (const PathObservation& obs : observations) {
+    for (const ChannelActivation& act : obs.activations) {
+      switch (act.label) {
+        case mesh::ChannelLabel::kUp:
+          rows.add_edge(act.cha, obs.source_cha, 1);  // R_s >= R_k + 1
+          rows.add_edge(obs.sink_cha, act.cha, 0);    // R_k >= R_e
+          break;
+        case mesh::ChannelLabel::kDown:
+          rows.add_edge(obs.source_cha, act.cha, 1);  // R_k >= R_s + 1
+          rows.add_edge(act.cha, obs.sink_cha, 0);    // R_e >= R_k
+          break;
+        case mesh::ChannelLabel::kLeft:
+        case mesh::ChannelLabel::kRight:
+          rows.add_edge(act.cha, obs.sink_cha, 0);  // R_k = R_e
+          rows.add_edge(obs.sink_cha, act.cha, 0);
+          break;
+      }
+    }
+  }
+  for (const ExtraEdge& edge : options_.extra_row_edges) {
+    rows.add_edge(edge.from_cha, edge.to_cha, edge.weight);
+  }
+  if (!rows.solve(options_.grid_rows - 1)) {
+    result.message = "row constraints inconsistent (positive cycle or overflow)";
+    return result;
+  }
+
+  // ---- Columns: classes + direction search ---------------------------------
+  UnionFind classes(cha_count);
+  for (const PathObservation& obs : observations) {
+    for (const ChannelActivation& act : obs.activations) {
+      if (mesh::is_vertical(act.label)) classes.unite(act.cha, obs.source_cha);
+    }
+  }
+  auto cls = [&classes](int cha) { return classes.find(cha); };
+
+  // One direction group per distinct horizontal bundle (paths that induce
+  // identical constraints share one decision).
+  std::map<std::vector<DirEdge>, std::size_t> group_index;
+  std::vector<DirectionGroup> groups;
+  for (const PathObservation& obs : observations) {
+    if (!obs.has_horizontal()) continue;
+    std::vector<DirEdge> east;
+    // Endpoint: C_e >= C_s + 1 (eastbound).
+    east.push_back(DirEdge{cls(obs.source_cha), cls(obs.sink_cha), 1});
+    for (const ChannelActivation& act : obs.activations) {
+      if (!mesh::is_horizontal(act.label) || act.cha == obs.sink_cha) continue;
+      east.push_back(DirEdge{cls(obs.source_cha), cls(act.cha), 0});  // C_k >= C_s
+      east.push_back(DirEdge{cls(act.cha), cls(obs.sink_cha), 1});    // C_e >= C_k+1
+    }
+    std::sort(east.begin(), east.end());
+    east.erase(std::unique(east.begin(), east.end()), east.end());
+    const auto [it, inserted] = group_index.try_emplace(east, groups.size());
+    if (inserted) {
+      DirectionGroup group;
+      group.east = east;
+      groups.push_back(std::move(group));
+    }
+    ++groups[it->second].multiplicity;
+  }
+
+  std::vector<DirEdge> base_edges;
+  for (const ExtraEdge& edge : options_.extra_col_edges) {
+    base_edges.push_back(DirEdge{cls(edge.from_cha), cls(edge.to_cha), edge.weight});
+  }
+  DirectionSearch search(groups, cha_count, options_.grid_cols - 1, options_.max_nodes,
+                         std::move(base_edges));
+  const std::optional<std::vector<int>> columns = search.run(result.nodes);
+  if (!columns.has_value()) {
+    result.message = search.budget_exceeded() ? "direction search node budget exceeded"
+                                              : "column constraints inconsistent";
+    return result;
+  }
+
+  result.success = true;
+  result.message = "decomposed";
+  result.cha_position.resize(static_cast<std::size_t>(cha_count));
+  for (int cha = 0; cha < cha_count; ++cha) {
+    result.cha_position[static_cast<std::size_t>(cha)] =
+        mesh::Coord{rows.value(cha), (*columns)[static_cast<std::size_t>(cls(cha))]};
+  }
+  return result;
+}
+
+}  // namespace corelocate::core

@@ -1,0 +1,58 @@
+#pragma once
+// Step 3, scalable engine: the same mathematical program as the faithful
+// ILP, decomposed along the structure dimension-order routing imposes.
+//
+//   Rows.   Vertical channel labels reveal the true direction, so every
+//           vertical/horizontal observation reduces to a *difference
+//           constraint* on row indices (R_a - R_b >= w, w in {0,1}, plus
+//           equalities). The elementwise-minimal feasible assignment — the
+//           tightest packing — is the longest-path fixpoint of the
+//           constraint graph; a positive cycle means inconsistent input.
+//
+//   Columns. Vertical ingress pins intermediates to the source column
+//           (union-find into column classes). Horizontal observations are
+//           direction-ambiguous: each path contributes an eastbound OR a
+//           westbound bundle of difference constraints between column
+//           classes. A DPLL-style search assigns directions, with unit
+//           propagation (a bundle whose opposite direction is infeasible
+//           is forced) and structural dedup (paths with identical bundles
+//           share one decision). The first bundle is fixed eastbound to
+//           break the global mirror symmetry the observations cannot
+//           resolve.
+//
+// Equivalent to the ILP on every instance (cross-checked in tests), but
+// polynomial outside the direction search — fleet-scale fast.
+
+#include "core/ilp_map_solver.hpp"
+#include "core/observation.hpp"
+
+namespace corelocate::core {
+
+/// An additional difference constraint between two CHAs' row or column
+/// indices: index(to) >= index(from) + weight. Used by the
+/// negative-information refinement (core/refinement.hpp) to inject cuts.
+struct ExtraEdge {
+  int from_cha = -1;
+  int to_cha = -1;
+  int weight = 0;
+};
+
+struct DecomposedSolverOptions {
+  int grid_rows = 5;   ///< T_h
+  int grid_cols = 6;   ///< T_w
+  std::int64_t max_nodes = 1000000;  ///< direction-search node budget
+  std::vector<ExtraEdge> extra_row_edges;
+  std::vector<ExtraEdge> extra_col_edges;
+};
+
+class DecomposedMapSolver {
+ public:
+  explicit DecomposedMapSolver(DecomposedSolverOptions options = {});
+
+  MapSolveResult solve(const ObservationSet& observations, int cha_count) const;
+
+ private:
+  DecomposedSolverOptions options_;
+};
+
+}  // namespace corelocate::core

@@ -1,0 +1,84 @@
+#include "core/eviction_set.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace corelocate::core {
+
+EvictionSetBuilder::EvictionSetBuilder(sim::VirtualXeon& cpu, util::Rng& rng,
+                                       EvictionSetOptions options)
+    : cpu_(cpu), rng_(rng), options_(options), driver_(cpu.msr()) {
+  if (cpu_.os_core_count() < 2) {
+    throw std::invalid_argument("EvictionSetBuilder: needs >= 2 cores for home probes");
+  }
+}
+
+cache::LineAddr EvictionSetBuilder::draw_candidate() {
+  // Random line constrained to the configured L2 set (low 10 bits select
+  // the set on a 1024-set L2); upper bits span a 40-bit physical space.
+  const cache::LineAddr high = rng_() & ((1ULL << 34) - 1);
+  return (high << 10) | static_cast<cache::LineAddr>(options_.l2_set_index & 0x3FF);
+}
+
+int EvictionSetBuilder::home_of_line(cache::LineAddr line) {
+  const int cha_count = cpu_.cha_count();
+  // Counter 0 on every CHA: LLC_LOOKUP (reset on program).
+  for (int cha = 0; cha < cha_count; ++cha) {
+    driver_.program(cha, 0, msr::ChaEvent::kLlcLookup, msr::kUmaskLlcLookupAny);
+  }
+  // Two cores ping-pong ownership of the line; every transfer looks up the
+  // home directory.
+  for (int round = 0; round < options_.probe_rounds; ++round) {
+    cpu_.exec_write(0, line);
+    cpu_.exec_write(1, line);
+  }
+  int best_cha = -1;
+  std::uint64_t best_count = 0;
+  for (int cha = 0; cha < cha_count; ++cha) {
+    const std::uint64_t count = driver_.read(cha, 0);
+    if (count > best_count) {
+      best_count = count;
+      best_cha = cha;
+    }
+  }
+  if (best_cha < 0) throw std::runtime_error("home_of_line: no LLC lookups observed");
+  return best_cha;
+}
+
+std::vector<std::vector<cache::LineAddr>> EvictionSetBuilder::build_all() {
+  const int cha_count = cpu_.cha_count();
+  std::vector<std::vector<cache::LineAddr>> sets(static_cast<std::size_t>(cha_count));
+  int filled = 0;
+  for (int drawn = 0; drawn < options_.max_candidates && filled < cha_count; ++drawn) {
+    const cache::LineAddr line = draw_candidate();
+    const int home = home_of_line(line);
+    auto& bucket = sets[static_cast<std::size_t>(home)];
+    if (static_cast<int>(bucket.size()) >= options_.lines_per_set) continue;
+    bucket.push_back(line);
+    if (static_cast<int>(bucket.size()) == options_.lines_per_set) ++filled;
+  }
+  if (filled < cha_count) {
+    throw std::runtime_error("build_all: candidate budget exhausted before all slices filled");
+  }
+  return sets;
+}
+
+std::vector<cache::LineAddr> EvictionSetBuilder::build_for(int target_cha) {
+  if (target_cha < 0 || target_cha >= cpu_.cha_count()) {
+    throw std::out_of_range("build_for: bad CHA id");
+  }
+  std::vector<cache::LineAddr> set;
+  for (int drawn = 0; drawn < options_.max_candidates &&
+                      static_cast<int>(set.size()) < options_.lines_per_set;
+       ++drawn) {
+    const cache::LineAddr line = draw_candidate();
+    if (home_of_line(line) == target_cha) set.push_back(line);
+  }
+  if (static_cast<int>(set.size()) < options_.lines_per_set) {
+    throw std::runtime_error("build_for: candidate budget exhausted");
+  }
+  return set;
+}
+
+}  // namespace corelocate::core

@@ -1,0 +1,63 @@
+#pragma once
+// Slice eviction set construction (paper Sec. II-A).
+//
+// A *slice eviction set* is a group of cache lines that (a) map to the
+// same L2 set and (b) are homed at the same LLC slice. Cycling through
+// more such lines than the L2 associativity forces a steady stream of
+// evictions/refills between one core and one targeted LLC slice — the
+// traffic generator for the OS-core-ID <-> CHA-ID mapping step.
+//
+// The home slice of a candidate line is found exactly the way the paper
+// does it: two threads pinned to two different cores hammer simultaneous
+// writes on the line; the resulting coherence ping-pong performs a
+// directory lookup at the line's home on every transfer, so the CHA with
+// the dominant LLC_LOOKUP count is the home.
+
+#include <vector>
+
+#include "cache/slice_hash.hpp"
+#include "msr/pmon.hpp"
+#include "sim/virtual_xeon.hpp"
+#include "util/rng.hpp"
+
+namespace corelocate::core {
+
+struct EvictionSetOptions {
+  /// Lines per slice eviction set; must exceed the L2 associativity for
+  /// the set to actually evict (default: 16-way L2 + 2 headroom).
+  int lines_per_set = 18;
+  /// Simultaneous-write rounds per home probe.
+  int probe_rounds = 48;
+  /// L2 set index all candidate lines share.
+  int l2_set_index = 0x2A;
+  /// Candidate-draw budget before giving up (guards against a broken
+  /// slice hash never filling some bucket).
+  int max_candidates = 200000;
+};
+
+class EvictionSetBuilder {
+ public:
+  EvictionSetBuilder(sim::VirtualXeon& cpu, util::Rng& rng,
+                     EvictionSetOptions options = {});
+
+  /// Probes one line's home CHA via the simultaneous-write trick.
+  int home_of_line(cache::LineAddr line);
+
+  /// Builds an eviction set (>= options.lines_per_set lines) for every
+  /// CHA; result is indexed by CHA id.
+  std::vector<std::vector<cache::LineAddr>> build_all();
+
+  /// Builds an eviction set for a single CHA.
+  std::vector<cache::LineAddr> build_for(int target_cha);
+
+  /// Draws a fresh candidate line in the configured L2 set.
+  cache::LineAddr draw_candidate();
+
+ private:
+  sim::VirtualXeon& cpu_;
+  util::Rng& rng_;
+  EvictionSetOptions options_;
+  msr::PmonDriver driver_;
+};
+
+}  // namespace corelocate::core

@@ -1,0 +1,70 @@
+#pragma once
+// Step 3, faithful formulation: reconstruct the core map with the ILP of
+// paper Sec. II-C, solved by our own branch & bound (src/ilp).
+//
+// Variables
+//   R_i, C_i            integer tile indices per CHA
+//   NE_p, NW_p          per horizontal path: direction-selector binaries
+//                       (big-M nullification, NE_p + NW_p = 1)
+//   OHR_{i,r}, OHC_{i,c} one-hot row/column encodings        (paper obj.)
+//   RI_r, CI_c          row/column occupancy indicators       (paper obj.)
+// Constraints
+//   vertical ingress at k:  C_k = C_s and R_s > R_k >= R_e (up; mirrored
+//                           for down)
+//   horizontal ingress at k: R_k = R_e and the eastbound/westbound
+//                           bounding boxes (2)/(3) gated by NE_p/NW_p
+//   endpoints of a horizontal path: C_s != C_e via the same gating (the
+//                           sink's own ingress proves a horizontal hop)
+// Objective
+//   minimize sum_r (r+1)*RI_r + sum_c (c+1)*CI_c — the tightest packing —
+//   or, as an ablation, the compact sum(R_i + C_i) without indicators.
+
+#include <string>
+
+#include "core/observation.hpp"
+#include "ilp/branch_and_bound.hpp"
+#include "mesh/grid.hpp"
+
+namespace corelocate::core {
+
+enum class IlpObjective {
+  kPaperIndicators,  ///< the paper's weighted occupancy indicators
+  kCompactSum,       ///< ablation: minimize sum(R_i + C_i), no indicators
+};
+
+struct MapSolveResult {
+  bool success = false;
+  std::string message;
+  std::vector<mesh::Coord> cha_position;  ///< by CHA id, when success
+  std::int64_t nodes = 0;
+  std::int64_t lp_iterations = 0;
+};
+
+struct IlpMapSolverOptions {
+  int grid_rows = 5;  ///< T_h
+  int grid_cols = 6;  ///< T_w
+  IlpObjective objective = IlpObjective::kPaperIndicators;
+  /// Replace the literal big-M indicator link (sum OHR <= b*RI) with the
+  /// per-variable form (OHR_{i,r} <= RI_r): same integral solutions,
+  /// a far tighter LP relaxation.
+  bool disaggregated_indicators = true;
+  /// Cap on observations fed to the ILP (0 = all). Smaller keeps the
+  /// tableau tractable on full-size instances.
+  int max_observations = 0;
+  ilp::MilpOptions milp;
+};
+
+class IlpMapSolver {
+ public:
+  explicit IlpMapSolver(IlpMapSolverOptions options = {});
+
+  MapSolveResult solve(const ObservationSet& observations, int cha_count) const;
+
+  /// Builds the MILP without solving (exposed for tests / size reporting).
+  ilp::Model build_model(const ObservationSet& observations, int cha_count) const;
+
+ private:
+  IlpMapSolverOptions options_;
+};
+
+}  // namespace corelocate::core

@@ -1,0 +1,180 @@
+#include "core/map_store.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace corelocate::core {
+
+namespace {
+
+constexpr const char* kMapBegin = "coremap v1";
+constexpr const char* kMapEnd = "end";
+
+std::vector<std::string> split(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream iss(line);
+  std::string token;
+  while (iss >> token) tokens.push_back(token);
+  return tokens;
+}
+
+std::uint64_t parse_u64(const std::string& token) {
+  std::size_t used = 0;
+  const std::uint64_t value = std::stoull(token, &used, 16);
+  if (used != token.size()) throw std::invalid_argument("bad hex number: " + token);
+  return value;
+}
+
+int parse_int(const std::string& token) {
+  std::size_t used = 0;
+  const int value = std::stoi(token, &used);
+  if (used != token.size()) throw std::invalid_argument("bad integer: " + token);
+  return value;
+}
+
+}  // namespace
+
+std::string serialize_map(const CoreMap& map) {
+  std::ostringstream out;
+  out << kMapBegin << '\n';
+  out << "ppin " << std::hex << map.ppin << std::dec << '\n';
+  out << "grid " << map.rows << ' ' << map.cols << '\n';
+  out << "cha";
+  for (const mesh::Coord& pos : map.cha_position) out << ' ' << pos.row << ' ' << pos.col;
+  out << '\n';
+  out << "os";
+  for (int cha : map.os_core_to_cha) out << ' ' << cha;
+  out << '\n';
+  out << "llconly";
+  for (int cha : map.llc_only_chas) out << ' ' << cha;
+  out << '\n';
+  out << kMapEnd << '\n';
+  return out.str();
+}
+
+CoreMap deserialize_map(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  CoreMap map;
+  bool began = false;
+  bool ended = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (!began) {
+      if (line != kMapBegin) {
+        throw std::invalid_argument("deserialize_map: missing header, got '" + line + "'");
+      }
+      began = true;
+      continue;
+    }
+    if (line == kMapEnd) {
+      ended = true;
+      break;
+    }
+    const std::vector<std::string> tokens = split(line);
+    if (tokens.empty()) continue;
+    const std::string& key = tokens[0];
+    if (key == "ppin") {
+      if (tokens.size() != 2) throw std::invalid_argument("deserialize_map: bad ppin line");
+      map.ppin = parse_u64(tokens[1]);
+    } else if (key == "grid") {
+      if (tokens.size() != 3) throw std::invalid_argument("deserialize_map: bad grid line");
+      map.rows = parse_int(tokens[1]);
+      map.cols = parse_int(tokens[2]);
+    } else if (key == "cha") {
+      if (tokens.size() % 2 != 1) {
+        throw std::invalid_argument("deserialize_map: odd cha coordinate count");
+      }
+      for (std::size_t i = 1; i + 1 < tokens.size(); i += 2) {
+        map.cha_position.push_back(
+            mesh::Coord{parse_int(tokens[i]), parse_int(tokens[i + 1])});
+      }
+    } else if (key == "os") {
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        map.os_core_to_cha.push_back(parse_int(tokens[i]));
+      }
+    } else if (key == "llconly") {
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        map.llc_only_chas.push_back(parse_int(tokens[i]));
+      }
+    } else {
+      throw std::invalid_argument("deserialize_map: unknown key '" + key + "'");
+    }
+  }
+  if (!began || !ended) throw std::invalid_argument("deserialize_map: truncated record");
+  if (map.rows <= 0 || map.cols <= 0) {
+    throw std::invalid_argument("deserialize_map: missing grid dimensions");
+  }
+  for (const mesh::Coord& pos : map.cha_position) {
+    if (pos.row < 0 || pos.row >= map.rows || pos.col < 0 || pos.col >= map.cols) {
+      throw std::invalid_argument("deserialize_map: CHA position out of grid");
+    }
+  }
+  for (int cha : map.os_core_to_cha) {
+    if (cha < 0 || cha >= map.cha_count()) {
+      throw std::invalid_argument("deserialize_map: OS mapping references unknown CHA");
+    }
+  }
+  return map;
+}
+
+void MapStore::put(const CoreMap& map) { maps_[map.ppin] = map; }
+
+std::optional<CoreMap> MapStore::get(std::uint64_t ppin) const {
+  const auto it = maps_.find(ppin);
+  if (it == maps_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool MapStore::contains(std::uint64_t ppin) const { return maps_.count(ppin) != 0; }
+
+std::vector<std::uint64_t> MapStore::ppins() const {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(maps_.size());
+  for (const auto& [ppin, map] : maps_) keys.push_back(ppin);
+  return keys;
+}
+
+void MapStore::save(std::ostream& out) const {
+  for (const auto& [ppin, map] : maps_) out << serialize_map(map);
+}
+
+MapStore MapStore::load(std::istream& in) {
+  MapStore store;
+  std::string line;
+  std::string record;
+  bool in_record = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line == kMapBegin) {
+      if (in_record) throw std::invalid_argument("MapStore::load: nested record");
+      in_record = true;
+      record = line + "\n";
+      continue;
+    }
+    if (!in_record) throw std::invalid_argument("MapStore::load: stray line: " + line);
+    record += line + "\n";
+    if (line == kMapEnd) {
+      store.put(deserialize_map(record));
+      in_record = false;
+    }
+  }
+  if (in_record) throw std::invalid_argument("MapStore::load: truncated final record");
+  return store;
+}
+
+void MapStore::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("MapStore: cannot open for writing: " + path);
+  save(out);
+  if (!out.good()) throw std::runtime_error("MapStore: write failed: " + path);
+}
+
+MapStore MapStore::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("MapStore: cannot open for reading: " + path);
+  return load(in);
+}
+
+}  // namespace corelocate::core

@@ -1,0 +1,163 @@
+#include "core/observation.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace corelocate::core {
+
+bool PathObservation::has_vertical() const noexcept {
+  for (const ChannelActivation& act : activations) {
+    if (mesh::is_vertical(act.label)) return true;
+  }
+  return false;
+}
+
+bool PathObservation::has_horizontal() const noexcept {
+  for (const ChannelActivation& act : activations) {
+    if (mesh::is_horizontal(act.label)) return true;
+  }
+  return false;
+}
+
+mesh::ChannelLabel PathObservation::vertical_label() const {
+  for (const ChannelActivation& act : activations) {
+    if (mesh::is_vertical(act.label)) return act.label;
+  }
+  throw std::logic_error("PathObservation: no vertical activation");
+}
+
+std::vector<int> PathObservation::vertical_chas() const {
+  std::vector<int> chas;
+  for (const ChannelActivation& act : activations) {
+    if (mesh::is_vertical(act.label)) chas.push_back(act.cha);
+  }
+  return chas;
+}
+
+std::vector<int> PathObservation::horizontal_chas() const {
+  std::vector<int> chas;
+  for (const ChannelActivation& act : activations) {
+    if (mesh::is_horizontal(act.label)) chas.push_back(act.cha);
+  }
+  return chas;
+}
+
+std::string PathObservation::to_string() const {
+  std::ostringstream oss;
+  oss << "path " << source_cha << "->" << sink_cha << ":";
+  for (const ChannelActivation& act : activations) {
+    oss << " cha" << act.cha << "/" << mesh::to_string(act.label) << "(" << act.cycles
+        << ")";
+  }
+  return oss.str();
+}
+
+std::string validate_observations(const ObservationSet& observations, int cha_count) {
+  for (const PathObservation& obs : observations) {
+    if (obs.source_cha < 0 || obs.source_cha >= cha_count || obs.sink_cha < 0 ||
+        obs.sink_cha >= cha_count) {
+      return "observation with endpoint outside CHA range: " + obs.to_string();
+    }
+    if (obs.source_cha == obs.sink_cha) {
+      return "observation with identical endpoints: " + obs.to_string();
+    }
+    bool saw_up = false;
+    bool saw_down = false;
+    for (const ChannelActivation& act : obs.activations) {
+      if (act.cha < 0 || act.cha >= cha_count) {
+        return "activation at unknown CHA: " + obs.to_string();
+      }
+      if (act.cha == obs.source_cha) {
+        return "source tile reported ingress on its own probe: " + obs.to_string();
+      }
+      saw_up = saw_up || act.label == mesh::ChannelLabel::kUp;
+      saw_down = saw_down || act.label == mesh::ChannelLabel::kDown;
+    }
+    if (saw_up && saw_down) {
+      // One dimension-order path travels vertically in a single direction.
+      return "observation mixes UP and DN ingress: " + obs.to_string();
+    }
+  }
+  return {};
+}
+
+namespace {
+
+ConsistencyReport check_one_orientation(const std::vector<mesh::Coord>& positions,
+                                        const ObservationSet& observations,
+                                        const mesh::TileGrid& grid) {
+  ConsistencyReport report;
+  for (const PathObservation& obs : observations) {
+    const mesh::Route route =
+        mesh::route_yx(grid, positions[static_cast<std::size_t>(obs.source_cha)],
+                       positions[static_cast<std::size_t>(obs.sink_cha)]);
+    // Implied (cha, label) set for this path.
+    std::vector<std::pair<int, mesh::ChannelLabel>> implied;
+    for (const mesh::IngressEvent& event : mesh::ingress_events(route)) {
+      for (std::size_t cha = 0; cha < positions.size(); ++cha) {
+        if (positions[cha] == event.tile) {
+          implied.emplace_back(static_cast<int>(cha), event.label);
+        }
+      }
+    }
+    for (const ChannelActivation& act : obs.activations) {
+      const bool found =
+          std::find(implied.begin(), implied.end(),
+                    std::make_pair(act.cha, act.label)) != implied.end();
+      if (!found) ++report.positive_violations;
+    }
+    for (const auto& [cha, label] : implied) {
+      bool observed = false;
+      for (const ChannelActivation& act : obs.activations) {
+        observed = observed || (act.cha == cha && act.label == label);
+      }
+      if (!observed) ++report.negative_violations;
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+ConsistencyReport check_consistency(const std::vector<mesh::Coord>& positions,
+                                    const ObservationSet& observations, int grid_rows,
+                                    int grid_cols) {
+  const mesh::TileGrid grid(grid_rows, grid_cols);
+  const ConsistencyReport straight = check_one_orientation(positions, observations, grid);
+  std::vector<mesh::Coord> mirrored = positions;
+  for (mesh::Coord& pos : mirrored) pos.col = grid_cols - 1 - pos.col;
+  const ConsistencyReport flipped = check_one_orientation(mirrored, observations, grid);
+  const auto score = [](const ConsistencyReport& r) {
+    return r.positive_violations * 1000 + r.negative_violations;
+  };
+  return score(straight) <= score(flipped) ? straight : flipped;
+}
+
+ObservationSet synthesize_observations(const sim::InstanceConfig& config,
+                                       std::uint64_t cycles_per_activation) {
+  ObservationSet observations;
+  const int cores = config.os_core_count();
+  observations.reserve(static_cast<std::size_t>(cores) * (cores - 1));
+  for (int src = 0; src < cores; ++src) {
+    for (int dst = 0; dst < cores; ++dst) {
+      if (src == dst) continue;
+      PathObservation obs;
+      obs.source_cha = config.os_core_to_cha[static_cast<std::size_t>(src)];
+      obs.sink_cha = config.os_core_to_cha[static_cast<std::size_t>(dst)];
+      const mesh::Route route = mesh::route_yx(
+          config.grid, config.tile_of_os_core(src), config.tile_of_os_core(dst));
+      for (const mesh::IngressEvent& event : mesh::ingress_events(route)) {
+        if (!mesh::has_cha(config.grid.kind_at(event.tile))) continue;  // invisible
+        const auto cha = config.cha_at(event.tile);
+        if (!cha.has_value()) continue;
+        obs.activations.push_back(
+            ChannelActivation{*cha, event.label, cycles_per_activation});
+      }
+      observations.push_back(std::move(obs));
+    }
+  }
+  return observations;
+}
+
+}  // namespace corelocate::core

@@ -1,0 +1,90 @@
+#pragma once
+// Traffic-pattern observations (paper Sec. II-B).
+//
+// One PathObservation is the result of one source->sink probe: the set of
+// CHAs whose ring-ingress counters rose above threshold, with the channel
+// label each one reported. Observations are *partial*: only tiles with a
+// live CHA report, labels are ingress-only, and horizontal labels do not
+// reveal the travel direction.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mesh/routing.hpp"
+#include "sim/instance_factory.hpp"
+
+namespace corelocate::core {
+
+/// One above-threshold ingress reading at a CHA.
+struct ChannelActivation {
+  int cha = -1;
+  mesh::ChannelLabel label{mesh::ChannelLabel::kUp};
+  std::uint64_t cycles = 0;
+
+  friend bool operator==(const ChannelActivation&, const ChannelActivation&) = default;
+};
+
+/// Everything one probe between two cores reveals.
+struct PathObservation {
+  int source_cha = -1;
+  int sink_cha = -1;
+  std::vector<ChannelActivation> activations;
+
+  bool has_vertical() const noexcept;
+  bool has_horizontal() const noexcept;
+
+  /// The vertical label of the path (all vertical activations of one
+  /// dimension-order path share it). Requires has_vertical().
+  mesh::ChannelLabel vertical_label() const;
+
+  /// CHAs with vertical / horizontal ingress (sink included when it
+  /// reported one).
+  std::vector<int> vertical_chas() const;
+  std::vector<int> horizontal_chas() const;
+
+  std::string to_string() const;
+};
+
+using ObservationSet = std::vector<PathObservation>;
+
+/// Sanity-checks an observation set against basic physical invariants
+/// (labels consistent per path, endpoints sane). Returns a diagnostic
+/// string, empty when OK.
+std::string validate_observations(const ObservationSet& observations, int cha_count);
+
+/// How well a candidate placement explains an observation set, judged by
+/// re-routing every observed pair on the placed grid.
+struct ConsistencyReport {
+  /// Observed activations the placement fails to reproduce (missing tile
+  /// crossing or wrong label). A correct solver output has none.
+  int positive_violations = 0;
+  /// Activations the placement *implies* at placed CHAs that were never
+  /// observed. Non-zero means the placement is refutable: partial
+  /// observability let the solver compress the map (paper Sec. II-D's
+  /// failure mode). The bounding-box formulation does not use this
+  /// negative information.
+  int negative_violations = 0;
+
+  bool fully_consistent() const noexcept {
+    return positive_violations == 0 && negative_violations == 0;
+  }
+};
+
+/// Evaluates `positions` (per CHA) against `observations` on a
+/// grid_rows x grid_cols mesh. Tries the placement and its horizontal
+/// mirror (the observations cannot distinguish them) and returns the
+/// better report.
+ConsistencyReport check_consistency(const std::vector<mesh::Coord>& positions,
+                                    const ObservationSet& observations, int grid_rows,
+                                    int grid_cols);
+
+/// Generates the *ideal* observation set for a ground-truth instance:
+/// routes every ordered core pair and records the ingress every live-CHA
+/// tile would report (fused-off and IMC tiles stay invisible). The real
+/// pipeline measures the same thing through the uncore PMON; this is the
+/// oracle used by solver tests and development.
+ObservationSet synthesize_observations(const sim::InstanceConfig& config,
+                                       std::uint64_t cycles_per_activation = 128);
+
+}  // namespace corelocate::core

@@ -1,0 +1,59 @@
+#include "core/pattern_stats.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace corelocate::core {
+
+std::vector<PatternStats::Entry> PatternStats::top(int k) const {
+  std::vector<Entry> result;
+  for (const Entry& entry : entries) {
+    if (static_cast<int>(result.size()) >= k) break;
+    result.push_back(entry);
+  }
+  return result;
+}
+
+PatternStats collect_pattern_stats(const std::vector<CoreMap>& maps) {
+  PatternStats stats;
+  stats.total_instances = static_cast<int>(maps.size());
+  std::map<std::string, std::size_t> index;
+  for (const CoreMap& map : maps) {
+    std::string key = map.pattern_key();
+    const auto [it, inserted] = index.try_emplace(std::move(key), stats.entries.size());
+    if (inserted) {
+      PatternStats::Entry entry;
+      entry.key = it->first;
+      entry.representative = map;
+      stats.entries.push_back(std::move(entry));
+    }
+    ++stats.entries[it->second].count;
+  }
+  std::stable_sort(stats.entries.begin(), stats.entries.end(),
+                   [](const PatternStats::Entry& a, const PatternStats::Entry& b) {
+                     return a.count > b.count;
+                   });
+  return stats;
+}
+
+IdMappingStats collect_id_mapping_stats(const std::vector<std::vector<int>>& mappings) {
+  IdMappingStats stats;
+  stats.total_instances = static_cast<int>(mappings.size());
+  std::map<std::vector<int>, std::size_t> index;
+  for (const std::vector<int>& mapping : mappings) {
+    const auto [it, inserted] = index.try_emplace(mapping, stats.entries.size());
+    if (inserted) {
+      IdMappingStats::Entry entry;
+      entry.os_core_to_cha = mapping;
+      stats.entries.push_back(std::move(entry));
+    }
+    ++stats.entries[it->second].count;
+  }
+  std::stable_sort(stats.entries.begin(), stats.entries.end(),
+                   [](const IdMappingStats::Entry& a, const IdMappingStats::Entry& b) {
+                     return a.count > b.count;
+                   });
+  return stats;
+}
+
+}  // namespace corelocate::core

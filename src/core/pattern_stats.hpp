@@ -1,0 +1,44 @@
+#pragma once
+// Fleet-level statistics over recovered core maps (paper Sec. III,
+// Table I / Table II).
+
+#include <string>
+#include <vector>
+
+#include "core/core_map.hpp"
+
+namespace corelocate::core {
+
+/// Frequency table of canonical core-location patterns (Table II).
+struct PatternStats {
+  struct Entry {
+    std::string key;
+    int count = 0;
+    CoreMap representative;  ///< first map seen with this pattern
+  };
+  std::vector<Entry> entries;  ///< sorted by count, descending
+  int total_instances = 0;
+
+  int unique_patterns() const noexcept { return static_cast<int>(entries.size()); }
+
+  /// The top-k most frequent patterns (fewer if not enough exist).
+  std::vector<Entry> top(int k) const;
+};
+
+PatternStats collect_pattern_stats(const std::vector<CoreMap>& maps);
+
+/// Frequency table of OS-core-id -> CHA-id mappings (Table I).
+struct IdMappingStats {
+  struct Entry {
+    std::vector<int> os_core_to_cha;
+    int count = 0;
+  };
+  std::vector<Entry> entries;  ///< sorted by count, descending
+  int total_instances = 0;
+
+  int unique_mappings() const noexcept { return static_cast<int>(entries.size()); }
+};
+
+IdMappingStats collect_id_mapping_stats(const std::vector<std::vector<int>>& mappings);
+
+}  // namespace corelocate::core

@@ -1,0 +1,76 @@
+#include "core/pipeline.hpp"
+
+#include <chrono>
+
+namespace corelocate::core {
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+}  // namespace
+
+LocateOptions options_for(const sim::ModelSpec& spec) {
+  LocateOptions options;
+  options.grid_rows = spec.die.rows;
+  options.grid_cols = spec.die.cols;
+  return options;
+}
+
+LocateResult locate_cores(sim::VirtualXeon& cpu, util::Rng& rng,
+                          const LocateOptions& options) {
+  LocateResult result;
+
+  auto t0 = std::chrono::steady_clock::now();
+  ChaMapper mapper(cpu, rng, options.mapper);
+  result.cha_mapping = mapper.map();
+  result.step1_seconds = seconds_since(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  TrafficProber prober(cpu, options.probe);
+  result.observations = prober.probe_all(result.cha_mapping);
+  result.step2_seconds = seconds_since(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  MapSolveResult solved;
+  if (options.engine == SolverEngine::kIlp) {
+    IlpMapSolverOptions ilp_options = options.ilp;
+    ilp_options.grid_rows = options.grid_rows;
+    ilp_options.grid_cols = options.grid_cols;
+    solved = IlpMapSolver(ilp_options).solve(result.observations, cpu.cha_count());
+  } else if (options.engine == SolverEngine::kRefined) {
+    RefinementOptions refine_options = options.refinement;
+    refine_options.grid_rows = options.grid_rows;
+    refine_options.grid_cols = options.grid_cols;
+    const RefinementResult refined =
+        solve_with_refinement(result.observations, cpu.cha_count(), refine_options);
+    solved = refined.solved;
+    if (solved.success) {
+      solved.message += " (+" + std::to_string(refined.cuts_added) +
+                        " negative-information cuts)";
+    }
+  } else {
+    DecomposedSolverOptions dec_options = options.decomposed;
+    dec_options.grid_rows = options.grid_rows;
+    dec_options.grid_cols = options.grid_cols;
+    solved = DecomposedMapSolver(dec_options).solve(result.observations, cpu.cha_count());
+  }
+  result.step3_seconds = seconds_since(t0);
+
+  if (!solved.success) {
+    result.message = "solver failed: " + solved.message;
+    return result;
+  }
+
+  result.map.rows = options.grid_rows;
+  result.map.cols = options.grid_cols;
+  result.map.cha_position = std::move(solved.cha_position);
+  result.map.os_core_to_cha = result.cha_mapping.os_core_to_cha;
+  result.map.llc_only_chas = result.cha_mapping.llc_only_chas;
+  result.map.ppin = msr::PmonDriver(cpu.msr()).read_ppin();
+  result.success = true;
+  result.message = solved.message;
+  return result;
+}
+
+}  // namespace corelocate::core

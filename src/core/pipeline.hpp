@@ -1,0 +1,55 @@
+#pragma once
+// End-to-end core locating pipeline (paper Sec. II):
+//   1. OS core ID <-> CHA ID mapping        (ChaMapper)
+//   2. inter-core traffic generation/probing (TrafficProber)
+//   3. core-map reconstruction               (ILP or decomposed solver)
+// plus the PPIN read that identifies the CPU instance.
+
+#include "core/cha_mapper.hpp"
+#include "core/core_map.hpp"
+#include "core/decomposed_map_solver.hpp"
+#include "core/ilp_map_solver.hpp"
+#include "core/refinement.hpp"
+#include "core/traffic_probe.hpp"
+
+namespace corelocate::core {
+
+enum class SolverEngine {
+  kDecomposed,  ///< the paper's method, decomposed (fleet-scale default)
+  kIlp,         ///< the paper's method, faithful MILP
+  kRefined,     ///< extension: decomposed + negative-information cuts
+};
+
+struct LocateOptions {
+  SolverEngine engine = SolverEngine::kDecomposed;
+  /// Assumed tile-grid dimensions (T_h x T_w). The attacker knows the die
+  /// family; generous defaults still work, they just loosen the bounds.
+  int grid_rows = 8;
+  int grid_cols = 8;
+  ChaMapperOptions mapper;
+  TrafficProbeOptions probe;
+  IlpMapSolverOptions ilp;              ///< grid dims overridden from above
+  DecomposedSolverOptions decomposed;   ///< grid dims overridden from above
+  RefinementOptions refinement;         ///< grid dims overridden from above
+};
+
+/// Fills grid dimensions from a model spec (what a real attacker reads
+/// off the CPU family datasheet).
+LocateOptions options_for(const sim::ModelSpec& spec);
+
+struct LocateResult {
+  bool success = false;
+  std::string message;
+  CoreMap map;
+  ChaMappingResult cha_mapping;
+  ObservationSet observations;
+  double step1_seconds = 0.0;
+  double step2_seconds = 0.0;
+  double step3_seconds = 0.0;
+};
+
+/// Runs the full pipeline against a (virtual) machine.
+LocateResult locate_cores(sim::VirtualXeon& cpu, util::Rng& rng,
+                          const LocateOptions& options = {});
+
+}  // namespace corelocate::core

@@ -1,0 +1,51 @@
+#pragma once
+// Negative-information refinement — an extension beyond the paper.
+//
+// The paper's formulation (Sec. II-C) uses only *positive* observations:
+// which counters fired. On sparse dies (many fused-off tiles, e.g. Ice
+// Lake) that leaves the map underdetermined and the tightest packing
+// compresses it — the failure mode the paper acknowledges in Sec. II-D.
+//
+// The unused signal is *negative*: a live CHA whose counters stayed quiet
+// during a probe was NOT on that probe's route. A candidate map that
+// places a quiet CHA on a route is refutable. This module repairs such
+// maps iteratively:
+//
+//   solve -> re-route every probe on the candidate map -> find a quiet
+//   CHA the map puts on a route -> the exclusion is a disjunction (the
+//   CHA lies above/below the vertical leg, or left/right of it) -> try
+//   each disjunct as a difference-constraint cut, keep the one whose
+//   re-solve explains the observations best -> repeat.
+//
+// Each cut is expressed in the decomposed solver's native difference
+// systems (DecomposedSolverOptions::extra_{row,col}_edges), so every
+// iteration stays near-instant.
+
+#include "core/decomposed_map_solver.hpp"
+#include "core/observation.hpp"
+
+namespace corelocate::core {
+
+struct RefinementOptions {
+  int grid_rows = 5;
+  int grid_cols = 6;
+  /// Max refinement iterations (each resolves >= 1 violated probe).
+  int max_iterations = 128;
+};
+
+struct RefinementResult {
+  MapSolveResult solved;       ///< final (possibly partially refined) map
+  int iterations = 0;          ///< refinement rounds performed
+  int cuts_added = 0;          ///< committed exclusion constraints
+  int initial_violations = 0;  ///< negative violations before refinement
+  int final_violations = 0;    ///< negative violations after refinement
+};
+
+/// Solves with the decomposed engine, then applies negative-information
+/// refinement until the map explains the observations exactly or options
+/// are exhausted.
+RefinementResult solve_with_refinement(const ObservationSet& observations,
+                                       int cha_count,
+                                       const RefinementOptions& options = {});
+
+}  // namespace corelocate::core

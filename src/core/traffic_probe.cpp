@@ -1,0 +1,80 @@
+#include "core/traffic_probe.hpp"
+
+#include <stdexcept>
+
+namespace corelocate::core {
+
+TrafficProber::TrafficProber(sim::VirtualXeon& cpu, TrafficProbeOptions options)
+    : cpu_(cpu), options_(options), driver_(cpu.msr()) {
+  if (options_.rounds <= 0) throw std::invalid_argument("TrafficProber: rounds must be > 0");
+}
+
+PathObservation TrafficProber::probe_pair(int source_core, int sink_core,
+                                          cache::LineAddr line, int source_cha,
+                                          int sink_cha) {
+  const int cha_count = cpu_.cha_count();
+
+  // Drain transients (initial RFO fetch, stale ownership from a previous
+  // pair probe) before arming the counters.
+  for (int round = 0; round < options_.warmup_rounds; ++round) {
+    cpu_.exec_write(source_core, line);
+    cpu_.exec_read(sink_core, line);
+  }
+
+  struct ChannelSpec {
+    msr::ChaEvent event;
+    std::uint8_t umask;
+    mesh::ChannelLabel label;
+  };
+  static constexpr ChannelSpec kChannels[4] = {
+      {msr::ChaEvent::kVertRingBlInUse, msr::kUmaskVertUp, mesh::ChannelLabel::kUp},
+      {msr::ChaEvent::kVertRingBlInUse, msr::kUmaskVertDown, mesh::ChannelLabel::kDown},
+      {msr::ChaEvent::kHorzRingBlInUse, msr::kUmaskHorzLeft, mesh::ChannelLabel::kLeft},
+      {msr::ChaEvent::kHorzRingBlInUse, msr::kUmaskHorzRight, mesh::ChannelLabel::kRight},
+  };
+  for (int cha = 0; cha < cha_count; ++cha) {
+    for (int idx = 0; idx < 4; ++idx) {
+      driver_.program(cha, idx, kChannels[idx].event, kChannels[idx].umask);
+    }
+  }
+
+  for (int round = 0; round < options_.rounds; ++round) {
+    cpu_.exec_write(source_core, line);
+    cpu_.exec_read(sink_core, line);
+  }
+
+  const std::uint64_t threshold =
+      options_.threshold > 0 ? options_.threshold
+                             : static_cast<std::uint64_t>(options_.rounds) * 2;
+  PathObservation obs;
+  obs.source_cha = source_cha;
+  obs.sink_cha = sink_cha;
+  for (int cha = 0; cha < cha_count; ++cha) {
+    for (int idx = 0; idx < 4; ++idx) {
+      const std::uint64_t cycles = driver_.read(cha, idx);
+      if (cycles >= threshold) {
+        obs.activations.push_back(ChannelActivation{cha, kChannels[idx].label, cycles});
+      }
+    }
+  }
+  return obs;
+}
+
+ObservationSet TrafficProber::probe_all(const ChaMappingResult& mapping) {
+  const int cores = static_cast<int>(mapping.os_core_to_cha.size());
+  ObservationSet observations;
+  observations.reserve(static_cast<std::size_t>(cores) * (cores - 1));
+  for (int src = 0; src < cores; ++src) {
+    for (int dst = 0; dst < cores; ++dst) {
+      if (src == dst) continue;
+      const int src_cha = mapping.os_core_to_cha[static_cast<std::size_t>(src)];
+      const int dst_cha = mapping.os_core_to_cha[static_cast<std::size_t>(dst)];
+      const cache::LineAddr line =
+          mapping.eviction_sets.at(static_cast<std::size_t>(dst_cha)).at(0);
+      observations.push_back(probe_pair(src, dst, line, src_cha, dst_cha));
+    }
+  }
+  return observations;
+}
+
+}  // namespace corelocate::core

@@ -1,0 +1,43 @@
+#pragma once
+// Step 2: inter-core traffic generation and monitoring (paper Sec. II-B).
+//
+// For an ordered pair (source core, sink core): pick a cache line homed at
+// the *sink's* CHA, have the source hammer writes and the sink hammer
+// reads. Every round forwards the modified line source->sink on the BL
+// ring (the write-back to the home slice rides the same route because the
+// home is the sink tile — that is why the paper picks a sink-homed line).
+// The four ring-ingress counters at every live CHA then reveal which
+// tiles the route crossed and on which labelled channel.
+
+#include "core/cha_mapper.hpp"
+#include "core/observation.hpp"
+
+namespace corelocate::core {
+
+struct TrafficProbeOptions {
+  int rounds = 32;    ///< write/read rounds per pair probe
+  int warmup_rounds = 3;
+  /// Cycle threshold for an activation; 0 = auto (rounds * 2, i.e. half
+  /// the per-tile steady-state signal).
+  std::uint64_t threshold = 0;
+};
+
+class TrafficProber {
+ public:
+  TrafficProber(sim::VirtualXeon& cpu, TrafficProbeOptions options = {});
+
+  /// Probes one ordered pair. `line` must be homed at `sink_cha`.
+  PathObservation probe_pair(int source_core, int sink_core, cache::LineAddr line,
+                             int source_cha, int sink_cha);
+
+  /// Probes every ordered pair of OS cores, reusing step 1's eviction-set
+  /// lines as sink-homed lines.
+  ObservationSet probe_all(const ChaMappingResult& mapping);
+
+ private:
+  sim::VirtualXeon& cpu_;
+  TrafficProbeOptions options_;
+  msr::PmonDriver driver_;
+};
+
+}  // namespace corelocate::core

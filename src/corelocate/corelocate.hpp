@@ -1,0 +1,29 @@
+#pragma once
+// Umbrella header: the public surface a downstream user of corelocate
+// consumes. Link against the `corelocate` interface target.
+//
+//   #include "corelocate/corelocate.hpp"
+//
+//   sim::VirtualXeon cpu(...);                  // or real MSRs on metal
+//   auto result = core::locate_cores(cpu, rng); // the paper's pipeline
+//   auto plan = covert::find_surround(result.map, 4);
+//   ...                                          // thermal covert channel
+
+// The machine model (replace with real MSR/affinity plumbing on hardware).
+#include "sim/instance_factory.hpp"
+#include "sim/virtual_xeon.hpp"
+#include "sim/xeon_config.hpp"
+
+// The locating pipeline and its results.
+#include "core/core_map.hpp"
+#include "core/map_store.hpp"
+#include "core/pattern_stats.hpp"
+#include "core/pipeline.hpp"
+#include "core/refinement.hpp"
+
+// The location-based attacks.
+#include "covert/channel.hpp"
+#include "covert/ecc.hpp"
+#include "covert/multi.hpp"
+#include "mesh/contention.hpp"
+#include "thermal/external_probe.hpp"

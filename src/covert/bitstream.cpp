@@ -1,0 +1,58 @@
+#include "covert/bitstream.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace corelocate::covert {
+
+Bits random_bits(int count, util::Rng& rng) {
+  Bits bits(static_cast<std::size_t>(count));
+  for (auto& bit : bits) bit = static_cast<std::uint8_t>(rng.below(2));
+  return bits;
+}
+
+int hamming_distance(const Bits& a, const Bits& b) {
+  const std::size_t common = std::min(a.size(), b.size());
+  int distance = static_cast<int>(std::max(a.size(), b.size()) - common);
+  for (std::size_t i = 0; i < common; ++i) {
+    if (a[i] != b[i]) ++distance;
+  }
+  return distance;
+}
+
+double bit_error_rate(const Bits& sent, const Bits& received) {
+  if (sent.empty()) return 0.0;
+  return static_cast<double>(hamming_distance(sent, received)) /
+         static_cast<double>(sent.size());
+}
+
+const Bits& sync_signature() {
+  // 16 bits, balanced (8 ones / 8 zeros, no thermal bias) and edge-rich.
+  static const Bits kSignature = from_string("1011001010110100");
+  return kSignature;
+}
+
+std::string to_string(const Bits& bits) {
+  std::string s;
+  s.reserve(bits.size());
+  for (std::uint8_t bit : bits) s += bit ? '1' : '0';
+  return s;
+}
+
+Bits from_string(const std::string& zeros_and_ones) {
+  Bits bits;
+  bits.reserve(zeros_and_ones.size());
+  for (char ch : zeros_and_ones) {
+    if (ch != '0' && ch != '1') throw std::invalid_argument("from_string: not a bit");
+    bits.push_back(static_cast<std::uint8_t>(ch - '0'));
+  }
+  return bits;
+}
+
+Bits concat(const Bits& a, const Bits& b) {
+  Bits joined = a;
+  joined.insert(joined.end(), b.begin(), b.end());
+  return joined;
+}
+
+}  // namespace corelocate::covert

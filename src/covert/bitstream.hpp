@@ -1,0 +1,35 @@
+#pragma once
+// Bit-vector helpers for the covert channel: payload generation, the sync
+// signature, and error accounting.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace corelocate::covert {
+
+using Bits = std::vector<std::uint8_t>;  // each element 0 or 1
+
+Bits random_bits(int count, util::Rng& rng);
+
+/// Number of differing positions (compares the common prefix; length
+/// difference counts as errors).
+int hamming_distance(const Bits& a, const Bits& b);
+
+/// Errors / transmitted-bit count.
+double bit_error_rate(const Bits& sent, const Bits& received);
+
+/// The designated signature bit sequence the decoder synchronizes on
+/// (paper Sec. IV-A). Alternating-rich so its Manchester waveform has a
+/// distinctive edge pattern.
+const Bits& sync_signature();
+
+std::string to_string(const Bits& bits);
+Bits from_string(const std::string& zeros_and_ones);
+
+/// Concatenation helper.
+Bits concat(const Bits& a, const Bits& b);
+
+}  // namespace corelocate::covert

@@ -1,0 +1,85 @@
+#include "covert/channel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace corelocate::covert {
+
+TransmissionResult run_transmission(thermal::ThermalModel& model,
+                                    const std::vector<ChannelSpec>& channels,
+                                    const TransmissionConfig& config) {
+  if (channels.empty()) throw std::invalid_argument("run_transmission: no channels");
+  if (config.bit_rate_bps <= 0.0) {
+    throw std::invalid_argument("run_transmission: bit rate must be positive");
+  }
+  const double bit_period = 1.0 / config.bit_rate_bps;
+  const Bits& signature = sync_signature();
+
+  std::vector<ThermalSender> senders;
+  std::vector<ThermalReceiver> receivers;
+  std::vector<double> starts;
+  senders.reserve(channels.size());
+  receivers.reserve(channels.size());
+  std::size_t max_bits = 0;
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    const ChannelSpec& spec = channels[i];
+    if (spec.payload.empty()) {
+      throw std::invalid_argument("run_transmission: empty payload");
+    }
+    const Bits frame = concat(signature, spec.payload);
+    max_bits = std::max(max_bits, frame.size());
+    double start = config.start_time;
+    if (config.stagger_channels && channels.size() > 1) {
+      start += bit_period * static_cast<double>(i) / static_cast<double>(channels.size());
+    }
+    starts.push_back(start);
+    senders.emplace_back(spec.sender_tiles, frame, bit_period, start);
+    if (config.external_probe.has_value()) {
+      receivers.emplace_back(spec.receiver_tile, *config.external_probe,
+                             config.seed ^ (0x9E3779B9ULL * (i + 1)));
+    } else {
+      receivers.emplace_back(spec.receiver_tile, config.sensor,
+                             config.seed ^ (0x9E3779B9ULL * (i + 1)));
+    }
+  }
+
+  const double duration =
+      config.start_time + bit_period * static_cast<double>(max_bits) + 3.0 * bit_period;
+  const double dt = std::min({config.dt_max, bit_period / 12.0,
+                              0.45 * model.max_stable_dt()});
+
+  while (model.time() < duration) {
+    for (const ThermalSender& sender : senders) sender.apply(model);
+    model.step(dt);
+    for (ThermalReceiver& receiver : receivers) receiver.sample(model);
+  }
+
+  TransmissionResult result;
+  result.simulated_seconds = model.time();
+  result.channels.reserve(channels.size());
+  result.traces.reserve(channels.size());
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    const DecodeResult decoded = decode_trace(
+        receivers[i].trace(), bit_period, starts[i], signature,
+        static_cast<int>(channels[i].payload.size()), config.decoder);
+    ChannelOutcome outcome;
+    outcome.decoded = decoded.payload;
+    outcome.ber = bit_error_rate(channels[i].payload, decoded.payload);
+    outcome.synced = decoded.synced;
+    outcome.signature_errors = decoded.signature_errors;
+    result.channels.push_back(std::move(outcome));
+    result.traces.push_back(receivers[i].trace());
+  }
+  return result;
+}
+
+ChannelOutcome measure_single_channel(const mesh::TileGrid& grid,
+                                      const thermal::ThermalParams& params,
+                                      const ChannelSpec& channel,
+                                      const TransmissionConfig& config) {
+  thermal::ThermalModel model(grid, params, config.seed);
+  TransmissionResult result = run_transmission(model, {channel}, config);
+  return result.channels.front();
+}
+
+}  // namespace corelocate::covert

@@ -1,0 +1,65 @@
+#pragma once
+// Covert-channel transmission orchestration and BER measurement.
+//
+// One TransmissionRun steps a shared thermal model while any number of
+// channels (each: >=1 synchronized sender cores -> 1 receiver core)
+// transmit concurrently. Concurrent channels interfere through the die's
+// heat diffusion exactly like the paper's multi-channel setting.
+
+#include <optional>
+
+#include "covert/receiver.hpp"
+#include "covert/sender.hpp"
+
+namespace corelocate::covert {
+
+struct ChannelSpec {
+  std::vector<mesh::Coord> sender_tiles;
+  mesh::Coord receiver_tile;
+  Bits payload;
+};
+
+struct TransmissionConfig {
+  double bit_rate_bps = 1.0;
+  double start_time = 4.0;  ///< settle time before the transmission begins
+  thermal::SensorParams sensor;
+  /// When set, receivers use an external IR probe (paper Sec. IV's
+  /// physical-access defence bypass) instead of the on-die sensor.
+  std::optional<thermal::ExternalProbeParams> external_probe;
+  DecoderOptions decoder;
+  double dt_max = 0.02;     ///< simulation step cap (stability also caps it)
+  std::uint64_t seed = 0xC0DEC5EEDULL;
+  /// Stagger concurrent channels' bit phases across one bit period so
+  /// their Manchester edges do not line up — decorrelating the crosstalk
+  /// between channels (each receiver re-synchronizes on its own
+  /// signature, so the stagger costs nothing).
+  bool stagger_channels = true;
+};
+
+struct ChannelOutcome {
+  Bits decoded;
+  double ber = 1.0;
+  bool synced = false;
+  int signature_errors = 0;
+};
+
+struct TransmissionResult {
+  std::vector<ChannelOutcome> channels;
+  std::vector<Trace> traces;  ///< per-channel receiver traces
+  double simulated_seconds = 0.0;
+};
+
+/// Runs every channel concurrently on `model` (which should already carry
+/// the instance's idle-power map) and decodes each receiver's trace.
+TransmissionResult run_transmission(thermal::ThermalModel& model,
+                                    const std::vector<ChannelSpec>& channels,
+                                    const TransmissionConfig& config);
+
+/// Convenience: builds a thermal model for `grid`, runs one channel, and
+/// returns its outcome.
+ChannelOutcome measure_single_channel(const mesh::TileGrid& grid,
+                                      const thermal::ThermalParams& params,
+                                      const ChannelSpec& channel,
+                                      const TransmissionConfig& config);
+
+}  // namespace corelocate::covert

@@ -1,0 +1,146 @@
+#include "covert/ecc.hpp"
+
+#include <stdexcept>
+
+namespace corelocate::covert {
+
+const char* to_string(EccScheme scheme) {
+  switch (scheme) {
+    case EccScheme::kNone: return "none";
+    case EccScheme::kRepetition3: return "repetition-3";
+    case EccScheme::kHamming74: return "hamming(7,4)";
+  }
+  return "?";
+}
+
+double ecc_expansion(EccScheme scheme) {
+  switch (scheme) {
+    case EccScheme::kNone: return 1.0;
+    case EccScheme::kRepetition3: return 3.0;
+    case EccScheme::kHamming74: return 7.0 / 4.0;
+  }
+  return 1.0;
+}
+
+namespace {
+
+// Hamming(7,4) with parity bits at positions 1, 2, 4 (1-indexed):
+// codeword = p1 p2 d1 p4 d2 d3 d4.
+Bits hamming74_encode_block(std::uint8_t d1, std::uint8_t d2, std::uint8_t d3,
+                            std::uint8_t d4) {
+  const std::uint8_t p1 = d1 ^ d2 ^ d4;
+  const std::uint8_t p2 = d1 ^ d3 ^ d4;
+  const std::uint8_t p4 = d2 ^ d3 ^ d4;
+  return {p1, p2, d1, p4, d2, d3, d4};
+}
+
+void hamming74_decode_block(Bits& block, Bits& out) {
+  // Syndrome bits select the (1-indexed) flipped position.
+  const std::uint8_t s1 = block[0] ^ block[2] ^ block[4] ^ block[6];
+  const std::uint8_t s2 = block[1] ^ block[2] ^ block[5] ^ block[6];
+  const std::uint8_t s4 = block[3] ^ block[4] ^ block[5] ^ block[6];
+  const int syndrome = s1 | (s2 << 1) | (s4 << 2);
+  if (syndrome != 0) block[static_cast<std::size_t>(syndrome - 1)] ^= 1;
+  out.push_back(block[2]);
+  out.push_back(block[4]);
+  out.push_back(block[5]);
+  out.push_back(block[6]);
+}
+
+}  // namespace
+
+Bits ecc_encode(const Bits& payload, EccScheme scheme) {
+  switch (scheme) {
+    case EccScheme::kNone:
+      return payload;
+    case EccScheme::kRepetition3: {
+      Bits coded;
+      coded.reserve(payload.size() * 3);
+      for (std::uint8_t bit : payload) {
+        coded.push_back(bit);
+        coded.push_back(bit);
+        coded.push_back(bit);
+      }
+      return coded;
+    }
+    case EccScheme::kHamming74: {
+      Bits padded = payload;
+      while (padded.size() % 4 != 0) padded.push_back(0);
+      Bits coded;
+      coded.reserve(padded.size() / 4 * 7);
+      for (std::size_t i = 0; i < padded.size(); i += 4) {
+        const Bits block =
+            hamming74_encode_block(padded[i], padded[i + 1], padded[i + 2], padded[i + 3]);
+        coded.insert(coded.end(), block.begin(), block.end());
+      }
+      return coded;
+    }
+  }
+  throw std::invalid_argument("ecc_encode: unknown scheme");
+}
+
+Bits ecc_decode(const Bits& received, EccScheme scheme, int payload_bits) {
+  Bits decoded;
+  switch (scheme) {
+    case EccScheme::kNone:
+      decoded = received;
+      break;
+    case EccScheme::kRepetition3: {
+      decoded.reserve(received.size() / 3);
+      for (std::size_t i = 0; i + 2 < received.size(); i += 3) {
+        const int ones = received[i] + received[i + 1] + received[i + 2];
+        decoded.push_back(static_cast<std::uint8_t>(ones >= 2));
+      }
+      break;
+    }
+    case EccScheme::kHamming74: {
+      decoded.reserve(received.size() / 7 * 4);
+      for (std::size_t i = 0; i + 6 < received.size(); i += 7) {
+        Bits block(received.begin() + static_cast<std::ptrdiff_t>(i),
+                   received.begin() + static_cast<std::ptrdiff_t>(i) + 7);
+        hamming74_decode_block(block, decoded);
+      }
+      break;
+    }
+  }
+  if (static_cast<int>(decoded.size()) > payload_bits) {
+    decoded.resize(static_cast<std::size_t>(payload_bits));
+  }
+  return decoded;
+}
+
+Bits interleave(const Bits& bits, int depth) {
+  if (depth <= 1 || bits.empty()) return bits;
+  const std::size_t n = bits.size();
+  const std::size_t rows = static_cast<std::size_t>(depth);
+  const std::size_t cols = (n + rows - 1) / rows;
+  Bits out;
+  out.reserve(n);
+  // Row-major write, column-major read; the tail of the matrix is simply
+  // absent, so index arithmetic skips missing cells.
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::size_t idx = r * cols + c;
+      if (idx < n) out.push_back(bits[idx]);
+    }
+  }
+  return out;
+}
+
+Bits deinterleave(const Bits& bits, int depth) {
+  if (depth <= 1 || bits.empty()) return bits;
+  const std::size_t n = bits.size();
+  const std::size_t rows = static_cast<std::size_t>(depth);
+  const std::size_t cols = (n + rows - 1) / rows;
+  Bits out(n, 0);
+  std::size_t pos = 0;
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::size_t idx = r * cols + c;
+      if (idx < n) out[idx] = bits[pos++];
+    }
+  }
+  return out;
+}
+
+}  // namespace corelocate::covert

@@ -1,0 +1,41 @@
+#pragma once
+// Forward error correction for the thermal channel.
+//
+// The paper reports raw error probabilities "without any additional error
+// correction scheme" (Sec. V) — implying the natural next step. These
+// codecs quantify it: at a rate where the raw channel shows a few percent
+// BER, coding trades throughput for residual error rate, often lifting
+// the usable (payload) throughput at a <1% residual-BER target.
+//
+//  * kRepetition3 — each bit sent three times, majority decode (rate 1/3)
+//  * kHamming74   — classic (7,4) block code, corrects one error per
+//                   block (rate 4/7)
+
+#include "covert/bitstream.hpp"
+
+namespace corelocate::covert {
+
+enum class EccScheme { kNone, kRepetition3, kHamming74 };
+
+const char* to_string(EccScheme scheme);
+
+/// Coded bits per payload bit (1, 3, or 7/4).
+double ecc_expansion(EccScheme scheme);
+
+/// Encodes a payload. Hamming pads the payload to a multiple of 4 bits
+/// with zeros; decode truncates back using `payload_bits`.
+Bits ecc_encode(const Bits& payload, EccScheme scheme);
+
+/// Decodes a received (possibly corrupted) codeword stream back to
+/// `payload_bits` bits, correcting what the scheme can.
+Bits ecc_decode(const Bits& received, EccScheme scheme, int payload_bits);
+
+/// Block interleaver: writes row-wise into a `depth`-row matrix and reads
+/// column-wise. Thermal-channel errors are *bursty* (inter-symbol
+/// interference from the slow thermal response corrupts consecutive
+/// bits); interleaving spreads a burst across many codewords so the block
+/// codes see near-independent errors. deinterleave() inverts it.
+Bits interleave(const Bits& bits, int depth);
+Bits deinterleave(const Bits& bits, int depth);
+
+}  // namespace corelocate::covert

@@ -1,0 +1,39 @@
+#include "covert/manchester.hpp"
+
+#include <stdexcept>
+
+namespace corelocate::covert {
+
+Halves manchester_encode(const Bits& bits) {
+  Halves halves;
+  halves.reserve(bits.size() * 2);
+  for (std::uint8_t bit : bits) {
+    if (bit) {
+      halves.push_back(1);
+      halves.push_back(0);
+    } else {
+      halves.push_back(0);
+      halves.push_back(1);
+    }
+  }
+  return halves;
+}
+
+Bits manchester_decode(const Halves& halves) {
+  if (halves.size() % 2 != 0) {
+    throw std::invalid_argument("manchester_decode: odd number of half-periods");
+  }
+  Bits bits;
+  bits.reserve(halves.size() / 2);
+  for (std::size_t i = 0; i < halves.size(); i += 2) {
+    const std::uint8_t first = halves[i];
+    const std::uint8_t second = halves[i + 1];
+    if (first == second) {
+      throw std::invalid_argument("manchester_decode: missing mid-bit transition");
+    }
+    bits.push_back(first);
+  }
+  return bits;
+}
+
+}  // namespace corelocate::covert

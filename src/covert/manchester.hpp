@@ -1,0 +1,24 @@
+#pragma once
+// Manchester line coding (paper Sec. IV-A, following Bartolini et al.).
+//
+// Every bit occupies two half-periods: a 1 transmits (stress, idle) —
+// heat then cool — and a 0 transmits (idle, stress). The guaranteed
+// mid-bit transition keeps the average thermal load constant regardless
+// of the payload, preventing the slow thermal bias a run of identical
+// bits would otherwise build up.
+
+#include "covert/bitstream.hpp"
+
+namespace corelocate::covert {
+
+/// Half-period activity levels: 1 = stress, 0 = idle.
+using Halves = std::vector<std::uint8_t>;
+
+Halves manchester_encode(const Bits& bits);
+
+/// Strict inverse of manchester_encode; throws on odd length or invalid
+/// (0,0)/(1,1) half pairs — transport-level decoding from analog traces
+/// lives in receiver.hpp, this is the clean-waveform codec.
+Bits manchester_decode(const Halves& halves);
+
+}  // namespace corelocate::covert

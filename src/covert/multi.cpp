@@ -1,0 +1,145 @@
+#include "covert/multi.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace corelocate::covert {
+
+bool is_core_cha(const core::CoreMap& map, int cha) {
+  return map.os_core_of_cha(cha).has_value();
+}
+
+std::vector<std::pair<int, int>> pairs_at_offset(const core::CoreMap& map, int dr,
+                                                 int dc) {
+  std::vector<std::pair<int, int>> pairs;
+  for (int sender = 0; sender < map.cha_count(); ++sender) {
+    if (!is_core_cha(map, sender)) continue;
+    const mesh::Coord pos = map.cha_position[static_cast<std::size_t>(sender)];
+    const mesh::Coord target{pos.row + dr, pos.col + dc};
+    const auto receiver = map.cha_at(target);
+    if (receiver.has_value() && is_core_cha(map, *receiver)) {
+      pairs.emplace_back(sender, *receiver);
+    }
+  }
+  return pairs;
+}
+
+std::optional<SurroundPlan> find_surround(const core::CoreMap& map, int sender_count) {
+  if (sender_count <= 0) return std::nullopt;
+  // Neighbour offsets in heat-coupling preference order: vertical,
+  // horizontal, diagonal.
+  static constexpr std::pair<int, int> kOffsets[8] = {
+      {-1, 0}, {1, 0}, {0, -1}, {0, 1}, {-1, -1}, {-1, 1}, {1, -1}, {1, 1}};
+
+  std::optional<SurroundPlan> best;
+  for (int receiver = 0; receiver < map.cha_count(); ++receiver) {
+    if (!is_core_cha(map, receiver)) continue;
+    const mesh::Coord pos = map.cha_position[static_cast<std::size_t>(receiver)];
+    SurroundPlan plan;
+    plan.receiver_cha = receiver;
+    for (const auto& [dr, dc] : kOffsets) {
+      if (static_cast<int>(plan.sender_chas.size()) >= sender_count) break;
+      const auto neighbor = map.cha_at(mesh::Coord{pos.row + dr, pos.col + dc});
+      if (neighbor.has_value() && is_core_cha(map, *neighbor)) {
+        plan.sender_chas.push_back(*neighbor);
+      }
+    }
+    if (!best.has_value() || plan.sender_chas.size() > best->sender_chas.size()) {
+      best = plan;
+    }
+  }
+  if (!best.has_value() || best->sender_chas.empty()) return std::nullopt;
+  return best;
+}
+
+std::vector<std::pair<int, int>> plan_disjoint_vertical_pairs(const core::CoreMap& map,
+                                                              int count) {
+  // Both orientations of every vertically adjacent core pair are
+  // candidates: which end sends is a free choice the planner exploits to
+  // keep each receiver away from *foreign* senders (the dominant
+  // crosstalk term — a receiver sitting next to another channel's sender
+  // is swamped).
+  std::vector<std::pair<int, int>> candidates = pairs_at_offset(map, 1, 0);
+  {
+    const std::vector<std::pair<int, int>> down = pairs_at_offset(map, -1, 0);
+    candidates.insert(candidates.end(), down.begin(), down.end());
+  }
+  std::vector<std::pair<int, int>> picked;
+  std::vector<mesh::Coord> used_senders;
+  std::vector<mesh::Coord> used_receivers;
+
+  auto tile_of = [&map](int cha) {
+    return map.cha_position[static_cast<std::size_t>(cha)];
+  };
+  auto min_dist = [](const mesh::Coord& t, const std::vector<mesh::Coord>& set) {
+    int d = std::numeric_limits<int>::max();
+    for (const mesh::Coord& u : set) d = std::min(d, mesh::TileGrid::manhattan(t, u));
+    return d;
+  };
+
+  while (static_cast<int>(picked.size()) < count) {
+    int best = -1;
+    std::pair<int, int> best_score{-1, -1};  // (cross-role sep, any sep)
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const auto [s, r] = candidates[i];
+      const mesh::Coord st = tile_of(s);
+      const mesh::Coord rt = tile_of(r);
+      const bool overlaps =
+          min_dist(st, used_senders) == 0 || min_dist(st, used_receivers) == 0 ||
+          min_dist(rt, used_senders) == 0 || min_dist(rt, used_receivers) == 0;
+      if (overlaps) continue;
+      // Primary: keep this receiver away from foreign senders and this
+      // sender away from foreign receivers. Secondary: overall spread.
+      const int cross = std::min(min_dist(rt, used_senders), min_dist(st, used_receivers));
+      const int any = std::min({min_dist(st, used_senders), min_dist(rt, used_receivers),
+                                cross});
+      const std::pair<int, int> score{picked.empty() ? 0 : cross,
+                                      picked.empty() ? 0 : any};
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;  // no non-overlapping candidates left
+    const auto [s, r] = candidates[static_cast<std::size_t>(best)];
+    picked.emplace_back(s, r);
+    used_senders.push_back(tile_of(s));
+    used_receivers.push_back(tile_of(r));
+    candidates.erase(candidates.begin() + best);
+    // Drop candidates sharing a tile with the picked pair early.
+    std::erase_if(candidates, [&](const std::pair<int, int>& cand) {
+      return cand.first == s || cand.first == r || cand.second == s || cand.second == r;
+    });
+  }
+  return picked;
+}
+
+ChannelSpec make_channel(const core::CoreMap& map, const std::vector<int>& sender_chas,
+                         int receiver_cha, Bits payload) {
+  ChannelSpec spec;
+  for (int cha : sender_chas) {
+    spec.sender_tiles.push_back(map.cha_position.at(static_cast<std::size_t>(cha)));
+  }
+  spec.receiver_tile = map.cha_position.at(static_cast<std::size_t>(receiver_cha));
+  spec.payload = std::move(payload);
+  if (spec.sender_tiles.empty()) {
+    throw std::invalid_argument("make_channel: no sender CHAs");
+  }
+  return spec;
+}
+
+ChannelSpec make_channel_on(const sim::InstanceConfig& machine,
+                            const std::vector<int>& sender_chas, int receiver_cha,
+                            Bits payload) {
+  ChannelSpec spec;
+  for (int cha : sender_chas) spec.sender_tiles.push_back(machine.tile_of_cha(cha));
+  spec.receiver_tile = machine.tile_of_cha(receiver_cha);
+  spec.payload = std::move(payload);
+  if (spec.sender_tiles.empty()) {
+    throw std::invalid_argument("make_channel_on: no sender CHAs");
+  }
+  return spec;
+}
+
+}  // namespace corelocate::covert

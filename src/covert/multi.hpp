@@ -1,0 +1,59 @@
+#pragma once
+// Attack placement: choosing sender/receiver cores from a recovered core
+// map (what the whole locating exercise buys the attacker, paper Sec. IV).
+//
+//  * pairs_at_offset    — 1-hop vertical/horizontal pairs, 2/3-hop pairs
+//  * find_surround      — a receiver with up to eight surrounding senders
+//                         (paper Sec. V-B: multi-sender amplification)
+//  * plan_disjoint_vertical_pairs — N non-overlapping 1-hop channels
+//                         spread across the die (Sec. V-C: multi-channel)
+
+#include <optional>
+#include <utility>
+
+#include "core/core_map.hpp"
+#include "covert/channel.hpp"
+
+namespace corelocate::covert {
+
+/// True if the CHA has a live core on the map (can host an attack thread).
+bool is_core_cha(const core::CoreMap& map, int cha);
+
+/// All ordered core-CHA pairs (sender, receiver) whose positions differ by
+/// exactly (dr, dc).
+std::vector<std::pair<int, int>> pairs_at_offset(const core::CoreMap& map, int dr,
+                                                 int dc);
+
+struct SurroundPlan {
+  int receiver_cha = -1;
+  std::vector<int> sender_chas;  ///< size <= requested count
+};
+
+/// Finds the receiver core with the most core neighbours in its
+/// 8-neighbourhood and returns up to `sender_count` of them, preferring
+/// vertical, then horizontal, then diagonal neighbours (heat coupling
+/// order).
+std::optional<SurroundPlan> find_surround(const core::CoreMap& map, int sender_count);
+
+/// Greedily picks `count` vertically-adjacent core pairs with disjoint
+/// tiles, maximizing the minimum distance between channels to limit
+/// crosstalk. Returns (sender_cha, receiver_cha) pairs; may return fewer
+/// than requested when the map runs out of separated pairs.
+std::vector<std::pair<int, int>> plan_disjoint_vertical_pairs(const core::CoreMap& map,
+                                                              int count);
+
+/// Builds a ChannelSpec from map CHA ids, using the map's own coordinates
+/// as thermal-grid tiles (fine when the map is the ground truth).
+ChannelSpec make_channel(const core::CoreMap& map, const std::vector<int>& sender_chas,
+                         int receiver_cha, Bits payload);
+
+/// Builds a ChannelSpec whose tiles are the *machine's* true tiles for the
+/// chosen CHAs. Use this when the CHAs were selected on a recovered map:
+/// the recovered coordinates may be globally mirrored (which changes no
+/// adjacency the attack relies on), but heat must land on the tiles the
+/// pinned threads actually run on.
+ChannelSpec make_channel_on(const sim::InstanceConfig& machine,
+                            const std::vector<int>& sender_chas, int receiver_cha,
+                            Bits payload);
+
+}  // namespace corelocate::covert

@@ -1,0 +1,106 @@
+#include "covert/receiver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace corelocate::covert {
+
+ThermalReceiver::ThermalReceiver(const mesh::Coord& tile,
+                                 thermal::SensorParams sensor_params,
+                                 std::uint64_t noise_seed)
+    : tile_(tile), sensor_(std::in_place, tile, sensor_params, noise_seed) {}
+
+ThermalReceiver::ThermalReceiver(const mesh::Coord& tile,
+                                 thermal::ExternalProbeParams probe_params,
+                                 std::uint64_t noise_seed)
+    : tile_(tile), probe_(std::in_place, tile, probe_params, noise_seed) {}
+
+void ThermalReceiver::sample(const thermal::ThermalModel& model) {
+  const double value = sensor_.has_value() ? sensor_->read(model) : probe_->read(model);
+  trace_.push_back(Sample{model.time(), value});
+}
+
+namespace {
+
+/// Decodes one bit window and reports the decision margin (absolute
+/// half-mean difference) used for sync-offset tie-breaking.
+std::pair<int, double> decode_bit_window_with_margin(const Trace& trace, double start,
+                                                     double bit_period) {
+  const double mid = start + bit_period / 2.0;
+  const double end = start + bit_period;
+  double first_sum = 0.0;
+  double second_sum = 0.0;
+  int first_n = 0;
+  int second_n = 0;
+  // Trace times are monotone: find the window with binary search.
+  const auto begin_it = std::lower_bound(
+      trace.begin(), trace.end(), start,
+      [](const Sample& s, double t) { return s.time < t; });
+  for (auto it = begin_it; it != trace.end() && it->time < end; ++it) {
+    if (it->time < mid) {
+      first_sum += it->temp_c;
+      ++first_n;
+    } else {
+      second_sum += it->temp_c;
+      ++second_n;
+    }
+  }
+  if (first_n == 0 || second_n == 0) return {0, 0.0};
+  const double diff = first_sum / first_n - second_sum / second_n;
+  // Manchester 1 = stress-then-idle: the first half runs hotter.
+  return {diff > 0.0 ? 1 : 0, std::abs(diff)};
+}
+
+}  // namespace
+
+int decode_bit_window(const Trace& trace, double start, double bit_period) {
+  return decode_bit_window_with_margin(trace, start, bit_period).first;
+}
+
+DecodeResult decode_trace(const Trace& trace, double bit_period, double nominal_start,
+                          const Bits& signature, int payload_bits,
+                          const DecoderOptions& options) {
+  DecodeResult result;
+  if (trace.empty() || signature.empty()) return result;
+
+  const double window = options.search_window_bits * bit_period;
+  const double step = std::max(1e-6, options.search_step_fraction * bit_period);
+  double best_offset = nominal_start;
+  int best_errors = static_cast<int>(signature.size()) + 1;
+  double best_margin = -1.0;
+  for (double offset = nominal_start - window; offset <= nominal_start + window;
+       offset += step) {
+    int errors = 0;
+    double margin = 0.0;
+    for (std::size_t i = 0; i < signature.size(); ++i) {
+      const auto [bit, bit_margin] = decode_bit_window_with_margin(
+          trace, offset + static_cast<double>(i) * bit_period, bit_period);
+      if (bit != signature[i]) ++errors;
+      margin += bit_margin;
+    }
+    // Fewest signature errors wins; ties break toward the offset with the
+    // strongest decision margins (best slicing alignment).
+    if (errors < best_errors || (errors == best_errors && margin > best_margin)) {
+      best_errors = errors;
+      best_margin = margin;
+      best_offset = offset;
+    }
+  }
+
+  result.signature_errors = best_errors;
+  result.sync_time = best_offset;
+  // Accept sync when at most 1/8 of the signature is wrong.
+  result.synced =
+      best_errors <= std::max(1, static_cast<int>(signature.size()) / 8);
+
+  const double payload_start =
+      best_offset + static_cast<double>(signature.size()) * bit_period;
+  result.payload.reserve(static_cast<std::size_t>(payload_bits));
+  for (int i = 0; i < payload_bits; ++i) {
+    result.payload.push_back(static_cast<std::uint8_t>(decode_bit_window(
+        trace, payload_start + static_cast<double>(i) * bit_period, bit_period)));
+  }
+  return result;
+}
+
+}  // namespace corelocate::covert

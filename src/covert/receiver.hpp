@@ -1,0 +1,76 @@
+#pragma once
+// The covert-channel receiver: samples its own core's temperature sensor
+// during the transmission, then decodes the trace *offline* — finding the
+// sender's phase via the designated signature bit sequence, then slicing
+// each bit window and comparing half-window means (the Manchester mid-bit
+// transition makes this inherently immune to slow baseline drift).
+
+#include <optional>
+
+#include "covert/bitstream.hpp"
+#include "thermal/external_probe.hpp"
+#include "thermal/sensor.hpp"
+
+namespace corelocate::covert {
+
+struct Sample {
+  double time = 0.0;
+  double temp_c = 0.0;
+};
+
+using Trace = std::vector<Sample>;
+
+class ThermalReceiver {
+ public:
+  /// On-die receiver: reads the core's own coretemp-style sensor.
+  ThermalReceiver(const mesh::Coord& tile, thermal::SensorParams sensor_params = {},
+                  std::uint64_t noise_seed = 0x2ECE15E2ULL);
+
+  /// External receiver: an IR probe aimed at the tile from outside the
+  /// package (the paper's defence-bypass scenario, Sec. IV).
+  ThermalReceiver(const mesh::Coord& tile, thermal::ExternalProbeParams probe_params,
+                  std::uint64_t noise_seed = 0x2ECE15E2ULL);
+
+  const mesh::Coord& tile() const noexcept { return tile_; }
+
+  /// Samples the sensor/probe at the model's current time; call once per
+  /// step. (Both backends rate-limit their own refreshes.)
+  void sample(const thermal::ThermalModel& model);
+
+  const Trace& trace() const noexcept { return trace_; }
+  void clear() { trace_.clear(); }
+
+ private:
+  mesh::Coord tile_;
+  std::optional<thermal::TemperatureSensor> sensor_;
+  std::optional<thermal::ExternalProbe> probe_;
+  Trace trace_;
+};
+
+struct DecodeResult {
+  bool synced = false;
+  double sync_time = 0.0;      ///< detected transmission start (seconds)
+  int signature_errors = 0;    ///< mismatches in the best signature fit
+  Bits payload;                ///< decoded payload bits
+};
+
+struct DecoderOptions {
+  /// How far (in bit periods) around the nominal start to search for the
+  /// sender phase.
+  double search_window_bits = 2.0;
+  /// Phase-candidate granularity as a fraction of the bit period.
+  double search_step_fraction = 0.05;
+};
+
+/// Decodes a trace: `nominal_start` is the receiver's guess of when the
+/// transmission began (it searches around it), `signature` leads the
+/// payload of `payload_bits` bits, all at `bit_period` seconds per bit.
+DecodeResult decode_trace(const Trace& trace, double bit_period, double nominal_start,
+                          const Bits& signature, int payload_bits,
+                          const DecoderOptions& options = {});
+
+/// Decodes one bit window [start, start+bit_period) from the trace by
+/// comparing first-half and second-half means. Returns 1 for heat->cool.
+int decode_bit_window(const Trace& trace, double start, double bit_period);
+
+}  // namespace corelocate::covert

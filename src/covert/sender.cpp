@@ -1,0 +1,33 @@
+#include "covert/sender.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace corelocate::covert {
+
+ThermalSender::ThermalSender(std::vector<mesh::Coord> tiles, Bits bits, double bit_period,
+                             double start_time)
+    : tiles_(std::move(tiles)),
+      bits_(std::move(bits)),
+      halves_(manchester_encode(bits_)),
+      bit_period_(bit_period),
+      start_time_(start_time) {
+  if (tiles_.empty()) throw std::invalid_argument("ThermalSender: no sender tiles");
+  if (bit_period_ <= 0.0) throw std::invalid_argument("ThermalSender: bad bit period");
+}
+
+void ThermalSender::apply(thermal::ThermalModel& model) const {
+  const double now = model.time();
+  bool stress = false;
+  if (now >= start_time_ && now < end_time()) {
+    const double half_period = bit_period_ / 2.0;
+    const auto half_index =
+        static_cast<std::size_t>(std::floor((now - start_time_) / half_period));
+    if (half_index < halves_.size()) stress = halves_[half_index] != 0;
+  }
+  const double watts =
+      stress ? model.params().stress_power_w : model.params().idle_power_w;
+  for (const mesh::Coord& tile : tiles_) model.set_power(tile, watts);
+}
+
+}  // namespace corelocate::covert

@@ -1,0 +1,38 @@
+#pragma once
+// The covert-channel sender: modulates CPU load (stress-ng style) on one
+// or more synchronized sender cores so the Manchester waveform rides the
+// die's heat diffusion (paper Sec. IV-A, V-B).
+
+#include "covert/manchester.hpp"
+#include "thermal/thermal_model.hpp"
+
+namespace corelocate::covert {
+
+class ThermalSender {
+ public:
+  /// `tiles`: the synchronized sender cores (>= 1). The transmission
+  /// starts at `start_time` seconds and encodes `bits` at `bit_period`
+  /// seconds per bit; outside the transmission the cores idle.
+  ThermalSender(std::vector<mesh::Coord> tiles, Bits bits, double bit_period,
+                double start_time = 0.0);
+
+  const Bits& bits() const noexcept { return bits_; }
+  double bit_period() const noexcept { return bit_period_; }
+  double start_time() const noexcept { return start_time_; }
+  double end_time() const noexcept {
+    return start_time_ + bit_period_ * static_cast<double>(bits_.size());
+  }
+
+  /// Sets the power of the sender tiles according to the waveform at the
+  /// model's current time. Call once per simulation step.
+  void apply(thermal::ThermalModel& model) const;
+
+ private:
+  std::vector<mesh::Coord> tiles_;
+  Bits bits_;
+  Halves halves_;
+  double bit_period_;
+  double start_time_;
+};
+
+}  // namespace corelocate::covert

@@ -1,0 +1,154 @@
+#include "ilp/branch_and_bound.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+namespace corelocate::ilp {
+
+const char* to_string(MilpStatus status) {
+  switch (status) {
+    case MilpStatus::kOptimal: return "optimal";
+    case MilpStatus::kInfeasible: return "infeasible";
+    case MilpStatus::kNodeLimit: return "node-limit";
+    case MilpStatus::kNoSolution: return "no-solution";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Node {
+  std::vector<double> lower;
+  std::vector<double> upper;
+};
+
+/// Picks the branching variable: highest priority among fractional integer
+/// variables, then most fractional. Returns -1 when all are integral.
+int pick_branch_var(const Model& model, const std::vector<double>& values, double tol) {
+  int best = -1;
+  int best_priority = 0;
+  double best_frac_score = -1.0;
+  for (int j = 0; j < model.variable_count(); ++j) {
+    const VarInfo& info = model.variable(j);
+    if (info.type == VarType::kContinuous) continue;
+    const double v = values[static_cast<std::size_t>(j)];
+    const double frac = v - std::floor(v);
+    const double dist = std::min(frac, 1.0 - frac);
+    if (dist <= tol) continue;
+    if (best < 0 || info.branch_priority > best_priority ||
+        (info.branch_priority == best_priority && dist > best_frac_score)) {
+      best = j;
+      best_priority = info.branch_priority;
+      best_frac_score = dist;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+MilpSolution BranchAndBoundSolver::solve(const Model& model) const {
+  MilpSolution result;
+  const double sense_sign = model.is_minimization() ? 1.0 : -1.0;
+
+  Node root;
+  root.lower.resize(static_cast<std::size_t>(model.variable_count()));
+  root.upper.resize(static_cast<std::size_t>(model.variable_count()));
+  for (int j = 0; j < model.variable_count(); ++j) {
+    const VarInfo& info = model.variable(j);
+    // Integer bounds can be tightened to the integral hull immediately.
+    if (info.type == VarType::kContinuous) {
+      root.lower[static_cast<std::size_t>(j)] = info.lower;
+      root.upper[static_cast<std::size_t>(j)] = info.upper;
+    } else {
+      root.lower[static_cast<std::size_t>(j)] = std::ceil(info.lower - options_.int_tol);
+      root.upper[static_cast<std::size_t>(j)] =
+          info.upper >= kInfinity ? info.upper : std::floor(info.upper + options_.int_tol);
+    }
+  }
+
+  std::vector<Node> stack;
+  stack.push_back(std::move(root));
+
+  bool have_incumbent = false;
+  double incumbent_obj = 0.0;  // in minimization space
+  std::vector<double> incumbent;
+  bool truncated = false;
+
+  while (!stack.empty()) {
+    if (result.nodes_explored >= options_.max_nodes) {
+      truncated = true;
+      break;
+    }
+    Node node = std::move(stack.back());
+    stack.pop_back();
+    ++result.nodes_explored;
+
+    const LpProblem lp = relax(model, &node.lower, &node.upper);
+    const LpSolution rel = solve_lp(lp, options_.lp);
+    result.lp_iterations += rel.iterations;
+    if (rel.status == LpStatus::kInfeasible) continue;
+    if (rel.status == LpStatus::kIterLimit) {
+      truncated = true;
+      continue;
+    }
+    if (rel.status == LpStatus::kUnbounded) {
+      // An unbounded relaxation of a bounded-variable MILP means the user
+      // left a continuous direction open; surface it loudly.
+      throw std::runtime_error("solve_milp: LP relaxation unbounded");
+    }
+    if (have_incumbent && rel.objective >= incumbent_obj - options_.gap_tol) {
+      continue;  // bound: cannot improve on the incumbent
+    }
+
+    const int branch_var = pick_branch_var(model, rel.values, options_.int_tol);
+    if (branch_var < 0) {
+      // Integral: new incumbent.
+      if (!have_incumbent || rel.objective < incumbent_obj) {
+        have_incumbent = true;
+        incumbent_obj = rel.objective;
+        incumbent = rel.values;
+        for (int j = 0; j < model.variable_count(); ++j) {
+          if (model.variable(j).type != VarType::kContinuous) {
+            incumbent[static_cast<std::size_t>(j)] =
+                std::round(incumbent[static_cast<std::size_t>(j)]);
+          }
+        }
+      }
+      continue;
+    }
+
+    const double v = rel.values[static_cast<std::size_t>(branch_var)];
+    // Down branch (x <= floor(v)) and up branch (x >= ceil(v)); push the
+    // branch whose bound is nearer the relaxation value last so DFS dives
+    // into it first.
+    Node down = node;
+    down.upper[static_cast<std::size_t>(branch_var)] = std::floor(v);
+    Node up = std::move(node);
+    up.lower[static_cast<std::size_t>(branch_var)] = std::ceil(v);
+    const bool prefer_down = (v - std::floor(v)) < 0.5;
+    if (prefer_down) {
+      stack.push_back(std::move(up));
+      stack.push_back(std::move(down));
+    } else {
+      stack.push_back(std::move(down));
+      stack.push_back(std::move(up));
+    }
+  }
+
+  if (have_incumbent) {
+    result.status = truncated ? MilpStatus::kNodeLimit : MilpStatus::kOptimal;
+    result.values = std::move(incumbent);
+    result.objective = sense_sign * incumbent_obj;
+  } else {
+    result.status = truncated ? MilpStatus::kNoSolution : MilpStatus::kInfeasible;
+  }
+  return result;
+}
+
+MilpSolution solve_milp(const Model& model, MilpOptions options) {
+  return BranchAndBoundSolver(options).solve(model);
+}
+
+}  // namespace corelocate::ilp

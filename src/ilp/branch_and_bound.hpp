@@ -1,0 +1,55 @@
+#pragma once
+// Branch & bound MILP solver over the simplex LP relaxation.
+//
+// Depth-first search with incumbent pruning. Branching picks the highest
+// branch-priority integer variable with a fractional relaxation value
+// (ties: most fractional), which lets the map solver steer the search
+// toward the structural NE/NW direction binaries before the one-hot
+// bookkeeping variables.
+
+#include <cstdint>
+#include <vector>
+
+#include "ilp/model.hpp"
+#include "ilp/simplex.hpp"
+
+namespace corelocate::ilp {
+
+enum class MilpStatus {
+  kOptimal,
+  kInfeasible,
+  kNodeLimit,   ///< search truncated; `values` holds the incumbent if any
+  kNoSolution,  ///< truncated with no incumbent found
+};
+
+const char* to_string(MilpStatus status);
+
+struct MilpSolution {
+  MilpStatus status = MilpStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> values;
+  std::int64_t nodes_explored = 0;
+  std::int64_t lp_iterations = 0;
+};
+
+struct MilpOptions {
+  std::int64_t max_nodes = 200000;
+  double int_tol = 1e-6;
+  double gap_tol = 1e-9;  // prune nodes within this of the incumbent
+  SimplexOptions lp;
+};
+
+class BranchAndBoundSolver {
+ public:
+  explicit BranchAndBoundSolver(MilpOptions options = {}) : options_(options) {}
+
+  MilpSolution solve(const Model& model) const;
+
+ private:
+  MilpOptions options_;
+};
+
+/// Convenience: solve `model` with default options.
+MilpSolution solve_milp(const Model& model, MilpOptions options = {});
+
+}  // namespace corelocate::ilp

@@ -1,0 +1,129 @@
+#include "ilp/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace corelocate::ilp {
+
+LinExpr& LinExpr::operator+=(const LinExpr& other) {
+  terms_.insert(terms_.end(), other.terms_.begin(), other.terms_.end());
+  constant_ += other.constant_;
+  return *this;
+}
+
+LinExpr& LinExpr::operator-=(const LinExpr& other) {
+  for (const auto& [var, coef] : other.terms_) terms_.emplace_back(var, -coef);
+  constant_ -= other.constant_;
+  return *this;
+}
+
+LinExpr& LinExpr::operator*=(double factor) {
+  for (auto& [var, coef] : terms_) coef *= factor;
+  constant_ *= factor;
+  return *this;
+}
+
+void LinExpr::normalize() {
+  std::map<int, double> merged;
+  for (const auto& [var, coef] : terms_) merged[var] += coef;
+  terms_.clear();
+  for (const auto& [var, coef] : merged) {
+    if (std::abs(coef) > 0.0) terms_.emplace_back(var, coef);
+  }
+}
+
+Variable Model::add_variable(VarType type, double lower, double upper, std::string name) {
+  if (lower > upper) throw std::invalid_argument("Model: lower bound above upper bound");
+  VarInfo info;
+  info.type = type;
+  info.lower = lower;
+  info.upper = upper;
+  info.name = std::move(name);
+  variables_.push_back(std::move(info));
+  return Variable{static_cast<int>(variables_.size()) - 1};
+}
+
+Variable Model::add_continuous(double lower, double upper, std::string name) {
+  return add_variable(VarType::kContinuous, lower, upper, std::move(name));
+}
+
+Variable Model::add_integer(double lower, double upper, std::string name) {
+  return add_variable(VarType::kInteger, lower, upper, std::move(name));
+}
+
+Variable Model::add_binary(std::string name) {
+  return add_variable(VarType::kBinary, 0.0, 1.0, std::move(name));
+}
+
+void Model::set_branch_priority(Variable v, int priority) {
+  variables_.at(static_cast<std::size_t>(v.index)).branch_priority = priority;
+}
+
+void Model::add_constraint(LinExpr expr, Sense sense, double rhs, std::string name) {
+  expr.normalize();
+  ConstraintInfo info;
+  info.rhs = rhs - expr.constant();
+  LinExpr stripped;
+  for (const auto& [var, coef] : expr.terms()) {
+    if (var < 0 || var >= variable_count()) {
+      throw std::invalid_argument("Model: constraint references unknown variable");
+    }
+    stripped += LinExpr(Variable{var}) * coef;
+  }
+  stripped.normalize();
+  info.expr = std::move(stripped);
+  info.sense = sense;
+  info.name = std::move(name);
+  constraints_.push_back(std::move(info));
+}
+
+void Model::minimize(LinExpr objective) {
+  objective.normalize();
+  objective_ = std::move(objective);
+  minimize_ = true;
+}
+
+void Model::maximize(LinExpr objective) {
+  objective.normalize();
+  objective_ = std::move(objective);
+  minimize_ = false;
+}
+
+double Model::evaluate(const LinExpr& expr, const std::vector<double>& values) {
+  double total = expr.constant();
+  for (const auto& [var, coef] : expr.terms()) {
+    total += coef * values.at(static_cast<std::size_t>(var));
+  }
+  return total;
+}
+
+bool Model::is_feasible(const std::vector<double>& values, double tol) const {
+  if (values.size() != variables_.size()) return false;
+  for (std::size_t i = 0; i < variables_.size(); ++i) {
+    const VarInfo& info = variables_[i];
+    if (values[i] < info.lower - tol || values[i] > info.upper + tol) return false;
+    if (info.type != VarType::kContinuous &&
+        std::abs(values[i] - std::round(values[i])) > tol) {
+      return false;
+    }
+  }
+  for (const ConstraintInfo& con : constraints_) {
+    const double lhs = evaluate(con.expr, values);
+    switch (con.sense) {
+      case Sense::kLessEq:
+        if (lhs > con.rhs + tol) return false;
+        break;
+      case Sense::kGreaterEq:
+        if (lhs < con.rhs - tol) return false;
+        break;
+      case Sense::kEqual:
+        if (std::abs(lhs - con.rhs) > tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace corelocate::ilp

@@ -1,0 +1,113 @@
+#pragma once
+// Mixed-integer linear programming: the modeling layer.
+//
+// The paper reconstructs the core map by solving an ILP (Sec. II-C); the
+// original work used an off-the-shelf solver. We implement the solver
+// stack from scratch: this file is the model-building API, simplex.hpp the
+// LP relaxation engine, branch_and_bound.hpp the integer search.
+//
+//   Model m;
+//   auto x = m.add_integer(0, 5, "x");
+//   auto y = m.add_binary("y");
+//   m.add_constraint(2.0 * x + 3.0 * y, Sense::kLessEq, 7.0);
+//   m.minimize(x + 10.0 * y);
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace corelocate::ilp {
+
+enum class VarType { kContinuous, kInteger, kBinary };
+enum class Sense { kLessEq, kGreaterEq, kEqual };
+
+/// Handle to a model variable.
+struct Variable {
+  int index = -1;
+  friend bool operator==(const Variable&, const Variable&) = default;
+};
+
+/// A linear expression: sum of coefficient*variable terms plus a constant.
+/// Terms are kept unmerged until normalize(); building is O(1) amortized.
+class LinExpr {
+ public:
+  LinExpr() = default;
+  /*implicit*/ LinExpr(double constant) : constant_(constant) {}
+  /*implicit*/ LinExpr(Variable v) { terms_.emplace_back(v.index, 1.0); }
+
+  LinExpr& operator+=(const LinExpr& other);
+  LinExpr& operator-=(const LinExpr& other);
+  LinExpr& operator*=(double factor);
+
+  friend LinExpr operator+(LinExpr lhs, const LinExpr& rhs) { return lhs += rhs; }
+  friend LinExpr operator-(LinExpr lhs, const LinExpr& rhs) { return lhs -= rhs; }
+  friend LinExpr operator*(LinExpr expr, double factor) { return expr *= factor; }
+  friend LinExpr operator*(double factor, LinExpr expr) { return expr *= factor; }
+
+  /// Merges duplicate variable terms and drops zero coefficients.
+  void normalize();
+
+  const std::vector<std::pair<int, double>>& terms() const noexcept { return terms_; }
+  double constant() const noexcept { return constant_; }
+
+ private:
+  std::vector<std::pair<int, double>> terms_;
+  double constant_ = 0.0;
+};
+
+struct VarInfo {
+  VarType type = VarType::kContinuous;
+  double lower = 0.0;
+  double upper = 0.0;  // may be +infinity
+  std::string name;
+  int branch_priority = 0;  // higher = branch earlier
+};
+
+struct ConstraintInfo {
+  LinExpr expr;  // normalized, constant folded into rhs
+  Sense sense = Sense::kLessEq;
+  double rhs = 0.0;
+  std::string name;
+};
+
+class Model {
+ public:
+  Variable add_continuous(double lower, double upper, std::string name = {});
+  Variable add_integer(double lower, double upper, std::string name = {});
+  Variable add_binary(std::string name = {});
+
+  void set_branch_priority(Variable v, int priority);
+
+  /// Adds `expr sense rhs`; the expression's constant is folded into rhs.
+  void add_constraint(LinExpr expr, Sense sense, double rhs, std::string name = {});
+
+  void minimize(LinExpr objective);
+  void maximize(LinExpr objective);
+
+  int variable_count() const noexcept { return static_cast<int>(variables_.size()); }
+  int constraint_count() const noexcept { return static_cast<int>(constraints_.size()); }
+
+  const VarInfo& variable(int index) const { return variables_.at(static_cast<std::size_t>(index)); }
+  const std::vector<VarInfo>& variables() const noexcept { return variables_; }
+  const std::vector<ConstraintInfo>& constraints() const noexcept { return constraints_; }
+  const LinExpr& objective() const noexcept { return objective_; }
+  bool is_minimization() const noexcept { return minimize_; }
+
+  /// Evaluates an expression under an assignment (for checking solutions).
+  static double evaluate(const LinExpr& expr, const std::vector<double>& values);
+
+  /// True if `values` satisfies every constraint and bound within `tol`.
+  bool is_feasible(const std::vector<double>& values, double tol = 1e-6) const;
+
+ private:
+  Variable add_variable(VarType type, double lower, double upper, std::string name);
+
+  std::vector<VarInfo> variables_;
+  std::vector<ConstraintInfo> constraints_;
+  LinExpr objective_;
+  bool minimize_ = true;
+};
+
+constexpr double kInfinity = 1e30;
+
+}  // namespace corelocate::ilp

@@ -1,0 +1,408 @@
+#include "ilp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace corelocate::ilp {
+
+const char* to_string(LpStatus status) {
+  switch (status) {
+    case LpStatus::kOptimal: return "optimal";
+    case LpStatus::kInfeasible: return "infeasible";
+    case LpStatus::kUnbounded: return "unbounded";
+    case LpStatus::kIterLimit: return "iteration-limit";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Dense tableau working state. Column layout: [structural y | slacks &
+/// surpluses | artificials]; the RHS is kept separately per row.
+class Tableau {
+ public:
+  Tableau(const LpProblem& problem, const SimplexOptions& options)
+      : problem_(problem), options_(options) {}
+
+  LpSolution run();
+
+ private:
+  struct BuildResult {
+    bool trivially_infeasible = false;
+  };
+
+  BuildResult build();
+  LpStatus phase(bool phase1);
+  void pivot(int row, int col);
+  bool price(bool phase1, int& entering) const;
+  int ratio_test(int entering) const;
+  void drop_dependent_artificial_rows();
+  void compute_reduced_costs(bool phase1);
+  double current_objective(bool phase1) const;
+
+  double& a(int row, int col) { return mat_[static_cast<std::size_t>(row) * cols_ + col]; }
+  double a(int row, int col) const {
+    return mat_[static_cast<std::size_t>(row) * cols_ + col];
+  }
+
+  const LpProblem& problem_;
+  const SimplexOptions& options_;
+
+  int rows_ = 0;   // active constraint rows
+  int cols_ = 0;   // total columns
+  int n_struct_ = 0;
+  int art_begin_ = 0;  // first artificial column
+  std::vector<double> mat_;   // rows_ x cols_
+  std::vector<double> rhs_;   // rows_
+  std::vector<int> basis_;    // rows_ -> column
+  std::vector<char> row_active_;
+  std::vector<double> cost_;  // reduced-cost row, cols_
+  std::vector<double> shifted_obj_;  // phase-2 objective over columns
+  double obj_offset_ = 0.0;   // constant from the lb shift
+  std::int64_t iterations_ = 0;
+  std::int64_t iter_limit_ = 0;
+  bool bland_ = false;
+};
+
+Tableau::BuildResult Tableau::build() {
+  const int n = problem_.var_count;
+  n_struct_ = n;
+
+  // Collect rows in shifted space: terms * y {<=,>=,=} rhs - terms*lb,
+  // plus explicit upper-bound rows for finite ub.
+  struct ShiftedRow {
+    std::vector<std::pair<int, double>> terms;
+    Sense sense;
+    double rhs;
+  };
+  std::vector<ShiftedRow> shifted;
+  shifted.reserve(problem_.rows.size() + static_cast<std::size_t>(n));
+  for (const LpRow& row : problem_.rows) {
+    ShiftedRow s;
+    s.terms = row.terms;
+    s.sense = row.sense;
+    s.rhs = row.rhs;
+    for (const auto& [var, coef] : row.terms) {
+      s.rhs -= coef * problem_.lower[static_cast<std::size_t>(var)];
+    }
+    shifted.push_back(std::move(s));
+  }
+  for (int j = 0; j < n; ++j) {
+    const double span = problem_.upper[static_cast<std::size_t>(j)] -
+                        problem_.lower[static_cast<std::size_t>(j)];
+    if (span < 0) return {true};
+    if (problem_.upper[static_cast<std::size_t>(j)] >= kInfinity) continue;
+    if (span == 0.0) continue;  // fixed variable: y_j >= 0 and no freedom needed? keep row
+    ShiftedRow s;
+    s.terms = {{j, 1.0}};
+    s.sense = Sense::kLessEq;
+    s.rhs = span;
+    shifted.push_back(std::move(s));
+  }
+  // Fixed variables (lb == ub) are pinned by adding y_j <= 0.
+  for (int j = 0; j < n; ++j) {
+    if (problem_.upper[static_cast<std::size_t>(j)] >= kInfinity) continue;
+    const double span = problem_.upper[static_cast<std::size_t>(j)] -
+                        problem_.lower[static_cast<std::size_t>(j)];
+    if (span == 0.0) {
+      ShiftedRow s;
+      s.terms = {{j, 1.0}};
+      s.sense = Sense::kLessEq;
+      s.rhs = 0.0;
+      shifted.push_back(std::move(s));
+    }
+  }
+
+  // Flip rows so every RHS is non-negative.
+  for (ShiftedRow& s : shifted) {
+    if (s.rhs < 0) {
+      for (auto& [var, coef] : s.terms) coef = -coef;
+      s.rhs = -s.rhs;
+      if (s.sense == Sense::kLessEq) {
+        s.sense = Sense::kGreaterEq;
+      } else if (s.sense == Sense::kGreaterEq) {
+        s.sense = Sense::kLessEq;
+      }
+    }
+  }
+
+  rows_ = static_cast<int>(shifted.size());
+  int slack_count = 0;
+  int art_count = 0;
+  for (const ShiftedRow& s : shifted) {
+    if (s.sense != Sense::kEqual) ++slack_count;  // slack or surplus
+    if (s.sense != Sense::kLessEq) ++art_count;
+  }
+  art_begin_ = n + slack_count;
+  cols_ = art_begin_ + art_count;
+
+  mat_.assign(static_cast<std::size_t>(rows_) * cols_, 0.0);
+  rhs_.assign(static_cast<std::size_t>(rows_), 0.0);
+  basis_.assign(static_cast<std::size_t>(rows_), -1);
+  row_active_.assign(static_cast<std::size_t>(rows_), 1);
+
+  int next_slack = n;
+  int next_art = art_begin_;
+  for (int i = 0; i < rows_; ++i) {
+    const ShiftedRow& s = shifted[static_cast<std::size_t>(i)];
+    for (const auto& [var, coef] : s.terms) a(i, var) += coef;
+    rhs_[static_cast<std::size_t>(i)] = s.rhs;
+    switch (s.sense) {
+      case Sense::kLessEq:
+        a(i, next_slack) = 1.0;
+        basis_[static_cast<std::size_t>(i)] = next_slack++;
+        break;
+      case Sense::kGreaterEq:
+        a(i, next_slack) = -1.0;
+        ++next_slack;
+        a(i, next_art) = 1.0;
+        basis_[static_cast<std::size_t>(i)] = next_art++;
+        break;
+      case Sense::kEqual:
+        a(i, next_art) = 1.0;
+        basis_[static_cast<std::size_t>(i)] = next_art++;
+        break;
+    }
+  }
+
+  // Shifted phase-2 objective over columns; constant offset from x = lb+y.
+  shifted_obj_.assign(static_cast<std::size_t>(cols_), 0.0);
+  obj_offset_ = 0.0;
+  for (int j = 0; j < n; ++j) {
+    shifted_obj_[static_cast<std::size_t>(j)] = problem_.objective[static_cast<std::size_t>(j)];
+    obj_offset_ += problem_.objective[static_cast<std::size_t>(j)] *
+                   problem_.lower[static_cast<std::size_t>(j)];
+  }
+
+  iter_limit_ = options_.max_iterations > 0
+                    ? options_.max_iterations
+                    : 200LL * (rows_ + cols_) + 5000;
+  return {};
+}
+
+void Tableau::compute_reduced_costs(bool phase1) {
+  cost_.assign(static_cast<std::size_t>(cols_), 0.0);
+  auto col_cost = [&](int col) -> double {
+    if (phase1) return col >= art_begin_ ? 1.0 : 0.0;
+    return shifted_obj_[static_cast<std::size_t>(col)];
+  };
+  for (int j = 0; j < cols_; ++j) cost_[static_cast<std::size_t>(j)] = col_cost(j);
+  // Subtract c_B' * row for every basic row to get reduced costs.
+  for (int i = 0; i < rows_; ++i) {
+    if (!row_active_[static_cast<std::size_t>(i)]) continue;
+    const double cb = col_cost(basis_[static_cast<std::size_t>(i)]);
+    if (cb == 0.0) continue;
+    for (int j = 0; j < cols_; ++j) cost_[static_cast<std::size_t>(j)] -= cb * a(i, j);
+  }
+}
+
+double Tableau::current_objective(bool phase1) const {
+  double value = phase1 ? 0.0 : obj_offset_;
+  for (int i = 0; i < rows_; ++i) {
+    if (!row_active_[static_cast<std::size_t>(i)]) continue;
+    const int b = basis_[static_cast<std::size_t>(i)];
+    const double cb = phase1 ? (b >= art_begin_ ? 1.0 : 0.0)
+                             : shifted_obj_[static_cast<std::size_t>(b)];
+    value += cb * rhs_[static_cast<std::size_t>(i)];
+  }
+  return value;
+}
+
+bool Tableau::price(bool phase1, int& entering) const {
+  (void)phase1;  // artificials are excluded from entering in both phases
+  entering = -1;
+  double best = -options_.eps;
+  for (int j = 0; j < cols_; ++j) {
+    if (j >= art_begin_) break;  // artificials never re-enter the basis
+    const double d = cost_[static_cast<std::size_t>(j)];
+    if (bland_) {
+      if (d < -options_.eps) {
+        entering = j;
+        return true;
+      }
+    } else if (d < best) {
+      best = d;
+      entering = j;
+    }
+  }
+  return entering >= 0;
+}
+
+int Tableau::ratio_test(int entering) const {
+  int leaving = -1;
+  double best_ratio = 0.0;
+  for (int i = 0; i < rows_; ++i) {
+    if (!row_active_[static_cast<std::size_t>(i)]) continue;
+    const double aij = a(i, entering);
+    if (aij <= options_.eps) continue;
+    const double ratio = rhs_[static_cast<std::size_t>(i)] / aij;
+    if (leaving < 0 || ratio < best_ratio - options_.eps ||
+        (ratio < best_ratio + options_.eps &&
+         basis_[static_cast<std::size_t>(i)] < basis_[static_cast<std::size_t>(leaving)])) {
+      leaving = i;
+      best_ratio = ratio;
+    }
+  }
+  return leaving;
+}
+
+void Tableau::pivot(int row, int col) {
+  const double p = a(row, col);
+  const double inv = 1.0 / p;
+  for (int j = 0; j < cols_; ++j) a(row, j) *= inv;
+  rhs_[static_cast<std::size_t>(row)] *= inv;
+  a(row, col) = 1.0;
+  for (int i = 0; i < rows_; ++i) {
+    if (i == row || !row_active_[static_cast<std::size_t>(i)]) continue;
+    const double factor = a(i, col);
+    if (factor == 0.0) continue;
+    for (int j = 0; j < cols_; ++j) a(i, j) -= factor * a(row, j);
+    a(i, col) = 0.0;
+    rhs_[static_cast<std::size_t>(i)] -= factor * rhs_[static_cast<std::size_t>(row)];
+    if (rhs_[static_cast<std::size_t>(i)] < 0 &&
+        rhs_[static_cast<std::size_t>(i)] > -1e-11) {
+      rhs_[static_cast<std::size_t>(i)] = 0.0;  // clamp tiny negative residue
+    }
+  }
+  const double cfactor = cost_[static_cast<std::size_t>(col)];
+  if (cfactor != 0.0) {
+    for (int j = 0; j < cols_; ++j) cost_[static_cast<std::size_t>(j)] -= cfactor * a(row, j);
+    cost_[static_cast<std::size_t>(col)] = 0.0;
+  }
+  basis_[static_cast<std::size_t>(row)] = col;
+}
+
+LpStatus Tableau::phase(bool phase1) {
+  compute_reduced_costs(phase1);
+  bland_ = false;
+  double last_obj = current_objective(phase1);
+  std::int64_t stall = 0;
+  const std::int64_t stall_limit = 2LL * (rows_ + cols_) + 100;
+  while (true) {
+    int entering = -1;
+    if (!price(phase1, entering)) return LpStatus::kOptimal;
+    const int leaving = ratio_test(entering);
+    if (leaving < 0) return LpStatus::kUnbounded;
+    pivot(leaving, entering);
+    if (++iterations_ > iter_limit_) return LpStatus::kIterLimit;
+    const double obj = current_objective(phase1);
+    if (obj < last_obj - options_.eps) {
+      last_obj = obj;
+      stall = 0;
+      bland_ = false;
+    } else if (++stall > stall_limit) {
+      bland_ = true;  // cycling suspected: switch to Bland's rule
+    }
+  }
+}
+
+void Tableau::drop_dependent_artificial_rows() {
+  for (int i = 0; i < rows_; ++i) {
+    if (!row_active_[static_cast<std::size_t>(i)]) continue;
+    if (basis_[static_cast<std::size_t>(i)] < art_begin_) continue;
+    // Basic artificial at value ~0: pivot it out on any usable column.
+    int col = -1;
+    for (int j = 0; j < art_begin_; ++j) {
+      if (std::abs(a(i, j)) > 1e-7) {
+        col = j;
+        break;
+      }
+    }
+    if (col >= 0) {
+      pivot(i, col);
+    } else {
+      row_active_[static_cast<std::size_t>(i)] = 0;  // redundant row
+    }
+  }
+}
+
+LpSolution Tableau::run() {
+  LpSolution solution;
+  const BuildResult built = build();
+  if (built.trivially_infeasible) {
+    solution.status = LpStatus::kInfeasible;
+    return solution;
+  }
+
+  // Phase 1 (only if artificials exist).
+  if (cols_ > art_begin_) {
+    const LpStatus p1 = phase(true);
+    solution.iterations = iterations_;
+    if (p1 == LpStatus::kIterLimit) {
+      solution.status = p1;
+      return solution;
+    }
+    // Unbounded phase 1 is impossible (objective bounded below by 0).
+    if (current_objective(true) > options_.feas_tol) {
+      solution.status = LpStatus::kInfeasible;
+      return solution;
+    }
+    drop_dependent_artificial_rows();
+  }
+
+  const LpStatus p2 = phase(false);
+  solution.iterations = iterations_;
+  if (p2 != LpStatus::kOptimal) {
+    solution.status = p2;
+    return solution;
+  }
+
+  solution.status = LpStatus::kOptimal;
+  solution.values.assign(static_cast<std::size_t>(problem_.var_count), 0.0);
+  for (int i = 0; i < rows_; ++i) {
+    if (!row_active_[static_cast<std::size_t>(i)]) continue;
+    const int b = basis_[static_cast<std::size_t>(i)];
+    if (b < n_struct_) {
+      solution.values[static_cast<std::size_t>(b)] = rhs_[static_cast<std::size_t>(i)];
+    }
+  }
+  for (int j = 0; j < problem_.var_count; ++j) {
+    solution.values[static_cast<std::size_t>(j)] += problem_.lower[static_cast<std::size_t>(j)];
+  }
+  solution.objective = current_objective(false);
+  return solution;
+}
+
+}  // namespace
+
+LpSolution solve_lp(const LpProblem& problem, const SimplexOptions& options) {
+  if (problem.var_count <= 0) {
+    LpSolution trivial;
+    trivial.status = LpStatus::kOptimal;
+    trivial.objective = 0.0;
+    return trivial;
+  }
+  Tableau tableau(problem, options);
+  return tableau.run();
+}
+
+LpProblem relax(const Model& model, const std::vector<double>* lower,
+                const std::vector<double>* upper) {
+  LpProblem lp;
+  lp.var_count = model.variable_count();
+  lp.objective.assign(static_cast<std::size_t>(lp.var_count), 0.0);
+  const double sign = model.is_minimization() ? 1.0 : -1.0;
+  for (const auto& [var, coef] : model.objective().terms()) {
+    lp.objective[static_cast<std::size_t>(var)] = sign * coef;
+  }
+  lp.lower.resize(static_cast<std::size_t>(lp.var_count));
+  lp.upper.resize(static_cast<std::size_t>(lp.var_count));
+  for (int j = 0; j < lp.var_count; ++j) {
+    lp.lower[static_cast<std::size_t>(j)] =
+        lower ? (*lower)[static_cast<std::size_t>(j)] : model.variable(j).lower;
+    lp.upper[static_cast<std::size_t>(j)] =
+        upper ? (*upper)[static_cast<std::size_t>(j)] : model.variable(j).upper;
+  }
+  lp.rows.reserve(model.constraints().size());
+  for (const ConstraintInfo& con : model.constraints()) {
+    LpRow row;
+    row.terms = con.expr.terms();
+    row.sense = con.sense;
+    row.rhs = con.rhs;
+    lp.rows.push_back(std::move(row));
+  }
+  return lp;
+}
+
+}  // namespace corelocate::ilp

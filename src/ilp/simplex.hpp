@@ -1,0 +1,58 @@
+#pragma once
+// Dense two-phase primal simplex.
+//
+// Solves  min c'x  s.t.  a_i'x {<=,>=,=} b_i,  lb <= x <= ub.
+// Internally variables are shifted to y = x - lb >= 0 and finite upper
+// bounds become explicit rows; phase 1 drives artificial variables out of
+// the basis (rows whose artificial cannot leave are linearly dependent and
+// dropped). Pivoting uses Dantzig's rule with a Bland fallback after a
+// stall, which is enough anti-cycling for the problem sizes the map
+// solver produces.
+
+#include <cstdint>
+#include <vector>
+
+#include "ilp/model.hpp"
+
+namespace corelocate::ilp {
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+
+const char* to_string(LpStatus status);
+
+struct LpRow {
+  std::vector<std::pair<int, double>> terms;  // (variable index, coefficient)
+  Sense sense = Sense::kLessEq;
+  double rhs = 0.0;
+};
+
+/// A bounded LP in natural (un-shifted) form.
+struct LpProblem {
+  int var_count = 0;
+  std::vector<double> objective;  // minimize; size var_count
+  std::vector<double> lower;      // finite
+  std::vector<double> upper;      // may be kInfinity
+  std::vector<LpRow> rows;
+};
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> values;  // size var_count when kOptimal
+  std::int64_t iterations = 0;
+};
+
+struct SimplexOptions {
+  double eps = 1e-9;          // pivot / reduced-cost tolerance
+  double feas_tol = 1e-7;     // phase-1 residual considered feasible
+  std::int64_t max_iterations = 0;  // 0 = automatic (scales with size)
+};
+
+LpSolution solve_lp(const LpProblem& problem, const SimplexOptions& options = {});
+
+/// LP relaxation of a MILP model (drops integrality). `lower`/`upper`
+/// override the model bounds when non-null (used by branch & bound).
+LpProblem relax(const Model& model, const std::vector<double>* lower = nullptr,
+                const std::vector<double>* upper = nullptr);
+
+}  // namespace corelocate::ilp

@@ -1,0 +1,69 @@
+#include "mesh/contention.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace corelocate::mesh {
+
+std::vector<Link> route_links(const TileGrid& grid, const Coord& src, const Coord& dst) {
+  std::vector<Link> links;
+  Coord prev = src;
+  for (const Hop& hop : route_yx(grid, src, dst).hops) {
+    links.push_back(Link{prev, hop.receiver});
+    prev = hop.receiver;
+  }
+  return links;
+}
+
+ContendedMesh::ContendedMesh(const TileGrid& grid, ContentionParams params)
+    : grid_(grid), params_(params) {}
+
+int ContendedMesh::add_stream(const Coord& src, const Coord& dst, double intensity) {
+  if (intensity < 0.0 || intensity > 1.0) {
+    throw std::invalid_argument("ContendedMesh: intensity must be in [0, 1]");
+  }
+  Stream stream;
+  stream.links = route_links(grid_, src, dst);
+  stream.intensity = intensity;
+  const int id = next_id_++;
+  streams_.emplace(id, std::move(stream));
+  return id;
+}
+
+void ContendedMesh::remove_stream(int id) { streams_.erase(id); }
+
+void ContendedMesh::set_intensity(int id, double intensity) {
+  if (intensity < 0.0 || intensity > 1.0) {
+    throw std::invalid_argument("ContendedMesh: intensity must be in [0, 1]");
+  }
+  const auto it = streams_.find(id);
+  if (it != streams_.end()) it->second.intensity = intensity;
+}
+
+double ContendedMesh::utilization(const Link& link) const {
+  double total = 0.0;
+  for (const auto& [id, stream] : streams_) {
+    if (std::find(stream.links.begin(), stream.links.end(), link) !=
+        stream.links.end()) {
+      total += stream.intensity;
+    }
+  }
+  return std::min(total, params_.max_utilization);
+}
+
+double ContendedMesh::probe_latency(const Coord& src, const Coord& dst) const {
+  double latency = 0.0;
+  for (const Link& link : route_links(grid_, src, dst)) {
+    latency += params_.hop_cycles + params_.router_cycles +
+               params_.contention_factor * utilization(link);
+  }
+  return latency;
+}
+
+double ContendedMesh::idle_latency(const Coord& src, const Coord& dst) const {
+  const auto links = route_links(grid_, src, dst);
+  return static_cast<double>(links.size()) *
+         (params_.hop_cycles + params_.router_cycles);
+}
+
+}  // namespace corelocate::mesh

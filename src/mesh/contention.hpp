@@ -1,0 +1,85 @@
+#pragma once
+// Mesh-contention latency model.
+//
+// The paper motivates core locating with location-based attacks, citing
+// the ring/mesh traffic-contention side channel (Paccagnella et al.,
+// USENIX Security'21): a probe packet that shares directed mesh links
+// with a victim's traffic is delayed measurably. Whether an attacker's
+// probe path overlaps the victim's path depends entirely on *physical*
+// placement — which is exactly what the recovered core map reveals.
+//
+// ContendedMesh is a steady-state queueing approximation: persistent
+// streams load directed links with an intensity in [0, 1); a probe's
+// expected latency is the sum over its YX-route links of the base hop
+// latency inflated by the utilization of that link.
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "mesh/routing.hpp"
+
+namespace corelocate::mesh {
+
+struct ContentionParams {
+  double hop_cycles = 4.0;        ///< base ring-hop latency
+  double router_cycles = 1.0;     ///< per-hop ingress/egress overhead
+  double contention_factor = 10.0;///< extra cycles per unit utilization/hop
+  double max_utilization = 0.95;  ///< queueing clamp
+};
+
+/// A directed mesh link between adjacent tiles.
+struct Link {
+  Coord from;
+  Coord to;
+  friend bool operator<(const Link& a, const Link& b) {
+    return std::tie(a.from, a.to) < std::tie(b.from, b.to);
+  }
+  friend bool operator==(const Link&, const Link&) = default;
+};
+
+/// Directed links of the YX route src -> dst, in travel order.
+std::vector<Link> route_links(const TileGrid& grid, const Coord& src, const Coord& dst);
+
+class ContendedMesh {
+ public:
+  explicit ContendedMesh(const TileGrid& grid, ContentionParams params = {});
+
+  const ContentionParams& params() const noexcept { return params_; }
+
+  /// Registers a persistent traffic stream (e.g. a victim hammering its
+  /// LLC slice). `intensity` is the fraction of link bandwidth it uses.
+  /// Returns a stream id.
+  int add_stream(const Coord& src, const Coord& dst, double intensity);
+
+  /// Stops a stream. Unknown ids are ignored.
+  void remove_stream(int id);
+
+  /// Changes a stream's intensity (0 silences it without removing it).
+  void set_intensity(int id, double intensity);
+
+  /// Total utilization of a directed link, clamped to max_utilization.
+  double utilization(const Link& link) const;
+
+  /// Expected latency (cycles) of one probe packet src -> dst under the
+  /// current load.
+  double probe_latency(const Coord& src, const Coord& dst) const;
+
+  /// Latency of the same probe with no streams active (the baseline the
+  /// attacker calibrates against).
+  double idle_latency(const Coord& src, const Coord& dst) const;
+
+ private:
+  struct Stream {
+    std::vector<Link> links;
+    double intensity = 0.0;
+  };
+
+  const TileGrid& grid_;
+  ContentionParams params_;
+  std::map<int, Stream> streams_;
+  int next_id_ = 1;
+};
+
+}  // namespace corelocate::mesh

@@ -1,0 +1,89 @@
+#include "mesh/grid.hpp"
+
+#include <cmath>
+
+namespace corelocate::mesh {
+
+std::string to_string(const Coord& c) {
+  return "(" + std::to_string(c.row) + "," + std::to_string(c.col) + ")";
+}
+
+const char* to_string(TileKind kind) {
+  switch (kind) {
+    case TileKind::kCore: return "core";
+    case TileKind::kLlcOnly: return "llc-only";
+    case TileKind::kDisabledCore: return "disabled";
+    case TileKind::kImc: return "imc";
+  }
+  return "?";
+}
+
+TileGrid::TileGrid(int rows, int cols) : rows_(rows), cols_(cols) {
+  if (rows <= 0 || cols <= 0) throw std::invalid_argument("TileGrid: non-positive dims");
+  tiles_.assign(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), Tile{});
+}
+
+std::size_t TileGrid::index_of(const Coord& c) const {
+  if (!in_bounds(c)) throw std::out_of_range("TileGrid: coord out of bounds " + to_string(c));
+  return static_cast<std::size_t>(c.row) * static_cast<std::size_t>(cols_) +
+         static_cast<std::size_t>(c.col);
+}
+
+Coord TileGrid::coord_of(std::size_t index) const {
+  if (index >= tiles_.size()) throw std::out_of_range("TileGrid: index out of bounds");
+  return Coord{static_cast<int>(index / static_cast<std::size_t>(cols_)),
+               static_cast<int>(index % static_cast<std::size_t>(cols_))};
+}
+
+std::vector<Coord> TileGrid::all_coords() const {
+  std::vector<Coord> coords;
+  coords.reserve(tiles_.size());
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) coords.push_back(Coord{r, c});
+  }
+  return coords;
+}
+
+std::vector<Coord> TileGrid::cha_coords_column_major() const {
+  std::vector<Coord> coords;
+  for (int c = 0; c < cols_; ++c) {
+    for (int r = 0; r < rows_; ++r) {
+      if (has_cha(kind_at(Coord{r, c}))) coords.push_back(Coord{r, c});
+    }
+  }
+  return coords;
+}
+
+std::vector<Coord> TileGrid::cha_coords_row_major() const {
+  std::vector<Coord> coords;
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      if (has_cha(kind_at(Coord{r, c}))) coords.push_back(Coord{r, c});
+    }
+  }
+  return coords;
+}
+
+int TileGrid::count(TileKind kind) const noexcept {
+  int n = 0;
+  for (const Tile& t : tiles_) {
+    if (t.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::vector<Coord> TileGrid::neighbors(const Coord& c) const {
+  std::vector<Coord> result;
+  const Coord candidates[4] = {{c.row - 1, c.col}, {c.row + 1, c.col},
+                               {c.row, c.col - 1}, {c.row, c.col + 1}};
+  for (const Coord& n : candidates) {
+    if (in_bounds(n)) result.push_back(n);
+  }
+  return result;
+}
+
+int TileGrid::manhattan(const Coord& a, const Coord& b) noexcept {
+  return std::abs(a.row - b.row) + std::abs(a.col - b.col);
+}
+
+}  // namespace corelocate::mesh

@@ -1,0 +1,105 @@
+#pragma once
+// Geometry of the Xeon core tile grid (paper Fig. 1).
+//
+// A die is a T_h x T_w grid of tiles. Most tiles are *core tiles* holding a
+// processor core plus an LLC slice fronted by a Cache-Home Agent (CHA).
+// Some positions are occupied by the integrated memory controller (IMC),
+// some core tiles are fused off entirely (disabled core + disabled CHA),
+// and some configurations keep the LLC slice alive but disable the core
+// ("LLC-only" tiles). These distinctions drive the partial observability
+// that makes the mapping problem non-trivial (paper Sec. II-B).
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace corelocate::mesh {
+
+/// Row/column position on the tile grid. Row 0 is the top row.
+struct Coord {
+  int row = 0;
+  int col = 0;
+
+  friend bool operator==(const Coord&, const Coord&) = default;
+  friend auto operator<=>(const Coord&, const Coord&) = default;
+};
+
+std::string to_string(const Coord& c);
+
+/// What occupies a tile position.
+enum class TileKind : std::uint8_t {
+  kCore,          ///< active core + active LLC slice/CHA
+  kLlcOnly,       ///< disabled core, but LLC slice + CHA (and PMON) active
+  kDisabledCore,  ///< fused-off tile: routes traffic but PMON is dead
+  kImc,           ///< integrated memory controller tile: no core, no CHA
+};
+
+const char* to_string(TileKind kind);
+
+/// True if the tile has a live CHA whose uncore PMON counters can be read.
+constexpr bool has_cha(TileKind kind) noexcept {
+  return kind == TileKind::kCore || kind == TileKind::kLlcOnly;
+}
+
+/// True if user threads can be pinned to the tile's core.
+constexpr bool has_core(TileKind kind) noexcept { return kind == TileKind::kCore; }
+
+struct Tile {
+  TileKind kind = TileKind::kDisabledCore;
+};
+
+/// Rectangular tile grid. Immutable after construction except for tile
+/// kind assignment (done once by the instance factory).
+class TileGrid {
+ public:
+  TileGrid(int rows, int cols);
+
+  int rows() const noexcept { return rows_; }
+  int cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return tiles_.size(); }
+
+  bool in_bounds(const Coord& c) const noexcept {
+    return c.row >= 0 && c.row < rows_ && c.col >= 0 && c.col < cols_;
+  }
+
+  const Tile& at(const Coord& c) const { return tiles_[index_of(c)]; }
+  Tile& at(const Coord& c) { return tiles_[index_of(c)]; }
+
+  TileKind kind_at(const Coord& c) const { return at(c).kind; }
+  void set_kind(const Coord& c, TileKind kind) { at(c).kind = kind; }
+
+  /// Linearizes a coordinate (row-major). Throws on out-of-bounds.
+  std::size_t index_of(const Coord& c) const;
+  Coord coord_of(std::size_t index) const;
+
+  /// All coordinates in row-major order.
+  std::vector<Coord> all_coords() const;
+
+  /// Coordinates whose tile satisfies has_cha(), in column-major order
+  /// (the order real Skylake/Cascade Lake parts number their CHAs,
+  /// paper Sec. III-B).
+  std::vector<Coord> cha_coords_column_major() const;
+
+  /// Coordinates whose tile satisfies has_cha(), in row-major order
+  /// (used for the Ice Lake numbering variant).
+  std::vector<Coord> cha_coords_row_major() const;
+
+  /// Counts tiles of the given kind.
+  int count(TileKind kind) const noexcept;
+
+  /// 4-neighbourhood (N/S/E/W) coordinates that are in bounds.
+  std::vector<Coord> neighbors(const Coord& c) const;
+
+  /// Manhattan distance between two coordinates.
+  static int manhattan(const Coord& a, const Coord& b) noexcept;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<Tile> tiles_;
+};
+
+}  // namespace corelocate::mesh

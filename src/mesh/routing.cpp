@@ -1,0 +1,70 @@
+#include "mesh/routing.hpp"
+
+namespace corelocate::mesh {
+
+const char* to_string(Direction d) {
+  switch (d) {
+    case Direction::kUp: return "up";
+    case Direction::kDown: return "down";
+    case Direction::kEast: return "east";
+    case Direction::kWest: return "west";
+  }
+  return "?";
+}
+
+const char* to_string(ChannelLabel label) {
+  switch (label) {
+    case ChannelLabel::kUp: return "UP";
+    case ChannelLabel::kDown: return "DN";
+    case ChannelLabel::kLeft: return "LF";
+    case ChannelLabel::kRight: return "RT";
+  }
+  return "?";
+}
+
+ChannelLabel ingress_label(Direction direction, const Coord& receiver) noexcept {
+  switch (direction) {
+    case Direction::kUp: return ChannelLabel::kUp;
+    case Direction::kDown: return ChannelLabel::kDown;
+    case Direction::kEast:
+      return (receiver.col % 2 == 0) ? ChannelLabel::kRight : ChannelLabel::kLeft;
+    case Direction::kWest:
+      return (receiver.col % 2 == 0) ? ChannelLabel::kLeft : ChannelLabel::kRight;
+  }
+  return ChannelLabel::kUp;
+}
+
+Route route_yx(const TileGrid& grid, const Coord& source, const Coord& sink) {
+  if (!grid.in_bounds(source) || !grid.in_bounds(sink)) {
+    throw std::out_of_range("route_yx: endpoint out of bounds");
+  }
+  Route route;
+  route.source = source;
+  route.sink = sink;
+
+  // Vertical leg along the source column. "Up" means towards row 0.
+  Coord cursor = source;
+  while (cursor.row != sink.row) {
+    const bool up = sink.row < cursor.row;
+    cursor.row += up ? -1 : 1;
+    route.hops.push_back(Hop{cursor, up ? Direction::kUp : Direction::kDown});
+  }
+  // Horizontal leg along the sink row. "East" means increasing column.
+  while (cursor.col != sink.col) {
+    const bool east = sink.col > cursor.col;
+    cursor.col += east ? 1 : -1;
+    route.hops.push_back(Hop{cursor, east ? Direction::kEast : Direction::kWest});
+  }
+  return route;
+}
+
+std::vector<IngressEvent> ingress_events(const Route& route) {
+  std::vector<IngressEvent> events;
+  events.reserve(route.hops.size());
+  for (const Hop& hop : route.hops) {
+    events.push_back(IngressEvent{hop.receiver, ingress_label(hop.direction, hop.receiver)});
+  }
+  return events;
+}
+
+}  // namespace corelocate::mesh

@@ -1,0 +1,57 @@
+#include "msr/msr_device.hpp"
+
+namespace corelocate::msr {
+
+std::uint64_t PpinMsr::read(std::uint32_t address) const {
+  if (address == kMsrPpinCtl) {
+    return (enabled_ ? 0x2u : 0x0u) | (locked_ ? 0x1u : 0x0u);
+  }
+  if (address == kMsrPpin) {
+    if (!enabled_) throw MsrFault("MSR_PPIN read while PPIN_CTL.Enable is clear");
+    return ppin_;
+  }
+  throw MsrFault("PpinMsr: unhandled address");
+}
+
+void PpinMsr::write(std::uint32_t address, std::uint64_t value) {
+  if (address == kMsrPpin) throw MsrFault("MSR_PPIN is read-only");
+  if (address != kMsrPpinCtl) throw MsrFault("PpinMsr: unhandled address");
+  if (locked_) throw MsrFault("MSR_PPIN_CTL is locked");
+  enabled_ = (value & 0x2) != 0;
+  locked_ = (value & 0x1) != 0;
+  if (locked_) enabled_ = false;  // LockOut forces the PPIN unreadable.
+}
+
+void CompositeMsrDevice::add_range(Range range) {
+  if (range.end <= range.begin) throw std::invalid_argument("empty MSR range");
+  for (const Range& existing : ranges_) {
+    const bool overlap = range.begin < existing.end && existing.begin < range.end;
+    if (overlap) throw std::invalid_argument("overlapping MSR ranges");
+  }
+  ranges_.push_back(range);
+}
+
+const CompositeMsrDevice::Range* CompositeMsrDevice::find(std::uint32_t address) const noexcept {
+  for (const Range& range : ranges_) {
+    if (address >= range.begin && address < range.end) return &range;
+  }
+  return nullptr;
+}
+
+std::uint64_t CompositeMsrDevice::read(std::uint32_t address) const {
+  const Range* range = find(address);
+  if (range == nullptr) {
+    throw MsrFault("rdmsr to undecoded address 0x" + std::to_string(address));
+  }
+  return range->read(range->context, address);
+}
+
+void CompositeMsrDevice::write(std::uint32_t address, std::uint64_t value) {
+  const Range* range = find(address);
+  if (range == nullptr) {
+    throw MsrFault("wrmsr to undecoded address 0x" + std::to_string(address));
+  }
+  range->write(range->context, address, value);
+}
+
+}  // namespace corelocate::msr

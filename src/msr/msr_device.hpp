@@ -1,0 +1,105 @@
+#pragma once
+// Model-specific-register access layer.
+//
+// On real hardware the mapping tool talks to the CPU exclusively through
+// /dev/cpu/*/msr (root required): it reads the PPIN to identify the chip
+// instance and programs the uncore PMON through CHA register banks. The
+// simulator reproduces exactly that interface so the tool code has the
+// same shape it would have on bare metal.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace corelocate::msr {
+
+/// Raised when software touches an address the part does not decode, or
+/// violates an access rule (e.g. reading PPIN before enabling it) — the
+/// hardware equivalent is a #GP fault.
+class MsrFault : public std::runtime_error {
+ public:
+  explicit MsrFault(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Abstract 64-bit register file keyed by MSR address.
+class MsrDevice {
+ public:
+  virtual ~MsrDevice() = default;
+
+  virtual std::uint64_t read(std::uint32_t address) const = 0;
+  virtual void write(std::uint32_t address, std::uint64_t value) = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Architectural MSR addresses used by the tool (values follow the Intel SDM
+// / uncore performance monitoring reference for Skylake-SP).
+// ---------------------------------------------------------------------------
+
+/// MSR_PPIN_CTL: bit0 = LockOut, bit1 = Enable.
+constexpr std::uint32_t kMsrPpinCtl = 0x04E;
+/// MSR_PPIN: the Protected Processor Inventory Number. Reading while
+/// PPIN_CTL.Enable is clear faults.
+constexpr std::uint32_t kMsrPpin = 0x04F;
+
+/// Base address of CHA 0's uncore PMON bank; banks are 0x10 apart.
+constexpr std::uint32_t kChaPmonBase = 0xE00;
+constexpr std::uint32_t kChaPmonStride = 0x10;
+
+/// Register offsets inside one CHA PMON bank.
+constexpr std::uint32_t kChaOffUnitCtl = 0x0;
+constexpr std::uint32_t kChaOffCtl0 = 0x1;    // 4 control registers: 0x1..0x4
+constexpr std::uint32_t kChaOffFilter0 = 0x5;
+constexpr std::uint32_t kChaOffFilter1 = 0x6;
+constexpr std::uint32_t kChaOffStatus = 0x7;
+constexpr std::uint32_t kChaOffCtr0 = 0x8;    // 4 counter registers: 0x8..0xB
+constexpr int kChaCountersPerBank = 4;
+
+/// PPIN MSR pair. Mirrors the SDM behaviour: PPIN readable only while
+/// PPIN_CTL.Enable (bit 1) is set, and the control register locks once
+/// LockOut (bit 0) is written.
+class PpinMsr {
+ public:
+  explicit PpinMsr(std::uint64_t ppin) : ppin_(ppin) {}
+
+  bool decodes(std::uint32_t address) const noexcept {
+    return address == kMsrPpinCtl || address == kMsrPpin;
+  }
+  std::uint64_t read(std::uint32_t address) const;
+  void write(std::uint32_t address, std::uint64_t value);
+
+ private:
+  std::uint64_t ppin_;
+  bool enabled_ = false;
+  bool locked_ = false;
+};
+
+/// A composite MsrDevice that dispatches to registered handlers; used by
+/// the virtual Xeon to stitch PPIN + uncore PMON into one register file.
+class CompositeMsrDevice final : public MsrDevice {
+ public:
+  using ReadFn = std::uint64_t (*)(void*, std::uint32_t);
+  using WriteFn = void (*)(void*, std::uint32_t, std::uint64_t);
+
+  /// A handler claims a half-open address range [begin, end).
+  struct Range {
+    std::uint32_t begin;
+    std::uint32_t end;
+    void* context;
+    ReadFn read;
+    WriteFn write;
+  };
+
+  void add_range(Range range);
+
+  std::uint64_t read(std::uint32_t address) const override;
+  void write(std::uint32_t address, std::uint64_t value) override;
+
+ private:
+  const Range* find(std::uint32_t address) const noexcept;
+  std::vector<Range> ranges_;
+};
+
+}  // namespace corelocate::msr

@@ -1,0 +1,117 @@
+#include "msr/pmon.hpp"
+
+namespace corelocate::msr {
+
+ChaPmonUnit::ChaPmonUnit(int cha_count, const PmonBackend& backend)
+    : cha_count_(cha_count), backend_(backend) {
+  if (cha_count <= 0) throw std::invalid_argument("ChaPmonUnit: need >= 1 CHA");
+  banks_.resize(static_cast<std::size_t>(cha_count));
+}
+
+void ChaPmonUnit::decode(std::uint32_t address, int& cha, std::uint32_t& offset) const {
+  if (address < address_begin() || address >= address_end()) {
+    throw MsrFault("CHA PMON: address outside decoded range");
+  }
+  const std::uint32_t rel = address - kChaPmonBase;
+  cha = static_cast<int>(rel / kChaPmonStride);
+  offset = rel % kChaPmonStride;
+}
+
+std::uint64_t ChaPmonUnit::counter_value(int cha, int idx) const {
+  const Counter& counter = banks_[static_cast<std::size_t>(cha)].counters[idx];
+  if (!counter.enabled) return 0;
+  const auto event = static_cast<ChaEvent>(counter.ctl & 0xFF);
+  const auto umask = static_cast<std::uint8_t>((counter.ctl >> 8) & 0xFF);
+  const std::uint64_t now = backend_.event_total(cha, event, umask);
+  return now - counter.baseline;
+}
+
+std::uint64_t ChaPmonUnit::read(std::uint32_t address) const {
+  int cha = 0;
+  std::uint32_t offset = 0;
+  decode(address, cha, offset);
+  const Bank& bank = banks_[static_cast<std::size_t>(cha)];
+  if (offset == kChaOffUnitCtl) return bank.unit_ctl;
+  if (offset >= kChaOffCtl0 && offset < kChaOffCtl0 + kChaCountersPerBank) {
+    return bank.counters[offset - kChaOffCtl0].ctl;
+  }
+  if (offset == kChaOffFilter0) return bank.filter0;
+  if (offset == kChaOffFilter1) return bank.filter1;
+  if (offset == kChaOffStatus) return 0;
+  if (offset >= kChaOffCtr0 && offset < kChaOffCtr0 + kChaCountersPerBank) {
+    return counter_value(cha, static_cast<int>(offset - kChaOffCtr0));
+  }
+  throw MsrFault("CHA PMON: reserved register offset");
+}
+
+void ChaPmonUnit::write(std::uint32_t address, std::uint64_t value) {
+  int cha = 0;
+  std::uint32_t offset = 0;
+  decode(address, cha, offset);
+  Bank& bank = banks_[static_cast<std::size_t>(cha)];
+  if (offset == kChaOffUnitCtl) {
+    bank.unit_ctl = value;
+    return;
+  }
+  if (offset >= kChaOffCtl0 && offset < kChaOffCtl0 + kChaCountersPerBank) {
+    Counter& counter = bank.counters[offset - kChaOffCtl0];
+    counter.ctl = value & ~kCtlResetBit;  // reset bit reads back as 0
+    counter.enabled = (value & kCtlEnableBit) != 0;
+    if (counter.enabled) {
+      const auto event = static_cast<ChaEvent>(value & 0xFF);
+      const auto umask = static_cast<std::uint8_t>((value >> 8) & 0xFF);
+      // Enabling (or explicitly resetting) latches the ground truth so the
+      // counter reads back the delta from this moment.
+      counter.baseline = backend_.event_total(cha, event, umask);
+    }
+    return;
+  }
+  if (offset == kChaOffFilter0) {
+    bank.filter0 = value;
+    return;
+  }
+  if (offset == kChaOffFilter1) {
+    bank.filter1 = value;
+    return;
+  }
+  if (offset >= kChaOffCtr0 && offset < kChaOffCtr0 + kChaCountersPerBank) {
+    // Writing a counter sets its value; only 0 (reset) is supported here.
+    Counter& counter = bank.counters[offset - kChaOffCtr0];
+    if (value != 0) throw MsrFault("CHA PMON: only counter reset (0) writes supported");
+    const auto event = static_cast<ChaEvent>(counter.ctl & 0xFF);
+    const auto umask = static_cast<std::uint8_t>((counter.ctl >> 8) & 0xFF);
+    counter.baseline = backend_.event_total(cha, event, umask);
+    return;
+  }
+  throw MsrFault("CHA PMON: write to reserved register offset");
+}
+
+std::uint32_t PmonDriver::ctl_address(int cha, int idx) {
+  return kChaPmonBase + static_cast<std::uint32_t>(cha) * kChaPmonStride + kChaOffCtl0 +
+         static_cast<std::uint32_t>(idx);
+}
+
+std::uint32_t PmonDriver::ctr_address(int cha, int idx) {
+  return kChaPmonBase + static_cast<std::uint32_t>(cha) * kChaPmonStride + kChaOffCtr0 +
+         static_cast<std::uint32_t>(idx);
+}
+
+void PmonDriver::program(int cha, int idx, ChaEvent event, std::uint8_t umask) {
+  device_.write(ctl_address(cha, idx), make_ctl(event, umask, true) | kCtlResetBit);
+}
+
+std::uint64_t PmonDriver::read(int cha, int idx) const {
+  return device_.read(ctr_address(cha, idx));
+}
+
+void PmonDriver::disable(int cha, int idx) {
+  device_.write(ctl_address(cha, idx), 0);
+}
+
+std::uint64_t PmonDriver::read_ppin() {
+  const std::uint64_t ctl = device_.read(kMsrPpinCtl);
+  if ((ctl & 0x2) == 0) device_.write(kMsrPpinCtl, 0x2);
+  return device_.read(kMsrPpin);
+}
+
+}  // namespace corelocate::msr

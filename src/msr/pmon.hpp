@@ -1,0 +1,127 @@
+#pragma once
+// Uncore performance monitoring (PMON) model for the CHA units.
+//
+// Each active CHA exposes a bank of MSRs (unit control, four event-select
+// control registers, filters, four counters) at kChaPmonBase + cha_id *
+// kChaPmonStride — the layout the "Intel Xeon Processor Scalable Memory
+// Family Uncore Performance Monitoring" reference manual documents and
+// the layout the paper's tool programs.
+//
+// The PMON model is *event-sourced*: the simulator keeps omniscient
+// ground-truth totals (ring busy cycles per tile/channel, LLC lookups per
+// CHA); an enabled counter latches the ground-truth total at enable/reset
+// time and reads back the delta. Fused-off tiles have no CHA bank at all,
+// which is exactly the observability hole the paper works around.
+
+#include <cstdint>
+#include <vector>
+
+#include "msr/msr_device.hpp"
+
+namespace corelocate::msr {
+
+/// CHA event encodings (event select [7:0], umask [15:8] of the control
+/// register), following the SKX uncore manual.
+enum class ChaEvent : std::uint8_t {
+  kLlcLookup = 0x34,         ///< LLC_LOOKUP
+  kVertRingBlInUse = 0xAA,   ///< VERT_RING_BL_IN_USE
+  kHorzRingBlInUse = 0xAB,   ///< HORZ_RING_BL_IN_USE
+};
+
+// Umasks: the ring events count even/odd ring polarities separately on
+// real parts; software ORs both bits to see the whole direction.
+constexpr std::uint8_t kUmaskLlcLookupAny = 0x11;
+constexpr std::uint8_t kUmaskVertUp = 0x03;    // UP_EVEN | UP_ODD
+constexpr std::uint8_t kUmaskVertDown = 0x0C;  // DN_EVEN | DN_ODD
+constexpr std::uint8_t kUmaskHorzLeft = 0x03;  // LEFT_EVEN | LEFT_ODD
+constexpr std::uint8_t kUmaskHorzRight = 0x0C; // RIGHT_EVEN | RIGHT_ODD
+
+/// Control-register fields.
+constexpr std::uint64_t kCtlEnableBit = 1ULL << 22;
+constexpr std::uint64_t kCtlResetBit = 1ULL << 17;
+
+constexpr std::uint64_t make_ctl(ChaEvent event, std::uint8_t umask,
+                                 bool enable = true) noexcept {
+  return static_cast<std::uint64_t>(event) |
+         (static_cast<std::uint64_t>(umask) << 8) | (enable ? kCtlEnableBit : 0);
+}
+
+/// Ground-truth supplier the PMON reads from. Implemented by the virtual
+/// Xeon: it resolves (cha_id, event, umask) to the omniscient counter.
+class PmonBackend {
+ public:
+  virtual ~PmonBackend() = default;
+
+  /// Monotonic total of the event since simulation start. Unknown
+  /// event/umask combinations must return 0 (hardware counts nothing for
+  /// reserved encodings; it does not fault).
+  virtual std::uint64_t event_total(int cha_id, ChaEvent event,
+                                    std::uint8_t umask) const = 0;
+};
+
+/// The MSR-visible PMON for all CHAs of one socket.
+class ChaPmonUnit {
+ public:
+  /// `cha_count` is the number of *active* CHAs (core + LLC-only tiles);
+  /// fused-off tiles get no bank.
+  ChaPmonUnit(int cha_count, const PmonBackend& backend);
+
+  int cha_count() const noexcept { return cha_count_; }
+
+  /// Address range this unit decodes, for CompositeMsrDevice registration.
+  std::uint32_t address_begin() const noexcept { return kChaPmonBase; }
+  std::uint32_t address_end() const noexcept {
+    return kChaPmonBase + static_cast<std::uint32_t>(cha_count_) * kChaPmonStride;
+  }
+
+  std::uint64_t read(std::uint32_t address) const;
+  void write(std::uint32_t address, std::uint64_t value);
+
+ private:
+  struct Counter {
+    std::uint64_t ctl = 0;        // last written control value
+    std::uint64_t baseline = 0;   // ground-truth total at enable/reset
+    bool enabled = false;
+  };
+  struct Bank {
+    Counter counters[kChaCountersPerBank];
+    std::uint64_t filter0 = 0;
+    std::uint64_t filter1 = 0;
+    std::uint64_t unit_ctl = 0;
+  };
+
+  std::uint64_t counter_value(int cha, int idx) const;
+  void decode(std::uint32_t address, int& cha, std::uint32_t& offset) const;
+
+  int cha_count_;
+  const PmonBackend& backend_;
+  std::vector<Bank> banks_;
+};
+
+/// Convenience driver the *tool side* uses: programs counters and reads
+/// them back purely through an MsrDevice, mirroring what a real user-space
+/// monitor does through /dev/cpu/N/msr.
+class PmonDriver {
+ public:
+  explicit PmonDriver(MsrDevice& device) : device_(device) {}
+
+  /// Programs counter `idx` of `cha` to count (event, umask), resetting it.
+  void program(int cha, int idx, ChaEvent event, std::uint8_t umask);
+
+  /// Reads counter `idx` of `cha`.
+  std::uint64_t read(int cha, int idx) const;
+
+  /// Disables counter `idx` of `cha`.
+  void disable(int cha, int idx);
+
+  /// Reads the chip's PPIN (enables PPIN_CTL first if needed).
+  std::uint64_t read_ppin();
+
+ private:
+  static std::uint32_t ctl_address(int cha, int idx);
+  static std::uint32_t ctr_address(int cha, int idx);
+
+  MsrDevice& device_;
+};
+
+}  // namespace corelocate::msr

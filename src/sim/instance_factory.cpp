@@ -1,0 +1,262 @@
+#include "sim/instance_factory.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace corelocate::sim {
+
+std::optional<int> InstanceConfig::cha_at(const mesh::Coord& tile) const {
+  for (std::size_t id = 0; id < cha_tiles.size(); ++id) {
+    if (cha_tiles[id] == tile) return static_cast<int>(id);
+  }
+  return std::nullopt;
+}
+
+std::optional<int> InstanceConfig::os_core_of_cha(int cha) const {
+  for (std::size_t os = 0; os < os_core_to_cha.size(); ++os) {
+    if (os_core_to_cha[os] == cha) return static_cast<int>(os);
+  }
+  return std::nullopt;
+}
+
+std::vector<int> InstanceConfig::llc_only_chas() const {
+  std::vector<int> result;
+  for (int cha = 0; cha < cha_count(); ++cha) {
+    if (grid.kind_at(tile_of_cha(cha)) == mesh::TileKind::kLlcOnly) result.push_back(cha);
+  }
+  return result;
+}
+
+std::vector<int> assign_os_core_ids(const std::vector<int>& core_chas, OsNumbering rule) {
+  std::vector<int> sorted = core_chas;
+  std::sort(sorted.begin(), sorted.end());
+  if (rule == OsNumbering::kAscending) return sorted;
+  // Table I rule: group by (cha % 4) in class order {0, 2, 1, 3}.
+  std::vector<int> assigned;
+  assigned.reserve(sorted.size());
+  for (int cls : {0, 2, 1, 3}) {
+    for (int cha : sorted) {
+      if (cha % 4 == cls) assigned.push_back(cha);
+    }
+  }
+  return assigned;
+}
+
+InstanceFactory::InstanceFactory(std::uint64_t fleet_seed) : fleet_seed_(fleet_seed) {
+  for (XeonModel model : all_models()) {
+    pools_[static_cast<int>(model)] =
+        build_pool(spec_for(model), fleet_seed ^ (0x9E37ULL * (static_cast<int>(model) + 1)));
+  }
+}
+
+const InstanceFactory::PatternPool& InstanceFactory::pool_for(XeonModel model) const {
+  return pools_[static_cast<int>(model)];
+}
+
+namespace {
+
+/// True if, after disabling `pattern`, every row and column still has at
+/// least one live-CHA tile. Keeps the paper's "exact index" case (Sec
+/// II-D): a fully vacant row/column would only be recoverable up to the
+/// vacancy.
+bool keeps_grid_covered(const ModelSpec& spec, const std::vector<mesh::Coord>& pattern) {
+  std::vector<int> row_live(static_cast<std::size_t>(spec.die.rows), 0);
+  std::vector<int> col_live(static_cast<std::size_t>(spec.die.cols), 0);
+  auto disabled = [&pattern](const mesh::Coord& c) {
+    return std::find(pattern.begin(), pattern.end(), c) != pattern.end();
+  };
+  for (int r = 0; r < spec.die.rows; ++r) {
+    for (int c = 0; c < spec.die.cols; ++c) {
+      const mesh::Coord coord{r, c};
+      const bool imc = std::find(spec.die.imc_tiles.begin(), spec.die.imc_tiles.end(),
+                                 coord) != spec.die.imc_tiles.end();
+      if (!imc && !disabled(coord)) {
+        ++row_live[static_cast<std::size_t>(r)];
+        ++col_live[static_cast<std::size_t>(c)];
+      }
+    }
+  }
+  const bool rows_ok = std::all_of(row_live.begin(), row_live.end(),
+                                   [](int n) { return n > 0; });
+  const bool cols_ok = std::all_of(col_live.begin(), col_live.end(),
+                                   [](int n) { return n > 0; });
+  return rows_ok && cols_ok;
+}
+
+/// Head-pattern probability mass per model, approximating Table II's
+/// observed frequencies (top-4 shares) and unique-pattern counts.
+struct PopulationShape {
+  std::vector<double> head_weights;
+  int tail_pool;
+};
+
+PopulationShape shape_for(XeonModel model) {
+  switch (model) {
+    case XeonModel::k8124M: return {{0.53, 0.18, 0.05, 0.05}, 10};
+    case XeonModel::k8175M: return {{0.52, 0.07, 0.07, 0.06}, 40};
+    case XeonModel::k8259CL: return {{0.19, 0.05, 0.04, 0.04}, 120};
+    case XeonModel::k6354: return {{0.35, 0.25, 0.12, 0.06}, 8};
+  }
+  throw std::invalid_argument("shape_for: unknown model");
+}
+
+}  // namespace
+
+InstanceFactory::Pattern InstanceFactory::random_pattern(const ModelSpec& spec,
+                                                         util::Rng& rng) {
+  std::vector<mesh::Coord> slots;
+  for (int r = 0; r < spec.die.rows; ++r) {
+    for (int c = 0; c < spec.die.cols; ++c) {
+      const mesh::Coord coord{r, c};
+      const bool imc = std::find(spec.die.imc_tiles.begin(), spec.die.imc_tiles.end(),
+                                 coord) != spec.die.imc_tiles.end();
+      if (!imc) slots.push_back(coord);
+    }
+  }
+  const int disable = spec.disabled_tiles();
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    util::shuffle(slots, rng);
+    Pattern pattern(slots.begin(), slots.begin() + disable);
+    std::sort(pattern.begin(), pattern.end());
+    if (keeps_grid_covered(spec, pattern)) return pattern;
+  }
+  throw std::runtime_error("random_pattern: could not keep grid covered");
+}
+
+InstanceFactory::PatternPool InstanceFactory::build_pool(const ModelSpec& spec,
+                                                         std::uint64_t seed) {
+  const PopulationShape shape = shape_for(spec.model);
+  util::Rng rng(seed);
+  PatternPool pool;
+  std::set<Pattern> seen;
+  auto draw_unique = [&]() {
+    for (int attempt = 0; attempt < 10000; ++attempt) {
+      Pattern p = random_pattern(spec, rng);
+      if (seen.insert(p).second) return p;
+    }
+    throw std::runtime_error("build_pool: pattern space exhausted");
+  };
+  double head_mass = 0.0;
+  for (double w : shape.head_weights) {
+    pool.head.push_back(draw_unique());
+    pool.head_weight.push_back(w);
+    head_mass += w;
+  }
+  for (int i = 0; i < shape.tail_pool; ++i) pool.tail.push_back(draw_unique());
+  pool.tail_weight = 1.0 - head_mass;
+  return pool;
+}
+
+InstanceFactory::Pattern InstanceFactory::sample_pattern(const PatternPool& pool,
+                                                         util::Rng& rng) {
+  double u = rng.uniform();
+  for (std::size_t i = 0; i < pool.head.size(); ++i) {
+    if (u < pool.head_weight[i]) return pool.head[i];
+    u -= pool.head_weight[i];
+  }
+  return pool.tail[rng.below(pool.tail.size())];
+}
+
+std::vector<int> InstanceFactory::pick_llc_only_chas(const ModelSpec& spec,
+                                                     std::uint64_t pattern_hash) {
+  if (spec.llc_only_tiles == 0) return {};
+  const int n = spec.cha_count();
+  // All draws below are a pure function of the fuse-out pattern.
+  util::Rng rng(util::mix64(pattern_hash ^ 0x11CC0117ULL));
+  auto random_set = [&rng, &spec, n] {
+    std::vector<int> ids;
+    while (static_cast<int>(ids.size()) < spec.llc_only_tiles) {
+      const int id = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+      if (std::find(ids.begin(), ids.end(), id) == ids.end()) ids.push_back(id);
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  };
+  if (spec.llc_only_tiles == 2) {
+    // Head-heavy like Table I's 8259CL rows: {3,25} dominates, then
+    // {2,25}, then a scattering of rare pairs.
+    const double u = rng.uniform();
+    if (u < 0.62) return {3, n - 1};
+    if (u < 0.95) return {2, n - 1};
+    return random_set();
+  }
+  // Larger LLC-only sets (Ice Lake): two canonical fuse-out choices
+  // dominate, with a random tail — keeping the fleet's pattern diversity
+  // head-heavy like the paper's 6-unique-in-10 observation.
+  const double u = rng.uniform();
+  if (u < 0.85) {
+    util::Rng canonical(0x1CE1A4EULL + static_cast<std::uint64_t>(spec.model) * 31 +
+                        (u < 0.50 ? 0 : 1));
+    std::vector<int> ids;
+    while (static_cast<int>(ids.size()) < spec.llc_only_tiles) {
+      const int id = static_cast<int>(canonical.below(static_cast<std::uint64_t>(n)));
+      if (std::find(ids.begin(), ids.end(), id) == ids.end()) ids.push_back(id);
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
+  return random_set();
+}
+
+InstanceConfig InstanceFactory::make_instance(XeonModel model, util::Rng& rng) const {
+  const ModelSpec& spec = spec_for(model);
+  InstanceConfig config;
+  config.model = model;
+  config.ppin = rng();
+  config.slice_hash_key = rng();
+  config.grid = make_die_grid(spec.die);
+  config.imc_tiles = spec.die.imc_tiles;
+
+  // Fuse out the disabled tiles; everything else is a live core tile.
+  const Pattern disabled = sample_pattern(pool_for(model), rng);
+  for (const mesh::Coord& coord : config.grid.all_coords()) {
+    if (config.grid.kind_at(coord) == mesh::TileKind::kImc) continue;
+    const bool is_disabled =
+        std::find(disabled.begin(), disabled.end(), coord) != disabled.end();
+    config.grid.set_kind(coord,
+                         is_disabled ? mesh::TileKind::kDisabledCore : mesh::TileKind::kCore);
+  }
+
+  // Number the CHAs over live-CHA tiles (LLC-only tiles keep their CHA, so
+  // numbering is computed before marking them).
+  config.cha_tiles = (spec.numbering == ChaNumbering::kColumnMajor)
+                         ? config.grid.cha_coords_column_major()
+                         : config.grid.cha_coords_row_major();
+  if (static_cast<int>(config.cha_tiles.size()) != spec.cha_count()) {
+    throw std::logic_error("make_instance: CHA count mismatch");
+  }
+
+  // The LLC-only choice is fused together with the disable pattern.
+  std::uint64_t pattern_hash = 0x9E3779B97F4A7C15ULL;
+  for (const mesh::Coord& coord : disabled) {
+    pattern_hash = util::mix64(pattern_hash ^ (static_cast<std::uint64_t>(coord.row) << 16) ^
+                               static_cast<std::uint64_t>(coord.col));
+  }
+  for (int cha : pick_llc_only_chas(spec, pattern_hash)) {
+    config.grid.set_kind(config.cha_tiles[static_cast<std::size_t>(cha)],
+                         mesh::TileKind::kLlcOnly);
+  }
+
+  std::vector<int> core_chas;
+  for (int cha = 0; cha < config.cha_count(); ++cha) {
+    if (config.grid.kind_at(config.tile_of_cha(cha)) == mesh::TileKind::kCore) {
+      core_chas.push_back(cha);
+    }
+  }
+  config.os_core_to_cha = assign_os_core_ids(core_chas, spec.os_numbering);
+  if (static_cast<int>(config.os_core_to_cha.size()) != spec.active_cores) {
+    throw std::logic_error("make_instance: core count mismatch");
+  }
+  return config;
+}
+
+std::vector<InstanceConfig> InstanceFactory::make_fleet(XeonModel model, int count,
+                                                        util::Rng& rng) const {
+  std::vector<InstanceConfig> fleet;
+  fleet.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) fleet.push_back(make_instance(model, rng));
+  return fleet;
+}
+
+}  // namespace corelocate::sim

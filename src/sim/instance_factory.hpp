@@ -1,0 +1,106 @@
+#pragma once
+// Generates individual CPU *instances* of a Xeon model — the simulated
+// counterpart of renting 100 bare-metal cloud machines (paper Sec. III).
+//
+// Every physical die is manufactured with the full tile grid; an SKU
+// fuses off (disables) some core tiles — which ones varies per die, driven
+// by defects and binning. The factory reproduces the population structure
+// the paper measured:
+//   * fuse-out patterns follow a head-heavy distribution: a few canonical
+//     patterns dominate, with a long tail of rarer ones (Table II);
+//   * CHA IDs number the live-CHA tiles column-major (row-major on Ice
+//     Lake), skipping fused-off tiles (paper Sec. III-B);
+//   * OS core IDs follow the mod-4 class rule visible in Table I, so all
+//     8124M/8175M instances share one OS<->CHA map while the 8259CL's
+//     LLC-only tiles create a handful of variants;
+//   * every instance gets a unique PPIN and its own slice-hash key.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mesh/grid.hpp"
+#include "sim/xeon_config.hpp"
+#include "util/rng.hpp"
+
+namespace corelocate::sim {
+
+/// Ground truth for one CPU instance. This is what the locator tries to
+/// recover through MSR accesses only.
+struct InstanceConfig {
+  XeonModel model{};
+  std::uint64_t ppin = 0;
+  std::uint64_t slice_hash_key = 0;
+  mesh::TileGrid grid{1, 1};
+  std::vector<mesh::Coord> cha_tiles;  ///< CHA id -> tile coordinate
+  std::vector<int> os_core_to_cha;     ///< OS core id -> CHA id
+  std::vector<mesh::Coord> imc_tiles;
+
+  int cha_count() const noexcept { return static_cast<int>(cha_tiles.size()); }
+  int os_core_count() const noexcept { return static_cast<int>(os_core_to_cha.size()); }
+
+  mesh::Coord tile_of_cha(int cha) const { return cha_tiles.at(static_cast<std::size_t>(cha)); }
+  mesh::Coord tile_of_os_core(int os_core) const {
+    return tile_of_cha(os_core_to_cha.at(static_cast<std::size_t>(os_core)));
+  }
+
+  /// CHA id living at a tile, if any.
+  std::optional<int> cha_at(const mesh::Coord& tile) const;
+
+  /// OS core id whose core lives at CHA `cha`, if the tile has a live core.
+  std::optional<int> os_core_of_cha(int cha) const;
+
+  /// CHA ids of LLC-only tiles (live CHA, fused-off core), ascending.
+  std::vector<int> llc_only_chas() const;
+};
+
+/// Computes the OS-core-id -> CHA-id assignment for a set of core-capable
+/// CHA ids (exposed for tests; `rule` selects the model convention).
+std::vector<int> assign_os_core_ids(const std::vector<int>& core_chas, OsNumbering rule);
+
+class InstanceFactory {
+ public:
+  static constexpr std::uint64_t kDefaultFleetSeed = 0xDA7E2022ULL;
+
+  /// `fleet_seed` fixes the canonical fuse-out pattern pools, i.e. the
+  /// manufacturing distribution; per-instance variation comes from `rng`.
+  explicit InstanceFactory(std::uint64_t fleet_seed = kDefaultFleetSeed);
+
+  /// Manufactures one instance of `model`.
+  InstanceConfig make_instance(XeonModel model, util::Rng& rng) const;
+
+  /// Convenience: a whole fleet (what one rents from the cloud).
+  std::vector<InstanceConfig> make_fleet(XeonModel model, int count, util::Rng& rng) const;
+
+ private:
+  /// A fuse-out pattern: the set of core-slot tiles to disable (sorted).
+  using Pattern = std::vector<mesh::Coord>;
+
+  struct PatternPool {
+    std::vector<Pattern> head;       // canonical high-volume patterns
+    std::vector<double> head_weight; // per head pattern
+    std::vector<Pattern> tail;       // uniform long tail
+    double tail_weight = 0.0;        // total probability mass of the tail
+  };
+
+  const PatternPool& pool_for(XeonModel model) const;
+  static PatternPool build_pool(const ModelSpec& spec, std::uint64_t seed);
+  static Pattern sample_pattern(const PatternPool& pool, util::Rng& rng);
+
+  /// Draws a random fuse-out pattern that keeps every row and column of
+  /// the die populated with at least one live CHA tile.
+  static Pattern random_pattern(const ModelSpec& spec, util::Rng& rng);
+
+  /// Picks the CHA ids of the LLC-only tiles (8259CL, Ice Lake). The
+  /// choice is a *deterministic, head-heavy function of the fuse-out
+  /// pattern* — physically one fuse decision — so the fleet shows a
+  /// handful of OS<->CHA map variants like Table I instead of a fresh
+  /// combination per instance.
+  static std::vector<int> pick_llc_only_chas(const ModelSpec& spec,
+                                             std::uint64_t pattern_hash);
+
+  std::uint64_t fleet_seed_;
+  PatternPool pools_[4];
+};
+
+}  // namespace corelocate::sim

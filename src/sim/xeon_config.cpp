@@ -1,0 +1,111 @@
+#include "sim/xeon_config.hpp"
+
+#include <stdexcept>
+
+namespace corelocate::sim {
+
+const char* to_string(XeonModel model) {
+  switch (model) {
+    case XeonModel::k8124M: return "Xeon Platinum 8124M";
+    case XeonModel::k8175M: return "Xeon Platinum 8175M";
+    case XeonModel::k8259CL: return "Xeon Platinum 8259CL";
+    case XeonModel::k6354: return "Xeon Gold 6354";
+  }
+  return "?";
+}
+
+namespace {
+
+DieConfig skylake_xcc_die() {
+  // Paper Fig. 1: 5 rows x 6 columns, IMCs on the edges of the second row.
+  DieConfig die;
+  die.name = "Skylake/Cascade Lake XCC";
+  die.rows = 5;
+  die.cols = 6;
+  die.imc_tiles = {mesh::Coord{1, 0}, mesh::Coord{1, 5}};
+  return die;
+}
+
+DieConfig icelake_die() {
+  // Paper Fig. 5: an 8x6 grid; we place the four memory controllers on the
+  // edge columns (rows 2 and 5), matching the figure's IMC placement.
+  DieConfig die;
+  die.name = "Ice Lake-SP";
+  die.rows = 8;
+  die.cols = 6;
+  die.imc_tiles = {mesh::Coord{2, 0}, mesh::Coord{2, 5}, mesh::Coord{5, 0},
+                   mesh::Coord{5, 5}};
+  return die;
+}
+
+ModelSpec make_spec(XeonModel model) {
+  ModelSpec spec;
+  spec.model = model;
+  spec.name = to_string(model);
+  switch (model) {
+    case XeonModel::k8124M:
+      spec.die = skylake_xcc_die();
+      spec.active_cores = 18;
+      spec.llc_only_tiles = 0;
+      spec.numbering = ChaNumbering::kColumnMajor;
+      break;
+    case XeonModel::k8175M:
+      spec.die = skylake_xcc_die();
+      spec.active_cores = 24;
+      spec.llc_only_tiles = 0;
+      spec.numbering = ChaNumbering::kColumnMajor;
+      break;
+    case XeonModel::k8259CL:
+      spec.die = skylake_xcc_die();
+      spec.active_cores = 24;
+      spec.llc_only_tiles = 2;
+      spec.numbering = ChaNumbering::kColumnMajor;
+      break;
+    case XeonModel::k6354:
+      // 18 cores but the full 39 MB L3 stays enabled: 26 CHAs, i.e. 8
+      // LLC-only tiles (paper Fig. 5 shows CHA ids up to 25 on 18 cores).
+      spec.die = icelake_die();
+      spec.active_cores = 18;
+      spec.llc_only_tiles = 8;
+      spec.numbering = ChaNumbering::kRowMajor;
+      spec.os_numbering = OsNumbering::kAscending;
+      break;
+  }
+  if (spec.disabled_tiles() < 0) {
+    throw std::logic_error("ModelSpec: more active tiles than die slots");
+  }
+  return spec;
+}
+
+}  // namespace
+
+const ModelSpec& spec_for(XeonModel model) {
+  static const ModelSpec k8124 = make_spec(XeonModel::k8124M);
+  static const ModelSpec k8175 = make_spec(XeonModel::k8175M);
+  static const ModelSpec k8259 = make_spec(XeonModel::k8259CL);
+  static const ModelSpec k6354 = make_spec(XeonModel::k6354);
+  switch (model) {
+    case XeonModel::k8124M: return k8124;
+    case XeonModel::k8175M: return k8175;
+    case XeonModel::k8259CL: return k8259;
+    case XeonModel::k6354: return k6354;
+  }
+  throw std::invalid_argument("spec_for: unknown model");
+}
+
+std::vector<XeonModel> all_models() {
+  return {XeonModel::k8124M, XeonModel::k8175M, XeonModel::k8259CL, XeonModel::k6354};
+}
+
+mesh::TileGrid make_die_grid(const DieConfig& die) {
+  mesh::TileGrid grid(die.rows, die.cols);
+  for (const mesh::Coord& c : grid.all_coords()) {
+    grid.set_kind(c, mesh::TileKind::kDisabledCore);
+  }
+  for (const mesh::Coord& imc : die.imc_tiles) {
+    grid.set_kind(imc, mesh::TileKind::kImc);
+  }
+  return grid;
+}
+
+}  // namespace corelocate::sim

@@ -1,0 +1,80 @@
+#pragma once
+// Xeon model database: die geometries and SKU fuse-out parameters for the
+// four CPU models the paper evaluates (Sec. III).
+//
+//  * Xeon Platinum 8124M  — Skylake-SP XCC die, 18 active cores
+//  * Xeon Platinum 8175M  — Skylake-SP XCC die, 24 active cores
+//  * Xeon Platinum 8259CL — Cascade Lake XCC die, 24 cores + 2 LLC-only
+//  * Xeon Gold 6354       — Ice Lake-SP die (8x6 grid), 18 active cores
+//
+// The XCC die is a 5x6 tile grid with the two integrated memory
+// controllers occupying the edge tiles of the second row (paper Fig. 1),
+// leaving 28 core-tile slots. The Ice Lake die is modelled as the 8x6
+// grid the paper reports, with four IMC tiles.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mesh/grid.hpp"
+
+namespace corelocate::sim {
+
+enum class XeonModel : std::uint8_t { k8124M, k8175M, k8259CL, k6354 };
+
+const char* to_string(XeonModel model);
+
+/// How CHA IDs are assigned to tiles with a live CHA.
+enum class ChaNumbering : std::uint8_t {
+  kColumnMajor,  ///< Skylake / Cascade Lake rule (paper Sec. III-B)
+  kRowMajor,     ///< Ice Lake rule differs visibly (paper Fig. 5)
+};
+
+/// How OS core IDs are assigned to core-capable CHA IDs.
+enum class OsNumbering : std::uint8_t {
+  /// Table I's rule: CHA IDs grouped by (cha % 4) in class order
+  /// {0, 2, 1, 3}, ascending within a class, skipping LLC-only CHAs.
+  kMod4Classes,
+  /// Ice Lake: OS core IDs simply ascend with CHA ID (paper Fig. 5).
+  kAscending,
+};
+
+/// Physical die shared by every SKU cut from it.
+struct DieConfig {
+  std::string name;
+  int rows = 0;
+  int cols = 0;
+  std::vector<mesh::Coord> imc_tiles;
+
+  int core_tile_slots() const noexcept {
+    return rows * cols - static_cast<int>(imc_tiles.size());
+  }
+};
+
+/// One SKU: die + fuse-out counts + ID-assignment conventions.
+struct ModelSpec {
+  XeonModel model{};
+  std::string name;
+  DieConfig die;
+  int active_cores = 0;    ///< tiles with live core + live CHA
+  int llc_only_tiles = 0;  ///< tiles with dead core but live CHA
+  ChaNumbering numbering = ChaNumbering::kColumnMajor;
+  OsNumbering os_numbering = OsNumbering::kMod4Classes;
+
+  int cha_count() const noexcept { return active_cores + llc_only_tiles; }
+  int disabled_tiles() const noexcept {
+    return die.core_tile_slots() - active_cores - llc_only_tiles;
+  }
+};
+
+/// Returns the immutable spec for a model.
+const ModelSpec& spec_for(XeonModel model);
+
+/// All models the paper evaluates, in paper order.
+std::vector<XeonModel> all_models();
+
+/// Builds the bare die grid: IMC tiles placed, everything else marked
+/// disabled (the factory then activates cores/LLC-only tiles).
+mesh::TileGrid make_die_grid(const DieConfig& die);
+
+}  // namespace corelocate::sim

@@ -1,0 +1,44 @@
+#include "thermal/external_probe.hpp"
+
+#include <cmath>
+
+namespace corelocate::thermal {
+
+ExternalProbe::ExternalProbe(const mesh::Coord& target, ExternalProbeParams params,
+                             std::uint64_t noise_seed)
+    : target_(target), params_(params),
+      rng_(noise_seed ^ (static_cast<std::uint64_t>(target.row) << 20) ^
+           static_cast<std::uint64_t>(target.col)) {}
+
+double ExternalProbe::spot_average(const ThermalModel& model) const {
+  // Gaussian spot over a 5x5 neighbourhood clipped to the die.
+  const double sigma2 = params_.spot_sigma_tiles * params_.spot_sigma_tiles;
+  double weighted = 0.0;
+  double total_weight = 0.0;
+  for (int dr = -2; dr <= 2; ++dr) {
+    for (int dc = -2; dc <= 2; ++dc) {
+      const mesh::Coord tile{target_.row + dr, target_.col + dc};
+      if (tile.row < 0 || tile.row >= model.rows() || tile.col < 0 ||
+          tile.col >= model.cols()) {
+        continue;
+      }
+      const double weight =
+          std::exp(-static_cast<double>(dr * dr + dc * dc) / (2.0 * sigma2));
+      weighted += weight * model.temperature(tile);
+      total_weight += weight;
+    }
+  }
+  return weighted / total_weight;
+}
+
+double ExternalProbe::read(const ThermalModel& model) {
+  const double now = model.time();
+  if (now - last_refresh_time_ >= params_.update_period_s) {
+    const double raw = spot_average(model) + rng_.gaussian(0.0, params_.noise_sigma_c);
+    latched_value_ = std::floor(raw / params_.resolution_c) * params_.resolution_c;
+    last_refresh_time_ = now;
+  }
+  return latched_value_;
+}
+
+}  // namespace corelocate::thermal

@@ -1,0 +1,50 @@
+#pragma once
+// External thermal probing.
+//
+// The paper's defence discussion (Sec. IV): blocking user-level access to
+// the on-die sensors only closes the *internal* channel — "an attacker who
+// has physical access to the hardware can externally probe the
+// temperature of the desired core tiles on the CPU die" with an infrared
+// pyrometer. The recovered core map is what tells the attacker *where*
+// to point it.
+//
+// The probe differs from the on-die sensor in both directions: far finer
+// amplitude resolution and faster updates, but an optical spot that
+// spatially averages over neighbouring tiles (Gaussian blur).
+
+#include <cstdint>
+
+#include "thermal/thermal_model.hpp"
+
+namespace corelocate::thermal {
+
+struct ExternalProbeParams {
+  double resolution_c = 0.05;     ///< pyrometer amplitude resolution
+  double update_period_s = 0.005; ///< optical sampling interval
+  double noise_sigma_c = 0.05;    ///< measurement noise
+  double spot_sigma_tiles = 0.8;  ///< Gaussian spot radius, in tile pitches
+};
+
+class ExternalProbe {
+ public:
+  ExternalProbe(const mesh::Coord& target, ExternalProbeParams params = {},
+                std::uint64_t noise_seed = 0xE87E24A1ULL);
+
+  const mesh::Coord& target() const noexcept { return target_; }
+  const ExternalProbeParams& params() const noexcept { return params_; }
+
+  /// Reads the blurred, quantized spot temperature at the model's current
+  /// time (rate-limited like the on-die sensor).
+  double read(const ThermalModel& model);
+
+ private:
+  double spot_average(const ThermalModel& model) const;
+
+  mesh::Coord target_;
+  ExternalProbeParams params_;
+  util::Rng rng_;
+  double last_refresh_time_ = -1e18;
+  double latched_value_ = 0.0;
+};
+
+}  // namespace corelocate::thermal

@@ -1,0 +1,24 @@
+#include "thermal/sensor.hpp"
+
+#include <cmath>
+
+namespace corelocate::thermal {
+
+TemperatureSensor::TemperatureSensor(const mesh::Coord& tile, SensorParams params,
+                                     std::uint64_t noise_seed)
+    : tile_(tile), params_(params),
+      rng_(noise_seed ^ (static_cast<std::uint64_t>(tile.row) << 32) ^
+           static_cast<std::uint64_t>(tile.col)) {}
+
+double TemperatureSensor::read(const ThermalModel& model) {
+  const double now = model.time();
+  if (now - last_refresh_time_ >= params_.update_period_s) {
+    const double raw = model.temperature(tile_) + rng_.gaussian(0.0, params_.noise_sigma_c);
+    latched_value_ =
+        std::floor(raw / params_.quantization_c) * params_.quantization_c;
+    last_refresh_time_ = now;
+  }
+  return latched_value_;
+}
+
+}  // namespace corelocate::thermal

@@ -1,0 +1,47 @@
+#pragma once
+// Per-core temperature sensor model.
+//
+// Linux exposes per-core digital thermal sensor readings (coretemp /
+// lm-sensors) at 1 degC granularity. The covert-channel receiver is
+// conservatively assumed to read only the sensor of the core it runs on
+// (paper Sec. IV). The sensor quantizes, is rate-limited (readings only
+// refresh every update period) and carries measurement noise.
+//
+// Reducing resolution or update rate is the paper's suggested software
+// defence; both are knobs here so the defence can be evaluated.
+
+#include <cstdint>
+
+#include "thermal/thermal_model.hpp"
+#include "util/rng.hpp"
+
+namespace corelocate::thermal {
+
+struct SensorParams {
+  double quantization_c = 1.0;  ///< reading granularity in degC
+  double update_period_s = 0.02;  ///< refresh interval of the reading
+  double noise_sigma_c = 0.15;  ///< Gaussian measurement noise
+};
+
+class TemperatureSensor {
+ public:
+  TemperatureSensor(const mesh::Coord& tile, SensorParams params = {},
+                    std::uint64_t noise_seed = 0x5E4504ULL);
+
+  const mesh::Coord& tile() const noexcept { return tile_; }
+  const SensorParams& params() const noexcept { return params_; }
+
+  /// Reads the sensor at the model's current time: returns the quantized
+  /// temperature, refreshing the latched value only when the update
+  /// period has elapsed since the previous refresh.
+  double read(const ThermalModel& model);
+
+ private:
+  mesh::Coord tile_;
+  SensorParams params_;
+  util::Rng rng_;
+  double last_refresh_time_ = -1e18;
+  double latched_value_ = 0.0;
+};
+
+}  // namespace corelocate::thermal

@@ -1,0 +1,130 @@
+#include "thermal/thermal_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace corelocate::thermal {
+
+ThermalModel::ThermalModel(const mesh::TileGrid& grid, ThermalParams params,
+                           std::uint64_t noise_seed)
+    : rows_(grid.rows()), cols_(grid.cols()), params_(params), rng_(noise_seed) {
+  const std::size_t n = static_cast<std::size_t>(rows_) * static_cast<std::size_t>(cols_);
+  temp_.assign(n, params_.ambient_c);
+  scratch_.assign(n, params_.ambient_c);
+  base_power_.assign(n, params_.uncore_power_w);
+  tenant_.assign(n, 0);
+  tenant_extra_.assign(n, 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      const mesh::TileKind kind = grid.kind_at(mesh::Coord{r, c});
+      if (kind == mesh::TileKind::kCore) {
+        base_power_[index(mesh::Coord{r, c})] = params_.idle_power_w;
+      }
+    }
+  }
+  power_ = base_power_;
+  reset();
+}
+
+std::size_t ThermalModel::index(const mesh::Coord& tile) const {
+  if (tile.row < 0 || tile.row >= rows_ || tile.col < 0 || tile.col >= cols_) {
+    throw std::out_of_range("ThermalModel: tile out of bounds " + mesh::to_string(tile));
+  }
+  return static_cast<std::size_t>(tile.row) * static_cast<std::size_t>(cols_) +
+         static_cast<std::size_t>(tile.col);
+}
+
+void ThermalModel::set_power(const mesh::Coord& tile, double watts) {
+  power_[index(tile)] = watts;
+}
+
+double ThermalModel::power(const mesh::Coord& tile) const { return power_[index(tile)]; }
+
+void ThermalModel::set_tenant(const mesh::Coord& tile, bool tenant) {
+  tenant_[index(tile)] = tenant ? 1 : 0;
+  if (!tenant) tenant_extra_[index(tile)] = 0.0;
+}
+
+double ThermalModel::max_stable_dt() const noexcept {
+  const double g_total =
+      params_.g_ambient + 2.0 * params_.g_vertical + 2.0 * params_.g_horizontal;
+  return params_.heat_capacity / g_total;
+}
+
+void ThermalModel::step(double dt) {
+  if (dt <= 0.0 || dt >= max_stable_dt()) {
+    throw std::invalid_argument("ThermalModel::step: dt outside stability bound");
+  }
+  // Co-tenant random walk (bounded above idle, reflected at 0).
+  if (params_.tenant_walk_w > 0.0) {
+    const double sigma = params_.tenant_walk_w * std::sqrt(dt);
+    for (std::size_t i = 0; i < tenant_.size(); ++i) {
+      if (!tenant_[i]) continue;
+      double extra = tenant_extra_[i] + rng_.gaussian(0.0, sigma);
+      extra = std::clamp(extra, 0.0, params_.tenant_max_w);
+      tenant_extra_[i] = extra;
+    }
+  }
+
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      const std::size_t i = static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+                            static_cast<std::size_t>(c);
+      const double t = temp_[i];
+      double flux = power_[i] + tenant_extra_[i];
+      flux -= params_.g_ambient * (t - params_.ambient_c);
+      if (r > 0) flux -= params_.g_vertical * (t - temp_[i - static_cast<std::size_t>(cols_)]);
+      if (r < rows_ - 1) {
+        flux -= params_.g_vertical * (t - temp_[i + static_cast<std::size_t>(cols_)]);
+      }
+      if (c > 0) flux -= params_.g_horizontal * (t - temp_[i - 1]);
+      if (c < cols_ - 1) flux -= params_.g_horizontal * (t - temp_[i + 1]);
+      scratch_[i] = t + dt * flux / params_.heat_capacity;
+    }
+  }
+  temp_.swap(scratch_);
+  time_ += dt;
+}
+
+void ThermalModel::advance(double seconds, double dt) {
+  const std::int64_t steps = static_cast<std::int64_t>(std::llround(seconds / dt));
+  for (std::int64_t i = 0; i < steps; ++i) step(dt);
+}
+
+double ThermalModel::temperature(const mesh::Coord& tile) const {
+  return temp_[index(tile)];
+}
+
+void ThermalModel::reset() {
+  // Settle to the idle steady state by integrating with current powers.
+  std::fill(tenant_extra_.begin(), tenant_extra_.end(), 0.0);
+  const double dt = 0.5 * max_stable_dt();
+  for (int i = 0; i < 4000; ++i) {
+    // Inline settling without advancing the tenant walk or time.
+    std::vector<double> next = temp_;
+    for (int r = 0; r < rows_; ++r) {
+      for (int c = 0; c < cols_; ++c) {
+        const std::size_t idx =
+            static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+            static_cast<std::size_t>(c);
+        const double t = temp_[idx];
+        double flux = power_[idx];
+        flux -= params_.g_ambient * (t - params_.ambient_c);
+        if (r > 0) {
+          flux -= params_.g_vertical * (t - temp_[idx - static_cast<std::size_t>(cols_)]);
+        }
+        if (r < rows_ - 1) {
+          flux -= params_.g_vertical * (t - temp_[idx + static_cast<std::size_t>(cols_)]);
+        }
+        if (c > 0) flux -= params_.g_horizontal * (t - temp_[idx - 1]);
+        if (c < cols_ - 1) flux -= params_.g_horizontal * (t - temp_[idx + 1]);
+        next[idx] = t + dt * flux / params_.heat_capacity;
+      }
+    }
+    temp_ = std::move(next);
+  }
+  time_ = 0.0;
+}
+
+}  // namespace corelocate::thermal

@@ -1,0 +1,93 @@
+#pragma once
+// RC thermal network over the tile grid.
+//
+// Each tile is one thermal node with heat capacity C, coupled to its
+// 4-neighbourhood and to the ambient/heat-sink. The coupling is
+// *anisotropic*: a Xeon core tile is a horizontally long rectangle
+// (paper Sec. V-A), so vertical neighbours sit closer together and
+// conduct better than horizontal ones — the physical origin of the
+// paper's "vertical 1-hop channels beat horizontal ones" result.
+//
+// Integration is forward Euler; step() asserts the step size is inside
+// the stability bound dt < C / G_total.
+//
+// Co-tenant activity on a cloud box is modelled as a bounded random walk
+// on the power of non-participating tiles.
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh/grid.hpp"
+#include "util/rng.hpp"
+
+namespace corelocate::thermal {
+
+struct ThermalParams {
+  // Calibrated so the idle baseline sits at ~34 degC, a stressed core
+  // swings to ~48-52 degC, a vertical 1-hop neighbour sees a 3-7 degC
+  // signal, and the thermal time constant (~0.13 s) separates the bit
+  // rates the paper's Fig. 6/7 separate.
+  double ambient_c = 30.0;        ///< heat-sink / ambient temperature
+  double heat_capacity = 0.25;    ///< J/K per tile (tau ~ 0.13 s)
+  double g_vertical = 0.60;       ///< W/K to vertical neighbours
+  double g_horizontal = 0.20;     ///< W/K to horizontal neighbours
+  double g_ambient = 0.36;        ///< W/K to ambient per tile
+  double idle_power_w = 1.55;     ///< live core tile, idle
+  double stress_power_w = 22.0;   ///< live core tile under stress-ng load
+  double uncore_power_w = 0.8;    ///< IMC / disabled tiles
+  /// Std-dev of the per-step co-tenant power random walk (W per sqrt(s));
+  /// 0 disables it.
+  double tenant_walk_w = 0.0;
+  /// Max co-tenant excursion above idle power (W).
+  double tenant_max_w = 3.0;
+};
+
+class ThermalModel {
+ public:
+  ThermalModel(const mesh::TileGrid& grid, ThermalParams params = {},
+               std::uint64_t noise_seed = 0x7EA7ULL);
+
+  int rows() const noexcept { return rows_; }
+  int cols() const noexcept { return cols_; }
+  double time() const noexcept { return time_; }
+  const ThermalParams& params() const noexcept { return params_; }
+
+  /// Overrides the power input of a tile (the sender's stress control).
+  void set_power(const mesh::Coord& tile, double watts);
+  double power(const mesh::Coord& tile) const;
+
+  /// Marks a tile as hosting co-tenant load (random-walk power).
+  void set_tenant(const mesh::Coord& tile, bool tenant);
+
+  /// Largest stable forward-Euler step for these parameters.
+  double max_stable_dt() const noexcept;
+
+  /// Advances the network by dt seconds (dt must be stable).
+  void step(double dt);
+
+  /// Steps repeatedly until `seconds` have elapsed.
+  void advance(double seconds, double dt);
+
+  double temperature(const mesh::Coord& tile) const;
+
+  /// Resets temperatures to the idle steady state (approximately) and
+  /// time to zero; power overrides are kept.
+  void reset();
+
+ private:
+  std::size_t index(const mesh::Coord& tile) const;
+
+  int rows_;
+  int cols_;
+  ThermalParams params_;
+  std::vector<double> temp_;
+  std::vector<double> base_power_;    // static per-tile power
+  std::vector<double> power_;         // current power (overrides applied)
+  std::vector<char> tenant_;
+  std::vector<double> tenant_extra_;  // random-walk component
+  std::vector<double> scratch_;       // next-temperature buffer (reused)
+  util::Rng rng_;
+  double time_ = 0.0;
+};
+
+}  // namespace corelocate::thermal

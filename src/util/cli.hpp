@@ -1,0 +1,42 @@
+#pragma once
+// Minimal command-line flag parser for the examples and bench harnesses.
+//
+// Supports `--name value`, `--name=value` and boolean `--name` flags.
+// Unknown flags are an error so typos do not silently run the default
+// experiment.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace corelocate::util {
+
+class CliFlags {
+ public:
+  /// Parses argv. Throws std::invalid_argument on malformed input.
+  CliFlags(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback = false) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+  /// Names seen on the command line (for validate()).
+  const std::map<std::string, std::string>& flags() const noexcept { return values_; }
+
+  /// Throws if any parsed flag is not in `known` — catches typos early.
+  void validate(const std::vector<std::string>& known) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace corelocate::util

@@ -1,0 +1,40 @@
+#pragma once
+// Leveled stderr logging. Off by default above WARN so bench output stays
+// clean; tests and examples can raise the level for debugging.
+
+#include <sstream>
+#include <string>
+
+namespace corelocate::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emits one line to stderr if `level` is at or above the global level.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogStream log_debug() { return detail::LogStream{LogLevel::kDebug}; }
+inline detail::LogStream log_info() { return detail::LogStream{LogLevel::kInfo}; }
+inline detail::LogStream log_warn() { return detail::LogStream{LogLevel::kWarn}; }
+inline detail::LogStream log_error() { return detail::LogStream{LogLevel::kError}; }
+
+}  // namespace corelocate::util

@@ -1,0 +1,102 @@
+#pragma once
+// Deterministic pseudo-random number generation for the simulator.
+//
+// Everything in corelocate that needs randomness takes an explicit Rng&
+// so that experiments are reproducible from a single seed. The generator
+// is xoshiro256** (Blackman & Vigna), seeded through SplitMix64 so that
+// closely-spaced seeds still give well-separated streams.
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+namespace corelocate::util {
+
+/// SplitMix64 step: used for seeding and as a cheap stateless mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Mixes a 64-bit value into a well-distributed hash (stateless).
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5EEDBA5EDC0FFEE5ULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Standard normal via Box–Muller (no cached spare: keeps state trivial).
+  double gaussian() noexcept;
+
+  /// Normal with given mean and standard deviation.
+  double gaussian(double mean, double stddev) noexcept;
+
+  /// Bernoulli draw.
+  bool chance(double probability) noexcept;
+
+  /// Forks an independent child stream (stable: derived from next output).
+  Rng fork() noexcept { return Rng{(*this)() ^ 0xA5A5A5A55A5A5A5AULL}; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+/// Fisher–Yates shuffle over a random-access container.
+template <typename Container>
+void shuffle(Container& items, Rng& rng) {
+  if (items.size() < 2) return;
+  for (std::size_t i = items.size() - 1; i > 0; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.below(i + 1));
+    using std::swap;
+    swap(items[i], items[j]);
+  }
+}
+
+}  // namespace corelocate::util

@@ -1,0 +1,58 @@
+#pragma once
+// Small statistics helpers used by the benchmark harnesses and tests.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace corelocate::util {
+
+double mean(std::span<const double> values);
+double variance(std::span<const double> values);   // population variance
+double stddev(std::span<const double> values);
+double median(std::span<const double> values);
+
+/// Linear-interpolated percentile; q in [0, 100].
+double percentile(std::span<const double> values, double q);
+
+double min_of(std::span<const double> values);
+double max_of(std::span<const double> values);
+
+/// Streaming mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept { return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0; }
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Simple fixed-width histogram over [lo, hi).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x) noexcept;
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::size_t count_in(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t total() const noexcept { return total_; }
+  double bin_low(std::size_t bin) const;
+  double bin_high(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace corelocate::util

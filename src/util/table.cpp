@@ -1,0 +1,99 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace corelocate::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+
+std::vector<std::size_t> column_widths(const std::vector<std::string>& headers,
+                                       const std::vector<std::vector<std::string>>& rows) {
+  std::size_t columns = headers.size();
+  for (const auto& row : rows) columns = std::max(columns, row.size());
+  std::vector<std::size_t> widths(columns, 0);
+  for (std::size_t c = 0; c < headers.size(); ++c) widths[c] = headers[c].size();
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  return widths;
+}
+
+void print_rule(std::ostream& out, const std::vector<std::size_t>& widths) {
+  out << '+';
+  for (std::size_t w : widths) {
+    for (std::size_t i = 0; i < w + 2; ++i) out << '-';
+    out << '+';
+  }
+  out << '\n';
+}
+
+void print_cells(std::ostream& out, const std::vector<std::size_t>& widths,
+                 const std::vector<std::string>& cells) {
+  out << '|';
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+    out << ' ' << cell;
+    for (std::size_t i = cell.size(); i < widths[c] + 1; ++i) out << ' ';
+    out << '|';
+  }
+  out << '\n';
+}
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string escaped = "\"";
+  for (char ch : cell) {
+    if (ch == '"') escaped += '"';
+    escaped += ch;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+}  // namespace
+
+void TablePrinter::print(std::ostream& out) const {
+  const auto widths = column_widths(headers_, rows_);
+  print_rule(out, widths);
+  print_cells(out, widths, headers_);
+  print_rule(out, widths);
+  for (const auto& row : rows_) print_cells(out, widths, row);
+  print_rule(out, widths);
+}
+
+void TablePrinter::print_csv(std::ostream& out) const {
+  auto emit = [&out](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) out << ',';
+      out << csv_escape(cells[c]);
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream oss;
+  oss.setf(std::ios::fixed);
+  oss.precision(precision);
+  oss << value;
+  return oss.str();
+}
+
+std::string fmt_pct(double fraction, int precision) {
+  return fmt(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace corelocate::util

@@ -1,0 +1,41 @@
+#pragma once
+// Plain-text table / CSV rendering for the benchmark harnesses.
+//
+// The benches print the same rows/series the paper's tables and figures
+// report; TablePrinter renders aligned monospace tables and can emit CSV
+// so results can be re-plotted.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace corelocate::util {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds one row; missing trailing cells render empty, extra cells widen
+  /// the table.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders the aligned table (with +---+ rule lines) to `out`.
+  void print(std::ostream& out) const;
+
+  /// Renders RFC-4180-ish CSV (quotes cells containing , " or newline).
+  void print_csv(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (no trailing locale surprises).
+std::string fmt(double value, int precision = 2);
+
+/// Formats a double as a percentage, e.g. fmt_pct(0.0123) == "1.23%".
+std::string fmt_pct(double fraction, int precision = 2);
+
+}  // namespace corelocate::util

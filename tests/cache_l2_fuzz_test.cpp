@@ -1,0 +1,145 @@
+// Reference-model fuzz for the L2: the set-associative LRU cache must
+// behave identically to an obviously-correct map/list reference under a
+// long random operation stream.
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+
+#include "cache/l2.hpp"
+#include "util/rng.hpp"
+
+namespace corelocate::cache {
+namespace {
+
+/// Obviously-correct per-set LRU reference.
+class ReferenceL2 {
+ public:
+  ReferenceL2(int sets, int ways) : sets_(sets), ways_(ways) {}
+
+  bool contains(LineAddr line) const {
+    const auto& set = set_of(line);
+    for (const auto& [l, d] : set) {
+      if (l == line) return true;
+    }
+    return false;
+  }
+
+  bool is_dirty(LineAddr line) const {
+    for (const auto& [l, d] : set_of(line)) {
+      if (l == line) return d;
+    }
+    return false;
+  }
+
+  void touch(LineAddr line) {
+    auto& set = set_of(line);
+    for (auto it = set.begin(); it != set.end(); ++it) {
+      if (it->first == line) {
+        set.splice(set.begin(), set, it);  // move to MRU (front)
+        return;
+      }
+    }
+  }
+
+  std::optional<L2Cache::Victim> insert(LineAddr line, bool dirty) {
+    auto& set = set_of(line);
+    for (auto it = set.begin(); it != set.end(); ++it) {
+      if (it->first == line) {
+        it->second = it->second || dirty;
+        set.splice(set.begin(), set, it);
+        return std::nullopt;
+      }
+    }
+    std::optional<L2Cache::Victim> victim;
+    if (static_cast<int>(set.size()) == ways_) {
+      victim = L2Cache::Victim{set.back().first, set.back().second};
+      set.pop_back();
+    }
+    set.emplace_front(line, dirty);
+    return victim;
+  }
+
+  std::optional<bool> invalidate(LineAddr line) {
+    auto& set = set_of(line);
+    for (auto it = set.begin(); it != set.end(); ++it) {
+      if (it->first == line) {
+        const bool dirty = it->second;
+        set.erase(it);
+        return dirty;
+      }
+    }
+    return std::nullopt;
+  }
+
+  void set_dirty(LineAddr line, bool dirty) {
+    for (auto& [l, d] : set_of(line)) {
+      if (l == line) d = dirty;
+    }
+  }
+
+ private:
+  using Set = std::list<std::pair<LineAddr, bool>>;  // front = MRU
+  Set& set_of(LineAddr line) { return sets_map_[line % static_cast<LineAddr>(sets_)]; }
+  const Set& set_of(LineAddr line) const {
+    static const Set kEmpty;
+    const auto it = sets_map_.find(line % static_cast<LineAddr>(sets_));
+    return it == sets_map_.end() ? kEmpty : it->second;
+  }
+
+  int sets_;
+  int ways_;
+  std::map<LineAddr, Set> sets_map_;
+};
+
+class L2Fuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(L2Fuzz, MatchesReferenceModel) {
+  constexpr int kSets = 8;
+  constexpr int kWays = 4;
+  L2Cache l2(L2Geometry{kSets, kWays});
+  ReferenceL2 ref(kSets, kWays);
+  util::Rng rng(GetParam());
+
+  for (int op = 0; op < 20000; ++op) {
+    // Small address pool so sets actually thrash.
+    const LineAddr line = rng.below(kSets * kWays * 3);
+    switch (rng.below(4)) {
+      case 0: {  // insert
+        const bool dirty = rng.chance(0.5);
+        const auto got = l2.insert(line, dirty);
+        const auto want = ref.insert(line, dirty);
+        ASSERT_EQ(got.has_value(), want.has_value()) << "op " << op;
+        if (got.has_value()) {
+          EXPECT_EQ(got->line, want->line) << "op " << op;
+          EXPECT_EQ(got->dirty, want->dirty) << "op " << op;
+        }
+        break;
+      }
+      case 1:  // touch
+        l2.touch(line);
+        ref.touch(line);
+        break;
+      case 2: {  // invalidate
+        const auto got = l2.invalidate(line);
+        const auto want = ref.invalidate(line);
+        ASSERT_EQ(got, want) << "op " << op;
+        break;
+      }
+      case 3: {  // dirty-bit manipulation
+        const bool dirty = rng.chance(0.5);
+        l2.set_dirty(line, dirty);
+        ref.set_dirty(line, dirty);
+        break;
+      }
+    }
+    ASSERT_EQ(l2.contains(line), ref.contains(line)) << "op " << op;
+    ASSERT_EQ(l2.is_dirty(line), ref.is_dirty(line)) << "op " << op;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, L2Fuzz, ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace corelocate::cache

@@ -1,0 +1,84 @@
+#include "cache/llc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace corelocate::cache {
+namespace {
+
+LlcGeometry tiny() { return LlcGeometry{4, 2}; }
+
+TEST(LlcSlice, InsertContainsRemove) {
+  LlcSlice slice(tiny());
+  EXPECT_FALSE(slice.contains(0x40));
+  EXPECT_FALSE(slice.insert(0x40).has_value());
+  EXPECT_TRUE(slice.contains(0x40));
+  EXPECT_TRUE(slice.remove(0x40));
+  EXPECT_FALSE(slice.contains(0x40));
+  EXPECT_FALSE(slice.remove(0x40));
+}
+
+TEST(LlcSlice, EvictsLruOnOverflow) {
+  LlcSlice slice(tiny());
+  // Slice sets index on (line >> 2) & 3; these three share set 0.
+  const LineAddr a = 0x00;
+  const LineAddr b = 0x10;
+  const LineAddr c = 0x20;
+  slice.insert(a);
+  slice.insert(b);
+  slice.touch(a);
+  const auto victim = slice.insert(c);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, b);
+}
+
+TEST(LlcSlice, ReinsertIsTouch) {
+  LlcSlice slice(tiny());
+  slice.insert(0x00);
+  slice.insert(0x10);
+  EXPECT_FALSE(slice.insert(0x00).has_value());
+  const auto victim = slice.insert(0x20);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 0x10u);
+}
+
+TEST(LlcSlice, OccupancyTracks) {
+  LlcSlice slice(tiny());
+  slice.insert(0x1);
+  slice.insert(0x2);
+  EXPECT_EQ(slice.occupancy(), 2u);
+  slice.remove(0x1);
+  EXPECT_EQ(slice.occupancy(), 1u);
+}
+
+TEST(LlcSlice, RejectsBadGeometry) {
+  EXPECT_THROW(LlcSlice(LlcGeometry{0, 2}), std::invalid_argument);
+  EXPECT_THROW(LlcSlice(LlcGeometry{6, 2}), std::invalid_argument);
+}
+
+TEST(SlicedLlc, LookupCounting) {
+  SlicedLlc llc(4);
+  EXPECT_EQ(llc.lookups(2), 0u);
+  llc.count_lookup(2);
+  llc.count_lookup(2);
+  llc.count_lookup(0);
+  EXPECT_EQ(llc.lookups(2), 2u);
+  EXPECT_EQ(llc.lookups(0), 1u);
+  EXPECT_EQ(llc.lookups(1), 0u);
+}
+
+TEST(SlicedLlc, SlicesAreIndependent) {
+  SlicedLlc llc(2);
+  llc.slice(0).insert(0x7);
+  EXPECT_TRUE(llc.slice(0).contains(0x7));
+  EXPECT_FALSE(llc.slice(1).contains(0x7));
+}
+
+TEST(SlicedLlc, BoundsChecked) {
+  SlicedLlc llc(2);
+  EXPECT_THROW(llc.slice(2), std::out_of_range);
+  EXPECT_THROW(llc.lookups(-1), std::out_of_range);
+  EXPECT_THROW(SlicedLlc(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace corelocate::cache

@@ -1,0 +1,91 @@
+// Property sweep: the canonical pattern key is invariant under the
+// symmetry group the observations cannot resolve (translation +
+// horizontal mirror) and distinguishes genuinely different layouts.
+
+#include <gtest/gtest.h>
+
+#include "core/core_map.hpp"
+
+namespace corelocate::core {
+namespace {
+
+struct CanonicalCase {
+  sim::XeonModel model;
+  std::uint64_t seed;
+};
+
+class CanonicalProperty : public ::testing::TestWithParam<CanonicalCase> {};
+
+TEST_P(CanonicalProperty, KeyInvariantUnderSymmetryGroup) {
+  sim::InstanceFactory factory;
+  util::Rng rng(GetParam().seed);
+  const sim::InstanceConfig config = factory.make_instance(GetParam().model, rng);
+  const CoreMap map = truth_map(config);
+  const std::string key = map.pattern_key();
+
+  // Translation invariance.
+  util::Rng shift_rng(GetParam().seed ^ 0x51);
+  for (int trial = 0; trial < 5; ++trial) {
+    CoreMap shifted = map;
+    const int dr = static_cast<int>(shift_rng.below(4));
+    const int dc = static_cast<int>(shift_rng.below(4));
+    for (mesh::Coord& pos : shifted.cha_position) {
+      pos.row += dr;
+      pos.col += dc;
+    }
+    EXPECT_EQ(shifted.pattern_key(), key);
+  }
+  // Mirror invariance.
+  EXPECT_EQ(map.mirrored().pattern_key(), key);
+  // Mirror + translation.
+  CoreMap both = map.mirrored();
+  for (mesh::Coord& pos : both.cha_position) pos.row += 2;
+  EXPECT_EQ(both.pattern_key(), key);
+  // Canonicalization is idempotent.
+  EXPECT_EQ(map.canonical().pattern_key(), key);
+  EXPECT_EQ(map.canonical().canonical().pattern_key(), key);
+}
+
+TEST_P(CanonicalProperty, KeySensitiveToRealChanges) {
+  sim::InstanceFactory factory;
+  util::Rng rng(GetParam().seed);
+  const sim::InstanceConfig config = factory.make_instance(GetParam().model, rng);
+  const CoreMap map = truth_map(config);
+  // Moving one CHA to a free cell changes the key.
+  CoreMap moved = map;
+  for (int r = 0; r < map.rows; ++r) {
+    for (int c = 0; c < map.cols; ++c) {
+      if (!map.cha_at({r, c}).has_value()) {
+        moved.cha_position[0] = {r, c};
+        r = map.rows;
+        break;
+      }
+    }
+  }
+  EXPECT_NE(moved.pattern_key(), map.pattern_key());
+  // Swapping two OS core ids changes the key (same geometry, different
+  // logical assignment — a different pattern in Table II's sense).
+  CoreMap swapped = map;
+  std::swap(swapped.os_core_to_cha[0], swapped.os_core_to_cha[1]);
+  EXPECT_NE(swapped.pattern_key(), map.pattern_key());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndSeeds, CanonicalProperty,
+    ::testing::Values(CanonicalCase{sim::XeonModel::k8124M, 1},
+                      CanonicalCase{sim::XeonModel::k8175M, 2},
+                      CanonicalCase{sim::XeonModel::k8259CL, 3},
+                      CanonicalCase{sim::XeonModel::k6354, 4}),
+    [](const auto& info) {
+      const char* name = "unknown";
+      switch (info.param.model) {
+        case sim::XeonModel::k8124M: name = "m8124M"; break;
+        case sim::XeonModel::k8175M: name = "m8175M"; break;
+        case sim::XeonModel::k8259CL: name = "m8259CL"; break;
+        case sim::XeonModel::k6354: name = "m6354"; break;
+      }
+      return std::string(name) + "_s" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace corelocate::core

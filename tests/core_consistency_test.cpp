@@ -1,0 +1,105 @@
+// Direct tests for the observation-consistency checker: the tool that
+// turns "does this candidate map explain what the counters said?" into a
+// verdict, including the negative (quiet-counter) information.
+
+#include <gtest/gtest.h>
+
+#include "core/observation.hpp"
+
+namespace corelocate::core {
+namespace {
+
+// Three CHAs in one column of a 3x3 grid: 0 at (0,0), 1 at (1,0), 2 at (2,0).
+std::vector<mesh::Coord> column_layout() { return {{0, 0}, {1, 0}, {2, 0}}; }
+
+PathObservation vertical_obs(int source, int sink, std::vector<ChannelActivation> acts) {
+  PathObservation obs;
+  obs.source_cha = source;
+  obs.sink_cha = sink;
+  obs.activations = std::move(acts);
+  return obs;
+}
+
+TEST(Consistency, PerfectMapIsFullyConsistent) {
+  // 0 -> 2 travelling down passes CHA 1 and ends at CHA 2 (both DOWN).
+  const ObservationSet obs = {vertical_obs(
+      0, 2,
+      {{1, mesh::ChannelLabel::kDown, 100}, {2, mesh::ChannelLabel::kDown, 100}})};
+  const ConsistencyReport report = check_consistency(column_layout(), obs, 3, 3);
+  EXPECT_TRUE(report.fully_consistent());
+}
+
+TEST(Consistency, MissingActivationIsPositiveViolation) {
+  // Claimed: CHA 1 saw DOWN traffic for 0 -> 2; but in this candidate
+  // layout CHA 1 sits in another column, off the route.
+  const ObservationSet obs = {vertical_obs(
+      0, 2,
+      {{1, mesh::ChannelLabel::kDown, 100}, {2, mesh::ChannelLabel::kDown, 100}})};
+  const std::vector<mesh::Coord> layout = {{0, 0}, {1, 2}, {2, 0}};
+  const ConsistencyReport report = check_consistency(layout, obs, 3, 3);
+  EXPECT_GT(report.positive_violations, 0);
+}
+
+TEST(Consistency, QuietChaOnRouteIsNegativeViolation) {
+  // Observation says only the sink fired; a layout that puts CHA 1 on the
+  // route implies an activation that was never seen.
+  const ObservationSet obs =
+      {vertical_obs(0, 2, {{2, mesh::ChannelLabel::kDown, 100}})};
+  const ConsistencyReport report = check_consistency(column_layout(), obs, 3, 3);
+  EXPECT_EQ(report.positive_violations, 0);
+  EXPECT_GT(report.negative_violations, 0);
+}
+
+TEST(Consistency, WrongLabelCountsAsViolation) {
+  // UP claimed but the layout puts the sink below the source (DOWN).
+  const ObservationSet obs = {vertical_obs(
+      0, 2,
+      {{1, mesh::ChannelLabel::kUp, 100}, {2, mesh::ChannelLabel::kUp, 100}})};
+  const ConsistencyReport report = check_consistency(column_layout(), obs, 3, 3);
+  EXPECT_GT(report.positive_violations, 0);
+}
+
+TEST(Consistency, MirroredLayoutAccepted) {
+  // A horizontal path observed on a 2-wide grid: the checker must accept
+  // either the true layout or its mirror.
+  PathObservation obs;
+  obs.source_cha = 0;
+  obs.sink_cha = 1;
+  // Layout A: 0 at (0,0), 1 at (0,1): eastbound, receiver col 1 -> Left.
+  obs.activations = {{1, mesh::ChannelLabel::kLeft, 100}};
+  const std::vector<mesh::Coord> layout_a = {{0, 0}, {0, 1}};
+  const std::vector<mesh::Coord> layout_b = {{0, 1}, {0, 0}};  // the mirror
+  EXPECT_TRUE(check_consistency(layout_a, {obs}, 1, 2).fully_consistent());
+  EXPECT_TRUE(check_consistency(layout_b, {obs}, 1, 2).fully_consistent());
+}
+
+TEST(Consistency, GroundTruthAlwaysFullyConsistent) {
+  // Property: for any instance, the true layout explains the synthesized
+  // observations with zero violations of either kind.
+  sim::InstanceFactory factory;
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    for (sim::XeonModel model : sim::all_models()) {
+      util::Rng rng(seed);
+      const sim::InstanceConfig config = factory.make_instance(model, rng);
+      const ObservationSet obs = synthesize_observations(config);
+      const ConsistencyReport report = check_consistency(
+          config.cha_tiles, obs, config.grid.rows(), config.grid.cols());
+      EXPECT_TRUE(report.fully_consistent())
+          << sim::to_string(model) << " seed " << seed << ": "
+          << report.positive_violations << " positive, "
+          << report.negative_violations << " negative";
+    }
+  }
+}
+
+TEST(Consistency, TranslationPreservedUnderPadding) {
+  // Checking on a larger grid than needed must not change the verdict.
+  const ObservationSet obs = {vertical_obs(
+      0, 2,
+      {{1, mesh::ChannelLabel::kDown, 100}, {2, mesh::ChannelLabel::kDown, 100}})};
+  const ConsistencyReport report = check_consistency(column_layout(), obs, 8, 8);
+  EXPECT_TRUE(report.fully_consistent());
+}
+
+}  // namespace
+}  // namespace corelocate::core

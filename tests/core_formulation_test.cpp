@@ -1,0 +1,137 @@
+// Structural tests of the faithful ILP formulation (paper Sec. II-C):
+// the *shape* of the generated program, independent of solving it.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/ilp_map_solver.hpp"
+
+namespace corelocate::core {
+namespace {
+
+ObservationSet two_path_set() {
+  // Path 0: 0 -> 1 purely vertical (up).
+  PathObservation vertical;
+  vertical.source_cha = 0;
+  vertical.sink_cha = 1;
+  vertical.activations = {{1, mesh::ChannelLabel::kUp, 100}};
+  // Path 1: 0 -> 2 with a horizontal tail through intermediate 3.
+  PathObservation horizontal;
+  horizontal.source_cha = 0;
+  horizontal.sink_cha = 2;
+  horizontal.activations = {{3, mesh::ChannelLabel::kLeft, 100},
+                            {2, mesh::ChannelLabel::kRight, 100}};
+  return {vertical, horizontal};
+}
+
+int count_binaries(const ilp::Model& model) {
+  int count = 0;
+  for (const ilp::VarInfo& info : model.variables()) {
+    count += info.type == ilp::VarType::kBinary ? 1 : 0;
+  }
+  return count;
+}
+
+int count_named(const ilp::Model& model, const std::string& prefix) {
+  int count = 0;
+  for (const ilp::VarInfo& info : model.variables()) {
+    count += info.name.rfind(prefix, 0) == 0 ? 1 : 0;
+  }
+  return count;
+}
+
+TEST(IlpFormulation, DirectionBinariesOnlyForHorizontalPaths) {
+  IlpMapSolverOptions options;
+  options.grid_rows = 4;
+  options.grid_cols = 4;
+  options.objective = IlpObjective::kCompactSum;
+  const ilp::Model model = IlpMapSolver(options).build_model(two_path_set(), 4);
+  // One horizontal path -> exactly one NE/NW pair.
+  EXPECT_EQ(count_named(model, "NE"), 1);
+  EXPECT_EQ(count_named(model, "NW"), 1);
+  // Compact objective has no other binaries.
+  EXPECT_EQ(count_binaries(model), 2);
+  // R/C integer variables for every CHA.
+  EXPECT_EQ(count_named(model, "R"), 4);
+  EXPECT_EQ(count_named(model, "C"), 4);
+}
+
+TEST(IlpFormulation, PaperObjectiveAddsOneHotAndIndicators) {
+  IlpMapSolverOptions options;
+  options.grid_rows = 4;
+  options.grid_cols = 5;
+  options.objective = IlpObjective::kPaperIndicators;
+  const ilp::Model model = IlpMapSolver(options).build_model(two_path_set(), 4);
+  EXPECT_EQ(count_named(model, "OHR"), 4 * 4);  // N x T_h
+  EXPECT_EQ(count_named(model, "OHC"), 4 * 5);  // N x T_w
+  EXPECT_EQ(count_named(model, "RI"), 4);       // T_h
+  EXPECT_EQ(count_named(model, "CI"), 5);       // T_w
+  // Objective touches only the indicator variables.
+  for (const auto& [var, coef] : model.objective().terms()) {
+    (void)coef;
+    const std::string& name = model.variable(var).name;
+    EXPECT_TRUE(name.rfind("RI", 0) == 0 || name.rfind("CI", 0) == 0) << name;
+  }
+}
+
+TEST(IlpFormulation, DisaggregationTradesConstraintsForTightness) {
+  IlpMapSolverOptions tight;
+  tight.grid_rows = 4;
+  tight.grid_cols = 4;
+  tight.objective = IlpObjective::kPaperIndicators;
+  tight.disaggregated_indicators = true;
+  IlpMapSolverOptions literal = tight;
+  literal.disaggregated_indicators = false;
+  const ObservationSet obs = two_path_set();
+  const int tight_rows = IlpMapSolver(tight).build_model(obs, 4).constraint_count();
+  const int literal_rows = IlpMapSolver(literal).build_model(obs, 4).constraint_count();
+  // Disaggregation adds one row per (tile, index) pair in place of one
+  // big-M row per index.
+  EXPECT_GT(tight_rows, literal_rows);
+}
+
+TEST(IlpFormulation, CoverageBalancedSelectionSpreadsEndpoints) {
+  // With a cap, the greedy selection must involve every CHA rather than
+  // exhausting the first sources' probes.
+  sim::InstanceFactory factory;
+  util::Rng rng(42);
+  const sim::InstanceConfig config = factory.make_instance(sim::XeonModel::k8124M, rng);
+  const ObservationSet obs = synthesize_observations(config);
+  IlpMapSolverOptions options;
+  options.grid_rows = config.grid.rows();
+  options.grid_cols = config.grid.cols();
+  options.objective = IlpObjective::kCompactSum;
+  options.max_observations = 36;  // = 2 * cha_count on an 18-core part
+  const ilp::Model model = IlpMapSolver(options).build_model(obs, config.cha_count());
+  // The selection is not directly observable, but a balanced pick implies
+  // every R_i participates in >= 1 constraint. Count variable appearances.
+  std::map<int, int> appearances;
+  for (const ilp::ConstraintInfo& con : model.constraints()) {
+    for (const auto& [var, coef] : con.expr.terms()) {
+      (void)coef;
+      ++appearances[var];
+    }
+  }
+  for (int cha = 0; cha < config.cha_count(); ++cha) {
+    // R_i is variable 2*i, C_i is 2*i+1 (construction order).
+    EXPECT_GT(appearances[2 * cha] + appearances[2 * cha + 1], 0)
+        << "CHA " << cha << " untouched by any constraint";
+  }
+}
+
+TEST(IlpFormulation, PureVerticalPathNeedsNoDirectionMachinery) {
+  PathObservation vertical;
+  vertical.source_cha = 0;
+  vertical.sink_cha = 1;
+  vertical.activations = {{1, mesh::ChannelLabel::kDown, 100}};
+  IlpMapSolverOptions options;
+  options.grid_rows = 3;
+  options.grid_cols = 3;
+  options.objective = IlpObjective::kCompactSum;
+  const ilp::Model model = IlpMapSolver(options).build_model({vertical}, 2);
+  EXPECT_EQ(count_binaries(model), 0);
+}
+
+}  // namespace
+}  // namespace corelocate::core

@@ -1,0 +1,118 @@
+#include "core/map_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+namespace corelocate::core {
+namespace {
+
+CoreMap sample_map(std::uint64_t ppin = 0xABCDEF0123456789ULL) {
+  CoreMap map;
+  map.rows = 3;
+  map.cols = 3;
+  map.ppin = ppin;
+  map.cha_position = {{0, 0}, {1, 0}, {0, 2}};
+  map.os_core_to_cha = {0, 2};
+  map.llc_only_chas = {1};
+  return map;
+}
+
+TEST(MapSerialization, RoundTrip) {
+  const CoreMap original = sample_map();
+  const CoreMap restored = deserialize_map(serialize_map(original));
+  EXPECT_EQ(restored.ppin, original.ppin);
+  EXPECT_EQ(restored.rows, original.rows);
+  EXPECT_EQ(restored.cols, original.cols);
+  EXPECT_EQ(restored.cha_position, original.cha_position);
+  EXPECT_EQ(restored.os_core_to_cha, original.os_core_to_cha);
+  EXPECT_EQ(restored.llc_only_chas, original.llc_only_chas);
+  EXPECT_EQ(restored.pattern_key(), original.pattern_key());
+}
+
+TEST(MapSerialization, RoundTripRealInstance) {
+  sim::InstanceFactory factory;
+  util::Rng rng(5);
+  const CoreMap original =
+      truth_map(factory.make_instance(sim::XeonModel::k8259CL, rng));
+  const CoreMap restored = deserialize_map(serialize_map(original));
+  EXPECT_EQ(restored.pattern_key(), original.pattern_key());
+  EXPECT_EQ(restored.ppin, original.ppin);
+}
+
+TEST(MapSerialization, RejectsGarbage) {
+  EXPECT_THROW(deserialize_map("not a map"), std::invalid_argument);
+  EXPECT_THROW(deserialize_map("coremap v1\nppin zz\nend\n"), std::invalid_argument);
+  EXPECT_THROW(deserialize_map("coremap v1\nppin 1\n"), std::invalid_argument);  // no end
+  EXPECT_THROW(deserialize_map("coremap v1\nbogus 1\nend\n"), std::invalid_argument);
+}
+
+TEST(MapSerialization, RejectsInconsistentRecords) {
+  // CHA position outside the declared grid.
+  EXPECT_THROW(
+      deserialize_map("coremap v1\nppin 1\ngrid 2 2\ncha 5 0\nos\nllconly\nend\n"),
+      std::invalid_argument);
+  // OS mapping references a CHA that does not exist.
+  EXPECT_THROW(
+      deserialize_map("coremap v1\nppin 1\ngrid 2 2\ncha 0 0\nos 3\nllconly\nend\n"),
+      std::invalid_argument);
+  // Missing grid.
+  EXPECT_THROW(deserialize_map("coremap v1\nppin 1\nend\n"), std::invalid_argument);
+}
+
+TEST(MapStore, PutGetContains) {
+  MapStore store;
+  EXPECT_FALSE(store.contains(1));
+  store.put(sample_map(1));
+  store.put(sample_map(2));
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.contains(1));
+  ASSERT_TRUE(store.get(2).has_value());
+  EXPECT_EQ(store.get(2)->ppin, 2u);
+  EXPECT_FALSE(store.get(3).has_value());
+  EXPECT_EQ(store.ppins(), (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(MapStore, PutReplacesByPpin) {
+  MapStore store;
+  CoreMap first = sample_map(7);
+  store.put(first);
+  CoreMap second = sample_map(7);
+  second.cha_position[0] = {2, 2};
+  store.put(second);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.get(7)->cha_position[0], (mesh::Coord{2, 2}));
+}
+
+TEST(MapStore, StreamRoundTrip) {
+  MapStore store;
+  store.put(sample_map(10));
+  store.put(sample_map(20));
+  std::stringstream buffer;
+  store.save(buffer);
+  const MapStore restored = MapStore::load(buffer);
+  EXPECT_EQ(restored.size(), 2u);
+  EXPECT_EQ(restored.get(10)->pattern_key(), sample_map(10).pattern_key());
+}
+
+TEST(MapStore, LoadRejectsCorruption) {
+  std::stringstream truncated("coremap v1\nppin 1\ngrid 2 2\n");
+  EXPECT_THROW(MapStore::load(truncated), std::invalid_argument);
+  std::stringstream stray("hello\n");
+  EXPECT_THROW(MapStore::load(stray), std::invalid_argument);
+}
+
+TEST(MapStore, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "corelocate_mapstore_test.txt";
+  MapStore store;
+  store.put(sample_map(42));
+  store.save_file(path);
+  const MapStore restored = MapStore::load_file(path);
+  EXPECT_TRUE(restored.contains(42));
+  std::remove(path.c_str());
+  EXPECT_THROW(MapStore::load_file(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace corelocate::core

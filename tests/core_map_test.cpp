@@ -1,0 +1,131 @@
+#include "core/core_map.hpp"
+
+#include <gtest/gtest.h>
+
+namespace corelocate::core {
+namespace {
+
+CoreMap small_map() {
+  // 2x3 arrangement:  cha0(0,1) cha1(0,2) cha2(1,1), core ids 0..1, cha2
+  // LLC-only. Offset from origin to exercise normalization.
+  CoreMap map;
+  map.rows = 4;
+  map.cols = 5;
+  map.cha_position = {{1, 2}, {1, 3}, {2, 2}};
+  map.os_core_to_cha = {0, 1};
+  map.llc_only_chas = {2};
+  return map;
+}
+
+TEST(CoreMap, Lookups) {
+  const CoreMap map = small_map();
+  EXPECT_EQ(map.cha_count(), 3);
+  EXPECT_EQ(map.os_core_of_cha(1), 1);
+  EXPECT_FALSE(map.os_core_of_cha(2).has_value());
+  EXPECT_EQ(map.cha_at({2, 2}), 2);
+  EXPECT_FALSE(map.cha_at({0, 0}).has_value());
+}
+
+TEST(CoreMap, NormalizedTranslatesToOrigin) {
+  const CoreMap norm = small_map().normalized();
+  EXPECT_EQ(norm.cha_position[0], (mesh::Coord{0, 0}));
+  EXPECT_EQ(norm.cha_position[1], (mesh::Coord{0, 1}));
+  EXPECT_EQ(norm.cha_position[2], (mesh::Coord{1, 0}));
+  EXPECT_EQ(norm.rows, 2);
+  EXPECT_EQ(norm.cols, 2);
+}
+
+TEST(CoreMap, MirroredFlipsColumns) {
+  const CoreMap mirror = small_map().mirrored();
+  EXPECT_EQ(mirror.cha_position[0], (mesh::Coord{0, 1}));
+  EXPECT_EQ(mirror.cha_position[1], (mesh::Coord{0, 0}));
+  EXPECT_EQ(mirror.cha_position[2], (mesh::Coord{1, 1}));
+}
+
+TEST(CoreMap, MirrorIsInvolution) {
+  const CoreMap map = small_map();
+  const CoreMap twice = map.mirrored().mirrored();
+  EXPECT_EQ(twice.cha_position, map.normalized().cha_position);
+}
+
+TEST(CoreMap, CanonicalIsMirrorInvariant) {
+  const CoreMap map = small_map();
+  EXPECT_EQ(map.canonical().cha_position, map.mirrored().canonical().cha_position);
+  EXPECT_EQ(map.pattern_key(), map.mirrored().pattern_key());
+}
+
+TEST(CoreMap, PatternKeyDistinguishesArrangements) {
+  CoreMap other = small_map();
+  other.cha_position[2] = {2, 3};  // move the LLC-only tile
+  EXPECT_NE(other.pattern_key(), small_map().pattern_key());
+}
+
+TEST(CoreMap, PatternKeyDistinguishesOsAssignment) {
+  CoreMap other = small_map();
+  other.os_core_to_cha = {1, 0};
+  EXPECT_NE(other.pattern_key(), small_map().pattern_key());
+}
+
+TEST(CoreMap, RenderShowsIdsAndGaps) {
+  const std::string art = small_map().render();
+  EXPECT_NE(art.find("0/0"), std::string::npos);
+  EXPECT_NE(art.find("1/1"), std::string::npos);
+  EXPECT_NE(art.find("-/2"), std::string::npos);  // LLC-only
+  EXPECT_NE(art.find("."), std::string::npos);    // empty cell
+}
+
+TEST(ScoreAgainstTruth, ExactMatch) {
+  sim::InstanceFactory factory;
+  util::Rng rng(21);
+  const sim::InstanceConfig config = factory.make_instance(sim::XeonModel::k8259CL, rng);
+  const MapAccuracy acc = score_against_truth(truth_map(config), config);
+  EXPECT_TRUE(acc.exact());
+  EXPECT_EQ(acc.core_tiles_total, 24);
+  EXPECT_EQ(acc.llc_only_total, 2);
+  EXPECT_FALSE(acc.mirrored);
+}
+
+TEST(ScoreAgainstTruth, MirroredMapStillExact) {
+  sim::InstanceFactory factory;
+  util::Rng rng(22);
+  const sim::InstanceConfig config = factory.make_instance(sim::XeonModel::k8124M, rng);
+  const MapAccuracy acc = score_against_truth(truth_map(config).mirrored(), config);
+  EXPECT_TRUE(acc.exact());
+}
+
+TEST(ScoreAgainstTruth, TranslatedMapStillExact) {
+  sim::InstanceFactory factory;
+  util::Rng rng(23);
+  const sim::InstanceConfig config = factory.make_instance(sim::XeonModel::k8175M, rng);
+  CoreMap shifted = truth_map(config);
+  for (mesh::Coord& pos : shifted.cha_position) {
+    pos.row += 2;
+    pos.col += 1;
+  }
+  EXPECT_TRUE(score_against_truth(shifted, config).exact());
+}
+
+TEST(ScoreAgainstTruth, DetectsWrongPlacement) {
+  sim::InstanceFactory factory;
+  util::Rng rng(24);
+  const sim::InstanceConfig config = factory.make_instance(sim::XeonModel::k8124M, rng);
+  CoreMap wrong = truth_map(config);
+  std::swap(wrong.cha_position[0], wrong.cha_position[1]);
+  const MapAccuracy acc = score_against_truth(wrong, config);
+  EXPECT_FALSE(acc.exact());
+  EXPECT_EQ(acc.core_tiles_correct, acc.core_tiles_total - 2);
+}
+
+TEST(TruthMap, ReflectsConfig) {
+  sim::InstanceFactory factory;
+  util::Rng rng(25);
+  const sim::InstanceConfig config = factory.make_instance(sim::XeonModel::k8259CL, rng);
+  const CoreMap map = truth_map(config);
+  EXPECT_EQ(map.cha_position, config.cha_tiles);
+  EXPECT_EQ(map.os_core_to_cha, config.os_core_to_cha);
+  EXPECT_EQ(map.llc_only_chas, config.llc_only_chas());
+  EXPECT_EQ(map.ppin, config.ppin);
+}
+
+}  // namespace
+}  // namespace corelocate::core

@@ -1,0 +1,116 @@
+#include "core/observation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace corelocate::core {
+namespace {
+
+PathObservation sample_obs() {
+  PathObservation obs;
+  obs.source_cha = 0;
+  obs.sink_cha = 3;
+  obs.activations = {
+      {1, mesh::ChannelLabel::kUp, 100},
+      {2, mesh::ChannelLabel::kLeft, 90},
+      {3, mesh::ChannelLabel::kRight, 95},
+  };
+  return obs;
+}
+
+TEST(PathObservation, VerticalHorizontalPredicates) {
+  const PathObservation obs = sample_obs();
+  EXPECT_TRUE(obs.has_vertical());
+  EXPECT_TRUE(obs.has_horizontal());
+  EXPECT_EQ(obs.vertical_label(), mesh::ChannelLabel::kUp);
+  EXPECT_EQ(obs.vertical_chas(), std::vector<int>{1});
+  EXPECT_EQ(obs.horizontal_chas(), (std::vector<int>{2, 3}));
+}
+
+TEST(PathObservation, NoVerticalThrows) {
+  PathObservation obs;
+  obs.source_cha = 0;
+  obs.sink_cha = 1;
+  obs.activations = {{1, mesh::ChannelLabel::kLeft, 50}};
+  EXPECT_FALSE(obs.has_vertical());
+  EXPECT_THROW(obs.vertical_label(), std::logic_error);
+}
+
+TEST(PathObservation, ToStringMentionsEverything) {
+  const std::string s = sample_obs().to_string();
+  EXPECT_NE(s.find("0->3"), std::string::npos);
+  EXPECT_NE(s.find("cha1/UP"), std::string::npos);
+  EXPECT_NE(s.find("cha2/LF"), std::string::npos);
+}
+
+TEST(ValidateObservations, AcceptsCleanSet) {
+  EXPECT_EQ(validate_observations({sample_obs()}, 4), "");
+}
+
+TEST(ValidateObservations, RejectsBadEndpoints) {
+  PathObservation obs = sample_obs();
+  obs.sink_cha = 9;
+  EXPECT_NE(validate_observations({obs}, 4), "");
+  obs = sample_obs();
+  obs.sink_cha = obs.source_cha;
+  EXPECT_NE(validate_observations({obs}, 4), "");
+}
+
+TEST(ValidateObservations, RejectsSourceIngress) {
+  PathObservation obs = sample_obs();
+  obs.activations.push_back({0, mesh::ChannelLabel::kUp, 70});
+  EXPECT_NE(validate_observations({obs}, 4), "");
+}
+
+TEST(ValidateObservations, RejectsMixedVerticalDirections) {
+  PathObservation obs = sample_obs();
+  obs.activations.push_back({2, mesh::ChannelLabel::kDown, 70});
+  EXPECT_NE(validate_observations({obs}, 4), "");
+}
+
+TEST(ValidateObservations, RejectsUnknownCha) {
+  PathObservation obs = sample_obs();
+  obs.activations.push_back({7, mesh::ChannelLabel::kUp, 70});
+  EXPECT_NE(validate_observations({obs}, 4), "");
+}
+
+TEST(SynthesizeObservations, MatchesRoutesAndVisibility) {
+  sim::InstanceFactory factory;
+  util::Rng rng(99);
+  const sim::InstanceConfig config = factory.make_instance(sim::XeonModel::k8259CL, rng);
+  const ObservationSet observations = synthesize_observations(config);
+  const int cores = config.os_core_count();
+  EXPECT_EQ(observations.size(), static_cast<std::size_t>(cores) * (cores - 1));
+  EXPECT_EQ(validate_observations(observations, config.cha_count()), "");
+
+  for (const PathObservation& obs : observations) {
+    // The sink (a live core) always reports its last-hop ingress.
+    bool sink_seen = false;
+    for (const ChannelActivation& act : obs.activations) {
+      if (act.cha == obs.sink_cha) sink_seen = true;
+      // Every activation's tile really is on the YX route.
+      const mesh::Route route =
+          mesh::route_yx(config.grid, config.tile_of_cha(obs.source_cha),
+                         config.tile_of_cha(obs.sink_cha));
+      bool on_route = false;
+      for (const mesh::Hop& hop : route.hops) {
+        on_route = on_route || hop.receiver == config.tile_of_cha(act.cha);
+      }
+      EXPECT_TRUE(on_route);
+    }
+    EXPECT_TRUE(sink_seen) << obs.to_string();
+  }
+}
+
+TEST(SynthesizeObservations, InvisibleTilesNeverAppear) {
+  sim::InstanceFactory factory;
+  util::Rng rng(7);
+  const sim::InstanceConfig config = factory.make_instance(sim::XeonModel::k8124M, rng);
+  for (const PathObservation& obs : synthesize_observations(config)) {
+    for (const ChannelActivation& act : obs.activations) {
+      EXPECT_TRUE(mesh::has_cha(config.grid.kind_at(config.tile_of_cha(act.cha))));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace corelocate::core

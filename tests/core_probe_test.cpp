@@ -1,0 +1,134 @@
+// Step-2 traffic prober under adverse conditions: background noise,
+// threshold settings, warm-up behaviour.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/cha_mapper.hpp"
+#include "core/traffic_probe.hpp"
+
+namespace corelocate::core {
+namespace {
+
+struct ProbeSetup {
+  sim::InstanceConfig config;
+  std::unique_ptr<sim::VirtualXeon> cpu;
+  ChaMappingResult mapping;
+};
+
+ProbeSetup make_setup(sim::NoiseProfile noise = {}, std::uint64_t seed = 91) {
+  ProbeSetup setup;
+  sim::InstanceFactory factory;
+  util::Rng rng(seed);
+  setup.config = factory.make_instance(sim::XeonModel::k8124M, rng);
+  setup.cpu = std::make_unique<sim::VirtualXeon>(setup.config, noise);
+  util::Rng tool_rng(seed + 1);
+  ChaMapper mapper(*setup.cpu, tool_rng);
+  setup.mapping = mapper.map();
+  return setup;
+}
+
+/// (cha, label) pairs of an observation, order-normalized.
+std::vector<std::pair<int, int>> activation_keys(const PathObservation& obs) {
+  std::vector<std::pair<int, int>> keys;
+  for (const ChannelActivation& act : obs.activations) {
+    keys.emplace_back(act.cha, static_cast<int>(act.label));
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+TEST(TrafficProber, MatchesOracleOnOnePair) {
+  ProbeSetup setup = make_setup();
+  TrafficProber prober(*setup.cpu);
+  const int src = 2;
+  const int dst = 9;
+  const int src_cha = setup.mapping.os_core_to_cha[src];
+  const int dst_cha = setup.mapping.os_core_to_cha[dst];
+  const PathObservation measured = prober.probe_pair(
+      src, dst, setup.mapping.eviction_sets[static_cast<std::size_t>(dst_cha)][0],
+      src_cha, dst_cha);
+
+  const ObservationSet oracle = synthesize_observations(setup.config);
+  const PathObservation* expected = nullptr;
+  for (const PathObservation& obs : oracle) {
+    if (obs.source_cha == src_cha && obs.sink_cha == dst_cha) expected = &obs;
+  }
+  ASSERT_NE(expected, nullptr);
+  EXPECT_EQ(activation_keys(measured), activation_keys(*expected));
+}
+
+TEST(TrafficProber, SurvivesBackgroundNoise) {
+  sim::NoiseProfile noise;
+  noise.mesh_event_rate = 0.01;
+  ProbeSetup setup = make_setup(noise, 93);
+  TrafficProber prober(*setup.cpu);
+  const ObservationSet measured = prober.probe_all(setup.mapping);
+  const ObservationSet oracle = synthesize_observations(setup.config);
+  ASSERT_EQ(measured.size(), oracle.size());
+  int mismatched = 0;
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    if (activation_keys(measured[i]) != activation_keys(oracle[i])) ++mismatched;
+  }
+  // Sporadic noise may corrupt the odd probe but not the bulk.
+  EXPECT_LE(mismatched, static_cast<int>(measured.size() / 20));
+}
+
+TEST(TrafficProber, HeavyNoiseDefeatsALowThreshold) {
+  // With a deliberately tiny threshold and heavy noise the observations
+  // pick up phantom activations — the knob matters.
+  sim::NoiseProfile noise;
+  noise.mesh_event_rate = 0.5;
+  ProbeSetup setup = make_setup(noise, 95);
+  TrafficProbeOptions options;
+  options.threshold = 1;  // pathological: every stray cycle counts
+  TrafficProber prober(*setup.cpu, options);
+  const int src_cha = setup.mapping.os_core_to_cha[0];
+  const int dst_cha = setup.mapping.os_core_to_cha[1];
+  const PathObservation measured = prober.probe_pair(
+      0, 1, setup.mapping.eviction_sets[static_cast<std::size_t>(dst_cha)][0],
+      src_cha, dst_cha);
+  const ObservationSet oracle = synthesize_observations(setup.config);
+  std::size_t expected_count = 0;
+  for (const PathObservation& obs : oracle) {
+    if (obs.source_cha == src_cha && obs.sink_cha == dst_cha) {
+      expected_count = obs.activations.size();
+    }
+  }
+  EXPECT_GT(measured.activations.size(), expected_count);
+}
+
+TEST(TrafficProber, RejectsNonPositiveRounds) {
+  ProbeSetup setup = make_setup();
+  TrafficProbeOptions options;
+  options.rounds = 0;
+  EXPECT_THROW(TrafficProber(*setup.cpu, options), std::invalid_argument);
+}
+
+TEST(TrafficProber, ObservationCyclesScaleWithRounds) {
+  ProbeSetup setup = make_setup();
+  const int src_cha = setup.mapping.os_core_to_cha[0];
+  const int dst_cha = setup.mapping.os_core_to_cha[5];
+  const cache::LineAddr line =
+      setup.mapping.eviction_sets[static_cast<std::size_t>(dst_cha)][0];
+
+  TrafficProbeOptions few;
+  few.rounds = 16;
+  TrafficProbeOptions many;
+  many.rounds = 64;
+  const PathObservation a = TrafficProber(*setup.cpu, few)
+                                .probe_pair(0, 5, line, src_cha, dst_cha);
+  const PathObservation b = TrafficProber(*setup.cpu, many)
+                                .probe_pair(0, 5, line, src_cha, dst_cha);
+  ASSERT_FALSE(a.activations.empty());
+  ASSERT_FALSE(b.activations.empty());
+  // Same tiles activate; roughly 4x the busy cycles with 4x the rounds.
+  EXPECT_EQ(activation_keys(a), activation_keys(b));
+  EXPECT_NEAR(static_cast<double>(b.activations[0].cycles),
+              4.0 * static_cast<double>(a.activations[0].cycles),
+              0.25 * 4.0 * static_cast<double>(a.activations[0].cycles));
+}
+
+}  // namespace
+}  // namespace corelocate::core

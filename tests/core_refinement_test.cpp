@@ -1,0 +1,161 @@
+// Negative-information refinement (the extension beyond the paper):
+// maps that the positive-only formulation compresses must be repaired to
+// full consistency — and, on instances whose observations determine the
+// layout, to the exact ground truth.
+
+#include <gtest/gtest.h>
+
+#include "core/core_map.hpp"
+#include "core/pipeline.hpp"
+#include "core/refinement.hpp"
+
+namespace corelocate::core {
+namespace {
+
+CoreMap map_from(const MapSolveResult& solved, const sim::InstanceConfig& config) {
+  CoreMap map;
+  map.rows = config.grid.rows();
+  map.cols = config.grid.cols();
+  map.cha_position = solved.cha_position;
+  map.os_core_to_cha = config.os_core_to_cha;
+  map.llc_only_chas = config.llc_only_chas();
+  return map;
+}
+
+/// The compressible 3x3 instance from the solver tests: the plain solver
+/// pulls the bottom core up a row; refinement must push it back.
+sim::InstanceConfig compressible_instance() {
+  sim::InstanceConfig config;
+  config.model = sim::XeonModel::k8124M;
+  config.grid = mesh::TileGrid(3, 3);
+  for (const mesh::Coord& c : config.grid.all_coords()) {
+    config.grid.set_kind(c, mesh::TileKind::kDisabledCore);
+  }
+  const mesh::Coord tiles[6] = {{0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 2}, {2, 1}};
+  for (const mesh::Coord& c : tiles) config.grid.set_kind(c, mesh::TileKind::kCore);
+  config.cha_tiles = config.grid.cha_coords_column_major();
+  for (int cha = 0; cha < config.cha_count(); ++cha) {
+    config.os_core_to_cha.push_back(cha);
+  }
+  return config;
+}
+
+TEST(Refinement, RepairsCompressedMicroInstance) {
+  const sim::InstanceConfig config = compressible_instance();
+  const ObservationSet obs = synthesize_observations(config);
+  RefinementOptions options;
+  options.grid_rows = 3;
+  options.grid_cols = 3;
+  const RefinementResult refined = solve_with_refinement(obs, config.cha_count(), options);
+  ASSERT_TRUE(refined.solved.success) << refined.solved.message;
+  EXPECT_GT(refined.initial_violations, 0);
+  EXPECT_EQ(refined.final_violations, 0);
+  EXPECT_GT(refined.cuts_added, 0);
+  EXPECT_TRUE(score_against_truth(map_from(refined.solved, config), config).exact());
+}
+
+TEST(Refinement, NoopOnFullyDeterminedInstance) {
+  // A dense SKX instance whose plain solve is already fully consistent.
+  sim::InstanceFactory factory;
+  util::Rng rng(70);
+  const sim::InstanceConfig config = factory.make_instance(sim::XeonModel::k8175M, rng);
+  const ObservationSet obs = synthesize_observations(config);
+  RefinementOptions options;
+  options.grid_rows = config.grid.rows();
+  options.grid_cols = config.grid.cols();
+  const RefinementResult refined = solve_with_refinement(obs, config.cha_count(), options);
+  ASSERT_TRUE(refined.solved.success);
+  EXPECT_EQ(refined.final_violations, 0);
+  EXPECT_TRUE(
+      score_against_truth(map_from(refined.solved, config), config).all_cores_correct());
+}
+
+class RefinementIceLakeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RefinementIceLakeSweep, ExactRecoveryOnSparseIceLake) {
+  // The headline of the extension: every Ice Lake instance recovers
+  // exactly once negative information is used, including seeds where the
+  // positive-only solver compresses the map.
+  sim::InstanceFactory factory;
+  util::Rng rng(GetParam());
+  const sim::InstanceConfig config = factory.make_instance(sim::XeonModel::k6354, rng);
+  const ObservationSet obs = synthesize_observations(config);
+  RefinementOptions options;
+  options.grid_rows = config.grid.rows();
+  options.grid_cols = config.grid.cols();
+  const RefinementResult refined = solve_with_refinement(obs, config.cha_count(), options);
+  ASSERT_TRUE(refined.solved.success) << refined.solved.message;
+  EXPECT_EQ(refined.final_violations, 0);
+  const MapAccuracy acc = score_against_truth(map_from(refined.solved, config), config);
+  EXPECT_TRUE(acc.all_cores_correct())
+      << acc.core_tiles_correct << "/" << acc.core_tiles_total;
+  // LLC-only tiles that few probe routes cross can remain genuinely
+  // ambiguous (several placements explain all observations); most pin.
+  EXPECT_GE(acc.llc_only_correct, acc.llc_only_total - 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RefinementIceLakeSweep,
+                         ::testing::Values(1u, 4u, 6u, 7u, 12u, 18u, 20u));
+
+TEST(Refinement, PipelineEngineEndToEnd) {
+  sim::InstanceFactory factory;
+  util::Rng rng(71);
+  const sim::InstanceConfig config = factory.make_instance(sim::XeonModel::k6354, rng);
+  sim::VirtualXeon cpu(config);
+  util::Rng tool_rng(72);
+  LocateOptions options = options_for(sim::spec_for(sim::XeonModel::k6354));
+  options.engine = SolverEngine::kRefined;
+  const LocateResult result = locate_cores(cpu, tool_rng, options);
+  ASSERT_TRUE(result.success) << result.message;
+  EXPECT_NE(result.message.find("negative-information"), std::string::npos);
+  const MapAccuracy acc = score_against_truth(result.map, config);
+  EXPECT_TRUE(acc.all_cores_correct());
+  EXPECT_EQ(acc.llc_only_correct, acc.llc_only_total);
+}
+
+TEST(Refinement, ReportsHonestlyWhenItCannotFinish) {
+  // A tiny iteration budget must stop early and report remaining
+  // violations rather than claim success it did not earn.
+  const sim::InstanceConfig config = compressible_instance();
+  const ObservationSet obs = synthesize_observations(config);
+  RefinementOptions options;
+  options.grid_rows = 3;
+  options.grid_cols = 3;
+  options.max_iterations = 0;
+  const RefinementResult refined = solve_with_refinement(obs, config.cha_count(), options);
+  ASSERT_TRUE(refined.solved.success);
+  EXPECT_EQ(refined.iterations, 0);
+  EXPECT_GT(refined.final_violations, 0);
+}
+
+
+TEST(Refinement, FleetSampleFullyExactAcrossModels) {
+  // Table II's "+neg-info cuts" column in miniature: a sample of every
+  // model's fleet must recover exactly (cores; LLC-only tiles may retain
+  // genuine ambiguity on sparse dies).
+  sim::InstanceFactory factory;
+  for (sim::XeonModel model :
+       {sim::XeonModel::k8124M, sim::XeonModel::k8175M, sim::XeonModel::k8259CL}) {
+    for (std::uint64_t seed = 30; seed < 36; ++seed) {
+      util::Rng rng(seed);
+      const sim::InstanceConfig config = factory.make_instance(model, rng);
+      const ObservationSet obs = synthesize_observations(config);
+      RefinementOptions options;
+      options.grid_rows = config.grid.rows();
+      options.grid_cols = config.grid.cols();
+      const RefinementResult refined =
+          solve_with_refinement(obs, config.cha_count(), options);
+      ASSERT_TRUE(refined.solved.success) << sim::to_string(model) << " seed " << seed;
+      const MapAccuracy acc =
+          score_against_truth(map_from(refined.solved, config), config);
+      EXPECT_TRUE(acc.all_cores_correct())
+          << sim::to_string(model) << " seed " << seed << ": "
+          << acc.core_tiles_correct << "/" << acc.core_tiles_total;
+      EXPECT_EQ(refined.final_violations, 0)
+          << sim::to_string(model) << " seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace corelocate::core

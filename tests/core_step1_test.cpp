@@ -1,0 +1,131 @@
+// Step-1 machinery: eviction sets and the OS-core-ID <-> CHA-ID mapper,
+// exercised against the full virtual machine.
+
+#include <gtest/gtest.h>
+
+#include "core/cha_mapper.hpp"
+#include "core/eviction_set.hpp"
+
+namespace corelocate::core {
+namespace {
+
+sim::InstanceConfig make_config(sim::XeonModel model, std::uint64_t seed) {
+  sim::InstanceFactory factory;
+  util::Rng rng(seed);
+  return factory.make_instance(model, rng);
+}
+
+TEST(EvictionSetBuilder, HomeProbeMatchesHash) {
+  const sim::InstanceConfig config = make_config(sim::XeonModel::k8124M, 31);
+  sim::VirtualXeon cpu(config);
+  util::Rng rng(1);
+  EvictionSetBuilder builder(cpu, rng);
+  for (int i = 0; i < 10; ++i) {
+    const cache::LineAddr line = builder.draw_candidate();
+    EXPECT_EQ(builder.home_of_line(line), cpu.engine().home_of(line));
+  }
+}
+
+TEST(EvictionSetBuilder, CandidatesShareTheL2Set) {
+  const sim::InstanceConfig config = make_config(sim::XeonModel::k8124M, 32);
+  sim::VirtualXeon cpu(config);
+  util::Rng rng(2);
+  EvictionSetOptions options;
+  options.l2_set_index = 0x155;
+  EvictionSetBuilder builder(cpu, rng, options);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(builder.draw_candidate() & 0x3FF, 0x155u);
+  }
+}
+
+TEST(EvictionSetBuilder, BuildForTargetsOneSlice) {
+  const sim::InstanceConfig config = make_config(sim::XeonModel::k8124M, 33);
+  sim::VirtualXeon cpu(config);
+  util::Rng rng(3);
+  EvictionSetOptions options;
+  options.lines_per_set = 5;  // keep the test quick
+  EvictionSetBuilder builder(cpu, rng, options);
+  const auto set = builder.build_for(4);
+  EXPECT_EQ(set.size(), 5u);
+  for (const cache::LineAddr line : set) {
+    EXPECT_EQ(cpu.engine().home_of(line), 4);
+  }
+}
+
+TEST(EvictionSetBuilder, BuildAllFillsEverySlice) {
+  const sim::InstanceConfig config = make_config(sim::XeonModel::k8124M, 34);
+  sim::VirtualXeon cpu(config);
+  util::Rng rng(4);
+  EvictionSetOptions options;
+  options.lines_per_set = 4;
+  EvictionSetBuilder builder(cpu, rng, options);
+  const auto sets = builder.build_all();
+  ASSERT_EQ(static_cast<int>(sets.size()), cpu.cha_count());
+  for (int cha = 0; cha < cpu.cha_count(); ++cha) {
+    EXPECT_GE(static_cast<int>(sets[static_cast<std::size_t>(cha)].size()), 4);
+    for (const cache::LineAddr line : sets[static_cast<std::size_t>(cha)]) {
+      EXPECT_EQ(cpu.engine().home_of(line), cha);
+    }
+  }
+}
+
+TEST(EvictionSetBuilder, NeedsTwoCores) {
+  sim::InstanceConfig config = make_config(sim::XeonModel::k8124M, 35);
+  config.os_core_to_cha.resize(1);
+  sim::VirtualXeon cpu(std::move(config));
+  util::Rng rng(5);
+  EXPECT_THROW(EvictionSetBuilder(cpu, rng), std::invalid_argument);
+}
+
+class ChaMapperPerModel : public ::testing::TestWithParam<sim::XeonModel> {};
+
+TEST_P(ChaMapperPerModel, RecoversTheTableIMapping) {
+  const sim::InstanceConfig config = make_config(GetParam(), 36);
+  sim::VirtualXeon cpu(config);
+  util::Rng rng(6);
+  ChaMapper mapper(cpu, rng);
+  const ChaMappingResult result = mapper.map();
+  EXPECT_EQ(result.os_core_to_cha, config.os_core_to_cha);
+
+  std::vector<int> expected_llc_only = config.llc_only_chas();
+  EXPECT_EQ(result.llc_only_chas, expected_llc_only);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, ChaMapperPerModel,
+                         ::testing::Values(sim::XeonModel::k8124M,
+                                           sim::XeonModel::k8259CL),
+                         [](const auto& info) {
+                           return info.param == sim::XeonModel::k8124M ? "m8124M"
+                                                                       : "m8259CL";
+                         });
+
+TEST(ChaMapper, SurvivesModerateNoise) {
+  sim::NoiseProfile noise;
+  noise.mesh_event_rate = 0.01;
+  noise.lookup_event_rate = 0.02;
+  const sim::InstanceConfig config = make_config(sim::XeonModel::k8124M, 37);
+  sim::VirtualXeon cpu(config, noise);
+  util::Rng rng(7);
+  ChaMapper mapper(cpu, rng);
+  EXPECT_EQ(mapper.map().os_core_to_cha, config.os_core_to_cha);
+}
+
+TEST(ChaMapper, ProbeDistinguishesColocation) {
+  const sim::InstanceConfig config = make_config(sim::XeonModel::k8124M, 38);
+  sim::VirtualXeon cpu(config);
+  util::Rng rng(8);
+  ChaMapper mapper(cpu, rng);
+  EvictionSetBuilder builder(cpu, rng);
+  const int own_cha = config.os_core_to_cha[0];
+  const int other_cha = config.os_core_to_cha[5];
+  EvictionSetOptions options;
+  const auto own_set = builder.build_for(own_cha);
+  const auto other_set = builder.build_for(other_cha);
+  const std::uint64_t quiet = mapper.probe_mesh_cycles(0, own_set);
+  const std::uint64_t loud = mapper.probe_mesh_cycles(0, other_set);
+  EXPECT_EQ(quiet, 0u);
+  EXPECT_GT(loud, 100u);
+}
+
+}  // namespace
+}  // namespace corelocate::core

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "covert/channel.hpp"
+#include "sim/instance_factory.hpp"
+
+namespace corelocate::covert {
+namespace {
+
+mesh::TileGrid uniform_grid(int rows, int cols) {
+  mesh::TileGrid grid(rows, cols);
+  for (const mesh::Coord& c : grid.all_coords()) {
+    grid.set_kind(c, mesh::TileKind::kCore);
+  }
+  return grid;
+}
+
+TEST(Sender, WaveformDrivesPower) {
+  thermal::ThermalModel model(uniform_grid(3, 3));
+  const double idle = model.params().idle_power_w;
+  const double stress = model.params().stress_power_w;
+  ThermalSender sender({{1, 1}}, from_string("1"), /*bit_period=*/1.0,
+                       /*start_time=*/0.0);
+  sender.apply(model);  // t=0: first half of a 1 -> stress
+  EXPECT_DOUBLE_EQ(model.power({1, 1}), stress);
+  model.advance(0.6, 0.02);  // into the second half
+  sender.apply(model);
+  EXPECT_DOUBLE_EQ(model.power({1, 1}), idle);
+  model.advance(0.6, 0.02);  // past the end
+  sender.apply(model);
+  EXPECT_DOUBLE_EQ(model.power({1, 1}), idle);
+}
+
+TEST(Sender, IdleBeforeStart) {
+  thermal::ThermalModel model(uniform_grid(3, 3));
+  ThermalSender sender({{1, 1}}, from_string("1"), 1.0, /*start_time=*/5.0);
+  sender.apply(model);
+  EXPECT_DOUBLE_EQ(model.power({1, 1}), model.params().idle_power_w);
+  EXPECT_DOUBLE_EQ(sender.end_time(), 6.0);
+}
+
+TEST(Sender, DrivesAllTiles) {
+  thermal::ThermalModel model(uniform_grid(3, 3));
+  ThermalSender sender({{0, 0}, {2, 2}}, from_string("1"), 1.0, 0.0);
+  sender.apply(model);
+  EXPECT_DOUBLE_EQ(model.power({0, 0}), model.params().stress_power_w);
+  EXPECT_DOUBLE_EQ(model.power({2, 2}), model.params().stress_power_w);
+}
+
+TEST(Sender, Validation) {
+  EXPECT_THROW(ThermalSender({}, from_string("1"), 1.0), std::invalid_argument);
+  EXPECT_THROW(ThermalSender({{0, 0}}, from_string("1"), 0.0), std::invalid_argument);
+}
+
+TEST(Receiver, CollectsMonotoneTimedTrace) {
+  thermal::ThermalModel model(uniform_grid(3, 3));
+  ThermalReceiver receiver({1, 1});
+  for (int i = 0; i < 50; ++i) {
+    model.step(0.01);
+    receiver.sample(model);
+  }
+  const Trace& trace = receiver.trace();
+  ASSERT_EQ(trace.size(), 50u);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GT(trace[i].time, trace[i - 1].time);
+  }
+  receiver.clear();
+  EXPECT_TRUE(receiver.trace().empty());
+}
+
+TEST(Decoder, DecodesCleanSyntheticTrace) {
+  // Build an ideal trace directly (no thermal lag): hot=40, cold=30.
+  const Bits payload = from_string("1100101");
+  const Bits frame = concat(sync_signature(), payload);
+  const Halves halves = manchester_encode(frame);
+  Trace trace;
+  const double bit_period = 1.0;
+  const double start = 2.0;
+  for (double t = 0.0; t < start + bit_period * frame.size() + 1.0; t += 0.05) {
+    double temp = 30.0;
+    if (t >= start) {
+      const auto half = static_cast<std::size_t>((t - start) / (bit_period / 2));
+      if (half < halves.size()) temp = halves[half] ? 40.0 : 30.0;
+    }
+    trace.push_back({t, temp});
+  }
+  const DecodeResult result = decode_trace(trace, bit_period, start, sync_signature(),
+                                           static_cast<int>(payload.size()));
+  EXPECT_TRUE(result.synced);
+  EXPECT_EQ(result.signature_errors, 0);
+  EXPECT_EQ(result.payload, payload);
+}
+
+TEST(Decoder, FindsShiftedPhase) {
+  const Bits payload = from_string("1011001");
+  const Bits frame = concat(sync_signature(), payload);
+  const Halves halves = manchester_encode(frame);
+  Trace trace;
+  const double bit_period = 1.0;
+  const double true_start = 2.65;  // receiver guesses 2.0
+  for (double t = 0.0; t < true_start + bit_period * frame.size() + 1.0; t += 0.05) {
+    double temp = 30.0;
+    if (t >= true_start) {
+      const auto half = static_cast<std::size_t>((t - true_start) / (bit_period / 2));
+      if (half < halves.size()) temp = halves[half] ? 40.0 : 30.0;
+    }
+    trace.push_back({t, temp});
+  }
+  const DecodeResult result = decode_trace(trace, bit_period, /*nominal_start=*/2.0,
+                                           sync_signature(),
+                                           static_cast<int>(payload.size()));
+  EXPECT_TRUE(result.synced);
+  EXPECT_NEAR(result.sync_time, true_start, 0.06);
+  EXPECT_EQ(result.payload, payload);
+}
+
+TEST(Decoder, EmptyTraceFailsGracefully) {
+  const DecodeResult result = decode_trace({}, 1.0, 0.0, sync_signature(), 8);
+  EXPECT_FALSE(result.synced);
+  EXPECT_TRUE(result.payload.empty());
+}
+
+TEST(Transmission, OneHopVerticalLowRateIsClean) {
+  util::Rng rng(9);
+  TransmissionConfig config;
+  config.bit_rate_bps = 1.0;
+  ChannelSpec spec;
+  spec.sender_tiles = {{1, 2}};
+  spec.receiver_tile = {2, 2};
+  spec.payload = random_bits(60, rng);
+  thermal::ThermalModel model(uniform_grid(5, 5), {}, 123);
+  const TransmissionResult result = run_transmission(model, {spec}, config);
+  ASSERT_EQ(result.channels.size(), 1u);
+  EXPECT_TRUE(result.channels[0].synced);
+  EXPECT_LE(result.channels[0].ber, 0.02);
+}
+
+TEST(Transmission, FarReceiverFailsAtHighRate) {
+  util::Rng rng(10);
+  TransmissionConfig config;
+  config.bit_rate_bps = 4.0;
+  ChannelSpec spec;
+  spec.sender_tiles = {{0, 0}};
+  spec.receiver_tile = {4, 4};  // many hops away
+  spec.payload = random_bits(120, rng);
+  thermal::ThermalModel model(uniform_grid(5, 5), {}, 124);
+  const TransmissionResult result = run_transmission(model, {spec}, config);
+  EXPECT_GT(result.channels[0].ber, 0.2);
+}
+
+TEST(Transmission, ValidatesInput) {
+  thermal::ThermalModel model(uniform_grid(3, 3));
+  EXPECT_THROW(run_transmission(model, {}, {}), std::invalid_argument);
+  ChannelSpec no_payload;
+  no_payload.sender_tiles = {{0, 0}};
+  no_payload.receiver_tile = {1, 0};
+  EXPECT_THROW(run_transmission(model, {no_payload}, {}), std::invalid_argument);
+  TransmissionConfig bad_rate;
+  bad_rate.bit_rate_bps = 0.0;
+  ChannelSpec ok;
+  ok.sender_tiles = {{0, 0}};
+  ok.receiver_tile = {1, 0};
+  ok.payload = from_string("1");
+  EXPECT_THROW(run_transmission(model, {ok}, bad_rate), std::invalid_argument);
+}
+
+TEST(Transmission, MeasureSingleChannelConvenience) {
+  util::Rng rng(11);
+  ChannelSpec spec;
+  spec.sender_tiles = {{1, 1}};
+  spec.receiver_tile = {2, 1};
+  spec.payload = random_bits(40, rng);
+  TransmissionConfig config;
+  config.bit_rate_bps = 1.0;
+  const ChannelOutcome outcome =
+      measure_single_channel(uniform_grid(4, 4), {}, spec, config);
+  EXPECT_LE(outcome.ber, 0.05);
+}
+
+
+TEST(Decoder, ResistsSlowBaselineDrift) {
+  // A monotone temperature ramp (ambient drift, co-tenant warm-up) must
+  // not flip bits: the Manchester half-window comparison is differential.
+  const Bits payload = from_string("110010011101");
+  const Bits frame = concat(sync_signature(), payload);
+  const Halves halves = manchester_encode(frame);
+  Trace trace;
+  const double bit_period = 1.0;
+  const double start = 2.0;
+  for (double t = 0.0; t < start + bit_period * frame.size() + 1.0; t += 0.05) {
+    double temp = 30.0 + 0.2 * t;  // ~6 degC of drift over the frame
+    if (t >= start) {
+      const auto half = static_cast<std::size_t>((t - start) / (bit_period / 2));
+      if (half < halves.size()) temp += halves[half] ? 4.0 : 0.0;
+    }
+    trace.push_back({t, temp});
+  }
+  const DecodeResult result = decode_trace(trace, bit_period, start, sync_signature(),
+                                           static_cast<int>(payload.size()));
+  EXPECT_TRUE(result.synced);
+  EXPECT_EQ(result.payload, payload);
+}
+
+TEST(Decoder, WeakSignalBelowQuantizationFails) {
+  // A 0.3 degC swing under 1 degC quantization must not decode — this is
+  // the regime the paper's sensor-resolution defence targets.
+  util::Rng rng(77);
+  const Bits payload = random_bits(64, rng);
+  const Bits frame = concat(sync_signature(), payload);
+  const Halves halves = manchester_encode(frame);
+  Trace trace;
+  const double bit_period = 1.0;
+  const double start = 2.0;
+  util::Rng noise(5);
+  for (double t = 0.0; t < start + bit_period * frame.size() + 1.0; t += 0.05) {
+    double temp = 35.2;
+    if (t >= start) {
+      const auto half = static_cast<std::size_t>((t - start) / (bit_period / 2));
+      if (half < halves.size()) temp += halves[half] ? 0.3 : 0.0;
+    }
+    trace.push_back(Sample{t, std::floor(temp + noise.gaussian(0.0, 0.05))});
+  }
+  const DecodeResult result = decode_trace(trace, bit_period, start, sync_signature(),
+                                           static_cast<int>(payload.size()));
+  EXPECT_GT(bit_error_rate(payload, result.payload), 0.15);
+}
+
+TEST(Transmission, StaggerDecorrelatesConcurrentChannels) {
+  // Two adjacent channels at a rate where crosstalk matters: staggering
+  // must not hurt, and each receiver still re-synchronizes on its own.
+  util::Rng rng(12);
+  std::vector<ChannelSpec> specs;
+  ChannelSpec a;
+  a.sender_tiles = {{0, 1}};
+  a.receiver_tile = {1, 1};
+  a.payload = random_bits(80, rng);
+  ChannelSpec b;
+  b.sender_tiles = {{3, 2}};
+  b.receiver_tile = {4, 2};
+  b.payload = random_bits(80, rng);
+  specs = {a, b};
+  TransmissionConfig config;
+  config.bit_rate_bps = 2.0;
+  config.stagger_channels = true;
+  thermal::ThermalModel model(uniform_grid(5, 5), {}, 321);
+  const TransmissionResult result = run_transmission(model, specs, config);
+  EXPECT_TRUE(result.channels[0].synced);
+  EXPECT_TRUE(result.channels[1].synced);
+  EXPECT_LE(result.channels[0].ber, 0.05);
+  EXPECT_LE(result.channels[1].ber, 0.05);
+}
+}  // namespace
+}  // namespace corelocate::covert

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "covert/manchester.hpp"
+
+namespace corelocate::covert {
+namespace {
+
+TEST(Bitstream, RandomBitsAreBits) {
+  util::Rng rng(1);
+  const Bits bits = random_bits(1000, rng);
+  EXPECT_EQ(bits.size(), 1000u);
+  int ones = 0;
+  for (std::uint8_t b : bits) {
+    ASSERT_LE(b, 1);
+    ones += b;
+  }
+  EXPECT_GT(ones, 400);
+  EXPECT_LT(ones, 600);
+}
+
+TEST(Bitstream, HammingDistance) {
+  EXPECT_EQ(hamming_distance(from_string("1010"), from_string("1010")), 0);
+  EXPECT_EQ(hamming_distance(from_string("1010"), from_string("0101")), 4);
+  EXPECT_EQ(hamming_distance(from_string("10"), from_string("1010")), 2);  // length gap
+}
+
+TEST(Bitstream, BitErrorRate) {
+  EXPECT_DOUBLE_EQ(bit_error_rate(from_string("1111"), from_string("1111")), 0.0);
+  EXPECT_DOUBLE_EQ(bit_error_rate(from_string("1111"), from_string("1010")), 0.5);
+  EXPECT_DOUBLE_EQ(bit_error_rate({}, {}), 0.0);
+}
+
+TEST(Bitstream, StringRoundTrip) {
+  const Bits bits = from_string("110010");
+  EXPECT_EQ(to_string(bits), "110010");
+  EXPECT_THROW(from_string("10x1"), std::invalid_argument);
+}
+
+TEST(Bitstream, Concat) {
+  EXPECT_EQ(to_string(concat(from_string("10"), from_string("01"))), "1001");
+}
+
+TEST(Bitstream, SignatureIsBalancedAndStable) {
+  const Bits& sig = sync_signature();
+  EXPECT_EQ(sig.size(), 16u);
+  int ones = 0;
+  for (std::uint8_t b : sig) ones += b;
+  EXPECT_EQ(ones, 8);  // balanced: no thermal bias during sync
+  EXPECT_EQ(&sync_signature(), &sig);
+}
+
+TEST(Manchester, EncodeBasics) {
+  // 1 -> (stress, idle); 0 -> (idle, stress).
+  const Halves halves = manchester_encode(from_string("10"));
+  ASSERT_EQ(halves.size(), 4u);
+  EXPECT_EQ(halves[0], 1);
+  EXPECT_EQ(halves[1], 0);
+  EXPECT_EQ(halves[2], 0);
+  EXPECT_EQ(halves[3], 1);
+}
+
+TEST(Manchester, ConstantDutyCycle) {
+  // The whole point of the encoding: equal stress time per bit regardless
+  // of payload (paper Sec. IV-A).
+  util::Rng rng(3);
+  const Halves halves = manchester_encode(random_bits(500, rng));
+  int stressed = 0;
+  for (std::uint8_t h : halves) stressed += h;
+  EXPECT_EQ(stressed, 500);
+}
+
+TEST(Manchester, DecodeRejectsBadWaveforms) {
+  EXPECT_THROW(manchester_decode({1}), std::invalid_argument);        // odd
+  EXPECT_THROW(manchester_decode({1, 1}), std::invalid_argument);     // no edge
+  EXPECT_THROW(manchester_decode({0, 0}), std::invalid_argument);
+}
+
+class ManchesterRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ManchesterRoundTrip, EncodeDecodeIdentity) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = static_cast<int>(rng.range(0, 200));
+    const Bits bits = random_bits(n, rng);
+    EXPECT_EQ(manchester_decode(manchester_encode(bits)), bits);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ManchesterRoundTrip,
+                         ::testing::Values(5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace corelocate::covert

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "covert/multi.hpp"
+
+namespace corelocate::covert {
+namespace {
+
+core::CoreMap sample_map() {
+  // 3x3 all-core map, CHA ids column-major, all core-capable.
+  core::CoreMap map;
+  map.rows = 3;
+  map.cols = 3;
+  int cha = 0;
+  for (int c = 0; c < 3; ++c) {
+    for (int r = 0; r < 3; ++r) {
+      map.cha_position.push_back({r, c});
+      map.os_core_to_cha.push_back(cha++);
+    }
+  }
+  return map;
+}
+
+TEST(Placement, IsCoreCha) {
+  core::CoreMap map = sample_map();
+  map.os_core_to_cha.pop_back();  // cha 8 loses its core
+  EXPECT_TRUE(is_core_cha(map, 0));
+  EXPECT_FALSE(is_core_cha(map, 8));
+}
+
+TEST(Placement, PairsAtOffsetVertical) {
+  const core::CoreMap map = sample_map();
+  const auto pairs = pairs_at_offset(map, 1, 0);
+  EXPECT_EQ(pairs.size(), 6u);  // 2 per column x 3 columns
+  for (const auto& [s, r] : pairs) {
+    const mesh::Coord sp = map.cha_position[static_cast<std::size_t>(s)];
+    const mesh::Coord rp = map.cha_position[static_cast<std::size_t>(r)];
+    EXPECT_EQ(rp.row, sp.row + 1);
+    EXPECT_EQ(rp.col, sp.col);
+  }
+}
+
+TEST(Placement, PairsAtOffsetExcludesNonCores) {
+  core::CoreMap map = sample_map();
+  map.os_core_to_cha.erase(map.os_core_to_cha.begin());  // cha 0 (0,0) coreless
+  map.llc_only_chas = {0};
+  const auto pairs = pairs_at_offset(map, 1, 0);
+  for (const auto& [s, r] : pairs) {
+    EXPECT_NE(s, 0);
+    EXPECT_NE(r, 0);
+  }
+}
+
+TEST(Placement, FindSurroundPrefersCenterAndOrdersByCoupling) {
+  const core::CoreMap map = sample_map();
+  const auto plan = find_surround(map, 8);
+  ASSERT_TRUE(plan.has_value());
+  // Centre tile (1,1) has all 8 neighbours.
+  EXPECT_EQ(map.cha_position[static_cast<std::size_t>(plan->receiver_cha)],
+            (mesh::Coord{1, 1}));
+  ASSERT_EQ(plan->sender_chas.size(), 8u);
+  // First two senders are the vertical neighbours.
+  const mesh::Coord first =
+      map.cha_position[static_cast<std::size_t>(plan->sender_chas[0])];
+  const mesh::Coord second =
+      map.cha_position[static_cast<std::size_t>(plan->sender_chas[1])];
+  EXPECT_EQ(first.col, 1);
+  EXPECT_EQ(second.col, 1);
+}
+
+TEST(Placement, FindSurroundHonorsCount) {
+  const auto plan = find_surround(sample_map(), 3);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->sender_chas.size(), 3u);
+}
+
+TEST(Placement, FindSurroundRejectsZero) {
+  EXPECT_FALSE(find_surround(sample_map(), 0).has_value());
+}
+
+TEST(Placement, DisjointVerticalPairsDoNotShareTiles) {
+  const core::CoreMap map = sample_map();
+  const auto pairs = plan_disjoint_vertical_pairs(map, 3);
+  EXPECT_GE(pairs.size(), 2u);
+  std::set<int> used;
+  for (const auto& [s, r] : pairs) {
+    EXPECT_TRUE(used.insert(s).second);
+    EXPECT_TRUE(used.insert(r).second);
+    const mesh::Coord sp = map.cha_position[static_cast<std::size_t>(s)];
+    const mesh::Coord rp = map.cha_position[static_cast<std::size_t>(r)];
+    EXPECT_EQ(sp.col, rp.col);
+    EXPECT_EQ(std::abs(sp.row - rp.row), 1);
+  }
+}
+
+TEST(Placement, DisjointPairsStopWhenExhausted) {
+  const auto pairs = plan_disjoint_vertical_pairs(sample_map(), 100);
+  EXPECT_LE(pairs.size(), 4u);  // 9 tiles -> at most 4 disjoint pairs
+  EXPECT_GE(pairs.size(), 2u);
+}
+
+TEST(Placement, MakeChannelResolvesTiles) {
+  const core::CoreMap map = sample_map();
+  const ChannelSpec spec = make_channel(map, {0, 3}, 4, from_string("101"));
+  ASSERT_EQ(spec.sender_tiles.size(), 2u);
+  EXPECT_EQ(spec.sender_tiles[0], map.cha_position[0]);
+  EXPECT_EQ(spec.sender_tiles[1], map.cha_position[3]);
+  EXPECT_EQ(spec.receiver_tile, map.cha_position[4]);
+  EXPECT_EQ(spec.payload, from_string("101"));
+  EXPECT_THROW(make_channel(map, {}, 4, from_string("1")), std::invalid_argument);
+}
+
+TEST(Placement, WorksOnRealInstanceMaps) {
+  sim::InstanceFactory factory;
+  util::Rng rng(12);
+  const sim::InstanceConfig config = factory.make_instance(sim::XeonModel::k8259CL, rng);
+  const core::CoreMap map = core::truth_map(config);
+  EXPECT_FALSE(pairs_at_offset(map, 1, 0).empty());
+  EXPECT_FALSE(pairs_at_offset(map, 0, 1).empty());
+  const auto surround = find_surround(map, 8);
+  ASSERT_TRUE(surround.has_value());
+  EXPECT_GE(surround->sender_chas.size(), 4u);
+  const auto channels = plan_disjoint_vertical_pairs(map, 8);
+  EXPECT_GE(channels.size(), 6u);
+}
+
+}  // namespace
+}  // namespace corelocate::covert

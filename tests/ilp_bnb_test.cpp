@@ -1,0 +1,200 @@
+#include "ilp/branch_and_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace corelocate::ilp {
+namespace {
+
+TEST(BranchAndBound, KnapsackStyle) {
+  // max 5a + 4b + 3c s.t. 2a+3b+c <= 5, 4a+b+2c <= 11, 3a+4b+2c <= 8,
+  // binaries -> a=1, b=1, c=0 with objective 9 (LP relaxation is
+  // fractional, so branching is exercised).
+  Model m;
+  const Variable a = m.add_binary("a");
+  const Variable b = m.add_binary("b");
+  const Variable c = m.add_binary("c");
+  m.add_constraint(2.0 * LinExpr(a) + 3.0 * LinExpr(b) + LinExpr(c), Sense::kLessEq, 5.0);
+  m.add_constraint(4.0 * LinExpr(a) + LinExpr(b) + 2.0 * LinExpr(c), Sense::kLessEq, 11.0);
+  m.add_constraint(3.0 * LinExpr(a) + 4.0 * LinExpr(b) + 2.0 * LinExpr(c), Sense::kLessEq,
+                   8.0);
+  m.maximize(5.0 * LinExpr(a) + 4.0 * LinExpr(b) + 3.0 * LinExpr(c));
+  const MilpSolution sol = solve_milp(m);
+  ASSERT_EQ(sol.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 9.0, 1e-6);
+  EXPECT_NEAR(sol.values[a.index], 1.0, 1e-6);
+  EXPECT_NEAR(sol.values[b.index], 1.0, 1e-6);
+  EXPECT_NEAR(sol.values[c.index], 0.0, 1e-6);
+}
+
+TEST(BranchAndBound, IntegerRounding) {
+  // min x s.t. 2x >= 7, x integer -> 4 (LP gives 3.5).
+  Model m;
+  const Variable x = m.add_integer(0.0, 100.0, "x");
+  m.add_constraint(2.0 * LinExpr(x), Sense::kGreaterEq, 7.0);
+  m.minimize(LinExpr(x));
+  const MilpSolution sol = solve_milp(m);
+  ASSERT_EQ(sol.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(sol.values[x.index], 4.0, 1e-6);
+}
+
+TEST(BranchAndBound, InfeasibleIntegerGap) {
+  // 2 <= 3x <= 4 has LP solutions but no integer ones... wait 3x in [2,4]
+  // -> x in [0.67, 1.33] -> x=1 works. Use a genuinely empty gap:
+  // 4 <= 3x <= 5 -> x in [1.33, 1.67].
+  Model m;
+  const Variable x = m.add_integer(0.0, 10.0, "x");
+  m.add_constraint(3.0 * LinExpr(x), Sense::kGreaterEq, 4.0);
+  m.add_constraint(3.0 * LinExpr(x), Sense::kLessEq, 5.0);
+  m.minimize(LinExpr(x));
+  EXPECT_EQ(solve_milp(m).status, MilpStatus::kInfeasible);
+}
+
+TEST(BranchAndBound, InfeasibleLpRelaxation) {
+  Model m;
+  const Variable x = m.add_integer(0.0, 10.0, "x");
+  m.add_constraint(LinExpr(x), Sense::kGreaterEq, 20.0);
+  m.minimize(LinExpr(x));
+  EXPECT_EQ(solve_milp(m).status, MilpStatus::kInfeasible);
+}
+
+TEST(BranchAndBound, BigMIndicatorPattern) {
+  // The map solver's core gadget: exactly one of two direction constraints
+  // active. min y s.t. (y >= 5 - 10*n1) and (y >= 8 - 10*n2), n1+n2 = 1.
+  // Best: void the y>=8 side -> y = 5.
+  Model m;
+  const Variable y = m.add_integer(0.0, 20.0, "y");
+  const Variable n1 = m.add_binary("n1");
+  const Variable n2 = m.add_binary("n2");
+  m.add_constraint(LinExpr(y) + 10.0 * LinExpr(n1), Sense::kGreaterEq, 5.0);
+  m.add_constraint(LinExpr(y) + 10.0 * LinExpr(n2), Sense::kGreaterEq, 8.0);
+  m.add_constraint(LinExpr(n1) + LinExpr(n2), Sense::kEqual, 1.0);
+  m.minimize(LinExpr(y));
+  const MilpSolution sol = solve_milp(m);
+  ASSERT_EQ(sol.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 5.0, 1e-6);
+  EXPECT_NEAR(sol.values[n1.index], 0.0, 1e-6);
+  EXPECT_NEAR(sol.values[n2.index], 1.0, 1e-6);
+}
+
+TEST(BranchAndBound, MixedIntegerContinuous) {
+  // min 3x + 2y, x integer, y continuous, x + y >= 3.7, y <= 1.2.
+  // -> y = 1.2, x = ceil(2.5) = 3? No: x >= 2.5 -> x = 3, obj = 9 + 2.4.
+  Model m;
+  const Variable x = m.add_integer(0.0, 10.0, "x");
+  const Variable y = m.add_continuous(0.0, 1.2, "y");
+  m.add_constraint(LinExpr(x) + LinExpr(y), Sense::kGreaterEq, 3.7);
+  m.minimize(3.0 * LinExpr(x) + 2.0 * LinExpr(y));
+  const MilpSolution sol = solve_milp(m);
+  ASSERT_EQ(sol.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(sol.values[x.index], 3.0, 1e-6);
+  EXPECT_NEAR(sol.objective, 9.0 + 2.0 * 0.7, 1e-5);
+}
+
+TEST(BranchAndBound, NodeLimitReported) {
+  // A 12-binary equality-sum problem with an awkward objective forces
+  // branching; a tiny node budget must truncate gracefully.
+  Model m;
+  LinExpr sum;
+  LinExpr obj;
+  for (int i = 0; i < 12; ++i) {
+    const Variable b = m.add_binary();
+    sum += LinExpr(b);
+    obj += (1.0 + 0.1 * i) * LinExpr(b);
+  }
+  m.add_constraint(sum, Sense::kEqual, 6.0);
+  m.minimize(obj);
+  MilpOptions options;
+  options.max_nodes = 1;
+  const MilpSolution sol = solve_milp(m, options);
+  EXPECT_TRUE(sol.status == MilpStatus::kNodeLimit ||
+              sol.status == MilpStatus::kNoSolution ||
+              sol.status == MilpStatus::kOptimal);
+  EXPECT_LE(sol.nodes_explored, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized oracle: small pure-binary problems solved by brute force.
+// ---------------------------------------------------------------------------
+
+class BnbRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BnbRandom, MatchesBruteForce) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 15; ++trial) {
+    const int n = static_cast<int>(rng.range(2, 8));
+    const int m_rows = static_cast<int>(rng.range(1, 5));
+    Model model;
+    std::vector<Variable> vars;
+    LinExpr objective;
+    std::vector<double> obj_coef(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      vars.push_back(model.add_binary());
+      obj_coef[static_cast<std::size_t>(j)] = static_cast<double>(rng.range(-6, 6));
+      objective += obj_coef[static_cast<std::size_t>(j)] * LinExpr(vars.back());
+    }
+    struct RawRow {
+      std::vector<double> coef;
+      Sense sense;
+      double rhs;
+    };
+    std::vector<RawRow> raw;
+    for (int i = 0; i < m_rows; ++i) {
+      RawRow row;
+      row.coef.assign(static_cast<std::size_t>(n), 0.0);
+      LinExpr expr;
+      for (int j = 0; j < n; ++j) {
+        if (rng.chance(0.5)) {
+          row.coef[static_cast<std::size_t>(j)] = static_cast<double>(rng.range(-3, 3));
+          expr += row.coef[static_cast<std::size_t>(j)] * LinExpr(vars[static_cast<std::size_t>(j)]);
+        }
+      }
+      row.sense = static_cast<Sense>(rng.below(3));
+      row.rhs = static_cast<double>(rng.range(-3, 4));
+      raw.push_back(row);
+      model.add_constraint(expr, row.sense, row.rhs);
+    }
+    model.minimize(objective);
+
+    // Brute force over all 2^n assignments.
+    double best = 1e18;
+    bool feasible_exists = false;
+    for (int mask = 0; mask < (1 << n); ++mask) {
+      bool ok = true;
+      for (const RawRow& row : raw) {
+        double lhs = 0.0;
+        for (int j = 0; j < n; ++j) {
+          if (mask & (1 << j)) lhs += row.coef[static_cast<std::size_t>(j)];
+        }
+        if (row.sense == Sense::kLessEq && lhs > row.rhs + 1e-9) ok = false;
+        if (row.sense == Sense::kGreaterEq && lhs < row.rhs - 1e-9) ok = false;
+        if (row.sense == Sense::kEqual && std::abs(lhs - row.rhs) > 1e-9) ok = false;
+      }
+      if (!ok) continue;
+      feasible_exists = true;
+      double obj = 0.0;
+      for (int j = 0; j < n; ++j) {
+        if (mask & (1 << j)) obj += obj_coef[static_cast<std::size_t>(j)];
+      }
+      best = std::min(best, obj);
+    }
+
+    const MilpSolution sol = solve_milp(model);
+    if (!feasible_exists) {
+      EXPECT_EQ(sol.status, MilpStatus::kInfeasible) << "trial " << trial;
+    } else {
+      ASSERT_EQ(sol.status, MilpStatus::kOptimal) << "trial " << trial;
+      EXPECT_NEAR(sol.objective, best, 1e-6) << "trial " << trial;
+      EXPECT_TRUE(model.is_feasible(sol.values));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BnbRandom,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+}  // namespace
+}  // namespace corelocate::ilp

@@ -1,0 +1,102 @@
+#include "ilp/model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace corelocate::ilp {
+namespace {
+
+TEST(LinExpr, BuildsAndNormalizes) {
+  LinExpr e = LinExpr(Variable{0}) * 2.0 + LinExpr(Variable{1}) - LinExpr(Variable{0});
+  e += 3.0;
+  e.normalize();
+  ASSERT_EQ(e.terms().size(), 2u);
+  EXPECT_EQ(e.terms()[0].first, 0);
+  EXPECT_DOUBLE_EQ(e.terms()[0].second, 1.0);
+  EXPECT_EQ(e.terms()[1].first, 1);
+  EXPECT_DOUBLE_EQ(e.terms()[1].second, 1.0);
+  EXPECT_DOUBLE_EQ(e.constant(), 3.0);
+}
+
+TEST(LinExpr, ZeroCoefficientsDropped) {
+  LinExpr e = LinExpr(Variable{2}) - LinExpr(Variable{2});
+  e.normalize();
+  EXPECT_TRUE(e.terms().empty());
+}
+
+TEST(LinExpr, ScalarOperations) {
+  LinExpr e = 2.0 * LinExpr(Variable{0});
+  e *= 3.0;
+  e.normalize();
+  EXPECT_DOUBLE_EQ(e.terms()[0].second, 6.0);
+}
+
+TEST(Model, VariableCreation) {
+  Model m;
+  const Variable x = m.add_continuous(0.0, 5.0, "x");
+  const Variable y = m.add_integer(-2.0, 2.0, "y");
+  const Variable z = m.add_binary("z");
+  EXPECT_EQ(m.variable_count(), 3);
+  EXPECT_EQ(m.variable(x.index).type, VarType::kContinuous);
+  EXPECT_EQ(m.variable(y.index).type, VarType::kInteger);
+  EXPECT_EQ(m.variable(z.index).type, VarType::kBinary);
+  EXPECT_DOUBLE_EQ(m.variable(z.index).lower, 0.0);
+  EXPECT_DOUBLE_EQ(m.variable(z.index).upper, 1.0);
+}
+
+TEST(Model, RejectsInvertedBounds) {
+  Model m;
+  EXPECT_THROW(m.add_continuous(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Model, ConstraintFoldsConstant) {
+  Model m;
+  const Variable x = m.add_continuous(0.0, 10.0);
+  m.add_constraint(LinExpr(x) + 4.0, Sense::kLessEq, 7.0);
+  ASSERT_EQ(m.constraint_count(), 1);
+  EXPECT_DOUBLE_EQ(m.constraints()[0].rhs, 3.0);
+  EXPECT_DOUBLE_EQ(m.constraints()[0].expr.constant(), 0.0);
+}
+
+TEST(Model, ConstraintRejectsUnknownVariable) {
+  Model m;
+  EXPECT_THROW(m.add_constraint(LinExpr(Variable{5}), Sense::kEqual, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Model, EvaluateExpression) {
+  Model m;
+  const Variable x = m.add_continuous(0.0, 10.0);
+  const Variable y = m.add_continuous(0.0, 10.0);
+  const LinExpr e = 2.0 * LinExpr(x) + LinExpr(y) + 1.0;
+  EXPECT_DOUBLE_EQ(Model::evaluate(e, {3.0, 4.0}), 11.0);
+}
+
+TEST(Model, FeasibilityCheck) {
+  Model m;
+  const Variable x = m.add_integer(0.0, 5.0);
+  m.add_constraint(LinExpr(x), Sense::kGreaterEq, 2.0);
+  EXPECT_TRUE(m.is_feasible({3.0}));
+  EXPECT_FALSE(m.is_feasible({1.0}));   // violates constraint
+  EXPECT_FALSE(m.is_feasible({2.5}));   // not integral
+  EXPECT_FALSE(m.is_feasible({6.0}));   // above bound
+  EXPECT_FALSE(m.is_feasible({}));      // wrong arity
+}
+
+TEST(Model, BranchPriority) {
+  Model m;
+  const Variable x = m.add_binary();
+  m.set_branch_priority(x, 42);
+  EXPECT_EQ(m.variable(x.index).branch_priority, 42);
+}
+
+TEST(Model, ObjectiveSense) {
+  Model m;
+  const Variable x = m.add_continuous(0.0, 1.0);
+  m.minimize(LinExpr(x));
+  EXPECT_TRUE(m.is_minimization());
+  m.maximize(LinExpr(x));
+  EXPECT_FALSE(m.is_minimization());
+}
+
+}  // namespace
+}  // namespace corelocate::ilp

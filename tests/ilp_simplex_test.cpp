@@ -1,0 +1,252 @@
+#include "ilp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace corelocate::ilp {
+namespace {
+
+LpProblem make_problem(int vars) {
+  LpProblem lp;
+  lp.var_count = vars;
+  lp.objective.assign(static_cast<std::size_t>(vars), 0.0);
+  lp.lower.assign(static_cast<std::size_t>(vars), 0.0);
+  lp.upper.assign(static_cast<std::size_t>(vars), kInfinity);
+  return lp;
+}
+
+TEST(Simplex, TextbookMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> (2, 6), obj 36.
+  LpProblem lp = make_problem(2);
+  lp.objective = {-3.0, -5.0};  // minimize the negation
+  lp.rows.push_back({{{0, 1.0}}, Sense::kLessEq, 4.0});
+  lp.rows.push_back({{{1, 2.0}}, Sense::kLessEq, 12.0});
+  lp.rows.push_back({{{0, 3.0}, {1, 2.0}}, Sense::kLessEq, 18.0});
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -36.0, 1e-7);
+  EXPECT_NEAR(sol.values[0], 2.0, 1e-7);
+  EXPECT_NEAR(sol.values[1], 6.0, 1e-7);
+}
+
+TEST(Simplex, GreaterEqAndEquality) {
+  // min x + y s.t. x + y >= 3, x - y == 1 -> (2, 1), obj 3.
+  LpProblem lp = make_problem(2);
+  lp.objective = {1.0, 1.0};
+  lp.rows.push_back({{{0, 1.0}, {1, 1.0}}, Sense::kGreaterEq, 3.0});
+  lp.rows.push_back({{{0, 1.0}, {1, -1.0}}, Sense::kEqual, 1.0});
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 3.0, 1e-7);
+  EXPECT_NEAR(sol.values[0], 2.0, 1e-7);
+  EXPECT_NEAR(sol.values[1], 1.0, 1e-7);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  LpProblem lp = make_problem(1);
+  lp.objective = {1.0};
+  lp.rows.push_back({{{0, 1.0}}, Sense::kGreaterEq, 5.0});
+  lp.rows.push_back({{{0, 1.0}}, Sense::kLessEq, 2.0});
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  LpProblem lp = make_problem(1);
+  lp.objective = {-1.0};  // push x to +inf
+  lp.rows.push_back({{{0, 1.0}}, Sense::kGreaterEq, 0.0});
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, RespectsVariableBounds) {
+  // min -x with 2 <= x <= 7.
+  LpProblem lp = make_problem(1);
+  lp.objective = {-1.0};
+  lp.lower = {2.0};
+  lp.upper = {7.0};
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.values[0], 7.0, 1e-7);
+  EXPECT_NEAR(sol.objective, -7.0, 1e-7);
+}
+
+TEST(Simplex, NegativeLowerBounds) {
+  // min x with -5 <= x <= 5 and x >= -3.
+  LpProblem lp = make_problem(1);
+  lp.objective = {1.0};
+  lp.lower = {-5.0};
+  lp.upper = {5.0};
+  lp.rows.push_back({{{0, 1.0}}, Sense::kGreaterEq, -3.0});
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.values[0], -3.0, 1e-7);
+}
+
+TEST(Simplex, FixedVariables) {
+  LpProblem lp = make_problem(2);
+  lp.objective = {1.0, 1.0};
+  lp.lower = {3.0, 0.0};
+  lp.upper = {3.0, 10.0};
+  lp.rows.push_back({{{0, 1.0}, {1, 1.0}}, Sense::kGreaterEq, 5.0});
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.values[0], 3.0, 1e-7);
+  EXPECT_NEAR(sol.values[1], 2.0, 1e-7);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // min x s.t. -x <= -4  (i.e. x >= 4).
+  LpProblem lp = make_problem(1);
+  lp.objective = {1.0};
+  lp.rows.push_back({{{0, -1.0}}, Sense::kLessEq, -4.0});
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.values[0], 4.0, 1e-7);
+}
+
+TEST(Simplex, RedundantEqualityRowsAreDropped) {
+  // Duplicate equality rows create dependent artificials.
+  LpProblem lp = make_problem(2);
+  lp.objective = {1.0, 2.0};
+  lp.rows.push_back({{{0, 1.0}, {1, 1.0}}, Sense::kEqual, 4.0});
+  lp.rows.push_back({{{0, 1.0}, {1, 1.0}}, Sense::kEqual, 4.0});
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.values[0] + sol.values[1], 4.0, 1e-7);
+  EXPECT_NEAR(sol.objective, 4.0, 1e-7);  // all weight on x
+}
+
+TEST(Simplex, EmptyProblemIsOptimal) {
+  LpProblem lp = make_problem(0);
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kOptimal);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized cross-check: feasible-by-construction LPs must come back
+// optimal, satisfy every row, and beat (or tie) the seeded feasible point.
+
+TEST(Simplex, BealeDegenerateCycleCandidate) {
+  // Beale's classic cycling example; Dantzig pivoting cycles on it
+  // without anti-cycling measures. Optimum: z = -1/20 at x4 = 1.
+  LpProblem lp = make_problem(4);
+  lp.objective = {-0.75, 150.0, -0.02, 6.0};
+  lp.rows.push_back({{{0, 0.25}, {1, -60.0}, {2, -0.04}, {3, 9.0}}, Sense::kLessEq, 0.0});
+  lp.rows.push_back({{{0, 0.5}, {1, -90.0}, {2, -0.02}, {3, 3.0}}, Sense::kLessEq, 0.0});
+  lp.rows.push_back({{{2, 1.0}}, Sense::kLessEq, 1.0});
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -0.05, 1e-7);
+}
+
+TEST(Simplex, HighlyDegenerateAssignmentLikeLp) {
+  // Transportation-style LP whose vertices are massively degenerate.
+  // 3 sources x 3 sinks, all supplies/demands 1, cost = |i - j|.
+  LpProblem lp = make_problem(9);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      lp.objective[static_cast<std::size_t>(3 * i + j)] = std::abs(i - j);
+    }
+  }
+  for (int i = 0; i < 3; ++i) {
+    LpRow supply;
+    LpRow demand;
+    for (int j = 0; j < 3; ++j) {
+      supply.terms.push_back({3 * i + j, 1.0});
+      demand.terms.push_back({3 * j + i, 1.0});
+    }
+    supply.sense = Sense::kEqual;
+    supply.rhs = 1.0;
+    demand.sense = Sense::kEqual;
+    demand.rhs = 1.0;
+    lp.rows.push_back(supply);
+    lp.rows.push_back(demand);
+  }
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 0.0, 1e-7);  // identity assignment
+}
+
+// ---------------------------------------------------------------------------
+
+class SimplexRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimplexRandom, OptimalAndFeasible) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = static_cast<int>(rng.range(2, 6));
+    const int m = static_cast<int>(rng.range(1, 8));
+    LpProblem lp = make_problem(n);
+    // Bounded box keeps the problem bounded.
+    for (int j = 0; j < n; ++j) {
+      lp.lower[static_cast<std::size_t>(j)] = 0.0;
+      lp.upper[static_cast<std::size_t>(j)] = rng.range(2, 10);
+      lp.objective[static_cast<std::size_t>(j)] = rng.range(-5, 5);
+    }
+    // Seed point inside the box; constraints built to keep it feasible.
+    std::vector<double> seed(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      seed[static_cast<std::size_t>(j)] =
+          rng.uniform(0.0, lp.upper[static_cast<std::size_t>(j)]);
+    }
+    for (int i = 0; i < m; ++i) {
+      LpRow row;
+      double lhs = 0.0;
+      for (int j = 0; j < n; ++j) {
+        if (rng.chance(0.6)) {
+          const double coef = rng.range(-4, 4);
+          if (coef != 0.0) {
+            row.terms.push_back({j, coef});
+            lhs += coef * seed[static_cast<std::size_t>(j)];
+          }
+        }
+      }
+      if (row.terms.empty()) continue;
+      const int kind = static_cast<int>(rng.below(3));
+      if (kind == 0) {
+        row.sense = Sense::kLessEq;
+        row.rhs = lhs + rng.uniform(0.0, 3.0);
+      } else if (kind == 1) {
+        row.sense = Sense::kGreaterEq;
+        row.rhs = lhs - rng.uniform(0.0, 3.0);
+      } else {
+        row.sense = Sense::kEqual;
+        row.rhs = lhs;
+      }
+      lp.rows.push_back(std::move(row));
+    }
+
+    const LpSolution sol = solve_lp(lp);
+    ASSERT_EQ(sol.status, LpStatus::kOptimal) << "trial " << trial;
+
+    // Every row satisfied.
+    for (const LpRow& row : lp.rows) {
+      double lhs = 0.0;
+      for (const auto& [var, coef] : row.terms) {
+        lhs += coef * sol.values[static_cast<std::size_t>(var)];
+      }
+      switch (row.sense) {
+        case Sense::kLessEq: EXPECT_LE(lhs, row.rhs + 1e-6); break;
+        case Sense::kGreaterEq: EXPECT_GE(lhs, row.rhs - 1e-6); break;
+        case Sense::kEqual: EXPECT_NEAR(lhs, row.rhs, 1e-6); break;
+      }
+    }
+    // Bounds respected and objective no worse than the seed point's.
+    double seed_obj = 0.0;
+    for (int j = 0; j < n; ++j) {
+      EXPECT_GE(sol.values[static_cast<std::size_t>(j)], -1e-7);
+      EXPECT_LE(sol.values[static_cast<std::size_t>(j)],
+                lp.upper[static_cast<std::size_t>(j)] + 1e-7);
+      seed_obj += lp.objective[static_cast<std::size_t>(j)] *
+                  seed[static_cast<std::size_t>(j)];
+    }
+    EXPECT_LE(sol.objective, seed_obj + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandom,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u));
+
+}  // namespace
+}  // namespace corelocate::ilp

@@ -1,0 +1,116 @@
+#include "mesh/contention.hpp"
+
+#include <gtest/gtest.h>
+
+namespace corelocate::mesh {
+namespace {
+
+TileGrid grid5() { return TileGrid(5, 5); }
+
+TEST(RouteLinks, FollowsYxRoute) {
+  const TileGrid grid = grid5();
+  const auto links = route_links(grid, {2, 0}, {0, 2});
+  ASSERT_EQ(links.size(), 4u);
+  EXPECT_EQ(links[0], (Link{{2, 0}, {1, 0}}));  // vertical first
+  EXPECT_EQ(links[1], (Link{{1, 0}, {0, 0}}));
+  EXPECT_EQ(links[2], (Link{{0, 0}, {0, 1}}));  // then horizontal
+  EXPECT_EQ(links[3], (Link{{0, 1}, {0, 2}}));
+}
+
+TEST(RouteLinks, EmptyForSameTile) {
+  const TileGrid grid = grid5();
+  EXPECT_TRUE(route_links(grid, {1, 1}, {1, 1}).empty());
+}
+
+TEST(ContendedMesh, IdleLatencyScalesWithHops) {
+  const TileGrid grid = grid5();
+  ContentionParams params;
+  ContendedMesh mesh(grid, params);
+  const double per_hop = params.hop_cycles + params.router_cycles;
+  EXPECT_DOUBLE_EQ(mesh.idle_latency({0, 0}, {0, 1}), per_hop);
+  EXPECT_DOUBLE_EQ(mesh.idle_latency({0, 0}, {4, 4}), 8.0 * per_hop);
+  EXPECT_DOUBLE_EQ(mesh.probe_latency({0, 0}, {4, 4}),
+                   mesh.idle_latency({0, 0}, {4, 4}));
+}
+
+TEST(ContendedMesh, OverlappingStreamInflatesLatency) {
+  const TileGrid grid = grid5();
+  ContendedMesh mesh(grid);
+  const double idle = mesh.probe_latency({0, 0}, {0, 4});
+  // Stream along the same row, same direction: full overlap on 2 links.
+  mesh.add_stream({0, 2}, {0, 4}, 0.5);
+  const double loaded = mesh.probe_latency({0, 0}, {0, 4});
+  EXPECT_NEAR(loaded - idle, 2.0 * mesh.params().contention_factor * 0.5, 1e-9);
+}
+
+TEST(ContendedMesh, ReverseDirectionDoesNotContend) {
+  const TileGrid grid = grid5();
+  ContendedMesh mesh(grid);
+  const double idle = mesh.probe_latency({0, 0}, {0, 4});
+  mesh.add_stream({0, 4}, {0, 0}, 0.9);  // opposite direction
+  EXPECT_DOUBLE_EQ(mesh.probe_latency({0, 0}, {0, 4}), idle);
+}
+
+TEST(ContendedMesh, DisjointPathDoesNotContend) {
+  const TileGrid grid = grid5();
+  ContendedMesh mesh(grid);
+  const double idle = mesh.probe_latency({0, 0}, {0, 2});
+  mesh.add_stream({4, 0}, {4, 2}, 0.9);  // different row entirely
+  EXPECT_DOUBLE_EQ(mesh.probe_latency({0, 0}, {0, 2}), idle);
+}
+
+TEST(ContendedMesh, UtilizationSumsAndClamps) {
+  const TileGrid grid = grid5();
+  ContentionParams params;
+  params.max_utilization = 0.95;
+  ContendedMesh mesh(grid, params);
+  mesh.add_stream({1, 0}, {1, 4}, 0.6);
+  mesh.add_stream({1, 1}, {1, 4}, 0.6);
+  const Link shared{{1, 2}, {1, 3}};
+  EXPECT_DOUBLE_EQ(mesh.utilization(shared), 0.95);  // clamped from 1.2
+  const Link early{{1, 0}, {1, 1}};
+  EXPECT_DOUBLE_EQ(mesh.utilization(early), 0.6);
+}
+
+TEST(ContendedMesh, StreamLifecycle) {
+  const TileGrid grid = grid5();
+  ContendedMesh mesh(grid);
+  const double idle = mesh.probe_latency({2, 0}, {2, 4});
+  const int id = mesh.add_stream({2, 0}, {2, 4}, 0.5);
+  EXPECT_GT(mesh.probe_latency({2, 0}, {2, 4}), idle);
+  mesh.set_intensity(id, 0.0);
+  EXPECT_DOUBLE_EQ(mesh.probe_latency({2, 0}, {2, 4}), idle);
+  mesh.set_intensity(id, 0.8);
+  EXPECT_GT(mesh.probe_latency({2, 0}, {2, 4}), idle);
+  mesh.remove_stream(id);
+  EXPECT_DOUBLE_EQ(mesh.probe_latency({2, 0}, {2, 4}), idle);
+  mesh.remove_stream(id);  // idempotent
+}
+
+TEST(ContendedMesh, RejectsBadIntensity) {
+  const TileGrid grid = grid5();
+  ContendedMesh mesh(grid);
+  EXPECT_THROW(mesh.add_stream({0, 0}, {1, 0}, -0.1), std::invalid_argument);
+  EXPECT_THROW(mesh.add_stream({0, 0}, {1, 0}, 1.1), std::invalid_argument);
+  const int id = mesh.add_stream({0, 0}, {1, 0}, 0.5);
+  EXPECT_THROW(mesh.set_intensity(id, 2.0), std::invalid_argument);
+}
+
+TEST(ContendedMesh, VictimDetectabilityDependsOnPlacement) {
+  // The security point: the latency delta an eavesdropper sees is large
+  // only when the probe path shares directed links with the victim —
+  // knowledge the core map provides.
+  const TileGrid grid = grid5();
+  ContendedMesh mesh(grid);
+  const int victim = mesh.add_stream({3, 0}, {3, 4}, 0.7);  // row 3 eastbound
+  const double overlap_delta =
+      mesh.probe_latency({3, 1}, {3, 3}) - mesh.idle_latency({3, 1}, {3, 3});
+  const double blind_delta =
+      mesh.probe_latency({1, 1}, {1, 3}) - mesh.idle_latency({1, 1}, {1, 3});
+  EXPECT_GT(overlap_delta, 10.0);
+  EXPECT_DOUBLE_EQ(blind_delta, 0.0);
+  mesh.remove_stream(victim);
+}
+
+}  // namespace
+}  // namespace corelocate::mesh

@@ -1,0 +1,114 @@
+#include "mesh/grid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace corelocate::mesh {
+namespace {
+
+TEST(TileGrid, ConstructionAndDims) {
+  TileGrid grid(5, 6);
+  EXPECT_EQ(grid.rows(), 5);
+  EXPECT_EQ(grid.cols(), 6);
+  EXPECT_EQ(grid.size(), 30u);
+}
+
+TEST(TileGrid, RejectsBadDims) {
+  EXPECT_THROW(TileGrid(0, 3), std::invalid_argument);
+  EXPECT_THROW(TileGrid(3, -1), std::invalid_argument);
+}
+
+TEST(TileGrid, DefaultKindIsDisabled) {
+  TileGrid grid(2, 2);
+  EXPECT_EQ(grid.kind_at({0, 0}), TileKind::kDisabledCore);
+}
+
+TEST(TileGrid, SetAndGetKind) {
+  TileGrid grid(3, 3);
+  grid.set_kind({1, 2}, TileKind::kImc);
+  EXPECT_EQ(grid.kind_at({1, 2}), TileKind::kImc);
+  EXPECT_EQ(grid.kind_at({2, 1}), TileKind::kDisabledCore);
+}
+
+TEST(TileGrid, IndexCoordRoundTrip) {
+  TileGrid grid(4, 7);
+  for (const Coord& c : grid.all_coords()) {
+    EXPECT_EQ(grid.coord_of(grid.index_of(c)), c);
+  }
+}
+
+TEST(TileGrid, OutOfBoundsThrows) {
+  TileGrid grid(2, 2);
+  EXPECT_THROW(grid.index_of({2, 0}), std::out_of_range);
+  EXPECT_THROW(grid.index_of({0, -1}), std::out_of_range);
+  EXPECT_THROW(grid.coord_of(4), std::out_of_range);
+}
+
+TEST(TileGrid, HasChaPredicate) {
+  EXPECT_TRUE(has_cha(TileKind::kCore));
+  EXPECT_TRUE(has_cha(TileKind::kLlcOnly));
+  EXPECT_FALSE(has_cha(TileKind::kDisabledCore));
+  EXPECT_FALSE(has_cha(TileKind::kImc));
+}
+
+TEST(TileGrid, HasCorePredicate) {
+  EXPECT_TRUE(has_core(TileKind::kCore));
+  EXPECT_FALSE(has_core(TileKind::kLlcOnly));
+}
+
+TEST(TileGrid, ChaCoordsColumnMajorOrder) {
+  TileGrid grid(3, 2);
+  grid.set_kind({0, 0}, TileKind::kCore);
+  grid.set_kind({2, 0}, TileKind::kLlcOnly);
+  grid.set_kind({1, 1}, TileKind::kCore);
+  const auto coords = grid.cha_coords_column_major();
+  ASSERT_EQ(coords.size(), 3u);
+  EXPECT_EQ(coords[0], (Coord{0, 0}));
+  EXPECT_EQ(coords[1], (Coord{2, 0}));
+  EXPECT_EQ(coords[2], (Coord{1, 1}));
+}
+
+TEST(TileGrid, ChaCoordsRowMajorOrder) {
+  TileGrid grid(2, 3);
+  grid.set_kind({0, 2}, TileKind::kCore);
+  grid.set_kind({1, 0}, TileKind::kCore);
+  const auto coords = grid.cha_coords_row_major();
+  ASSERT_EQ(coords.size(), 2u);
+  EXPECT_EQ(coords[0], (Coord{0, 2}));
+  EXPECT_EQ(coords[1], (Coord{1, 0}));
+}
+
+TEST(TileGrid, CountByKind) {
+  TileGrid grid(2, 2);
+  grid.set_kind({0, 0}, TileKind::kCore);
+  grid.set_kind({0, 1}, TileKind::kCore);
+  grid.set_kind({1, 0}, TileKind::kImc);
+  EXPECT_EQ(grid.count(TileKind::kCore), 2);
+  EXPECT_EQ(grid.count(TileKind::kImc), 1);
+  EXPECT_EQ(grid.count(TileKind::kDisabledCore), 1);
+}
+
+TEST(TileGrid, NeighborsInterior) {
+  TileGrid grid(3, 3);
+  EXPECT_EQ(grid.neighbors({1, 1}).size(), 4u);
+}
+
+TEST(TileGrid, NeighborsCorner) {
+  TileGrid grid(3, 3);
+  EXPECT_EQ(grid.neighbors({0, 0}).size(), 2u);
+}
+
+TEST(TileGrid, Manhattan) {
+  EXPECT_EQ(TileGrid::manhattan({0, 0}, {2, 3}), 5);
+  EXPECT_EQ(TileGrid::manhattan({2, 3}, {0, 0}), 5);
+  EXPECT_EQ(TileGrid::manhattan({1, 1}, {1, 1}), 0);
+}
+
+TEST(TileKindNames, Strings) {
+  EXPECT_STREQ(to_string(TileKind::kCore), "core");
+  EXPECT_STREQ(to_string(TileKind::kLlcOnly), "llc-only");
+  EXPECT_STREQ(to_string(TileKind::kDisabledCore), "disabled");
+  EXPECT_STREQ(to_string(TileKind::kImc), "imc");
+}
+
+}  // namespace
+}  // namespace corelocate::mesh

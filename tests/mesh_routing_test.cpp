@@ -1,0 +1,161 @@
+#include "mesh/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace corelocate::mesh {
+namespace {
+
+TEST(Routing, EmptyRouteForSameTile) {
+  TileGrid grid(4, 4);
+  const Route route = route_yx(grid, {1, 1}, {1, 1});
+  EXPECT_TRUE(route.empty());
+  EXPECT_EQ(route.length(), 0);
+}
+
+TEST(Routing, PureVerticalUp) {
+  TileGrid grid(5, 5);
+  const Route route = route_yx(grid, {4, 2}, {1, 2});
+  ASSERT_EQ(route.length(), 3);
+  for (const Hop& hop : route.hops) {
+    EXPECT_EQ(hop.direction, Direction::kUp);
+    EXPECT_EQ(hop.receiver.col, 2);
+  }
+  EXPECT_EQ(route.hops.back().receiver, (Coord{1, 2}));
+}
+
+TEST(Routing, PureVerticalDown) {
+  TileGrid grid(5, 5);
+  const Route route = route_yx(grid, {0, 3}, {2, 3});
+  ASSERT_EQ(route.length(), 2);
+  EXPECT_EQ(route.hops.front().direction, Direction::kDown);
+}
+
+TEST(Routing, PureHorizontal) {
+  TileGrid grid(5, 5);
+  const Route route = route_yx(grid, {2, 0}, {2, 4});
+  ASSERT_EQ(route.length(), 4);
+  for (const Hop& hop : route.hops) {
+    EXPECT_EQ(hop.direction, Direction::kEast);
+    EXPECT_EQ(hop.receiver.row, 2);
+  }
+}
+
+TEST(Routing, VerticalFirstThenHorizontal) {
+  TileGrid grid(5, 6);
+  const Route route = route_yx(grid, {4, 1}, {1, 4});
+  ASSERT_EQ(route.length(), 6);
+  // First three hops go up the source column.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(route.hops[static_cast<std::size_t>(i)].direction, Direction::kUp);
+    EXPECT_EQ(route.hops[static_cast<std::size_t>(i)].receiver.col, 1);
+  }
+  // Remaining hops go east along the sink row.
+  for (int i = 3; i < 6; ++i) {
+    EXPECT_EQ(route.hops[static_cast<std::size_t>(i)].direction, Direction::kEast);
+    EXPECT_EQ(route.hops[static_cast<std::size_t>(i)].receiver.row, 1);
+  }
+}
+
+TEST(Routing, WestboundHorizontalLeg) {
+  TileGrid grid(4, 6);
+  const Route route = route_yx(grid, {0, 5}, {3, 0});
+  ASSERT_EQ(route.length(), 8);
+  EXPECT_EQ(route.hops[2].direction, Direction::kDown);
+  EXPECT_EQ(route.hops[3].direction, Direction::kWest);
+}
+
+TEST(Routing, OutOfBoundsThrows) {
+  TileGrid grid(3, 3);
+  EXPECT_THROW(route_yx(grid, {0, 0}, {3, 0}), std::out_of_range);
+}
+
+TEST(IngressLabel, VerticalKeepsDirection) {
+  EXPECT_EQ(ingress_label(Direction::kUp, {2, 3}), ChannelLabel::kUp);
+  EXPECT_EQ(ingress_label(Direction::kDown, {2, 3}), ChannelLabel::kDown);
+}
+
+TEST(IngressLabel, HorizontalAlternatesWithColumnParity) {
+  // Eastbound: Right in even columns, Left in odd ones (flipped tiles).
+  EXPECT_EQ(ingress_label(Direction::kEast, {0, 0}), ChannelLabel::kRight);
+  EXPECT_EQ(ingress_label(Direction::kEast, {0, 1}), ChannelLabel::kLeft);
+  EXPECT_EQ(ingress_label(Direction::kWest, {0, 0}), ChannelLabel::kLeft);
+  EXPECT_EQ(ingress_label(Direction::kWest, {0, 1}), ChannelLabel::kRight);
+}
+
+TEST(IngressLabel, MirrorAmbiguity) {
+  // The label sequence of an eastbound packet equals that of a westbound
+  // packet traversing the mirrored columns — the core reason horizontal
+  // direction is unobservable (paper Sec. II-C.4).
+  const int width = 6;
+  for (int c = 1; c < width; ++c) {
+    const ChannelLabel east = ingress_label(Direction::kEast, {0, c});
+    const ChannelLabel west_mirror =
+        ingress_label(Direction::kWest, {0, width - 1 - c});
+    // width even: mirrored column has opposite parity -> same label.
+    EXPECT_EQ(east, west_mirror);
+  }
+}
+
+TEST(IngressEvents, MatchHopsOneToOne) {
+  TileGrid grid(5, 6);
+  const Route route = route_yx(grid, {4, 0}, {0, 5});
+  const auto events = ingress_events(route);
+  ASSERT_EQ(events.size(), route.hops.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].tile, route.hops[i].receiver);
+    EXPECT_EQ(events[i].label,
+              ingress_label(route.hops[i].direction, route.hops[i].receiver));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: route invariants on random grids and endpoints.
+// ---------------------------------------------------------------------------
+
+class RoutingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoutingProperty, DimensionOrderInvariants) {
+  util::Rng rng(GetParam());
+  const int rows = static_cast<int>(rng.range(2, 9));
+  const int cols = static_cast<int>(rng.range(2, 9));
+  TileGrid grid(rows, cols);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Coord src{static_cast<int>(rng.below(static_cast<std::uint64_t>(rows))),
+                    static_cast<int>(rng.below(static_cast<std::uint64_t>(cols)))};
+    const Coord dst{static_cast<int>(rng.below(static_cast<std::uint64_t>(rows))),
+                    static_cast<int>(rng.below(static_cast<std::uint64_t>(cols)))};
+    const Route route = route_yx(grid, src, dst);
+
+    // Length equals Manhattan distance.
+    EXPECT_EQ(route.length(), TileGrid::manhattan(src, dst));
+
+    if (route.empty()) continue;
+    // Ends at the sink.
+    EXPECT_EQ(route.hops.back().receiver, dst);
+
+    // Hops are contiguous and vertical-before-horizontal.
+    Coord prev = src;
+    bool seen_horizontal = false;
+    for (const Hop& hop : route.hops) {
+      EXPECT_EQ(TileGrid::manhattan(prev, hop.receiver), 1);
+      const bool vertical =
+          hop.direction == Direction::kUp || hop.direction == Direction::kDown;
+      if (vertical) {
+        EXPECT_FALSE(seen_horizontal) << "vertical hop after horizontal";
+        EXPECT_EQ(hop.receiver.col, src.col);
+      } else {
+        seen_horizontal = true;
+        EXPECT_EQ(hop.receiver.row, dst.row);
+      }
+      prev = hop.receiver;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutingProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace corelocate::mesh

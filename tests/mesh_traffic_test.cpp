@@ -1,0 +1,83 @@
+#include "mesh/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace corelocate::mesh {
+namespace {
+
+TEST(Traffic, StartsAtZero) {
+  TileGrid grid(3, 3);
+  TrafficRecorder recorder(grid);
+  EXPECT_EQ(recorder.grand_total(), 0u);
+  EXPECT_EQ(recorder.cycles({1, 1}, ChannelLabel::kUp), 0u);
+}
+
+TEST(Traffic, InjectChargesEveryReceiver) {
+  TileGrid grid(4, 4);
+  TrafficRecorder recorder(grid);
+  const Route route = route_yx(grid, {3, 0}, {0, 0});
+  recorder.inject(route, 2);
+  EXPECT_EQ(recorder.cycles({2, 0}, ChannelLabel::kUp), 2u);
+  EXPECT_EQ(recorder.cycles({1, 0}, ChannelLabel::kUp), 2u);
+  EXPECT_EQ(recorder.cycles({0, 0}, ChannelLabel::kUp), 2u);
+  EXPECT_EQ(recorder.grand_total(), 6u);
+  // The source receives nothing.
+  EXPECT_EQ(recorder.total_cycles({3, 0}), 0u);
+}
+
+TEST(Traffic, AccumulatesAcrossInjections) {
+  TileGrid grid(3, 3);
+  TrafficRecorder recorder(grid);
+  const Route route = route_yx(grid, {0, 0}, {0, 2});
+  recorder.inject(route, 1);
+  recorder.inject(route, 3);
+  EXPECT_EQ(recorder.total_cycles({0, 1}), 4u);
+}
+
+TEST(Traffic, ChannelLabelsRespectParityFlip) {
+  TileGrid grid(1, 4);
+  TrafficRecorder recorder(grid);
+  recorder.inject(route_yx(grid, {0, 0}, {0, 3}), 1);
+  // Eastbound: receiver col 1 (odd) -> Left, col 2 (even) -> Right, col 3
+  // (odd) -> Left.
+  EXPECT_EQ(recorder.cycles({0, 1}, ChannelLabel::kLeft), 1u);
+  EXPECT_EQ(recorder.cycles({0, 2}, ChannelLabel::kRight), 1u);
+  EXPECT_EQ(recorder.cycles({0, 3}, ChannelLabel::kLeft), 1u);
+  EXPECT_EQ(recorder.cycles({0, 1}, ChannelLabel::kRight), 0u);
+}
+
+TEST(Traffic, InjectEventSingle) {
+  TileGrid grid(2, 2);
+  TrafficRecorder recorder(grid);
+  recorder.inject_event(IngressEvent{{1, 1}, ChannelLabel::kDown}, 5);
+  EXPECT_EQ(recorder.cycles({1, 1}, ChannelLabel::kDown), 5u);
+  EXPECT_EQ(recorder.grand_total(), 5u);
+}
+
+TEST(Traffic, ResetClears) {
+  TileGrid grid(2, 2);
+  TrafficRecorder recorder(grid);
+  recorder.inject(route_yx(grid, {0, 0}, {1, 1}), 7);
+  EXPECT_GT(recorder.grand_total(), 0u);
+  recorder.reset();
+  EXPECT_EQ(recorder.grand_total(), 0u);
+}
+
+TEST(Traffic, OutOfBoundsThrows) {
+  TileGrid grid(2, 2);
+  TrafficRecorder recorder(grid);
+  EXPECT_THROW(recorder.cycles({2, 0}, ChannelLabel::kUp), std::out_of_range);
+}
+
+TEST(Traffic, TotalCyclesSumsAllChannels) {
+  TileGrid grid(3, 3);
+  TrafficRecorder recorder(grid);
+  recorder.inject_event(IngressEvent{{1, 1}, ChannelLabel::kUp}, 1);
+  recorder.inject_event(IngressEvent{{1, 1}, ChannelLabel::kDown}, 2);
+  recorder.inject_event(IngressEvent{{1, 1}, ChannelLabel::kLeft}, 3);
+  recorder.inject_event(IngressEvent{{1, 1}, ChannelLabel::kRight}, 4);
+  EXPECT_EQ(recorder.total_cycles({1, 1}), 10u);
+}
+
+}  // namespace
+}  // namespace corelocate::mesh

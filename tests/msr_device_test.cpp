@@ -1,0 +1,82 @@
+#include "msr/msr_device.hpp"
+
+#include <gtest/gtest.h>
+
+namespace corelocate::msr {
+namespace {
+
+TEST(PpinMsr, UnreadableUntilEnabled) {
+  PpinMsr ppin(0xDEADBEEF12345678ULL);
+  EXPECT_THROW(ppin.read(kMsrPpin), MsrFault);
+  ppin.write(kMsrPpinCtl, 0x2);
+  EXPECT_EQ(ppin.read(kMsrPpin), 0xDEADBEEF12345678ULL);
+}
+
+TEST(PpinMsr, CtlReflectsEnable) {
+  PpinMsr ppin(1);
+  EXPECT_EQ(ppin.read(kMsrPpinCtl), 0u);
+  ppin.write(kMsrPpinCtl, 0x2);
+  EXPECT_EQ(ppin.read(kMsrPpinCtl), 0x2u);
+}
+
+TEST(PpinMsr, LockoutDisablesAndLatches) {
+  PpinMsr ppin(42);
+  ppin.write(kMsrPpinCtl, 0x1);  // LockOut
+  EXPECT_THROW(ppin.read(kMsrPpin), MsrFault);
+  EXPECT_THROW(ppin.write(kMsrPpinCtl, 0x2), MsrFault);
+}
+
+TEST(PpinMsr, PpinIsReadOnly) {
+  PpinMsr ppin(42);
+  EXPECT_THROW(ppin.write(kMsrPpin, 7), MsrFault);
+}
+
+namespace {
+struct FakeRegs {
+  std::uint64_t value = 0;
+  static std::uint64_t read(void* self, std::uint32_t) {
+    return static_cast<FakeRegs*>(self)->value;
+  }
+  static void write(void* self, std::uint32_t, std::uint64_t v) {
+    static_cast<FakeRegs*>(self)->value = v;
+  }
+};
+}  // namespace
+
+TEST(CompositeMsrDevice, DispatchesByRange) {
+  CompositeMsrDevice device;
+  FakeRegs a;
+  FakeRegs b;
+  device.add_range({0x100, 0x110, &a, FakeRegs::read, FakeRegs::write});
+  device.add_range({0x200, 0x210, &b, FakeRegs::read, FakeRegs::write});
+  device.write(0x105, 11);
+  device.write(0x20F, 22);
+  EXPECT_EQ(device.read(0x100), 11u);
+  EXPECT_EQ(device.read(0x200), 22u);
+}
+
+TEST(CompositeMsrDevice, UndecodedAddressFaults) {
+  CompositeMsrDevice device;
+  FakeRegs a;
+  device.add_range({0x100, 0x110, &a, FakeRegs::read, FakeRegs::write});
+  EXPECT_THROW(device.read(0x110), MsrFault);  // end is exclusive
+  EXPECT_THROW(device.write(0x0FF, 1), MsrFault);
+}
+
+TEST(CompositeMsrDevice, RejectsOverlappingRanges) {
+  CompositeMsrDevice device;
+  FakeRegs a;
+  device.add_range({0x100, 0x110, &a, FakeRegs::read, FakeRegs::write});
+  EXPECT_THROW(device.add_range({0x10F, 0x120, &a, FakeRegs::read, FakeRegs::write}),
+               std::invalid_argument);
+}
+
+TEST(CompositeMsrDevice, RejectsEmptyRange) {
+  CompositeMsrDevice device;
+  FakeRegs a;
+  EXPECT_THROW(device.add_range({0x100, 0x100, &a, FakeRegs::read, FakeRegs::write}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace corelocate::msr

@@ -1,0 +1,128 @@
+#include "msr/pmon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace corelocate::msr {
+namespace {
+
+/// Scripted ground truth the PMON model reads from.
+class FakeBackend : public PmonBackend {
+ public:
+  std::uint64_t event_total(int cha_id, ChaEvent event,
+                            std::uint8_t umask) const override {
+    const auto it = totals_.find(key(cha_id, event, umask));
+    return it == totals_.end() ? 0 : it->second;
+  }
+  void set(int cha, ChaEvent event, std::uint8_t umask, std::uint64_t total) {
+    totals_[key(cha, event, umask)] = total;
+  }
+
+ private:
+  static std::uint64_t key(int cha, ChaEvent event, std::uint8_t umask) {
+    return (static_cast<std::uint64_t>(cha) << 32) |
+           (static_cast<std::uint64_t>(event) << 8) | umask;
+  }
+  std::map<std::uint64_t, std::uint64_t> totals_;
+};
+
+TEST(ChaPmon, CounterReadsDeltaSinceEnable) {
+  FakeBackend backend;
+  backend.set(0, ChaEvent::kLlcLookup, kUmaskLlcLookupAny, 100);
+  ChaPmonUnit pmon(2, backend);
+  pmon.write(kChaPmonBase + kChaOffCtl0,
+             make_ctl(ChaEvent::kLlcLookup, kUmaskLlcLookupAny));
+  EXPECT_EQ(pmon.read(kChaPmonBase + kChaOffCtr0), 0u);
+  backend.set(0, ChaEvent::kLlcLookup, kUmaskLlcLookupAny, 130);
+  EXPECT_EQ(pmon.read(kChaPmonBase + kChaOffCtr0), 30u);
+}
+
+TEST(ChaPmon, DisabledCounterReadsZero) {
+  FakeBackend backend;
+  backend.set(0, ChaEvent::kLlcLookup, kUmaskLlcLookupAny, 100);
+  ChaPmonUnit pmon(1, backend);
+  EXPECT_EQ(pmon.read(kChaPmonBase + kChaOffCtr0), 0u);
+}
+
+TEST(ChaPmon, CounterResetViaWriteZero) {
+  FakeBackend backend;
+  backend.set(0, ChaEvent::kLlcLookup, kUmaskLlcLookupAny, 50);
+  ChaPmonUnit pmon(1, backend);
+  pmon.write(kChaPmonBase + kChaOffCtl0,
+             make_ctl(ChaEvent::kLlcLookup, kUmaskLlcLookupAny));
+  backend.set(0, ChaEvent::kLlcLookup, kUmaskLlcLookupAny, 80);
+  EXPECT_EQ(pmon.read(kChaPmonBase + kChaOffCtr0), 30u);
+  pmon.write(kChaPmonBase + kChaOffCtr0, 0);  // reset
+  EXPECT_EQ(pmon.read(kChaPmonBase + kChaOffCtr0), 0u);
+}
+
+TEST(ChaPmon, NonZeroCounterWriteFaults) {
+  FakeBackend backend;
+  ChaPmonUnit pmon(1, backend);
+  EXPECT_THROW(pmon.write(kChaPmonBase + kChaOffCtr0, 5), MsrFault);
+}
+
+TEST(ChaPmon, BanksAreIndependent) {
+  FakeBackend backend;
+  backend.set(0, ChaEvent::kLlcLookup, kUmaskLlcLookupAny, 10);
+  backend.set(1, ChaEvent::kLlcLookup, kUmaskLlcLookupAny, 1000);
+  ChaPmonUnit pmon(2, backend);
+  pmon.write(kChaPmonBase + kChaOffCtl0,
+             make_ctl(ChaEvent::kLlcLookup, kUmaskLlcLookupAny));
+  pmon.write(kChaPmonBase + kChaPmonStride + kChaOffCtl0,
+             make_ctl(ChaEvent::kLlcLookup, kUmaskLlcLookupAny));
+  backend.set(0, ChaEvent::kLlcLookup, kUmaskLlcLookupAny, 15);
+  backend.set(1, ChaEvent::kLlcLookup, kUmaskLlcLookupAny, 1100);
+  EXPECT_EQ(pmon.read(kChaPmonBase + kChaOffCtr0), 5u);
+  EXPECT_EQ(pmon.read(kChaPmonBase + kChaPmonStride + kChaOffCtr0), 100u);
+}
+
+TEST(ChaPmon, AddressRangeBounds) {
+  FakeBackend backend;
+  ChaPmonUnit pmon(3, backend);
+  EXPECT_EQ(pmon.address_begin(), kChaPmonBase);
+  EXPECT_EQ(pmon.address_end(), kChaPmonBase + 3 * kChaPmonStride);
+  EXPECT_THROW(pmon.read(pmon.address_end()), MsrFault);
+}
+
+TEST(ChaPmon, ReservedOffsetFaults) {
+  FakeBackend backend;
+  ChaPmonUnit pmon(1, backend);
+  EXPECT_THROW(pmon.read(kChaPmonBase + 0xC), MsrFault);
+  EXPECT_THROW(pmon.write(kChaPmonBase + 0xC, 0), MsrFault);
+}
+
+TEST(ChaPmon, FiltersAndUnitCtlAreReadBack) {
+  FakeBackend backend;
+  ChaPmonUnit pmon(1, backend);
+  pmon.write(kChaPmonBase + kChaOffFilter0, 0xAB);
+  pmon.write(kChaPmonBase + kChaOffUnitCtl, 0x11);
+  EXPECT_EQ(pmon.read(kChaPmonBase + kChaOffFilter0), 0xABu);
+  EXPECT_EQ(pmon.read(kChaPmonBase + kChaOffUnitCtl), 0x11u);
+}
+
+TEST(ChaPmon, CtlReadsBackWithoutResetBit) {
+  FakeBackend backend;
+  ChaPmonUnit pmon(1, backend);
+  const std::uint64_t ctl =
+      make_ctl(ChaEvent::kVertRingBlInUse, kUmaskVertUp) | kCtlResetBit;
+  pmon.write(kChaPmonBase + kChaOffCtl0, ctl);
+  EXPECT_EQ(pmon.read(kChaPmonBase + kChaOffCtl0), ctl & ~kCtlResetBit);
+}
+
+TEST(ChaPmon, RejectsZeroChaCount) {
+  FakeBackend backend;
+  EXPECT_THROW(ChaPmonUnit(0, backend), std::invalid_argument);
+}
+
+TEST(MakeCtl, EncodesFields) {
+  const std::uint64_t ctl = make_ctl(ChaEvent::kHorzRingBlInUse, 0x0C, true);
+  EXPECT_EQ(ctl & 0xFF, 0xABu);
+  EXPECT_EQ((ctl >> 8) & 0xFF, 0x0Cu);
+  EXPECT_NE(ctl & kCtlEnableBit, 0u);
+  EXPECT_EQ(make_ctl(ChaEvent::kLlcLookup, 0x11, false) & kCtlEnableBit, 0u);
+}
+
+}  // namespace
+}  // namespace corelocate::msr

@@ -1,0 +1,64 @@
+#include "sim/xeon_config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace corelocate::sim {
+namespace {
+
+TEST(XeonConfig, ModelNames) {
+  EXPECT_STREQ(to_string(XeonModel::k8124M), "Xeon Platinum 8124M");
+  EXPECT_STREQ(to_string(XeonModel::k8259CL), "Xeon Platinum 8259CL");
+}
+
+TEST(XeonConfig, SkylakeDieGeometry) {
+  const ModelSpec& spec = spec_for(XeonModel::k8124M);
+  EXPECT_EQ(spec.die.rows, 5);
+  EXPECT_EQ(spec.die.cols, 6);
+  EXPECT_EQ(spec.die.imc_tiles.size(), 2u);
+  EXPECT_EQ(spec.die.core_tile_slots(), 28);  // paper: up to 28 core tiles
+}
+
+TEST(XeonConfig, SkuFuseOutCounts) {
+  EXPECT_EQ(spec_for(XeonModel::k8124M).active_cores, 18);
+  EXPECT_EQ(spec_for(XeonModel::k8124M).disabled_tiles(), 10);
+  EXPECT_EQ(spec_for(XeonModel::k8175M).active_cores, 24);
+  EXPECT_EQ(spec_for(XeonModel::k8175M).disabled_tiles(), 4);
+  EXPECT_EQ(spec_for(XeonModel::k8259CL).active_cores, 24);
+  EXPECT_EQ(spec_for(XeonModel::k8259CL).llc_only_tiles, 2);
+  EXPECT_EQ(spec_for(XeonModel::k8259CL).cha_count(), 26);
+  EXPECT_EQ(spec_for(XeonModel::k8259CL).disabled_tiles(), 2);
+}
+
+TEST(XeonConfig, IceLakeGeometry) {
+  const ModelSpec& spec = spec_for(XeonModel::k6354);
+  EXPECT_EQ(spec.die.rows, 8);  // paper Fig. 5: 8x6 grid
+  EXPECT_EQ(spec.die.cols, 6);
+  EXPECT_EQ(spec.active_cores, 18);
+  EXPECT_EQ(spec.numbering, ChaNumbering::kRowMajor);
+  EXPECT_EQ(spec.os_numbering, OsNumbering::kAscending);
+}
+
+TEST(XeonConfig, SkylakeNumberingConventions) {
+  for (XeonModel model :
+       {XeonModel::k8124M, XeonModel::k8175M, XeonModel::k8259CL}) {
+    EXPECT_EQ(spec_for(model).numbering, ChaNumbering::kColumnMajor);
+    EXPECT_EQ(spec_for(model).os_numbering, OsNumbering::kMod4Classes);
+  }
+}
+
+TEST(XeonConfig, AllModelsListed) {
+  EXPECT_EQ(all_models().size(), 4u);
+}
+
+TEST(XeonConfig, DieGridPlacesImcs) {
+  const ModelSpec& spec = spec_for(XeonModel::k8175M);
+  const mesh::TileGrid grid = make_die_grid(spec.die);
+  EXPECT_EQ(grid.count(mesh::TileKind::kImc), 2);
+  for (const mesh::Coord& imc : spec.die.imc_tiles) {
+    EXPECT_EQ(grid.kind_at(imc), mesh::TileKind::kImc);
+  }
+  EXPECT_EQ(grid.count(mesh::TileKind::kDisabledCore), 28);
+}
+
+}  // namespace
+}  // namespace corelocate::sim

@@ -1,0 +1,193 @@
+#include "sim/instance_factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace corelocate::sim {
+namespace {
+
+TEST(AssignOsCoreIds, Mod4ClassRuleMatchesTableI8124M) {
+  // Table I, 8124M row: 18 CHAs, classes {0,2,1,3}.
+  std::vector<int> chas(18);
+  for (int i = 0; i < 18; ++i) chas[static_cast<std::size_t>(i)] = i;
+  const std::vector<int> expected{0, 4, 8, 12, 16, 2,  6,  10, 14,
+                                  1, 5, 9, 13, 17, 3,  7,  11, 15};
+  EXPECT_EQ(assign_os_core_ids(chas, OsNumbering::kMod4Classes), expected);
+}
+
+TEST(AssignOsCoreIds, Mod4ClassRuleMatchesTableI8175M) {
+  std::vector<int> chas(24);
+  for (int i = 0; i < 24; ++i) chas[static_cast<std::size_t>(i)] = i;
+  const std::vector<int> expected{0, 4, 8, 12, 16, 20, 2, 6, 10, 14, 18, 22,
+                                  1, 5, 9, 13, 17, 21, 3, 7, 11, 15, 19, 23};
+  EXPECT_EQ(assign_os_core_ids(chas, OsNumbering::kMod4Classes), expected);
+}
+
+TEST(AssignOsCoreIds, Mod4SkipsLlcOnlyChas) {
+  // Table I, 8259CL most frequent row: CHAs 3 and 25 are LLC-only.
+  std::vector<int> chas;
+  for (int i = 0; i < 26; ++i) {
+    if (i != 3 && i != 25) chas.push_back(i);
+  }
+  const std::vector<int> expected{0, 4, 8, 12, 16, 20, 24, 2, 6, 10, 14, 18,
+                                  22, 1, 5, 9, 13, 17, 21, 7, 11, 15, 19, 23};
+  EXPECT_EQ(assign_os_core_ids(chas, OsNumbering::kMod4Classes), expected);
+}
+
+TEST(AssignOsCoreIds, AscendingRule) {
+  const std::vector<int> chas{5, 1, 9, 3};
+  const std::vector<int> expected{1, 3, 5, 9};
+  EXPECT_EQ(assign_os_core_ids(chas, OsNumbering::kAscending), expected);
+}
+
+class FactoryPerModel : public ::testing::TestWithParam<XeonModel> {};
+
+TEST_P(FactoryPerModel, InstanceInvariants) {
+  const XeonModel model = GetParam();
+  const ModelSpec& spec = spec_for(model);
+  InstanceFactory factory;
+  util::Rng rng(2024);
+  for (int i = 0; i < 10; ++i) {
+    const InstanceConfig config = factory.make_instance(model, rng);
+    EXPECT_EQ(config.cha_count(), spec.cha_count());
+    EXPECT_EQ(config.os_core_count(), spec.active_cores);
+    EXPECT_EQ(config.grid.count(mesh::TileKind::kCore), spec.active_cores);
+    EXPECT_EQ(config.grid.count(mesh::TileKind::kLlcOnly), spec.llc_only_tiles);
+    EXPECT_EQ(config.grid.count(mesh::TileKind::kImc),
+              static_cast<int>(spec.die.imc_tiles.size()));
+    EXPECT_EQ(config.grid.count(mesh::TileKind::kDisabledCore), spec.disabled_tiles());
+
+    // CHA tiles all live, distinct, and numbered by the model convention.
+    std::set<std::pair<int, int>> seen;
+    for (int cha = 0; cha < config.cha_count(); ++cha) {
+      const mesh::Coord tile = config.tile_of_cha(cha);
+      EXPECT_TRUE(mesh::has_cha(config.grid.kind_at(tile)));
+      EXPECT_TRUE(seen.insert({tile.row, tile.col}).second);
+    }
+    const auto expected_order = (spec.numbering == ChaNumbering::kColumnMajor)
+                                    ? config.grid.cha_coords_column_major()
+                                    : config.grid.cha_coords_row_major();
+    EXPECT_EQ(config.cha_tiles, expected_order);
+
+    // OS cores map to distinct core-capable CHAs.
+    std::set<int> core_chas(config.os_core_to_cha.begin(), config.os_core_to_cha.end());
+    EXPECT_EQ(core_chas.size(), config.os_core_to_cha.size());
+    for (int cha : config.os_core_to_cha) {
+      EXPECT_EQ(config.grid.kind_at(config.tile_of_cha(cha)), mesh::TileKind::kCore);
+    }
+
+    // Every row and column keeps at least one live CHA (exact-index
+    // recoverability, paper Sec. II-D).
+    std::vector<int> row_live(static_cast<std::size_t>(config.grid.rows()), 0);
+    std::vector<int> col_live(static_cast<std::size_t>(config.grid.cols()), 0);
+    for (const mesh::Coord& tile : config.cha_tiles) {
+      ++row_live[static_cast<std::size_t>(tile.row)];
+      ++col_live[static_cast<std::size_t>(tile.col)];
+    }
+    EXPECT_TRUE(std::all_of(row_live.begin(), row_live.end(), [](int n) { return n > 0; }));
+    EXPECT_TRUE(std::all_of(col_live.begin(), col_live.end(), [](int n) { return n > 0; }));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, FactoryPerModel,
+                         ::testing::Values(XeonModel::k8124M, XeonModel::k8175M,
+                                           XeonModel::k8259CL, XeonModel::k6354),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case XeonModel::k8124M: return "m8124M";
+                             case XeonModel::k8175M: return "m8175M";
+                             case XeonModel::k8259CL: return "m8259CL";
+                             case XeonModel::k6354: return "m6354";
+                           }
+                           return "unknown";
+                         });
+
+TEST(Factory, PpinsAreUnique) {
+  InstanceFactory factory;
+  util::Rng rng(3);
+  std::set<std::uint64_t> ppins;
+  for (int i = 0; i < 50; ++i) {
+    ppins.insert(factory.make_instance(XeonModel::k8175M, rng).ppin);
+  }
+  EXPECT_EQ(ppins.size(), 50u);
+}
+
+TEST(Factory, SkylakeSkusShareOneOsChaMapping) {
+  // Paper Table I: all 100 instances of 8124M/8175M share the same
+  // OS-core-id <-> CHA-id mapping.
+  InstanceFactory factory;
+  util::Rng rng(5);
+  for (XeonModel model : {XeonModel::k8124M, XeonModel::k8175M}) {
+    const std::vector<int> first = factory.make_instance(model, rng).os_core_to_cha;
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_EQ(factory.make_instance(model, rng).os_core_to_cha, first);
+    }
+  }
+}
+
+TEST(Factory, Cl8259HasFewIdMappingVariants) {
+  // Paper Table I: 7 distinct mappings out of 100 instances, dominated by
+  // {3,25} and {2,25} LLC-only CHA pairs.
+  InstanceFactory factory;
+  util::Rng rng(7);
+  std::map<std::vector<int>, int> variants;
+  for (int i = 0; i < 100; ++i) {
+    ++variants[factory.make_instance(XeonModel::k8259CL, rng).os_core_to_cha];
+  }
+  EXPECT_GE(variants.size(), 2u);
+  EXPECT_LE(variants.size(), 12u);
+  int top = 0;
+  for (const auto& [mapping, count] : variants) top = std::max(top, count);
+  EXPECT_GE(top, 40);  // one dominant variant like the paper's 62
+}
+
+TEST(Factory, LocationPatternDiversityIsHeadHeavy) {
+  // Shape of Table II: one dominant fuse-out pattern plus a long tail.
+  InstanceFactory factory;
+  util::Rng rng(11);
+  std::map<std::string, int> patterns;
+  for (int i = 0; i < 100; ++i) {
+    const InstanceConfig config = factory.make_instance(XeonModel::k8124M, rng);
+    std::string key;
+    for (const mesh::Coord& tile : config.cha_tiles) {
+      key += std::to_string(tile.row) + "," + std::to_string(tile.col) + ";";
+    }
+    ++patterns[key];
+  }
+  int top = 0;
+  for (const auto& [key, count] : patterns) top = std::max(top, count);
+  EXPECT_GE(top, 35);              // dominant pattern (paper: 53)
+  EXPECT_GE(patterns.size(), 5u);  // long tail (paper: 14 unique)
+  EXPECT_LE(patterns.size(), 30u);
+}
+
+TEST(Factory, FleetHelperProducesRequestedCount) {
+  InstanceFactory factory;
+  util::Rng rng(13);
+  EXPECT_EQ(factory.make_fleet(XeonModel::k6354, 10, rng).size(), 10u);
+}
+
+TEST(InstanceConfig, LookupHelpers) {
+  InstanceFactory factory;
+  util::Rng rng(17);
+  const InstanceConfig config = factory.make_instance(XeonModel::k8259CL, rng);
+  // cha_at inverts tile_of_cha.
+  for (int cha = 0; cha < config.cha_count(); ++cha) {
+    EXPECT_EQ(config.cha_at(config.tile_of_cha(cha)), cha);
+  }
+  EXPECT_FALSE(config.cha_at(config.imc_tiles.front()).has_value());
+  // os_core_of_cha inverts os_core_to_cha.
+  for (int os = 0; os < config.os_core_count(); ++os) {
+    EXPECT_EQ(config.os_core_of_cha(config.os_core_to_cha[static_cast<std::size_t>(os)]),
+              os);
+  }
+  EXPECT_EQ(config.llc_only_chas().size(), 2u);
+  for (int cha : config.llc_only_chas()) {
+    EXPECT_FALSE(config.os_core_of_cha(cha).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace corelocate::sim

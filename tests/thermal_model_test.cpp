@@ -1,0 +1,143 @@
+#include "thermal/thermal_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace corelocate::thermal {
+namespace {
+
+mesh::TileGrid uniform_grid(int rows, int cols) {
+  mesh::TileGrid grid(rows, cols);
+  for (const mesh::Coord& c : grid.all_coords()) {
+    grid.set_kind(c, mesh::TileKind::kCore);
+  }
+  return grid;
+}
+
+TEST(ThermalModel, IdleSteadyStateNearAnalytic) {
+  // With uniform power, lateral terms vanish: T = ambient + P/G_amb.
+  ThermalParams params;
+  params.tenant_walk_w = 0.0;
+  ThermalModel model(uniform_grid(4, 4), params);
+  const double expected = params.ambient_c + params.idle_power_w / params.g_ambient;
+  for (const mesh::Coord& c : uniform_grid(4, 4).all_coords()) {
+    EXPECT_NEAR(model.temperature(c), expected, 0.05);
+  }
+}
+
+TEST(ThermalModel, StressedTileHeatsUpAndNeighboursFollow) {
+  ThermalParams params;
+  ThermalModel model(uniform_grid(5, 5), params);
+  const mesh::Coord hot{2, 2};
+  const double base = model.temperature(hot);
+  model.set_power(hot, params.stress_power_w);
+  model.advance(8.0, 0.02);
+  EXPECT_GT(model.temperature(hot), base + 8.0);
+  EXPECT_GT(model.temperature({1, 2}), base + 1.0);  // vertical neighbour
+  EXPECT_GT(model.temperature({2, 1}), base + 0.5);  // horizontal neighbour
+  // Heat decays with distance.
+  EXPECT_GT(model.temperature({1, 2}), model.temperature({0, 2}));
+}
+
+TEST(ThermalModel, VerticalCouplingBeatsHorizontal) {
+  // The anisotropy behind the paper's Fig. 7a/7b difference.
+  ThermalParams params;
+  ThermalModel model(uniform_grid(5, 5), params);
+  model.set_power({2, 2}, params.stress_power_w);
+  model.advance(8.0, 0.02);
+  EXPECT_GT(model.temperature({3, 2}), model.temperature({2, 3}) + 0.3);
+}
+
+TEST(ThermalModel, SymmetryOfHeatSpread) {
+  ThermalParams params;
+  ThermalModel model(uniform_grid(5, 5), params);
+  model.set_power({2, 2}, params.stress_power_w);
+  model.advance(5.0, 0.02);
+  EXPECT_NEAR(model.temperature({1, 2}), model.temperature({3, 2}), 1e-9);
+  EXPECT_NEAR(model.temperature({2, 1}), model.temperature({2, 3}), 1e-9);
+}
+
+TEST(ThermalModel, CoolsBackAfterStress) {
+  ThermalParams params;
+  ThermalModel model(uniform_grid(3, 3), params);
+  const double base = model.temperature({1, 1});
+  model.set_power({1, 1}, params.stress_power_w);
+  model.advance(5.0, 0.02);
+  model.set_power({1, 1}, params.idle_power_w);
+  model.advance(10.0, 0.02);
+  EXPECT_NEAR(model.temperature({1, 1}), base, 0.1);
+}
+
+TEST(ThermalModel, StepRejectsUnstableDt) {
+  ThermalModel model(uniform_grid(2, 2));
+  EXPECT_THROW(model.step(model.max_stable_dt() * 1.01), std::invalid_argument);
+  EXPECT_THROW(model.step(0.0), std::invalid_argument);
+  EXPECT_NO_THROW(model.step(model.max_stable_dt() * 0.5));
+}
+
+TEST(ThermalModel, TimeAdvances) {
+  ThermalModel model(uniform_grid(2, 2));
+  EXPECT_DOUBLE_EQ(model.time(), 0.0);
+  model.advance(1.0, 0.01);
+  EXPECT_NEAR(model.time(), 1.0, 1e-9);
+}
+
+TEST(ThermalModel, ResetRestoresIdleState) {
+  ThermalParams params;
+  ThermalModel model(uniform_grid(3, 3), params);
+  const double base = model.temperature({0, 0});
+  model.set_power({1, 1}, params.stress_power_w);
+  model.advance(5.0, 0.02);
+  model.set_power({1, 1}, params.idle_power_w);
+  model.reset();
+  EXPECT_NEAR(model.temperature({0, 0}), base, 0.05);
+  EXPECT_DOUBLE_EQ(model.time(), 0.0);
+}
+
+TEST(ThermalModel, NonCoreTilesRunCooler) {
+  mesh::TileGrid grid = uniform_grid(3, 3);
+  grid.set_kind({1, 1}, mesh::TileKind::kImc);
+  ThermalParams params;
+  ThermalModel model(grid, params);
+  EXPECT_LT(model.temperature({1, 1}), model.temperature({0, 0}));
+}
+
+TEST(ThermalModel, TenantWalkPerturbsOnlyMarkedTiles) {
+  ThermalParams params;
+  params.tenant_walk_w = 5.0;
+  ThermalModel model(uniform_grid(3, 3), params, /*noise_seed=*/77);
+  model.set_tenant({0, 0}, true);
+  const double quiet_before = model.temperature({2, 2});
+  model.advance(5.0, 0.02);
+  // The tenant tile's power walk shifts its temperature away from idle.
+  const double idle = params.ambient_c + params.idle_power_w / params.g_ambient;
+  EXPECT_GT(model.temperature({0, 0}), idle - 0.5);
+  // Distant tile moves far less.
+  EXPECT_NEAR(model.temperature({2, 2}), quiet_before, 1.5);
+  // Unmarking zeroes the walk component.
+  model.set_tenant({0, 0}, false);
+  model.advance(5.0, 0.02);
+  EXPECT_NEAR(model.temperature({0, 0}), idle, 0.5);
+}
+
+TEST(ThermalModel, OutOfBoundsThrows) {
+  ThermalModel model(uniform_grid(2, 2));
+  EXPECT_THROW(model.temperature({2, 0}), std::out_of_range);
+  EXPECT_THROW(model.set_power({0, 3}, 1.0), std::out_of_range);
+}
+
+TEST(ThermalModel, EnergyMonotonicity) {
+  // More input power => strictly higher steady temperature at the source.
+  ThermalParams params;
+  ThermalModel low(uniform_grid(3, 3), params);
+  ThermalModel high(uniform_grid(3, 3), params);
+  low.set_power({1, 1}, 5.0);
+  high.set_power({1, 1}, 10.0);
+  low.advance(10.0, 0.02);
+  high.advance(10.0, 0.02);
+  EXPECT_GT(high.temperature({1, 1}), low.temperature({1, 1}) + 1.0);
+}
+
+}  // namespace
+}  // namespace corelocate::thermal

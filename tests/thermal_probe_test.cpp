@@ -1,0 +1,87 @@
+#include "thermal/external_probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace corelocate::thermal {
+namespace {
+
+mesh::TileGrid grid5() {
+  mesh::TileGrid grid(5, 5);
+  for (const mesh::Coord& c : grid.all_coords()) {
+    grid.set_kind(c, mesh::TileKind::kCore);
+  }
+  return grid;
+}
+
+TEST(ExternalProbe, FineResolution) {
+  ThermalModel model(grid5());
+  ExternalProbeParams params;
+  params.noise_sigma_c = 0.0;
+  params.resolution_c = 0.05;
+  ExternalProbe probe({2, 2}, params);
+  const double reading = probe.read(model);
+  // Quantized to 0.05 degC steps.
+  const double steps = reading / 0.05;
+  EXPECT_NEAR(steps, std::round(steps), 1e-9);
+  // Uniform field: spot average equals the tile temperature.
+  EXPECT_NEAR(reading, model.temperature({2, 2}), 0.06);
+}
+
+TEST(ExternalProbe, SpotBlursNeighbours) {
+  ThermalModel model(grid5());
+  model.set_power({2, 2}, 30.0);
+  model.advance(5.0, 0.02);
+  ExternalProbeParams params;
+  params.noise_sigma_c = 0.0;
+  ExternalProbe hot_probe({2, 2}, params);
+  const double spot = hot_probe.read(model);
+  // Blur pulls the reading below the true hot-tile temperature but above
+  // its neighbours.
+  EXPECT_LT(spot, model.temperature({2, 2}));
+  EXPECT_GT(spot, model.temperature({1, 2}));
+}
+
+TEST(ExternalProbe, TighterSpotTracksTileCloser) {
+  ThermalModel narrow_model(grid5());
+  narrow_model.set_power({2, 2}, 30.0);
+  narrow_model.advance(5.0, 0.02);
+  ExternalProbeParams tight;
+  tight.noise_sigma_c = 0.0;
+  tight.spot_sigma_tiles = 0.3;
+  ExternalProbeParams wide;
+  wide.noise_sigma_c = 0.0;
+  wide.spot_sigma_tiles = 1.5;
+  ExternalProbe tight_probe({2, 2}, tight);
+  ExternalProbe wide_probe({2, 2}, wide);
+  const double truth = narrow_model.temperature({2, 2});
+  EXPECT_LT(std::abs(tight_probe.read(narrow_model) - truth),
+            std::abs(wide_probe.read(narrow_model) - truth));
+}
+
+TEST(ExternalProbe, RateLimited) {
+  ThermalModel model(grid5());
+  ExternalProbeParams params;
+  params.noise_sigma_c = 0.0;
+  params.update_period_s = 0.5;
+  ExternalProbe probe({1, 1}, params);
+  const double first = probe.read(model);
+  model.set_power({1, 1}, 40.0);
+  model.advance(0.2, 0.02);
+  EXPECT_DOUBLE_EQ(probe.read(model), first);  // still latched
+  model.advance(0.4, 0.02);
+  EXPECT_GT(probe.read(model), first);
+}
+
+TEST(ExternalProbe, EdgeTargetClipsSpot) {
+  ThermalModel model(grid5());
+  ExternalProbeParams params;
+  params.noise_sigma_c = 0.0;
+  ExternalProbe corner({0, 0}, params);
+  EXPECT_NO_THROW(corner.read(model));
+  EXPECT_GT(corner.read(model), 0.0);
+}
+
+}  // namespace
+}  // namespace corelocate::thermal

@@ -1,0 +1,74 @@
+#include "thermal/sensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace corelocate::thermal {
+namespace {
+
+mesh::TileGrid grid3() {
+  mesh::TileGrid grid(3, 3);
+  for (const mesh::Coord& c : grid.all_coords()) {
+    grid.set_kind(c, mesh::TileKind::kCore);
+  }
+  return grid;
+}
+
+TEST(Sensor, QuantizesToWholeDegrees) {
+  ThermalModel model(grid3());
+  SensorParams params;
+  params.noise_sigma_c = 0.0;
+  TemperatureSensor sensor({1, 1}, params);
+  const double reading = sensor.read(model);
+  EXPECT_DOUBLE_EQ(reading, std::floor(model.temperature({1, 1})));
+}
+
+TEST(Sensor, CoarserQuantization) {
+  ThermalModel model(grid3());
+  SensorParams params;
+  params.noise_sigma_c = 0.0;
+  params.quantization_c = 5.0;
+  TemperatureSensor sensor({1, 1}, params);
+  const double reading = sensor.read(model);
+  EXPECT_DOUBLE_EQ(std::fmod(reading, 5.0), 0.0);
+  EXPECT_LE(reading, model.temperature({1, 1}));
+  EXPECT_GT(reading, model.temperature({1, 1}) - 5.0);
+}
+
+TEST(Sensor, RateLimitsRefreshes) {
+  ThermalModel model(grid3());
+  SensorParams params;
+  params.noise_sigma_c = 0.0;
+  params.update_period_s = 0.5;
+  TemperatureSensor sensor({1, 1}, params);
+  const double first = sensor.read(model);
+  // Heat the tile hard; before the update period the reading must latch.
+  model.set_power({1, 1}, 40.0);
+  model.advance(0.2, 0.02);
+  EXPECT_DOUBLE_EQ(sensor.read(model), first);
+  model.advance(0.4, 0.02);
+  EXPECT_GT(sensor.read(model), first);
+}
+
+TEST(Sensor, NoiseStaysBounded) {
+  ThermalModel model(grid3());
+  SensorParams params;
+  params.noise_sigma_c = 0.3;
+  params.update_period_s = 0.0;  // refresh every read
+  TemperatureSensor sensor({0, 0}, params);
+  const double truth = model.temperature({0, 0});
+  for (int i = 0; i < 200; ++i) {
+    model.step(0.01);
+    const double reading = sensor.read(model);
+    EXPECT_NEAR(reading, truth, 3.0);  // 10-sigma guard band + quantization
+  }
+}
+
+TEST(Sensor, TileIsRecorded) {
+  TemperatureSensor sensor({2, 1});
+  EXPECT_EQ(sensor.tile(), (mesh::Coord{2, 1}));
+}
+
+}  // namespace
+}  // namespace corelocate::thermal

@@ -1,0 +1,66 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace corelocate::util {
+namespace {
+
+CliFlags parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return CliFlags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, SpaceSeparatedValue) {
+  const CliFlags flags = parse({"--count", "10"});
+  EXPECT_EQ(flags.get_int("count", 0), 10);
+}
+
+TEST(Cli, EqualsValue) {
+  const CliFlags flags = parse({"--rate=2.5"});
+  EXPECT_DOUBLE_EQ(flags.get_double("rate", 0.0), 2.5);
+}
+
+TEST(Cli, BooleanFlag) {
+  const CliFlags flags = parse({"--verbose"});
+  EXPECT_TRUE(flags.get_bool("verbose"));
+  EXPECT_FALSE(flags.get_bool("missing"));
+}
+
+TEST(Cli, BooleanExplicitValues) {
+  EXPECT_TRUE(parse({"--x=yes"}).get_bool("x"));
+  EXPECT_FALSE(parse({"--x=off"}).get_bool("x"));
+  EXPECT_THROW(parse({"--x=maybe"}).get_bool("x"), std::invalid_argument);
+}
+
+TEST(Cli, FallbacksWhenMissing) {
+  const CliFlags flags = parse({});
+  EXPECT_EQ(flags.get("name", "dflt"), "dflt");
+  EXPECT_EQ(flags.get_int("n", 7), 7);
+  EXPECT_DOUBLE_EQ(flags.get_double("d", 1.5), 1.5);
+}
+
+TEST(Cli, PositionalArguments) {
+  const CliFlags flags = parse({"file1", "--n", "3", "file2"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "file1");
+  EXPECT_EQ(flags.positional()[1], "file2");
+}
+
+TEST(Cli, MalformedIntegerThrows) {
+  const CliFlags flags = parse({"--n=abc"});
+  EXPECT_THROW(flags.get_int("n", 0), std::invalid_argument);
+}
+
+TEST(Cli, ValidateRejectsUnknown) {
+  const CliFlags flags = parse({"--typo", "1"});
+  EXPECT_THROW(flags.validate({"count"}), std::invalid_argument);
+  EXPECT_NO_THROW(flags.validate({"typo"}));
+}
+
+TEST(Cli, BareDoubleDashThrows) {
+  EXPECT_THROW(parse({"--"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace corelocate::util

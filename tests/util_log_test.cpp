@@ -1,0 +1,65 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <sstream>
+
+namespace corelocate::util {
+namespace {
+
+/// Captures stderr for the duration of a scope.
+class StderrCapture {
+ public:
+  StderrCapture() : old_(std::cerr.rdbuf(buffer_.rdbuf())) {}
+  ~StderrCapture() { std::cerr.rdbuf(old_); }
+  std::string text() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+  std::streambuf* old_;
+};
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = log_level(); }
+  void TearDown() override { set_log_level(previous_); }
+  LogLevel previous_{};
+};
+
+TEST_F(LogTest, LevelFiltering) {
+  set_log_level(LogLevel::kWarn);
+  StderrCapture capture;
+  log_line(LogLevel::kDebug, "hidden");
+  log_line(LogLevel::kInfo, "hidden too");
+  log_line(LogLevel::kWarn, "visible");
+  log_line(LogLevel::kError, "also visible");
+  const std::string out = capture.text();
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+  EXPECT_NE(out.find("[WARN] visible"), std::string::npos);
+  EXPECT_NE(out.find("[ERROR] also visible"), std::string::npos);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  StderrCapture capture;
+  log_line(LogLevel::kError, "nope");
+  EXPECT_TRUE(capture.text().empty());
+}
+
+TEST_F(LogTest, StreamInterfaceFormats) {
+  set_log_level(LogLevel::kDebug);
+  StderrCapture capture;
+  log_info() << "value=" << 42 << " pi=" << 3.5;
+  EXPECT_NE(capture.text().find("[INFO] value=42 pi=3.5"), std::string::npos);
+}
+
+TEST_F(LogTest, LevelRoundTrip) {
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+}
+
+}  // namespace
+}  // namespace corelocate::util

@@ -1,0 +1,160 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace corelocate::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  const std::uint64_t first = a();
+  a.reseed(7);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(7), 7u);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(17);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(19);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(23);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, GaussianScaled) {
+  Rng rng(29);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(37);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(41);
+  Rng b = a.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(43);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  shuffle(v, rng);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Rng, ShuffleChangesOrderEventually) {
+  Rng rng(47);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<int> original = v;
+  bool changed = false;
+  for (int i = 0; i < 10 && !changed; ++i) {
+    shuffle(v, rng);
+    changed = v != original;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(Rng, Mix64IsStateless) { EXPECT_EQ(mix64(42), mix64(42)); }
+
+TEST(Rng, SplitmixAdvancesState) {
+  std::uint64_t s = 0;
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace corelocate::util

@@ -1,0 +1,68 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace corelocate::util {
+namespace {
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer-name", "22"});
+  std::ostringstream oss;
+  table.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // All lines have equal width.
+  std::istringstream lines(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(TablePrinter, HandlesShortRows) {
+  TablePrinter table({"a", "b", "c"});
+  table.add_row({"1"});
+  std::ostringstream oss;
+  table.print(oss);
+  EXPECT_EQ(table.row_count(), 1u);
+  EXPECT_NE(oss.str().find("| 1"), std::string::npos);
+}
+
+TEST(TablePrinter, CsvEscapesSpecials) {
+  TablePrinter table({"k", "v"});
+  table.add_row({"a,b", "say \"hi\""});
+  std::ostringstream oss;
+  table.print_csv(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TablePrinter, CsvPlainCellsUnquoted) {
+  TablePrinter table({"k"});
+  table.add_row({"plain"});
+  std::ostringstream oss;
+  table.print_csv(oss);
+  EXPECT_EQ(oss.str(), "k\nplain\n");
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt(-0.5, 1), "-0.5");
+}
+
+TEST(Fmt, Percent) {
+  EXPECT_EQ(fmt_pct(0.0123, 2), "1.23%");
+  EXPECT_EQ(fmt_pct(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace corelocate::util
