@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_solver_engines"
+  "../bench/ablation_solver_engines.pdb"
+  "CMakeFiles/ablation_solver_engines.dir/ablation_solver_engines.cpp.o"
+  "CMakeFiles/ablation_solver_engines.dir/ablation_solver_engines.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_solver_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_thermal_anisotropy"
+  "../bench/ablation_thermal_anisotropy.pdb"
+  "CMakeFiles/ablation_thermal_anisotropy.dir/ablation_thermal_anisotropy.cpp.o"
+  "CMakeFiles/ablation_thermal_anisotropy.dir/ablation_thermal_anisotropy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_thermal_anisotropy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_contention_snr"
+  "../bench/ext_contention_snr.pdb"
+  "CMakeFiles/ext_contention_snr.dir/ext_contention_snr.cpp.o"
+  "CMakeFiles/ext_contention_snr.dir/ext_contention_snr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_contention_snr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_ecc_goodput"
+  "../bench/ext_ecc_goodput.pdb"
+  "CMakeFiles/ext_ecc_goodput.dir/ext_ecc_goodput.cpp.o"
+  "CMakeFiles/ext_ecc_goodput.dir/ext_ecc_goodput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ecc_goodput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

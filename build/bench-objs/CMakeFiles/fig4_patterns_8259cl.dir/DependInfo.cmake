@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig4_patterns_8259cl.cpp" "bench-objs/CMakeFiles/fig4_patterns_8259cl.dir/fig4_patterns_8259cl.cpp.o" "gcc" "bench-objs/CMakeFiles/fig4_patterns_8259cl.dir/fig4_patterns_8259cl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/corelocate_covert.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corelocate_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corelocate_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corelocate_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corelocate_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corelocate_msr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corelocate_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corelocate_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corelocate_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

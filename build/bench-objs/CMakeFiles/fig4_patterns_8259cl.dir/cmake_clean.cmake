@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_patterns_8259cl"
+  "../bench/fig4_patterns_8259cl.pdb"
+  "CMakeFiles/fig4_patterns_8259cl.dir/fig4_patterns_8259cl.cpp.o"
+  "CMakeFiles/fig4_patterns_8259cl.dir/fig4_patterns_8259cl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_patterns_8259cl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_patterns_8259cl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_icelake"
+  "../bench/fig5_icelake.pdb"
+  "CMakeFiles/fig5_icelake.dir/fig5_icelake.cpp.o"
+  "CMakeFiles/fig5_icelake.dir/fig5_icelake.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_icelake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

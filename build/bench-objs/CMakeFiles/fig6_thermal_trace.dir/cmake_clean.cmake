@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_thermal_trace"
+  "../bench/fig6_thermal_trace.pdb"
+  "CMakeFiles/fig6_thermal_trace.dir/fig6_thermal_trace.cpp.o"
+  "CMakeFiles/fig6_thermal_trace.dir/fig6_thermal_trace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_thermal_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

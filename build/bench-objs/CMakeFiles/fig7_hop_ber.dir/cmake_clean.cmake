@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_hop_ber"
+  "../bench/fig7_hop_ber.pdb"
+  "CMakeFiles/fig7_hop_ber.dir/fig7_hop_ber.cpp.o"
+  "CMakeFiles/fig7_hop_ber.dir/fig7_hop_ber.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_hop_ber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

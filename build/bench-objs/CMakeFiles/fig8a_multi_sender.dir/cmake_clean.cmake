@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8a_multi_sender"
+  "../bench/fig8a_multi_sender.pdb"
+  "CMakeFiles/fig8a_multi_sender.dir/fig8a_multi_sender.cpp.o"
+  "CMakeFiles/fig8a_multi_sender.dir/fig8a_multi_sender.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_multi_sender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8b_multi_channel"
+  "../bench/fig8b_multi_channel.pdb"
+  "CMakeFiles/fig8b_multi_channel.dir/fig8b_multi_channel.cpp.o"
+  "CMakeFiles/fig8b_multi_channel.dir/fig8b_multi_channel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_multi_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_ilp"
+  "../bench/perf_ilp.pdb"
+  "CMakeFiles/perf_ilp.dir/perf_ilp.cpp.o"
+  "CMakeFiles/perf_ilp.dir/perf_ilp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

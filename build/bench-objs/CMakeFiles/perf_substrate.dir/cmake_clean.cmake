@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_substrate"
+  "../bench/perf_substrate.pdb"
+  "CMakeFiles/perf_substrate.dir/perf_substrate.cpp.o"
+  "CMakeFiles/perf_substrate.dir/perf_substrate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

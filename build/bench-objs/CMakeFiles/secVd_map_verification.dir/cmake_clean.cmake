@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/secVd_map_verification"
+  "../bench/secVd_map_verification.pdb"
+  "CMakeFiles/secVd_map_verification.dir/secVd_map_verification.cpp.o"
+  "CMakeFiles/secVd_map_verification.dir/secVd_map_verification.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secVd_map_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

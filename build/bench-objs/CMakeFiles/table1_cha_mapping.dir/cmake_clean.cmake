@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_cha_mapping"
+  "../bench/table1_cha_mapping.pdb"
+  "CMakeFiles/table1_cha_mapping.dir/table1_cha_mapping.cpp.o"
+  "CMakeFiles/table1_cha_mapping.dir/table1_cha_mapping.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_cha_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

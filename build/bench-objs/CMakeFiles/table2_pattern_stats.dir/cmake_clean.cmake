@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_pattern_stats"
+  "../bench/table2_pattern_stats.pdb"
+  "CMakeFiles/table2_pattern_stats.dir/table2_pattern_stats.cpp.o"
+  "CMakeFiles/table2_pattern_stats.dir/table2_pattern_stats.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_pattern_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contention_probe.dir/contention_probe.cpp.o"
+  "CMakeFiles/contention_probe.dir/contention_probe.cpp.o.d"
+  "contention_probe"
+  "contention_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contention_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corelocate_tool.dir/corelocate_tool.cpp.o"
+  "CMakeFiles/corelocate_tool.dir/corelocate_tool.cpp.o.d"
+  "corelocate_tool"
+  "corelocate_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corelocate_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for corelocate_tool.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/covert_message.dir/covert_message.cpp.o"
+  "CMakeFiles/covert_message.dir/covert_message.cpp.o.d"
+  "covert_message"
+  "covert_message.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/covert_message.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defense_knobs.dir/defense_knobs.cpp.o"
+  "CMakeFiles/defense_knobs.dir/defense_knobs.cpp.o.d"
+  "defense_knobs"
+  "defense_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defense_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

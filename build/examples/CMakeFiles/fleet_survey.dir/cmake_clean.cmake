@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_survey.dir/fleet_survey.cpp.o"
+  "CMakeFiles/fleet_survey.dir/fleet_survey.cpp.o.d"
+  "fleet_survey"
+  "fleet_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/coherence.cpp" "src/CMakeFiles/corelocate_cache.dir/cache/coherence.cpp.o" "gcc" "src/CMakeFiles/corelocate_cache.dir/cache/coherence.cpp.o.d"
+  "/root/repo/src/cache/l2.cpp" "src/CMakeFiles/corelocate_cache.dir/cache/l2.cpp.o" "gcc" "src/CMakeFiles/corelocate_cache.dir/cache/l2.cpp.o.d"
+  "/root/repo/src/cache/llc.cpp" "src/CMakeFiles/corelocate_cache.dir/cache/llc.cpp.o" "gcc" "src/CMakeFiles/corelocate_cache.dir/cache/llc.cpp.o.d"
+  "/root/repo/src/cache/slice_hash.cpp" "src/CMakeFiles/corelocate_cache.dir/cache/slice_hash.cpp.o" "gcc" "src/CMakeFiles/corelocate_cache.dir/cache/slice_hash.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/corelocate_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corelocate_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

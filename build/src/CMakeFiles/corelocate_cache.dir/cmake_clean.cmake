@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corelocate_cache.dir/cache/coherence.cpp.o"
+  "CMakeFiles/corelocate_cache.dir/cache/coherence.cpp.o.d"
+  "CMakeFiles/corelocate_cache.dir/cache/l2.cpp.o"
+  "CMakeFiles/corelocate_cache.dir/cache/l2.cpp.o.d"
+  "CMakeFiles/corelocate_cache.dir/cache/llc.cpp.o"
+  "CMakeFiles/corelocate_cache.dir/cache/llc.cpp.o.d"
+  "CMakeFiles/corelocate_cache.dir/cache/slice_hash.cpp.o"
+  "CMakeFiles/corelocate_cache.dir/cache/slice_hash.cpp.o.d"
+  "libcorelocate_cache.a"
+  "libcorelocate_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corelocate_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cha_mapper.cpp" "src/CMakeFiles/corelocate_core.dir/core/cha_mapper.cpp.o" "gcc" "src/CMakeFiles/corelocate_core.dir/core/cha_mapper.cpp.o.d"
+  "/root/repo/src/core/core_map.cpp" "src/CMakeFiles/corelocate_core.dir/core/core_map.cpp.o" "gcc" "src/CMakeFiles/corelocate_core.dir/core/core_map.cpp.o.d"
+  "/root/repo/src/core/decomposed_map_solver.cpp" "src/CMakeFiles/corelocate_core.dir/core/decomposed_map_solver.cpp.o" "gcc" "src/CMakeFiles/corelocate_core.dir/core/decomposed_map_solver.cpp.o.d"
+  "/root/repo/src/core/eviction_set.cpp" "src/CMakeFiles/corelocate_core.dir/core/eviction_set.cpp.o" "gcc" "src/CMakeFiles/corelocate_core.dir/core/eviction_set.cpp.o.d"
+  "/root/repo/src/core/ilp_map_solver.cpp" "src/CMakeFiles/corelocate_core.dir/core/ilp_map_solver.cpp.o" "gcc" "src/CMakeFiles/corelocate_core.dir/core/ilp_map_solver.cpp.o.d"
+  "/root/repo/src/core/map_store.cpp" "src/CMakeFiles/corelocate_core.dir/core/map_store.cpp.o" "gcc" "src/CMakeFiles/corelocate_core.dir/core/map_store.cpp.o.d"
+  "/root/repo/src/core/observation.cpp" "src/CMakeFiles/corelocate_core.dir/core/observation.cpp.o" "gcc" "src/CMakeFiles/corelocate_core.dir/core/observation.cpp.o.d"
+  "/root/repo/src/core/pattern_stats.cpp" "src/CMakeFiles/corelocate_core.dir/core/pattern_stats.cpp.o" "gcc" "src/CMakeFiles/corelocate_core.dir/core/pattern_stats.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/corelocate_core.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/corelocate_core.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/refinement.cpp" "src/CMakeFiles/corelocate_core.dir/core/refinement.cpp.o" "gcc" "src/CMakeFiles/corelocate_core.dir/core/refinement.cpp.o.d"
+  "/root/repo/src/core/traffic_probe.cpp" "src/CMakeFiles/corelocate_core.dir/core/traffic_probe.cpp.o" "gcc" "src/CMakeFiles/corelocate_core.dir/core/traffic_probe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/corelocate_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corelocate_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corelocate_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corelocate_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corelocate_msr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corelocate_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corelocate_core.dir/core/cha_mapper.cpp.o"
+  "CMakeFiles/corelocate_core.dir/core/cha_mapper.cpp.o.d"
+  "CMakeFiles/corelocate_core.dir/core/core_map.cpp.o"
+  "CMakeFiles/corelocate_core.dir/core/core_map.cpp.o.d"
+  "CMakeFiles/corelocate_core.dir/core/decomposed_map_solver.cpp.o"
+  "CMakeFiles/corelocate_core.dir/core/decomposed_map_solver.cpp.o.d"
+  "CMakeFiles/corelocate_core.dir/core/eviction_set.cpp.o"
+  "CMakeFiles/corelocate_core.dir/core/eviction_set.cpp.o.d"
+  "CMakeFiles/corelocate_core.dir/core/ilp_map_solver.cpp.o"
+  "CMakeFiles/corelocate_core.dir/core/ilp_map_solver.cpp.o.d"
+  "CMakeFiles/corelocate_core.dir/core/map_store.cpp.o"
+  "CMakeFiles/corelocate_core.dir/core/map_store.cpp.o.d"
+  "CMakeFiles/corelocate_core.dir/core/observation.cpp.o"
+  "CMakeFiles/corelocate_core.dir/core/observation.cpp.o.d"
+  "CMakeFiles/corelocate_core.dir/core/pattern_stats.cpp.o"
+  "CMakeFiles/corelocate_core.dir/core/pattern_stats.cpp.o.d"
+  "CMakeFiles/corelocate_core.dir/core/pipeline.cpp.o"
+  "CMakeFiles/corelocate_core.dir/core/pipeline.cpp.o.d"
+  "CMakeFiles/corelocate_core.dir/core/refinement.cpp.o"
+  "CMakeFiles/corelocate_core.dir/core/refinement.cpp.o.d"
+  "CMakeFiles/corelocate_core.dir/core/traffic_probe.cpp.o"
+  "CMakeFiles/corelocate_core.dir/core/traffic_probe.cpp.o.d"
+  "libcorelocate_core.a"
+  "libcorelocate_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corelocate_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

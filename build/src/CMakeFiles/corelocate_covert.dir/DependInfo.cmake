@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/covert/bitstream.cpp" "src/CMakeFiles/corelocate_covert.dir/covert/bitstream.cpp.o" "gcc" "src/CMakeFiles/corelocate_covert.dir/covert/bitstream.cpp.o.d"
+  "/root/repo/src/covert/channel.cpp" "src/CMakeFiles/corelocate_covert.dir/covert/channel.cpp.o" "gcc" "src/CMakeFiles/corelocate_covert.dir/covert/channel.cpp.o.d"
+  "/root/repo/src/covert/ecc.cpp" "src/CMakeFiles/corelocate_covert.dir/covert/ecc.cpp.o" "gcc" "src/CMakeFiles/corelocate_covert.dir/covert/ecc.cpp.o.d"
+  "/root/repo/src/covert/manchester.cpp" "src/CMakeFiles/corelocate_covert.dir/covert/manchester.cpp.o" "gcc" "src/CMakeFiles/corelocate_covert.dir/covert/manchester.cpp.o.d"
+  "/root/repo/src/covert/multi.cpp" "src/CMakeFiles/corelocate_covert.dir/covert/multi.cpp.o" "gcc" "src/CMakeFiles/corelocate_covert.dir/covert/multi.cpp.o.d"
+  "/root/repo/src/covert/receiver.cpp" "src/CMakeFiles/corelocate_covert.dir/covert/receiver.cpp.o" "gcc" "src/CMakeFiles/corelocate_covert.dir/covert/receiver.cpp.o.d"
+  "/root/repo/src/covert/sender.cpp" "src/CMakeFiles/corelocate_covert.dir/covert/sender.cpp.o" "gcc" "src/CMakeFiles/corelocate_covert.dir/covert/sender.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/corelocate_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corelocate_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corelocate_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corelocate_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corelocate_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corelocate_msr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corelocate_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corelocate_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corelocate_covert.dir/covert/bitstream.cpp.o"
+  "CMakeFiles/corelocate_covert.dir/covert/bitstream.cpp.o.d"
+  "CMakeFiles/corelocate_covert.dir/covert/channel.cpp.o"
+  "CMakeFiles/corelocate_covert.dir/covert/channel.cpp.o.d"
+  "CMakeFiles/corelocate_covert.dir/covert/ecc.cpp.o"
+  "CMakeFiles/corelocate_covert.dir/covert/ecc.cpp.o.d"
+  "CMakeFiles/corelocate_covert.dir/covert/manchester.cpp.o"
+  "CMakeFiles/corelocate_covert.dir/covert/manchester.cpp.o.d"
+  "CMakeFiles/corelocate_covert.dir/covert/multi.cpp.o"
+  "CMakeFiles/corelocate_covert.dir/covert/multi.cpp.o.d"
+  "CMakeFiles/corelocate_covert.dir/covert/receiver.cpp.o"
+  "CMakeFiles/corelocate_covert.dir/covert/receiver.cpp.o.d"
+  "CMakeFiles/corelocate_covert.dir/covert/sender.cpp.o"
+  "CMakeFiles/corelocate_covert.dir/covert/sender.cpp.o.d"
+  "libcorelocate_covert.a"
+  "libcorelocate_covert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corelocate_covert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corelocate_ilp.dir/ilp/branch_and_bound.cpp.o"
+  "CMakeFiles/corelocate_ilp.dir/ilp/branch_and_bound.cpp.o.d"
+  "CMakeFiles/corelocate_ilp.dir/ilp/model.cpp.o"
+  "CMakeFiles/corelocate_ilp.dir/ilp/model.cpp.o.d"
+  "CMakeFiles/corelocate_ilp.dir/ilp/simplex.cpp.o"
+  "CMakeFiles/corelocate_ilp.dir/ilp/simplex.cpp.o.d"
+  "libcorelocate_ilp.a"
+  "libcorelocate_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corelocate_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

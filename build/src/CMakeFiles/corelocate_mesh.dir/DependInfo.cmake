@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/contention.cpp" "src/CMakeFiles/corelocate_mesh.dir/mesh/contention.cpp.o" "gcc" "src/CMakeFiles/corelocate_mesh.dir/mesh/contention.cpp.o.d"
+  "/root/repo/src/mesh/grid.cpp" "src/CMakeFiles/corelocate_mesh.dir/mesh/grid.cpp.o" "gcc" "src/CMakeFiles/corelocate_mesh.dir/mesh/grid.cpp.o.d"
+  "/root/repo/src/mesh/routing.cpp" "src/CMakeFiles/corelocate_mesh.dir/mesh/routing.cpp.o" "gcc" "src/CMakeFiles/corelocate_mesh.dir/mesh/routing.cpp.o.d"
+  "/root/repo/src/mesh/traffic.cpp" "src/CMakeFiles/corelocate_mesh.dir/mesh/traffic.cpp.o" "gcc" "src/CMakeFiles/corelocate_mesh.dir/mesh/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/corelocate_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corelocate_mesh.dir/mesh/contention.cpp.o"
+  "CMakeFiles/corelocate_mesh.dir/mesh/contention.cpp.o.d"
+  "CMakeFiles/corelocate_mesh.dir/mesh/grid.cpp.o"
+  "CMakeFiles/corelocate_mesh.dir/mesh/grid.cpp.o.d"
+  "CMakeFiles/corelocate_mesh.dir/mesh/routing.cpp.o"
+  "CMakeFiles/corelocate_mesh.dir/mesh/routing.cpp.o.d"
+  "CMakeFiles/corelocate_mesh.dir/mesh/traffic.cpp.o"
+  "CMakeFiles/corelocate_mesh.dir/mesh/traffic.cpp.o.d"
+  "libcorelocate_mesh.a"
+  "libcorelocate_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corelocate_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

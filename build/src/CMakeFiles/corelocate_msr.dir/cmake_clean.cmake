@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corelocate_msr.dir/msr/msr_device.cpp.o"
+  "CMakeFiles/corelocate_msr.dir/msr/msr_device.cpp.o.d"
+  "CMakeFiles/corelocate_msr.dir/msr/pmon.cpp.o"
+  "CMakeFiles/corelocate_msr.dir/msr/pmon.cpp.o.d"
+  "libcorelocate_msr.a"
+  "libcorelocate_msr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corelocate_msr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

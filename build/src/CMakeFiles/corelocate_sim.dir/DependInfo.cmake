@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/instance_factory.cpp" "src/CMakeFiles/corelocate_sim.dir/sim/instance_factory.cpp.o" "gcc" "src/CMakeFiles/corelocate_sim.dir/sim/instance_factory.cpp.o.d"
+  "/root/repo/src/sim/virtual_xeon.cpp" "src/CMakeFiles/corelocate_sim.dir/sim/virtual_xeon.cpp.o" "gcc" "src/CMakeFiles/corelocate_sim.dir/sim/virtual_xeon.cpp.o.d"
+  "/root/repo/src/sim/xeon_config.cpp" "src/CMakeFiles/corelocate_sim.dir/sim/xeon_config.cpp.o" "gcc" "src/CMakeFiles/corelocate_sim.dir/sim/xeon_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/corelocate_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corelocate_msr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corelocate_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corelocate_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

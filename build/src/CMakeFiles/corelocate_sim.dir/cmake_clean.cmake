@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corelocate_sim.dir/sim/instance_factory.cpp.o"
+  "CMakeFiles/corelocate_sim.dir/sim/instance_factory.cpp.o.d"
+  "CMakeFiles/corelocate_sim.dir/sim/virtual_xeon.cpp.o"
+  "CMakeFiles/corelocate_sim.dir/sim/virtual_xeon.cpp.o.d"
+  "CMakeFiles/corelocate_sim.dir/sim/xeon_config.cpp.o"
+  "CMakeFiles/corelocate_sim.dir/sim/xeon_config.cpp.o.d"
+  "libcorelocate_sim.a"
+  "libcorelocate_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corelocate_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/thermal/external_probe.cpp" "src/CMakeFiles/corelocate_thermal.dir/thermal/external_probe.cpp.o" "gcc" "src/CMakeFiles/corelocate_thermal.dir/thermal/external_probe.cpp.o.d"
+  "/root/repo/src/thermal/sensor.cpp" "src/CMakeFiles/corelocate_thermal.dir/thermal/sensor.cpp.o" "gcc" "src/CMakeFiles/corelocate_thermal.dir/thermal/sensor.cpp.o.d"
+  "/root/repo/src/thermal/thermal_model.cpp" "src/CMakeFiles/corelocate_thermal.dir/thermal/thermal_model.cpp.o" "gcc" "src/CMakeFiles/corelocate_thermal.dir/thermal/thermal_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/corelocate_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corelocate_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corelocate_thermal.dir/thermal/external_probe.cpp.o"
+  "CMakeFiles/corelocate_thermal.dir/thermal/external_probe.cpp.o.d"
+  "CMakeFiles/corelocate_thermal.dir/thermal/sensor.cpp.o"
+  "CMakeFiles/corelocate_thermal.dir/thermal/sensor.cpp.o.d"
+  "CMakeFiles/corelocate_thermal.dir/thermal/thermal_model.cpp.o"
+  "CMakeFiles/corelocate_thermal.dir/thermal/thermal_model.cpp.o.d"
+  "libcorelocate_thermal.a"
+  "libcorelocate_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corelocate_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

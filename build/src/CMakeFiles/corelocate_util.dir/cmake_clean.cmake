@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corelocate_util.dir/util/cli.cpp.o"
+  "CMakeFiles/corelocate_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/corelocate_util.dir/util/log.cpp.o"
+  "CMakeFiles/corelocate_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/corelocate_util.dir/util/rng.cpp.o"
+  "CMakeFiles/corelocate_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/corelocate_util.dir/util/stats.cpp.o"
+  "CMakeFiles/corelocate_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/corelocate_util.dir/util/table.cpp.o"
+  "CMakeFiles/corelocate_util.dir/util/table.cpp.o.d"
+  "libcorelocate_util.a"
+  "libcorelocate_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corelocate_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

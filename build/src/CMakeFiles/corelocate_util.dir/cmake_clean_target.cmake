@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcorelocate_util.a"
+)

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_cache.dir/cache_coherence_test.cpp.o"
+  "CMakeFiles/tests_cache.dir/cache_coherence_test.cpp.o.d"
+  "CMakeFiles/tests_cache.dir/cache_l2_fuzz_test.cpp.o"
+  "CMakeFiles/tests_cache.dir/cache_l2_fuzz_test.cpp.o.d"
+  "CMakeFiles/tests_cache.dir/cache_l2_test.cpp.o"
+  "CMakeFiles/tests_cache.dir/cache_l2_test.cpp.o.d"
+  "CMakeFiles/tests_cache.dir/cache_llc_test.cpp.o"
+  "CMakeFiles/tests_cache.dir/cache_llc_test.cpp.o.d"
+  "CMakeFiles/tests_cache.dir/cache_slice_hash_test.cpp.o"
+  "CMakeFiles/tests_cache.dir/cache_slice_hash_test.cpp.o.d"
+  "tests_cache"
+  "tests_cache.pdb"
+  "tests_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

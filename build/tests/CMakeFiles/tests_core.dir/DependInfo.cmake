@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_canonical_test.cpp" "tests/CMakeFiles/tests_core.dir/core_canonical_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core_canonical_test.cpp.o.d"
+  "/root/repo/tests/core_consistency_test.cpp" "tests/CMakeFiles/tests_core.dir/core_consistency_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core_consistency_test.cpp.o.d"
+  "/root/repo/tests/core_formulation_test.cpp" "tests/CMakeFiles/tests_core.dir/core_formulation_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core_formulation_test.cpp.o.d"
+  "/root/repo/tests/core_map_store_test.cpp" "tests/CMakeFiles/tests_core.dir/core_map_store_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core_map_store_test.cpp.o.d"
+  "/root/repo/tests/core_map_test.cpp" "tests/CMakeFiles/tests_core.dir/core_map_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core_map_test.cpp.o.d"
+  "/root/repo/tests/core_observation_test.cpp" "tests/CMakeFiles/tests_core.dir/core_observation_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core_observation_test.cpp.o.d"
+  "/root/repo/tests/core_pipeline_test.cpp" "tests/CMakeFiles/tests_core.dir/core_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core_pipeline_test.cpp.o.d"
+  "/root/repo/tests/core_probe_test.cpp" "tests/CMakeFiles/tests_core.dir/core_probe_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core_probe_test.cpp.o.d"
+  "/root/repo/tests/core_refinement_test.cpp" "tests/CMakeFiles/tests_core.dir/core_refinement_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core_refinement_test.cpp.o.d"
+  "/root/repo/tests/core_solver_test.cpp" "tests/CMakeFiles/tests_core.dir/core_solver_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core_solver_test.cpp.o.d"
+  "/root/repo/tests/core_step1_test.cpp" "tests/CMakeFiles/tests_core.dir/core_step1_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core_step1_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/corelocate_covert.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corelocate_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corelocate_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corelocate_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corelocate_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corelocate_msr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corelocate_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corelocate_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corelocate_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

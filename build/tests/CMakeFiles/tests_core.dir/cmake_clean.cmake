@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_core.dir/core_canonical_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core_canonical_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core_consistency_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core_consistency_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core_formulation_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core_formulation_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core_map_store_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core_map_store_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core_map_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core_map_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core_observation_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core_observation_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core_pipeline_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core_pipeline_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core_probe_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core_probe_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core_refinement_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core_refinement_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core_solver_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core_solver_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core_step1_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core_step1_test.cpp.o.d"
+  "tests_core"
+  "tests_core.pdb"
+  "tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_covert.dir/covert_channel_test.cpp.o"
+  "CMakeFiles/tests_covert.dir/covert_channel_test.cpp.o.d"
+  "CMakeFiles/tests_covert.dir/covert_codec_test.cpp.o"
+  "CMakeFiles/tests_covert.dir/covert_codec_test.cpp.o.d"
+  "CMakeFiles/tests_covert.dir/covert_ecc_test.cpp.o"
+  "CMakeFiles/tests_covert.dir/covert_ecc_test.cpp.o.d"
+  "CMakeFiles/tests_covert.dir/covert_multi_test.cpp.o"
+  "CMakeFiles/tests_covert.dir/covert_multi_test.cpp.o.d"
+  "CMakeFiles/tests_covert.dir/e2e_attack_test.cpp.o"
+  "CMakeFiles/tests_covert.dir/e2e_attack_test.cpp.o.d"
+  "tests_covert"
+  "tests_covert.pdb"
+  "tests_covert[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_covert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

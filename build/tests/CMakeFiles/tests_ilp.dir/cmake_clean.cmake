@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_ilp.dir/ilp_bnb_test.cpp.o"
+  "CMakeFiles/tests_ilp.dir/ilp_bnb_test.cpp.o.d"
+  "CMakeFiles/tests_ilp.dir/ilp_model_test.cpp.o"
+  "CMakeFiles/tests_ilp.dir/ilp_model_test.cpp.o.d"
+  "CMakeFiles/tests_ilp.dir/ilp_simplex_test.cpp.o"
+  "CMakeFiles/tests_ilp.dir/ilp_simplex_test.cpp.o.d"
+  "tests_ilp"
+  "tests_ilp.pdb"
+  "tests_ilp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_mesh.dir/mesh_contention_test.cpp.o"
+  "CMakeFiles/tests_mesh.dir/mesh_contention_test.cpp.o.d"
+  "CMakeFiles/tests_mesh.dir/mesh_grid_test.cpp.o"
+  "CMakeFiles/tests_mesh.dir/mesh_grid_test.cpp.o.d"
+  "CMakeFiles/tests_mesh.dir/mesh_routing_test.cpp.o"
+  "CMakeFiles/tests_mesh.dir/mesh_routing_test.cpp.o.d"
+  "CMakeFiles/tests_mesh.dir/mesh_traffic_test.cpp.o"
+  "CMakeFiles/tests_mesh.dir/mesh_traffic_test.cpp.o.d"
+  "tests_mesh"
+  "tests_mesh.pdb"
+  "tests_mesh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_msr.dir/msr_device_test.cpp.o"
+  "CMakeFiles/tests_msr.dir/msr_device_test.cpp.o.d"
+  "CMakeFiles/tests_msr.dir/msr_pmon_test.cpp.o"
+  "CMakeFiles/tests_msr.dir/msr_pmon_test.cpp.o.d"
+  "tests_msr"
+  "tests_msr.pdb"
+  "tests_msr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_msr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_thermal.dir/thermal_model_test.cpp.o"
+  "CMakeFiles/tests_thermal.dir/thermal_model_test.cpp.o.d"
+  "CMakeFiles/tests_thermal.dir/thermal_probe_test.cpp.o"
+  "CMakeFiles/tests_thermal.dir/thermal_probe_test.cpp.o.d"
+  "CMakeFiles/tests_thermal.dir/thermal_sensor_test.cpp.o"
+  "CMakeFiles/tests_thermal.dir/thermal_sensor_test.cpp.o.d"
+  "tests_thermal"
+  "tests_thermal.pdb"
+  "tests_thermal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

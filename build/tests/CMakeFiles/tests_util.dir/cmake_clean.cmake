@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_util.dir/util_cli_test.cpp.o"
+  "CMakeFiles/tests_util.dir/util_cli_test.cpp.o.d"
+  "CMakeFiles/tests_util.dir/util_log_test.cpp.o"
+  "CMakeFiles/tests_util.dir/util_log_test.cpp.o.d"
+  "CMakeFiles/tests_util.dir/util_rng_test.cpp.o"
+  "CMakeFiles/tests_util.dir/util_rng_test.cpp.o.d"
+  "CMakeFiles/tests_util.dir/util_stats_test.cpp.o"
+  "CMakeFiles/tests_util.dir/util_stats_test.cpp.o.d"
+  "CMakeFiles/tests_util.dir/util_table_test.cpp.o"
+  "CMakeFiles/tests_util.dir/util_table_test.cpp.o.d"
+  "tests_util"
+  "tests_util.pdb"
+  "tests_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

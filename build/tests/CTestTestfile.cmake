@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tests_util[1]_include.cmake")
+include("/root/repo/build/tests/tests_mesh[1]_include.cmake")
+include("/root/repo/build/tests/tests_msr[1]_include.cmake")
+include("/root/repo/build/tests/tests_cache[1]_include.cmake")
+include("/root/repo/build/tests/tests_sim[1]_include.cmake")
+include("/root/repo/build/tests/tests_ilp[1]_include.cmake")
+include("/root/repo/build/tests/tests_core[1]_include.cmake")
+include("/root/repo/build/tests/tests_thermal[1]_include.cmake")
+include("/root/repo/build/tests/tests_covert[1]_include.cmake")
