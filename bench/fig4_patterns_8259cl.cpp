@@ -4,6 +4,9 @@
 //
 // Paper expectation: three distinct 5x6-grid patterns; CHA ids numbered
 // column-major skipping fused-off tiles; two LLC-only tiles per die.
+//
+// Runs on the fleet engine: --jobs N parallelizes (bit-identical to
+// --jobs 1), --checkpoint/--resume survive interruption.
 
 #include "bench_common.hpp"
 #include "core/pattern_stats.hpp"
@@ -11,27 +14,25 @@
 int main(int argc, char** argv) {
   using namespace corelocate;
   const util::CliFlags flags(argc, argv);
-  flags.validate({"instances", "top"});
+  std::vector<std::string> known{"instances", "top"};
+  const std::vector<std::string> fleet_flags = bench::fleet_flag_names();
+  known.insert(known.end(), fleet_flags.begin(), fleet_flags.end());
+  flags.validate(known);
   const int instances = static_cast<int>(flags.get_int("instances", 100));
   const int top = static_cast<int>(flags.get_int("top", 3));
 
   bench::print_header("Fig. 4: most frequent 8259CL core location mappings", "Fig. 4");
 
-  const sim::InstanceFactory factory(sim::InstanceFactory::kDefaultFleetSeed);
-  std::vector<core::CoreMap> maps;
-  for (int i = 0; i < instances; ++i) {
-    const bench::LocatedInstance li = bench::locate_instance(
-        sim::XeonModel::k8259CL, bench::kFleetSeed * 3 + static_cast<std::uint64_t>(i),
-        factory);
-    if (li.result.success) maps.push_back(li.result.map);
-  }
-  const core::PatternStats stats = core::collect_pattern_stats(maps);
+  const fleet::SurveyOptions options =
+      bench::survey_options_from_flags(flags, instances, bench::kFleetSeed * 3);
+  const fleet::SurveyResult survey = fleet::run_survey(sim::XeonModel::k8259CL, options);
+
   int rank = 1;
-  for (const auto& entry : stats.top(top)) {
+  for (const auto& entry : survey.patterns.top(top)) {
     std::cout << "\nPattern #" << rank++ << " (" << entry.count << "/" << instances
               << " instances):\n"
               << entry.representative.canonical().render();
   }
-  std::cout << "\n(total unique patterns: " << stats.unique_patterns() << ")\n";
+  std::cout << "\n(total unique patterns: " << survey.patterns.unique_patterns() << ")\n";
   return 0;
 }

@@ -10,6 +10,11 @@
 // the positive-only bounding-box formulation compresses parts of the map
 // (paper Sec. II-D's acknowledged failure mode); the recovered maps still
 // explain every observation.
+//
+// Runs on the fleet engine: --jobs N parallelizes (bit-identical to
+// --jobs 1), --checkpoint/--resume survive interruption.
+
+#include <cmath>
 
 #include "bench_common.hpp"
 #include "core/pattern_stats.hpp"
@@ -18,32 +23,26 @@
 int main(int argc, char** argv) {
   using namespace corelocate;
   const util::CliFlags flags(argc, argv);
-  flags.validate({"instances"});
+  std::vector<std::string> known{"instances"};
+  const std::vector<std::string> fleet_flags = bench::fleet_flag_names();
+  known.insert(known.end(), fleet_flags.begin(), fleet_flags.end());
+  flags.validate(known);
   const int instances = static_cast<int>(flags.get_int("instances", 10));
 
   bench::print_header("Fig. 5: Ice Lake Xeon 6354 core location mapping", "Fig. 5");
 
-  const sim::InstanceFactory factory(sim::InstanceFactory::kDefaultFleetSeed);
-  std::vector<core::CoreMap> maps;
-  int exact = 0;
-  int exact_refined = 0;
-  int consistent = 0;
-  bool printed_example = false;
-  for (int i = 0; i < instances; ++i) {
-    const bench::LocatedInstance li = bench::locate_instance(
-        sim::XeonModel::k6354, bench::kFleetSeed * 7 + static_cast<std::uint64_t>(i),
-        factory);
-    if (!li.result.success) {
-      std::cout << "instance " << i << " failed: " << li.result.message << "\n";
-      continue;
-    }
-    maps.push_back(li.result.map);
+  fleet::SurveyOptions options =
+      bench::survey_options_from_flags(flags, instances, bench::kFleetSeed * 7);
+  options.analyze = [](const fleet::InstanceTask&, const fleet::LocatedInstance& li,
+                       fleet::InstanceRecord& record) {
+    if (!li.result.success) return;
     const core::MapAccuracy acc = core::score_against_truth(li.result.map, li.config);
     const core::ConsistencyReport report =
         core::check_consistency(li.result.map.cha_position, li.result.observations,
                                 li.config.grid.rows(), li.config.grid.cols());
-    if (acc.all_cores_correct()) ++exact;
-    if (report.positive_violations == 0) ++consistent;
+    record.metrics["exact"] = acc.all_cores_correct() ? 1.0 : 0.0;
+    record.metrics["consistent"] = report.positive_violations == 0 ? 1.0 : 0.0;
+    record.metrics["exact_refined"] = 0.0;
     core::RefinementOptions refine;
     refine.grid_rows = li.config.grid.rows();
     refine.grid_cols = li.config.grid.cols();
@@ -53,23 +52,39 @@ int main(int argc, char** argv) {
       core::CoreMap rmap = li.result.map;
       rmap.cha_position = refined.solved.cha_position;
       if (core::score_against_truth(rmap, li.config).all_cores_correct()) {
-        ++exact_refined;
+        record.metrics["exact_refined"] = 1.0;
       }
     }
-    if (acc.all_cores_correct() && !printed_example) {
-      printed_example = true;
-      std::cout << "\nExample recovered 6354 map (instance " << i
-                << ", exact vs ground truth; compare paper Fig. 5):\n"
-                << li.result.map.render();
+  };
+  const fleet::SurveyResult survey = fleet::run_survey(sim::XeonModel::k6354, options);
+
+  for (const fleet::InstanceRecord& record : survey.records) {
+    if (!record.success) {
+      std::cout << "instance " << record.index << " failed: " << record.message << "\n";
     }
   }
-  const core::PatternStats stats = core::collect_pattern_stats(maps);
-  std::cout << "\ninstances mapped:               " << maps.size() << "/" << instances
-            << "\nunique mapping patterns:        " << stats.unique_patterns()
+  for (const fleet::InstanceRecord& record : survey.records) {
+    if (record.success && record.metrics.count("exact") &&
+        record.metrics.at("exact") == 1.0) {
+      std::cout << "\nExample recovered 6354 map (instance " << record.index
+                << ", exact vs ground truth; compare paper Fig. 5):\n"
+                << record.map.render();
+      break;
+    }
+  }
+  const auto total = [&](const char* key) {
+    const auto it = survey.metric_totals.find(key);
+    return it == survey.metric_totals.end() ? 0
+                                            : static_cast<int>(std::llround(it->second));
+  };
+  std::cout << "\ninstances mapped:               " << survey.completed << "/" << instances
+            << "\nunique mapping patterns:        " << survey.patterns.unique_patterns()
             << "   (paper: 6 out of 10)"
-            << "\nmaps exact (paper method):      " << exact << "/" << maps.size()
-            << "\nmaps exact (+neg-info cuts):    " << exact_refined << "/" << maps.size()
-            << "\nmaps explaining all observations: " << consistent << "/" << maps.size()
-            << "\n";
+            << "\nmaps exact (paper method):      " << total("exact") << "/"
+            << survey.completed
+            << "\nmaps exact (+neg-info cuts):    " << total("exact_refined") << "/"
+            << survey.completed
+            << "\nmaps explaining all observations: " << total("consistent") << "/"
+            << survey.completed << "\n";
   return 0;
 }

@@ -6,6 +6,11 @@
 //    pattern (0 4 8 12 16 | 2 6 10 14 | ...).
 //  * 8259CL: a handful of mapping variants (the paper saw 7), each
 //    missing the two LLC-only CHA ids, dominated by one variant (62/100).
+//
+// Runs on the fleet engine: --jobs N parallelizes (bit-identical to
+// --jobs 1), --checkpoint/--resume survive interruption.
+
+#include <cmath>
 
 #include "bench_common.hpp"
 #include "core/pattern_stats.hpp"
@@ -23,31 +28,39 @@ std::string mapping_to_string(const std::vector<int>& mapping) {
   return s;
 }
 
-void run_model(sim::XeonModel model, int instances, const sim::InstanceFactory& factory,
+void run_model(sim::XeonModel model, int instances, const util::CliFlags& flags,
                bool csv) {
-  std::vector<std::vector<int>> mappings;
-  int step1_exact = 0;
-  for (int i = 0; i < instances; ++i) {
-    const bench::LocatedInstance li =
-        bench::locate_instance(model, bench::kFleetSeed + static_cast<std::uint64_t>(i),
-                               factory);
-    if (!li.result.success) {
-      std::cout << "instance " << i << ": pipeline failed: " << li.result.message
-                << "\n";
-      continue;
-    }
-    mappings.push_back(li.result.cha_mapping.os_core_to_cha);
-    if (li.result.cha_mapping.os_core_to_cha == li.config.os_core_to_cha) ++step1_exact;
+  fleet::SurveyOptions options =
+      bench::survey_options_from_flags(flags, instances, bench::kFleetSeed);
+  if (!options.checkpoint_dir.empty()) {
+    options.checkpoint_dir += std::string("/") + sim::to_string(model);
   }
-  const core::IdMappingStats stats = core::collect_id_mapping_stats(mappings);
+  options.analyze = [](const fleet::InstanceTask&, const fleet::LocatedInstance& li,
+                       fleet::InstanceRecord& record) {
+    if (!li.result.success) return;
+    record.metrics["step1_exact"] =
+        li.result.cha_mapping.os_core_to_cha == li.config.os_core_to_cha ? 1.0 : 0.0;
+  };
+  const fleet::SurveyResult survey = fleet::run_survey(model, options);
+
+  for (const fleet::InstanceRecord& record : survey.records) {
+    if (!record.success) {
+      std::cout << "instance " << record.index << ": pipeline failed: "
+                << record.message << "\n";
+    }
+  }
+  const auto it = survey.metric_totals.find("step1_exact");
+  const int step1_exact =
+      it == survey.metric_totals.end() ? 0 : static_cast<int>(std::llround(it->second));
 
   std::cout << "\n--- " << sim::to_string(model) << " (" << instances
             << " instances) ---\n";
   std::cout << "step-1 recovered mapping matches ground truth on " << step1_exact << "/"
             << instances << " instances\n";
-  std::cout << "unique OS<->CHA mappings observed: " << stats.unique_mappings() << "\n";
+  std::cout << "unique OS<->CHA mappings observed: "
+            << survey.id_mappings.unique_mappings() << "\n";
   util::TablePrinter table({"# of instances", "OS core ID -> CHA ID"});
-  for (const auto& entry : stats.entries) {
+  for (const auto& entry : survey.id_mappings.entries) {
     table.add_row({std::to_string(entry.count), mapping_to_string(entry.os_core_to_cha)});
   }
   if (csv) {
@@ -61,16 +74,18 @@ void run_model(sim::XeonModel model, int instances, const sim::InstanceFactory& 
 
 int main(int argc, char** argv) {
   const util::CliFlags flags(argc, argv);
-  flags.validate({"instances", "csv"});
+  std::vector<std::string> known{"instances", "csv"};
+  const std::vector<std::string> fleet_flags = bench::fleet_flag_names();
+  known.insert(known.end(), fleet_flags.begin(), fleet_flags.end());
+  flags.validate(known);
   const int instances = static_cast<int>(flags.get_int("instances", 100));
 
   bench::print_header("Table I: OS core ID <-> CHA ID mapping results", "Table I");
   std::cout << "paper: 8124M/8175M -> 1 mapping each (mod-4 classes); "
                "8259CL -> 7 variants, top 62/33 instances\n";
 
-  const sim::InstanceFactory factory(sim::InstanceFactory::kDefaultFleetSeed);
-  run_model(sim::XeonModel::k8124M, instances, factory, flags.get_bool("csv"));
-  run_model(sim::XeonModel::k8175M, instances, factory, flags.get_bool("csv"));
-  run_model(sim::XeonModel::k8259CL, instances, factory, flags.get_bool("csv"));
+  run_model(sim::XeonModel::k8124M, instances, flags, flags.get_bool("csv"));
+  run_model(sim::XeonModel::k8175M, instances, flags, flags.get_bool("csv"));
+  run_model(sim::XeonModel::k8259CL, instances, flags, flags.get_bool("csv"));
   return 0;
 }

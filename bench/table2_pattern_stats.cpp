@@ -7,6 +7,12 @@
 //   8259CL: top-4 = 19/5/4/4 insts,  53 unique patterns
 // The shape to reproduce: one dominant pattern + a long tail, with the
 // 8259CL fleet far more diverse than the 8124M fleet.
+//
+// Runs on the fleet engine: --jobs N parallelizes (bit-identical to
+// --jobs 1), --checkpoint/--resume survive interruption (per-model
+// subdirectories under the checkpoint dir).
+
+#include <cmath>
 
 #include "bench_common.hpp"
 #include "core/pattern_stats.hpp"
@@ -25,38 +31,50 @@ struct ModelRow {
   int instances = 0;
 };
 
-ModelRow run_model(sim::XeonModel model, int instances,
-                   const sim::InstanceFactory& factory) {
-  std::vector<core::CoreMap> maps;
+void analyze_accuracy(const fleet::InstanceTask&, const fleet::LocatedInstance& li,
+                      fleet::InstanceRecord& record) {
+  if (!li.result.success) return;
+  record.metrics["exact"] =
+      core::score_against_truth(li.result.map, li.config).all_cores_correct() ? 1.0
+                                                                              : 0.0;
+  // Extension: re-solve the same observations with negative-information
+  // refinement (paper Sec. II-D failure mode repaired).
+  record.metrics["exact_refined"] = 0.0;
+  core::RefinementOptions refine;
+  refine.grid_rows = li.config.grid.rows();
+  refine.grid_cols = li.config.grid.cols();
+  const core::RefinementResult refined = core::solve_with_refinement(
+      li.result.observations, li.config.cha_count(), refine);
+  if (refined.solved.success) {
+    core::CoreMap rmap = li.result.map;
+    rmap.cha_position = refined.solved.cha_position;
+    if (core::score_against_truth(rmap, li.config).all_cores_correct()) {
+      record.metrics["exact_refined"] = 1.0;
+    }
+  }
+}
+
+ModelRow run_model(sim::XeonModel model, int instances, const util::CliFlags& flags) {
+  fleet::SurveyOptions options =
+      bench::survey_options_from_flags(flags, instances, bench::kFleetSeed * 3);
+  if (!options.checkpoint_dir.empty()) {
+    options.checkpoint_dir += std::string("/") + sim::to_string(model);
+  }
+  options.analyze = analyze_accuracy;
+  const fleet::SurveyResult survey = fleet::run_survey(model, options);
+
   ModelRow row;
   row.name = sim::to_string(model);
   row.instances = instances;
-  for (int i = 0; i < instances; ++i) {
-    const bench::LocatedInstance li = bench::locate_instance(
-        model, bench::kFleetSeed * 3 + static_cast<std::uint64_t>(i), factory);
-    if (!li.result.success) continue;
-    maps.push_back(li.result.map);
-    if (core::score_against_truth(li.result.map, li.config).all_cores_correct()) {
-      ++row.exact_maps;
-    }
-    // Extension: re-solve the same observations with negative-information
-    // refinement (paper Sec. II-D failure mode repaired).
-    core::RefinementOptions refine;
-    refine.grid_rows = li.config.grid.rows();
-    refine.grid_cols = li.config.grid.cols();
-    const core::RefinementResult refined = core::solve_with_refinement(
-        li.result.observations, li.config.cha_count(), refine);
-    if (refined.solved.success) {
-      core::CoreMap rmap = li.result.map;
-      rmap.cha_position = refined.solved.cha_position;
-      if (core::score_against_truth(rmap, li.config).all_cores_correct()) {
-        ++row.exact_refined;
-      }
-    }
-  }
-  const core::PatternStats stats = core::collect_pattern_stats(maps);
-  for (const auto& entry : stats.top(4)) row.top4.push_back(entry.count);
-  row.unique = stats.unique_patterns();
+  for (const auto& entry : survey.patterns.top(4)) row.top4.push_back(entry.count);
+  row.unique = survey.patterns.unique_patterns();
+  const auto total = [&](const char* key) {
+    const auto it = survey.metric_totals.find(key);
+    return it == survey.metric_totals.end() ? 0
+                                            : static_cast<int>(std::llround(it->second));
+  };
+  row.exact_maps = total("exact");
+  row.exact_refined = total("exact_refined");
   return row;
 }
 
@@ -64,7 +82,10 @@ ModelRow run_model(sim::XeonModel model, int instances,
 
 int main(int argc, char** argv) {
   const util::CliFlags flags(argc, argv);
-  flags.validate({"instances", "csv"});
+  std::vector<std::string> known{"instances", "csv"};
+  const std::vector<std::string> fleet_flags = bench::fleet_flag_names();
+  known.insert(known.end(), fleet_flags.begin(), fleet_flags.end());
+  flags.validate(known);
   const int instances = static_cast<int>(flags.get_int("instances", 100));
 
   bench::print_header("Table II: observed core location pattern statistics",
@@ -72,12 +93,11 @@ int main(int argc, char** argv) {
   std::cout << "paper: top-4 53/18/5/5 (14 uniq) | 52/7/7/6 (26 uniq) | "
                "19/5/4/4 (53 uniq)\n\n";
 
-  const sim::InstanceFactory factory(sim::InstanceFactory::kDefaultFleetSeed);
   util::TablePrinter table({"CPU model", "#1", "#2", "#3", "#4", "unique patterns",
                             "maps exact (paper method)", "maps exact (+neg-info cuts)"});
   for (sim::XeonModel model :
        {sim::XeonModel::k8124M, sim::XeonModel::k8175M, sim::XeonModel::k8259CL}) {
-    const ModelRow row = run_model(model, instances, factory);
+    const ModelRow row = run_model(model, instances, flags);
     std::vector<std::string> cells{row.name};
     for (int i = 0; i < 4; ++i) {
       cells.push_back(i < static_cast<int>(row.top4.size())

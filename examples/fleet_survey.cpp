@@ -3,13 +3,19 @@
 // each occurs, and whether the OS<->CHA id mapping varies (the paper's
 // Sec. III measurement campaign in miniature).
 //
+// Runs on the fleet engine (src/fleet/): instances are sharded across a
+// work-stealing pool, results merge deterministically, and a checkpoint
+// directory makes the survey resumable after an interruption.
+//
 //   $ ./fleet_survey [--model 8259CL] [--instances 30] [--render-top 2]
+//                    [--jobs N] [--checkpoint DIR] [--resume] [--progress]
 
+#include <iomanip>
 #include <iostream>
 
-#include "core/pattern_stats.hpp"
-#include "core/pipeline.hpp"
+#include "fleet/survey.hpp"
 #include "util/cli.hpp"
+#include "util/log.hpp"
 #include "util/table.hpp"
 
 using namespace corelocate;
@@ -28,51 +34,56 @@ sim::XeonModel parse_model(const std::string& name) {
 
 int main(int argc, char** argv) {
   const util::CliFlags flags(argc, argv);
-  flags.validate({"model", "instances", "render-top"});
+  flags.validate({"model", "instances", "render-top", "jobs", "checkpoint", "resume",
+                  "progress"});
   const sim::XeonModel model = parse_model(flags.get("model", "8259CL"));
-  const int instances = static_cast<int>(flags.get_int("instances", 30));
   const int render_top = static_cast<int>(flags.get_int("render-top", 2));
 
-  sim::InstanceFactory factory;
-  std::vector<core::CoreMap> maps;
-  std::vector<std::vector<int>> id_mappings;
-  for (int i = 0; i < instances; ++i) {
-    util::Rng rng(0xF1EE7ULL + static_cast<std::uint64_t>(i));
-    const sim::InstanceConfig machine = factory.make_instance(model, rng);
-    sim::VirtualXeon cpu(machine);
-    util::Rng tool_rng(0x700CULL + static_cast<std::uint64_t>(i));
-    const core::LocateResult result =
-        core::locate_cores(cpu, tool_rng, core::options_for(sim::spec_for(model)));
-    if (!result.success) {
-      std::cout << "instance " << i << " failed: " << result.message << "\n";
-      continue;
-    }
-    maps.push_back(result.map);
-    id_mappings.push_back(result.cha_mapping.os_core_to_cha);
-    std::cout << "instance " << i << ": PPIN 0x" << std::hex << result.map.ppin
-              << std::dec << ", pattern " << result.map.pattern_key().substr(0, 24)
-              << "...\n";
+  fleet::SurveyOptions options;
+  options.instances = static_cast<int>(flags.get_int("instances", 30));
+  options.jobs = static_cast<int>(flags.get_int("jobs", 1));
+  options.base_seed = 0xF1EE7ULL;
+  options.checkpoint_dir = flags.get("checkpoint", "");
+  options.resume = flags.get_bool("resume");
+  options.progress = flags.get_bool("progress");
+  if (options.progress && util::log_level() > util::LogLevel::kInfo) {
+    util::set_log_level(util::LogLevel::kInfo);
   }
 
-  const core::PatternStats patterns = core::collect_pattern_stats(maps);
-  const core::IdMappingStats ids = core::collect_id_mapping_stats(id_mappings);
+  const fleet::SurveyResult survey = fleet::run_survey(model, options);
 
-  std::cout << "\n=== survey of " << maps.size() << " " << sim::to_string(model)
+  for (const fleet::InstanceRecord& record : survey.records) {
+    if (!record.success) {
+      std::cout << "instance " << record.index << " failed: " << record.message << "\n";
+      continue;
+    }
+    std::cout << "instance " << record.index << ": PPIN 0x" << std::hex
+              << record.map.ppin << std::dec << ", pattern "
+              << record.map.pattern_key().substr(0, 24) << "..."
+              << (record.from_checkpoint ? " (resumed)" : "") << "\n";
+  }
+
+  std::cout << "\n=== survey of " << survey.completed << " " << sim::to_string(model)
             << " instances ===\n"
-            << "unique physical layouts:  " << patterns.unique_patterns() << "\n"
-            << "unique OS<->CHA mappings: " << ids.unique_mappings() << "\n\n";
+            << "unique physical layouts:  " << survey.patterns.unique_patterns() << "\n"
+            << "unique OS<->CHA mappings: " << survey.id_mappings.unique_mappings()
+            << "\n"
+            << "survey wall clock:        " << std::fixed << std::setprecision(2)
+            << survey.wall_seconds << " s ("
+            << survey.timing.instances_per_second << " inst/s, jobs=" << options.jobs
+            << ")\n\n";
 
   util::TablePrinter table({"rank", "instances", "share"});
   int rank = 1;
-  for (const auto& entry : patterns.top(8)) {
+  for (const auto& entry : survey.patterns.top(8)) {
     table.add_row({std::to_string(rank++), std::to_string(entry.count),
                    util::fmt_pct(static_cast<double>(entry.count) /
-                                 static_cast<double>(maps.size()))});
+                                 static_cast<double>(survey.completed))});
   }
   table.print(std::cout);
 
   rank = 1;
-  for (const auto& entry : patterns.top(render_top)) {
+  for (const auto& entry : survey.patterns.top(render_top)) {
     std::cout << "\nlayout #" << rank++ << " (" << entry.count << " instances):\n"
               << entry.representative.canonical().render();
   }

@@ -177,4 +177,12 @@ MapStore MapStore::load_file(const std::string& path) {
   return load(in);
 }
 
+void MapStore::append_file(const std::string& path, const CoreMap& map) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) throw std::runtime_error("MapStore: cannot open for appending: " + path);
+  out << serialize_map(map);
+  out.flush();
+  if (!out.good()) throw std::runtime_error("MapStore: append failed: " + path);
+}
+
 }  // namespace corelocate::core

@@ -5,6 +5,20 @@
 
 namespace corelocate::core {
 
+namespace {
+
+bool pattern_order(const PatternStats::Entry& a, const PatternStats::Entry& b) {
+  if (a.count != b.count) return a.count > b.count;
+  return a.key < b.key;
+}
+
+bool mapping_order(const IdMappingStats::Entry& a, const IdMappingStats::Entry& b) {
+  if (a.count != b.count) return a.count > b.count;
+  return a.os_core_to_cha < b.os_core_to_cha;
+}
+
+}  // namespace
+
 std::vector<PatternStats::Entry> PatternStats::top(int k) const {
   std::vector<Entry> result;
   for (const Entry& entry : entries) {
@@ -12,6 +26,42 @@ std::vector<PatternStats::Entry> PatternStats::top(int k) const {
     result.push_back(entry);
   }
   return result;
+}
+
+void PatternStats::add(const CoreMap& map) {
+  std::string key = map.pattern_key();
+  ++total_instances;
+  for (Entry& entry : entries) {
+    if (entry.key == key) {
+      ++entry.count;
+      return;
+    }
+  }
+  Entry entry;
+  entry.key = std::move(key);
+  entry.count = 1;
+  entry.representative = map;
+  entries.push_back(std::move(entry));
+}
+
+void PatternStats::merge(const PatternStats& other) {
+  total_instances += other.total_instances;
+  for (const Entry& theirs : other.entries) {
+    bool found = false;
+    for (Entry& ours : entries) {
+      if (ours.key == theirs.key) {
+        ours.count += theirs.count;
+        found = true;
+        break;
+      }
+    }
+    if (!found) entries.push_back(theirs);
+  }
+  sort();
+}
+
+void PatternStats::sort() {
+  std::stable_sort(entries.begin(), entries.end(), pattern_order);
 }
 
 PatternStats collect_pattern_stats(const std::vector<CoreMap>& maps) {
@@ -29,11 +79,42 @@ PatternStats collect_pattern_stats(const std::vector<CoreMap>& maps) {
     }
     ++stats.entries[it->second].count;
   }
-  std::stable_sort(stats.entries.begin(), stats.entries.end(),
-                   [](const PatternStats::Entry& a, const PatternStats::Entry& b) {
-                     return a.count > b.count;
-                   });
+  stats.sort();
   return stats;
+}
+
+void IdMappingStats::add(const std::vector<int>& mapping) {
+  ++total_instances;
+  for (Entry& entry : entries) {
+    if (entry.os_core_to_cha == mapping) {
+      ++entry.count;
+      return;
+    }
+  }
+  Entry entry;
+  entry.os_core_to_cha = mapping;
+  entry.count = 1;
+  entries.push_back(std::move(entry));
+}
+
+void IdMappingStats::merge(const IdMappingStats& other) {
+  total_instances += other.total_instances;
+  for (const Entry& theirs : other.entries) {
+    bool found = false;
+    for (Entry& ours : entries) {
+      if (ours.os_core_to_cha == theirs.os_core_to_cha) {
+        ours.count += theirs.count;
+        found = true;
+        break;
+      }
+    }
+    if (!found) entries.push_back(theirs);
+  }
+  sort();
+}
+
+void IdMappingStats::sort() {
+  std::stable_sort(entries.begin(), entries.end(), mapping_order);
 }
 
 IdMappingStats collect_id_mapping_stats(const std::vector<std::vector<int>>& mappings) {
@@ -49,10 +130,7 @@ IdMappingStats collect_id_mapping_stats(const std::vector<std::vector<int>>& map
     }
     ++stats.entries[it->second].count;
   }
-  std::stable_sort(stats.entries.begin(), stats.entries.end(),
-                   [](const IdMappingStats::Entry& a, const IdMappingStats::Entry& b) {
-                     return a.count > b.count;
-                   });
+  stats.sort();
   return stats;
 }
 

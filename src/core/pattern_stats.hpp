@@ -10,33 +10,55 @@
 namespace corelocate::core {
 
 /// Frequency table of canonical core-location patterns (Table II).
+///
+/// Entries are kept in a *deterministic total order* — count descending,
+/// pattern key ascending on ties — so the table is a pure function of the
+/// multiset of maps, independent of accumulation order. That is what lets
+/// the fleet engine accumulate per-worker stats and merge them at the
+/// barrier while staying byte-identical to a serial run.
 struct PatternStats {
   struct Entry {
     std::string key;
     int count = 0;
-    CoreMap representative;  ///< first map seen with this pattern
+    CoreMap representative;  ///< a map with this pattern (the key fully
+                             ///< determines its canonical form)
   };
-  std::vector<Entry> entries;  ///< sorted by count, descending
+  std::vector<Entry> entries;  ///< sorted: count desc, key asc
   int total_instances = 0;
 
   int unique_patterns() const noexcept { return static_cast<int>(entries.size()); }
 
   /// The top-k most frequent patterns (fewer if not enough exist).
   std::vector<Entry> top(int k) const;
+
+  /// Adds one map (entry order is restored lazily by sort()/merge()).
+  void add(const CoreMap& map);
+
+  /// Folds `other` into this table. Each table is accumulated by one
+  /// worker; merging at the barrier needs no locks.
+  void merge(const PatternStats& other);
+
+  /// Restores the deterministic entry order after add() calls.
+  void sort();
 };
 
 PatternStats collect_pattern_stats(const std::vector<CoreMap>& maps);
 
-/// Frequency table of OS-core-id -> CHA-id mappings (Table I).
+/// Frequency table of OS-core-id -> CHA-id mappings (Table I). Same
+/// deterministic order contract as PatternStats (count desc, mapping asc).
 struct IdMappingStats {
   struct Entry {
     std::vector<int> os_core_to_cha;
     int count = 0;
   };
-  std::vector<Entry> entries;  ///< sorted by count, descending
+  std::vector<Entry> entries;  ///< sorted: count desc, mapping asc
   int total_instances = 0;
 
   int unique_mappings() const noexcept { return static_cast<int>(entries.size()); }
+
+  void add(const std::vector<int>& mapping);
+  void merge(const IdMappingStats& other);
+  void sort();
 };
 
 IdMappingStats collect_id_mapping_stats(const std::vector<std::vector<int>>& mappings);

@@ -1,0 +1,55 @@
+#include "fleet/aggregator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace corelocate::fleet {
+
+Aggregator::Aggregator(std::size_t workers) : buckets_(workers == 0 ? 1 : workers) {}
+
+void Aggregator::add(std::size_t worker, InstanceRecord record) {
+  Bucket& bucket = buckets_[worker % buckets_.size()];
+  if (record.success) {
+    bucket.patterns.add(record.map);
+    bucket.id_mappings.add(record.map.os_core_to_cha);
+  }
+  if (!record.from_checkpoint) {
+    bucket.step1.add(record.step1_seconds);
+    bucket.step2.add(record.step2_seconds);
+    bucket.step3.add(record.step3_seconds);
+    bucket.wall.add(record.wall_seconds);
+  }
+  bucket.records.push_back(std::move(record));
+}
+
+AggregateResult Aggregator::merge() {
+  AggregateResult result;
+  for (Bucket& bucket : buckets_) {
+    result.patterns.merge(bucket.patterns);
+    result.id_mappings.merge(bucket.id_mappings);
+    result.step1.merge(bucket.step1);
+    result.step2.merge(bucket.step2);
+    result.step3.merge(bucket.step3);
+    result.wall.merge(bucket.wall);
+    std::move(bucket.records.begin(), bucket.records.end(),
+              std::back_inserter(result.records));
+    bucket = Bucket{};
+  }
+  std::sort(result.records.begin(), result.records.end(),
+            [](const InstanceRecord& a, const InstanceRecord& b) {
+              return a.index < b.index;
+            });
+  for (const InstanceRecord& record : result.records) {
+    if (record.success) {
+      ++result.completed;
+    } else {
+      ++result.failed;
+    }
+    for (const auto& [key, value] : record.metrics) {
+      result.metric_totals[key] += value;
+    }
+  }
+  return result;
+}
+
+}  // namespace corelocate::fleet

@@ -1,0 +1,62 @@
+#pragma once
+// Thread-safe result sink for fleet surveys.
+//
+// Locking strategy: there is none on the hot path. Each worker owns a
+// cache-line-padded bucket and only ever touches its own; the barrier
+// (merge()) runs after the pool has drained, when no worker writes.
+//
+// Determinism: PatternStats/IdMappingStats keep a total entry order
+// (count desc, key asc), and their integer counts make the merge
+// fold-order independent — merged parallel stats equal serial stats
+// exactly. Floating-point metric totals are *not* fold-order safe, so
+// merge() recomputes them from the index-sorted records instead of
+// summing per-worker partials. Timing accumulators are merged per-worker
+// (last-ulp variation is fine for throughput reporting; they never feed
+// the reproduced tables).
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fleet/survey_record.hpp"
+#include "util/stats.hpp"
+
+namespace corelocate::fleet {
+
+struct AggregateResult {
+  std::vector<InstanceRecord> records;  ///< sorted by instance index
+  core::PatternStats patterns;          ///< successful instances only
+  core::IdMappingStats id_mappings;     ///< successful instances only
+  std::map<std::string, double> metric_totals;  ///< summed in index order
+  util::RunningStats step1, step2, step3, wall;
+  int completed = 0;
+  int failed = 0;
+};
+
+class Aggregator {
+ public:
+  explicit Aggregator(std::size_t workers);
+
+  std::size_t worker_count() const noexcept { return buckets_.size(); }
+
+  /// Accumulates into worker `worker`'s private bucket. Callers must
+  /// ensure one thread per bucket (the survey uses the pool worker id).
+  void add(std::size_t worker, InstanceRecord record);
+
+  /// Barrier step: folds all buckets. Call only after all add()ers are
+  /// done; the aggregator may be reused afterwards (buckets are drained).
+  AggregateResult merge();
+
+ private:
+  struct alignas(64) Bucket {
+    std::vector<InstanceRecord> records;
+    core::PatternStats patterns;
+    core::IdMappingStats id_mappings;
+    util::RunningStats step1, step2, step3, wall;
+  };
+
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace corelocate::fleet

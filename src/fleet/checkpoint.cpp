@@ -1,0 +1,201 @@
+#include "fleet/checkpoint.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/map_store.hpp"
+#include "util/log.hpp"
+
+namespace corelocate::fleet {
+
+namespace {
+
+constexpr const char* kMagic = "fleet-manifest v1";
+
+std::string fmt_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+std::string fmt_hex(std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIx64, value);
+  return buf;
+}
+
+std::uint64_t parse_hex(const std::string& token) {
+  std::size_t used = 0;
+  const std::uint64_t value = std::stoull(token, &used, 16);
+  if (used != token.size()) throw std::invalid_argument("bad hex: " + token);
+  return value;
+}
+
+double parse_double(const std::string& token) {
+  std::size_t used = 0;
+  const double value = std::stod(token, &used);
+  if (used != token.size()) throw std::invalid_argument("bad number: " + token);
+  return value;
+}
+
+std::string fmt_metrics(const std::map<std::string, double>& metrics) {
+  if (metrics.empty()) return "-";
+  std::string out;
+  for (const auto& [key, value] : metrics) {
+    if (!out.empty()) out += ';';
+    out += key + "=" + fmt_double(value);
+  }
+  return out;
+}
+
+std::map<std::string, double> parse_metrics(const std::string& token) {
+  std::map<std::string, double> metrics;
+  if (token == "-") return metrics;
+  std::istringstream iss(token);
+  std::string pair;
+  while (std::getline(iss, pair, ';')) {
+    const auto eq = pair.find('=');
+    if (eq == std::string::npos) throw std::invalid_argument("bad metric: " + pair);
+    metrics[pair.substr(0, eq)] = parse_double(pair.substr(eq + 1));
+  }
+  return metrics;
+}
+
+}  // namespace
+
+Checkpoint::Checkpoint(std::string dir, sim::XeonModel model, std::uint64_t base_seed,
+                       std::uint64_t fleet_seed)
+    : dir_(std::move(dir)), model_(model), base_seed_(base_seed),
+      fleet_seed_(fleet_seed) {
+  if (dir_.empty()) throw std::invalid_argument("Checkpoint: empty directory");
+  std::filesystem::create_directories(dir_);
+}
+
+std::string Checkpoint::manifest_path() const { return dir_ + "/manifest.txt"; }
+std::string Checkpoint::maps_path() const { return dir_ + "/maps.db"; }
+
+void Checkpoint::write_header_locked(std::ofstream& out) const {
+  out << kMagic << '\n'
+      << "model " << sim::to_string(model_) << '\n'
+      << "base_seed " << fmt_hex(base_seed_) << '\n'
+      << "fleet_seed " << fmt_hex(fleet_seed_) << '\n';
+}
+
+void Checkpoint::record(const InstanceRecord& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Map first, manifest line last: a manifest line implies its map is on
+  // disk, so a crash between the two writes only costs a recompute.
+  if (record.success) core::MapStore::append_file(maps_path(), record.map);
+
+  const bool fresh = !std::filesystem::exists(manifest_path());
+  std::ofstream out(manifest_path(), std::ios::app);
+  if (!out) {
+    throw std::runtime_error("Checkpoint: cannot open manifest: " + manifest_path());
+  }
+  if (fresh) write_header_locked(out);
+  out << "inst " << record.index << ' ' << fmt_hex(record.seed) << ' '
+      << (record.success ? "ok" : "fail") << ' ' << fmt_double(record.wall_seconds)
+      << ' ' << fmt_double(record.step1_seconds) << ' '
+      << fmt_double(record.step2_seconds) << ' ' << fmt_double(record.step3_seconds)
+      << " metrics " << fmt_metrics(record.metrics);
+  if (record.success) {
+    out << " ppin " << fmt_hex(record.map.ppin);
+  } else {
+    out << " msg " << record.message;  // rest of line; may contain spaces
+  }
+  out << '\n';
+  out.flush();
+  if (!out.good()) {
+    throw std::runtime_error("Checkpoint: manifest write failed: " + manifest_path());
+  }
+}
+
+std::vector<InstanceRecord> Checkpoint::load_completed() const {
+  std::vector<InstanceRecord> records;
+  std::ifstream in(manifest_path());
+  if (!in) return records;  // no previous run
+
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    throw std::runtime_error("Checkpoint: " + manifest_path() +
+                             " is not a fleet manifest");
+  }
+  const std::map<std::string, std::string> expect{
+      {"model", sim::to_string(model_)},
+      {"base_seed", fmt_hex(base_seed_)},
+      {"fleet_seed", fmt_hex(fleet_seed_)},
+  };
+  for (int i = 0; i < 3; ++i) {
+    if (!std::getline(in, line)) {
+      throw std::runtime_error("Checkpoint: truncated manifest header");
+    }
+    // Values (the model name in particular) may contain spaces: the key
+    // is the first token, the value the rest of the line.
+    const auto space = line.find(' ');
+    if (space == std::string::npos) {
+      throw std::runtime_error("Checkpoint: malformed manifest header: " + line);
+    }
+    const std::string key = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    if (!expect.count(key)) {
+      throw std::runtime_error("Checkpoint: malformed manifest header: " + line);
+    }
+    if (expect.at(key) != value) {
+      throw std::runtime_error("Checkpoint: manifest belongs to a different survey (" +
+                               key + " " + value + ", expected " + expect.at(key) +
+                               "); refusing to resume");
+    }
+  }
+
+  core::MapStore maps;
+  if (std::filesystem::exists(maps_path())) maps = core::MapStore::load_file(maps_path());
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    try {
+      std::istringstream iss(line);
+      std::string tag, seed_tok, status, wall_tok, s1_tok, s2_tok, s3_tok, metrics_kw,
+          metrics_tok, tail_kw;
+      InstanceRecord record;
+      if (!(iss >> tag >> record.index >> seed_tok >> status >> wall_tok >> s1_tok >>
+            s2_tok >> s3_tok >> metrics_kw >> metrics_tok >> tail_kw) ||
+          tag != "inst" || metrics_kw != "metrics") {
+        throw std::invalid_argument("malformed record");
+      }
+      record.seed = parse_hex(seed_tok);
+      record.wall_seconds = parse_double(wall_tok);
+      record.step1_seconds = parse_double(s1_tok);
+      record.step2_seconds = parse_double(s2_tok);
+      record.step3_seconds = parse_double(s3_tok);
+      record.metrics = parse_metrics(metrics_tok);
+      record.from_checkpoint = true;
+      if (status == "ok" && tail_kw == "ppin") {
+        std::string ppin_tok;
+        if (!(iss >> ppin_tok)) throw std::invalid_argument("missing ppin");
+        const auto map = maps.get(parse_hex(ppin_tok));
+        if (!map.has_value()) throw std::invalid_argument("map missing from maps.db");
+        record.success = true;
+        record.map = *map;
+      } else if (status == "fail" && tail_kw == "msg") {
+        std::getline(iss, record.message);
+        if (!record.message.empty() && record.message.front() == ' ') {
+          record.message.erase(0, 1);
+        }
+        record.success = false;
+      } else {
+        throw std::invalid_argument("malformed record tail");
+      }
+      records.push_back(std::move(record));
+    } catch (const std::exception& e) {
+      // Likely a torn write from a killed run — drop and recompute.
+      util::log_warn() << "fleet checkpoint: dropping manifest line (" << e.what()
+                       << "): " << line;
+    }
+  }
+  return records;
+}
+
+}  // namespace corelocate::fleet

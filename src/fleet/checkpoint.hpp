@@ -1,0 +1,57 @@
+#pragma once
+// Durable checkpoint for fleet surveys.
+//
+// Layout under the checkpoint directory:
+//   manifest.txt — header identifying the survey (model, seeds) followed
+//                  by one line per completed instance; append-only.
+//   maps.db      — core::MapStore records of the recovered maps,
+//                  appended via MapStore::append_file.
+//
+// Crash tolerance: both files are append-only and flushed per record
+// (manifest last, so a manifest line implies its map is on disk). On
+// load, a torn trailing manifest line or a manifest line whose map is
+// missing from maps.db is dropped with a warning — that instance is
+// simply recomputed. A manifest whose header names a different survey
+// (model or seed mismatch) is an error: resuming it would silently mix
+// incompatible fleets.
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fleet/survey_record.hpp"
+
+namespace corelocate::fleet {
+
+class Checkpoint {
+ public:
+  /// Binds to `dir` (created if missing, including parents).
+  Checkpoint(std::string dir, sim::XeonModel model, std::uint64_t base_seed,
+             std::uint64_t fleet_seed);
+
+  /// Loads instance records completed by previous runs; `from_checkpoint`
+  /// is set on each. Returns an empty vector when no manifest exists yet.
+  /// Throws std::runtime_error on survey identity mismatch.
+  std::vector<InstanceRecord> load_completed() const;
+
+  /// Durably appends one completed record. Thread-safe; called once per
+  /// instance (off the measurement hot path).
+  void record(const InstanceRecord& record);
+
+  const std::string& dir() const noexcept { return dir_; }
+  std::string manifest_path() const;
+  std::string maps_path() const;
+
+ private:
+  void write_header_locked(std::ofstream& out) const;
+
+  std::string dir_;
+  sim::XeonModel model_;
+  std::uint64_t base_seed_;
+  std::uint64_t fleet_seed_;
+  std::mutex mutex_;
+};
+
+}  // namespace corelocate::fleet

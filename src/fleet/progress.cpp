@@ -1,0 +1,78 @@
+#include "fleet/progress.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace corelocate::fleet {
+
+namespace {
+constexpr auto kEmitInterval = std::chrono::milliseconds(500);
+}  // namespace
+
+ProgressMeter::ProgressMeter(int total, bool emit)
+    : total_(total), emit_(emit), start_(std::chrono::steady_clock::now()),
+      last_emit_(start_ - kEmitInterval) {
+  acc_.total = total;
+}
+
+void ProgressMeter::note_resumed(int count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  acc_.done += count;
+  acc_.resumed += count;
+}
+
+void ProgressMeter::instance_done(double step1_s, double step2_s, double step3_s,
+                                  double wall_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++acc_.done;
+  acc_.step1.add(step1_s);
+  acc_.step2.add(step2_s);
+  acc_.step3.add(step3_s);
+  acc_.wall.add(wall_s);
+  acc_.wall_hist.add(wall_s);
+  if (!emit_) return;
+  const auto now = std::chrono::steady_clock::now();
+  if (acc_.done != total_ && now - last_emit_ < kEmitInterval) return;
+  last_emit_ = now;
+  emit_line_locked();
+}
+
+void ProgressMeter::emit_line_locked() {
+  const ProgressSummary s = [this] {
+    ProgressSummary snap = acc_;
+    const auto now = std::chrono::steady_clock::now();
+    snap.elapsed_seconds = std::chrono::duration<double>(now - start_).count();
+    const int computed = snap.done - snap.resumed;
+    if (snap.elapsed_seconds > 0.0 && computed > 0) {
+      snap.instances_per_second = computed / snap.elapsed_seconds;
+      snap.eta_seconds = (snap.total - snap.done) / snap.instances_per_second;
+    }
+    return snap;
+  }();
+  std::ostringstream line;
+  line << "fleet: " << s.done << "/" << s.total;
+  if (s.resumed > 0) line << " (" << s.resumed << " resumed)";
+  line << std::fixed << std::setprecision(1) << " | " << s.instances_per_second
+       << " inst/s | eta " << s.eta_seconds << "s | p50 inst "
+       << std::setprecision(0) << s.wall_hist.percentile(50.0) * 1e3 << "ms";
+  util::log_info() << line.str();
+}
+
+ProgressSummary ProgressMeter::summary() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ProgressSummary snap = acc_;
+  snap.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  const int computed = snap.done - snap.resumed;
+  if (snap.elapsed_seconds > 0.0 && computed > 0) {
+    snap.instances_per_second = computed / snap.elapsed_seconds;
+    if (snap.done < snap.total) {
+      snap.eta_seconds = (snap.total - snap.done) / snap.instances_per_second;
+    }
+  }
+  return snap;
+}
+
+}  // namespace corelocate::fleet

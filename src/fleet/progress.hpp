@@ -1,0 +1,58 @@
+#pragma once
+// Progress and metrics surface for fleet surveys: instances/sec, ETA and
+// per-stage latency distributions, emitted through util::log so bench
+// stdout (the tables being reproduced) stays clean.
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+
+#include "util/stats.hpp"
+
+namespace corelocate::fleet {
+
+/// Merged timing view of a survey (or of one in flight).
+struct ProgressSummary {
+  int done = 0;       ///< instances finished (computed + resumed)
+  int resumed = 0;    ///< of which were loaded from a checkpoint
+  int total = 0;
+  double elapsed_seconds = 0.0;
+  double instances_per_second = 0.0;  ///< computed instances only
+  double eta_seconds = 0.0;
+  util::RunningStats step1;  ///< CHA-mapping stage latency [s]
+  util::RunningStats step2;  ///< traffic-probing stage latency [s]
+  util::RunningStats step3;  ///< solver stage latency [s]
+  util::RunningStats wall;   ///< whole-instance latency [s]
+  util::Histogram wall_hist{0.0, kHistRangeSeconds, kHistBins};
+
+  static constexpr double kHistRangeSeconds = 10.0;
+  static constexpr std::size_t kHistBins = 1000;  ///< 10 ms resolution
+};
+
+/// Thread-safe progress meter. instance_done() takes one short lock per
+/// *completed instance* — orders of magnitude off the measurement hot
+/// path — and throttles log emission so a fast fleet does not spam.
+class ProgressMeter {
+ public:
+  /// `emit` turns on log lines (info level); metrics accumulate either way.
+  ProgressMeter(int total, bool emit);
+
+  /// Accounts instances that resume from a checkpoint (not recomputed).
+  void note_resumed(int count);
+
+  void instance_done(double step1_s, double step2_s, double step3_s, double wall_s);
+
+  ProgressSummary summary() const;
+
+ private:
+  void emit_line_locked();
+
+  const int total_;
+  const bool emit_;
+  const std::chrono::steady_clock::time_point start_;
+  mutable std::mutex mutex_;
+  ProgressSummary acc_;
+  std::chrono::steady_clock::time_point last_emit_;
+};
+
+}  // namespace corelocate::fleet

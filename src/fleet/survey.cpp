@@ -1,0 +1,146 @@
+#include "fleet/survey.hpp"
+
+#include <chrono>
+#include <filesystem>
+#include <optional>
+#include <set>
+#include <stdexcept>
+
+#include "fleet/aggregator.hpp"
+#include "fleet/checkpoint.hpp"
+#include "fleet/thread_pool.hpp"
+#include "util/log.hpp"
+
+namespace corelocate::fleet {
+
+namespace {
+
+/// Tool-RNG tweak used by the serial bench loops since the seed commit;
+/// part of the survey seeding contract (see survey.hpp).
+constexpr std::uint64_t kToolSeedTweak = 0x700150EEDULL;
+
+InstanceRecord run_instance(const InstanceTask& task, const AnalyzeFn& analyze) {
+  InstanceRecord record;
+  record.index = task.index;
+  record.seed = task.seed;
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    const LocatedInstance located = locate_instance(task.model, task.seed, *task.factory);
+    record.success = located.result.success;
+    record.message = located.result.message;
+    record.step1_seconds = located.result.step1_seconds;
+    record.step2_seconds = located.result.step2_seconds;
+    record.step3_seconds = located.result.step3_seconds;
+    if (located.result.success) record.map = located.result.map;
+    if (analyze) analyze(task, located, record);
+  } catch (const std::exception& e) {
+    record.success = false;
+    record.message = std::string("exception: ") + e.what();
+  }
+  record.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return record;
+}
+
+}  // namespace
+
+LocatedInstance locate_instance(sim::XeonModel model, std::uint64_t seed,
+                                const sim::InstanceFactory& factory) {
+  util::Rng machine_rng(seed);
+  LocatedInstance located{factory.make_instance(model, machine_rng), {}};
+  sim::VirtualXeon cpu(located.config);
+  util::Rng tool_rng(seed ^ kToolSeedTweak);
+  located.result =
+      core::locate_cores(cpu, tool_rng, core::options_for(sim::spec_for(model)));
+  return located;
+}
+
+SurveyResult run_survey(sim::XeonModel model, const SurveyOptions& options) {
+  if (options.instances < 0) throw std::invalid_argument("run_survey: instances < 0");
+  if (options.jobs < 1) throw std::invalid_argument("run_survey: jobs < 1");
+  if (options.resume && options.checkpoint_dir.empty()) {
+    throw std::invalid_argument("run_survey: --resume needs a checkpoint directory");
+  }
+  const auto start = std::chrono::steady_clock::now();
+
+  const sim::InstanceFactory factory(options.fleet_seed);
+  const int jobs = options.jobs;
+  Aggregator aggregator(static_cast<std::size_t>(jobs));
+  ProgressMeter meter(options.instances, options.progress);
+
+  // Load (or reset) the checkpoint. Resumed records go straight into the
+  // aggregator; only the remaining indices are scheduled.
+  std::optional<Checkpoint> checkpoint;
+  std::set<int> have;
+  int resumed = 0;
+  if (!options.checkpoint_dir.empty()) {
+    checkpoint.emplace(options.checkpoint_dir, model, options.base_seed,
+                       options.fleet_seed);
+    if (options.resume) {
+      for (InstanceRecord& record : checkpoint->load_completed()) {
+        if (record.index < 0 || record.index >= options.instances) continue;
+        if (!have.insert(record.index).second) continue;  // duplicate: first wins
+        aggregator.add(0, std::move(record));
+        ++resumed;
+      }
+      meter.note_resumed(resumed);
+      util::log_info() << "fleet: resumed " << resumed << "/" << options.instances
+                       << " instances from " << options.checkpoint_dir;
+    } else {
+      // Fresh survey: stale files from an earlier run must not leak in.
+      std::filesystem::remove(checkpoint->manifest_path());
+      std::filesystem::remove(checkpoint->maps_path());
+    }
+  }
+
+  std::vector<int> todo;
+  todo.reserve(static_cast<std::size_t>(options.instances));
+  for (int i = 0; i < options.instances; ++i) {
+    if (!have.count(i)) todo.push_back(i);
+  }
+
+  const auto run_one = [&](int index, std::size_t worker) {
+    const InstanceTask task{index, options.base_seed + static_cast<std::uint64_t>(index),
+                            model, &factory};
+    InstanceRecord record = run_instance(task, options.analyze);
+    if (checkpoint) checkpoint->record(record);
+    meter.instance_done(record.step1_seconds, record.step2_seconds,
+                        record.step3_seconds, record.wall_seconds);
+    aggregator.add(worker, std::move(record));
+  };
+
+  if (jobs == 1) {
+    // Serial reference path: index order, no threads.
+    for (int index : todo) run_one(index, 0);
+  } else {
+    ThreadPool pool(static_cast<std::size_t>(jobs));
+    // Shard round-robin across worker deques; stealing rebalances tails.
+    for (std::size_t i = 0; i < todo.size(); ++i) {
+      const int index = todo[i];
+      pool.submit_on(i % pool.worker_count(), [&run_one, index] {
+        run_one(index, static_cast<std::size_t>(ThreadPool::current_worker()));
+      });
+    }
+    pool.wait_idle();
+  }
+
+  AggregateResult merged = aggregator.merge();
+  SurveyResult result;
+  result.records = std::move(merged.records);
+  result.patterns = std::move(merged.patterns);
+  result.id_mappings = std::move(merged.id_mappings);
+  result.metric_totals = std::move(merged.metric_totals);
+  result.completed = merged.completed;
+  result.failed = merged.failed;
+  result.resumed = resumed;
+  result.timing = meter.summary();
+  result.timing.step1 = merged.step1;
+  result.timing.step2 = merged.step2;
+  result.timing.step3 = merged.step3;
+  result.timing.wall = merged.wall;
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return result;
+}
+
+}  // namespace corelocate::fleet

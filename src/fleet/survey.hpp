@@ -1,0 +1,77 @@
+#pragma once
+// Fleet survey engine: runs the locating pipeline over N independent
+// instances of one CPU model — the paper's Sec. III measurement campaign
+// (100 machines per SKU) as a reusable batch workload.
+//
+// Seeding contract
+// ----------------
+// Instance `i` always runs with seed `base_seed + i`; the machine RNG is
+// seeded with that value and the measurement-tool RNG with
+// `seed ^ 0x700150EED` (the convention the serial bench loops have used
+// since the seed commit). Seeds never depend on worker identity or
+// scheduling, so a survey's results are a pure function of
+// (model, fleet_seed, base_seed, instances): `--jobs 8` is bit-identical
+// to `--jobs 1`, and a resumed survey is bit-identical to an
+// uninterrupted one.
+//
+// Checkpoint/resume
+// -----------------
+// With a checkpoint directory set, every completed instance is appended
+// durably (manifest line + core::MapStore record) before the survey moves
+// on; `resume = true` loads those records and only computes the rest.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fleet/progress.hpp"
+#include "fleet/survey_record.hpp"
+
+namespace corelocate::fleet {
+
+/// Runs the full locating pipeline on instance (`model`, `seed`).
+LocatedInstance locate_instance(sim::XeonModel model, std::uint64_t seed,
+                                const sim::InstanceFactory& factory);
+
+/// Optional per-instance analysis, run right after the pipeline while the
+/// ground truth is still in hand (e.g. score against truth, try the
+/// refinement solver). Must be thread-safe: a pure function of its
+/// arguments writing only to `record`. Not re-run for resumed instances —
+/// whatever it stored in `record.metrics` is restored from the manifest.
+using AnalyzeFn =
+    std::function<void(const InstanceTask&, const LocatedInstance&, InstanceRecord&)>;
+
+struct SurveyOptions {
+  int instances = 100;
+  int jobs = 1;  ///< 1 = serial reference path (no threads spawned)
+  /// Instance i runs with seed base_seed + i.
+  std::uint64_t base_seed = 0;
+  /// Fixes the manufacturing distribution (sim::InstanceFactory).
+  std::uint64_t fleet_seed = sim::InstanceFactory::kDefaultFleetSeed;
+  std::string checkpoint_dir;  ///< empty = checkpointing off
+  bool resume = false;         ///< load completed instances from checkpoint_dir
+  bool progress = false;       ///< emit progress lines via util::log (info level)
+  AnalyzeFn analyze;
+};
+
+struct SurveyResult {
+  std::vector<InstanceRecord> records;  ///< all instances, ordered by index
+  core::PatternStats patterns;          ///< over successful instances
+  core::IdMappingStats id_mappings;     ///< over successful instances
+  std::map<std::string, double> metric_totals;  ///< summed in index order
+  int completed = 0;  ///< successful instances (incl. resumed)
+  int failed = 0;
+  int resumed = 0;    ///< instances loaded from the checkpoint
+  double wall_seconds = 0.0;  ///< whole-survey wall clock
+  ProgressSummary timing;     ///< per-stage latency + throughput
+};
+
+/// Runs the survey. Throws std::invalid_argument on bad options and
+/// std::runtime_error on checkpoint I/O failure; per-instance failures
+/// (pipeline errors, exceptions from `analyze`) are captured in the
+/// instance record instead of aborting the fleet.
+SurveyResult run_survey(sim::XeonModel model, const SurveyOptions& options);
+
+}  // namespace corelocate::fleet

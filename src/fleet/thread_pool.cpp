@@ -1,0 +1,123 @@
+#include "fleet/thread_pool.hpp"
+
+namespace corelocate::fleet {
+
+namespace {
+thread_local int t_current_worker = -1;
+}  // namespace
+
+int ThreadPool::current_worker() noexcept { return t_current_worker; }
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) workers = 1;
+  deques_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    deques_.push_back(std::make_unique<WorkerDeque>());
+  }
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+std::future<void> ThreadPool::enqueue(std::packaged_task<void()> task,
+                                      WorkerDeque& target) {
+  std::future<void> future = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    ++pending_;
+    ++queued_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(target.mutex);
+    target.tasks.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+  return future;
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> fn) {
+  return enqueue(std::packaged_task<void()>(std::move(fn)), overflow_);
+}
+
+std::future<void> ThreadPool::submit_on(std::size_t worker, std::function<void()> fn) {
+  return enqueue(std::packaged_task<void()>(std::move(fn)),
+                 *deques_[worker % deques_.size()]);
+}
+
+bool ThreadPool::try_pop(std::size_t self, std::packaged_task<void()>& out) {
+  // 1. Own deque, oldest first: a sharded batch runs in submission order.
+  {
+    WorkerDeque& own = *deques_[self];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      out = std::move(own.tasks.front());
+      own.tasks.pop_front();
+      return true;
+    }
+  }
+  // 2. Global overflow queue, FIFO.
+  {
+    std::lock_guard<std::mutex> lock(overflow_.mutex);
+    if (!overflow_.tasks.empty()) {
+      out = std::move(overflow_.tasks.front());
+      overflow_.tasks.pop_front();
+      return true;
+    }
+  }
+  // 3. Steal from a sibling's back — the work its owner would reach last.
+  for (std::size_t hop = 1; hop < deques_.size(); ++hop) {
+    WorkerDeque& victim = *deques_[(self + hop) % deques_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      out = std::move(victim.tasks.back());
+      victim.tasks.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  t_current_worker = static_cast<int>(self);
+  for (;;) {
+    std::packaged_task<void()> task;
+    if (try_pop(self, task)) {
+      {
+        std::lock_guard<std::mutex> lock(idle_mutex_);
+        --queued_;
+      }
+      task();  // packaged_task captures exceptions into the future
+      bool idle = false;
+      {
+        std::lock_guard<std::mutex> lock(idle_mutex_);
+        idle = --pending_ == 0;
+      }
+      if (idle) idle_cv_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(idle_mutex_);
+    // The destructor drains via wait_idle() before setting shutdown_, so
+    // shutdown implies the queues are already empty.
+    if (shutdown_) return;
+    work_cv_.wait(lock, [this] { return shutdown_ || queued_ > 0; });
+    if (shutdown_) return;
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(idle_mutex_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+}  // namespace corelocate::fleet

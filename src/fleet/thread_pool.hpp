@@ -1,0 +1,77 @@
+#pragma once
+// Work-stealing thread pool for fleet-scale batch workloads.
+//
+// Each worker owns a task deque; submitters can shard work onto a chosen
+// worker's deque (`submit_on`) or drop it into a global overflow queue
+// (`submit`). A worker drains its own deque front-to-back (FIFO, so a
+// sharded batch runs in submission order when nobody steals), then the
+// overflow queue, then steals from the *back* of sibling deques — stolen
+// work is the work its owner would reach last, which keeps sharded
+// batches mostly local while still rebalancing tail latency.
+//
+// Scheduling affects only *when* a task runs, never its result: fleet
+// tasks derive all randomness from per-task seeds (see survey.hpp), so a
+// stolen task computes exactly what it would have computed at home.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace corelocate::fleet {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (at least 1).
+  explicit ThreadPool(std::size_t workers);
+
+  /// Drains all queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const noexcept { return deques_.size(); }
+
+  /// Enqueues on the global overflow queue. The future rethrows any
+  /// exception the task throws.
+  std::future<void> submit(std::function<void()> fn);
+
+  /// Enqueues on worker `worker % worker_count()`'s own deque.
+  std::future<void> submit_on(std::size_t worker, std::function<void()> fn);
+
+  /// Blocks until every submitted task has finished running.
+  void wait_idle();
+
+  /// Index of the calling worker thread, or -1 off-pool.
+  static int current_worker() noexcept;
+
+ private:
+  struct WorkerDeque {
+    std::mutex mutex;
+    std::deque<std::packaged_task<void()>> tasks;
+  };
+
+  std::future<void> enqueue(std::packaged_task<void()> task, WorkerDeque& target);
+  bool try_pop(std::size_t self, std::packaged_task<void()>& out);
+  void worker_loop(std::size_t self);
+
+  std::vector<std::unique_ptr<WorkerDeque>> deques_;
+  WorkerDeque overflow_;
+
+  std::mutex idle_mutex_;
+  std::condition_variable work_cv_;   ///< signalled on submit and shutdown
+  std::condition_variable idle_cv_;   ///< signalled when pending_ hits zero
+  std::size_t pending_ = 0;           ///< queued + running tasks
+  std::size_t queued_ = 0;            ///< queued, not yet popped
+  bool shutdown_ = false;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace corelocate::fleet

@@ -67,12 +67,17 @@ bool CliFlags::get_bool(const std::string& name, bool fallback) const {
 }
 
 void CliFlags::validate(const std::vector<std::string>& known) const {
+  std::string unknown;
   for (const auto& [name, value] : values_) {
     (void)value;
     if (std::find(known.begin(), known.end(), name) == known.end()) {
-      throw std::invalid_argument("unknown flag --" + name);
+      unknown += (unknown.empty() ? "" : ", ") + ("--" + name);
     }
   }
+  if (unknown.empty()) return;
+  std::string names;
+  for (const std::string& name : known) names += (names.empty() ? "--" : ", --") + name;
+  throw std::invalid_argument("unknown flag(s) " + unknown + " (known: " + names + ")");
 }
 
 }  // namespace corelocate::util

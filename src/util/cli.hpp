@@ -32,6 +32,8 @@ class CliFlags {
   const std::map<std::string, std::string>& flags() const noexcept { return values_; }
 
   /// Throws if any parsed flag is not in `known` — catches typos early.
+  /// The message names *every* unknown flag (and the known set), so a
+  /// command line with several typos is fixed in one round trip.
   void validate(const std::vector<std::string>& known) const;
 
  private:

@@ -61,6 +61,22 @@ void RunningStats::add(double x) noexcept {
   m2_ += delta * (x - mean_);
 }
 
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * nb / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
@@ -75,6 +91,28 @@ void Histogram::add(double x) noexcept {
   if (bin >= counts_.size()) bin = counts_.size() - 1;
   ++counts_[bin];
   ++total_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.lo_ != lo_ || other.hi_ != hi_ || other.counts_.size() != counts_.size()) {
+    throw std::invalid_argument("Histogram::merge: mismatched shape");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
+double Histogram::percentile(double q) const noexcept {
+  if (total_ == 0) return 0.0;
+  const double clamped = std::clamp(q, 0.0, 100.0);
+  const double target = clamped / 100.0 * static_cast<double>(total_);
+  std::size_t seen = 0;
+  for (std::size_t bin = 0; bin < counts_.size(); ++bin) {
+    seen += counts_[bin];
+    if (static_cast<double>(seen) >= target) {
+      return (bin_low(bin) + bin_high(bin)) / 2.0;
+    }
+  }
+  return bin_high(counts_.size() - 1);
 }
 
 double Histogram::bin_low(std::size_t bin) const {

@@ -22,6 +22,11 @@ double max_of(std::span<const double> values);
 class RunningStats {
  public:
   void add(double x) noexcept;
+
+  /// Folds another accumulator in (Chan et al. parallel variance merge).
+  /// Lets each fleet worker keep a local accumulator and combine at the
+  /// barrier without locking the hot path.
+  void merge(const RunningStats& other) noexcept;
   std::size_t count() const noexcept { return n_; }
   double mean() const noexcept { return n_ ? mean_ : 0.0; }
   double variance() const noexcept { return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0; }
@@ -42,6 +47,13 @@ class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
   void add(double x) noexcept;
+
+  /// Bin-wise sum. Both histograms must share [lo, hi) and bin count.
+  void merge(const Histogram& other);
+
+  /// Linear-interpolated percentile estimate from bin midpoints; q in
+  /// [0, 100]. Returns 0 for an empty histogram.
+  double percentile(double q) const noexcept;
   std::size_t bin_count() const noexcept { return counts_.size(); }
   std::size_t count_in(std::size_t bin) const { return counts_.at(bin); }
   std::size_t total() const noexcept { return total_; }

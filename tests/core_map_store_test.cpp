@@ -114,5 +114,20 @@ TEST(MapStore, FileRoundTrip) {
   EXPECT_THROW(MapStore::load_file(path), std::runtime_error);
 }
 
+TEST(MapStore, AppendFileAccumulatesRecords) {
+  const std::string path = ::testing::TempDir() + "corelocate_mapstore_append.txt";
+  std::remove(path.c_str());
+  MapStore::append_file(path, sample_map(7));  // creates the file
+  MapStore::append_file(path, sample_map(8));
+  const MapStore restored = MapStore::load_file(path);
+  EXPECT_EQ(restored.size(), 2u);
+  EXPECT_TRUE(restored.contains(7));
+  EXPECT_TRUE(restored.contains(8));
+  // A re-appended PPIN behaves like put(): the later record wins.
+  MapStore::append_file(path, sample_map(7));
+  EXPECT_EQ(MapStore::load_file(path).size(), 2u);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace corelocate::core

@@ -173,6 +173,48 @@ TEST(PatternStats, CountsAndSorts) {
   EXPECT_LE(static_cast<int>(stats.top(4).size()), 4);
 }
 
+TEST(PatternStats, IncrementalAddAndMergeEqualCollect) {
+  sim::InstanceFactory factory;
+  util::Rng rng(66);
+  std::vector<CoreMap> maps;
+  for (int i = 0; i < 24; ++i) {
+    maps.push_back(truth_map(factory.make_instance(sim::XeonModel::k8259CL, rng)));
+  }
+  const PatternStats whole = collect_pattern_stats(maps);
+
+  PatternStats left, right;
+  for (std::size_t i = 0; i < maps.size(); ++i) {
+    ((i % 3 == 0) ? left : right).add(maps[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.total_instances, whole.total_instances);
+  ASSERT_EQ(left.entries.size(), whole.entries.size());
+  for (std::size_t i = 0; i < left.entries.size(); ++i) {
+    EXPECT_EQ(left.entries[i].key, whole.entries[i].key);
+    EXPECT_EQ(left.entries[i].count, whole.entries[i].count);
+    // Ties are broken by key, so entry order is a pure function of the
+    // multiset of maps — the property the parallel fleet engine relies on.
+  }
+}
+
+TEST(IdMappingStats, MergeEqualsCollect) {
+  const std::vector<std::vector<int>> mappings{{0, 1}, {1, 0}, {0, 1}, {2, 1}, {1, 0}};
+  const IdMappingStats whole = collect_id_mapping_stats(mappings);
+  IdMappingStats a, b;
+  a.add(mappings[0]);
+  a.add(mappings[1]);
+  b.add(mappings[2]);
+  b.add(mappings[3]);
+  b.add(mappings[4]);
+  a.merge(b);
+  EXPECT_EQ(a.total_instances, whole.total_instances);
+  ASSERT_EQ(a.entries.size(), whole.entries.size());
+  for (std::size_t i = 0; i < a.entries.size(); ++i) {
+    EXPECT_EQ(a.entries[i].os_core_to_cha, whole.entries[i].os_core_to_cha);
+    EXPECT_EQ(a.entries[i].count, whole.entries[i].count);
+  }
+}
+
 TEST(IdMappingStats, GroupsIdenticalMappings) {
   const std::vector<std::vector<int>> mappings{{0, 1}, {1, 0}, {0, 1}, {0, 1}};
   const IdMappingStats stats = collect_id_mapping_stats(mappings);

@@ -1,0 +1,155 @@
+#include "fleet/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "fleet/survey.hpp"
+
+namespace corelocate::fleet {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FleetCheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("fleet_ckpt_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir() const { return dir_.string(); }
+
+  fs::path dir_;
+};
+
+SurveyOptions base_options(int instances) {
+  SurveyOptions options;
+  options.instances = instances;
+  options.base_seed = 0xC0FFEEULL;
+  return options;
+}
+
+TEST_F(FleetCheckpointTest, RecordRoundTripsThroughManifest) {
+  SurveyOptions options = base_options(3);
+  options.checkpoint_dir = dir();
+  options.analyze = [](const InstanceTask&, const LocatedInstance&,
+                       InstanceRecord& record) { record.metrics["marker"] = 2.5; };
+  const SurveyResult survey = run_survey(sim::XeonModel::k8124M, options);
+  ASSERT_EQ(survey.completed, 3);
+
+  Checkpoint checkpoint(dir(), sim::XeonModel::k8124M, 0xC0FFEEULL,
+                        sim::InstanceFactory::kDefaultFleetSeed);
+  const std::vector<InstanceRecord> loaded = checkpoint.load_completed();
+  ASSERT_EQ(loaded.size(), 3u);
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    const InstanceRecord& fresh = survey.records[i];
+    const InstanceRecord& restored = loaded[i];
+    EXPECT_TRUE(restored.from_checkpoint);
+    EXPECT_EQ(restored.index, fresh.index);
+    EXPECT_EQ(restored.seed, fresh.seed);
+    EXPECT_EQ(restored.success, fresh.success);
+    EXPECT_EQ(restored.map.ppin, fresh.map.ppin);
+    EXPECT_EQ(restored.map.pattern_key(), fresh.map.pattern_key());
+    EXPECT_EQ(restored.map.os_core_to_cha, fresh.map.os_core_to_cha);
+    EXPECT_EQ(restored.metrics, fresh.metrics);
+    EXPECT_DOUBLE_EQ(restored.wall_seconds, fresh.wall_seconds);
+    EXPECT_DOUBLE_EQ(restored.step1_seconds, fresh.step1_seconds);
+  }
+}
+
+TEST_F(FleetCheckpointTest, ResumeSkipsCompletedInstances) {
+  // First run: 6 of 12 instances, checkpointed.
+  SurveyOptions first = base_options(6);
+  first.checkpoint_dir = dir();
+  const SurveyResult partial = run_survey(sim::XeonModel::k8259CL, first);
+  ASSERT_EQ(partial.records.size(), 6u);
+
+  // Second run: the full 12, resuming. The first six must come from the
+  // checkpoint, not recomputation.
+  SurveyOptions second = base_options(12);
+  second.checkpoint_dir = dir();
+  second.resume = true;
+  const SurveyResult resumed = run_survey(sim::XeonModel::k8259CL, second);
+  EXPECT_EQ(resumed.resumed, 6);
+  ASSERT_EQ(resumed.records.size(), 12u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(resumed.records[static_cast<std::size_t>(i)].from_checkpoint);
+  }
+  for (int i = 6; i < 12; ++i) {
+    EXPECT_FALSE(resumed.records[static_cast<std::size_t>(i)].from_checkpoint);
+  }
+
+  // And the resumed survey equals an uninterrupted one.
+  const SurveyResult fresh = run_survey(sim::XeonModel::k8259CL, base_options(12));
+  ASSERT_EQ(fresh.records.size(), 12u);
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(resumed.records[i].map.pattern_key(), fresh.records[i].map.pattern_key());
+    EXPECT_EQ(resumed.records[i].map.ppin, fresh.records[i].map.ppin);
+  }
+  ASSERT_EQ(resumed.patterns.entries.size(), fresh.patterns.entries.size());
+  for (std::size_t i = 0; i < resumed.patterns.entries.size(); ++i) {
+    EXPECT_EQ(resumed.patterns.entries[i].key, fresh.patterns.entries[i].key);
+    EXPECT_EQ(resumed.patterns.entries[i].count, fresh.patterns.entries[i].count);
+  }
+
+  // The manifest now holds all 12 completions; a further resume computes
+  // nothing new.
+  const SurveyResult third = run_survey(sim::XeonModel::k8259CL, second);
+  EXPECT_EQ(third.resumed, 12);
+}
+
+TEST_F(FleetCheckpointTest, FreshRunClearsStaleCheckpoint) {
+  SurveyOptions options = base_options(4);
+  options.checkpoint_dir = dir();
+  run_survey(sim::XeonModel::k8124M, options);
+
+  // Same dir, resume off: the survey starts over.
+  const SurveyResult again = run_survey(sim::XeonModel::k8124M, options);
+  EXPECT_EQ(again.resumed, 0);
+  for (const InstanceRecord& record : again.records) {
+    EXPECT_FALSE(record.from_checkpoint);
+  }
+}
+
+TEST_F(FleetCheckpointTest, ResumeRefusesMismatchedSurvey) {
+  SurveyOptions options = base_options(2);
+  options.checkpoint_dir = dir();
+  run_survey(sim::XeonModel::k8124M, options);
+
+  SurveyOptions other = base_options(2);
+  other.checkpoint_dir = dir();
+  other.resume = true;
+  other.base_seed = 0xBADULL;  // different survey identity
+  EXPECT_THROW(run_survey(sim::XeonModel::k8124M, other), std::runtime_error);
+}
+
+TEST_F(FleetCheckpointTest, TornManifestLineIsDroppedNotFatal) {
+  SurveyOptions options = base_options(3);
+  options.checkpoint_dir = dir();
+  run_survey(sim::XeonModel::k8124M, options);
+
+  {
+    // Simulate a crash mid-append: a truncated trailing record.
+    std::ofstream out(dir() + "/manifest.txt", std::ios::app);
+    out << "inst 9 abc ok 0.1";
+  }
+  Checkpoint checkpoint(dir(), sim::XeonModel::k8124M, 0xC0FFEEULL,
+                        sim::InstanceFactory::kDefaultFleetSeed);
+  const std::vector<InstanceRecord> loaded = checkpoint.load_completed();
+  EXPECT_EQ(loaded.size(), 3u);  // torn line ignored
+}
+
+TEST_F(FleetCheckpointTest, ResumeWithoutDirectoryIsAnError) {
+  SurveyOptions options = base_options(1);
+  options.resume = true;
+  EXPECT_THROW(run_survey(sim::XeonModel::k8124M, options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace corelocate::fleet

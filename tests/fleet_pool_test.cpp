@@ -1,0 +1,102 @@
+#include "fleet/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace corelocate::fleet {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&count] { ++count; }));
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, SingleWorkerRunsShardedTasksInSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.submit_on(0, [&order, i] { order.push_back(i); }));
+  }
+  for (auto& future : futures) future.get();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  auto ok = pool.submit([] {});
+  EXPECT_NO_THROW(ok.get());
+}
+
+TEST(ThreadPool, WorkStealingDrainsAnUnbalancedShard) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::set<int> workers_seen;
+  std::mutex seen_mutex;
+  std::vector<std::future<void>> futures;
+  // Everything lands on worker 0's deque; progress on all 200 tasks
+  // requires the other workers to steal.
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit_on(0, [&] {
+      ++count;
+      std::lock_guard<std::mutex> lock(seen_mutex);
+      workers_seen.insert(ThreadPool::current_worker());
+    }));
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(count.load(), 200);
+  for (int worker : workers_seen) {
+    EXPECT_GE(worker, 0);
+    EXPECT_LT(worker, 4);
+  }
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilDrained) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit_on(static_cast<std::size_t>(i), [&count] { ++count; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ShutdownUnderLoadDrainsEverything) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 500; ++i) {
+      pool.submit_on(static_cast<std::size_t>(i % 4), [&count] { ++count; });
+    }
+    // Destructor runs with hundreds of tasks still queued.
+  }
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPool, CurrentWorkerIsMinusOneOffPool) {
+  EXPECT_EQ(ThreadPool::current_worker(), -1);
+}
+
+TEST(ThreadPool, ZeroRequestedWorkersClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 1u);
+  auto future = pool.submit([] {});
+  EXPECT_NO_THROW(future.get());
+}
+
+}  // namespace
+}  // namespace corelocate::fleet

@@ -58,6 +58,20 @@ TEST(Cli, ValidateRejectsUnknown) {
   EXPECT_NO_THROW(flags.validate({"typo"}));
 }
 
+TEST(Cli, ValidateReportsAllUnknownFlagsAtOnce) {
+  const CliFlags flags = parse({"--typo1", "1", "--count", "2", "--typo2"});
+  try {
+    flags.validate({"count"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("--typo1"), std::string::npos) << message;
+    EXPECT_NE(message.find("--typo2"), std::string::npos) << message;
+    EXPECT_NE(message.find("--count"), std::string::npos)
+        << "known flags should be listed: " << message;
+  }
+}
+
 TEST(Cli, BareDoubleDashThrows) {
   EXPECT_THROW(parse({"--"}), std::invalid_argument);
 }

@@ -75,6 +75,35 @@ TEST(RunningStats, EmptyIsSafe) {
   EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
 }
 
+TEST(RunningStats, MergeMatchesSingleAccumulator) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats whole;
+  for (double x : v) whole.add(x);
+  RunningStats left, right;
+  for (std::size_t i = 0; i < v.size(); ++i) (i < 3 ? left : right).add(v[i]);
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats filled;
+  filled.add(1.0);
+  filled.add(3.0);
+  RunningStats empty;
+  RunningStats copy = filled;
+  copy.merge(empty);  // no-op
+  EXPECT_EQ(copy.count(), 2u);
+  EXPECT_NEAR(copy.mean(), 2.0, 1e-12);
+  empty.merge(filled);  // adopt
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.min(), 1.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 3.0);
+}
+
 TEST(Histogram, BinsAndBounds) {
   Histogram h(0.0, 10.0, 5);
   h.add(0.0);
@@ -92,6 +121,35 @@ TEST(Histogram, BinsAndBounds) {
 TEST(Histogram, RejectsBadConstruction) {
   EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
   EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, MergeSumsBins) {
+  Histogram a(0.0, 10.0, 5);
+  Histogram b(0.0, 10.0, 5);
+  a.add(1.0);
+  b.add(1.5);
+  b.add(9.0);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.count_in(0), 2u);
+  EXPECT_EQ(a.count_in(4), 1u);
+}
+
+TEST(Histogram, MergeRejectsMismatchedShape) {
+  Histogram a(0.0, 10.0, 5);
+  Histogram b(0.0, 10.0, 10);
+  Histogram c(0.0, 5.0, 5);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(Histogram, PercentileFromBins) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 9; ++i) h.add(0.5);  // bin [0,1)
+  h.add(9.5);                              // bin [9,10)
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.5);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 9.5);
+  EXPECT_DOUBLE_EQ(Histogram(0.0, 1.0, 2).percentile(50.0), 0.0);  // empty
 }
 
 }  // namespace
