@@ -50,9 +50,10 @@ EngineResult score(const core::MapSolveResult& solved, double seconds,
 
 template <typename Fn>
 EngineResult timed(Fn&& solve, const sim::InstanceConfig& config) {
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = std::chrono::steady_clock::now();  // corelint: non-deterministic
   const core::MapSolveResult solved = solve();
   const double seconds =
+      // corelint: non-deterministic
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return score(solved, seconds, config);
 }

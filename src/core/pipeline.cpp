@@ -5,7 +5,10 @@
 namespace corelocate::core {
 
 namespace {
+// Wall-clock timing feeds step_*_seconds metadata only, never results.
+// corelint: non-deterministic
 double seconds_since(std::chrono::steady_clock::time_point start) {
+  // corelint: non-deterministic
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 }
 }  // namespace
@@ -21,17 +24,17 @@ LocateResult locate_cores(sim::VirtualXeon& cpu, util::Rng& rng,
                           const LocateOptions& options) {
   LocateResult result;
 
-  auto t0 = std::chrono::steady_clock::now();
+  auto t0 = std::chrono::steady_clock::now();  // corelint: non-deterministic
   ChaMapper mapper(cpu, rng, options.mapper);
   result.cha_mapping = mapper.map();
   result.step1_seconds = seconds_since(t0);
 
-  t0 = std::chrono::steady_clock::now();
+  t0 = std::chrono::steady_clock::now();  // corelint: non-deterministic
   TrafficProber prober(cpu, options.probe);
   result.observations = prober.probe_all(result.cha_mapping);
   result.step2_seconds = seconds_since(t0);
 
-  t0 = std::chrono::steady_clock::now();
+  t0 = std::chrono::steady_clock::now();  // corelint: non-deterministic
   MapSolveResult solved;
   if (options.engine == SolverEngine::kIlp) {
     IlpMapSolverOptions ilp_options = options.ilp;

@@ -9,6 +9,7 @@ Aggregator::Aggregator(std::size_t workers) : buckets_(workers == 0 ? 1 : worker
 
 void Aggregator::add(std::size_t worker, InstanceRecord record) {
   Bucket& bucket = buckets_[worker % buckets_.size()];
+  util::ReentryGuard::Scope scope(bucket.entry_guard, "Aggregator bucket");
   if (record.success) {
     bucket.patterns.add(record.map);
     bucket.id_mappings.add(record.map.os_core_to_cha);
@@ -25,6 +26,7 @@ void Aggregator::add(std::size_t worker, InstanceRecord record) {
 AggregateResult Aggregator::merge() {
   AggregateResult result;
   for (Bucket& bucket : buckets_) {
+    util::ReentryGuard::Scope scope(bucket.entry_guard, "Aggregator merge");
     result.patterns.merge(bucket.patterns);
     result.id_mappings.merge(bucket.id_mappings);
     result.step1.merge(bucket.step1);

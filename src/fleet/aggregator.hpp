@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "fleet/survey_record.hpp"
+#include "util/lockcheck.hpp"
 #include "util/stats.hpp"
 
 namespace corelocate::fleet {
@@ -54,9 +55,12 @@ class Aggregator {
     core::PatternStats patterns;
     core::IdMappingStats id_mappings;
     util::RunningStats step1, step2, step3, wall;
+    /// Catches two threads inside the same bucket at once — the misuse
+    /// the lock-free design forbids (see the header comment).
+    util::ReentryGuard entry_guard;
   };
 
-  std::vector<Bucket> buckets_;
+  std::vector<Bucket> buckets_;  // corelint: owned-by(pool worker `worker`)
 };
 
 }  // namespace corelocate::fleet

@@ -13,7 +13,10 @@ namespace corelocate::fleet {
 
 namespace {
 
-constexpr const char* kMagic = "fleet-manifest v1";
+// v2: wall-clock durations moved out of the manifest into the
+// timings.txt sidecar so the manifest is deterministic (see header).
+constexpr const char* kMagic = "fleet-manifest v2";
+constexpr const char* kMagicV1 = "fleet-manifest v1";
 
 std::string fmt_double(double value) {
   char buf[64];
@@ -76,6 +79,7 @@ Checkpoint::Checkpoint(std::string dir, sim::XeonModel model, std::uint64_t base
 
 std::string Checkpoint::manifest_path() const { return dir_ + "/manifest.txt"; }
 std::string Checkpoint::maps_path() const { return dir_ + "/maps.db"; }
+std::string Checkpoint::timings_path() const { return dir_ + "/timings.txt"; }
 
 void Checkpoint::write_header_locked(std::ofstream& out) const {
   out << kMagic << '\n'
@@ -85,7 +89,7 @@ void Checkpoint::write_header_locked(std::ofstream& out) const {
 }
 
 void Checkpoint::record(const InstanceRecord& record) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   // Map first, manifest line last: a manifest line implies its map is on
   // disk, so a crash between the two writes only costs a recompute.
   if (record.success) core::MapStore::append_file(maps_path(), record.map);
@@ -97,10 +101,7 @@ void Checkpoint::record(const InstanceRecord& record) {
   }
   if (fresh) write_header_locked(out);
   out << "inst " << record.index << ' ' << fmt_hex(record.seed) << ' '
-      << (record.success ? "ok" : "fail") << ' ' << fmt_double(record.wall_seconds)
-      << ' ' << fmt_double(record.step1_seconds) << ' '
-      << fmt_double(record.step2_seconds) << ' ' << fmt_double(record.step3_seconds)
-      << " metrics " << fmt_metrics(record.metrics);
+      << (record.success ? "ok" : "fail") << " metrics " << fmt_metrics(record.metrics);
   if (record.success) {
     out << " ppin " << fmt_hex(record.map.ppin);
   } else {
@@ -111,6 +112,16 @@ void Checkpoint::record(const InstanceRecord& record) {
   if (!out.good()) {
     throw std::runtime_error("Checkpoint: manifest write failed: " + manifest_path());
   }
+
+  // Wall-clock sidecar, best-effort: losing it never loses survey state,
+  // so a failed write is not an error.
+  std::ofstream timings(timings_path(), std::ios::app);
+  if (timings) {
+    timings << "inst " << record.index << ' ' << fmt_double(record.wall_seconds) << ' '
+            << fmt_double(record.step1_seconds) << ' '
+            << fmt_double(record.step2_seconds) << ' '
+            << fmt_double(record.step3_seconds) << '\n';
+  }
 }
 
 std::vector<InstanceRecord> Checkpoint::load_completed() const {
@@ -120,6 +131,12 @@ std::vector<InstanceRecord> Checkpoint::load_completed() const {
 
   std::string line;
   if (!std::getline(in, line) || line != kMagic) {
+    if (line == kMagicV1) {
+      throw std::runtime_error(
+          "Checkpoint: " + manifest_path() +
+          " is a v1 manifest (timings moved to the timings.txt sidecar in "
+          "v2); re-run the survey without --resume");
+    }
     throw std::runtime_error("Checkpoint: " + manifest_path() +
                              " is not a fleet manifest");
   }
@@ -153,23 +170,44 @@ std::vector<InstanceRecord> Checkpoint::load_completed() const {
   core::MapStore maps;
   if (std::filesystem::exists(maps_path())) maps = core::MapStore::load_file(maps_path());
 
+  // Wall-clock sidecar, best-effort: a missing or torn entry leaves the
+  // durations at zero, which only dims throughput reporting.
+  struct Timing {
+    double wall, step1, step2, step3;
+  };
+  std::map<int, Timing> timings;
+  if (std::ifstream tin(timings_path()); tin) {
+    std::string tline;
+    while (std::getline(tin, tline)) {
+      std::istringstream tiss(tline);
+      std::string tag;
+      int index = -1;
+      Timing t{};
+      if (tiss >> tag >> index >> t.wall >> t.step1 >> t.step2 >> t.step3 &&
+          tag == "inst") {
+        timings[index] = t;
+      }
+    }
+  }
+
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     try {
       std::istringstream iss(line);
-      std::string tag, seed_tok, status, wall_tok, s1_tok, s2_tok, s3_tok, metrics_kw,
-          metrics_tok, tail_kw;
+      std::string tag, seed_tok, status, metrics_kw, metrics_tok, tail_kw;
       InstanceRecord record;
-      if (!(iss >> tag >> record.index >> seed_tok >> status >> wall_tok >> s1_tok >>
-            s2_tok >> s3_tok >> metrics_kw >> metrics_tok >> tail_kw) ||
+      if (!(iss >> tag >> record.index >> seed_tok >> status >> metrics_kw >>
+            metrics_tok >> tail_kw) ||
           tag != "inst" || metrics_kw != "metrics") {
         throw std::invalid_argument("malformed record");
       }
       record.seed = parse_hex(seed_tok);
-      record.wall_seconds = parse_double(wall_tok);
-      record.step1_seconds = parse_double(s1_tok);
-      record.step2_seconds = parse_double(s2_tok);
-      record.step3_seconds = parse_double(s3_tok);
+      if (const auto it = timings.find(record.index); it != timings.end()) {
+        record.wall_seconds = it->second.wall;
+        record.step1_seconds = it->second.step1;
+        record.step2_seconds = it->second.step2;
+        record.step3_seconds = it->second.step3;
+      }
       record.metrics = parse_metrics(metrics_tok);
       record.from_checkpoint = true;
       if (status == "ok" && tail_kw == "ppin") {

@@ -6,14 +6,25 @@
 //                  by one line per completed instance; append-only.
 //   maps.db      — core::MapStore records of the recovered maps,
 //                  appended via MapStore::append_file.
+//   timings.txt  — wall-clock sidecar: per-instance stage durations,
+//                  append-only, best-effort.
 //
-// Crash tolerance: both files are append-only and flushed per record
+// Determinism contract: manifest.txt and maps.db are pure functions of
+// (model, fleet_seed, base_seed, instance set) — they contain *no*
+// wall-clock values, so a serial run, a parallel run drained in index
+// order, and a checkpoint/resume cycle all produce byte-identical files.
+// Durations are real measurements and therefore nondeterministic; they
+// live only in the timings.txt sidecar, which is never checksummed or
+// compared and whose loss costs nothing but throughput reporting.
+//
+// Crash tolerance: all files are append-only and flushed per record
 // (manifest last, so a manifest line implies its map is on disk). On
 // load, a torn trailing manifest line or a manifest line whose map is
 // missing from maps.db is dropped with a warning — that instance is
-// simply recomputed. A manifest whose header names a different survey
-// (model or seed mismatch) is an error: resuming it would silently mix
-// incompatible fleets.
+// simply recomputed; a torn timings line only loses timing metadata. A
+// manifest whose header names a different survey (model or seed
+// mismatch) is an error: resuming it would silently mix incompatible
+// fleets.
 
 #include <cstdint>
 #include <fstream>
@@ -22,6 +33,7 @@
 #include <vector>
 
 #include "fleet/survey_record.hpp"
+#include "util/lockcheck.hpp"
 
 namespace corelocate::fleet {
 
@@ -43,6 +55,7 @@ class Checkpoint {
   const std::string& dir() const noexcept { return dir_; }
   std::string manifest_path() const;
   std::string maps_path() const;
+  std::string timings_path() const;
 
  private:
   void write_header_locked(std::ofstream& out) const;
@@ -51,7 +64,7 @@ class Checkpoint {
   sim::XeonModel model_;
   std::uint64_t base_seed_;
   std::uint64_t fleet_seed_;
-  std::mutex mutex_;
+  util::CheckedMutex<util::lockcheck::kRankCheckpoint> mutex_{"Checkpoint"};
 };
 
 }  // namespace corelocate::fleet

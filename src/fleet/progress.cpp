@@ -18,14 +18,14 @@ ProgressMeter::ProgressMeter(int total, bool emit)
 }
 
 void ProgressMeter::note_resumed(int count) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   acc_.done += count;
   acc_.resumed += count;
 }
 
 void ProgressMeter::instance_done(double step1_s, double step2_s, double step3_s,
                                   double wall_s) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   ++acc_.done;
   acc_.step1.add(step1_s);
   acc_.step2.add(step2_s);
@@ -61,7 +61,7 @@ void ProgressMeter::emit_line_locked() {
 }
 
 ProgressSummary ProgressMeter::summary() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   ProgressSummary snap = acc_;
   snap.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();

@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <mutex>
 
+#include "util/lockcheck.hpp"
 #include "util/stats.hpp"
 
 namespace corelocate::fleet {
@@ -50,7 +51,7 @@ class ProgressMeter {
   const int total_;
   const bool emit_;
   const std::chrono::steady_clock::time_point start_;
-  mutable std::mutex mutex_;
+  mutable util::CheckedMutex<util::lockcheck::kRankProgress> mutex_{"ProgressMeter"};
   ProgressSummary acc_;
   std::chrono::steady_clock::time_point last_emit_;
 };

@@ -23,7 +23,7 @@ InstanceRecord run_instance(const InstanceTask& task, const AnalyzeFn& analyze) 
   InstanceRecord record;
   record.index = task.index;
   record.seed = task.seed;
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = std::chrono::steady_clock::now();  // corelint: non-deterministic
   try {
     const LocatedInstance located = locate_instance(task.model, task.seed, *task.factory);
     record.success = located.result.success;
@@ -38,6 +38,7 @@ InstanceRecord run_instance(const InstanceTask& task, const AnalyzeFn& analyze) 
     record.message = std::string("exception: ") + e.what();
   }
   record.wall_seconds =
+      // corelint: non-deterministic
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   return record;
 }
@@ -61,7 +62,7 @@ SurveyResult run_survey(sim::XeonModel model, const SurveyOptions& options) {
   if (options.resume && options.checkpoint_dir.empty()) {
     throw std::invalid_argument("run_survey: --resume needs a checkpoint directory");
   }
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = std::chrono::steady_clock::now();  // corelint: non-deterministic
 
   const sim::InstanceFactory factory(options.fleet_seed);
   const int jobs = options.jobs;
@@ -90,6 +91,7 @@ SurveyResult run_survey(sim::XeonModel model, const SurveyOptions& options) {
       // Fresh survey: stale files from an earlier run must not leak in.
       std::filesystem::remove(checkpoint->manifest_path());
       std::filesystem::remove(checkpoint->maps_path());
+      std::filesystem::remove(checkpoint->timings_path());
     }
   }
 
@@ -139,6 +141,7 @@ SurveyResult run_survey(sim::XeonModel model, const SurveyOptions& options) {
   result.timing.step3 = merged.step3;
   result.timing.wall = merged.wall;
   result.wall_seconds =
+      // corelint: non-deterministic
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   return result;
 }

@@ -36,10 +36,13 @@ struct InstanceRecord {
   bool from_checkpoint = false;  ///< loaded, not recomputed
   std::string message;           ///< failure reason when !success
   core::CoreMap map;             ///< valid when success
-  double step1_seconds = 0.0;
-  double step2_seconds = 0.0;
-  double step3_seconds = 0.0;
-  double wall_seconds = 0.0;
+  // Measured stage durations. These are the only nondeterministic fields
+  // of the record: they never enter the manifest or any reproduced table,
+  // only the timings.txt sidecar and throughput reporting.
+  double step1_seconds = 0.0;  // corelint: non-deterministic
+  double step2_seconds = 0.0;  // corelint: non-deterministic
+  double step3_seconds = 0.0;  // corelint: non-deterministic
+  double wall_seconds = 0.0;   // corelint: non-deterministic
   /// Workload-specific counters (e.g. "exact" = map matched ground
   /// truth). Keys must be identifier-like: no spaces, '=' or ';' (they
   /// round-trip through the checkpoint manifest).

@@ -23,7 +23,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 ThreadPool::~ThreadPool() {
   wait_idle();
   {
-    std::lock_guard<std::mutex> lock(idle_mutex_);
+    std::lock_guard lock(idle_mutex_);
     shutdown_ = true;
   }
   work_cv_.notify_all();
@@ -34,12 +34,12 @@ std::future<void> ThreadPool::enqueue(std::packaged_task<void()> task,
                                       WorkerDeque& target) {
   std::future<void> future = task.get_future();
   {
-    std::lock_guard<std::mutex> lock(idle_mutex_);
+    std::lock_guard lock(idle_mutex_);
     ++pending_;
     ++queued_;
   }
   {
-    std::lock_guard<std::mutex> lock(target.mutex);
+    std::lock_guard lock(target.mutex);
     target.tasks.push_back(std::move(task));
   }
   work_cv_.notify_one();
@@ -59,7 +59,7 @@ bool ThreadPool::try_pop(std::size_t self, std::packaged_task<void()>& out) {
   // 1. Own deque, oldest first: a sharded batch runs in submission order.
   {
     WorkerDeque& own = *deques_[self];
-    std::lock_guard<std::mutex> lock(own.mutex);
+    std::lock_guard lock(own.mutex);
     if (!own.tasks.empty()) {
       out = std::move(own.tasks.front());
       own.tasks.pop_front();
@@ -68,7 +68,7 @@ bool ThreadPool::try_pop(std::size_t self, std::packaged_task<void()>& out) {
   }
   // 2. Global overflow queue, FIFO.
   {
-    std::lock_guard<std::mutex> lock(overflow_.mutex);
+    std::lock_guard lock(overflow_.mutex);
     if (!overflow_.tasks.empty()) {
       out = std::move(overflow_.tasks.front());
       overflow_.tasks.pop_front();
@@ -78,7 +78,7 @@ bool ThreadPool::try_pop(std::size_t self, std::packaged_task<void()>& out) {
   // 3. Steal from a sibling's back — the work its owner would reach last.
   for (std::size_t hop = 1; hop < deques_.size(); ++hop) {
     WorkerDeque& victim = *deques_[(self + hop) % deques_.size()];
-    std::lock_guard<std::mutex> lock(victim.mutex);
+    std::lock_guard lock(victim.mutex);
     if (!victim.tasks.empty()) {
       out = std::move(victim.tasks.back());
       victim.tasks.pop_back();
@@ -94,19 +94,19 @@ void ThreadPool::worker_loop(std::size_t self) {
     std::packaged_task<void()> task;
     if (try_pop(self, task)) {
       {
-        std::lock_guard<std::mutex> lock(idle_mutex_);
+        std::lock_guard lock(idle_mutex_);
         --queued_;
       }
       task();  // packaged_task captures exceptions into the future
       bool idle = false;
       {
-        std::lock_guard<std::mutex> lock(idle_mutex_);
+        std::lock_guard lock(idle_mutex_);
         idle = --pending_ == 0;
       }
       if (idle) idle_cv_.notify_all();
       continue;
     }
-    std::unique_lock<std::mutex> lock(idle_mutex_);
+    std::unique_lock lock(idle_mutex_);
     // The destructor drains via wait_idle() before setting shutdown_, so
     // shutdown implies the queues are already empty.
     if (shutdown_) return;
@@ -116,7 +116,7 @@ void ThreadPool::worker_loop(std::size_t self) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(idle_mutex_);
+  std::unique_lock lock(idle_mutex_);
   idle_cv_.wait(lock, [this] { return pending_ == 0; });
 }
 

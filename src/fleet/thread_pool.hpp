@@ -23,6 +23,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/lockcheck.hpp"
+
 namespace corelocate::fleet {
 
 class ThreadPool {
@@ -52,8 +54,15 @@ class ThreadPool {
   static int current_worker() noexcept;
 
  private:
+  // Lock order (enforced by util::lockcheck in Debug builds): a deque
+  // mutex and the idle mutex are never nested — every critical section
+  // in this file takes exactly one of them. The distinct ranks make the
+  // checker abort the moment a future edit nests them.
+  using DequeMutex = util::CheckedMutex<util::lockcheck::kRankPoolDeque>;
+  using IdleMutex = util::CheckedMutex<util::lockcheck::kRankPoolIdle>;
+
   struct WorkerDeque {
-    std::mutex mutex;
+    DequeMutex mutex{"ThreadPool::WorkerDeque"};
     std::deque<std::packaged_task<void()>> tasks;
   };
 
@@ -64,11 +73,11 @@ class ThreadPool {
   std::vector<std::unique_ptr<WorkerDeque>> deques_;
   WorkerDeque overflow_;
 
-  std::mutex idle_mutex_;
-  std::condition_variable work_cv_;   ///< signalled on submit and shutdown
-  std::condition_variable idle_cv_;   ///< signalled when pending_ hits zero
-  std::size_t pending_ = 0;           ///< queued + running tasks
-  std::size_t queued_ = 0;            ///< queued, not yet popped
+  IdleMutex idle_mutex_{"ThreadPool::idle"};
+  std::condition_variable_any work_cv_;  ///< signalled on submit and shutdown
+  std::condition_variable_any idle_cv_;  ///< signalled when pending_ hits zero
+  std::size_t pending_ = 0;              ///< queued + running tasks
+  std::size_t queued_ = 0;               ///< queued, not yet popped
   bool shutdown_ = false;
 
   std::vector<std::thread> threads_;

@@ -1,0 +1,87 @@
+#include "util/lockcheck.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace corelocate::util::lockcheck {
+
+namespace {
+
+// Per-thread stack of held ranks. Fixed capacity: the rank table is tiny
+// and the rule (strictly increasing) bounds the depth by the number of
+// distinct ranks anyway.
+constexpr int kMaxDepth = 16;
+
+thread_local int t_held[kMaxDepth];
+thread_local int t_depth = 0;
+
+void default_handler(int rank, const char* name, int held_rank) {
+  std::fprintf(stderr,
+               "lockcheck: lock-order violation: acquiring rank %d (%s) while "
+               "holding rank %d; held lockset:",
+               rank, (name != nullptr && name[0] != '\0') ? name : "unnamed",
+               held_rank);
+  for (int i = 0; i < t_depth; ++i) std::fprintf(stderr, " %d", t_held[i]);
+  std::fprintf(stderr, "\n");
+  std::abort();
+}
+
+ViolationHandler g_handler = &default_handler;
+
+}  // namespace
+
+ViolationHandler set_violation_handler(ViolationHandler handler) {
+  ViolationHandler previous = g_handler;
+  g_handler = (handler != nullptr) ? handler : &default_handler;
+  return previous;
+}
+
+int top_rank() noexcept { return t_depth > 0 ? t_held[t_depth - 1] : -1; }
+
+bool would_violate(int rank) noexcept { return rank <= top_rank(); }
+
+void note_acquire(int rank, const char* name) {
+  if (would_violate(rank)) {
+    g_handler(rank, name, top_rank());
+    return;  // a throwing/test handler keeps the lockset unchanged
+  }
+  if (t_depth < kMaxDepth) t_held[t_depth] = rank;
+  ++t_depth;
+}
+
+void note_release(int rank) noexcept {
+  // Locks release in reverse acquisition order everywhere in this
+  // codebase (scoped guards), so popping the top entry is exact; if an
+  // out-of-order unlock ever appears, scan for the rank instead.
+  if (t_depth <= 0) return;
+  if (t_depth <= kMaxDepth && t_held[t_depth - 1] == rank) {
+    --t_depth;
+    return;
+  }
+  for (int i = (t_depth < kMaxDepth ? t_depth : kMaxDepth) - 1; i >= 0; --i) {
+    if (t_held[i] == rank) {
+      for (int j = i; j + 1 < t_depth && j + 1 < kMaxDepth; ++j) {
+        t_held[j] = t_held[j + 1];
+      }
+      --t_depth;
+      return;
+    }
+  }
+}
+
+}  // namespace corelocate::util::lockcheck
+
+namespace corelocate::util {
+
+ReentryGuard::Scope::Scope(ReentryGuard& guard, const char* site) : guard_(guard) {
+  if (guard_.busy_.exchange(1, std::memory_order_relaxed) != 0) {
+    std::fprintf(stderr,
+                 "lockcheck: concurrent entry into single-owner region %s\n",
+                 (site != nullptr && site[0] != '\0') ? site : "unnamed");
+    std::abort();
+  }
+}
+
+ReentryGuard::Scope::~Scope() { guard_.busy_.store(0, std::memory_order_relaxed); }
+
+}  // namespace corelocate::util

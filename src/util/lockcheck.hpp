@@ -1,0 +1,139 @@
+#pragma once
+// Runtime lockset checker for the fleet engine's determinism contract.
+//
+// Every mutex in the fleet layer carries a static *rank* (an integer from
+// the table below). A thread may only acquire a mutex whose rank is
+// strictly greater than every rank it already holds; acquiring downward
+// (or sideways) is a lock-order inversion that could deadlock under a
+// different schedule, and re-acquiring a held rank is a self-deadlock.
+// The checker maintains a per-thread lockset and reports violations the
+// moment the acquisition is attempted — deterministically, on the first
+// run that merely *tries* the bad order, unlike TSan which needs the
+// racing schedule to actually happen.
+//
+// The bookkeeping is compiled in only when CORELOCATE_LOCK_CHECK is
+// defined (CMake turns it on for Debug builds by default); otherwise
+// CheckedMutex is a zero-overhead shim over std::mutex. The checker core
+// (note_acquire / note_release) is always built so the unit tests cover
+// the rank logic in every configuration.
+//
+// Rank table (gaps left for future layers):
+//   10  fleet::ThreadPool worker deques + overflow queue
+//   20  fleet::ThreadPool idle/pending accounting
+//   30  fleet::Checkpoint manifest append
+//   40  fleet::ProgressMeter accumulator
+//
+// Violations call the installed handler; the default prints the held
+// lockset to stderr and aborts. Tests install a throwing handler.
+
+#include <atomic>
+#include <mutex>
+
+namespace corelocate::util::lockcheck {
+
+inline constexpr int kRankPoolDeque = 10;
+inline constexpr int kRankPoolIdle = 20;
+inline constexpr int kRankCheckpoint = 30;
+inline constexpr int kRankProgress = 40;
+
+/// Called with (attempted rank, attempted name, highest held rank).
+using ViolationHandler = void (*)(int rank, const char* name, int held_rank);
+
+/// Installs a violation handler, returning the previous one. Passing
+/// nullptr restores the default abort handler. Not thread-safe; install
+/// before spawning threads (tests only).
+ViolationHandler set_violation_handler(ViolationHandler handler);
+
+/// Records that the calling thread is about to acquire `rank`. Reports a
+/// violation when `rank` is not strictly above every held rank.
+void note_acquire(int rank, const char* name);
+
+/// Records that the calling thread released `rank` (most-recent holding).
+void note_release(int rank) noexcept;
+
+/// Highest rank the calling thread currently holds, or -1.
+int top_rank() noexcept;
+
+/// True when acquiring `rank` now would violate the order (test helper).
+bool would_violate(int rank) noexcept;
+
+}  // namespace corelocate::util::lockcheck
+
+namespace corelocate::util {
+
+/// std::mutex with a lock-order rank, checked when CORELOCATE_LOCK_CHECK
+/// is on. Satisfies BasicLockable + Lockable; pair with
+/// std::condition_variable_any where a condition variable is needed.
+template <int Rank>
+class CheckedMutex {
+ public:
+  explicit CheckedMutex(const char* name = "") noexcept : name_(name) {}
+
+  CheckedMutex(const CheckedMutex&) = delete;
+  CheckedMutex& operator=(const CheckedMutex&) = delete;
+
+  static constexpr int rank() noexcept { return Rank; }
+  const char* name() const noexcept { return name_; }
+
+  void lock() {
+#if defined(CORELOCATE_LOCK_CHECK)
+    lockcheck::note_acquire(Rank, name_);
+#endif
+    mutex_.lock();
+  }
+
+  bool try_lock() {
+    const bool locked = mutex_.try_lock();
+#if defined(CORELOCATE_LOCK_CHECK)
+    // A failed try_lock is not an acquisition and never deadlocks, so
+    // only a success enters the lockset.
+    if (locked) lockcheck::note_acquire(Rank, name_);
+#endif
+    return locked;
+  }
+
+  void unlock() {
+    mutex_.unlock();
+#if defined(CORELOCATE_LOCK_CHECK)
+    lockcheck::note_release(Rank);
+#endif
+  }
+
+ private:
+  std::mutex mutex_;
+  const char* name_;
+};
+
+/// Guards a structure documented as "one thread at a time" without a
+/// mutex (e.g. fleet::Aggregator's per-worker buckets, where exclusion
+/// comes from the pool's worker ids). A Scope reports a violation when
+/// two threads are inside the same guarded region concurrently — the
+/// misuse TSan would need the racing write pair to catch. The flag uses
+/// relaxed atomics on purpose: the guard must not add synchronization,
+/// or it would order the very accesses it exists to catch racing.
+class ReentryGuard {
+ public:
+  ReentryGuard() noexcept = default;
+  // The busy flag is tied to this object's storage, not to the value of
+  // the structure it guards: copying/assigning the guarded structure
+  // must not transfer (or clobber) an in-flight entry.
+  ReentryGuard(const ReentryGuard&) noexcept {}
+  ReentryGuard& operator=(const ReentryGuard&) noexcept { return *this; }
+
+  class Scope {
+   public:
+    Scope(ReentryGuard& guard, const char* site);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    ReentryGuard& guard_;
+  };
+
+ private:
+  friend class Scope;
+  std::atomic<int> busy_{0};
+};
+
+}  // namespace corelocate::util

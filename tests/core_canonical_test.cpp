@@ -76,15 +76,15 @@ INSTANTIATE_TEST_SUITE_P(
                       CanonicalCase{sim::XeonModel::k8175M, 2},
                       CanonicalCase{sim::XeonModel::k8259CL, 3},
                       CanonicalCase{sim::XeonModel::k6354, 4}),
-    [](const auto& info) {
+    [](const auto& suite_info) {
       const char* name = "unknown";
-      switch (info.param.model) {
+      switch (suite_info.param.model) {
         case sim::XeonModel::k8124M: name = "m8124M"; break;
         case sim::XeonModel::k8175M: name = "m8175M"; break;
         case sim::XeonModel::k8259CL: name = "m8259CL"; break;
         case sim::XeonModel::k6354: name = "m6354"; break;
       }
-      return std::string(name) + "_s" + std::to_string(info.param.seed);
+      return std::string(name) + "_s" + std::to_string(suite_info.param.seed);
     });
 
 }  // namespace

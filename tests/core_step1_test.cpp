@@ -94,8 +94,8 @@ TEST_P(ChaMapperPerModel, RecoversTheTableIMapping) {
 INSTANTIATE_TEST_SUITE_P(Models, ChaMapperPerModel,
                          ::testing::Values(sim::XeonModel::k8124M,
                                            sim::XeonModel::k8259CL),
-                         [](const auto& info) {
-                           return info.param == sim::XeonModel::k8124M ? "m8124M"
+                         [](const auto& suite_info) {
+                           return suite_info.param == sim::XeonModel::k8124M ? "m8124M"
                                                                        : "m8259CL";
                          });
 

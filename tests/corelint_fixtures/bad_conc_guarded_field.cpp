@@ -1,0 +1,20 @@
+// Fixture: unguarded mutable fields of a fleet-layer class must fire
+// conc-guarded-field. The scope is src/fleet/ headers only.
+// corelint: pretend-path(src/fleet/widget.hpp)
+#include <string>
+#include <vector>
+
+namespace fleet {
+
+class WidgetState {
+ public:
+  void bump();
+
+ private:
+  int count_ = 0;                   // corelint-expect: conc-guarded-field
+  std::vector<double> samples_;     // corelint-expect: conc-guarded-field
+  const int id_ = 7;                // immutable: exempt
+  std::string label_;  // corelint: owned-by(pool worker `worker`)
+};
+
+}  // namespace fleet

@@ -1,0 +1,17 @@
+// Fixture: implicit [&] captures on pool submissions must fire
+// conc-ref-capture.
+struct Pool {
+  template <typename F>
+  void submit(F&& f);
+  template <typename F>
+  void submit_on(int worker, F&& f);
+};
+
+void schedule(Pool& pool) {
+  int counter = 0;
+  pool.submit([&] { counter++; });          // corelint-expect: conc-ref-capture
+  pool.submit_on(0, [&]() { counter--; });  // corelint-expect: conc-ref-capture
+  pool.submit(
+      [&] { counter += 2; });               // corelint-expect: conc-ref-capture
+  (void)counter;
+}

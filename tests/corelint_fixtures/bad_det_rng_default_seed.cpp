@@ -1,0 +1,15 @@
+// Fixture: default-seeded util::Rng must fire det-rng-default-seed.
+namespace util {
+class Rng {
+ public:
+  explicit Rng(unsigned long long seed = 0);
+  unsigned long long operator()();
+};
+}  // namespace util
+
+unsigned long long hidden_seed() {
+  util::Rng rng;                      // corelint-expect: det-rng-default-seed
+  util::Rng braced{};                 // corelint-expect: det-rng-default-seed
+  const auto draw = util::Rng()();    // corelint-expect: det-rng-default-seed
+  return rng() + braced() + draw;
+}

@@ -1,0 +1,13 @@
+// Fixture: <random> engines and distributions must fire det-std-random.
+#include <algorithm>
+#include <random>
+#include <vector>
+
+int stdlib_randomness(std::vector<int>& values) {
+  std::mt19937 engine(42);                         // corelint-expect: det-std-random
+  std::uniform_int_distribution<int> dist(0, 9);   // corelint-expect: det-std-random
+  std::normal_distribution<double> noise(0, 1);    // corelint-expect: det-std-random
+  std::shuffle(values.begin(), values.end(), engine);  // corelint-expect: det-std-random
+  (void)noise;
+  return dist(engine);
+}

@@ -1,0 +1,27 @@
+// Fixture: hash-order iteration feeding a result sink must fire
+// det-unordered-iter.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+struct TablePrinter {
+  void add_row(const std::string& a, double b);
+};
+
+void emit_scores(TablePrinter& table) {
+  std::unordered_map<std::string, double> scores;
+  scores["a"] = 1.0;
+  for (const auto& kv : scores) {     // corelint-expect: det-unordered-iter
+    table.add_row(kv.first, kv.second);
+  }
+}
+
+double emit_sum(TablePrinter& table) {
+  std::unordered_set<int> seen;
+  double total = 0;
+  for (auto it = seen.begin(); it != seen.end(); ++it) {  // corelint-expect: det-unordered-iter
+    total += *it;
+  }
+  table.add_row("total", total);
+  return total;
+}

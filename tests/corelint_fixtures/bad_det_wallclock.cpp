@@ -1,0 +1,23 @@
+// Fixture: every ambient time/entropy source must fire det-wallclock.
+// Not compiled — scanned by `corelint --selftest`.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+double ambient_entropy() {
+  std::random_device device;                               // corelint-expect: det-wallclock
+  const auto wall = std::chrono::system_clock::now();      // corelint-expect: det-wallclock
+  const auto hires = std::chrono::high_resolution_clock::now();  // corelint-expect: det-wallclock
+  const auto mono = std::chrono::steady_clock::now();      // corelint-expect: det-wallclock
+  const auto stamp = time(nullptr);                        // corelint-expect: det-wallclock
+  const auto ticks = std::clock();                         // corelint-expect: det-wallclock
+  const auto draw = std::rand();                           // corelint-expect: det-wallclock
+  srand(42);                                               // corelint-expect: det-wallclock
+  (void)wall;
+  (void)hires;
+  (void)mono;
+  (void)stamp;
+  (void)ticks;
+  return static_cast<double>(device() + draw);
+}

@@ -1,0 +1,11 @@
+// Fixture: naked `new` must fire hyg-naked-new.
+struct Node {
+  int value = 0;
+};
+
+Node* build() {
+  Node* node = new Node{};        // corelint-expect: hyg-naked-new
+  double* scratch = new double[8];  // corelint-expect: hyg-naked-new
+  delete[] scratch;
+  return node;
+}

@@ -1,0 +1,9 @@
+// Fixture: narrowing casts in ILP solver hot paths must fire
+// hyg-narrowing-cast. The scope is src/ilp/ only.
+// corelint: pretend-path(src/ilp/fixture.cpp)
+double pivot_ratio(double value, double scale) {
+  const int bucket = (int)value;               // corelint-expect: hyg-narrowing-cast
+  const double coarse = (float)scale;          // corelint-expect: hyg-narrowing-cast
+  const float lossy = static_cast<float>(value);  // corelint-expect: hyg-narrowing-cast
+  return bucket + coarse + lossy;
+}

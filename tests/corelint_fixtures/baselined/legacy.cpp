@@ -1,0 +1,18 @@
+// Fixture for the baseline workflow: this file has real findings that
+// are excused by baseline.txt next to it (see the corelint_baseline
+// ctest entry). Fixing a finding means deleting its baseline line.
+#include <cstdlib>
+
+struct Legacy {
+  int* buffer = nullptr;
+};
+
+Legacy* legacy_alloc() {
+  Legacy* obj = new Legacy{};
+  obj->buffer = new int[4];
+  return obj;
+}
+
+int legacy_entropy() {
+  return std::rand();
+}

@@ -1,0 +1,27 @@
+// Fixture: fleet classes with an explicit synchronization story, and
+// plain value structs, must NOT fire conc-guarded-field.
+// corelint: pretend-path(src/fleet/guarded.hpp)
+#include <mutex>
+#include <vector>
+
+namespace fleet {
+
+// A sync member (mutex/atomic/condition_variable) marks the class as
+// having a synchronization story; field-level checking is waived.
+class GuardedCounter {
+ public:
+  void bump();
+
+ private:
+  std::mutex mutex_;
+  int count_ = 0;
+  std::vector<double> samples_;
+};
+
+// `struct` declares a passive value type; it is exempt by design.
+struct PlainRecord {
+  int index = 0;
+  double metric = 0.0;
+};
+
+}  // namespace fleet

@@ -1,0 +1,13 @@
+// Fixture: named captures on pool submissions are auditable and fine.
+struct Pool {
+  template <typename F>
+  void submit(F&& f);
+};
+
+void schedule(Pool& pool) {
+  int counter = 0;
+  pool.submit([&counter] { counter++; });
+  pool.submit([counter] { (void)counter; });
+  pool.submit([]() {});
+  (void)counter;
+}

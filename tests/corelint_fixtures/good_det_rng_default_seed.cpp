@@ -1,0 +1,24 @@
+// Fixture: explicitly-seeded util::Rng and constructor-seeded member
+// declarations must NOT fire det-rng-default-seed.
+namespace util {
+class Rng {
+ public:
+  explicit Rng(unsigned long long seed = 0);
+  unsigned long long operator()();
+};
+}  // namespace util
+
+class Jittered {
+ public:
+  explicit Jittered(unsigned long long seed) : rng_(seed) {}
+  unsigned long long draw() { return rng_(); }
+
+ private:
+  util::Rng rng_;  // member declaration: seeded in the init list above
+};
+
+unsigned long long seeded(util::Rng& shared) {
+  util::Rng rng(0x5eed);
+  util::Rng derived{shared() ^ 0x700150EEDULL};
+  return rng() + derived();
+}

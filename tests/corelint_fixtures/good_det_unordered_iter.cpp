@@ -1,0 +1,29 @@
+// Fixture: unordered iteration is fine when nothing flows into a result
+// sink, and ordered containers are always fine.
+#include <map>
+#include <string>
+#include <unordered_map>
+
+struct TablePrinter {
+  void add_row(const std::string& a, double b);
+};
+
+// Pure reduction: hash order cannot leak into the (commutative) sum.
+double sum_scores() {
+  std::unordered_map<std::string, double> scores_by_name;
+  scores_by_name["a"] = 1.0;
+  double total = 0;
+  for (const auto& kv : scores_by_name) {
+    total += kv.second;
+  }
+  return total;
+}
+
+// Ordered map iteration into a sink is deterministic.
+void emit_sorted(TablePrinter& table) {
+  std::map<std::string, double> ranks;
+  ranks["a"] = 1.0;
+  for (const auto& kv : ranks) {
+    table.add_row(kv.first, kv.second);
+  }
+}

@@ -1,0 +1,17 @@
+// Fixture: legitimate uses that must NOT fire det-wallclock.
+// corelint: pretend-path(src/fleet/progress.cpp)
+#include <chrono>
+
+struct Model {
+  double time_ = 0.0;
+  // A member *named* time is a simulation clock, not wall-clock.
+  double time() const { return time_; }
+};
+
+double allowed_time_sources(const Model& model) {
+  // Whole file allowlisted via the progress.* pretend-path.
+  const auto t0 = std::chrono::steady_clock::now();
+  const double sim_now = model.time();
+  (void)t0;
+  return sim_now;
+}

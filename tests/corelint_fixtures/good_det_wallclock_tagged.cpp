@@ -1,0 +1,19 @@
+// Fixture: outside the allowlist, wall-clock is fine when the line is
+// explicitly tagged as non-deterministic timing metadata, and member
+// accesses / declarations of `time` are never ambient sources.
+#include <chrono>
+
+struct Model {
+  double time_ = 0.0;
+  double time() const { return time_; }
+};
+
+double tagged_timing(const Model* model) {
+  const auto start = std::chrono::steady_clock::now();  // corelint: non-deterministic
+  // corelint: non-deterministic
+  const auto also_ok = std::chrono::steady_clock::now();
+  const double sim_now = model->time();
+  (void)start;
+  (void)also_ok;
+  return sim_now;
+}

@@ -1,0 +1,19 @@
+// Fixture: owned allocations and `new`-like identifiers must NOT fire
+// hyg-naked-new.
+#include <memory>
+#include <vector>
+
+struct Node {
+  int value = 0;
+};
+
+std::unique_ptr<Node> build() {
+  auto node = std::make_unique<Node>();
+  std::vector<double> scratch(8);
+  // Identifiers containing "new" are not the keyword.
+  int newline_count = 0;
+  int renewals = newline_count;
+  (void)renewals;
+  (void)scratch;
+  return node;
+}

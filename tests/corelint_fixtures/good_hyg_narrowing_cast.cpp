@@ -1,0 +1,11 @@
+// Fixture: width-preserving explicit casts in ILP code must NOT fire
+// hyg-narrowing-cast.
+// corelint: pretend-path(src/ilp/fixture_ok.cpp)
+#include <cstddef>
+
+double safe_casts(std::size_t n, int k) {
+  const double wide = static_cast<double>(n);
+  const std::size_t index = static_cast<std::size_t>(k);
+  const int narrowed_with_intent = static_cast<int>(wide);  // justified at call site
+  return wide + static_cast<double>(index) + narrowed_with_intent;
+}

@@ -1,0 +1,15 @@
+// Fixture: suppression syntax — inline disable, stand-alone disable,
+// and file-wide disable. No findings expected anywhere in this file.
+// corelint: disable-file(hyg-naked-new)
+#include <cstdlib>
+
+int* allocate() {
+  return new int(5);  // covered by the file-wide disable above
+}
+
+int suppressed_calls() {
+  const int a = std::rand();  // corelint: disable(det-wallclock)
+  // corelint: disable(det-wallclock)
+  srand(7);
+  return a;
+}

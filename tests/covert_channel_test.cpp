@@ -77,7 +77,8 @@ TEST(Decoder, DecodesCleanSyntheticTrace) {
   Trace trace;
   const double bit_period = 1.0;
   const double start = 2.0;
-  for (double t = 0.0; t < start + bit_period * frame.size() + 1.0; t += 0.05) {
+  const double t_end = start + bit_period * static_cast<double>(frame.size()) + 1.0;
+  for (double t = 0.0; t < t_end; t += 0.05) {
     double temp = 30.0;
     if (t >= start) {
       const auto half = static_cast<std::size_t>((t - start) / (bit_period / 2));
@@ -99,7 +100,9 @@ TEST(Decoder, FindsShiftedPhase) {
   Trace trace;
   const double bit_period = 1.0;
   const double true_start = 2.65;  // receiver guesses 2.0
-  for (double t = 0.0; t < true_start + bit_period * frame.size() + 1.0; t += 0.05) {
+  const double t_end =
+      true_start + bit_period * static_cast<double>(frame.size()) + 1.0;
+  for (double t = 0.0; t < t_end; t += 0.05) {
     double temp = 30.0;
     if (t >= true_start) {
       const auto half = static_cast<std::size_t>((t - true_start) / (bit_period / 2));
@@ -188,7 +191,8 @@ TEST(Decoder, ResistsSlowBaselineDrift) {
   Trace trace;
   const double bit_period = 1.0;
   const double start = 2.0;
-  for (double t = 0.0; t < start + bit_period * frame.size() + 1.0; t += 0.05) {
+  const double t_end = start + bit_period * static_cast<double>(frame.size()) + 1.0;
+  for (double t = 0.0; t < t_end; t += 0.05) {
     double temp = 30.0 + 0.2 * t;  // ~6 degC of drift over the frame
     if (t >= start) {
       const auto half = static_cast<std::size_t>((t - start) / (bit_period / 2));
@@ -213,7 +217,8 @@ TEST(Decoder, WeakSignalBelowQuantizationFails) {
   const double bit_period = 1.0;
   const double start = 2.0;
   util::Rng noise(5);
-  for (double t = 0.0; t < start + bit_period * frame.size() + 1.0; t += 0.05) {
+  const double t_end = start + bit_period * static_cast<double>(frame.size()) + 1.0;
+  for (double t = 0.0; t < t_end; t += 0.05) {
     double temp = 35.2;
     if (t >= start) {
       const auto half = static_cast<std::size_t>((t - start) / (bit_period / 2));

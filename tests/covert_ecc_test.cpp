@@ -32,8 +32,8 @@ TEST_P(EccRoundTrip, CleanChannelIsLossless) {
 INSTANTIATE_TEST_SUITE_P(Schemes, EccRoundTrip,
                          ::testing::Values(EccScheme::kNone, EccScheme::kRepetition3,
                                            EccScheme::kHamming74),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& suite_info) {
+                           switch (suite_info.param) {
                              case EccScheme::kNone: return "none";
                              case EccScheme::kRepetition3: return "rep3";
                              case EccScheme::kHamming74: return "hamming74";

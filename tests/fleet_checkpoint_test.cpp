@@ -4,6 +4,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "fleet/survey.hpp"
 
@@ -143,6 +144,110 @@ TEST_F(FleetCheckpointTest, TornManifestLineIsDroppedNotFatal) {
                         sim::InstanceFactory::kDefaultFleetSeed);
   const std::vector<InstanceRecord> loaded = checkpoint.load_completed();
   EXPECT_EQ(loaded.size(), 3u);  // torn line ignored
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST_F(FleetCheckpointTest, ManifestIsByteIdenticalAcrossFreshRuns) {
+  // Two independent serial runs of the same survey must write the same
+  // manifest and map store byte for byte: nothing wall-clock-dependent
+  // may enter either file.
+  const fs::path dir_a = dir_ / "a";
+  const fs::path dir_b = dir_ / "b";
+  SurveyOptions options = base_options(5);
+  options.jobs = 1;
+  options.checkpoint_dir = dir_a.string();
+  run_survey(sim::XeonModel::k8124M, options);
+  options.checkpoint_dir = dir_b.string();
+  run_survey(sim::XeonModel::k8124M, options);
+
+  EXPECT_EQ(read_file((dir_a / "manifest.txt").string()),
+            read_file((dir_b / "manifest.txt").string()));
+  EXPECT_EQ(read_file((dir_a / "maps.db").string()),
+            read_file((dir_b / "maps.db").string()));
+}
+
+TEST_F(FleetCheckpointTest, ResumedRunMatchesFreshRunByteForByte) {
+  // A run interrupted at 4/9 and resumed must leave exactly the files an
+  // uninterrupted run leaves — resuming may not re-serialize, reorder,
+  // or re-time anything that lands in checksummed state.
+  const fs::path fresh_dir = dir_ / "fresh";
+  const fs::path resumed_dir = dir_ / "resumed";
+
+  SurveyOptions fresh = base_options(9);
+  fresh.jobs = 1;
+  fresh.checkpoint_dir = fresh_dir.string();
+  run_survey(sim::XeonModel::k8259CL, fresh);
+
+  SurveyOptions partial = base_options(4);
+  partial.jobs = 1;
+  partial.checkpoint_dir = resumed_dir.string();
+  run_survey(sim::XeonModel::k8259CL, partial);
+  SurveyOptions rest = base_options(9);
+  rest.jobs = 1;
+  rest.checkpoint_dir = resumed_dir.string();
+  rest.resume = true;
+  const SurveyResult resumed = run_survey(sim::XeonModel::k8259CL, rest);
+  EXPECT_EQ(resumed.resumed, 4);
+
+  EXPECT_EQ(read_file((fresh_dir / "manifest.txt").string()),
+            read_file((resumed_dir / "manifest.txt").string()));
+  EXPECT_EQ(read_file((fresh_dir / "maps.db").string()),
+            read_file((resumed_dir / "maps.db").string()));
+}
+
+TEST_F(FleetCheckpointTest, TimingsLiveInSidecarNotManifest) {
+  SurveyOptions options = base_options(3);
+  options.checkpoint_dir = dir();
+  const SurveyResult survey = run_survey(sim::XeonModel::k8124M, options);
+  ASSERT_EQ(survey.completed, 3);
+
+  // The manifest must not contain fractional-seconds fields; the sidecar
+  // must hold one timing line per completed instance.
+  const std::string manifest = read_file(dir() + "/manifest.txt");
+  EXPECT_EQ(manifest.find("wall"), std::string::npos);
+  const std::string timings = read_file(dir() + "/timings.txt");
+  int timing_lines = 0;
+  std::istringstream tin(timings);
+  for (std::string line; std::getline(tin, line);) {
+    if (line.rfind("inst ", 0) == 0) ++timing_lines;
+  }
+  EXPECT_EQ(timing_lines, 3);
+
+  // Deleting the sidecar only zeroes the restored timings; the records
+  // themselves survive untouched.
+  fs::remove(dir() + "/timings.txt");
+  Checkpoint checkpoint(dir(), sim::XeonModel::k8124M, 0xC0FFEEULL,
+                        sim::InstanceFactory::kDefaultFleetSeed);
+  const std::vector<InstanceRecord> loaded = checkpoint.load_completed();
+  ASSERT_EQ(loaded.size(), 3u);
+  for (const InstanceRecord& record : loaded) {
+    EXPECT_EQ(record.wall_seconds, 0.0);
+    EXPECT_TRUE(record.from_checkpoint);
+  }
+}
+
+TEST_F(FleetCheckpointTest, V1ManifestGetsATargetedError) {
+  fs::create_directories(dir_);
+  {
+    std::ofstream out(dir() + "/manifest.txt");
+    out << "fleet-manifest v1\n";
+  }
+  Checkpoint checkpoint(dir(), sim::XeonModel::k8124M, 0xC0FFEEULL,
+                        sim::InstanceFactory::kDefaultFleetSeed);
+  try {
+    checkpoint.load_completed();
+    FAIL() << "expected a v1-manifest error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("v1 manifest"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST_F(FleetCheckpointTest, ResumeWithoutDirectoryIsAnError) {

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "fleet/aggregator.hpp"
 
 namespace corelocate::fleet {
@@ -75,6 +77,33 @@ TEST(FleetDeterminism, RepeatedParallelRunsAgree) {
   const SurveyResult first = run_survey(sim::XeonModel::k8259CL, options_with_jobs(8));
   const SurveyResult second = run_survey(sim::XeonModel::k8259CL, options_with_jobs(8));
   expect_identical(first, second);
+}
+
+TEST(FleetDeterminism, ResumedParallelSurveyMatchesSerialReference) {
+  // Interrupt a parallel survey at 12/32, resume it in parallel, and
+  // demand the result still equals the uninterrupted serial reference —
+  // scheduling must not leak through the checkpoint cycle either.
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("fleet_resume_det_" +
+       std::to_string(::testing::UnitTest::GetInstance()->random_seed()));
+  fs::remove_all(dir);
+
+  SurveyOptions partial = options_with_jobs(8);
+  partial.instances = 12;
+  partial.checkpoint_dir = dir.string();
+  run_survey(sim::XeonModel::k8259CL, partial);
+
+  SurveyOptions rest = options_with_jobs(8);
+  rest.checkpoint_dir = dir.string();
+  rest.resume = true;
+  const SurveyResult resumed = run_survey(sim::XeonModel::k8259CL, rest);
+  EXPECT_EQ(resumed.resumed, 12);
+
+  const SurveyResult serial = run_survey(sim::XeonModel::k8259CL, options_with_jobs(1));
+  expect_identical(serial, resumed);
+  fs::remove_all(dir);
 }
 
 TEST(FleetDeterminism, SeedDerivesFromIndexOnly) {

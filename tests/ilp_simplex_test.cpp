@@ -181,8 +181,8 @@ TEST_P(SimplexRandom, OptimalAndFeasible) {
     // Bounded box keeps the problem bounded.
     for (int j = 0; j < n; ++j) {
       lp.lower[static_cast<std::size_t>(j)] = 0.0;
-      lp.upper[static_cast<std::size_t>(j)] = rng.range(2, 10);
-      lp.objective[static_cast<std::size_t>(j)] = rng.range(-5, 5);
+      lp.upper[static_cast<std::size_t>(j)] = static_cast<double>(rng.range(2, 10));
+      lp.objective[static_cast<std::size_t>(j)] = static_cast<double>(rng.range(-5, 5));
     }
     // Seed point inside the box; constraints built to keep it feasible.
     std::vector<double> seed(static_cast<std::size_t>(n));
@@ -195,7 +195,7 @@ TEST_P(SimplexRandom, OptimalAndFeasible) {
       double lhs = 0.0;
       for (int j = 0; j < n; ++j) {
         if (rng.chance(0.6)) {
-          const double coef = rng.range(-4, 4);
+          const double coef = static_cast<double>(rng.range(-4, 4));
           if (coef != 0.0) {
             row.terms.push_back({j, coef});
             lhs += coef * seed[static_cast<std::size_t>(j)];

@@ -94,8 +94,8 @@ TEST_P(FactoryPerModel, InstanceInvariants) {
 INSTANTIATE_TEST_SUITE_P(Models, FactoryPerModel,
                          ::testing::Values(XeonModel::k8124M, XeonModel::k8175M,
                                            XeonModel::k8259CL, XeonModel::k6354),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& suite_info) {
+                           switch (suite_info.param) {
                              case XeonModel::k8124M: return "m8124M";
                              case XeonModel::k8175M: return "m8175M";
                              case XeonModel::k8259CL: return "m8259CL";

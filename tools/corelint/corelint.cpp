@@ -1,0 +1,255 @@
+// corelint — the corelocate repo linter (see docs/ANALYSIS.md).
+//
+// Usage:
+//   corelint [options] <file|dir>...      lint files / trees
+//   corelint --selftest <dir>             check fixture expectations
+//
+// Options:
+//   --baseline FILE        suppress findings recorded in FILE
+//   --write-baseline FILE  write current findings to FILE and exit 0
+//   --list-rules           print the rule names and exit
+//
+// Exit codes: 0 clean, 1 findings (or failed selftest), 2 usage/IO error.
+//
+// Baseline entries key on (rule, path tail, squeezed line text) rather
+// than line numbers, so unrelated edits above a baselined finding do not
+// invalidate it.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+#include "scanner.hpp"
+
+namespace corelint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool lintable(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h";
+}
+
+std::vector<std::string> collect_files(const std::vector<std::string>& args) {
+  std::vector<std::string> files;
+  for (const std::string& arg : args) {
+    if (fs::is_directory(arg)) {
+      for (const auto& entry : fs::recursive_directory_iterator(arg)) {
+        if (entry.is_regular_file() && lintable(entry.path())) {
+          files.push_back(entry.path().string());
+        }
+      }
+    } else if (fs::is_regular_file(arg)) {
+      files.push_back(arg);
+    } else {
+      throw std::runtime_error("corelint: no such file or directory: " + arg);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+/// Path tail used in reports and baseline keys: the part starting at the
+/// last occurrence of a repo-root marker, so absolute build paths and
+/// checkouts in different locations agree.
+std::string path_tail(const std::string& path) {
+  static const char* kMarkers[] = {"src/", "bench/", "examples/", "tests/", "tools/"};
+  std::size_t best = std::string::npos;
+  for (const char* marker : kMarkers) {
+    const std::size_t pos = path.rfind(marker);
+    if (pos != std::string::npos && (pos == 0 || path[pos - 1] == '/')) {
+      if (best == std::string::npos || pos < best) best = pos;
+    }
+  }
+  return best == std::string::npos ? path : path.substr(best);
+}
+
+/// Collapses runs of whitespace so formatting churn keeps baseline keys
+/// stable.
+std::string squeeze(const std::string& text) {
+  std::string out;
+  bool in_space = true;
+  for (char c : text) {
+    if (c == ' ' || c == '\t') {
+      if (!in_space) out += ' ';
+      in_space = true;
+    } else {
+      out += c;
+      in_space = false;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::string baseline_key(const Finding& finding) {
+  return finding.rule + "|" + path_tail(finding.path) + "|" + squeeze(finding.code);
+}
+
+std::multiset<std::string> load_baseline(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("corelint: cannot open baseline: " + path);
+  std::multiset<std::string> entries;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    entries.insert(line);
+  }
+  return entries;
+}
+
+int run_lint(const std::vector<std::string>& paths, const std::string& baseline_path,
+             const std::string& write_baseline_path) {
+  std::vector<Finding> findings;
+  for (const std::string& path : collect_files(paths)) {
+    const SourceFile file = scan_file(path);
+    std::vector<Finding> file_findings = run_rules(file);
+    findings.insert(findings.end(), file_findings.begin(), file_findings.end());
+  }
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path);
+    out << "# corelint baseline — suppressed pre-existing findings.\n"
+        << "# Each line: rule|path tail|whitespace-squeezed source line.\n"
+        << "# Fix the finding and delete its line; never add new entries\n"
+        << "# for new code.\n";
+    for (const Finding& finding : findings) out << baseline_key(finding) << '\n';
+    std::cerr << "corelint: wrote " << findings.size() << " baseline entr"
+              << (findings.size() == 1 ? "y" : "ies") << " to "
+              << write_baseline_path << '\n';
+    return 0;
+  }
+
+  std::multiset<std::string> baseline;
+  if (!baseline_path.empty()) baseline = load_baseline(baseline_path);
+
+  int fresh = 0;
+  for (const Finding& finding : findings) {
+    const auto it = baseline.find(baseline_key(finding));
+    if (it != baseline.end()) {
+      baseline.erase(it);  // each entry excuses one finding
+      continue;
+    }
+    ++fresh;
+    std::cout << path_tail(finding.path) << ':' << finding.line << ": ["
+              << finding.rule << "] " << finding.message << '\n';
+  }
+  if (fresh > 0) {
+    std::cout << "corelint: " << fresh << " finding" << (fresh == 1 ? "" : "s")
+              << " (see docs/ANALYSIS.md for the rules and suppression syntax)\n";
+    return 1;
+  }
+  return 0;
+}
+
+/// Selftest: every `corelint-expect: rule` comment must be matched by a
+/// finding of that rule on that line, and every finding must be
+/// expected. Scans only the files directly inside `dir`.
+int run_selftest(const std::string& dir) {
+  int failures = 0;
+  int expectations = 0;
+  int files = 0;
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() && lintable(entry.path())) {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const std::string& path : paths) {
+    ++files;
+    const SourceFile file = scan_file(path);
+    const std::vector<Finding> findings = run_rules(file);
+
+    std::map<std::pair<std::size_t, std::string>, int> found;
+    for (const Finding& finding : findings) {
+      ++found[{finding.line, finding.rule}];
+    }
+    for (std::size_t i = 0; i < file.lines.size(); ++i) {
+      for (const std::string& rule : file.lines[i].expected) {
+        ++expectations;
+        const auto it = found.find({i + 1, rule});
+        if (it == found.end() || it->second == 0) {
+          std::cout << "selftest: MISSING expected [" << rule << "] at "
+                    << path_tail(path) << ':' << i + 1 << '\n';
+          ++failures;
+        } else {
+          --it->second;
+        }
+      }
+    }
+    for (const auto& [key, count] : found) {
+      for (int c = 0; c < count; ++c) {
+        std::cout << "selftest: UNEXPECTED [" << key.second << "] at "
+                  << path_tail(path) << ':' << key.first << '\n';
+        ++failures;
+      }
+    }
+  }
+  if (failures > 0) {
+    std::cout << "selftest: " << failures << " mismatch" << (failures == 1 ? "" : "es")
+              << '\n';
+    return 1;
+  }
+  std::cout << "selftest ok: " << expectations << " expectations across " << files
+            << " files\n";
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::string selftest_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::runtime_error("corelint: " + arg + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--baseline") {
+      baseline_path = value();
+    } else if (arg == "--write-baseline") {
+      write_baseline_path = value();
+    } else if (arg == "--selftest") {
+      selftest_dir = value();
+    } else if (arg == "--list-rules") {
+      for (const std::string& rule : rule_names()) std::cout << rule << '\n';
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: corelint [--baseline FILE | --write-baseline FILE] "
+                   "<file|dir>...\n"
+                   "       corelint --selftest DIR\n"
+                   "       corelint --list-rules\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      throw std::runtime_error("corelint: unknown option " + arg);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  if (!selftest_dir.empty()) return run_selftest(selftest_dir);
+  if (paths.empty()) throw std::runtime_error("corelint: no inputs (try --help)");
+  return run_lint(paths, baseline_path, write_baseline_path);
+}
+
+}  // namespace
+}  // namespace corelint
+
+int main(int argc, char** argv) {
+  try {
+    return corelint::main(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    return 2;
+  }
+}

@@ -1,0 +1,371 @@
+#include "rules.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+
+namespace corelint {
+
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool path_contains(const std::string& path, const std::string& needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+void add_finding(std::vector<Finding>& findings, const SourceFile& file,
+                 std::size_t line, const std::string& rule,
+                 const std::string& message) {
+  if (file.suppressed(rule, line)) return;
+  findings.push_back(
+      Finding{file.path, line + 1, rule, message, file.lines[line].code});
+}
+
+// ---------------------------------------------------------------- det-wallclock
+
+void rule_det_wallclock(const SourceFile& file, std::vector<Finding>& findings) {
+  const std::string rule = "det-wallclock";
+  // The progress meter is the one component whose whole job is wall-clock.
+  if (path_contains(file.effective_path, "src/fleet/progress.")) return;
+
+  static const char* kTokens[] = {
+      "random_device", "system_clock",  "high_resolution_clock",
+      "steady_clock",  "gettimeofday",  "localtime",
+      "gmtime",        "srand",
+  };
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const SourceLine& line = file.lines[i];
+    if (line.non_deterministic) continue;
+    for (const char* token : kTokens) {
+      if (contains_token(line.code, token)) {
+        add_finding(findings, file, i, rule,
+                    std::string("ambient time/entropy source '") + token +
+                        "' — results must be a pure function of the seed; tag "
+                        "the line `corelint: non-deterministic` if it feeds "
+                        "only timing metadata");
+        break;
+      }
+    }
+    if (line.non_deterministic) continue;
+    // Calls of ::time(...) / std::time(...) / rand() / clock(): a bare
+    // token directly followed by '(' that is neither a member access nor
+    // a declaration of a same-named method (`double time() const`, which
+    // is preceded by its return type).
+    bool flagged = false;
+    for (const char* call : {"time", "clock", "rand"}) {
+      std::size_t pos = 0;
+      while (!flagged &&
+             (pos = find_token(line.code, call, pos)) != std::string::npos) {
+        const std::size_t end = pos + std::string(call).size();
+        const bool is_call = end < line.code.size() && line.code[end] == '(';
+        const bool member =
+            pos > 0 && (line.code[pos - 1] == '.' ||
+                        (pos > 1 && line.code[pos - 1] == '>' &&
+                         line.code[pos - 2] == '-'));
+        const bool qualified_other =
+            pos >= 2 && line.code.compare(pos - 2, 2, "::") == 0 &&
+            !(pos >= 5 && line.code.compare(pos - 5, 5, "std::") == 0);
+        std::size_t before = pos;
+        while (before > 0 && (line.code[before - 1] == ' ' ||
+                              line.code[before - 1] == '\t')) {
+          --before;
+        }
+        const bool declaration = before > 0 && ident_char(line.code[before - 1]) &&
+                                 pos > before;  // `type time(`: token after a type
+        if (is_call && !member && !qualified_other && !declaration) {
+          add_finding(findings, file, i, rule,
+                      std::string("call to '") + call +
+                          "()' — ambient time/randomness is outside the "
+                          "determinism contract");
+          flagged = true;
+        }
+        pos = end;
+      }
+      if (flagged) break;
+    }
+  }
+}
+
+// --------------------------------------------------------------- det-std-random
+
+void rule_det_std_random(const SourceFile& file, std::vector<Finding>& findings) {
+  const std::string rule = "det-std-random";
+  static const char* kTokens[] = {
+      "mt19937",      "mt19937_64",         "minstd_rand",
+      "minstd_rand0", "default_random_engine", "knuth_b",
+      "ranlux24",     "ranlux48",           "uniform_int_distribution",
+      "uniform_real_distribution",          "normal_distribution",
+      "bernoulli_distribution",             "discrete_distribution",
+      "poisson_distribution",               "exponential_distribution",
+  };
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const SourceLine& line = file.lines[i];
+    for (const char* token : kTokens) {
+      if (contains_token(line.code, token)) {
+        add_finding(findings, file, i, rule,
+                    std::string("'std::") + token +
+                        "' — <random> engines/distributions vary across "
+                        "standard libraries; use util::Rng");
+        break;
+      }
+    }
+    if (contains_token(line.code, "shuffle") &&
+        line.code.find("std::shuffle") != std::string::npos) {
+      add_finding(findings, file, i, rule,
+                  "'std::shuffle' ties results to the stdlib's algorithm; use "
+                  "util::shuffle (Fisher–Yates over util::Rng)");
+    }
+  }
+}
+
+// ----------------------------------------------------------- det-rng-default-seed
+
+void rule_det_rng_default_seed(const SourceFile& file,
+                               std::vector<Finding>& findings) {
+  const std::string rule = "det-rng-default-seed";
+  // The definition site itself (util/rng.hpp) declares the default.
+  if (path_contains(file.effective_path, "util/rng.hpp")) return;
+  static const std::regex kDefaultCtor(
+      R"(\bRng\s+\w+\s*(?:;|\{\s*\})|\bRng\s*\(\s*\)|\bRng\s*\{\s*\})");
+  // Class-member declarations (`util::Rng rng_;`) are seeded in the
+  // constructor init list, so the declaration never consumes the default
+  // seed. Whether the init list actually seeds it is beyond this lint.
+  auto is_member_decl = [&](std::size_t line) {
+    return std::any_of(file.classes.begin(), file.classes.end(),
+                       [&](const ClassSpan& klass) {
+                         return std::find(klass.member_lines.begin(),
+                                          klass.member_lines.end(),
+                                          line) != klass.member_lines.end();
+                       });
+  };
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const SourceLine& line = file.lines[i];
+    if (line.code.find("Rng") == std::string::npos) continue;
+    if (is_member_decl(i)) continue;
+    if (std::regex_search(line.code, kDefaultCtor)) {
+      add_finding(findings, file, i, rule,
+                  "default-seeded util::Rng — every RNG consumer takes an "
+                  "explicit seed or a util::Rng& parameter");
+    }
+  }
+}
+
+// ------------------------------------------------------------- det-unordered-iter
+
+/// Identifiers declared (anywhere in this file) with an unordered
+/// container type.
+std::vector<std::string> unordered_idents(const SourceFile& file) {
+  std::vector<std::string> idents;
+  static const std::regex kDecl(
+      R"(unordered_(?:map|set|multimap|multiset)\b[^;={]*[>\s&*]\s*(\w+)\s*[;={(])");
+  for (const SourceLine& line : file.lines) {
+    if (line.code.find("unordered_") == std::string::npos) continue;
+    std::smatch match;
+    std::string rest = line.code;
+    while (std::regex_search(rest, match, kDecl)) {
+      idents.push_back(match[1].str());
+      rest = match.suffix().str();
+    }
+  }
+  return idents;
+}
+
+void rule_det_unordered_iter(const SourceFile& file, std::vector<Finding>& findings) {
+  const std::string rule = "det-unordered-iter";
+  static const char* kSinks[] = {"MapStore",  "Aggregator", "Checkpoint",
+                                 "TablePrinter", "add_row", "print_csv",
+                                 "serialize_map", "manifest"};
+  const std::vector<std::string> idents = unordered_idents(file);
+
+  auto span_has_sink = [&](const BodySpan& span) {
+    for (std::size_t i = span.begin_line; i <= span.end_line; ++i) {
+      for (const char* sink : kSinks) {
+        if (contains_token(file.lines[i].code, sink)) return true;
+      }
+    }
+    return false;
+  };
+  auto enclosing_sink = [&](std::size_t line) {
+    return std::any_of(file.bodies.begin(), file.bodies.end(),
+                       [&](const BodySpan& span) {
+                         return span.begin_line <= line && line <= span.end_line &&
+                                span_has_sink(span);
+                       });
+  };
+
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const std::string& code = file.lines[i].code;
+    // Range-for over an unordered identifier or unordered temporary.
+    static const std::regex kRangeFor(R"(\bfor\s*\([^;:)]*:\s*([^)]*)\))");
+    std::smatch match;
+    bool hit = false;
+    std::string culprit;
+    if (std::regex_search(code, match, kRangeFor)) {
+      const std::string range = match[1].str();
+      if (range.find("unordered_") != std::string::npos) {
+        hit = true;
+        culprit = "an unordered container";
+      } else {
+        for (const std::string& ident : idents) {
+          if (contains_token(range, ident)) {
+            hit = true;
+            culprit = "'" + ident + "'";
+            break;
+          }
+        }
+      }
+    }
+    if (!hit) {
+      // Iterator-based loops: ident.begin() on an unordered identifier.
+      for (const std::string& ident : idents) {
+        if (code.find(ident + ".begin()") != std::string::npos ||
+            code.find(ident + ".cbegin()") != std::string::npos) {
+          hit = true;
+          culprit = "'" + ident + "'";
+          break;
+        }
+      }
+    }
+    if (hit && enclosing_sink(i)) {
+      add_finding(findings, file, i, rule,
+                  "iteration over " + culprit +
+                      " (unordered) in a function that feeds a result sink — "
+                      "hash order leaks into output; use std::map/std::set or "
+                      "sort first");
+    }
+  }
+}
+
+// ------------------------------------------------------------- conc-guarded-field
+
+void rule_conc_guarded_field(const SourceFile& file, std::vector<Finding>& findings) {
+  const std::string rule = "conc-guarded-field";
+  // Scope: headers of the concurrent fleet layer. Value structs (struct
+  // keyword) are exempt; see docs/ANALYSIS.md.
+  if (!path_contains(file.effective_path, "src/fleet/")) return;
+  const std::string& path = file.effective_path;
+  if (path.size() < 4 || path.compare(path.size() - 4, 4, ".hpp") != 0) return;
+
+  for (const ClassSpan& klass : file.classes) {
+    if (klass.has_sync_member) continue;  // explicit synchronization story
+    for (std::size_t line : klass.member_lines) {
+      const SourceLine& source_line = file.lines[line];
+      if (source_line.owned_by) continue;
+      // const members are immutable after construction.
+      const std::string& code = source_line.code;
+      const std::size_t first = code.find_first_not_of(" \t");
+      if (first != std::string::npos &&
+          (code.compare(first, 6, "const ") == 0 ||
+           code.compare(first, 10, "constexpr ") == 0)) {
+        continue;
+      }
+      add_finding(findings, file, line, rule,
+                  "mutable field of fleet class '" + klass.name +
+                      "' has no synchronization story — guard it with a "
+                      "mutex/atomic or annotate `corelint: owned-by(<owner>)`");
+    }
+  }
+}
+
+// --------------------------------------------------------------- conc-ref-capture
+
+void rule_conc_ref_capture(const SourceFile& file, std::vector<Finding>& findings) {
+  const std::string rule = "conc-ref-capture";
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const std::string& code = file.lines[i].code;
+    std::size_t pos = find_token(code, "submit");
+    if (pos == std::string::npos) pos = find_token(code, "submit_on");
+    if (pos == std::string::npos) continue;
+    // The lambda usually opens on the same line; allow the next one.
+    static const std::regex kImplicitRef(R"(\[\s*&\s*\](?:\s*\(|\s*\{|\s*mutable))");
+    const std::string tail = code.substr(pos);
+    if (std::regex_search(tail, kImplicitRef)) {
+      add_finding(findings, file, i, rule,
+                  "task submitted with implicit [&] capture — name the "
+                  "captures so shared state is auditable");
+      continue;
+    }
+    if (i + 1 < file.lines.size() &&
+        std::regex_search(file.lines[i + 1].code, kImplicitRef)) {
+      add_finding(findings, file, i + 1, rule,
+                  "task submitted with implicit [&] capture — name the "
+                  "captures so shared state is auditable");
+    }
+  }
+}
+
+// ----------------------------------------------------------------- hyg-naked-new
+
+void rule_hyg_naked_new(const SourceFile& file, std::vector<Finding>& findings) {
+  const std::string rule = "hyg-naked-new";
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const std::string& code = file.lines[i].code;
+    std::size_t pos = 0;
+    while ((pos = find_token(code, "new", pos)) != std::string::npos) {
+      // `= new X`, `(new X`, `return new X` — any expression use. Skip
+      // placement-like `new (` only when suppressed explicitly; the
+      // codebase has no placement new.
+      add_finding(findings, file, i, rule,
+                  "naked `new` — own allocations with std::make_unique or a "
+                  "container");
+      break;
+    }
+  }
+}
+
+// ------------------------------------------------------------ hyg-narrowing-cast
+
+void rule_hyg_narrowing_cast(const SourceFile& file, std::vector<Finding>& findings) {
+  const std::string rule = "hyg-narrowing-cast";
+  if (!path_contains(file.effective_path, "src/ilp/")) return;
+  static const std::regex kCStyle(
+      R"(\((?:int|short|long|float|unsigned|char|std::u?int(?:8|16|32|64)_t)\s*\)\s*[\w(])");
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const std::string& code = file.lines[i].code;
+    if (std::regex_search(code, kCStyle)) {
+      add_finding(findings, file, i, rule,
+                  "C-style arithmetic cast in ILP hot path — use an explicit "
+                  "width-preserving static_cast (and justify any narrowing)");
+      continue;
+    }
+    if (code.find("static_cast<float>") != std::string::npos) {
+      add_finding(findings, file, i, rule,
+                  "cast to float in ILP hot path — the solver's tolerances "
+                  "assume double precision throughout");
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& rule_names() {
+  static const std::vector<std::string> kNames = {
+      "det-wallclock",      "det-std-random",   "det-rng-default-seed",
+      "det-unordered-iter", "conc-guarded-field", "conc-ref-capture",
+      "hyg-naked-new",      "hyg-narrowing-cast",
+  };
+  return kNames;
+}
+
+std::vector<Finding> run_rules(const SourceFile& file) {
+  std::vector<Finding> findings;
+  rule_det_wallclock(file, findings);
+  rule_det_std_random(file, findings);
+  rule_det_rng_default_seed(file, findings);
+  rule_det_unordered_iter(file, findings);
+  rule_conc_guarded_field(file, findings);
+  rule_conc_ref_capture(file, findings);
+  rule_hyg_naked_new(file, findings);
+  rule_hyg_narrowing_cast(file, findings);
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.path != b.path) return a.path < b.path;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return findings;
+}
+
+}  // namespace corelint

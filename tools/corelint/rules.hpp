@@ -1,0 +1,53 @@
+#pragma once
+// corelint rule set (see docs/ANALYSIS.md for the full contract).
+//
+// Determinism
+//   det-wallclock        no ambient time/randomness sources (std::rand,
+//                        std::random_device, time(), *_clock) outside
+//                        src/fleet/progress.* or lines tagged
+//                        `corelint: non-deterministic`
+//   det-std-random       no <random> engines/distributions or
+//                        std::shuffle — use util::Rng, whose streams are
+//                        stable across platforms and seeds
+//   det-rng-default-seed util::Rng must be constructed with an explicit
+//                        seed (or passed in by reference), never default-
+//                        seeded inside library code
+//   det-unordered-iter   no iteration over std::unordered_{map,set} in a
+//                        function that also touches a result sink
+//                        (MapStore, Aggregator, Checkpoint, TablePrinter,
+//                        manifest/serialization helpers)
+//
+// Concurrency
+//   conc-guarded-field   data members of fleet classes need a
+//                        synchronization story: a mutex/atomic in the
+//                        class, or a `corelint: owned-by(...)` annotation
+//   conc-ref-capture     tasks handed to ThreadPool::submit/submit_on
+//                        must name their captures — no implicit [&]
+//
+// Hygiene
+//   hyg-naked-new        no naked `new` — use std::make_unique/container
+//   hyg-narrowing-cast   no C-style arithmetic casts or casts to float in
+//                        the ILP solver hot paths (src/ilp/*)
+
+#include <string>
+#include <vector>
+
+#include "scanner.hpp"
+
+namespace corelint {
+
+struct Finding {
+  std::string path;   ///< real path of the file
+  std::size_t line;   ///< 1-based
+  std::string rule;
+  std::string message;
+  std::string code;   ///< stripped code of the offending line (baseline key)
+};
+
+/// All rule names, in report order.
+const std::vector<std::string>& rule_names();
+
+/// Runs every rule over one scanned file.
+std::vector<Finding> run_rules(const SourceFile& file);
+
+}  // namespace corelint

@@ -1,0 +1,350 @@
+#include "scanner.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace corelint {
+
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Splits a raw source line into code and comment, blanking string and
+/// character literal contents. `in_block_comment` carries /* */ state
+/// across lines. Multi-line string literals are not handled (the
+/// codebase has none); a stray quote state resets at end of line.
+void strip_line(const std::string& raw, bool& in_block_comment, std::string& code,
+                std::string& comment) {
+  code.clear();
+  comment.clear();
+  enum class State { kCode, kString, kChar } state = State::kCode;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const char c = raw[i];
+    const char next = i + 1 < raw.size() ? raw[i + 1] : '\0';
+    if (in_block_comment) {
+      if (c == '*' && next == '/') {
+        in_block_comment = false;
+        ++i;
+      } else {
+        comment += c;
+      }
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          comment.append(raw, i + 2, std::string::npos);
+          return;
+        }
+        if (c == '/' && next == '*') {
+          in_block_comment = true;
+          ++i;
+          continue;
+        }
+        if (c == '"') {
+          state = State::kString;
+          code += c;
+          continue;
+        }
+        if (c == '\'') {
+          state = State::kChar;
+          code += c;
+          continue;
+        }
+        code += c;
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;  // skip escaped char
+        } else if (c == '"') {
+          state = State::kCode;
+          code += c;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          code += c;
+        }
+        break;
+    }
+  }
+}
+
+/// Parses a comma-separated rule list out of "...(a, b)".
+std::set<std::string> parse_rule_list(const std::string& text, std::size_t open) {
+  std::set<std::string> rules;
+  const std::size_t close = text.find(')', open);
+  if (close == std::string::npos) return rules;
+  std::istringstream iss(text.substr(open + 1, close - open - 1));
+  std::string rule;
+  while (std::getline(iss, rule, ',')) {
+    const std::size_t first = rule.find_first_not_of(" \t");
+    const std::size_t last = rule.find_last_not_of(" \t");
+    if (first != std::string::npos) rules.insert(rule.substr(first, last - first + 1));
+  }
+  return rules;
+}
+
+void parse_directives(SourceFile& file, std::size_t line_index) {
+  SourceLine& line = file.lines[line_index];
+  const std::string& comment = line.comment;
+  if (comment.empty()) return;
+
+  std::size_t pos;
+  if ((pos = comment.find("corelint: disable-file(")) != std::string::npos) {
+    const auto rules = parse_rule_list(comment, comment.find('(', pos));
+    file.file_disabled.insert(rules.begin(), rules.end());
+  } else if ((pos = comment.find("corelint: disable(")) != std::string::npos) {
+    auto rules = parse_rule_list(comment, comment.find('(', pos));
+    // A stand-alone comment line suppresses the next line instead.
+    if (line.code_blank && line_index + 1 < file.lines.size()) {
+      file.lines[line_index + 1].disabled.insert(rules.begin(), rules.end());
+    } else {
+      line.disabled.insert(rules.begin(), rules.end());
+    }
+  }
+  if (comment.find("corelint: owned-by(") != std::string::npos) {
+    // Applies to this line, or to the next when standing alone.
+    if (line.code_blank && line_index + 1 < file.lines.size()) {
+      file.lines[line_index + 1].owned_by = true;
+    } else {
+      line.owned_by = true;
+    }
+  }
+  if (comment.find("corelint: non-deterministic") != std::string::npos) {
+    if (line.code_blank && line_index + 1 < file.lines.size()) {
+      file.lines[line_index + 1].non_deterministic = true;
+    } else {
+      line.non_deterministic = true;
+    }
+  }
+  if ((pos = comment.find("corelint: pretend-path(")) != std::string::npos) {
+    const std::size_t open = comment.find('(', pos);
+    const std::size_t close = comment.find(')', open);
+    if (open != std::string::npos && close != std::string::npos) {
+      file.effective_path = comment.substr(open + 1, close - open - 1);
+    }
+  }
+  if ((pos = comment.find("corelint-expect:")) != std::string::npos) {
+    std::istringstream iss(comment.substr(pos + std::string("corelint-expect:").size()));
+    std::string rule;
+    while (std::getline(iss, rule, ',')) {
+      const std::size_t first = rule.find_first_not_of(" \t");
+      const std::size_t last = rule.find_last_not_of(" \t");
+      if (first != std::string::npos) {
+        line.expected.insert(rule.substr(first, last - first + 1));
+      }
+    }
+  }
+}
+
+/// Walks the stripped code of the whole file, recording body spans (any
+/// balanced braces whose '{' follows a ')') and class definitions.
+void extract_structure(SourceFile& file) {
+  // Flatten with line indices.
+  std::string text;
+  std::vector<std::size_t> line_of;
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    for (char c : file.lines[i].code) {
+      text += c;
+      line_of.push_back(i);
+    }
+    text += '\n';
+    line_of.push_back(i);
+  }
+
+  struct Open {
+    std::size_t pos;
+    bool after_paren;
+    int class_index;  ///< index into file.classes when this is a class body
+  };
+  std::vector<Open> stack;
+
+  // Pending class head: set when we saw `class Name` and await its '{'.
+  std::string pending_class;
+  bool pending_active = false;
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (ident_char(c)) {
+      // Read the word.
+      std::size_t j = i;
+      while (j < text.size() && ident_char(text[j])) ++j;
+      const std::string word = text.substr(i, j - i);
+      if (word == "class") {
+        // `enum class` defines values, not members, and `<class T>` is a
+        // template parameter, not a definition.
+        std::size_t k = i;
+        while (k > 0 && (text[k - 1] == ' ' || text[k - 1] == '\t')) --k;
+        const bool enum_class = k >= 4 && text.compare(k - 4, 4, "enum") == 0;
+        const bool template_param = k > 0 && (text[k - 1] == '<' || text[k - 1] == ',');
+        if (!enum_class && !template_param) {
+          std::size_t m = j;
+          while (m < text.size() && std::isspace(static_cast<unsigned char>(text[m]))) {
+            ++m;
+          }
+          std::size_t e = m;
+          while (e < text.size() && ident_char(text[e])) ++e;
+          if (e > m) {
+            pending_class = text.substr(m, e - m);
+            pending_active = true;
+          }
+        }
+      } else if (word == "namespace") {
+        pending_active = false;
+      }
+      i = j - 1;
+      continue;
+    }
+    if (c == ';') {
+      pending_active = false;  // forward declaration
+      continue;
+    }
+    if (c == '{') {
+      // What precedes the brace (skipping whitespace)?
+      std::size_t k = i;
+      while (k > 0 && std::isspace(static_cast<unsigned char>(text[k - 1]))) --k;
+      bool after_paren = false;
+      if (k > 0) {
+        const char prev = text[k - 1];
+        if (prev == ')') {
+          after_paren = true;
+        } else if (ident_char(prev)) {
+          // Allow `) const`, `) noexcept`, `) override`, `) mutable` and
+          // trailing return types to still count as function bodies.
+          std::size_t w = k;
+          while (w > 0 && ident_char(text[w - 1])) --w;
+          const std::string trail = text.substr(w, k - w);
+          if (trail == "const" || trail == "noexcept" || trail == "override" ||
+              trail == "mutable" || trail == "final") {
+            std::size_t v = w;
+            while (v > 0 && std::isspace(static_cast<unsigned char>(text[v - 1]))) --v;
+            after_paren = v > 0 && text[v - 1] == ')';
+          }
+        }
+      }
+      int class_index = -1;
+      if (pending_active) {
+        ClassSpan span;
+        span.name = pending_class;
+        span.begin_line = line_of[i];
+        file.classes.push_back(span);
+        class_index = static_cast<int>(file.classes.size()) - 1;
+        pending_active = false;
+      }
+      stack.push_back(Open{i, after_paren, class_index});
+      continue;
+    }
+    if (c == '}') {
+      if (stack.empty()) continue;
+      const Open open = stack.back();
+      stack.pop_back();
+      if (open.after_paren) {
+        file.bodies.push_back(BodySpan{line_of[open.pos], line_of[i]});
+      }
+      if (open.class_index >= 0) {
+        file.classes[static_cast<std::size_t>(open.class_index)].end_line = line_of[i];
+      }
+      continue;
+    }
+  }
+
+  // Second pass per class: immediate-depth member declarations.
+  for (ClassSpan& klass : file.classes) {
+    if (klass.end_line == 0) continue;  // unterminated (shouldn't happen)
+    int depth = 0;
+    for (std::size_t li = klass.begin_line; li <= klass.end_line; ++li) {
+      const std::string& code = file.lines[li].code;
+      // Depth at the *start* of the line decides membership; compute the
+      // running depth brace by brace.
+      int line_start_depth = depth;
+      for (char c : code) {
+        if (c == '{') ++depth;
+        if (c == '}') --depth;
+      }
+      if (li == klass.begin_line || li == klass.end_line) continue;
+      if (line_start_depth != 1) continue;
+      const std::string& lower = code;
+      if (lower.find("mutex") != std::string::npos ||
+          lower.find("Mutex") != std::string::npos ||
+          lower.find("atomic") != std::string::npos ||
+          lower.find("condition_variable") != std::string::npos) {
+        klass.has_sync_member = true;
+      }
+      // Member declaration heuristic: ends with ';', has no parens
+      // (excludes methods and using-aliases with signatures), and is not
+      // a keyword line.
+      std::string trimmed = code;
+      const std::size_t first = trimmed.find_first_not_of(" \t");
+      if (first == std::string::npos) continue;
+      trimmed = trimmed.substr(first);
+      const std::size_t last = trimmed.find_last_not_of(" \t");
+      trimmed = trimmed.substr(0, last + 1);
+      if (trimmed.empty() || trimmed.back() != ';') continue;
+      if (trimmed.find('(') != std::string::npos) continue;
+      static const char* kSkip[] = {"using ",   "friend ",  "typedef ", "public",
+                                    "private",  "protected", "static ",  "enum ",
+                                    "struct ",  "class ",    "template"};
+      bool skip = false;
+      for (const char* prefix : kSkip) {
+        if (trimmed.rfind(prefix, 0) == 0) skip = true;
+      }
+      if (skip) continue;
+      klass.member_lines.push_back(li);
+    }
+  }
+}
+
+}  // namespace
+
+bool SourceFile::suppressed(const std::string& rule, std::size_t line) const {
+  if (file_disabled.count(rule) != 0) return true;
+  if (line < lines.size() && lines[line].disabled.count(rule) != 0) return true;
+  return false;
+}
+
+SourceFile scan_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("corelint: cannot open " + path);
+  SourceFile file;
+  file.path = path;
+  file.effective_path = path;
+
+  bool in_block_comment = false;
+  std::string raw;
+  while (std::getline(in, raw)) {
+    SourceLine line;
+    strip_line(raw, in_block_comment, line.code, line.comment);
+    line.code_blank = line.code.find_first_not_of(" \t") == std::string::npos;
+    file.lines.push_back(std::move(line));
+  }
+  for (std::size_t i = 0; i < file.lines.size(); ++i) parse_directives(file, i);
+  extract_structure(file);
+  return file;
+}
+
+std::size_t find_token(const std::string& code, const std::string& token,
+                       std::size_t from) {
+  std::size_t pos = from;
+  while ((pos = code.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !ident_char(code[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= code.size() || !ident_char(code[end]);
+    if (left_ok && right_ok) return pos;
+    pos = end;
+  }
+  return std::string::npos;
+}
+
+bool contains_token(const std::string& code, const std::string& token) {
+  return find_token(code, token) != std::string::npos;
+}
+
+}  // namespace corelint

@@ -1,0 +1,88 @@
+#pragma once
+// Source model for corelint (see docs/ANALYSIS.md).
+//
+// corelint is a *repo* linter, not a compiler: it reasons about the
+// corelocate codebase's own idioms (util::Rng, fleet::ThreadPool,
+// MapStore, ...) with a line/token-level scan. The scanner turns a file
+// into per-line records with comments and literal contents blanked out,
+// parses `// corelint:` control comments, and extracts the brace spans
+// of function-like bodies so rules can ask "does the enclosing function
+// also touch X?".
+//
+// Control comments:
+//   // corelint: disable(rule[, rule...])   suppress on this line, or on
+//                                           the next line when the
+//                                           comment stands alone
+//   // corelint: disable-file(rule[, ...])  suppress for the whole file
+//   // corelint: owned-by(<owner>)          document single-owner data
+//                                           (satisfies conc-guarded-field)
+//   // corelint: non-deterministic          tag a wall-clock use that is
+//                                           deliberately outside the
+//                                           determinism contract
+//   // corelint: pretend-path(<path>)       lint this file as if it lived
+//                                           at <path> (fixtures only)
+//   // corelint-expect: rule[, rule...]     selftest expectation: the
+//                                           rule must fire on this line
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace corelint {
+
+struct SourceLine {
+  std::string code;     ///< literals blanked, comments removed
+  std::string comment;  ///< comment text on the line, if any
+  bool code_blank = true;  ///< no code outside comments/whitespace
+
+  std::set<std::string> disabled;     ///< rules suppressed on this line
+  bool owned_by = false;              ///< carries an owned-by annotation
+  bool non_deterministic = false;     ///< carries a non-deterministic tag
+  std::set<std::string> expected;     ///< selftest expectations
+};
+
+/// A balanced {...} region whose opening brace follows a ')' — a
+/// function, lambda, loop or conditional body. Nested spans are all
+/// recorded; rules treat "any enclosing span" as the relevant scope.
+struct BodySpan {
+  std::size_t begin_line = 0;  ///< 0-based line of the '{'
+  std::size_t end_line = 0;    ///< 0-based line of the matching '}'
+};
+
+/// A `class` definition (structs are value types and exempt from the
+/// concurrency field rules).
+struct ClassSpan {
+  std::string name;
+  std::size_t begin_line = 0;  ///< 0-based line of the '{'
+  std::size_t end_line = 0;
+  /// Lines of data-member declarations at the class's immediate depth.
+  std::vector<std::size_t> member_lines;
+  /// True when the body mentions a mutex / atomic / condition_variable —
+  /// the class has an explicit synchronization story.
+  bool has_sync_member = false;
+};
+
+struct SourceFile {
+  std::string path;           ///< path as given on the command line
+  std::string effective_path; ///< path used for scoping (pretend-path)
+  std::vector<SourceLine> lines;
+  std::set<std::string> file_disabled;  ///< rules suppressed file-wide
+  std::vector<BodySpan> bodies;
+  std::vector<ClassSpan> classes;
+
+  bool suppressed(const std::string& rule, std::size_t line) const;
+};
+
+/// Loads and preprocesses one file. Throws std::runtime_error on I/O
+/// failure.
+SourceFile scan_file(const std::string& path);
+
+/// True when `token` occurs in `code` delimited by non-identifier chars.
+bool contains_token(const std::string& code, const std::string& token);
+
+/// Position of the first word-boundary occurrence, or npos.
+std::size_t find_token(const std::string& code, const std::string& token,
+                       std::size_t from = 0);
+
+}  // namespace corelint
