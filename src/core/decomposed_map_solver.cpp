@@ -301,30 +301,69 @@ MapSolveResult DecomposedMapSolver::solve(const ObservationSet& observations,
   }
 
   // ---- Rows: pure difference constraints -----------------------------------
-  DifferenceSystem rows(cha_count);
+  std::vector<ExtraEdge> row_edges;
   for (const PathObservation& obs : observations) {
     for (const ChannelActivation& act : obs.activations) {
       switch (act.label) {
         case mesh::ChannelLabel::kUp:
-          rows.add_edge(act.cha, obs.source_cha, 1);  // R_s >= R_k + 1
-          rows.add_edge(obs.sink_cha, act.cha, 0);    // R_k >= R_e
+          row_edges.push_back({act.cha, obs.source_cha, 1});  // R_s >= R_k + 1
+          row_edges.push_back({obs.sink_cha, act.cha, 0});    // R_k >= R_e
           break;
         case mesh::ChannelLabel::kDown:
-          rows.add_edge(obs.source_cha, act.cha, 1);  // R_k >= R_s + 1
-          rows.add_edge(act.cha, obs.sink_cha, 0);    // R_e >= R_k
+          row_edges.push_back({obs.source_cha, act.cha, 1});  // R_k >= R_s + 1
+          row_edges.push_back({act.cha, obs.sink_cha, 0});    // R_e >= R_k
           break;
         case mesh::ChannelLabel::kLeft:
         case mesh::ChannelLabel::kRight:
-          rows.add_edge(act.cha, obs.sink_cha, 0);  // R_k = R_e
-          rows.add_edge(obs.sink_cha, act.cha, 0);
+          row_edges.push_back({act.cha, obs.sink_cha, 0});  // R_k = R_e
+          row_edges.push_back({obs.sink_cha, act.cha, 0});
           break;
       }
     }
   }
-  for (const ExtraEdge& edge : options_.extra_row_edges) {
+  row_edges.insert(row_edges.end(), options_.extra_row_edges.begin(),
+                   options_.extra_row_edges.end());
+  DifferenceSystem rows(cha_count);
+  for (const ExtraEdge& edge : row_edges) {
     rows.add_edge(edge.from_cha, edge.to_cha, edge.weight);
   }
-  if (!rows.solve(options_.grid_rows - 1)) {
+  const bool rows_feasible = rows.solve(options_.grid_rows - 1);
+
+  if (options_.validate_model) {
+    // Mirror the row system as an ILP and cross-check the static
+    // validator against the longest-path fixpoint: the validator's
+    // infeasibility proofs must never contradict a feasible fixpoint.
+    ilp::Model mirror;
+    std::vector<ilp::Variable> row_vars;
+    row_vars.reserve(static_cast<std::size_t>(cha_count));
+    for (int i = 0; i < cha_count; ++i) {
+      row_vars.push_back(mirror.add_integer(0, options_.grid_rows - 1,
+                                            "R" + std::to_string(i)));
+    }
+    for (const ExtraEdge& edge : row_edges) {
+      mirror.add_constraint(
+          ilp::LinExpr(row_vars[static_cast<std::size_t>(edge.to_cha)]) -
+              ilp::LinExpr(row_vars[static_cast<std::size_t>(edge.from_cha)]),
+          ilp::Sense::kGreaterEq, static_cast<double>(edge.weight));
+    }
+    ilp::ModelCheckOptions check_options;
+    // Bound propagation needs enough sweeps to walk the longest chain /
+    // wind a positive cycle past the grid bound.
+    check_options.propagation_rounds = cha_count + options_.grid_rows + 2;
+    const ilp::ModelCheckReport report = ilp::check_model(mirror, check_options);
+    if (report.structural()) {
+      throw std::logic_error("DecomposedMapSolver: malformed row mirror model: " +
+                             report.summary());
+    }
+    if (report.infeasible() && rows_feasible) {
+      throw std::logic_error(
+          "DecomposedMapSolver: model validator proves the row system "
+          "infeasible but the longest-path fixpoint found a solution: " +
+          report.summary());
+    }
+  }
+
+  if (!rows_feasible) {
     result.message = "row constraints inconsistent (positive cycle or overflow)";
     return result;
   }

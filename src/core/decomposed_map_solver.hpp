@@ -43,6 +43,13 @@ struct DecomposedSolverOptions {
   std::int64_t max_nodes = 1000000;  ///< direction-search node budget
   std::vector<ExtraEdge> extra_row_edges;
   std::vector<ExtraEdge> extra_col_edges;
+  /// Debug cross-check: mirror the row difference system as an
+  /// ilp::Model, run the static validator (ilp/model_check.hpp) on it,
+  /// and require the validator and the longest-path fixpoint to agree
+  /// (a validator infeasibility proof with a feasible fixpoint — or a
+  /// structural defect — is a generator bug and throws
+  /// std::logic_error). Defaults on in debug builds, off under NDEBUG.
+  bool validate_model = ilp::kValidateModelsByDefault;
 };
 
 class DecomposedMapSolver {

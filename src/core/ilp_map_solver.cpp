@@ -221,6 +221,16 @@ MapSolveResult IlpMapSolver::solve(const ObservationSet& observations,
     return result;
   }
   const Model model = build_model(observations, cha_count);
+  if (options_.validate_model) {
+    const ilp::ModelCheckReport report = ilp::check_model(model);
+    if (report.structural()) {
+      throw std::logic_error("IlpMapSolver: malformed model: " + report.summary());
+    }
+    if (report.infeasible()) {
+      result.message = "model validation: " + report.summary();
+      return result;
+    }
+  }
   const ilp::MilpSolution solution = ilp::solve_milp(model, options_.milp);
   result.nodes = solution.nodes_explored;
   result.lp_iterations = solution.lp_iterations;

@@ -23,6 +23,7 @@
 
 #include "core/observation.hpp"
 #include "ilp/branch_and_bound.hpp"
+#include "ilp/model_check.hpp"
 #include "mesh/grid.hpp"
 
 namespace corelocate::core {
@@ -51,6 +52,11 @@ struct IlpMapSolverOptions {
   /// Cap on observations fed to the ILP (0 = all). Smaller keeps the
   /// tableau tractable on full-size instances.
   int max_observations = 0;
+  /// Run the static model validator (ilp/model_check.hpp) before the
+  /// solve: structural defects throw std::logic_error, proven
+  /// infeasibility returns failure without entering branch & bound.
+  /// Defaults on in debug builds, off under NDEBUG.
+  bool validate_model = ilp::kValidateModelsByDefault;
   ilp::MilpOptions milp;
 };
 

@@ -1,0 +1,296 @@
+#include "ilp/model_check.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+namespace corelocate::ilp {
+
+namespace {
+
+bool infinite(double value) { return std::abs(value) >= kInfinity; }
+
+std::string var_label(const Model& model, int index) {
+  const VarInfo& info = model.variable(index);
+  if (!info.name.empty()) return info.name;
+  return "#" + std::to_string(index);
+}
+
+std::string row_label(const ConstraintInfo& row, std::size_t index) {
+  if (!row.name.empty()) return row.name;
+  return "row " + std::to_string(index);
+}
+
+/// Sum of per-term contributions where some may be infinite: the finite
+/// part plus a count of infinite contributions. With the count at zero
+/// the sum is exact; otherwise it is unbounded in that direction.
+struct Activity {
+  double finite = 0.0;
+  int infinities = 0;
+};
+
+// ------------------------------------------------------- structural checks
+
+void check_unbounded_vars(const Model& model, ModelCheckReport& report) {
+  std::vector<char> covered(static_cast<std::size_t>(model.variable_count()), 0);
+  for (const ConstraintInfo& row : model.constraints()) {
+    for (const auto& [index, coefficient] : row.expr.terms()) {
+      if (coefficient != 0.0 && index >= 0 && index < model.variable_count()) {
+        covered[static_cast<std::size_t>(index)] = 1;
+      }
+    }
+  }
+  for (int j = 0; j < model.variable_count(); ++j) {
+    if (covered[static_cast<std::size_t>(j)]) continue;
+    const VarInfo& info = model.variable(j);
+    if (infinite(info.lower) || infinite(info.upper)) {
+      report.defects.push_back(
+          {DefectClass::kStructural, "unbounded-var",
+           "variable '" + var_label(model, j) +
+               "' has an infinite bound and appears in no constraint — the "
+               "generator forgot its rows"});
+    }
+  }
+}
+
+void check_big_m_ratio(const Model& model, const ModelCheckOptions& options,
+                       ModelCheckReport& report) {
+  for (std::size_t c = 0; c < model.constraints().size(); ++c) {
+    const ConstraintInfo& row = model.constraints()[c];
+    double largest = 0.0;
+    double smallest = 0.0;
+    for (const auto& [index, coefficient] : row.expr.terms()) {
+      (void)index;
+      const double magnitude = std::abs(coefficient);
+      if (magnitude == 0.0) continue;
+      largest = std::max(largest, magnitude);
+      smallest = smallest == 0.0 ? magnitude : std::min(smallest, magnitude);
+    }
+    if (smallest == 0.0) continue;
+    if (largest / smallest > options.max_coefficient_ratio) {
+      std::ostringstream detail;
+      detail << "constraint '" << row_label(row, c) << "' mixes coefficient "
+             << "magnitudes " << largest << " and " << smallest
+             << " — a big-M that large drowns the row in floating-point noise "
+                "(tile grids need M on the order of the grid dimension)";
+      report.defects.push_back(
+          {DefectClass::kStructural, "big-m-ratio", detail.str()});
+    }
+  }
+}
+
+void check_one_hot_rows(const Model& model, const ModelCheckOptions& options,
+                        ModelCheckReport& report) {
+  // A one-hot row: equality over >= 2 binary variables, all unit
+  // coefficients. Two rows with the same variable set must agree on the
+  // right-hand side; agreeing duplicates are double-generation.
+  std::map<std::vector<int>, std::pair<double, std::string>> seen;
+  for (std::size_t c = 0; c < model.constraints().size(); ++c) {
+    const ConstraintInfo& row = model.constraints()[c];
+    if (row.sense != Sense::kEqual) continue;
+    if (row.expr.terms().size() < 2) continue;
+    std::vector<int> signature;
+    bool one_hot = true;
+    for (const auto& [index, coefficient] : row.expr.terms()) {
+      if (std::abs(coefficient - 1.0) > options.tolerance ||
+          model.variable(index).type != VarType::kBinary) {
+        one_hot = false;
+        break;
+      }
+      signature.push_back(index);
+    }
+    if (!one_hot) continue;
+    std::sort(signature.begin(), signature.end());
+    const auto [it, inserted] =
+        seen.emplace(std::move(signature), std::make_pair(row.rhs, row_label(row, c)));
+    if (inserted) continue;
+    if (std::abs(it->second.first - row.rhs) > options.tolerance) {
+      std::ostringstream detail;
+      detail << "one-hot rows '" << it->second.second << "' and '"
+             << row_label(row, c) << "' assert the same variable set = "
+             << it->second.first << " and = " << row.rhs
+             << " — no assignment satisfies both";
+      report.defects.push_back(
+          {DefectClass::kInfeasible, "contradictory-one-hot", detail.str()});
+    } else {
+      report.defects.push_back(
+          {DefectClass::kStructural, "duplicate-one-hot",
+           "one-hot row '" + row_label(row, c) + "' duplicates '" +
+               it->second.second + "' — the generator emitted it twice"});
+    }
+  }
+}
+
+// --------------------------------------------------- bound propagation check
+
+struct Bounds {
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+void round_integer_bounds(const Model& model, std::vector<Bounds>& bounds,
+                          double tolerance) {
+  for (int j = 0; j < model.variable_count(); ++j) {
+    const VarInfo& info = model.variable(j);
+    if (info.type == VarType::kContinuous) continue;
+    Bounds& b = bounds[static_cast<std::size_t>(j)];
+    if (!infinite(b.lower)) b.lower = std::ceil(b.lower - tolerance);
+    if (!infinite(b.upper)) b.upper = std::floor(b.upper + tolerance);
+  }
+}
+
+/// Minimum activity of a row under the current bounds (use negated
+/// coefficients for the maximum).
+Activity min_activity(const std::vector<std::pair<int, double>>& terms,
+                      const std::vector<Bounds>& bounds) {
+  Activity activity;
+  for (const auto& [index, coefficient] : terms) {
+    const Bounds& b = bounds[static_cast<std::size_t>(index)];
+    const double bound = coefficient > 0.0 ? b.lower : b.upper;
+    if (infinite(bound)) {
+      ++activity.infinities;
+    } else {
+      activity.finite += coefficient * bound;
+    }
+  }
+  return activity;
+}
+
+/// Propagates one `expr <= rhs` row: row-level infeasibility plus bound
+/// tightening of every variable against the rest of the row. Returns
+/// true if any bound moved; appends at most one defect.
+bool propagate_leq(const Model& model, const ConstraintInfo& row,
+                   std::size_t row_index, const std::vector<std::pair<int, double>>& terms,
+                   double rhs, std::vector<Bounds>& bounds,
+                   const ModelCheckOptions& options, ModelCheckReport& report) {
+  const Activity total = min_activity(terms, bounds);
+  const double slack_tolerance =
+      options.tolerance * std::max(1.0, std::abs(rhs)) + 1e-7;
+  if (total.infinities == 0 && total.finite > rhs + slack_tolerance) {
+    std::ostringstream detail;
+    detail << "constraint '" << row_label(row, row_index)
+           << "' needs activity <= " << rhs << " but the variable bounds force "
+           << "at least " << total.finite << " — the model is infeasible";
+    report.defects.push_back(
+        {DefectClass::kInfeasible, "bound-infeasible", detail.str()});
+    return false;
+  }
+  if (total.infinities > 1) return false;  // no single-var rest is finite
+
+  bool changed = false;
+  for (const auto& [index, coefficient] : terms) {
+    if (coefficient == 0.0) continue;
+    Bounds& b = bounds[static_cast<std::size_t>(index)];
+    const double own_bound = coefficient > 0.0 ? b.lower : b.upper;
+    Activity rest = total;
+    if (infinite(own_bound)) {
+      --rest.infinities;
+    } else {
+      rest.finite -= coefficient * own_bound;
+    }
+    if (rest.infinities > 0) continue;
+    const double limit = (rhs - rest.finite) / coefficient;
+    const bool is_integer =
+        model.variable(index).type != VarType::kContinuous;
+    if (coefficient > 0.0) {
+      double candidate = is_integer ? std::floor(limit + options.tolerance + 1e-7)
+                                    : limit;
+      if (candidate < b.upper - 1e-9) {
+        b.upper = candidate;
+        changed = true;
+      }
+    } else {
+      double candidate = is_integer ? std::ceil(limit - options.tolerance - 1e-7)
+                                    : limit;
+      if (candidate > b.lower + 1e-9) {
+        b.lower = candidate;
+        changed = true;
+      }
+    }
+  }
+  return changed;
+}
+
+void check_bound_propagation(const Model& model, const ModelCheckOptions& options,
+                             ModelCheckReport& report) {
+  std::vector<Bounds> bounds;
+  bounds.reserve(static_cast<std::size_t>(model.variable_count()));
+  for (const VarInfo& info : model.variables()) {
+    bounds.push_back(Bounds{info.lower, info.upper});
+  }
+  round_integer_bounds(model, bounds, options.tolerance);
+
+  for (int round = 0; round < options.propagation_rounds; ++round) {
+    bool changed = false;
+    for (std::size_t c = 0; c < model.constraints().size(); ++c) {
+      const ConstraintInfo& row = model.constraints()[c];
+      const auto& terms = row.expr.terms();
+      if (row.sense == Sense::kLessEq || row.sense == Sense::kEqual) {
+        changed |= propagate_leq(model, row, c, terms, row.rhs, bounds, options,
+                                 report);
+      }
+      if (row.sense == Sense::kGreaterEq || row.sense == Sense::kEqual) {
+        std::vector<std::pair<int, double>> negated = terms;
+        for (auto& [index, coefficient] : negated) {
+          (void)index;
+          coefficient = -coefficient;
+        }
+        changed |= propagate_leq(model, row, c, negated, -row.rhs, bounds,
+                                 options, report);
+      }
+      if (!report.defects.empty() &&
+          report.defects.back().check == "bound-infeasible") {
+        return;  // one infeasibility proof is enough
+      }
+    }
+    // Crossed bounds after tightening are an infeasibility proof too.
+    for (int j = 0; j < model.variable_count(); ++j) {
+      const Bounds& b = bounds[static_cast<std::size_t>(j)];
+      if (b.lower > b.upper + options.tolerance) {
+        std::ostringstream detail;
+        detail << "variable '" << var_label(model, j)
+               << "' has empty domain [" << b.lower << ", " << b.upper
+               << "] after bound propagation — the model is infeasible";
+        report.defects.push_back(
+            {DefectClass::kInfeasible, "bound-infeasible", detail.str()});
+        return;
+      }
+    }
+    if (!changed) break;
+  }
+}
+
+}  // namespace
+
+bool ModelCheckReport::structural() const {
+  return std::any_of(defects.begin(), defects.end(), [](const ModelDefect& d) {
+    return d.defect_class == DefectClass::kStructural;
+  });
+}
+
+bool ModelCheckReport::infeasible() const {
+  return std::any_of(defects.begin(), defects.end(), [](const ModelDefect& d) {
+    return d.defect_class == DefectClass::kInfeasible;
+  });
+}
+
+std::string ModelCheckReport::summary() const {
+  std::string out;
+  for (const ModelDefect& defect : defects) {
+    if (!out.empty()) out += "; ";
+    out += defect.check + ": " + defect.detail;
+  }
+  return out.empty() ? "clean" : out;
+}
+
+ModelCheckReport check_model(const Model& model, const ModelCheckOptions& options) {
+  ModelCheckReport report;
+  check_unbounded_vars(model, report);
+  check_big_m_ratio(model, options, report);
+  check_one_hot_rows(model, options, report);
+  check_bound_propagation(model, options, report);
+  return report;
+}
+
+}  // namespace corelocate::ilp

@@ -1,0 +1,77 @@
+#pragma once
+// Static validation of ILP models before they reach the solver.
+//
+// The map-reconstruction MILPs (ilp_map_solver.cpp) are generated code:
+// a malformed generator produces models that the solver happily grinds
+// on for minutes before returning garbage or "infeasible". This
+// validator catches the generator bugs we have actually seen, in
+// milliseconds, without solving anything:
+//
+//   unbounded-var          a variable with an infinite bound that no
+//                          constraint touches — the generator forgot its
+//                          rows (structural)
+//   big-m-ratio            one row mixes coefficients of wildly different
+//                          magnitude — a big-M picked so large it
+//                          swallows the row numerically (structural)
+//   duplicate-one-hot      two identical one-hot rows — harmless to the
+//                          answer but a sign of double-generation
+//                          (structural)
+//   contradictory-one-hot  the same one-hot variable set asserted with
+//                          two different right-hand sides (infeasible)
+//   bound-infeasible       interval bound propagation proves there is no
+//                          assignment at all (infeasible)
+//
+// Structural defects are generator bugs: the solvers throw
+// std::logic_error in debug builds. Infeasibility proofs short-circuit
+// the solve with a clean failure instead of a branch-and-bound run.
+
+#include <string>
+#include <vector>
+
+#include "ilp/model.hpp"
+
+namespace corelocate::ilp {
+
+enum class DefectClass {
+  kStructural,  ///< the generator built a malformed model
+  kInfeasible,  ///< no assignment can exist; skip the solver
+};
+
+struct ModelDefect {
+  DefectClass defect_class = DefectClass::kStructural;
+  std::string check;   ///< machine-readable check id (see header comment)
+  std::string detail;  ///< human-readable description, names included
+};
+
+struct ModelCheckOptions {
+  /// Max tolerated ratio between the largest and smallest nonzero
+  /// coefficient magnitude within one row (and against |rhs|).
+  double max_coefficient_ratio = 1e7;
+  /// Bound-propagation sweeps over all rows.
+  int propagation_rounds = 10;
+  double tolerance = 1e-9;
+};
+
+struct ModelCheckReport {
+  std::vector<ModelDefect> defects;
+
+  bool clean() const { return defects.empty(); }
+  bool structural() const;
+  bool infeasible() const;
+  /// One-line, semicolon-joined rendering of every defect.
+  std::string summary() const;
+};
+
+/// Runs every check; never throws, never modifies the model.
+ModelCheckReport check_model(const Model& model, const ModelCheckOptions& options = {});
+
+/// Default for the solvers' validate_model switches: on in debug builds,
+/// off when NDEBUG (the validator is cheap, but release perf runs should
+/// measure the solver alone).
+#ifdef NDEBUG
+inline constexpr bool kValidateModelsByDefault = false;
+#else
+inline constexpr bool kValidateModelsByDefault = true;
+#endif
+
+}  // namespace corelocate::ilp

@@ -16,12 +16,19 @@ CliFlags::CliFlags(int argc, const char* const* argv) {
     if (body.empty()) throw std::invalid_argument("bare '--' is not a valid flag");
     const auto eq = body.find('=');
     if (eq != std::string::npos) {
-      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      std::string name = body.substr(0, eq);
+      values_[name] = body.substr(eq + 1);
+      auto& seen = occurrences_[name];
+      ++seen.first;
+      seen.second = true;
       continue;
     }
     // `--name value` when the next token is not itself a flag; else boolean.
+    auto& seen = occurrences_[body];
+    ++seen.first;
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       values_[body] = argv[++i];
+      seen.second = true;
     } else {
       values_[body] = "true";
     }
@@ -74,10 +81,26 @@ void CliFlags::validate(const std::vector<std::string>& known) const {
       unknown += (unknown.empty() ? "" : ", ") + ("--" + name);
     }
   }
-  if (unknown.empty()) return;
-  std::string names;
-  for (const std::string& name : known) names += (names.empty() ? "--" : ", --") + name;
-  throw std::invalid_argument("unknown flag(s) " + unknown + " (known: " + names + ")");
+  if (!unknown.empty()) {
+    std::string names;
+    for (const std::string& name : known) {
+      names += (names.empty() ? "--" : ", --") + name;
+    }
+    throw std::invalid_argument("unknown flag(s) " + unknown + " (known: " + names +
+                                ")");
+  }
+  std::string duplicated;
+  for (const auto& [name, seen] : occurrences_) {
+    if (seen.first > 1 && seen.second) {
+      duplicated += (duplicated.empty() ? "" : ", ") + ("--" + name);
+    }
+  }
+  if (!duplicated.empty()) {
+    throw std::invalid_argument(
+        "flag(s) given more than once: " + duplicated +
+        " — a repeated value flag is almost always a command-line editing "
+        "mistake; pass each value flag exactly once");
+  }
 }
 
 }  // namespace corelocate::util

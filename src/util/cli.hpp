@@ -33,11 +33,18 @@ class CliFlags {
 
   /// Throws if any parsed flag is not in `known` — catches typos early.
   /// The message names *every* unknown flag (and the known set), so a
-  /// command line with several typos is fixed in one round trip.
+  /// command line with several typos is fixed in one round trip. Also
+  /// throws when a single-value flag was given more than once: silently
+  /// keeping the last `--seed` of two contradicts what the user reads
+  /// off their own command line. Repeating a bare boolean flag stays
+  /// harmless.
   void validate(const std::vector<std::string>& known) const;
 
  private:
   std::map<std::string, std::string> values_;
+  /// Occurrences per flag and whether any occurrence carried an
+  /// explicit value (duplicate detection in validate()).
+  std::map<std::string, std::pair<int, bool>> occurrences_;
   std::vector<std::string> positional_;
 };
 

@@ -1,0 +1,22 @@
+// Taint fixture: nondeterminism laundered through an out-parameter —
+// the helper writes entropy through a pointer, the caller copies the
+// stack local into a record field.
+#include <cstdlib>
+
+struct SurveyRecord {
+  double wall_ms = 0.0;
+};
+
+namespace {
+
+void measure_into(double* out_ms, int reps) {
+  *out_ms = static_cast<double>(reps) * static_cast<double>(rand());  // corelint-expect: det-wallclock
+}
+
+}  // namespace
+
+void publish(SurveyRecord& rec) {
+  double ms = 0.0;
+  measure_into(&ms, 3);
+  rec.wall_ms = ms;  // corelint-expect: det-taint-flow
+}

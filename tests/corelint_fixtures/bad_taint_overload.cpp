@@ -1,0 +1,28 @@
+// Taint fixture: overloads resolve by arity. The one-argument pick() is
+// pure; the two-argument overload folds in entropy. Only the call of
+// the dirty overload may be flagged.
+#include <cstdlib>
+
+struct SurveyRecord {
+  int value = 0;
+};
+
+namespace {
+
+int pick(int base) {
+  return base + 1;
+}
+
+int pick(int base, int jitter) {
+  return base + jitter + static_cast<int>(rand());  // corelint-expect: det-wallclock
+}
+
+}  // namespace
+
+void write_clean(SurveyRecord& rec) {
+  rec.value = pick(7);
+}
+
+void write_dirty(SurveyRecord& rec) {
+  rec.value = pick(7, 2);  // corelint-expect: det-taint-flow
+}

@@ -1,0 +1,37 @@
+// Taint fixture: the summary fixpoint must terminate on direct and
+// mutual recursion while still carrying the source through the cycle.
+#include <cstdlib>
+#include <ctime>
+
+struct SurveyRecord {
+  double value = 0.0;
+};
+
+namespace {
+
+double spin(int depth) {
+  if (depth <= 0) {
+    return static_cast<double>(rand());  // corelint-expect: det-wallclock
+  }
+  return spin(depth - 1) * 0.5;
+}
+
+double ping(int n);
+
+double pong(int n) {
+  return n <= 0 ? 0.0 : ping(n - 1);
+}
+
+double ping(int n) {
+  return n <= 0 ? static_cast<double>(clock()) : pong(n - 1);  // corelint-expect: det-wallclock
+}
+
+}  // namespace
+
+void fill_direct(SurveyRecord& rec) {
+  rec.value = spin(4);  // corelint-expect: det-taint-flow
+}
+
+void fill_mutual(SurveyRecord& rec) {
+  rec.value = pong(9);  // corelint-expect: det-taint-flow
+}

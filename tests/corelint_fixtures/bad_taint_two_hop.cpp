@@ -1,0 +1,29 @@
+// Taint fixture: wall-clock reaches a SurveyRecord field through two
+// call hops — the per-file rules cannot see this, only the
+// interprocedural pass can (det-taint-flow acceptance case).
+#include <ctime>
+
+struct SurveyRecord {
+  double wall_ms = 0.0;
+  int core = 0;
+};
+
+namespace {
+
+double read_clock() {
+  return static_cast<double>(clock());  // corelint-expect: det-wallclock
+}
+
+double sample_latency(int reps) {
+  double total = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    total += read_clock();
+  }
+  return total;
+}
+
+}  // namespace
+
+void fill_record(SurveyRecord& rec, int reps) {
+  rec.wall_ms = sample_latency(reps);  // corelint-expect: det-taint-flow
+}

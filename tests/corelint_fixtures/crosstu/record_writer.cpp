@@ -1,0 +1,13 @@
+// Cross-TU taint fixture, sink half: the provider lives in
+// timing_provider.cpp; only the corpus-wide call graph connects its
+// hash-order dependence to the record write here.
+
+struct SurveyRecord {
+  double latency_ms = 0.0;
+};
+
+double first_latency_bucket(int seedless);
+
+void publish_latency(SurveyRecord& rec) {
+  rec.latency_ms = first_latency_bucket(3);
+}

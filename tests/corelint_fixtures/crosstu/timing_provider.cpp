@@ -1,0 +1,15 @@
+// Cross-TU taint fixture, provider half: iterating an unordered map is
+// a nondeterminism source, but nothing in this file touches a sink — on
+// its own this file lints clean (see corelint_taint_crosstu_isolated).
+#include <unordered_map>
+
+double first_latency_bucket(int seedless) {
+  std::unordered_map<int, double> buckets;
+  buckets[seedless] = 1.0;
+  buckets[seedless + 1] = 2.0;
+  double first = 0.0;
+  for (const auto& entry : buckets) {
+    first = entry.second;
+  }
+  return first;
+}

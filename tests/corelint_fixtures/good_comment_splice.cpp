@@ -1,0 +1,20 @@
+// Fixture: a backslash line-splice extends a // comment onto the next
+// physical line, so the continuation is comment text, not live code.
+// Not compiled — scanned by `corelint --selftest`.
+#include <cstdlib>
+
+int comment_splice() {
+  // This comment splices onto the next physical line: \
+     std::random_device entropy_in_comment;
+  // And this one swallows what looks like an allocation: \
+     auto* leak = new int;
+  // A splice chain keeps going until a line without a backslash: \
+     srand(1); \
+     auto ticks = std::clock();
+  return 0;
+}
+
+double live_after_splices() {
+  // Scanning must resume on the first unspliced line:
+  return static_cast<double>(std::rand());  // corelint-expect: det-wallclock
+}

@@ -1,0 +1,37 @@
+// Fixture: `#if 0` regions (and the `#else` of `#if 1`) are statically
+// dead and must not be scanned as live code; branches whose condition
+// corelint cannot decide stay live on both sides. Not compiled — scanned
+// by `corelint --selftest`.
+#include <cstdlib>
+
+#if 0
+static int dead_entropy() { return std::rand(); }
+auto* dead_leak = new int;
+#if 1
+static int nested_dead() { return std::rand(); }
+#endif
+#else
+int live_else() { return std::rand(); }  // corelint-expect: det-wallclock
+#endif
+
+#if 1
+int live_branch() { return std::rand(); }  // corelint-expect: det-wallclock
+#else
+static int dead_else() { return std::rand(); }
+#endif
+
+#ifdef SOME_UNKNOWN_MACRO
+int unknown_branch() { return std::rand(); }  // corelint-expect: det-wallclock
+#else
+int unknown_else() { return std::rand(); }  // corelint-expect: det-wallclock
+#endif
+
+#define MULTILINE_MACRO(x)       \
+  do {                           \
+    auto spliced = std::rand();  \
+    (void)spliced;               \
+  } while (0)
+
+int after_directives() {
+  return std::rand();  // corelint-expect: det-wallclock
+}

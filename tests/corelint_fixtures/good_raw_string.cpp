@@ -1,0 +1,23 @@
+// Fixture: raw string literal contents are data, not code — sources and
+// allocations spelled inside them must never fire. Not compiled —
+// scanned by `corelint --selftest`.
+#include <cstdlib>
+#include <string>
+
+std::string raw_literal_payload() {
+  const std::string sql = R"(select strftime('%s') as time(now) from t;)";
+  const std::string doc = R"doc(
+    auto* leak = new int[4];
+    std::random_device entropy;
+    const auto wall = std::chrono::system_clock::now();
+    srand(42);
+  )doc";
+  return sql + doc;
+}
+
+double after_raw_string() {
+  const std::string quoted = R"(rand())";
+  (void)quoted;
+  // Scanning must resume after the closing delimiter:
+  return static_cast<double>(std::rand());  // corelint-expect: det-wallclock
+}

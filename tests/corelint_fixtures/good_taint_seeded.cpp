@@ -1,0 +1,32 @@
+// Taint fixture (clean): seed-derived values may flow through any number
+// of helpers into a record, and a tagged wall-clock line is metadata —
+// neither is a det-taint-flow finding.
+
+struct SurveyRecord {
+  double score = 0.0;
+  double wall_ms = 0.0;
+};
+
+namespace {
+
+double mix(double seed_value) {
+  return seed_value * 1.5 + 3.0;
+}
+
+double derive(double seed_value, int rounds) {
+  double acc = seed_value;
+  for (int r = 0; r < rounds; ++r) {
+    acc = mix(acc);
+  }
+  return acc;
+}
+
+}  // namespace
+
+void fill_scores(SurveyRecord& rec, double seed_value) {
+  rec.score = derive(seed_value, 4);
+}
+
+void fill_timing(SurveyRecord& rec) {
+  rec.wall_ms = static_cast<double>(clock());  // corelint: non-deterministic
+}

@@ -76,5 +76,55 @@ TEST(Cli, BareDoubleDashThrows) {
   EXPECT_THROW(parse({"--"}), std::invalid_argument);
 }
 
+TEST(Cli, ValidateRejectsDuplicateValueFlag) {
+  const CliFlags flags = parse({"--seed", "1", "--seed", "2"});
+  EXPECT_THROW(flags.validate({"seed"}), std::invalid_argument);
+}
+
+TEST(Cli, ValidateRejectsDuplicateEqualsForm) {
+  const CliFlags flags = parse({"--seed=1", "--seed=2"});
+  EXPECT_THROW(flags.validate({"seed"}), std::invalid_argument);
+}
+
+TEST(Cli, ValidateRejectsMixedFormDuplicate) {
+  const CliFlags flags = parse({"--seed=1", "--seed", "2"});
+  EXPECT_THROW(flags.validate({"seed"}), std::invalid_argument);
+}
+
+TEST(Cli, ValidateNamesEveryDuplicatedFlag) {
+  const CliFlags flags = parse({"--seed=1", "--seed=2", "--count", "3", "--count", "4"});
+  try {
+    flags.validate({"seed", "count"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("--seed"), std::string::npos) << message;
+    EXPECT_NE(message.find("--count"), std::string::npos) << message;
+  }
+}
+
+TEST(Cli, ValidateAcceptsSingleOccurrences) {
+  const CliFlags flags = parse({"--seed", "1", "--count=2", "--verbose"});
+  EXPECT_NO_THROW(flags.validate({"seed", "count", "verbose"}));
+}
+
+TEST(Cli, ValidateToleratesRepeatedBooleanFlag) {
+  const CliFlags flags = parse({"--verbose", "--verbose"});
+  EXPECT_NO_THROW(flags.validate({"verbose"}));
+  EXPECT_TRUE(flags.get_bool("verbose"));
+}
+
+TEST(Cli, UnknownFlagsReportedBeforeDuplicates) {
+  // A typo'd duplicate should still surface as an unknown-flag error.
+  const CliFlags flags = parse({"--typo=1", "--typo=2"});
+  try {
+    flags.validate({"count"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown flag"), std::string::npos)
+        << e.what();
+  }
+}
+
 }  // namespace
 }  // namespace corelocate::util

@@ -3,10 +3,14 @@
 // Usage:
 //   corelint [options] <file|dir>...      lint files / trees
 //   corelint --selftest <dir>             check fixture expectations
+//   corelint --ilp                        validate the built-in ILP models
 //
 // Options:
 //   --baseline FILE        suppress findings recorded in FILE
 //   --write-baseline FILE  write current findings to FILE and exit 0
+//                          (refuses when the working tree is dirty;
+//                          --allow-dirty overrides)
+//   --format=text|sarif    report format (default text)
 //   --list-rules           print the rule names and exit
 //
 // Exit codes: 0 clean, 1 findings (or failed selftest), 2 usage/IO error.
@@ -16,6 +20,7 @@
 // invalidate it.
 
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -24,8 +29,12 @@
 #include <string>
 #include <vector>
 
+#include "ilp_check.hpp"
 #include "rules.hpp"
+#include "sarif.hpp"
 #include "scanner.hpp"
+#include "symbols.hpp"
+#include "taint.hpp"
 
 namespace corelint {
 namespace {
@@ -56,21 +65,6 @@ std::vector<std::string> collect_files(const std::vector<std::string>& args) {
   return files;
 }
 
-/// Path tail used in reports and baseline keys: the part starting at the
-/// last occurrence of a repo-root marker, so absolute build paths and
-/// checkouts in different locations agree.
-std::string path_tail(const std::string& path) {
-  static const char* kMarkers[] = {"src/", "bench/", "examples/", "tests/", "tools/"};
-  std::size_t best = std::string::npos;
-  for (const char* marker : kMarkers) {
-    const std::size_t pos = path.rfind(marker);
-    if (pos != std::string::npos && (pos == 0 || path[pos - 1] == '/')) {
-      if (best == std::string::npos || pos < best) best = pos;
-    }
-  }
-  return best == std::string::npos ? path : path.substr(best);
-}
-
 /// Collapses runs of whitespace so formatting churn keeps baseline keys
 /// stable.
 std::string squeeze(const std::string& text) {
@@ -90,7 +84,8 @@ std::string squeeze(const std::string& text) {
 }
 
 std::string baseline_key(const Finding& finding) {
-  return finding.rule + "|" + path_tail(finding.path) + "|" + squeeze(finding.code);
+  return finding.rule + "|" + report_path(finding.path) + "|" +
+         squeeze(finding.code);
 }
 
 std::multiset<std::string> load_baseline(const std::string& path) {
@@ -105,17 +100,68 @@ std::multiset<std::string> load_baseline(const std::string& path) {
   return entries;
 }
 
-int run_lint(const std::vector<std::string>& paths, const std::string& baseline_path,
-             const std::string& write_baseline_path) {
+void sort_findings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+}
+
+/// Runs the per-file rules plus the cross-TU taint pass over a corpus.
+std::vector<Finding> run_all(const std::vector<TranslationUnit>& units) {
   std::vector<Finding> findings;
-  for (const std::string& path : collect_files(paths)) {
-    const SourceFile file = scan_file(path);
-    std::vector<Finding> file_findings = run_rules(file);
+  for (const TranslationUnit& unit : units) {
+    std::vector<Finding> file_findings = run_rules(unit.file);
     findings.insert(findings.end(), file_findings.begin(), file_findings.end());
   }
+  std::vector<Finding> taint_findings = run_taint(units);
+  findings.insert(findings.end(), taint_findings.begin(), taint_findings.end());
+  sort_findings(findings);
+  return findings;
+}
 
-  if (!write_baseline_path.empty()) {
-    std::ofstream out(write_baseline_path);
+/// `git status --porcelain` near the baseline file: non-empty output is
+/// a dirty tree. Outside a git checkout the check passes (nothing to
+/// protect).
+bool tree_is_dirty(const std::string& near_path) {
+  const std::string dir = fs::absolute(near_path).parent_path().string();
+  if (dir.find('\'') != std::string::npos) return false;
+  const std::string cmd =
+      "git -C '" + dir + "' status --porcelain 2>/dev/null";
+  FILE* pipe = ::popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return false;
+  char buf[256];
+  std::string out;
+  while (std::fgets(buf, sizeof buf, pipe) != nullptr) out += buf;
+  const int status = ::pclose(pipe);
+  if (status != 0) return false;
+  return !out.empty();
+}
+
+struct LintOptions {
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::string format = "text";
+  bool allow_dirty = false;
+};
+
+int run_lint(const std::vector<std::string>& paths, const LintOptions& options) {
+  std::vector<TranslationUnit> units;
+  for (const std::string& path : collect_files(paths)) {
+    units.push_back(make_unit(scan_file(path)));
+  }
+  const std::vector<Finding> findings = run_all(units);
+
+  if (!options.write_baseline_path.empty()) {
+    if (!options.allow_dirty && tree_is_dirty(options.write_baseline_path)) {
+      std::cerr << "corelint: refusing to write a baseline from a dirty "
+                   "working tree — a baseline must correspond to a commit.\n"
+                   "Commit or stash first, or pass --allow-dirty.\n";
+      return 2;
+    }
+    std::ofstream out(options.write_baseline_path);
     out << "# corelint baseline — suppressed pre-existing findings.\n"
         << "# Each line: rule|path tail|whitespace-squeezed source line.\n"
         << "# Fix the finding and delete its line; never add new entries\n"
@@ -123,26 +169,34 @@ int run_lint(const std::vector<std::string>& paths, const std::string& baseline_
     for (const Finding& finding : findings) out << baseline_key(finding) << '\n';
     std::cerr << "corelint: wrote " << findings.size() << " baseline entr"
               << (findings.size() == 1 ? "y" : "ies") << " to "
-              << write_baseline_path << '\n';
+              << options.write_baseline_path << '\n';
     return 0;
   }
 
   std::multiset<std::string> baseline;
-  if (!baseline_path.empty()) baseline = load_baseline(baseline_path);
+  if (!options.baseline_path.empty()) baseline = load_baseline(options.baseline_path);
 
-  int fresh = 0;
+  std::vector<Finding> fresh;
   for (const Finding& finding : findings) {
     const auto it = baseline.find(baseline_key(finding));
     if (it != baseline.end()) {
       baseline.erase(it);  // each entry excuses one finding
       continue;
     }
-    ++fresh;
-    std::cout << path_tail(finding.path) << ':' << finding.line << ": ["
+    fresh.push_back(finding);
+  }
+
+  if (options.format == "sarif") {
+    write_sarif(std::cout, fresh);
+    return fresh.empty() ? 0 : 1;
+  }
+  for (const Finding& finding : fresh) {
+    std::cout << report_path(finding.path) << ':' << finding.line << ": ["
               << finding.rule << "] " << finding.message << '\n';
   }
-  if (fresh > 0) {
-    std::cout << "corelint: " << fresh << " finding" << (fresh == 1 ? "" : "s")
+  if (!fresh.empty()) {
+    std::cout << "corelint: " << fresh.size() << " finding"
+              << (fresh.size() == 1 ? "" : "s")
               << " (see docs/ANALYSIS.md for the rules and suppression syntax)\n";
     return 1;
   }
@@ -151,7 +205,9 @@ int run_lint(const std::vector<std::string>& paths, const std::string& baseline_
 
 /// Selftest: every `corelint-expect: rule` comment must be matched by a
 /// finding of that rule on that line, and every finding must be
-/// expected. Scans only the files directly inside `dir`.
+/// expected. Scans only the files directly inside `dir`; each fixture is
+/// self-contained, so the taint pass runs per file (cross-TU resolution
+/// is exercised by the paired corelint_taint_crosstu test).
 int run_selftest(const std::string& dir) {
   int failures = 0;
   int expectations = 0;
@@ -165,8 +221,10 @@ int run_selftest(const std::string& dir) {
   std::sort(paths.begin(), paths.end());
   for (const std::string& path : paths) {
     ++files;
-    const SourceFile file = scan_file(path);
-    const std::vector<Finding> findings = run_rules(file);
+    std::vector<TranslationUnit> units;
+    units.push_back(make_unit(scan_file(path)));
+    const SourceFile& file = units.front().file;
+    const std::vector<Finding> findings = run_all(units);
 
     std::map<std::pair<std::size_t, std::string>, int> found;
     for (const Finding& finding : findings) {
@@ -178,7 +236,7 @@ int run_selftest(const std::string& dir) {
         const auto it = found.find({i + 1, rule});
         if (it == found.end() || it->second == 0) {
           std::cout << "selftest: MISSING expected [" << rule << "] at "
-                    << path_tail(path) << ':' << i + 1 << '\n';
+                    << report_path(path) << ':' << i + 1 << '\n';
           ++failures;
         } else {
           --it->second;
@@ -188,7 +246,7 @@ int run_selftest(const std::string& dir) {
     for (const auto& [key, count] : found) {
       for (int c = 0; c < count; ++c) {
         std::cout << "selftest: UNEXPECTED [" << key.second << "] at "
-                  << path_tail(path) << ':' << key.first << '\n';
+                  << report_path(path) << ':' << key.first << '\n';
         ++failures;
       }
     }
@@ -205,9 +263,9 @@ int run_selftest(const std::string& dir) {
 
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
-  std::string baseline_path;
-  std::string write_baseline_path;
+  LintOptions options;
   std::string selftest_dir;
+  bool ilp = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -216,18 +274,28 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--baseline") {
-      baseline_path = value();
+      options.baseline_path = value();
     } else if (arg == "--write-baseline") {
-      write_baseline_path = value();
+      options.write_baseline_path = value();
+    } else if (arg == "--allow-dirty") {
+      options.allow_dirty = true;
+    } else if (arg.rfind("--format=", 0) == 0) {
+      options.format = arg.substr(9);
+      if (options.format != "text" && options.format != "sarif") {
+        throw std::runtime_error("corelint: unknown format " + options.format);
+      }
+    } else if (arg == "--ilp") {
+      ilp = true;
     } else if (arg == "--selftest") {
       selftest_dir = value();
     } else if (arg == "--list-rules") {
       for (const std::string& rule : rule_names()) std::cout << rule << '\n';
       return 0;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: corelint [--baseline FILE | --write-baseline FILE] "
-                   "<file|dir>...\n"
+      std::cout << "usage: corelint [--baseline FILE | --write-baseline FILE "
+                   "[--allow-dirty]] [--format=text|sarif] <file|dir>...\n"
                    "       corelint --selftest DIR\n"
+                   "       corelint --ilp\n"
                    "       corelint --list-rules\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -237,9 +305,10 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (ilp) return run_ilp_check(std::cout);
   if (!selftest_dir.empty()) return run_selftest(selftest_dir);
   if (paths.empty()) throw std::runtime_error("corelint: no inputs (try --help)");
-  return run_lint(paths, baseline_path, write_baseline_path);
+  return run_lint(paths, options);
 }
 
 }  // namespace

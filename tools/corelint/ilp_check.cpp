@@ -1,0 +1,51 @@
+#include "ilp_check.hpp"
+
+#include <cstdint>
+#include <ostream>
+
+#include "core/ilp_map_solver.hpp"
+#include "core/observation.hpp"
+#include "ilp/model_check.hpp"
+#include "sim/instance_factory.hpp"
+#include "sim/xeon_config.hpp"
+#include "util/rng.hpp"
+
+namespace corelint {
+
+int run_ilp_check(std::ostream& out) {
+  namespace cl = corelocate;
+  int defects = 0;
+  const cl::sim::InstanceFactory factory;
+  for (const cl::sim::XeonModel model : cl::sim::all_models()) {
+    const cl::sim::ModelSpec& spec = cl::sim::spec_for(model);
+    cl::util::Rng rng(0xC0DE11ULL + static_cast<std::uint64_t>(model));
+    const cl::sim::InstanceConfig instance = factory.make_instance(model, rng);
+    const cl::core::ObservationSet observations =
+        cl::core::synthesize_observations(instance);
+    for (const bool disaggregated : {true, false}) {
+      cl::core::IlpMapSolverOptions options;
+      options.grid_rows = spec.die.rows;
+      options.grid_cols = spec.die.cols;
+      options.disaggregated_indicators = disaggregated;
+      // A capped observation subset exercises every constraint family;
+      // shape defects do not hide in the tail, and the check stays fast.
+      options.max_observations = 48;
+      const cl::ilp::Model milp = cl::core::IlpMapSolver(options).build_model(
+          observations, instance.cha_count());
+      const cl::ilp::ModelCheckReport report = cl::ilp::check_model(milp);
+      out << "ilp-check " << spec.name
+          << (disaggregated ? " disaggregated" : " aggregated") << ": "
+          << milp.variable_count() << " vars, " << milp.constraint_count()
+          << " rows — " << (report.clean() ? "clean" : report.summary()) << '\n';
+      defects += static_cast<int>(report.defects.size());
+    }
+  }
+  if (defects > 0) {
+    out << "corelint --ilp: " << defects << " defect(s)\n";
+    return 1;
+  }
+  out << "corelint --ilp: all model shapes validate clean\n";
+  return 0;
+}
+
+}  // namespace corelint

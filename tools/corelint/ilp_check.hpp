@@ -1,0 +1,17 @@
+#pragma once
+// corelint --ilp: static validation of the repo's own ILP models.
+//
+// Builds the map-reconstruction MILP (src/core/ilp_map_solver.hpp) for
+// every Xeon model the paper evaluates — 8124M, 8175M, 8259CL, 6354 —
+// in both indicator formulations, and runs the static model validator
+// (src/ilp/model_check.hpp) over each. A defect in any shape fails the
+// check; ctest gates on it under the `ilp-validate` label.
+
+#include <iosfwd>
+
+namespace corelint {
+
+/// Returns 0 when every model shape validates clean, 1 otherwise.
+int run_ilp_check(std::ostream& out);
+
+}  // namespace corelint

@@ -1,0 +1,112 @@
+#include "lexer.hpp"
+
+#include <cctype>
+#include <set>
+
+namespace corelint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+/// Longest-match multi-character operators the semantic passes care
+/// about. Everything else falls back to single-character puncts.
+const char* kOperators3[] = {"<<=", ">>=", "->*", "...", "<=>"};
+const char* kOperators2[] = {"::", "->", "++", "--", "<<", ">>", "<=", ">=",
+                             "==", "!=", "&&", "||", "+=", "-=", "*=", "/=",
+                             "%=", "&=", "|=", "^=", ".*"};
+
+}  // namespace
+
+bool is_control_keyword(const std::string& word) {
+  static const std::set<std::string> kKeywords = {
+      "if",      "for",     "while",    "switch",   "catch",  "return",
+      "sizeof",  "alignof", "decltype", "noexcept", "throw",  "new",
+      "delete",  "case",    "do",       "else",     "static_assert",
+      "operator", "assert", "defined",  "co_await", "co_return", "co_yield",
+  };
+  return kKeywords.count(word) != 0;
+}
+
+std::vector<Token> tokenize(const SourceFile& file) {
+  std::vector<Token> tokens;
+  for (std::size_t line = 0; line < file.lines.size(); ++line) {
+    const std::string& code = file.lines[line].code;
+    std::size_t i = 0;
+    while (i < code.size()) {
+      const char c = code[i];
+      if (c == ' ' || c == '\t') {
+        ++i;
+        continue;
+      }
+      if (ident_start(c)) {
+        std::size_t j = i;
+        while (j < code.size() && ident_char(code[j])) ++j;
+        tokens.push_back(Token{Token::Kind::kIdent, code.substr(i, j - i), line});
+        i = j;
+        continue;
+      }
+      if (digit(c)) {
+        // pp-number: digits, idents, quotes-as-separators, exponent signs.
+        std::size_t j = i;
+        while (j < code.size() &&
+               (ident_char(code[j]) || code[j] == '.' || code[j] == '\'' ||
+                ((code[j] == '+' || code[j] == '-') && j > i &&
+                 (code[j - 1] == 'e' || code[j - 1] == 'E' || code[j - 1] == 'p' ||
+                  code[j - 1] == 'P')))) {
+          ++j;
+        }
+        tokens.push_back(Token{Token::Kind::kNumber, code.substr(i, j - i), line});
+        i = j;
+        continue;
+      }
+      if (c == '"') {
+        // Contents are blanked by the scanner; the literal is `""`.
+        const std::size_t close = code.find('"', i + 1);
+        const std::size_t j = close == std::string::npos ? code.size() : close + 1;
+        tokens.push_back(Token{Token::Kind::kString, "\"\"", line});
+        i = j;
+        continue;
+      }
+      if (c == '\'') {
+        const std::size_t close = code.find('\'', i + 1);
+        const std::size_t j = close == std::string::npos ? code.size() : close + 1;
+        tokens.push_back(Token{Token::Kind::kChar, "''", line});
+        i = j;
+        continue;
+      }
+      bool matched = false;
+      for (const char* op : kOperators3) {
+        if (code.compare(i, 3, op) == 0) {
+          tokens.push_back(Token{Token::Kind::kPunct, op, line});
+          i += 3;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+      for (const char* op : kOperators2) {
+        if (code.compare(i, 2, op) == 0) {
+          tokens.push_back(Token{Token::Kind::kPunct, op, line});
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+      tokens.push_back(Token{Token::Kind::kPunct, std::string(1, c), line});
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+}  // namespace corelint

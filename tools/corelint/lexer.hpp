@@ -1,0 +1,39 @@
+#pragma once
+// Token layer of corelint's semantic passes (see docs/ANALYSIS.md).
+//
+// The scanner handles the lexical edge cases (comments, raw strings,
+// line splices, dead preprocessor branches) and yields stripped per-line
+// code; this layer turns that into a proper token stream with line
+// positions — the input of the symbol table and the taint pass. String
+// and char literal *contents* are already blanked, so a kString token is
+// just the two quotes.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "scanner.hpp"
+
+namespace corelint {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct, kString, kChar };
+  Kind kind = Kind::kPunct;
+  std::string text;
+  std::size_t line = 0;  ///< 0-based source line
+
+  bool is(const char* punct) const { return kind == Kind::kPunct && text == punct; }
+  bool is_ident(const char* name) const {
+    return kind == Kind::kIdent && text == name;
+  }
+};
+
+/// Tokenizes the stripped code of a scanned file. Multi-character
+/// operators (`::`, `->`, `==`, ...) come out as single punct tokens.
+std::vector<Token> tokenize(const SourceFile& file);
+
+/// True for C++ keywords that can precede a '(' without being a call or
+/// a function name (`if`, `while`, `sizeof`, ...).
+bool is_control_keyword(const std::string& word);
+
+}  // namespace corelint

@@ -31,60 +31,23 @@ void rule_det_wallclock(const SourceFile& file, std::vector<Finding>& findings) 
   // The progress meter is the one component whose whole job is wall-clock.
   if (path_contains(file.effective_path, "src/fleet/progress.")) return;
 
-  static const char* kTokens[] = {
-      "random_device", "system_clock",  "high_resolution_clock",
-      "steady_clock",  "gettimeofday",  "localtime",
-      "gmtime",        "srand",
-  };
   for (std::size_t i = 0; i < file.lines.size(); ++i) {
     const SourceLine& line = file.lines[i];
     if (line.non_deterministic) continue;
-    for (const char* token : kTokens) {
-      if (contains_token(line.code, token)) {
-        add_finding(findings, file, i, rule,
-                    std::string("ambient time/entropy source '") + token +
-                        "' — results must be a pure function of the seed; tag "
-                        "the line `corelint: non-deterministic` if it feeds "
-                        "only timing metadata");
-        break;
-      }
-    }
-    if (line.non_deterministic) continue;
-    // Calls of ::time(...) / std::time(...) / rand() / clock(): a bare
-    // token directly followed by '(' that is neither a member access nor
-    // a declaration of a same-named method (`double time() const`, which
-    // is preceded by its return type).
-    bool flagged = false;
-    for (const char* call : {"time", "clock", "rand"}) {
-      std::size_t pos = 0;
-      while (!flagged &&
-             (pos = find_token(line.code, call, pos)) != std::string::npos) {
-        const std::size_t end = pos + std::string(call).size();
-        const bool is_call = end < line.code.size() && line.code[end] == '(';
-        const bool member =
-            pos > 0 && (line.code[pos - 1] == '.' ||
-                        (pos > 1 && line.code[pos - 1] == '>' &&
-                         line.code[pos - 2] == '-'));
-        const bool qualified_other =
-            pos >= 2 && line.code.compare(pos - 2, 2, "::") == 0 &&
-            !(pos >= 5 && line.code.compare(pos - 5, 5, "std::") == 0);
-        std::size_t before = pos;
-        while (before > 0 && (line.code[before - 1] == ' ' ||
-                              line.code[before - 1] == '\t')) {
-          --before;
-        }
-        const bool declaration = before > 0 && ident_char(line.code[before - 1]) &&
-                                 pos > before;  // `type time(`: token after a type
-        if (is_call && !member && !qualified_other && !declaration) {
-          add_finding(findings, file, i, rule,
-                      std::string("call to '") + call +
-                          "()' — ambient time/randomness is outside the "
-                          "determinism contract");
-          flagged = true;
-        }
-        pos = end;
-      }
-      if (flagged) break;
+    const char* token = ambient_source_token(line.code);
+    if (token == nullptr) continue;
+    const std::string name(token);
+    if (name.size() > 2 && name.compare(name.size() - 2, 2, "()") == 0) {
+      add_finding(findings, file, i, rule,
+                  "call to '" + name +
+                      "' — ambient time/randomness is outside the "
+                      "determinism contract");
+    } else {
+      add_finding(findings, file, i, rule,
+                  "ambient time/entropy source '" + name +
+                      "' — results must be a pure function of the seed; tag "
+                      "the line `corelint: non-deterministic` if it feeds "
+                      "only timing metadata");
     }
   }
 }
@@ -154,24 +117,6 @@ void rule_det_rng_default_seed(const SourceFile& file,
 }
 
 // ------------------------------------------------------------- det-unordered-iter
-
-/// Identifiers declared (anywhere in this file) with an unordered
-/// container type.
-std::vector<std::string> unordered_idents(const SourceFile& file) {
-  std::vector<std::string> idents;
-  static const std::regex kDecl(
-      R"(unordered_(?:map|set|multimap|multiset)\b[^;={]*[>\s&*]\s*(\w+)\s*[;={(])");
-  for (const SourceLine& line : file.lines) {
-    if (line.code.find("unordered_") == std::string::npos) continue;
-    std::smatch match;
-    std::string rest = line.code;
-    while (std::regex_search(rest, match, kDecl)) {
-      idents.push_back(match[1].str());
-      rest = match.suffix().str();
-    }
-  }
-  return idents;
-}
 
 void rule_det_unordered_iter(const SourceFile& file, std::vector<Finding>& findings) {
   const std::string rule = "det-unordered-iter";
@@ -341,11 +286,81 @@ void rule_hyg_narrowing_cast(const SourceFile& file, std::vector<Finding>& findi
 
 }  // namespace
 
+const char* ambient_source_token(const std::string& code) {
+  static const char* kTokens[] = {
+      "random_device", "system_clock",  "high_resolution_clock",
+      "steady_clock",  "gettimeofday",  "localtime",
+      "gmtime",        "srand",
+  };
+  for (const char* token : kTokens) {
+    if (contains_token(code, token)) return token;
+  }
+  // Calls of ::time(...) / std::time(...) / rand() / clock(): a bare
+  // token directly followed by '(' that is neither a member access nor
+  // a declaration of a same-named method (`double time() const`, which
+  // is preceded by its return type).
+  static const char* kCallNames[] = {"time", "clock", "rand"};
+  static const char* kCallLabels[] = {"time()", "clock()", "rand()"};
+  for (std::size_t c = 0; c < 3; ++c) {
+    const char* call = kCallNames[c];
+    std::size_t pos = 0;
+    while ((pos = find_token(code, call, pos)) != std::string::npos) {
+      const std::size_t end = pos + std::string(call).size();
+      const bool is_call = end < code.size() && code[end] == '(';
+      const bool member =
+          pos > 0 && (code[pos - 1] == '.' ||
+                      (pos > 1 && code[pos - 1] == '>' && code[pos - 2] == '-'));
+      const bool qualified_other =
+          pos >= 2 && code.compare(pos - 2, 2, "::") == 0 &&
+          !(pos >= 5 && code.compare(pos - 5, 5, "std::") == 0);
+      std::size_t before = pos;
+      while (before > 0 && (code[before - 1] == ' ' || code[before - 1] == '\t')) {
+        --before;
+      }
+      const bool declaration = before > 0 && ident_char(code[before - 1]) &&
+                               pos > before;  // `type time(`: token after a type
+      if (is_call && !member && !qualified_other && !declaration) {
+        return kCallLabels[c];
+      }
+      pos = end;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::string> unordered_idents(const SourceFile& file) {
+  std::vector<std::string> idents;
+  static const std::regex kDecl(
+      R"(unordered_(?:map|set|multimap|multiset)\b[^;={]*[>\s&*]\s*(\w+)\s*[;={(])");
+  for (const SourceLine& line : file.lines) {
+    if (line.code.find("unordered_") == std::string::npos) continue;
+    std::smatch match;
+    std::string rest = line.code;
+    while (std::regex_search(rest, match, kDecl)) {
+      idents.push_back(match[1].str());
+      rest = match.suffix().str();
+    }
+  }
+  return idents;
+}
+
+std::string report_path(const std::string& path) {
+  static const char* kMarkers[] = {"src/", "bench/", "examples/", "tests/", "tools/"};
+  std::size_t best = std::string::npos;
+  for (const char* marker : kMarkers) {
+    const std::size_t pos = path.rfind(marker);
+    if (pos != std::string::npos && (pos == 0 || path[pos - 1] == '/')) {
+      if (best == std::string::npos || pos < best) best = pos;
+    }
+  }
+  return best == std::string::npos ? path : path.substr(best);
+}
+
 const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> kNames = {
       "det-wallclock",      "det-std-random",   "det-rng-default-seed",
-      "det-unordered-iter", "conc-guarded-field", "conc-ref-capture",
-      "hyg-naked-new",      "hyg-narrowing-cast",
+      "det-unordered-iter", "det-taint-flow",   "conc-guarded-field",
+      "conc-ref-capture",   "hyg-naked-new",    "hyg-narrowing-cast",
   };
   return kNames;
 }

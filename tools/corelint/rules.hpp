@@ -28,6 +28,11 @@
 //   hyg-naked-new        no naked `new` — use std::make_unique/container
 //   hyg-narrowing-cast   no C-style arithmetic casts or casts to float in
 //                        the ILP solver hot paths (src/ilp/*)
+//
+// Interprocedural (tools/corelint/taint.cpp)
+//   det-taint-flow       a value derived from a nondeterminism source
+//                        reaches a result sink, possibly through helper
+//                        functions, return values or out-parameters
 
 #include <string>
 #include <vector>
@@ -47,7 +52,25 @@ struct Finding {
 /// All rule names, in report order.
 const std::vector<std::string>& rule_names();
 
-/// Runs every rule over one scanned file.
+/// Runs every per-file rule over one scanned file (the interprocedural
+/// taint pass runs separately, over the whole corpus — see taint.hpp).
 std::vector<Finding> run_rules(const SourceFile& file);
+
+/// det-wallclock's detector, shared with the taint pass: the ambient
+/// time/entropy token this stripped line uses ("random_device",
+/// "time()", ...), or nullptr. Ignores suppression tags — callers check
+/// those.
+const char* ambient_source_token(const std::string& code);
+
+/// Identifiers declared anywhere in `file` with a std::unordered_*
+/// container type (shared between det-unordered-iter and the taint
+/// pass's iteration-order source).
+std::vector<std::string> unordered_idents(const SourceFile& file);
+
+/// Repo-relative path tail used in reports, SARIF locations and
+/// baseline keys: the part starting at the first repo-root marker
+/// (src/, tests/, ...), so build trees and checkouts in different
+/// locations agree.
+std::string report_path(const std::string& path);
 
 }  // namespace corelint

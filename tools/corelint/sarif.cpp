@@ -1,0 +1,89 @@
+#include "sarif.hpp"
+
+#include <ostream>
+#include <set>
+
+namespace corelint {
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += kHex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_sarif(std::ostream& out, const std::vector<Finding>& findings) {
+  out << "{\n"
+      << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+         "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"corelint\",\n"
+      << "          \"informationUri\": \"docs/ANALYSIS.md\",\n"
+      << "          \"rules\": [\n";
+  // Advertise only the rules that actually fired, in report order.
+  std::set<std::string> fired;
+  for (const Finding& finding : findings) fired.insert(finding.rule);
+  bool first = true;
+  for (const std::string& rule : rule_names()) {
+    if (fired.count(rule) == 0) continue;
+    if (!first) out << ",\n";
+    first = false;
+    out << "            {\"id\": \"" << json_escape(rule) << "\"}";
+  }
+  out << "\n          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [\n";
+  first = true;
+  for (const Finding& finding : findings) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "        {\n"
+        << "          \"ruleId\": \"" << json_escape(finding.rule) << "\",\n"
+        << "          \"level\": \"error\",\n"
+        << "          \"message\": {\"text\": \"" << json_escape(finding.message)
+        << "\"},\n"
+        << "          \"locations\": [\n"
+        << "            {\n"
+        << "              \"physicalLocation\": {\n"
+        << "                \"artifactLocation\": {\"uri\": \""
+        << json_escape(report_path(finding.path)) << "\"},\n"
+        << "                \"region\": {\"startLine\": " << finding.line << "}\n"
+        << "              }\n"
+        << "            }\n"
+        << "          ]\n"
+        << "        }";
+  }
+  out << "\n      ]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+}
+
+}  // namespace corelint

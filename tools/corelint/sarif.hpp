@@ -1,0 +1,18 @@
+#pragma once
+// Minimal SARIF 2.1.0 emitter for corelint findings, enough for GitHub
+// code scanning (`github/codeql-action/upload-sarif`): one run, one
+// driver, rule ids, per-result message + physical location.
+
+#include <iosfwd>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace corelint {
+
+/// Writes the findings as a SARIF 2.1.0 log to `out`. `paths` are
+/// rendered with the same repo-relative tail as the text report so the
+/// upload maps onto checkout paths.
+void write_sarif(std::ostream& out, const std::vector<Finding>& findings);
+
+}  // namespace corelint

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
@@ -13,45 +14,115 @@ bool ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
 
+bool ends_with_splice(const std::string& raw) {
+  return !raw.empty() && raw.back() == '\\';
+}
+
+/// Cross-line lexical state: block comments, spliced // comments and raw
+/// string literals all continue onto following physical lines.
+struct StripState {
+  bool in_block_comment = false;
+  bool in_line_comment = false;  ///< previous // comment ended with '\'
+  bool in_raw_string = false;
+  std::string raw_terminator;  ///< ")delim\"" that closes the raw string
+
+  bool mid_construct() const {
+    return in_block_comment || in_line_comment || in_raw_string;
+  }
+};
+
+/// True when the '"' at `raw[i]` opens a raw string literal: it is
+/// preceded by an R / uR / UR / LR / u8R encoding prefix that is itself
+/// not the tail of a longer identifier.
+bool is_raw_string_open(const std::string& raw, std::size_t i) {
+  if (i == 0 || raw[i - 1] != 'R') return false;
+  if (i == 1) return true;
+  const char before = raw[i - 2];
+  if (!ident_char(before)) return true;
+  if ((before == 'u' || before == 'U' || before == 'L') &&
+      (i == 2 || !ident_char(raw[i - 3]))) {
+    return true;
+  }
+  if (before == '8' && i >= 3 && raw[i - 3] == 'u' &&
+      (i == 3 || !ident_char(raw[i - 4]))) {
+    return true;
+  }
+  return false;
+}
+
 /// Splits a raw source line into code and comment, blanking string and
-/// character literal contents. `in_block_comment` carries /* */ state
-/// across lines. Multi-line string literals are not handled (the
-/// codebase has none); a stray quote state resets at end of line.
-void strip_line(const std::string& raw, bool& in_block_comment, std::string& code,
+/// character literal contents (raw strings included). `state` carries
+/// comment/raw-string continuation across lines. A stray quote state
+/// resets at end of line (multi-line plain strings are ill-formed
+/// anyway).
+void strip_line(const std::string& raw, StripState& state, std::string& code,
                 std::string& comment) {
   code.clear();
   comment.clear();
-  enum class State { kCode, kString, kChar } state = State::kCode;
-  for (std::size_t i = 0; i < raw.size(); ++i) {
+  if (state.in_line_comment) {
+    comment = raw;
+    state.in_line_comment = ends_with_splice(raw);
+    return;
+  }
+  std::size_t start = 0;
+  if (state.in_raw_string) {
+    const std::size_t close = raw.find(state.raw_terminator);
+    if (close == std::string::npos) return;  // whole line is literal data
+    code += '"';
+    start = close + state.raw_terminator.size();
+    state.in_raw_string = false;
+  }
+  enum class State { kCode, kString, kChar } lex = State::kCode;
+  for (std::size_t i = start; i < raw.size(); ++i) {
     const char c = raw[i];
     const char next = i + 1 < raw.size() ? raw[i + 1] : '\0';
-    if (in_block_comment) {
+    if (state.in_block_comment) {
       if (c == '*' && next == '/') {
-        in_block_comment = false;
+        state.in_block_comment = false;
         ++i;
       } else {
         comment += c;
       }
       continue;
     }
-    switch (state) {
+    switch (lex) {
       case State::kCode:
         if (c == '/' && next == '/') {
           comment.append(raw, i + 2, std::string::npos);
+          state.in_line_comment = ends_with_splice(raw);
           return;
         }
         if (c == '/' && next == '*') {
-          in_block_comment = true;
+          state.in_block_comment = true;
           ++i;
           continue;
         }
+        if (c == '"' && is_raw_string_open(raw, i)) {
+          const std::size_t open = raw.find('(', i + 1);
+          if (open != std::string::npos) {
+            const std::string delim = raw.substr(i + 1, open - i - 1);
+            const std::string terminator = ")" + delim + "\"";
+            const std::size_t close = raw.find(terminator, open + 1);
+            code += '"';
+            if (close == std::string::npos) {
+              state.in_raw_string = true;
+              state.raw_terminator = terminator;
+              return;  // rest of the line is literal data
+            }
+            code += '"';
+            i = close + terminator.size() - 1;
+            continue;
+          }
+          // Malformed raw string (no '(' on the line): fall through and
+          // treat it as an ordinary string so scanning stays sane.
+        }
         if (c == '"') {
-          state = State::kString;
+          lex = State::kString;
           code += c;
           continue;
         }
         if (c == '\'') {
-          state = State::kChar;
+          lex = State::kChar;
           code += c;
           continue;
         }
@@ -61,7 +132,7 @@ void strip_line(const std::string& raw, bool& in_block_comment, std::string& cod
         if (c == '\\') {
           ++i;  // skip escaped char
         } else if (c == '"') {
-          state = State::kCode;
+          lex = State::kCode;
           code += c;
         }
         break;
@@ -69,13 +140,109 @@ void strip_line(const std::string& raw, bool& in_block_comment, std::string& cod
         if (c == '\\') {
           ++i;
         } else if (c == '\'') {
-          state = State::kCode;
+          lex = State::kCode;
           code += c;
         }
         break;
     }
   }
 }
+
+// ------------------------------------------------------------- preprocessor
+
+/// One open #if/#ifdef. `unknown` conditions (anything but literal 0/1)
+/// keep every branch live: corelint lints all configurations it cannot
+/// decide.
+struct PpFrame {
+  bool parent_live = true;
+  bool taken = false;    ///< a true branch was already taken
+  bool unknown = false;  ///< condition not statically decidable
+  bool live = true;      ///< current branch live (parent included)
+};
+
+/// Statically evaluates a directive condition: "0"/"false" and
+/// "1"/"true" only; everything else is unknown.
+std::optional<bool> eval_condition(std::string expr) {
+  const std::size_t comment = std::min(expr.find("//"), expr.find("/*"));
+  if (comment != std::string::npos) expr = expr.substr(0, comment);
+  const std::size_t first = expr.find_first_not_of(" \t");
+  if (first == std::string::npos) return std::nullopt;
+  const std::size_t last = expr.find_last_not_of(" \t");
+  expr = expr.substr(first, last - first + 1);
+  if (expr == "0" || expr == "false") return false;
+  if (expr == "1" || expr == "true") return true;
+  return std::nullopt;
+}
+
+/// Preprocessor-conditional tracking across the file. Lines inside a
+/// branch that is statically dead (`#if 0`, the `#else` of `#if 1`) are
+/// blanked before any rule sees them.
+class PpTracker {
+ public:
+  bool live() const { return stack_.empty() || stack_.back().live; }
+
+  /// Returns true when `raw` is a preprocessor directive (live or dead).
+  bool handle(const std::string& raw) {
+    const std::size_t hash = raw.find_first_not_of(" \t");
+    if (hash == std::string::npos || raw[hash] != '#') return false;
+    std::size_t word_begin = hash + 1;
+    while (word_begin < raw.size() &&
+           (raw[word_begin] == ' ' || raw[word_begin] == '\t')) {
+      ++word_begin;
+    }
+    std::size_t word_end = word_begin;
+    while (word_end < raw.size() && ident_char(raw[word_end])) ++word_end;
+    const std::string word = raw.substr(word_begin, word_end - word_begin);
+    const std::string rest = raw.substr(word_end);
+
+    if (word == "if") {
+      PpFrame frame;
+      frame.parent_live = live();
+      const std::optional<bool> value = eval_condition(rest);
+      frame.unknown = !value.has_value();
+      frame.taken = value.value_or(false);
+      frame.live = frame.parent_live && (frame.unknown || *value);
+      stack_.push_back(frame);
+    } else if (word == "ifdef" || word == "ifndef") {
+      PpFrame frame;
+      frame.parent_live = live();
+      frame.unknown = true;  // macro definedness is not tracked
+      frame.live = frame.parent_live;
+      stack_.push_back(frame);
+    } else if (word == "elif") {
+      if (!stack_.empty()) {
+        PpFrame& frame = stack_.back();
+        if (frame.unknown) {
+          frame.live = frame.parent_live;
+        } else if (frame.taken) {
+          frame.live = false;
+        } else {
+          const std::optional<bool> value = eval_condition(rest);
+          if (!value.has_value()) {
+            frame.unknown = true;
+            frame.live = frame.parent_live;
+          } else {
+            frame.taken = *value;
+            frame.live = frame.parent_live && *value;
+          }
+        }
+      }
+    } else if (word == "else") {
+      if (!stack_.empty()) {
+        PpFrame& frame = stack_.back();
+        frame.live = frame.unknown ? frame.parent_live
+                                   : (frame.parent_live && !frame.taken);
+        frame.taken = true;
+      }
+    } else if (word == "endif") {
+      if (!stack_.empty()) stack_.pop_back();
+    }
+    return true;
+  }
+
+ private:
+  std::vector<PpFrame> stack_;
+};
 
 /// Parses a comma-separated rule list out of "...(a, b)".
 std::set<std::string> parse_rule_list(const std::string& text, std::size_t open) {
@@ -317,11 +484,36 @@ SourceFile scan_file(const std::string& path) {
   file.path = path;
   file.effective_path = path;
 
-  bool in_block_comment = false;
+  StripState strip_state;
+  PpTracker pp;
+  bool in_directive_continuation = false;
   std::string raw;
   while (std::getline(in, raw)) {
     SourceLine line;
-    strip_line(raw, in_block_comment, line.code, line.comment);
+    // Preprocessor handling runs outside comments/raw strings only: a
+    // '#if' spelled inside either is text, not a directive.
+    if (!strip_state.mid_construct()) {
+      if (in_directive_continuation) {
+        // Continuation of a multi-line #define etc.: not live code.
+        in_directive_continuation = ends_with_splice(raw);
+        file.lines.push_back(std::move(line));
+        continue;
+      }
+      if (pp.live() && pp.handle(raw)) {
+        // The directive line itself carries no lintable code either.
+        in_directive_continuation = ends_with_splice(raw);
+        file.lines.push_back(std::move(line));
+        continue;
+      }
+      if (!pp.live()) {
+        // Inside a statically-dead branch: only directives matter (they
+        // are how the region ends); everything else is blanked.
+        pp.handle(raw);
+        file.lines.push_back(std::move(line));
+        continue;
+      }
+    }
+    strip_line(raw, strip_state, line.code, line.comment);
     line.code_blank = line.code.find_first_not_of(" \t") == std::string::npos;
     file.lines.push_back(std::move(line));
   }

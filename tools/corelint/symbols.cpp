@@ -1,0 +1,227 @@
+#include "symbols.hpp"
+
+#include <set>
+
+namespace corelint {
+
+namespace {
+
+/// Keywords that may directly precede '(' in places that are neither
+/// calls nor definitions (beyond the shared control keywords).
+bool non_function_word(const std::string& word) {
+  static const std::set<std::string> kWords = {"constexpr", "alignas", "requires"};
+  return is_control_keyword(word) || kWords.count(word) != 0;
+}
+
+bool qualifier_word(const std::string& word) {
+  static const std::set<std::string> kWords = {"const", "noexcept", "override",
+                                               "final", "mutable"};
+  return kWords.count(word) != 0;
+}
+
+/// Splits the token range [begin, end) at top-level commas. Depth counts
+/// parens, brackets and braces; angle brackets are tracked heuristically
+/// (clamped at zero) so template-ids in parameter types group correctly.
+std::vector<std::pair<std::size_t, std::size_t>> split_top_level(
+    const std::vector<Token>& tokens, std::size_t begin, std::size_t end) {
+  std::vector<std::pair<std::size_t, std::size_t>> parts;
+  if (begin >= end) return parts;
+  int depth = 0;
+  int angle = 0;
+  std::size_t part_begin = begin;
+  for (std::size_t t = begin; t < end; ++t) {
+    const Token& tok = tokens[t];
+    if (tok.kind == Token::Kind::kPunct) {
+      if (tok.text == "(" || tok.text == "[" || tok.text == "{") ++depth;
+      if (tok.text == ")" || tok.text == "]" || tok.text == "}") --depth;
+      if (tok.text == "<") ++angle;
+      if (tok.text == ">" && angle > 0) --angle;
+      if (tok.text == ">>" && angle > 0) angle = angle >= 2 ? angle - 2 : 0;
+      if (tok.text == "," && depth == 0 && angle == 0) {
+        parts.emplace_back(part_begin, t);
+        part_begin = t + 1;
+      }
+    }
+  }
+  parts.emplace_back(part_begin, end);
+  return parts;
+}
+
+Param parse_param(const std::vector<Token>& tokens, std::size_t begin,
+                  std::size_t end) {
+  Param param;
+  // Cut at the first top-level '=' (default argument).
+  std::size_t cut = end;
+  int depth = 0;
+  for (std::size_t t = begin; t < end; ++t) {
+    const Token& tok = tokens[t];
+    if (tok.kind == Token::Kind::kPunct) {
+      if (tok.text == "(" || tok.text == "[" || tok.text == "{") ++depth;
+      if (tok.text == ")" || tok.text == "]" || tok.text == "}") --depth;
+      if (tok.text == "=" && depth == 0) {
+        cut = t;
+        break;
+      }
+    }
+  }
+  bool has_const = false;
+  bool has_indirection = false;
+  for (std::size_t t = begin; t < cut; ++t) {
+    const Token& tok = tokens[t];
+    if (tok.is_ident("const")) has_const = true;
+    if (tok.is("&") || tok.is("*")) has_indirection = true;
+    if (tok.kind == Token::Kind::kIdent && !qualifier_word(tok.text)) {
+      param.name = tok.text;  // last identifier wins (the declarator)
+    }
+  }
+  param.is_out = has_indirection && !has_const;
+  return param;
+}
+
+}  // namespace
+
+std::size_t match_group(const std::vector<Token>& tokens, std::size_t open) {
+  if (open >= tokens.size()) return tokens.size();
+  const std::string& open_text = tokens[open].text;
+  const std::string close_text =
+      open_text == "(" ? ")" : open_text == "{" ? "}" : "]";
+  int depth = 0;
+  for (std::size_t t = open; t < tokens.size(); ++t) {
+    if (tokens[t].is(open_text.c_str())) ++depth;
+    if (tokens[t].is(close_text.c_str())) {
+      --depth;
+      if (depth == 0) return t;
+    }
+  }
+  return tokens.size();
+}
+
+std::vector<CallSite> find_calls(const std::vector<Token>& tokens, std::size_t begin,
+                                 std::size_t end) {
+  std::vector<CallSite> calls;
+  for (std::size_t t = begin; t + 1 < end; ++t) {
+    if (tokens[t].kind != Token::Kind::kIdent) continue;
+    if (!tokens[t + 1].is("(")) continue;
+    if (non_function_word(tokens[t].text)) continue;
+    const std::size_t close = match_group(tokens, t + 1);
+    if (close >= tokens.size()) continue;
+    CallSite call;
+    call.name = tokens[t].text;
+    call.line = tokens[t].line;
+    call.name_index = t;
+    if (close > t + 2) {
+      call.args = split_top_level(tokens, t + 2, close);
+    }
+    call.arity = static_cast<int>(call.args.size());
+    calls.push_back(std::move(call));
+  }
+  return calls;
+}
+
+int innermost_function(const std::vector<FunctionDef>& functions, std::size_t line) {
+  int best = -1;
+  std::size_t best_span = 0;
+  for (std::size_t f = 0; f < functions.size(); ++f) {
+    const FunctionDef& fn = functions[f];
+    if (fn.begin_line > line || line > fn.end_line) continue;
+    const std::size_t span = fn.end_line - fn.begin_line;
+    if (best < 0 || span < best_span) {
+      best = static_cast<int>(f);
+      best_span = span;
+    }
+  }
+  return best;
+}
+
+TranslationUnit make_unit(SourceFile file) {
+  TranslationUnit unit;
+  unit.file = std::move(file);
+  unit.tokens = tokenize(unit.file);
+  const std::vector<Token>& tokens = unit.tokens;
+
+  for (std::size_t t = 0; t + 1 < tokens.size(); ++t) {
+    if (tokens[t].kind != Token::Kind::kIdent) continue;
+    if (!tokens[t + 1].is("(")) continue;
+    if (non_function_word(tokens[t].text)) continue;
+    const std::size_t params_close = match_group(tokens, t + 1);
+    if (params_close >= tokens.size()) continue;
+
+    // Walk past qualifiers, a trailing return type and a constructor
+    // init list; a function definition is confirmed by a '{'.
+    std::size_t u = params_close + 1;
+    bool rejected = false;
+    while (u < tokens.size()) {
+      const Token& tok = tokens[u];
+      if (tok.kind == Token::Kind::kIdent && qualifier_word(tok.text)) {
+        ++u;
+        continue;
+      }
+      if (tok.is_ident("noexcept") && u + 1 < tokens.size() && tokens[u + 1].is("(")) {
+        u = match_group(tokens, u + 1) + 1;
+        continue;
+      }
+      if (tok.is("->")) {
+        // Trailing return type: consume until the body '{' or a ';'.
+        ++u;
+        int depth = 0;
+        while (u < tokens.size()) {
+          const Token& trail = tokens[u];
+          if (trail.is("(") || trail.is("[")) ++depth;
+          if (trail.is(")") || trail.is("]")) --depth;
+          if (depth == 0 && (trail.is("{") || trail.is(";"))) break;
+          ++u;
+        }
+        continue;
+      }
+      if (tok.is(":")) {
+        // Constructor init list: `name(args)` / `name{args}` items
+        // separated by commas, then the body brace.
+        ++u;
+        while (u < tokens.size()) {
+          while (u < tokens.size() && !tokens[u].is("(") && !tokens[u].is("{") &&
+                 !tokens[u].is(";")) {
+            ++u;
+          }
+          if (u >= tokens.size() || tokens[u].is(";")) {
+            rejected = true;
+            break;
+          }
+          u = match_group(tokens, u) + 1;
+          if (u < tokens.size() && tokens[u].is(",")) {
+            ++u;
+            continue;
+          }
+          break;
+        }
+        continue;
+      }
+      break;
+    }
+    if (rejected || u >= tokens.size() || !tokens[u].is("{")) continue;
+    const std::size_t body_close = match_group(tokens, u);
+    if (body_close >= tokens.size()) continue;
+
+    FunctionDef fn;
+    fn.name = tokens[t].text;
+    fn.begin_line = tokens[u].line;
+    fn.end_line = tokens[body_close].line;
+    fn.body_begin = u;
+    fn.body_end = body_close;
+    if (params_close > t + 2) {
+      for (const auto& [part_begin, part_end] :
+           split_top_level(tokens, t + 2, params_close)) {
+        if (part_begin >= part_end) continue;
+        if (part_end - part_begin == 1 && tokens[part_begin].is_ident("void")) {
+          continue;
+        }
+        if (part_end - part_begin == 1 && tokens[part_begin].is("...")) continue;
+        fn.params.push_back(parse_param(tokens, part_begin, part_end));
+      }
+    }
+    fn.arity = static_cast<int>(fn.params.size());
+    unit.functions.push_back(std::move(fn));
+  }
+  return unit;
+}
+
+}  // namespace corelint

@@ -1,0 +1,71 @@
+#pragma once
+// Symbol layer of corelint's semantic passes (see docs/ANALYSIS.md).
+//
+// Extracts function *definitions* (name, arity, parameters, body span)
+// from the token stream of one translation unit, and call sites with
+// argument token ranges from function bodies. The taint pass builds its
+// cross-TU call graph on top: callees resolve by (name, arity), i.e.
+// overloads are distinguished by argument count — a deliberate
+// approximation that needs no type system and is exact for the idioms
+// this repo uses.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+#include "scanner.hpp"
+
+namespace corelint {
+
+struct Param {
+  std::string name;
+  /// Non-const reference or pointer parameter: writes through it escape
+  /// to the caller (the taint pass treats these as out-parameters).
+  bool is_out = false;
+};
+
+struct FunctionDef {
+  std::string name;
+  int arity = 0;
+  std::vector<Param> params;
+  std::size_t begin_line = 0;  ///< 0-based line of the body '{'
+  std::size_t end_line = 0;    ///< 0-based line of the matching '}'
+  std::size_t body_begin = 0;  ///< token index of the body '{'
+  std::size_t body_end = 0;    ///< token index of the matching '}'
+};
+
+struct CallSite {
+  std::string name;
+  int arity = 0;
+  std::size_t line = 0;        ///< 0-based line of the callee name
+  std::size_t name_index = 0;  ///< token index of the callee name
+  /// Token index ranges [begin, end) of each argument expression.
+  std::vector<std::pair<std::size_t, std::size_t>> args;
+};
+
+/// One scanned + tokenized + symbolized file.
+struct TranslationUnit {
+  SourceFile file;
+  std::vector<Token> tokens;
+  std::vector<FunctionDef> functions;
+};
+
+/// Builds the translation unit for a scanned file.
+TranslationUnit make_unit(SourceFile file);
+
+/// Extracts the call sites inside the token range [begin, end)
+/// (typically a function body).
+std::vector<CallSite> find_calls(const std::vector<Token>& tokens, std::size_t begin,
+                                 std::size_t end);
+
+/// Index (into `functions`) of the innermost function whose body span
+/// contains `line`, or -1.
+int innermost_function(const std::vector<FunctionDef>& functions, std::size_t line);
+
+/// Token index of the matching closer for the opener at `open`
+/// (tokens[open] must be "(" or "{" or "["), or tokens.size() when
+/// unbalanced.
+std::size_t match_group(const std::vector<Token>& tokens, std::size_t open);
+
+}  // namespace corelint
