@@ -12,8 +12,6 @@
 // orders of magnitude faster, which is why the fleet benches use it, and
 // why the original authors reached for a commercial ILP solver.
 
-#include <chrono>
-
 #include "bench_common.hpp"
 #include "core/decomposed_map_solver.hpp"
 
@@ -49,21 +47,23 @@ EngineResult score(const core::MapSolveResult& solved, double seconds,
 }
 
 template <typename Fn>
-EngineResult timed(Fn&& solve, const sim::InstanceConfig& config) {
-  const auto t0 = std::chrono::steady_clock::now();  // corelint: non-deterministic
+EngineResult timed(const char* engine, Fn&& solve, const sim::InstanceConfig& config) {
+  obs::Span span(engine, "bench");
   const core::MapSolveResult solved = solve();
-  const double seconds =
-      // corelint: non-deterministic
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-  return score(solved, seconds, config);
+  return score(solved, span.stop(), config);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const util::CliFlags flags(argc, argv);
-  flags.validate({"skip-paper-objective", "csv"});
+  std::vector<std::string> known{"skip-paper-objective", "csv"};
+  const std::vector<std::string> report_flags = bench::report_flag_names();
+  known.insert(known.end(), report_flags.begin(), report_flags.end());
+  flags.validate(known);
   const bool skip_paper = flags.get_bool("skip-paper-objective", false);
+  bench::BenchReporter reporter("ablation_solver_engines", flags);
+  bench::ExpectedActual comparison;
 
   bench::print_header("Ablation: map-solver engines and ILP objectives",
                       "Sec. II-C (design study)");
@@ -83,11 +83,15 @@ int main(int argc, char** argv) {
     options.grid_rows = config.grid.rows();
     options.grid_cols = config.grid.cols();
     const EngineResult r = timed(
+        "decomposed",
         [&] { return core::DecomposedMapSolver(options).solve(obs, config.cha_count()); },
         config);
     table.add_row({"decomposed", std::to_string(obs.size()),
                    util::fmt(r.seconds * 1000, 1) + " ms", std::to_string(r.nodes),
                    std::to_string(r.correct) + "/" + std::to_string(r.total)});
+    reporter.add_stage("decomposed", r.seconds);
+    comparison.add("decomposed core tiles correct", static_cast<double>(r.total),
+                   static_cast<double>(r.correct), "tiles");
   }
   {
     core::IlpMapSolverOptions options;
@@ -96,11 +100,15 @@ int main(int argc, char** argv) {
     options.objective = core::IlpObjective::kCompactSum;
     options.max_observations = 40;
     const EngineResult r = timed(
+        "ilp_compact",
         [&] { return core::IlpMapSolver(options).solve(obs, config.cha_count()); },
         config);
     table.add_row({"ILP / compact sum", "40", util::fmt(r.seconds, 2) + " s",
                    std::to_string(r.nodes),
                    std::to_string(r.correct) + "/" + std::to_string(r.total)});
+    reporter.add_stage("ilp_compact", r.seconds);
+    comparison.add("ILP compact core tiles correct", static_cast<double>(r.total),
+                   static_cast<double>(r.correct), "tiles");
   }
   if (!skip_paper) {
     core::IlpMapSolverOptions options;
@@ -109,16 +117,21 @@ int main(int argc, char** argv) {
     options.objective = core::IlpObjective::kPaperIndicators;
     options.max_observations = 40;
     const EngineResult r = timed(
+        "ilp_paper",
         [&] { return core::IlpMapSolver(options).solve(obs, config.cha_count()); },
         config);
     table.add_row({"ILP / paper indicators", "40", util::fmt(r.seconds, 2) + " s",
                    std::to_string(r.nodes),
                    std::to_string(r.correct) + "/" + std::to_string(r.total)});
+    reporter.add_stage("ilp_paper", r.seconds);
+    comparison.add("ILP paper core tiles correct", static_cast<double>(r.total),
+                   static_cast<double>(r.correct), "tiles");
   }
   if (flags.get_bool("csv")) {
     table.print_csv(std::cout);
   } else {
     table.print(std::cout);
   }
+  reporter.finish(comparison);
   return 0;
 }

@@ -34,8 +34,13 @@ double measure(const core::CoreMap& map, const sim::InstanceConfig& config,
 
 int main(int argc, char** argv) {
   const util::CliFlags flags(argc, argv);
-  flags.validate({"bits", "csv"});
+  std::vector<std::string> known{"bits", "csv"};
+  const std::vector<std::string> report_flags = bench::report_flag_names();
+  known.insert(known.end(), report_flags.begin(), report_flags.end());
+  flags.validate(known);
   const int bits = static_cast<int>(flags.get_int("bits", 3000));
+  bench::BenchReporter reporter("ablation_thermal_anisotropy", flags);
+  bench::ExpectedActual comparison;
 
   bench::print_header("Ablation: thermal anisotropy drives vertical > horizontal",
                       "Sec. V-A (design study)");
@@ -52,6 +57,9 @@ int main(int argc, char** argv) {
   thermal::ThermalParams swapped = calibrated;
   std::swap(swapped.g_vertical, swapped.g_horizontal);
 
+  obs::Span sweep_span("anisotropy_sweep", "bench");
+  int orderings_as_expected = 0;
+  int orderings_total = 0;
   util::TablePrinter table({"coupling", "rate", "1-hop vertical BER",
                             "1-hop horizontal BER"});
   for (const auto& [name, params] :
@@ -65,6 +73,11 @@ int main(int argc, char** argv) {
           measure(li.result.map, li.config, params, 0, 1, rate, bits, 302);
       table.add_row({name, util::fmt(rate, 0) + " bps", util::fmt_pct(vertical, 2),
                      util::fmt_pct(horizontal, 2)});
+      const bool is_calibrated = params.g_vertical > params.g_horizontal;
+      ++orderings_total;
+      if (is_calibrated ? vertical <= horizontal : horizontal <= vertical) {
+        ++orderings_as_expected;
+      }
     }
   }
   if (flags.get_bool("csv")) {
@@ -73,5 +86,10 @@ int main(int argc, char** argv) {
     table.print(std::cout);
   }
   std::cout << "expectation: the winning direction flips with the coupling\n";
+
+  reporter.add_stage("anisotropy_sweep", sweep_span.stop());
+  comparison.add("orderings matching the coupling", static_cast<double>(orderings_total),
+                 static_cast<double>(orderings_as_expected), "rows");
+  reporter.finish(comparison);
   return 0;
 }

@@ -17,9 +17,13 @@ int main(int argc, char** argv) {
   std::vector<std::string> known{"instances", "top"};
   const std::vector<std::string> fleet_flags = bench::fleet_flag_names();
   known.insert(known.end(), fleet_flags.begin(), fleet_flags.end());
+  const std::vector<std::string> report_flags = bench::report_flag_names();
+  known.insert(known.end(), report_flags.begin(), report_flags.end());
   flags.validate(known);
   const int instances = static_cast<int>(flags.get_int("instances", 100));
   const int top = static_cast<int>(flags.get_int("top", 3));
+  bench::BenchReporter reporter("fig4_patterns_8259cl", flags);
+  bench::ExpectedActual comparison;
 
   bench::print_header("Fig. 4: most frequent 8259CL core location mappings", "Fig. 4");
 
@@ -34,5 +38,13 @@ int main(int argc, char** argv) {
               << entry.representative.canonical().render();
   }
   std::cout << "\n(total unique patterns: " << survey.patterns.unique_patterns() << ")\n";
+
+  reporter.merge_registry(survey.registry);
+  reporter.add_stage("survey", survey.wall_seconds);
+  comparison.add("distinct top patterns rendered", static_cast<double>(top),
+                 static_cast<double>(survey.patterns.top(top).size()));
+  comparison.add("instances mapped", static_cast<double>(instances),
+                 static_cast<double>(survey.completed), "instances");
+  reporter.finish(comparison);
   return 0;
 }

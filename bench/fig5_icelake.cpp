@@ -26,8 +26,12 @@ int main(int argc, char** argv) {
   std::vector<std::string> known{"instances"};
   const std::vector<std::string> fleet_flags = bench::fleet_flag_names();
   known.insert(known.end(), fleet_flags.begin(), fleet_flags.end());
+  const std::vector<std::string> report_flags = bench::report_flag_names();
+  known.insert(known.end(), report_flags.begin(), report_flags.end());
   flags.validate(known);
   const int instances = static_cast<int>(flags.get_int("instances", 10));
+  bench::BenchReporter reporter("fig5_icelake", flags);
+  bench::ExpectedActual comparison;
 
   bench::print_header("Fig. 5: Ice Lake Xeon 6354 core location mapping", "Fig. 5");
 
@@ -86,5 +90,16 @@ int main(int argc, char** argv) {
             << survey.completed
             << "\nmaps explaining all observations: " << total("consistent") << "/"
             << survey.completed << "\n";
+
+  reporter.merge_registry(survey.registry);
+  reporter.add_stage("survey", survey.wall_seconds);
+  comparison.add("unique mapping patterns", 6.0,
+                 static_cast<double>(survey.patterns.unique_patterns()));
+  comparison.add("instances mapped", static_cast<double>(instances),
+                 static_cast<double>(survey.completed), "instances");
+  comparison.add("maps explaining all observations",
+                 static_cast<double>(survey.completed),
+                 static_cast<double>(total("consistent")), "instances");
+  reporter.finish(comparison);
   return 0;
 }

@@ -61,8 +61,13 @@ double trace_max(const covert::Trace& trace, double from) {
 
 int main(int argc, char** argv) {
   const util::CliFlags flags(argc, argv);
-  flags.validate({"rate"});
+  std::vector<std::string> known{"rate"};
+  const std::vector<std::string> report_flags = bench::report_flag_names();
+  known.insert(known.end(), report_flags.begin(), report_flags.end());
+  flags.validate(known);
   const double rate = flags.get_double("rate", 1.0);
+  bench::BenchReporter reporter("fig6_thermal_trace", flags);
+  bench::ExpectedActual comparison;
 
   bench::print_header("Fig. 6: thermal covert channel traces at 1/2/3 hops", "Fig. 6");
 
@@ -137,15 +142,24 @@ int main(int argc, char** argv) {
   for (std::size_t h = 0; h < hop_receivers.size(); ++h) {
     const covert::Trace& trace = result.traces[h];
     const covert::ChannelOutcome& outcome = result.channels[h];
+    const std::size_t errors = covert::hamming_distance(payload, outcome.decoded);
     std::cout << static_cast<int>(h) + 1 << "-hop sink temp:  "
               << util::fmt(trace_min(trace, config.start_time), 1) << " - "
               << util::fmt(trace_max(trace, config.start_time), 1) << " C   "
               << sparkline(trace, config.start_time, bit_period, frame_bits) << "\n"
               << "   decoded:       " << covert::to_string(outcome.decoded)
-              << "   (errors: "
-              << covert::hamming_distance(payload, outcome.decoded) << "/"
-              << payload.size() << ", synced: " << (outcome.synced ? "yes" : "no")
-              << ")\n";
+              << "   (errors: " << errors << "/" << payload.size()
+              << ", synced: " << (outcome.synced ? "yes" : "no") << ")\n";
+    if (h == 0) {
+      comparison.add("1-hop decode errors", 0.0, static_cast<double>(errors), "bits");
+      comparison.add("1-hop synced", 1.0, outcome.synced ? 1.0 : 0.0);
+    }
   }
+  comparison.add("source temp swing low", 34.0,
+                 trace_min(source_trace, config.start_time), "degC");
+  comparison.add("source temp swing high", 48.0,
+                 trace_max(source_trace, config.start_time), "degC");
+  reporter.add_stage("transmission", result.simulated_seconds);
+  reporter.finish(comparison);
   return 0;
 }

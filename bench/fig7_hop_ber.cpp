@@ -41,8 +41,13 @@ double measure(const core::CoreMap& map, const sim::InstanceConfig& config,
 
 int main(int argc, char** argv) {
   const util::CliFlags flags(argc, argv);
-  flags.validate({"bits", "csv"});
+  std::vector<std::string> known{"bits", "csv"};
+  const std::vector<std::string> report_flags = bench::report_flag_names();
+  known.insert(known.end(), report_flags.begin(), report_flags.end());
+  flags.validate(known);
   const int bits = static_cast<int>(flags.get_int("bits", 10000));
+  bench::BenchReporter reporter("fig7_hop_ber", flags);
+  bench::ExpectedActual comparison;
 
   bench::print_header(
       "Fig. 7: BER vs bit rate for sender-receiver hop count/direction", "Fig. 7");
@@ -62,6 +67,8 @@ int main(int argc, char** argv) {
                             {"3-hop vertical", 3, 0}};
   util::TablePrinter table({"bit rate", "1-hop horiz BER", "1-hop vert BER",
                             "2-hop vert BER", "3-hop vert BER"});
+  obs::Span sweep_span("ber_sweep", "bench");
+  double vert_1bps = -1.0, horiz_4bps = -1.0, vert_4bps = -1.0;
   for (double rate : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0}) {
     std::vector<std::string> row{util::fmt(rate, 0) + " bps"};
     for (const HopConfig& hop : hops) {
@@ -69,6 +76,9 @@ int main(int argc, char** argv) {
           measure(li.result.map, li.config, hop, rate, bits,
                   static_cast<std::uint64_t>(rate * 100) + 17);
       row.push_back(ber < 0 ? "n/a" : util::fmt_pct(ber, 2));
+      if (rate == 1.0 && hop.dr == 1 && hop.dc == 0) vert_1bps = ber;
+      if (rate == 4.0 && hop.dr == 0 && hop.dc == 1) horiz_4bps = ber;
+      if (rate == 4.0 && hop.dr == 1 && hop.dc == 0) vert_4bps = ber;
     }
     table.add_row(std::move(row));
   }
@@ -79,5 +89,11 @@ int main(int argc, char** argv) {
   }
   std::cout << "shape to match: vertical < horizontal at the same rate; "
                ">=2 hops unusable above ~1 bps\n";
+
+  reporter.add_stage("ber_sweep", sweep_span.stop());
+  comparison.add("1-hop vertical BER @ 1 bps", 0.0, vert_1bps)
+      .add("1-hop horizontal BER @ 4 bps", 0.20, horiz_4bps)
+      .add("1-hop vertical BER @ 4 bps", 0.10, vert_4bps);
+  reporter.finish(comparison);
   return 0;
 }

@@ -1,0 +1,94 @@
+#pragma once
+// Shared main() for the google-benchmark binaries (perf_ilp,
+// perf_substrate): splits the corelocate report flags
+// (--report/--report-file/--trace) from the benchmark library's own
+// flags, and captures every benchmark's per-iteration real time into the
+// same schema-checked BENCH_<name>.json the table/figure benches write.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace corelocate::bench {
+
+/// Console reporter that also folds each finished run into the perf
+/// report: one stage per benchmark (adjusted real seconds/iteration) and
+/// an iteration counter in the metrics registry.
+class PerfCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit PerfCaptureReporter(obs::PerfReport& report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      const double seconds =
+          run.GetAdjustedRealTime() / benchmark::GetTimeUnitMultiplier(run.time_unit);
+      report_.add_stage(run.benchmark_name(), seconds);
+      report_.registry()
+          .counter(run.benchmark_name() + ".iterations")
+          .add(static_cast<std::uint64_t>(run.iterations));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  obs::PerfReport& report_;
+};
+
+/// Entry point for the perf binaries. Our flags are claimed before
+/// benchmark::Initialize sees the argument list, so both flag families
+/// coexist: `perf_ilp --benchmark_filter=Simplex --report=json`.
+inline int perf_main(const std::string& name, int argc, char** argv) {
+  const std::vector<std::string> ours = report_flag_names();
+  const auto is_ours = [&](const char* arg, bool* takes_value) {
+    for (const std::string& flag : ours) {
+      const std::string prefix = "--" + flag;
+      if (arg == prefix) {
+        *takes_value = true;  // space-separated form: claim the next token too
+        return true;
+      }
+      if (std::strncmp(arg, (prefix + "=").c_str(), prefix.size() + 1) == 0) {
+        *takes_value = false;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  std::vector<char*> our_argv{argv[0]};
+  std::vector<char*> bench_argv{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    bool takes_value = false;
+    if (is_ours(argv[i], &takes_value)) {
+      our_argv.push_back(argv[i]);
+      if (takes_value && i + 1 < argc) our_argv.push_back(argv[++i]);
+    } else {
+      bench_argv.push_back(argv[i]);
+    }
+  }
+
+  const util::CliFlags flags(static_cast<int>(our_argv.size()), our_argv.data());
+  flags.validate(ours);
+  BenchReporter reporter(name, flags);
+
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) return 1;
+  PerfCaptureReporter console(reporter.report());
+  benchmark::RunSpecifiedBenchmarks(&console);
+  benchmark::Shutdown();
+  reporter.finish();
+  return 0;
+}
+
+}  // namespace corelocate::bench
+
+/// Replaces BENCHMARK_MAIN() in the perf binaries.
+#define CORELOCATE_PERF_MAIN(name)                              \
+  int main(int argc, char** argv) {                             \
+    return corelocate::bench::perf_main(name, argc, argv);      \
+  }

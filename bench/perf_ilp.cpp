@@ -6,6 +6,7 @@
 #include "core/decomposed_map_solver.hpp"
 #include "core/ilp_map_solver.hpp"
 #include "ilp/branch_and_bound.hpp"
+#include "perf_common.hpp"
 #include "sim/instance_factory.hpp"
 
 namespace {
@@ -98,4 +99,4 @@ BENCHMARK(BM_IlpModelBuild8124M);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+CORELOCATE_PERF_MAIN("perf_ilp")

@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/eviction_set.hpp"
+#include "perf_common.hpp"
 #include "sim/virtual_xeon.hpp"
 #include "thermal/thermal_model.hpp"
 
@@ -84,4 +85,4 @@ BENCHMARK(BM_ThermalSecondOfSimulation);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+CORELOCATE_PERF_MAIN("perf_substrate")

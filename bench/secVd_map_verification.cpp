@@ -10,9 +10,14 @@
 int main(int argc, char** argv) {
   using namespace corelocate;
   const util::CliFlags flags(argc, argv);
-  flags.validate({"bits", "rate"});
+  std::vector<std::string> known{"bits", "rate"};
+  const std::vector<std::string> report_flags = bench::report_flag_names();
+  known.insert(known.end(), report_flags.begin(), report_flags.end());
+  flags.validate(known);
   const int bits = static_cast<int>(flags.get_int("bits", 200));
   const double rate = flags.get_double("rate", 2.0);
+  bench::BenchReporter reporter("secVd_map_verification", flags);
+  bench::ExpectedActual comparison;
 
   bench::print_header("Sec. V-D: map verification via all-pairs thermal BER",
                       "Sec. V-D");
@@ -32,6 +37,7 @@ int main(int argc, char** argv) {
     if (covert::is_core_cha(map, cha)) core_chas.push_back(cha);
   }
 
+  obs::Span pairs_span("all_pairs_ber", "bench");
   int verified = 0;
   int vertical_best = 0;
   int total = 0;
@@ -74,5 +80,10 @@ int main(int argc, char** argv) {
             << "  (of those, vertical neighbours: " << vertical_best << ")\n"
             << "paper: neighbours win except for a few tiles with no adjacent "
                "vertical neighbour\n";
+
+  reporter.add_stage("all_pairs_ber", pairs_span.stop());
+  comparison.add("best partner is mapped neighbour", static_cast<double>(total),
+                 static_cast<double>(verified), "receivers");
+  reporter.finish(comparison);
   return 0;
 }

@@ -29,7 +29,8 @@ std::string mapping_to_string(const std::vector<int>& mapping) {
 }
 
 void run_model(sim::XeonModel model, int instances, const util::CliFlags& flags,
-               bool csv) {
+               bool csv, bench::BenchReporter& reporter,
+               bench::ExpectedActual& comparison) {
   fleet::SurveyOptions options =
       bench::survey_options_from_flags(flags, instances, bench::kFleetSeed);
   if (!options.checkpoint_dir.empty()) {
@@ -68,6 +69,16 @@ void run_model(sim::XeonModel model, int instances, const util::CliFlags& flags,
   } else {
     table.print(std::cout);
   }
+
+  reporter.merge_registry(survey.registry);
+  reporter.add_stage(sim::to_string(model), survey.wall_seconds);
+  const double expected_variants = model == sim::XeonModel::k8259CL ? 7.0 : 1.0;
+  comparison.add(std::string(sim::to_string(model)) + " mapping variants",
+                 expected_variants,
+                 static_cast<double>(survey.id_mappings.unique_mappings()));
+  comparison.add(std::string(sim::to_string(model)) + " step-1 exact",
+                 static_cast<double>(instances), static_cast<double>(step1_exact),
+                 "instances");
 }
 
 }  // namespace
@@ -77,15 +88,21 @@ int main(int argc, char** argv) {
   std::vector<std::string> known{"instances", "csv"};
   const std::vector<std::string> fleet_flags = bench::fleet_flag_names();
   known.insert(known.end(), fleet_flags.begin(), fleet_flags.end());
+  const std::vector<std::string> report_flags = bench::report_flag_names();
+  known.insert(known.end(), report_flags.begin(), report_flags.end());
   flags.validate(known);
   const int instances = static_cast<int>(flags.get_int("instances", 100));
+  bench::BenchReporter reporter("table1_cha_mapping", flags);
+  bench::ExpectedActual comparison;
 
   bench::print_header("Table I: OS core ID <-> CHA ID mapping results", "Table I");
   std::cout << "paper: 8124M/8175M -> 1 mapping each (mod-4 classes); "
                "8259CL -> 7 variants, top 62/33 instances\n";
 
-  run_model(sim::XeonModel::k8124M, instances, flags, flags.get_bool("csv"));
-  run_model(sim::XeonModel::k8175M, instances, flags, flags.get_bool("csv"));
-  run_model(sim::XeonModel::k8259CL, instances, flags, flags.get_bool("csv"));
+  const bool csv = flags.get_bool("csv");
+  run_model(sim::XeonModel::k8124M, instances, flags, csv, reporter, comparison);
+  run_model(sim::XeonModel::k8175M, instances, flags, csv, reporter, comparison);
+  run_model(sim::XeonModel::k8259CL, instances, flags, csv, reporter, comparison);
+  reporter.finish(comparison);
   return 0;
 }

@@ -54,7 +54,8 @@ void analyze_accuracy(const fleet::InstanceTask&, const fleet::LocatedInstance& 
   }
 }
 
-ModelRow run_model(sim::XeonModel model, int instances, const util::CliFlags& flags) {
+ModelRow run_model(sim::XeonModel model, int instances, const util::CliFlags& flags,
+                   bench::BenchReporter& reporter) {
   fleet::SurveyOptions options =
       bench::survey_options_from_flags(flags, instances, bench::kFleetSeed * 3);
   if (!options.checkpoint_dir.empty()) {
@@ -75,6 +76,8 @@ ModelRow run_model(sim::XeonModel model, int instances, const util::CliFlags& fl
   };
   row.exact_maps = total("exact");
   row.exact_refined = total("exact_refined");
+  reporter.merge_registry(survey.registry);
+  reporter.add_stage(row.name, survey.wall_seconds);
   return row;
 }
 
@@ -85,8 +88,12 @@ int main(int argc, char** argv) {
   std::vector<std::string> known{"instances", "csv"};
   const std::vector<std::string> fleet_flags = bench::fleet_flag_names();
   known.insert(known.end(), fleet_flags.begin(), fleet_flags.end());
+  const std::vector<std::string> report_flags = bench::report_flag_names();
+  known.insert(known.end(), report_flags.begin(), report_flags.end());
   flags.validate(known);
   const int instances = static_cast<int>(flags.get_int("instances", 100));
+  bench::BenchReporter reporter("table2_pattern_stats", flags);
+  bench::ExpectedActual comparison;
 
   bench::print_header("Table II: observed core location pattern statistics",
                       "Table II");
@@ -95,9 +102,20 @@ int main(int argc, char** argv) {
 
   util::TablePrinter table({"CPU model", "#1", "#2", "#3", "#4", "unique patterns",
                             "maps exact (paper method)", "maps exact (+neg-info cuts)"});
+  const auto paper_unique = [](sim::XeonModel model) {
+    switch (model) {
+      case sim::XeonModel::k8124M: return 14.0;
+      case sim::XeonModel::k8175M: return 26.0;
+      default: return 53.0;
+    }
+  };
   for (sim::XeonModel model :
        {sim::XeonModel::k8124M, sim::XeonModel::k8175M, sim::XeonModel::k8259CL}) {
-    const ModelRow row = run_model(model, instances, flags);
+    const ModelRow row = run_model(model, instances, flags, reporter);
+    comparison.add(row.name + " unique patterns", paper_unique(model),
+                   static_cast<double>(row.unique));
+    comparison.add(row.name + " maps exact", static_cast<double>(row.instances),
+                   static_cast<double>(row.exact_refined), "instances");
     std::vector<std::string> cells{row.name};
     for (int i = 0; i < 4; ++i) {
       cells.push_back(i < static_cast<int>(row.top4.size())
@@ -114,5 +132,6 @@ int main(int argc, char** argv) {
   } else {
     table.print(std::cout);
   }
+  reporter.finish(comparison);
   return 0;
 }

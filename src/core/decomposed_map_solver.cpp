@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "obs/trace.hpp"
+
 namespace corelocate::core {
 
 namespace {
@@ -293,6 +295,7 @@ DecomposedMapSolver::DecomposedMapSolver(DecomposedSolverOptions options)
 
 MapSolveResult DecomposedMapSolver::solve(const ObservationSet& observations,
                                           int cha_count) const {
+  obs::Span span("decomposed_solve", "core");
   MapSolveResult result;
   if (const std::string err = validate_observations(observations, cha_count);
       !err.empty()) {
@@ -409,6 +412,8 @@ MapSolveResult DecomposedMapSolver::solve(const ObservationSet& observations,
   DirectionSearch search(groups, cha_count, options_.grid_cols - 1, options_.max_nodes,
                          std::move(base_edges));
   const std::optional<std::vector<int>> columns = search.run(result.nodes);
+  span.arg("nodes", obs::Json(result.nodes));
+  span.arg("direction_groups", obs::Json(groups.size()));
   if (!columns.has_value()) {
     result.message = search.budget_exceeded() ? "direction search node budget exceeded"
                                               : "column constraints inconsistent";

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace corelocate::core {
 
 using ilp::LinExpr;
@@ -214,13 +216,17 @@ Model IlpMapSolver::build_model(const ObservationSet& observations, int cha_coun
 
 MapSolveResult IlpMapSolver::solve(const ObservationSet& observations,
                                    int cha_count) const {
+  obs::Span span("ilp_map_solve", "core");
   MapSolveResult result;
   if (const std::string err = validate_observations(observations, cha_count);
       !err.empty()) {
     result.message = "invalid observations: " + err;
     return result;
   }
+  obs::Span build_span("build_model", "core");
   const Model model = build_model(observations, cha_count);
+  build_span.arg("variables", obs::Json(model.variable_count()));
+  build_span.stop();
   if (options_.validate_model) {
     const ilp::ModelCheckReport report = ilp::check_model(model);
     if (report.structural()) {

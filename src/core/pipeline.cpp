@@ -1,17 +1,8 @@
 #include "core/pipeline.hpp"
 
-#include <chrono>
+#include "obs/trace.hpp"
 
 namespace corelocate::core {
-
-namespace {
-// Wall-clock timing feeds step_*_seconds metadata only, never results.
-// corelint: non-deterministic
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  // corelint: non-deterministic
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-}
-}  // namespace
 
 LocateOptions options_for(const sim::ModelSpec& spec) {
   LocateOptions options;
@@ -24,41 +15,58 @@ LocateResult locate_cores(sim::VirtualXeon& cpu, util::Rng& rng,
                           const LocateOptions& options) {
   LocateResult result;
 
-  auto t0 = std::chrono::steady_clock::now();  // corelint: non-deterministic
-  ChaMapper mapper(cpu, rng, options.mapper);
-  result.cha_mapping = mapper.map();
-  result.step1_seconds = seconds_since(t0);
+  // Wall-clock timing (obs::Span over obs::Clock) feeds step_*_seconds
+  // metadata and the tracer only, never the reconstructed map.
+  obs::Span pipeline_span("locate_cores", "core");
 
-  t0 = std::chrono::steady_clock::now();  // corelint: non-deterministic
-  TrafficProber prober(cpu, options.probe);
-  result.observations = prober.probe_all(result.cha_mapping);
-  result.step2_seconds = seconds_since(t0);
-
-  t0 = std::chrono::steady_clock::now();  // corelint: non-deterministic
-  MapSolveResult solved;
-  if (options.engine == SolverEngine::kIlp) {
-    IlpMapSolverOptions ilp_options = options.ilp;
-    ilp_options.grid_rows = options.grid_rows;
-    ilp_options.grid_cols = options.grid_cols;
-    solved = IlpMapSolver(ilp_options).solve(result.observations, cpu.cha_count());
-  } else if (options.engine == SolverEngine::kRefined) {
-    RefinementOptions refine_options = options.refinement;
-    refine_options.grid_rows = options.grid_rows;
-    refine_options.grid_cols = options.grid_cols;
-    const RefinementResult refined =
-        solve_with_refinement(result.observations, cpu.cha_count(), refine_options);
-    solved = refined.solved;
-    if (solved.success) {
-      solved.message += " (+" + std::to_string(refined.cuts_added) +
-                        " negative-information cuts)";
-    }
-  } else {
-    DecomposedSolverOptions dec_options = options.decomposed;
-    dec_options.grid_rows = options.grid_rows;
-    dec_options.grid_cols = options.grid_cols;
-    solved = DecomposedMapSolver(dec_options).solve(result.observations, cpu.cha_count());
+  {
+    obs::Span span("cha_mapping", "core");
+    ChaMapper mapper(cpu, rng, options.mapper);
+    result.cha_mapping = mapper.map();
+    span.arg("chas", obs::Json(result.cha_mapping.os_core_to_cha.size()));
+    result.step1_seconds = span.stop();
   }
-  result.step3_seconds = seconds_since(t0);
+
+  {
+    obs::Span span("traffic_probe", "core");
+    TrafficProber prober(cpu, options.probe);
+    result.observations = prober.probe_all(result.cha_mapping);
+    span.arg("observations", obs::Json(result.observations.size()));
+    result.step2_seconds = span.stop();
+  }
+
+  MapSolveResult solved;
+  {
+    obs::Span span("map_solve", "core");
+    if (options.engine == SolverEngine::kIlp) {
+      IlpMapSolverOptions ilp_options = options.ilp;
+      ilp_options.grid_rows = options.grid_rows;
+      ilp_options.grid_cols = options.grid_cols;
+      solved = IlpMapSolver(ilp_options).solve(result.observations, cpu.cha_count());
+    } else if (options.engine == SolverEngine::kRefined) {
+      RefinementOptions refine_options = options.refinement;
+      refine_options.grid_rows = options.grid_rows;
+      refine_options.grid_cols = options.grid_cols;
+      const RefinementResult refined =
+          solve_with_refinement(result.observations, cpu.cha_count(), refine_options);
+      solved = refined.solved;
+      if (solved.success) {
+        solved.message += " (+" + std::to_string(refined.cuts_added) +
+                          " negative-information cuts)";
+      }
+    } else {
+      DecomposedSolverOptions dec_options = options.decomposed;
+      dec_options.grid_rows = options.grid_rows;
+      dec_options.grid_cols = options.grid_cols;
+      solved = DecomposedMapSolver(dec_options).solve(result.observations,
+                                                      cpu.cha_count());
+    }
+    span.arg("nodes", obs::Json(solved.nodes));
+    span.arg("lp_iterations", obs::Json(solved.lp_iterations));
+    result.step3_seconds = span.stop();
+  }
+  result.solver_nodes = solved.nodes;
+  result.solver_lp_iterations = solved.lp_iterations;
 
   if (!solved.success) {
     result.message = "solver failed: " + solved.message;

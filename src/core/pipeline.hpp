@@ -46,6 +46,10 @@ struct LocateResult {
   double step1_seconds = 0.0;
   double step2_seconds = 0.0;
   double step3_seconds = 0.0;
+  /// Solver work counters (branch & bound nodes, simplex pivots across
+  /// all LP solves). Deterministic, unlike the wall times above.
+  std::int64_t solver_nodes = 0;
+  std::int64_t solver_lp_iterations = 0;
 };
 
 /// Runs the full pipeline against a (virtual) machine.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace corelocate::covert {
 
 TransmissionResult run_transmission(thermal::ThermalModel& model,
@@ -48,16 +50,24 @@ TransmissionResult run_transmission(thermal::ThermalModel& model,
   const double dt = std::min({config.dt_max, bit_period / 12.0,
                               0.45 * model.max_stable_dt()});
 
-  while (model.time() < duration) {
-    for (const ThermalSender& sender : senders) sender.apply(model);
-    model.step(dt);
-    for (ThermalReceiver& receiver : receivers) receiver.sample(model);
+  {
+    // Spans time the encode/transmit loop and the decode pass; they feed
+    // the tracer and perf reports only, never the decoded bits.
+    obs::Span span("covert_transmit", "covert");
+    span.arg("channels", obs::Json(channels.size()));
+    span.arg("bits", obs::Json(max_bits));
+    while (model.time() < duration) {
+      for (const ThermalSender& sender : senders) sender.apply(model);
+      model.step(dt);
+      for (ThermalReceiver& receiver : receivers) receiver.sample(model);
+    }
   }
 
   TransmissionResult result;
   result.simulated_seconds = model.time();
   result.channels.reserve(channels.size());
   result.traces.reserve(channels.size());
+  obs::Span decode_span("covert_decode", "covert");
   for (std::size_t i = 0; i < channels.size(); ++i) {
     const DecodeResult decoded = decode_trace(
         receivers[i].trace(), bit_period, starts[i], signature,
@@ -70,6 +80,8 @@ TransmissionResult run_transmission(thermal::ThermalModel& model,
     result.channels.push_back(std::move(outcome));
     result.traces.push_back(receivers[i].trace());
   }
+  decode_span.arg("channels", obs::Json(channels.size()));
+  decode_span.stop();
   return result;
 }
 

@@ -8,19 +8,21 @@
 namespace corelocate::fleet {
 
 namespace {
-constexpr auto kEmitInterval = std::chrono::milliseconds(500);
+constexpr std::uint64_t kEmitIntervalNs = 500'000'000;  // 500 ms
 }  // namespace
 
 ProgressMeter::ProgressMeter(int total, bool emit)
-    : total_(total), emit_(emit), start_(std::chrono::steady_clock::now()),
-      last_emit_(start_ - kEmitInterval) {
+    : total_(total), emit_(emit), start_(obs::Clock::now()) {
   acc_.total = total;
+  last_emit_.ns = start_.ns >= kEmitIntervalNs ? start_.ns - kEmitIntervalNs : 0;
 }
 
 void ProgressMeter::note_resumed(int count) {
   std::lock_guard lock(mutex_);
   acc_.done += count;
   acc_.resumed += count;
+  // A resume can complete the survey outright (everything checkpointed).
+  if (emit_ && acc_.done == total_ && total_ > 0) emit_final_locked();
 }
 
 void ProgressMeter::instance_done(double step1_s, double step2_s, double step3_s,
@@ -33,24 +35,31 @@ void ProgressMeter::instance_done(double step1_s, double step2_s, double step3_s
   acc_.wall.add(wall_s);
   acc_.wall_hist.add(wall_s);
   if (!emit_) return;
-  const auto now = std::chrono::steady_clock::now();
-  if (acc_.done != total_ && now - last_emit_ < kEmitInterval) return;
+  if (acc_.done == total_) {
+    emit_final_locked();
+    return;
+  }
+  const obs::Clock::Time now = obs::Clock::now();
+  if (now.ns - last_emit_.ns < kEmitIntervalNs) return;
   last_emit_ = now;
   emit_line_locked();
 }
 
-void ProgressMeter::emit_line_locked() {
-  const ProgressSummary s = [this] {
-    ProgressSummary snap = acc_;
-    const auto now = std::chrono::steady_clock::now();
-    snap.elapsed_seconds = std::chrono::duration<double>(now - start_).count();
-    const int computed = snap.done - snap.resumed;
-    if (snap.elapsed_seconds > 0.0 && computed > 0) {
-      snap.instances_per_second = computed / snap.elapsed_seconds;
+ProgressSummary ProgressMeter::snapshot_locked() const {
+  ProgressSummary snap = acc_;
+  snap.elapsed_seconds = obs::Clock::seconds_since(start_);
+  const int computed = snap.done - snap.resumed;
+  if (snap.elapsed_seconds > 0.0 && computed > 0) {
+    snap.instances_per_second = computed / snap.elapsed_seconds;
+    if (snap.done < snap.total) {
       snap.eta_seconds = (snap.total - snap.done) / snap.instances_per_second;
     }
-    return snap;
-  }();
+  }
+  return snap;
+}
+
+void ProgressMeter::emit_line_locked() {
+  const ProgressSummary s = snapshot_locked();
   std::ostringstream line;
   line << "fleet: " << s.done << "/" << s.total;
   if (s.resumed > 0) line << " (" << s.resumed << " resumed)";
@@ -60,19 +69,22 @@ void ProgressMeter::emit_line_locked() {
   util::log_info() << line.str();
 }
 
+void ProgressMeter::emit_final_locked() {
+  if (final_emitted_) return;
+  final_emitted_ = true;
+  const ProgressSummary s = snapshot_locked();
+  std::ostringstream line;
+  line << "fleet: done " << s.done << "/" << s.total;
+  if (s.resumed > 0) line << " (" << s.resumed << " resumed)";
+  line << std::fixed << std::setprecision(1) << " in " << s.elapsed_seconds
+       << "s | " << s.instances_per_second << " inst/s | p50 inst "
+       << std::setprecision(0) << s.wall_hist.percentile(50.0) * 1e3 << "ms";
+  util::log_info() << line.str();
+}
+
 ProgressSummary ProgressMeter::summary() const {
   std::lock_guard lock(mutex_);
-  ProgressSummary snap = acc_;
-  snap.elapsed_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
-  const int computed = snap.done - snap.resumed;
-  if (snap.elapsed_seconds > 0.0 && computed > 0) {
-    snap.instances_per_second = computed / snap.elapsed_seconds;
-    if (snap.done < snap.total) {
-      snap.eta_seconds = (snap.total - snap.done) / snap.instances_per_second;
-    }
-  }
-  return snap;
+  return snapshot_locked();
 }
 
 }  // namespace corelocate::fleet

@@ -1,12 +1,13 @@
 #pragma once
 // Progress and metrics surface for fleet surveys: instances/sec, ETA and
 // per-stage latency distributions, emitted through util::log so bench
-// stdout (the tables being reproduced) stays clean.
+// stdout (the tables being reproduced) stays clean. All clock reads go
+// through obs::Clock, the codebase's sanctioned wall-clock source.
 
-#include <chrono>
 #include <cstddef>
 #include <mutex>
 
+#include "obs/clock.hpp"
 #include "util/lockcheck.hpp"
 #include "util/stats.hpp"
 
@@ -32,7 +33,9 @@ struct ProgressSummary {
 
 /// Thread-safe progress meter. instance_done() takes one short lock per
 /// *completed instance* — orders of magnitude off the measurement hot
-/// path — and throttles log emission so a fast fleet does not spam.
+/// path — and throttles log emission so a fast fleet does not spam. On
+/// completion it emits one final 100 % summary line with the total wall
+/// time (never throttled), so a survey always ends with its totals.
 class ProgressMeter {
  public:
   /// `emit` turns on log lines (info level); metrics accumulate either way.
@@ -47,13 +50,16 @@ class ProgressMeter {
 
  private:
   void emit_line_locked();
+  void emit_final_locked();
+  ProgressSummary snapshot_locked() const;
 
   const int total_;
   const bool emit_;
-  const std::chrono::steady_clock::time_point start_;
+  const obs::Clock::Time start_;
   mutable util::CheckedMutex<util::lockcheck::kRankProgress> mutex_{"ProgressMeter"};
   ProgressSummary acc_;
-  std::chrono::steady_clock::time_point last_emit_;
+  obs::Clock::Time last_emit_;
+  bool final_emitted_ = false;
 };
 
 }  // namespace corelocate::fleet

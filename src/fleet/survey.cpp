@@ -1,6 +1,5 @@
 #include "fleet/survey.hpp"
 
-#include <chrono>
 #include <filesystem>
 #include <optional>
 #include <set>
@@ -9,6 +8,8 @@
 #include "fleet/aggregator.hpp"
 #include "fleet/checkpoint.hpp"
 #include "fleet/thread_pool.hpp"
+#include "obs/clock.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace corelocate::fleet {
@@ -23,7 +24,8 @@ InstanceRecord run_instance(const InstanceTask& task, const AnalyzeFn& analyze) 
   InstanceRecord record;
   record.index = task.index;
   record.seed = task.seed;
-  const auto start = std::chrono::steady_clock::now();  // corelint: non-deterministic
+  obs::Span span("instance", "fleet");
+  span.arg("index", obs::Json(task.index));
   try {
     const LocatedInstance located = locate_instance(task.model, task.seed, *task.factory);
     record.success = located.result.success;
@@ -31,16 +33,41 @@ InstanceRecord run_instance(const InstanceTask& task, const AnalyzeFn& analyze) 
     record.step1_seconds = located.result.step1_seconds;
     record.step2_seconds = located.result.step2_seconds;
     record.step3_seconds = located.result.step3_seconds;
+    // Deterministic solver work counters; identifier-like keys so they
+    // round-trip through the checkpoint manifest on resume.
+    record.metrics["solver_nodes"] = static_cast<double>(located.result.solver_nodes);
+    record.metrics["solver_lp_iterations"] =
+        static_cast<double>(located.result.solver_lp_iterations);
     if (located.result.success) record.map = located.result.map;
     if (analyze) analyze(task, located, record);
   } catch (const std::exception& e) {
     record.success = false;
     record.message = std::string("exception: ") + e.what();
   }
-  record.wall_seconds =
-      // corelint: non-deterministic
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  record.wall_seconds = span.stop();  // corelint: non-deterministic
   return record;
+}
+
+/// Folds one completed record into a worker's observability registry.
+/// Counters/stats over deterministic record fields merge bit-identically
+/// across any worker partition; the *_seconds stats are timing metadata.
+void observe_record(obs::Registry& registry, const InstanceRecord& record) {
+  registry.counter("fleet.instances").add(1);
+  registry.counter("fleet.failures").add(record.success ? 0u : 1u);
+  const auto metric = [&record](const char* key) {
+    const auto it = record.metrics.find(key);
+    return it == record.metrics.end() ? 0.0 : it->second;
+  };
+  registry.counter("fleet.solver_nodes")
+      .add(static_cast<std::uint64_t>(metric("solver_nodes")));
+  registry.counter("fleet.solver_lp_iterations")
+      .add(static_cast<std::uint64_t>(metric("solver_lp_iterations")));
+  registry.stat("fleet.step1_seconds").add(record.step1_seconds);
+  registry.stat("fleet.step2_seconds").add(record.step2_seconds);
+  registry.stat("fleet.step3_seconds").add(record.step3_seconds);
+  registry.stat("fleet.instance_wall_seconds").add(record.wall_seconds);
+  registry.histogram("fleet.instance_wall_hist", 0.0, 10.0, 1000)
+      .add(record.wall_seconds);
 }
 
 }  // namespace
@@ -62,12 +89,17 @@ SurveyResult run_survey(sim::XeonModel model, const SurveyOptions& options) {
   if (options.resume && options.checkpoint_dir.empty()) {
     throw std::invalid_argument("run_survey: --resume needs a checkpoint directory");
   }
-  const auto start = std::chrono::steady_clock::now();  // corelint: non-deterministic
+  obs::Span survey_span("run_survey", "fleet");
+  survey_span.arg("instances", obs::Json(options.instances));
+  survey_span.arg("jobs", obs::Json(options.jobs));
 
   const sim::InstanceFactory factory(options.fleet_seed);
   const int jobs = options.jobs;
   Aggregator aggregator(static_cast<std::size_t>(jobs));
   ProgressMeter meter(options.instances, options.progress);
+  // One registry per worker: a worker only ever touches its own slot
+  // (same exclusion argument as the aggregator buckets), merged below.
+  std::vector<obs::Registry> registries(static_cast<std::size_t>(jobs));
 
   // Load (or reset) the checkpoint. Resumed records go straight into the
   // aggregator; only the remaining indices are scheduled.
@@ -81,6 +113,9 @@ SurveyResult run_survey(sim::XeonModel model, const SurveyOptions& options) {
       for (InstanceRecord& record : checkpoint->load_completed()) {
         if (record.index < 0 || record.index >= options.instances) continue;
         if (!have.insert(record.index).second) continue;  // duplicate: first wins
+        // Resumed instances fold into worker 0's registry (their wall
+        // times come from the checkpoint's timings.txt sidecar).
+        observe_record(registries[0], record);
         aggregator.add(0, std::move(record));
         ++resumed;
       }
@@ -108,6 +143,7 @@ SurveyResult run_survey(sim::XeonModel model, const SurveyOptions& options) {
     if (checkpoint) checkpoint->record(record);
     meter.instance_done(record.step1_seconds, record.step2_seconds,
                         record.step3_seconds, record.wall_seconds);
+    observe_record(registries[worker], record);
     aggregator.add(worker, std::move(record));
   };
 
@@ -140,9 +176,10 @@ SurveyResult run_survey(sim::XeonModel model, const SurveyOptions& options) {
   result.timing.step2 = merged.step2;
   result.timing.step3 = merged.step3;
   result.timing.wall = merged.wall;
-  result.wall_seconds =
-      // corelint: non-deterministic
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  // Worker registries merge in worker order; every fold is exact, so the
+  // merged registry is a pure function of the record set.
+  for (const obs::Registry& registry : registries) result.registry.merge(registry);
+  result.wall_seconds = survey_span.stop();  // corelint: non-deterministic
   return result;
 }
 

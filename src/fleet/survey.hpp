@@ -28,6 +28,7 @@
 
 #include "fleet/progress.hpp"
 #include "fleet/survey_record.hpp"
+#include "obs/metrics.hpp"
 
 namespace corelocate::fleet {
 
@@ -66,6 +67,12 @@ struct SurveyResult {
   int resumed = 0;    ///< instances loaded from the checkpoint
   double wall_seconds = 0.0;  ///< whole-survey wall clock
   ProgressSummary timing;     ///< per-stage latency + throughput
+  /// Observability metrics, merged from per-worker registries at the
+  /// join barrier. Deterministic counters/stats (instances, failures,
+  /// solver nodes/pivots) are bit-identical for jobs-N vs jobs-1; the
+  /// wall-clock stats are timing metadata. Never read survey *results*
+  /// back out of this registry.
+  obs::Registry registry;
 };
 
 /// Runs the survey. Throws std::invalid_argument on bad options and

@@ -4,6 +4,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace corelocate::ilp {
 
 const char* to_string(MilpStatus status) {
@@ -49,6 +51,7 @@ int pick_branch_var(const Model& model, const std::vector<double>& values, doubl
 }  // namespace
 
 MilpSolution BranchAndBoundSolver::solve(const Model& model) const {
+  obs::Span span("milp_solve", "ilp");
   MilpSolution result;
   const double sense_sign = model.is_minimization() ? 1.0 : -1.0;
 
@@ -144,6 +147,10 @@ MilpSolution BranchAndBoundSolver::solve(const Model& model) const {
   } else {
     result.status = truncated ? MilpStatus::kNoSolution : MilpStatus::kInfeasible;
   }
+  span.arg("variables", obs::Json(model.variable_count()));
+  span.arg("nodes", obs::Json(result.nodes_explored));
+  span.arg("lp_iterations", obs::Json(result.lp_iterations));
+  span.arg("status", obs::Json(to_string(result.status)));
   return result;
 }
 

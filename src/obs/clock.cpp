@@ -1,0 +1,51 @@
+#include "obs/clock.hpp"
+
+#include <atomic>
+#include <chrono>
+
+namespace corelocate::obs {
+
+namespace {
+
+std::uint64_t steady_ns() {
+  const auto now = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now.time_since_epoch())
+          .count());
+}
+
+/// First-read anchor: initialized once, racing initializers at startup
+/// agree within the race window (and the anchor only shifts displayed
+/// timestamps, never durations).
+std::uint64_t anchor_ns() {
+  static const std::uint64_t kAnchor = steady_ns();
+  return kAnchor;
+}
+
+}  // namespace
+
+Clock::Time Clock::now() {
+  // Initialize the anchor before sampling: the very first caller must not
+  // read the raw clock before the anchor it will be subtracted from.
+  const std::uint64_t anchor = anchor_ns();
+  return Time{steady_ns() - anchor};
+}
+
+double Clock::now_seconds() { return static_cast<double>(now().ns) * 1e-9; }
+
+double Clock::seconds_since(Time start) { return seconds_between(start, now()); }
+
+double Clock::seconds_between(Time start, Time end) {
+  if (end.ns < start.ns) return 0.0;
+  return static_cast<double>(end.ns - start.ns) * 1e-9;
+}
+
+std::uint64_t Clock::micros(Time t) { return t.ns / 1000; }
+
+int Clock::thread_ordinal() {
+  static std::atomic<int> next{0};
+  thread_local const int ordinal = next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+}  // namespace corelocate::obs

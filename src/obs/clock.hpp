@@ -1,0 +1,45 @@
+#pragma once
+// obs::Clock — the one sanctioned wall-clock of the codebase.
+//
+// Everything that needs real time (span tracing, progress meters, bench
+// wall timing) reads it through this class instead of touching
+// std::chrono directly. That concentrates the nondeterminism in a single
+// audited spot: corelint exempts src/obs/ from det-wallclock, recognizes
+// `Clock` reads as taint sources everywhere else, and therefore proves
+// that wall-clock values can flow into traces, metrics and perf reports
+// but never into survey records or reproduced tables (see
+// docs/ANALYSIS.md, "the obs exemption").
+//
+// Times are nanoseconds on the steady (monotonic) clock, anchored to the
+// first read in the process so trace timestamps start near zero.
+
+#include <cstdint>
+
+namespace corelocate::obs {
+
+class Clock {
+ public:
+  /// Monotonic timestamp; nanoseconds since the process anchor.
+  struct Time {
+    std::uint64_t ns = 0;
+  };
+
+  static Time now();
+
+  /// Seconds since the process anchor (convenience for one-shot stamps).
+  static double now_seconds();
+
+  static double seconds_since(Time start);
+  static double seconds_between(Time start, Time end);
+
+  /// Microseconds since the process anchor — the unit Chrome trace-event
+  /// JSON uses for its `ts`/`dur` fields.
+  static std::uint64_t micros(Time t);
+
+  /// Small dense id for the calling thread (0 for the first thread that
+  /// asks, 1 for the next, ...). Stable for the thread's lifetime; used
+  /// as the `tid` of trace events so Perfetto draws one lane per worker.
+  static int thread_ordinal();
+};
+
+}  // namespace corelocate::obs

@@ -1,0 +1,378 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace corelocate::obs {
+
+namespace {
+
+[[noreturn]] void type_error(const char* want, Json::Type got) {
+  throw std::runtime_error(std::string("Json: expected ") + want + ", got type " +
+                           std::to_string(static_cast<int>(got)));
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no Infinity/NaN; null is the conventional stand-in.
+    out += "null";
+    return;
+  }
+  constexpr double kExactIntLimit = 9007199254740992.0;  // 2^53
+  if (v == std::floor(v) && std::fabs(v) < kExactIntLimit) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse() {
+    Json value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after value");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("Json::parse: " + what + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return Json();
+        fail("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad hex digit in \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (the writer only emits
+          // \u00xx for control characters; surrogate pairs are not
+          // produced and decode as two 3-byte sequences if hand-fed).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' || c == '+' ||
+          c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("bad number '" + token + "'");
+    return Json(v);
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json out = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      out.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return out;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json out = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      out[key] = parse_value();
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return out;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (type_ != Type::kBool) type_error("bool", type_);
+  return bool_;
+}
+
+double Json::as_number() const {
+  if (type_ != Type::kNumber) type_error("number", type_);
+  return num_;
+}
+
+std::int64_t Json::as_int() const {
+  return static_cast<std::int64_t>(as_number());
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString) type_error("string", type_);
+  return str_;
+}
+
+const Json::Array& Json::as_array() const {
+  if (type_ != Type::kArray) type_error("array", type_);
+  return arr_;
+}
+
+Json::Array& Json::as_array() {
+  if (type_ != Type::kArray) type_error("array", type_);
+  return arr_;
+}
+
+const Json::Object& Json::as_object() const {
+  if (type_ != Type::kObject) type_error("object", type_);
+  return obj_;
+}
+
+Json::Object& Json::as_object() {
+  if (type_ != Type::kObject) type_error("object", type_);
+  return obj_;
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  if (type_ != Type::kObject) type_error("object", type_);
+  return obj_[key];
+}
+
+const Json& Json::at(const std::string& key) const {
+  const auto& obj = as_object();
+  const auto it = obj.find(key);
+  if (it == obj.end()) throw std::runtime_error("Json: missing key '" + key + "'");
+  return it->second;
+}
+
+bool Json::contains(const std::string& key) const noexcept {
+  return type_ == Type::kObject && obj_.find(key) != obj_.end();
+}
+
+void Json::push_back(Json value) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  if (type_ != Type::kArray) type_error("array", type_);
+  arr_.push_back(std::move(value));
+}
+
+bool Json::operator==(const Json& other) const noexcept {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull: return true;
+    case Type::kBool: return bool_ == other.bool_;
+    case Type::kNumber: return num_ == other.num_;
+    case Type::kString: return str_ == other.str_;
+    case Type::kArray: return arr_ == other.arr_;
+    case Type::kObject: return obj_ == other.obj_;
+  }
+  return false;
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  if (indent >= 0) out += '\n';
+  return out;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const auto newline_pad = [&](int level) {
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * level), ' ');
+  };
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: append_number(out, num_); break;
+    case Type::kString: append_escaped(out, str_); break;
+    case Type::kArray: {
+      if (arr_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      bool first = true;
+      for (const Json& item : arr_) {
+        if (!first) out += ',';
+        first = false;
+        if (pretty) newline_pad(depth + 1);
+        item.dump_to(out, indent, depth + 1);
+      }
+      if (pretty) newline_pad(depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (obj_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : obj_) {
+        if (!first) out += ',';
+        first = false;
+        if (pretty) newline_pad(depth + 1);
+        append_escaped(out, key);
+        out += pretty ? ": " : ":";
+        value.dump_to(out, indent, depth + 1);
+      }
+      if (pretty) newline_pad(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+Json Json::parse(std::string_view text) { return Parser(text).parse(); }
+
+}  // namespace corelocate::obs

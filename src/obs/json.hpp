@@ -1,0 +1,89 @@
+#pragma once
+// Minimal JSON value used by the obs layer for trace and report output.
+//
+// Deliberately tiny: null/bool/number/string/array/object, a recursive-
+// descent parser, and a dumper whose output is deterministic — objects
+// are std::map (sorted keys), integral numbers print without a decimal
+// point, and non-integral numbers print with enough digits (%.17g) to
+// round-trip exactly. That determinism is what lets the obs tests compare
+// write→parse→write byte-for-byte and what keeps BENCH_*.json diffs
+// reviewable.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace corelocate::obs {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() noexcept : type_(Type::kNull) {}
+  Json(bool b) noexcept : type_(Type::kBool), bool_(b) {}  // NOLINT(runtime/explicit)
+  Json(double d) noexcept : type_(Type::kNumber), num_(d) {}
+  Json(int v) noexcept : type_(Type::kNumber), num_(v) {}
+  Json(std::int64_t v) noexcept
+      : type_(Type::kNumber), num_(static_cast<double>(v)) {}
+  Json(std::uint64_t v) noexcept
+      : type_(Type::kNumber), num_(static_cast<double>(v)) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  Json(Array a) : type_(Type::kArray), arr_(std::move(a)) {}
+  Json(Object o) : type_(Type::kObject), obj_(std::move(o)) {}
+
+  static Json array() { return Json(Array{}); }
+  static Json object() { return Json(Object{}); }
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+  bool is_bool() const noexcept { return type_ == Type::kBool; }
+  bool is_number() const noexcept { return type_ == Type::kNumber; }
+  bool is_string() const noexcept { return type_ == Type::kString; }
+  bool is_array() const noexcept { return type_ == Type::kArray; }
+  bool is_object() const noexcept { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw std::runtime_error on a type mismatch so a
+  /// malformed report fails loudly instead of reading zeros.
+  bool as_bool() const;
+  double as_number() const;
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  Array& as_array();
+  const Object& as_object() const;
+  Object& as_object();
+
+  /// Object element access; operator[] inserts nulls (object must already
+  /// be an object or null — a null promotes), `at` throws when missing.
+  Json& operator[](const std::string& key);
+  const Json& at(const std::string& key) const;
+  bool contains(const std::string& key) const noexcept;
+
+  void push_back(Json value);
+
+  bool operator==(const Json& other) const noexcept;
+
+  /// Compact when indent < 0, pretty-printed otherwise.
+  std::string dump(int indent = -1) const;
+
+  /// Throws std::runtime_error with an offset-tagged message on bad input.
+  static Json parse(std::string_view text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+}  // namespace corelocate::obs

@@ -1,0 +1,194 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace corelocate::obs {
+
+void Gauge::set(double value) noexcept {
+  value_ = value;
+  has_value_ = true;
+}
+
+void Gauge::merge(const Gauge& other) noexcept {
+  if (!other.has_value_) return;
+  if (!has_value_) {
+    *this = other;
+    return;
+  }
+  value_ = std::max(value_, other.value_);
+}
+
+void ExactStats::add(double sample) noexcept {
+  const auto q = static_cast<std::int64_t>(std::llround(sample / quantum_));
+  if (count_ == 0) {
+    min_q_ = max_q_ = q;
+  } else {
+    min_q_ = std::min(min_q_, q);
+    max_q_ = std::max(max_q_, q);
+  }
+  ++count_;
+  sum_q_ += q;
+  const auto wide = static_cast<WideUint>(static_cast<std::uint64_t>(q < 0 ? -q : q));
+  sum_sq_q_ += wide * wide;
+}
+
+void ExactStats::merge(const ExactStats& other) {
+  if (other.quantum_ != quantum_) {
+    throw std::invalid_argument("ExactStats::merge: mismatched quantum");
+  }
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_q_ = other.min_q_;
+    max_q_ = other.max_q_;
+  } else {
+    min_q_ = std::min(min_q_, other.min_q_);
+    max_q_ = std::max(max_q_, other.max_q_);
+  }
+  count_ += other.count_;
+  sum_q_ += other.sum_q_;
+  sum_sq_q_ += other.sum_sq_q_;
+}
+
+double ExactStats::sum() const noexcept {
+  return static_cast<double>(sum_q_) * quantum_;
+}
+
+double ExactStats::mean() const noexcept {
+  if (count_ == 0) return 0.0;
+  return sum() / static_cast<double>(count_);
+}
+
+double ExactStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  const double n = static_cast<double>(count_);
+  const double mean_q = static_cast<double>(sum_q_) / n;
+  const double mean_sq_q = static_cast<double>(sum_sq_q_) / n;
+  const double var_q = std::max(0.0, mean_sq_q - mean_q * mean_q);
+  return var_q * quantum_ * quantum_;
+}
+
+double ExactStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double ExactStats::min() const noexcept {
+  return count_ ? static_cast<double>(min_q_) * quantum_ : 0.0;
+}
+
+double ExactStats::max() const noexcept {
+  return count_ ? static_cast<double>(max_q_) * quantum_ : 0.0;
+}
+
+Hist::Hist(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), hist_(lo, hi, bins) {}
+
+void Hist::merge(const Hist& other) { hist_.merge(other.hist_); }
+
+Counter& Registry::counter(const std::string& name) { return counters_[name]; }
+
+Gauge& Registry::gauge(const std::string& name) { return gauges_[name]; }
+
+ExactStats& Registry::stat(const std::string& name, double quantum) {
+  const auto it = stats_.find(name);
+  if (it != stats_.end()) return it->second;
+  return stats_.emplace(name, ExactStats(quantum)).first->second;
+}
+
+Hist& Registry::histogram(const std::string& name, double lo, double hi,
+                          std::size_t bins) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, Hist(lo, hi, bins)).first->second;
+}
+
+const Counter* Registry::find_counter(const std::string& name) const noexcept {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* Registry::find_gauge(const std::string& name) const noexcept {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const ExactStats* Registry::find_stat(const std::string& name) const noexcept {
+  const auto it = stats_.find(name);
+  return it == stats_.end() ? nullptr : &it->second;
+}
+
+const Hist* Registry::find_histogram(const std::string& name) const noexcept {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void Registry::merge(const Registry& other) {
+  for (const auto& [name, counter] : other.counters_) counters_[name].merge(counter);
+  for (const auto& [name, gauge] : other.gauges_) gauges_[name].merge(gauge);
+  for (const auto& [name, stat] : other.stats_) {
+    const auto it = stats_.find(name);
+    if (it == stats_.end()) {
+      stats_.emplace(name, stat);
+    } else {
+      it->second.merge(stat);
+    }
+  }
+  for (const auto& [name, hist] : other.histograms_) {
+    const auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, hist);
+    } else {
+      it->second.merge(hist);
+    }
+  }
+}
+
+bool Registry::empty() const noexcept {
+  return counters_.empty() && gauges_.empty() && stats_.empty() &&
+         histograms_.empty();
+}
+
+Json Registry::to_json() const {
+  Json out = Json::object();
+  Json counters = Json::object();
+  for (const auto& [name, counter] : counters_) counters[name] = Json(counter.value());
+  out["counters"] = std::move(counters);
+
+  Json gauges = Json::object();
+  for (const auto& [name, gauge] : gauges_) gauges[name] = Json(gauge.value());
+  out["gauges"] = std::move(gauges);
+
+  Json stats = Json::object();
+  for (const auto& [name, stat] : stats_) {
+    Json entry = Json::object();
+    entry["count"] = Json(stat.count());
+    entry["sum"] = Json(stat.sum());
+    entry["mean"] = Json(stat.mean());
+    entry["stddev"] = Json(stat.stddev());
+    entry["min"] = Json(stat.min());
+    entry["max"] = Json(stat.max());
+    stats[name] = std::move(entry);
+  }
+  out["stats"] = std::move(stats);
+
+  Json histograms = Json::object();
+  for (const auto& [name, hist] : histograms_) {
+    Json entry = Json::object();
+    entry["lo"] = Json(hist.lo());
+    entry["hi"] = Json(hist.hi());
+    entry["total"] = Json(hist.total());
+    entry["p50"] = Json(hist.percentile(50.0));
+    entry["p95"] = Json(hist.percentile(95.0));
+    entry["p99"] = Json(hist.percentile(99.0));
+    Json counts = Json::array();
+    const util::Histogram& h = hist.histogram();
+    for (std::size_t bin = 0; bin < h.bin_count(); ++bin) {
+      counts.push_back(Json(h.count_in(bin)));
+    }
+    entry["counts"] = std::move(counts);
+    histograms[name] = std::move(entry);
+  }
+  out["histograms"] = std::move(histograms);
+  return out;
+}
+
+}  // namespace corelocate::obs

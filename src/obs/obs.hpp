@@ -1,0 +1,14 @@
+#pragma once
+// Umbrella header for the observability subsystem.
+//
+// Layers (see docs/OBSERVABILITY.md):
+//   obs::Clock       — the one sanctioned wall-clock source
+//   obs::Span/Tracer — RAII scope tracing, Chrome trace-event export
+//   obs::Registry    — counters/gauges/stats/histograms, exact merge
+//   obs::PerfReport  — versioned, schema-checked BENCH_<name>.json
+
+#include "obs/clock.hpp"    // IWYU pragma: export
+#include "obs/json.hpp"     // IWYU pragma: export
+#include "obs/metrics.hpp"  // IWYU pragma: export
+#include "obs/report.hpp"   // IWYU pragma: export
+#include "obs/trace.hpp"    // IWYU pragma: export

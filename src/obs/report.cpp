@@ -1,0 +1,209 @@
+#include "obs/report.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+namespace corelocate::obs {
+
+PerfReport::PerfReport(std::string bench_name) : bench_name_(std::move(bench_name)) {}
+
+void PerfReport::set_arg(const std::string& name, const std::string& value) {
+  for (auto& [existing, stored] : args_) {
+    if (existing == name) {
+      stored = value;
+      return;
+    }
+  }
+  args_.emplace_back(name, value);
+}
+
+void PerfReport::add_stage(const std::string& name, double seconds) {
+  stages_.push_back(Stage{name, seconds});
+}
+
+void PerfReport::add_expected(const std::string& metric, double expected,
+                              double measured, const std::string& unit) {
+  expected_.push_back(Expected{metric, expected, measured, unit});
+}
+
+Json PerfReport::to_json() const {
+  Json out = Json::object();
+  out["schema"] = Json(kReportSchema);
+  out["schema_version"] = Json(kReportSchemaVersion);
+  out["bench"] = Json(bench_name_);
+
+  Json args = Json::object();
+  for (const auto& [name, value] : args_) args[name] = Json(value);
+  out["args"] = std::move(args);
+
+  out["wall_seconds"] = Json(wall_seconds_);
+
+  Json stages = Json::array();
+  for (const Stage& stage : stages_) {
+    Json entry = Json::object();
+    entry["name"] = Json(stage.name);
+    entry["seconds"] = Json(stage.seconds);
+    stages.push_back(std::move(entry));
+  }
+  out["stages"] = std::move(stages);
+
+  out["metrics"] = registry_.to_json();
+
+  Json expected = Json::array();
+  for (const Expected& row : expected_) {
+    Json entry = Json::object();
+    entry["metric"] = Json(row.metric);
+    entry["expected"] = Json(row.expected);
+    entry["measured"] = Json(row.measured);
+    entry["unit"] = Json(row.unit);
+    const double abs_error =
+        row.measured >= row.expected ? row.measured - row.expected
+                                     : row.expected - row.measured;
+    entry["abs_error"] = Json(abs_error);
+    expected.push_back(std::move(entry));
+  }
+  out["expected"] = std::move(expected);
+  return out;
+}
+
+void PerfReport::write_file(const std::string& path) const {
+  const Json report = to_json();
+  const std::vector<std::string> errors = validate_report(report);
+  if (!errors.empty()) {
+    std::string message = "PerfReport: schema self-check failed:";
+    for (const std::string& error : errors) message += "\n  " + error;
+    throw std::runtime_error(message);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("PerfReport: cannot open '" + path + "'");
+  out << report.dump(2);
+  out.flush();
+  if (!out) throw std::runtime_error("PerfReport: write failed for '" + path + "'");
+}
+
+std::string PerfReport::default_path() const {
+  return "BENCH_" + bench_name_ + ".json";
+}
+
+namespace {
+
+void check_number(const Json& parent, const char* key, bool require_non_negative,
+                  std::vector<std::string>& errors, const std::string& where) {
+  if (!parent.contains(key)) {
+    errors.push_back(where + ": missing '" + key + "'");
+    return;
+  }
+  const Json& value = parent.at(key);
+  if (!value.is_number()) {
+    errors.push_back(where + ": '" + key + "' must be a number");
+    return;
+  }
+  if (require_non_negative && value.as_number() < 0.0) {
+    errors.push_back(where + ": '" + key + "' must be >= 0");
+  }
+}
+
+void check_string(const Json& parent, const char* key,
+                  std::vector<std::string>& errors, const std::string& where) {
+  if (!parent.contains(key)) {
+    errors.push_back(where + ": missing '" + key + "'");
+    return;
+  }
+  if (!parent.at(key).is_string()) {
+    errors.push_back(where + ": '" + key + "' must be a string");
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> validate_report(const Json& report) {
+  std::vector<std::string> errors;
+  if (!report.is_object()) {
+    errors.push_back("report: top level must be an object");
+    return errors;
+  }
+
+  check_string(report, "schema", errors, "report");
+  if (report.contains("schema") && report.at("schema").is_string() &&
+      report.at("schema").as_string() != kReportSchema) {
+    errors.push_back("report: schema must be '" + std::string(kReportSchema) + "'");
+  }
+
+  check_number(report, "schema_version", true, errors, "report");
+  if (report.contains("schema_version") && report.at("schema_version").is_number()) {
+    const std::int64_t version = report.at("schema_version").as_int();
+    if (version < 1 || version > kReportSchemaVersion) {
+      errors.push_back("report: unsupported schema_version " +
+                       std::to_string(version));
+    }
+  }
+
+  check_string(report, "bench", errors, "report");
+  if (report.contains("bench") && report.at("bench").is_string() &&
+      report.at("bench").as_string().empty()) {
+    errors.push_back("report: bench name must be non-empty");
+  }
+
+  check_number(report, "wall_seconds", true, errors, "report");
+
+  if (!report.contains("args") || !report.at("args").is_object()) {
+    errors.push_back("report: 'args' must be an object");
+  } else {
+    for (const auto& [name, value] : report.at("args").as_object()) {
+      if (!value.is_string()) {
+        errors.push_back("report.args." + name + ": must be a string");
+      }
+    }
+  }
+
+  if (!report.contains("stages") || !report.at("stages").is_array()) {
+    errors.push_back("report: 'stages' must be an array");
+  } else {
+    std::size_t index = 0;
+    for (const Json& stage : report.at("stages").as_array()) {
+      const std::string where = "report.stages[" + std::to_string(index) + "]";
+      if (!stage.is_object()) {
+        errors.push_back(where + ": must be an object");
+      } else {
+        check_string(stage, "name", errors, where);
+        check_number(stage, "seconds", true, errors, where);
+      }
+      ++index;
+    }
+  }
+
+  if (!report.contains("metrics") || !report.at("metrics").is_object()) {
+    errors.push_back("report: 'metrics' must be an object");
+  } else {
+    const Json& metrics = report.at("metrics");
+    for (const char* section : {"counters", "gauges", "stats", "histograms"}) {
+      if (!metrics.contains(section) || !metrics.at(section).is_object()) {
+        errors.push_back(std::string("report.metrics: '") + section +
+                         "' must be an object");
+      }
+    }
+  }
+
+  if (!report.contains("expected") || !report.at("expected").is_array()) {
+    errors.push_back("report: 'expected' must be an array");
+  } else {
+    std::size_t index = 0;
+    for (const Json& row : report.at("expected").as_array()) {
+      const std::string where = "report.expected[" + std::to_string(index) + "]";
+      if (!row.is_object()) {
+        errors.push_back(where + ": must be an object");
+      } else {
+        check_string(row, "metric", errors, where);
+        check_string(row, "unit", errors, where);
+        check_number(row, "expected", false, errors, where);
+        check_number(row, "measured", false, errors, where);
+      }
+      ++index;
+    }
+  }
+
+  return errors;
+}
+
+}  // namespace corelocate::obs

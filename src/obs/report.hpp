@@ -1,0 +1,78 @@
+#pragma once
+// Machine-readable perf reports: versioned, schema-checked BENCH_<name>.json.
+//
+// Every bench binary builds one PerfReport per run when --report=json is
+// passed: bench name, CLI args, total wall time, per-stage wall times,
+// the merged metrics registry (counters / gauges / stats / histograms),
+// and the paper-expected-vs-measured rows. tools/benchreport validates
+// the same schema in CI and compares wall_seconds against a checked-in
+// baseline.
+//
+// Schema policy: `schema` names the format, `schema_version` is bumped on
+// any breaking field change; readers accept versions <= their own and
+// reject newer ones. Additive fields do not bump the version.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace corelocate::obs {
+
+inline constexpr const char* kReportSchema = "corelocate.bench-report";
+inline constexpr std::int64_t kReportSchemaVersion = 1;
+
+class PerfReport {
+ public:
+  explicit PerfReport(std::string bench_name);
+
+  void set_arg(const std::string& name, const std::string& value);
+  void set_wall_seconds(double seconds) { wall_seconds_ = seconds; }
+  void add_stage(const std::string& name, double seconds);
+
+  /// One paper-expected-vs-measured row (fed by bench::ExpectedActual).
+  void add_expected(const std::string& metric, double expected, double measured,
+                    const std::string& unit);
+
+  /// Metrics land here; fleet benches merge SurveyResult.registry in.
+  Registry& registry() noexcept { return registry_; }
+  const Registry& registry() const noexcept { return registry_; }
+
+  const std::string& bench_name() const noexcept { return bench_name_; }
+
+  Json to_json() const;
+
+  /// Serializes (pretty, 2-space) to `path` after self-validating; throws
+  /// std::runtime_error on schema or I/O failure.
+  void write_file(const std::string& path) const;
+
+  /// Default output filename: BENCH_<name>.json.
+  std::string default_path() const;
+
+ private:
+  struct Stage {
+    std::string name;
+    double seconds = 0.0;
+  };
+  struct Expected {
+    std::string metric;
+    double expected = 0.0;
+    double measured = 0.0;
+    std::string unit;
+  };
+
+  std::string bench_name_;
+  std::vector<std::pair<std::string, std::string>> args_;
+  double wall_seconds_ = 0.0;
+  std::vector<Stage> stages_;
+  std::vector<Expected> expected_;
+  Registry registry_;
+};
+
+/// Structural schema check; returns one message per violation (empty ==
+/// valid). Shared by PerfReport::write_file and tools/benchreport.
+std::vector<std::string> validate_report(const Json& report);
+
+}  // namespace corelocate::obs

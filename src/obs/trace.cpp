@@ -1,0 +1,151 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+#include <tuple>
+
+namespace corelocate::obs {
+
+namespace {
+
+std::uint64_t next_tracer_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Per-thread cache of (tracer id → buffer). Tracer ids are never reused,
+/// so a stale entry can never alias a new tracer. The vector stays tiny:
+/// in practice only Tracer::global() exists, plus short-lived tracers in
+/// tests.
+struct BufferCache {
+  std::uint64_t tracer_id = 0;
+  std::shared_ptr<void> buffer;
+};
+
+thread_local std::vector<BufferCache> t_buffer_cache;
+
+}  // namespace
+
+Tracer& Tracer::global() {
+  // Leaked on purpose: threads may record during static destruction.
+  static Tracer* const kTracer = new Tracer();  // corelint: disable(hyg-naked-new)
+  return *kTracer;
+}
+
+Tracer::Tracer() : id_(next_tracer_id()) {}
+
+void Tracer::set_enabled(bool enabled) noexcept {
+  enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+bool Tracer::enabled() const noexcept {
+  return enabled_.load(std::memory_order_relaxed);
+}
+
+std::shared_ptr<Tracer::ThreadBuffer> Tracer::buffer_for_this_thread() {
+  for (const BufferCache& entry : t_buffer_cache) {
+    if (entry.tracer_id == id_) {
+      return std::static_pointer_cast<ThreadBuffer>(entry.buffer);
+    }
+  }
+  auto buffer = std::make_shared<ThreadBuffer>();
+  {
+    std::lock_guard<decltype(registry_mutex_)> lock(registry_mutex_);
+    buffers_.push_back(buffer);
+  }
+  t_buffer_cache.push_back(BufferCache{id_, buffer});
+  return buffer;
+}
+
+void Tracer::record(TraceEvent event) {
+  if (!enabled()) return;
+  const std::shared_ptr<ThreadBuffer> buffer = buffer_for_this_thread();
+  std::lock_guard<decltype(buffer->mutex)> lock(buffer->mutex);
+  buffer->events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::drain() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<decltype(registry_mutex_)> lock(registry_mutex_);
+    buffers = buffers_;
+  }
+  std::vector<TraceEvent> events;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<decltype(buffer->mutex)> lock(buffer->mutex);
+    events.insert(events.end(), std::make_move_iterator(buffer->events.begin()),
+                  std::make_move_iterator(buffer->events.end()));
+    buffer->events.clear();
+  }
+  std::sort(events.begin(), events.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    return std::tie(a.ts_us, a.tid, a.name) < std::tie(b.ts_us, b.tid, b.name);
+  });
+  return events;
+}
+
+Json Tracer::drain_chrome_trace() {
+  Json trace_events = Json::array();
+  for (TraceEvent& event : drain()) {
+    Json entry = Json::object();
+    entry["name"] = Json(std::move(event.name));
+    entry["cat"] = Json(std::move(event.cat));
+    entry["ph"] = Json("X");
+    entry["ts"] = Json(event.ts_us);
+    entry["dur"] = Json(event.dur_us);
+    entry["pid"] = Json(1);
+    entry["tid"] = Json(event.tid);
+    if (!event.args.empty()) {
+      Json args = Json::object();
+      for (auto& [key, value] : event.args) args[key] = std::move(value);
+      entry["args"] = std::move(args);
+    }
+    trace_events.push_back(std::move(entry));
+  }
+  Json root = Json::object();
+  root["traceEvents"] = std::move(trace_events);
+  root["displayTimeUnit"] = Json("ms");
+  return root;
+}
+
+void Tracer::write_chrome_trace(const std::string& path) {
+  const std::string text = drain_chrome_trace().dump(2);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("Tracer: cannot open '" + path + "'");
+  out << text;
+  out.flush();
+  if (!out) throw std::runtime_error("Tracer: write failed for '" + path + "'");
+}
+
+Span::Span(std::string name, std::string cat)
+    : name_(std::move(name)), cat_(std::move(cat)), start_(Clock::now()) {}
+
+Span::~Span() {
+  if (!stopped_) stop();
+}
+
+Span& Span::arg(const std::string& key, Json value) {
+  if (Tracer::global().enabled()) args_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+double Span::stop() {
+  if (stopped_) return seconds_;
+  stopped_ = true;
+  const Clock::Time end = Clock::now();
+  seconds_ = Clock::seconds_between(start_, end);
+  Tracer& tracer = Tracer::global();
+  if (tracer.enabled()) {
+    TraceEvent event;
+    event.name = name_;
+    event.cat = cat_;
+    event.ts_us = Clock::micros(start_);
+    event.dur_us = (end.ns - start_.ns) / 1000;
+    event.tid = Clock::thread_ordinal();
+    event.args = std::move(args_);
+    tracer.record(std::move(event));
+  }
+  return seconds_;
+}
+
+}  // namespace corelocate::obs

@@ -1,0 +1,121 @@
+#pragma once
+// Span tracer with Chrome trace-event JSON export.
+//
+// Usage:
+//   obs::Span span("solve", "ilp");
+//   ...work...
+//   span.arg("nodes", nodes);
+//   double secs = span.stop();   // or let the destructor stop it
+//
+// Spans always measure (stop() returns wall seconds even when tracing is
+// off — instrumented code uses that value for its *_seconds report
+// fields) but are only *recorded* while Tracer::global() is enabled.
+// Each thread appends to its own buffer so the hot path takes one
+// per-thread mutex with no cross-thread contention; export drains every
+// buffer and sorts events deterministically by (ts, tid, name).
+//
+// Lock discipline (see util/lockcheck.hpp): the tracer registry holds
+// kRankObsTracer and per-thread buffers hold kRankObsTraceBuffer, ranked
+// above every fleet lock so instrumentation inside fleet critical
+// sections can never invert the fleet order.
+//
+// Trace and metric objects are observability channels, not result sinks:
+// corelint's det-taint rule lets wall-clock values flow here (and into
+// perf reports) while still flagging them en route to SurveyRecord /
+// MapStore data. Do not route survey results through spans.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/clock.hpp"
+#include "obs/json.hpp"
+#include "util/lockcheck.hpp"
+
+namespace corelocate::obs {
+
+/// One completed span, in Chrome trace-event terms (a "complete" event,
+/// ph == "X"; ts/dur in microseconds).
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  std::uint64_t ts_us = 0;
+  std::uint64_t dur_us = 0;
+  int tid = 0;
+  std::vector<std::pair<std::string, Json>> args;
+};
+
+class Tracer {
+ public:
+  /// Process-wide tracer. Benches enable it when --trace is passed.
+  static Tracer& global();
+
+  void set_enabled(bool enabled) noexcept;
+  bool enabled() const noexcept;
+
+  void record(TraceEvent event);
+
+  /// Moves out every recorded event, sorted by (ts, tid, name); buffers
+  /// are left empty. Deterministic given the same set of events.
+  std::vector<TraceEvent> drain();
+
+  /// Chrome trace-event JSON ({"traceEvents": [...]}); drains.
+  Json drain_chrome_trace();
+
+  /// Writes drain_chrome_trace() to `path`; throws on I/O failure.
+  void write_chrome_trace(const std::string& path);
+
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+ private:
+  struct ThreadBuffer {
+    util::CheckedMutex<util::lockcheck::kRankObsTraceBuffer> mutex{
+        "obs.trace.buffer"};
+    std::vector<TraceEvent> events;
+  };
+
+  std::shared_ptr<ThreadBuffer> buffer_for_this_thread();
+
+  const std::uint64_t id_;
+  std::atomic<bool> enabled_{false};
+  util::CheckedMutex<util::lockcheck::kRankObsTracer> registry_mutex_{
+      "obs.trace.registry"};
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span over Tracer::global(). Measures from construction to stop()
+/// (or destruction). Copying is disabled; a span names one scope.
+class Span {
+ public:
+  explicit Span(std::string name, std::string cat = "corelocate");
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a key/value to the eventual trace event (no-op when
+  /// tracing is disabled).
+  Span& arg(const std::string& key, Json value);
+
+  /// Ends the span, records it if tracing is enabled, and returns the
+  /// measured wall seconds. Idempotent: later calls return the first
+  /// measurement.
+  double stop();
+
+  bool stopped() const noexcept { return stopped_; }
+
+ private:
+  std::string name_;
+  std::string cat_;
+  Clock::Time start_;
+  std::vector<std::pair<std::string, Json>> args_;
+  double seconds_ = 0.0;
+  bool stopped_ = false;
+};
+
+}  // namespace corelocate::obs

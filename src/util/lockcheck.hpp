@@ -22,6 +22,12 @@
 //   20  fleet::ThreadPool idle/pending accounting
 //   30  fleet::Checkpoint manifest append
 //   40  fleet::ProgressMeter accumulator
+//   50  obs::Tracer thread-buffer registry
+//   52  obs::Tracer per-thread event buffer
+// The obs ranks sit above every fleet rank on purpose: spans are taken
+// inside fleet critical sections (checkpoint record, progress emit), so
+// tracer locks must always be acquirable while fleet locks are held,
+// never the other way around.
 //
 // Violations call the installed handler; the default prints the held
 // lockset to stderr and aborts. Tests install a throwing handler.
@@ -35,6 +41,8 @@ inline constexpr int kRankPoolDeque = 10;
 inline constexpr int kRankPoolIdle = 20;
 inline constexpr int kRankCheckpoint = 30;
 inline constexpr int kRankProgress = 40;
+inline constexpr int kRankObsTracer = 50;
+inline constexpr int kRankObsTraceBuffer = 52;
 
 /// Called with (attempted rank, attempted name, highest held rank).
 using ViolationHandler = void (*)(int rank, const char* name, int held_rank);

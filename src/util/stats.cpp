@@ -108,7 +108,10 @@ double Histogram::percentile(double q) const noexcept {
   std::size_t seen = 0;
   for (std::size_t bin = 0; bin < counts_.size(); ++bin) {
     seen += counts_[bin];
-    if (static_cast<double>(seen) >= target) {
+    // The empty-bin check matters at q == 0 (target 0): p0 is the lowest
+    // *populated* bin, not bin 0. For q > 0 the first crossing bin is
+    // necessarily populated, so this changes nothing else.
+    if (counts_[bin] != 0 && static_cast<double>(seen) >= target) {
       return (bin_low(bin) + bin_high(bin)) / 2.0;
     }
   }

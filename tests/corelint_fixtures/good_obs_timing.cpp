@@ -1,0 +1,60 @@
+// Fixture: sanctioned obs timing flows that must produce NO findings.
+//
+// obs::Clock call sites never fire det-wallclock (the ambient tokens live
+// only inside src/obs/), and trace/metric/report objects are
+// observability channels, not result sinks — wall-clock values may flow
+// through spans and registries into a perf report freely. Tagged
+// metadata stores into a record stay legal, matching the fleet engine's
+// own convention.
+
+namespace obs {
+struct Clock {
+  struct Time {
+    unsigned long long ns = 0;
+  };
+  static Time now() { return Time{}; }
+  static double seconds_since(Time) { return 0.0; }
+};
+
+struct Span {
+  explicit Span(const char*) {}
+  double stop() { return 0.0; }
+};
+
+struct Registry {
+  void observe(const char*, double) {}
+};
+
+struct PerfReport {
+  void set_wall_seconds(double s) { wall = s; }
+  double wall = 0.0;
+};
+}  // namespace obs
+
+struct InstanceRecord {
+  double wall_seconds = 0.0;
+  int cores = 0;
+};
+
+double stage_seconds() {
+  // A span measures wall time; its value feeds reports, never results.
+  obs::Span span("stage");
+  return span.stop();
+}
+
+void report_timings(obs::Registry& registry, obs::PerfReport& report) {
+  const obs::Clock::Time start = obs::Clock::now();
+  const double elapsed = obs::Clock::seconds_since(start);
+  // Wall-clock into observability channels: sanctioned.
+  registry.observe("stage_seconds", elapsed);
+  report.set_wall_seconds(elapsed);
+}
+
+void record_metadata(InstanceRecord& record) {
+  // Wall-clock into a record's timing *metadata* field, explicitly
+  // tagged as outside the determinism contract — the same convention
+  // fleet/survey.cpp uses.
+  const obs::Clock::Time start = obs::Clock::now();  // corelint: non-deterministic
+  record.cores = 28;
+  record.wall_seconds = obs::Clock::seconds_since(start);  // corelint: non-deterministic
+}

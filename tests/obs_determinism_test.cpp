@@ -1,0 +1,131 @@
+// The obs contract on the fleet pipeline: instrumentation observes, it
+// never perturbs. Tracing on vs off must leave every survey result byte
+// identical, and the merged registry's deterministic instruments must be
+// independent of the worker count.
+
+#include <gtest/gtest.h>
+
+#include "fleet/survey.hpp"
+#include "obs/obs.hpp"
+
+namespace corelocate::fleet {
+namespace {
+
+constexpr int kInstances = 12;
+constexpr std::uint64_t kBaseSeed = 0x0B5DE7ULL;
+
+SurveyOptions options_with_jobs(int jobs) {
+  SurveyOptions options;
+  options.instances = kInstances;
+  options.jobs = jobs;
+  options.base_seed = kBaseSeed;
+  options.analyze = [](const InstanceTask&, const LocatedInstance& located,
+                       InstanceRecord& record) {
+    if (!located.result.success) return;
+    record.metrics["exact"] =
+        core::score_against_truth(located.result.map, located.config).all_cores_correct()
+            ? 1.0
+            : 0.0;
+  };
+  return options;
+}
+
+void expect_same_results(const SurveyResult& a, const SurveyResult& b) {
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.failed, b.failed);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].index, b.records[i].index);
+    EXPECT_EQ(a.records[i].seed, b.records[i].seed);
+    EXPECT_EQ(a.records[i].success, b.records[i].success);
+    EXPECT_EQ(a.records[i].map.pattern_key(), b.records[i].map.pattern_key());
+    EXPECT_EQ(a.records[i].map.os_core_to_cha, b.records[i].map.os_core_to_cha);
+    EXPECT_EQ(a.records[i].metrics, b.records[i].metrics);
+  }
+  EXPECT_EQ(a.metric_totals, b.metric_totals);
+}
+
+/// The instruments whose values must not depend on scheduling or wall
+/// time: instance/failure counts and the solver's deterministic work
+/// counters. (Wall-time stats legitimately differ between runs.)
+void expect_same_deterministic_instruments(const obs::Registry& a,
+                                           const obs::Registry& b) {
+  for (const char* name : {"fleet.instances", "fleet.failures", "fleet.solver_nodes",
+                           "fleet.solver_lp_iterations"}) {
+    const obs::Counter* ca = a.find_counter(name);
+    const obs::Counter* cb = b.find_counter(name);
+    ASSERT_NE(ca, nullptr) << name;
+    ASSERT_NE(cb, nullptr) << name;
+    EXPECT_EQ(ca->value(), cb->value()) << name;
+  }
+  // Timing stats carry one sample per instance even though the sampled
+  // values are wall-clock: the *shape* is deterministic.
+  for (const char* name : {"fleet.step1_seconds", "fleet.step2_seconds",
+                           "fleet.step3_seconds", "fleet.instance_wall_seconds"}) {
+    const obs::ExactStats* sa = a.find_stat(name);
+    const obs::ExactStats* sb = b.find_stat(name);
+    ASSERT_NE(sa, nullptr) << name;
+    ASSERT_NE(sb, nullptr) << name;
+    EXPECT_EQ(sa->count(), sb->count()) << name;
+  }
+}
+
+TEST(ObsDeterminism, TracingOnChangesNoResultBytes) {
+  obs::Tracer::global().set_enabled(false);
+  obs::Tracer::global().drain();
+  const SurveyResult off = run_survey(sim::XeonModel::k8124M, options_with_jobs(2));
+
+  obs::Tracer::global().set_enabled(true);
+  const SurveyResult on = run_survey(sim::XeonModel::k8124M, options_with_jobs(2));
+  obs::Tracer::global().set_enabled(false);
+  const std::vector<obs::TraceEvent> events = obs::Tracer::global().drain();
+
+  // Instrumentation recorded spans... and nothing else changed.
+  EXPECT_FALSE(events.empty());
+  expect_same_results(off, on);
+  expect_same_deterministic_instruments(off.registry, on.registry);
+}
+
+TEST(ObsDeterminism, RegistryInstrumentsIndependentOfWorkerCount) {
+  const SurveyResult serial = run_survey(sim::XeonModel::k8124M, options_with_jobs(1));
+  const SurveyResult parallel =
+      run_survey(sim::XeonModel::k8124M, options_with_jobs(8));
+  expect_same_results(serial, parallel);
+  expect_same_deterministic_instruments(serial.registry, parallel.registry);
+
+  const obs::Counter* instances = serial.registry.find_counter("fleet.instances");
+  ASSERT_NE(instances, nullptr);
+  EXPECT_EQ(instances->value(), static_cast<std::uint64_t>(kInstances));
+  const obs::Hist* hist = serial.registry.find_histogram("fleet.instance_wall_hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->total(), static_cast<std::size_t>(kInstances));
+}
+
+TEST(ObsDeterminism, SolverCountersMatchRecordMetrics) {
+  // The registry's solver counters are the fold of the per-record
+  // metrics, so the two views of the same work must agree exactly.
+  const SurveyResult survey = run_survey(sim::XeonModel::k8124M, options_with_jobs(4));
+  std::uint64_t nodes = 0;
+  std::uint64_t lp_iterations = 0;
+  for (const InstanceRecord& record : survey.records) {
+    const auto node_it = record.metrics.find("solver_nodes");
+    if (node_it != record.metrics.end()) {
+      nodes += static_cast<std::uint64_t>(node_it->second);
+    }
+    const auto lp_it = record.metrics.find("solver_lp_iterations");
+    if (lp_it != record.metrics.end()) {
+      lp_iterations += static_cast<std::uint64_t>(lp_it->second);
+    }
+  }
+  const obs::Counter* node_counter = survey.registry.find_counter("fleet.solver_nodes");
+  ASSERT_NE(node_counter, nullptr);
+  EXPECT_EQ(node_counter->value(), nodes);
+  const obs::Counter* lp_counter =
+      survey.registry.find_counter("fleet.solver_lp_iterations");
+  ASSERT_NE(lp_counter, nullptr);
+  EXPECT_EQ(lp_counter->value(), lp_iterations);
+  EXPECT_GT(nodes, 0u);
+}
+
+}  // namespace
+}  // namespace corelocate::fleet

@@ -1,0 +1,117 @@
+// obs::Json: deterministic dump, exact round-trips, parser edge cases.
+
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace corelocate::obs {
+namespace {
+
+TEST(ObsJson, DumpPrimitives) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+  EXPECT_EQ(Json(Json::Array{}).dump(), "[]");
+  EXPECT_EQ(Json(Json::Object{}).dump(), "{}");
+}
+
+TEST(ObsJson, IntegralNumbersPrintBare) {
+  EXPECT_EQ(Json(0).dump(), "0");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  EXPECT_EQ(Json(std::int64_t{1} << 52).dump(), "4503599627370496");
+  // 3.0 is integral-valued: no decimal point in the output.
+  EXPECT_EQ(Json(3.0).dump(), "3");
+}
+
+TEST(ObsJson, NonIntegralNumbersRoundTripExactly) {
+  for (double value : {0.1, 1.0 / 3.0, 6.02214076e23, -2.5e-8}) {
+    const Json parsed = Json::parse(Json(value).dump());
+    EXPECT_EQ(parsed.as_number(), value) << "value " << value;
+  }
+}
+
+TEST(ObsJson, NonFiniteDumpsAsNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+}
+
+TEST(ObsJson, StringEscapes) {
+  const Json parsed = Json::parse(R"("a\"b\\c\nd\te")");
+  EXPECT_EQ(parsed.as_string(), "a\"b\\c\nd\te");
+  // \uXXXX escapes decode: ASCII and a two-byte UTF-8 code point.
+  EXPECT_EQ(Json::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(Json::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");
+}
+
+TEST(ObsJson, DumpParseDumpIsByteStable) {
+  Json root = Json::object();
+  root["name"] = Json("bench");
+  root["count"] = Json(3);
+  root["ratio"] = Json(0.125);
+  root["flags"] = Json(Json::Array{Json(true), Json(), Json("x")});
+  root["nested"] = Json::object();
+  root["nested"]["z"] = Json(1);
+  root["nested"]["a"] = Json(2);
+
+  const std::string compact = root.dump();
+  EXPECT_EQ(Json::parse(compact).dump(), compact);
+  const std::string pretty = root.dump(2);
+  EXPECT_EQ(Json::parse(pretty).dump(2), pretty);
+  // Object keys are sorted, so "a" precedes "z" regardless of insertion.
+  EXPECT_LT(compact.find("\"a\""), compact.find("\"z\""));
+}
+
+TEST(ObsJson, ParseWhitespaceAndStructure) {
+  const Json parsed = Json::parse(" { \"a\" : [ 1 , 2.5 , \"x\" ] , \"b\" : {} } ");
+  ASSERT_TRUE(parsed.is_object());
+  EXPECT_EQ(parsed.at("a").as_array().size(), 3u);
+  EXPECT_EQ(parsed.at("a").as_array()[1].as_number(), 2.5);
+  EXPECT_TRUE(parsed.at("b").as_object().empty());
+}
+
+TEST(ObsJson, ParseErrors) {
+  EXPECT_THROW(Json::parse(""), std::runtime_error);
+  EXPECT_THROW(Json::parse("{"), std::runtime_error);
+  EXPECT_THROW(Json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(Json::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(Json::parse("nul"), std::runtime_error);
+  EXPECT_THROW(Json::parse("1 trailing"), std::runtime_error);
+  EXPECT_THROW(Json::parse("{\"a\":}"), std::runtime_error);
+}
+
+TEST(ObsJson, TypedAccessorsThrowOnMismatch) {
+  const Json number(1.5);
+  EXPECT_THROW(number.as_string(), std::runtime_error);
+  EXPECT_THROW(number.as_array(), std::runtime_error);
+  EXPECT_THROW(Json("x").as_number(), std::runtime_error);
+  EXPECT_THROW(Json().as_bool(), std::runtime_error);
+}
+
+TEST(ObsJson, IndexingPromotesNullAndAtThrows) {
+  Json value;  // null
+  value["key"] = Json(7);
+  ASSERT_TRUE(value.is_object());
+  EXPECT_EQ(value.at("key").as_int(), 7);
+  EXPECT_TRUE(value.contains("key"));
+  EXPECT_FALSE(value.contains("absent"));
+  EXPECT_THROW(value.at("absent"), std::runtime_error);
+
+  Json list;  // null
+  list.push_back(Json(1));
+  list.push_back(Json(2));
+  ASSERT_TRUE(list.is_array());
+  EXPECT_EQ(list.as_array().size(), 2u);
+}
+
+TEST(ObsJson, Equality) {
+  EXPECT_EQ(Json::parse("{\"a\":[1,2]}"), Json::parse(" { \"a\" : [ 1 , 2 ] } "));
+  EXPECT_FALSE(Json(1) == Json("1"));
+  EXPECT_FALSE(Json(1) == Json(2));
+}
+
+}  // namespace
+}  // namespace corelocate::obs

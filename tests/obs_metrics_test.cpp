@@ -1,0 +1,161 @@
+// obs metrics: counters/gauges/stats/histograms and the exact-merge
+// guarantee — partitioning samples across registries never changes the
+// merged result, bit for bit.
+
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace corelocate::obs {
+namespace {
+
+TEST(ObsCounter, AddAndMerge) {
+  Counter a;
+  a.add();
+  a.add(4);
+  EXPECT_EQ(a.value(), 5u);
+  Counter b;
+  b.add(7);
+  a.merge(b);
+  EXPECT_EQ(a.value(), 12u);
+}
+
+TEST(ObsGauge, MergeKeepsMaxAndRespectsEmptiness) {
+  Gauge a;
+  Gauge b;
+  a.merge(b);  // both empty: stays empty
+  EXPECT_FALSE(a.has_value());
+  b.set(3.0);
+  a.merge(b);
+  EXPECT_TRUE(a.has_value());
+  EXPECT_EQ(a.value(), 3.0);
+  a.set(1.0);  // a now 1.0; merging b (3.0) keeps the max
+  a.merge(b);
+  EXPECT_EQ(a.value(), 3.0);
+  Gauge empty;
+  a.merge(empty);  // merging an empty gauge changes nothing
+  EXPECT_EQ(a.value(), 3.0);
+}
+
+TEST(ObsExactStats, BasicMoments) {
+  ExactStats stats(0.5);  // half-unit quantum
+  stats.add(1.0);
+  stats.add(2.0);
+  stats.add(3.0);
+  EXPECT_EQ(stats.count(), 3u);
+  EXPECT_EQ(stats.sum(), 6.0);
+  EXPECT_EQ(stats.mean(), 2.0);
+  EXPECT_EQ(stats.min(), 1.0);
+  EXPECT_EQ(stats.max(), 3.0);
+  EXPECT_NEAR(stats.variance(), 2.0 / 3.0, 1e-12);
+  // Samples are rounded to the quantum.
+  stats.add(1.24);
+  EXPECT_EQ(stats.max(), 3.0);
+  EXPECT_EQ(stats.sum(), 6.0 + 1.0);  // 1.24 -> 2 quanta of 0.5 -> 1.0
+}
+
+TEST(ObsExactStats, MergeIsPartitionInvariant) {
+  // The jobs-N == jobs-1 contract: the same samples split across any
+  // number of per-worker stats merge to bit-identical results.
+  util::Rng rng(0x0B5E55ED);
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) samples.push_back(rng.uniform(0.0, 5.0));
+
+  ExactStats serial;
+  for (double s : samples) serial.add(s);
+
+  for (int partitions : {2, 3, 8}) {
+    std::vector<ExactStats> workers(static_cast<std::size_t>(partitions));
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      workers[i % static_cast<std::size_t>(partitions)].add(samples[i]);
+    }
+    ExactStats merged;
+    for (const ExactStats& w : workers) merged.merge(w);
+    EXPECT_EQ(merged.count(), serial.count());
+    // Bit-identical, not approximately equal: integer accumulation.
+    EXPECT_EQ(merged.sum(), serial.sum());
+    EXPECT_EQ(merged.mean(), serial.mean());
+    EXPECT_EQ(merged.variance(), serial.variance());
+    EXPECT_EQ(merged.min(), serial.min());
+    EXPECT_EQ(merged.max(), serial.max());
+  }
+}
+
+TEST(ObsExactStats, MergeRejectsQuantumMismatch) {
+  ExactStats nanos(1e-9);
+  ExactStats micros(1e-6);
+  EXPECT_THROW(nanos.merge(micros), std::invalid_argument);
+}
+
+TEST(ObsHist, MergeAddsBins) {
+  Hist a(0.0, 10.0, 10);
+  Hist b(0.0, 10.0, 10);
+  a.add(1.0);
+  a.add(2.0);
+  b.add(2.0);
+  b.add(9.0);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.percentile(100.0), b.percentile(100.0));
+  Hist other_shape(0.0, 5.0, 10);
+  EXPECT_THROW(a.merge(other_shape), std::invalid_argument);
+}
+
+TEST(ObsRegistry, CreateOnFirstUseAndFind) {
+  Registry registry;
+  EXPECT_TRUE(registry.empty());
+  EXPECT_EQ(registry.find_counter("n"), nullptr);
+  registry.counter("n").add(2);
+  registry.gauge("g").set(1.5);
+  registry.stat("s").add(0.25);
+  registry.histogram("h", 0.0, 1.0, 4).add(0.5);
+  EXPECT_FALSE(registry.empty());
+  ASSERT_NE(registry.find_counter("n"), nullptr);
+  EXPECT_EQ(registry.find_counter("n")->value(), 2u);
+  ASSERT_NE(registry.find_gauge("g"), nullptr);
+  ASSERT_NE(registry.find_stat("s"), nullptr);
+  ASSERT_NE(registry.find_histogram("h"), nullptr);
+  EXPECT_EQ(registry.find_histogram("h")->total(), 1u);
+}
+
+TEST(ObsRegistry, MergeIsPartitionInvariant) {
+  // Same instrument updates split across 1 vs 4 registries, merged in
+  // order: the serialized registry must match byte for byte.
+  const auto record = [](Registry& r, int i) {
+    r.counter("instances").add();
+    if (i % 3 == 0) r.counter("failures").add();
+    r.stat("seconds").add(0.001 * i);
+    r.histogram("wall", 0.0, 1.0, 100).add(0.001 * i);
+    r.gauge("peak").set(static_cast<double>(i));
+  };
+
+  Registry serial;
+  for (int i = 0; i < 200; ++i) record(serial, i);
+
+  std::vector<Registry> workers(4);
+  for (int i = 0; i < 200; ++i) record(workers[static_cast<std::size_t>(i) % 4], i);
+  Registry merged;
+  for (const Registry& w : workers) merged.merge(w);
+
+  EXPECT_EQ(merged.to_json().dump(), serial.to_json().dump());
+}
+
+TEST(ObsRegistry, ToJsonShape) {
+  Registry registry;
+  registry.counter("events").add(3);
+  registry.stat("latency").add(0.5);
+  registry.histogram("wall", 0.0, 2.0, 4).add(1.0);
+  const Json json = registry.to_json();
+  EXPECT_EQ(json.at("counters").at("events").as_int(), 3);
+  EXPECT_EQ(json.at("stats").at("latency").at("count").as_int(), 1);
+  EXPECT_EQ(json.at("stats").at("latency").at("mean").as_number(), 0.5);
+  EXPECT_EQ(json.at("histograms").at("wall").at("total").as_int(), 1);
+  EXPECT_TRUE(json.at("gauges").as_object().empty());
+}
+
+}  // namespace
+}  // namespace corelocate::obs

@@ -1,0 +1,112 @@
+// obs::PerfReport: schema-checked serialization and the shared validator
+// that tools/benchreport reuses in CI.
+
+#include "obs/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace corelocate::obs {
+namespace {
+
+PerfReport example_report() {
+  PerfReport report("example");
+  report.set_arg("instances", "10");
+  report.set_arg("jobs", "4");
+  report.set_wall_seconds(1.25);
+  report.add_stage("survey", 1.0);
+  report.add_stage("solve", 0.25);
+  report.add_expected("unique patterns", 7.0, 7.0, "");
+  report.add_expected("ber", 0.02, 0.017, "fraction");
+  report.registry().counter("fleet.instances").add(10);
+  report.registry().stat("fleet.instance_wall_seconds").add(0.1);
+  return report;
+}
+
+TEST(ObsReport, ToJsonPassesValidator) {
+  const Json json = example_report().to_json();
+  EXPECT_TRUE(validate_report(json).empty());
+  EXPECT_EQ(json.at("schema").as_string(), kReportSchema);
+  EXPECT_EQ(json.at("schema_version").as_int(), kReportSchemaVersion);
+  EXPECT_EQ(json.at("bench").as_string(), "example");
+  EXPECT_EQ(json.at("wall_seconds").as_number(), 1.25);
+  EXPECT_EQ(json.at("args").at("jobs").as_string(), "4");
+  ASSERT_EQ(json.at("stages").as_array().size(), 2u);
+  EXPECT_EQ(json.at("stages").as_array()[0].at("name").as_string(), "survey");
+  ASSERT_EQ(json.at("expected").as_array().size(), 2u);
+  const Json& row = json.at("expected").as_array()[1];
+  EXPECT_EQ(row.at("metric").as_string(), "ber");
+  EXPECT_NEAR(row.at("abs_error").as_number(), 0.003, 1e-12);
+  EXPECT_EQ(json.at("metrics").at("counters").at("fleet.instances").as_int(), 10);
+}
+
+TEST(ObsReport, SetArgDedupesByName) {
+  PerfReport report("dedupe");
+  report.set_arg("jobs", "1");
+  report.set_arg("jobs", "8");
+  EXPECT_EQ(report.to_json().at("args").at("jobs").as_string(), "8");
+}
+
+TEST(ObsReport, ValidatorRejectsBrokenReports) {
+  const Json good = example_report().to_json();
+
+  Json missing_schema = good;
+  missing_schema.as_object().erase("schema");
+  EXPECT_FALSE(validate_report(missing_schema).empty());
+
+  Json wrong_schema = good;
+  wrong_schema["schema"] = Json("someone-elses-format");
+  EXPECT_FALSE(validate_report(wrong_schema).empty());
+
+  Json future_version = good;
+  future_version["schema_version"] = Json(kReportSchemaVersion + 1);
+  EXPECT_FALSE(validate_report(future_version).empty());
+
+  Json negative_wall = good;
+  negative_wall["wall_seconds"] = Json(-1.0);
+  EXPECT_FALSE(validate_report(negative_wall).empty());
+
+  Json empty_bench = good;
+  empty_bench["bench"] = Json("");
+  EXPECT_FALSE(validate_report(empty_bench).empty());
+
+  Json bad_stage = good;
+  bad_stage["stages"].as_array()[0].as_object().erase("seconds");
+  EXPECT_FALSE(validate_report(bad_stage).empty());
+
+  Json bad_args = good;
+  bad_args["args"]["jobs"] = Json(4);  // must be a string
+  EXPECT_FALSE(validate_report(bad_args).empty());
+
+  Json bad_metrics = good;
+  bad_metrics["metrics"] = Json::array();
+  EXPECT_FALSE(validate_report(bad_metrics).empty());
+}
+
+TEST(ObsReport, WriteFileRoundTrips) {
+  namespace fs = std::filesystem;
+  const PerfReport report = example_report();
+  EXPECT_EQ(report.default_path(), "BENCH_example.json");
+  const fs::path path =
+      fs::temp_directory_path() /
+      ("obs_report_" +
+       std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + ".json");
+  report.write_file(path.string());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const Json parsed = Json::parse(buffer.str());
+  EXPECT_TRUE(validate_report(parsed).empty());
+  EXPECT_EQ(parsed, report.to_json());
+  fs::remove(path);
+
+  EXPECT_THROW(report.write_file("/nonexistent-dir/report.json"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace corelocate::obs

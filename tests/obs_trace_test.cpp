@@ -1,0 +1,172 @@
+// obs tracer: spans measure always / record only when enabled, drains are
+// deterministic, and the Chrome trace-event JSON round-trips field-exact.
+
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+
+#include "fleet/thread_pool.hpp"
+
+namespace corelocate::obs {
+namespace {
+
+/// Restores the global tracer to disabled-and-empty around every test.
+class ObsTrace : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::global().set_enabled(false);
+    Tracer::global().drain();
+  }
+  void TearDown() override {
+    Tracer::global().set_enabled(false);
+    Tracer::global().drain();
+  }
+};
+
+TEST_F(ObsTrace, SpanMeasuresEvenWhenDisabled) {
+  Span span("work", "test");
+  const double seconds = span.stop();
+  EXPECT_GE(seconds, 0.0);
+  EXPECT_TRUE(span.stopped());
+  EXPECT_TRUE(Tracer::global().drain().empty());
+}
+
+TEST_F(ObsTrace, StopIsIdempotent) {
+  Span span("work", "test");
+  const double first = span.stop();
+  EXPECT_EQ(span.stop(), first);
+}
+
+TEST_F(ObsTrace, EnabledSpansAreRecordedWithArgs) {
+  Tracer::global().set_enabled(true);
+  {
+    Span span("solve", "ilp");
+    span.arg("nodes", Json(17));
+    span.arg("status", Json("optimal"));
+  }
+  const std::vector<TraceEvent> events = Tracer::global().drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "solve");
+  EXPECT_EQ(events[0].cat, "ilp");
+  ASSERT_EQ(events[0].args.size(), 2u);
+  EXPECT_EQ(events[0].args[0].first, "nodes");
+  EXPECT_EQ(events[0].args[0].second.as_int(), 17);
+  EXPECT_EQ(events[0].args[1].second.as_string(), "optimal");
+  // Drain moved the events out; a second drain is empty.
+  EXPECT_TRUE(Tracer::global().drain().empty());
+}
+
+TEST_F(ObsTrace, DrainSortsByTimestampThreadName) {
+  Tracer::global().set_enabled(true);
+  constexpr int kWorkers = 4;
+  constexpr int kSpansPerWorker = 25;
+  {
+    fleet::ThreadPool pool(kWorkers);
+    for (int w = 0; w < kWorkers; ++w) {
+      pool.submit_on(static_cast<std::size_t>(w), [] {
+        for (int i = 0; i < kSpansPerWorker; ++i) {
+          Span span("parallel_work", "test");
+          span.stop();
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  const std::vector<TraceEvent> events = Tracer::global().drain();
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(kWorkers * kSpansPerWorker));
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    const auto key = [](const TraceEvent& e) {
+      return std::make_tuple(e.ts_us, e.tid, e.name);
+    };
+    EXPECT_LE(key(events[i - 1]), key(events[i]));
+  }
+}
+
+TEST_F(ObsTrace, ChromeTraceJsonRoundTripsFieldExact) {
+  // Record crafted events directly so every field has a known value.
+  Tracer tracer;
+  tracer.set_enabled(true);
+  TraceEvent first;
+  first.name = "alpha";
+  first.cat = "test";
+  first.ts_us = 10;
+  first.dur_us = 5;
+  first.tid = 3;
+  first.args.emplace_back("count", Json(2));
+  TraceEvent second;
+  second.name = "beta";
+  second.cat = "test";
+  second.ts_us = 4;
+  second.dur_us = 1;
+  second.tid = 1;
+  tracer.record(first);
+  tracer.record(second);
+
+  const Json root = tracer.drain_chrome_trace();
+  EXPECT_EQ(root.at("displayTimeUnit").as_string(), "ms");
+  const Json::Array& events = root.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 2u);
+  // Sorted by ts: "beta" (ts 4) first.
+  EXPECT_EQ(events[0].at("name").as_string(), "beta");
+  EXPECT_EQ(events[0].at("ph").as_string(), "X");
+  EXPECT_EQ(events[0].at("ts").as_int(), 4);
+  EXPECT_EQ(events[0].at("dur").as_int(), 1);
+  EXPECT_EQ(events[0].at("pid").as_int(), 1);
+  EXPECT_EQ(events[0].at("tid").as_int(), 1);
+  EXPECT_FALSE(events[0].contains("args"));
+  EXPECT_EQ(events[1].at("name").as_string(), "alpha");
+  EXPECT_EQ(events[1].at("cat").as_string(), "test");
+  EXPECT_EQ(events[1].at("ts").as_int(), 10);
+  EXPECT_EQ(events[1].at("dur").as_int(), 5);
+  EXPECT_EQ(events[1].at("tid").as_int(), 3);
+  EXPECT_EQ(events[1].at("args").at("count").as_int(), 2);
+}
+
+TEST_F(ObsTrace, WriteChromeTraceParsesBackFromDisk) {
+  namespace fs = std::filesystem;
+  Tracer tracer;
+  tracer.set_enabled(true);
+  TraceEvent event;
+  event.name = "io";
+  event.cat = "test";
+  event.ts_us = 1;
+  event.dur_us = 2;
+  event.tid = 0;
+  tracer.record(event);
+
+  const fs::path path =
+      fs::temp_directory_path() /
+      ("obs_trace_" +
+       std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + ".json");
+  tracer.write_chrome_trace(path.string());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const Json parsed = Json::parse(buffer.str());
+  const Json::Array& events = parsed.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].at("name").as_string(), "io");
+  EXPECT_EQ(events[0].at("dur").as_int(), 2);
+  fs::remove(path);
+
+  EXPECT_THROW(tracer.write_chrome_trace("/nonexistent-dir/trace.json"),
+               std::runtime_error);
+}
+
+TEST_F(ObsTrace, DisabledTracerDropsRecords) {
+  Tracer tracer;  // disabled by default
+  TraceEvent event;
+  event.name = "dropped";
+  tracer.record(event);
+  EXPECT_TRUE(tracer.drain().empty());
+}
+
+}  // namespace
+}  // namespace corelocate::obs

@@ -152,5 +152,40 @@ TEST(Histogram, PercentileFromBins) {
   EXPECT_DOUBLE_EQ(Histogram(0.0, 1.0, 2).percentile(50.0), 0.0);  // empty
 }
 
+TEST(Histogram, PercentileEdgeCases) {
+  // Empty histogram: every percentile is 0, including the extremes.
+  const Histogram empty(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(empty.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(100.0), 0.0);
+
+  // Single sample: p0 == p50 == p100 == that sample's bin midpoint.
+  Histogram single(0.0, 10.0, 10);
+  single.add(7.2);  // bin [7,8), midpoint 7.5
+  EXPECT_DOUBLE_EQ(single.percentile(0.0), 7.5);
+  EXPECT_DOUBLE_EQ(single.percentile(50.0), 7.5);
+  EXPECT_DOUBLE_EQ(single.percentile(100.0), 7.5);
+
+  // p0 is the lowest *populated* bin, not bin 0: with samples only in
+  // [7,8) and [9,10), p0 must skip the empty low bins.
+  Histogram sparse(0.0, 10.0, 10);
+  sparse.add(7.2);
+  sparse.add(9.9);
+  EXPECT_DOUBLE_EQ(sparse.percentile(0.0), 7.5);
+  EXPECT_DOUBLE_EQ(sparse.percentile(100.0), 9.5);
+
+  // Out-of-range q is clamped to [0, 100].
+  EXPECT_DOUBLE_EQ(sparse.percentile(-10.0), sparse.percentile(0.0));
+  EXPECT_DOUBLE_EQ(sparse.percentile(250.0), sparse.percentile(100.0));
+
+  // Out-of-range samples are dropped, so they cannot skew percentiles.
+  Histogram ranged(0.0, 10.0, 10);
+  ranged.add(-5.0);
+  ranged.add(50.0);
+  EXPECT_EQ(ranged.total(), 0u);
+  ranged.add(3.5);
+  EXPECT_DOUBLE_EQ(ranged.percentile(0.0), 3.5);
+  EXPECT_DOUBLE_EQ(ranged.percentile(100.0), 3.5);
+}
+
 }  // namespace
 }  // namespace corelocate::util

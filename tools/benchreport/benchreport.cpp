@@ -1,0 +1,128 @@
+// benchreport — CLI for the machine-readable bench reports.
+//
+//   benchreport validate <report.json>...
+//       Parses each file and checks it against the corelocate
+//       bench-report schema (obs::validate_report). Exit 1 on the first
+//       invalid report.
+//
+//   benchreport compare <current.json> <baseline.json> [--max-regress F]
+//       Validates both reports, then fails (exit 1) if the current wall
+//       time regressed by more than F (default 0.25 = +25%) over the
+//       baseline. Expected-vs-measured rows are printed for context but
+//       never gate: result quality is the test suite's job.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace corelocate;
+
+obs::Json load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("benchreport: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return obs::Json::parse(buffer.str());
+}
+
+/// Returns true when the report at `path` parses and passes the schema.
+bool validate_file(const std::string& path) {
+  obs::Json report;
+  try {
+    report = load(path);
+  } catch (const std::exception& e) {
+    std::cerr << path << ": " << e.what() << "\n";
+    return false;
+  }
+  const std::vector<std::string> errors = obs::validate_report(report);
+  if (!errors.empty()) {
+    std::cerr << path << ": schema violations:\n";
+    for (const std::string& error : errors) std::cerr << "  - " << error << "\n";
+    return false;
+  }
+  std::cout << path << ": valid (bench '" << report.at("bench").as_string()
+            << "', schema v" << report.at("schema_version").as_int() << ")\n";
+  return true;
+}
+
+int run_validate(const std::vector<std::string>& paths) {
+  if (paths.empty()) {
+    std::cerr << "benchreport validate: no report files given\n";
+    return 2;
+  }
+  for (const std::string& path : paths) {
+    if (!validate_file(path)) return 1;
+  }
+  return 0;
+}
+
+int run_compare(const std::vector<std::string>& paths, double max_regress) {
+  if (paths.size() != 2) {
+    std::cerr << "benchreport compare: expected <current.json> <baseline.json>\n";
+    return 2;
+  }
+  if (!validate_file(paths[0]) || !validate_file(paths[1])) return 1;
+  const obs::Json current = load(paths[0]);
+  const obs::Json baseline = load(paths[1]);
+  if (current.at("bench").as_string() != baseline.at("bench").as_string()) {
+    std::cerr << "benchreport compare: reports are for different benches ('"
+              << current.at("bench").as_string() << "' vs '"
+              << baseline.at("bench").as_string() << "')\n";
+    return 1;
+  }
+
+  const double current_wall = current.at("wall_seconds").as_number();
+  const double baseline_wall = baseline.at("wall_seconds").as_number();
+  const double budget = baseline_wall * (1.0 + max_regress);
+  std::cout << "wall time: current " << current_wall << "s vs baseline "
+            << baseline_wall << "s (budget " << budget << "s at +"
+            << max_regress * 100.0 << "%)\n";
+
+  for (const obs::Json& row : current.at("expected").as_array()) {
+    std::cout << "  " << row.at("metric").as_string() << ": expected "
+              << row.at("expected").as_number() << ", measured "
+              << row.at("measured").as_number() << "\n";
+  }
+
+  if (baseline_wall > 0.0 && current_wall > budget) {
+    std::cerr << "benchreport compare: wall-time regression: " << current_wall
+              << "s > " << budget << "s\n";
+    return 1;
+  }
+  std::cout << "compare: OK\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::CliFlags flags(argc, argv);
+    flags.validate({"max-regress"});
+    const double max_regress = flags.get_double("max-regress", 0.25);
+    const std::vector<std::string>& args = flags.positional();
+    if (args.empty()) {
+      std::cerr << "usage: benchreport validate <report.json>...\n"
+                << "       benchreport compare <current.json> <baseline.json>"
+                   " [--max-regress F]\n";
+      return 2;
+    }
+    const std::string& command = args.front();
+    const std::vector<std::string> rest(args.begin() + 1, args.end());
+    if (command == "validate") return run_validate(rest);
+    if (command == "compare") return run_compare(rest, max_regress);
+    std::cerr << "benchreport: unknown command '" << command << "'\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "benchreport: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -28,8 +28,12 @@ void add_finding(std::vector<Finding>& findings, const SourceFile& file,
 
 void rule_det_wallclock(const SourceFile& file, std::vector<Finding>& findings) {
   const std::string rule = "det-wallclock";
-  // The progress meter is the one component whose whole job is wall-clock.
+  // Sanctioned wall-clock homes: the progress meter (whole job is
+  // wall-clock) and the obs layer (obs::Clock is *the* sanctioned source;
+  // everything else reads time through it, so ambient-clock tokens only
+  // legitimately appear in its implementation).
   if (path_contains(file.effective_path, "src/fleet/progress.")) return;
+  if (path_contains(file.effective_path, "src/obs/")) return;
 
   for (std::size_t i = 0; i < file.lines.size(); ++i) {
     const SourceLine& line = file.lines[i];

@@ -118,8 +118,13 @@ UnitInfo make_info(const TranslationUnit& unit) {
   UnitInfo info;
   info.unit = &unit;
   const SourceFile& file = unit.file;
+  // Files whose whole job is wall-clock: their internals are not treated
+  // as ambient sources (the obs layer / progress meter *define* the
+  // sanctioned clock), but values they hand out still taint callers via
+  // the obs::Clock detection below.
   info.source_exempt =
-      file.effective_path.find("src/fleet/progress.") != std::string::npos;
+      file.effective_path.find("src/fleet/progress.") != std::string::npos ||
+      file.effective_path.find("src/obs/") != std::string::npos;
 
   // Token ranges per line (tokens are emitted in line order).
   info.line_tokens.assign(file.lines.size(), {0, 0});
@@ -142,6 +147,17 @@ UnitInfo make_info(const TranslationUnit& unit) {
     const std::string& code = file.lines[i].code;
     if (const char* token = ambient_source_token(code)) {
       info.line_source[i] = token;
+      continue;
+    }
+    // obs::Clock is the sanctioned wall-clock: its call sites never fire
+    // det-wallclock, but the values it returns ARE wall-clock and taint
+    // like any other ambient source — flows into result sinks are still
+    // findings unless tagged as pure timing metadata. obs::Span and
+    // obs::Registry are deliberately neither sources nor sinks: they are
+    // observability channels (timing may flow *into* them and on into
+    // perf reports), so mentioning them taints nothing.
+    if (contains_token(code, "Clock")) {
+      info.line_source[i] = "obs::Clock wall-clock";
       continue;
     }
     if (contains_token(code, "get_id") || contains_token(code, "this_thread")) {
