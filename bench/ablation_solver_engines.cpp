@@ -56,11 +56,14 @@ EngineResult timed(const char* engine, Fn&& solve, const sim::InstanceConfig& co
 }  // namespace
 
 int main(int argc, char** argv) {
+  util::FlagSpec spec("ablation_solver_engines",
+                      "Ablation: compare the map-solver engines (monolithic ILP, "
+                      "decomposed, refinement) on time and correctness.");
+  spec.add("skip-paper-objective", "", "skip the slow paper-objective engine")
+      .add("csv", "", "emit machine-readable CSV rows");
+  bench::add_report_flags(spec);
   const util::CliFlags flags(argc, argv);
-  std::vector<std::string> known{"skip-paper-objective", "csv"};
-  const std::vector<std::string> report_flags = bench::report_flag_names();
-  known.insert(known.end(), report_flags.begin(), report_flags.end());
-  flags.validate(known);
+  if (flags.handle_help(spec, std::cout)) return 0;
   const bool skip_paper = flags.get_bool("skip-paper-objective", false);
   bench::BenchReporter reporter("ablation_solver_engines", flags);
   bench::ExpectedActual comparison;

@@ -33,11 +33,14 @@ double measure(const core::CoreMap& map, const sim::InstanceConfig& config,
 }  // namespace
 
 int main(int argc, char** argv) {
+  util::FlagSpec spec("ablation_thermal_anisotropy",
+                      "Ablation: covert-channel error rate with and without "
+                      "anisotropic thermal coupling.");
+  spec.add("bits", "N", "bits transmitted per configuration")
+      .add("csv", "", "emit machine-readable CSV rows");
+  bench::add_report_flags(spec);
   const util::CliFlags flags(argc, argv);
-  std::vector<std::string> known{"bits", "csv"};
-  const std::vector<std::string> report_flags = bench::report_flag_names();
-  known.insert(known.end(), report_flags.begin(), report_flags.end());
-  flags.validate(known);
+  if (flags.handle_help(spec, std::cout)) return 0;
   const int bits = static_cast<int>(flags.get_int("bits", 3000));
   bench::BenchReporter reporter("ablation_thermal_anisotropy", flags);
   bench::ExpectedActual comparison;

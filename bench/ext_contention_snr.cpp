@@ -41,11 +41,14 @@ double eavesdrop_accuracy(mesh::ContendedMesh& mesh, int stream,
 }  // namespace
 
 int main(int argc, char** argv) {
+  util::FlagSpec spec("ext_contention_snr",
+                      "Extension: mesh-contention signal-to-noise ratio as the "
+                      "co-tenant load varies.");
+  spec.add("bits", "N", "bits transmitted per load level")
+      .add("csv", "", "emit machine-readable CSV rows");
+  bench::add_report_flags(spec);
   const util::CliFlags flags(argc, argv);
-  std::vector<std::string> known{"bits", "csv"};
-  const std::vector<std::string> report_flags = bench::report_flag_names();
-  known.insert(known.end(), report_flags.begin(), report_flags.end());
-  flags.validate(known);
+  if (flags.handle_help(spec, std::cout)) return 0;
   const int bits = static_cast<int>(flags.get_int("bits", 400));
   bench::BenchReporter reporter("ext_contention_snr", flags);
   bench::ExpectedActual comparison;

@@ -53,11 +53,14 @@ Point measure(const sim::InstanceConfig& config, const core::CoreMap& map,
 }  // namespace
 
 int main(int argc, char** argv) {
+  util::FlagSpec spec("ext_ecc_goodput",
+                      "Extension: goodput of the covert channel under different "
+                      "error-correction codes.");
+  spec.add("bits", "N", "payload bits per configuration")
+      .add("csv", "", "emit machine-readable CSV rows");
+  bench::add_report_flags(spec);
   const util::CliFlags flags(argc, argv);
-  std::vector<std::string> known{"bits", "csv"};
-  const std::vector<std::string> report_flags = bench::report_flag_names();
-  known.insert(known.end(), report_flags.begin(), report_flags.end());
-  flags.validate(known);
+  if (flags.handle_help(spec, std::cout)) return 0;
   const int payload_bits = static_cast<int>(flags.get_int("bits", 3000));
   bench::BenchReporter reporter("ext_ecc_goodput", flags);
   bench::ExpectedActual comparison;

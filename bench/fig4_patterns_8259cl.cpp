@@ -13,13 +13,15 @@
 
 int main(int argc, char** argv) {
   using namespace corelocate;
+  util::FlagSpec spec("fig4_patterns_8259cl",
+                      "Reproduce Fig. 4: the most common 8259CL fuse-out patterns, "
+                      "rendered as tile grids.");
+  spec.add("instances", "N", "instances to survey")
+      .add("top", "N", "patterns to render");
+  bench::add_fleet_flags(spec);
+  bench::add_report_flags(spec);
   const util::CliFlags flags(argc, argv);
-  std::vector<std::string> known{"instances", "top"};
-  const std::vector<std::string> fleet_flags = bench::fleet_flag_names();
-  known.insert(known.end(), fleet_flags.begin(), fleet_flags.end());
-  const std::vector<std::string> report_flags = bench::report_flag_names();
-  known.insert(known.end(), report_flags.begin(), report_flags.end());
-  flags.validate(known);
+  if (flags.handle_help(spec, std::cout)) return 0;
   const int instances = static_cast<int>(flags.get_int("instances", 100));
   const int top = static_cast<int>(flags.get_int("top", 3));
   bench::BenchReporter reporter("fig4_patterns_8259cl", flags);

@@ -22,13 +22,14 @@
 
 int main(int argc, char** argv) {
   using namespace corelocate;
+  util::FlagSpec spec("fig5_icelake",
+                      "Reproduce Fig. 5: Ice Lake (Gold 6354) core maps with row-major "
+                      "CHA numbering and LLC-only tiles.");
+  spec.add("instances", "N", "instances to survey");
+  bench::add_fleet_flags(spec);
+  bench::add_report_flags(spec);
   const util::CliFlags flags(argc, argv);
-  std::vector<std::string> known{"instances"};
-  const std::vector<std::string> fleet_flags = bench::fleet_flag_names();
-  known.insert(known.end(), fleet_flags.begin(), fleet_flags.end());
-  const std::vector<std::string> report_flags = bench::report_flag_names();
-  known.insert(known.end(), report_flags.begin(), report_flags.end());
-  flags.validate(known);
+  if (flags.handle_help(spec, std::cout)) return 0;
   const int instances = static_cast<int>(flags.get_int("instances", 10));
   bench::BenchReporter reporter("fig5_icelake", flags);
   bench::ExpectedActual comparison;

@@ -60,11 +60,13 @@ double trace_max(const covert::Trace& trace, double from) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  util::FlagSpec spec("fig6_thermal_trace",
+                      "Reproduce Fig. 6: the receiver-side thermal trace of a "
+                      "Manchester-coded covert transmission.");
+  spec.add("rate", "HZ", "covert-channel signalling rate");
+  bench::add_report_flags(spec);
   const util::CliFlags flags(argc, argv);
-  std::vector<std::string> known{"rate"};
-  const std::vector<std::string> report_flags = bench::report_flag_names();
-  known.insert(known.end(), report_flags.begin(), report_flags.end());
-  flags.validate(known);
+  if (flags.handle_help(spec, std::cout)) return 0;
   const double rate = flags.get_double("rate", 1.0);
   bench::BenchReporter reporter("fig6_thermal_trace", flags);
   bench::ExpectedActual comparison;

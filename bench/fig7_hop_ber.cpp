@@ -40,11 +40,14 @@ double measure(const core::CoreMap& map, const sim::InstanceConfig& config,
 }  // namespace
 
 int main(int argc, char** argv) {
+  util::FlagSpec spec("fig7_hop_ber",
+                      "Reproduce Fig. 7: covert-channel bit error rate as a function "
+                      "of sender-receiver hop distance.");
+  spec.add("bits", "N", "bits transmitted per distance")
+      .add("csv", "", "emit machine-readable CSV rows");
+  bench::add_report_flags(spec);
   const util::CliFlags flags(argc, argv);
-  std::vector<std::string> known{"bits", "csv"};
-  const std::vector<std::string> report_flags = bench::report_flag_names();
-  known.insert(known.end(), report_flags.begin(), report_flags.end());
-  flags.validate(known);
+  if (flags.handle_help(spec, std::cout)) return 0;
   const int bits = static_cast<int>(flags.get_int("bits", 10000));
   bench::BenchReporter reporter("fig7_hop_ber", flags);
   bench::ExpectedActual comparison;

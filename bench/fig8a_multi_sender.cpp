@@ -8,11 +8,15 @@
 
 int main(int argc, char** argv) {
   using namespace corelocate;
+  util::FlagSpec spec("fig8a_multi_sender",
+                      "Reproduce Fig. 8a: surrounding a receiver with multiple "
+                      "senders lowers the bit error rate.");
+  spec.add("bits", "N", "bits transmitted per configuration")
+      .add("seeds", "N", "instances averaged per point")
+      .add("csv", "", "emit machine-readable CSV rows");
+  bench::add_report_flags(spec);
   const util::CliFlags flags(argc, argv);
-  std::vector<std::string> known{"bits", "seeds", "csv"};
-  const std::vector<std::string> report_flags = bench::report_flag_names();
-  known.insert(known.end(), report_flags.begin(), report_flags.end());
-  flags.validate(known);
+  if (flags.handle_help(spec, std::cout)) return 0;
   const int bits = static_cast<int>(flags.get_int("bits", 10000));
   const int seeds = static_cast<int>(flags.get_int("seeds", 2));
   bench::BenchReporter reporter("fig8a_multi_sender", flags);

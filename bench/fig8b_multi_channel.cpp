@@ -10,11 +10,14 @@
 
 int main(int argc, char** argv) {
   using namespace corelocate;
+  util::FlagSpec spec("fig8b_multi_channel",
+                      "Reproduce Fig. 8b: parallel covert channels on disjoint "
+                      "vertical pairs scale aggregate throughput.");
+  spec.add("bits", "N", "bits transmitted per channel")
+      .add("csv", "", "emit machine-readable CSV rows");
+  bench::add_report_flags(spec);
   const util::CliFlags flags(argc, argv);
-  std::vector<std::string> known{"bits", "csv"};
-  const std::vector<std::string> report_flags = bench::report_flag_names();
-  known.insert(known.end(), report_flags.begin(), report_flags.end());
-  flags.validate(known);
+  if (flags.handle_help(spec, std::cout)) return 0;
   const int bits = static_cast<int>(flags.get_int("bits", 10000));
   bench::BenchReporter reporter("fig8b_multi_channel", flags);
   bench::ExpectedActual comparison;

@@ -43,12 +43,20 @@ class PerfCaptureReporter : public benchmark::ConsoleReporter {
 /// benchmark::Initialize sees the argument list, so both flag families
 /// coexist: `perf_ilp --benchmark_filter=Simplex --report=json`.
 inline int perf_main(const std::string& name, int argc, char** argv) {
-  const std::vector<std::string> ours = report_flag_names();
+  util::FlagSpec spec(name,
+                      "google-benchmark microbenchmarks with corelocate perf "
+                      "reporting. benchmark library flags "
+                      "(--benchmark_filter=..., --benchmark_repetitions=...) "
+                      "pass through unchanged.");
+  add_report_flags(spec);
+  const std::vector<std::string> ours = spec.names();
   const auto is_ours = [&](const char* arg, bool* takes_value) {
     for (const std::string& flag : ours) {
       const std::string prefix = "--" + flag;
       if (arg == prefix) {
-        *takes_value = true;  // space-separated form: claim the next token too
+        // Space-separated form claims the next token too; bare boolean
+        // flags ("help") have no value to claim.
+        *takes_value = flag != "help";
         return true;
       }
       if (std::strncmp(arg, (prefix + "=").c_str(), prefix.size() + 1) == 0) {
@@ -72,7 +80,7 @@ inline int perf_main(const std::string& name, int argc, char** argv) {
   }
 
   const util::CliFlags flags(static_cast<int>(our_argv.size()), our_argv.data());
-  flags.validate(ours);
+  if (flags.handle_help(spec, std::cout)) return 0;
   BenchReporter reporter(name, flags);
 
   int bench_argc = static_cast<int>(bench_argv.size());

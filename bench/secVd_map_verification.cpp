@@ -9,11 +9,14 @@
 
 int main(int argc, char** argv) {
   using namespace corelocate;
+  util::FlagSpec spec("secVd_map_verification",
+                      "Reproduce Sec. V-D: verify a solved map by predicting "
+                      "covert-channel behaviour from it.");
+  spec.add("bits", "N", "bits transmitted per trial")
+      .add("rate", "HZ", "covert-channel signalling rate");
+  bench::add_report_flags(spec);
   const util::CliFlags flags(argc, argv);
-  std::vector<std::string> known{"bits", "rate"};
-  const std::vector<std::string> report_flags = bench::report_flag_names();
-  known.insert(known.end(), report_flags.begin(), report_flags.end());
-  flags.validate(known);
+  if (flags.handle_help(spec, std::cout)) return 0;
   const int bits = static_cast<int>(flags.get_int("bits", 200));
   const double rate = flags.get_double("rate", 2.0);
   bench::BenchReporter reporter("secVd_map_verification", flags);

@@ -84,13 +84,15 @@ void run_model(sim::XeonModel model, int instances, const util::CliFlags& flags,
 }  // namespace
 
 int main(int argc, char** argv) {
+  util::FlagSpec spec("table1_cha_mapping",
+                      "Reproduce Table I: the OS core id <-> CHA id mapping across a "
+                      "fleet of instances per model.");
+  spec.add("instances", "N", "instances to survey per model")
+      .add("csv", "", "emit machine-readable CSV rows");
+  bench::add_fleet_flags(spec);
+  bench::add_report_flags(spec);
   const util::CliFlags flags(argc, argv);
-  std::vector<std::string> known{"instances", "csv"};
-  const std::vector<std::string> fleet_flags = bench::fleet_flag_names();
-  known.insert(known.end(), fleet_flags.begin(), fleet_flags.end());
-  const std::vector<std::string> report_flags = bench::report_flag_names();
-  known.insert(known.end(), report_flags.begin(), report_flags.end());
-  flags.validate(known);
+  if (flags.handle_help(spec, std::cout)) return 0;
   const int instances = static_cast<int>(flags.get_int("instances", 100));
   bench::BenchReporter reporter("table1_cha_mapping", flags);
   bench::ExpectedActual comparison;

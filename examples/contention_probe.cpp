@@ -54,8 +54,14 @@ double eavesdrop(mesh::ContendedMesh& mesh, int victim_stream,
 }  // namespace
 
 int main(int argc, char** argv) {
+  util::FlagSpec spec("contention_probe",
+                      "Demonstrate the mesh-contention side channel between "
+                      "placed neighbor cores.");
+  spec.add("bits", "N", "bits transmitted")
+      .add("intensity", "F", "contention load intensity in [0,1]")
+      .add("seed", "N", "instance seed");
   const util::CliFlags flags(argc, argv);
-  flags.validate({"bits", "intensity", "seed"});
+  if (flags.handle_help(spec, std::cout)) return 0;
   const int bits = static_cast<int>(flags.get_int("bits", 200));
   const double intensity = flags.get_double("intensity", 0.6);
   const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed", 3));

@@ -143,10 +143,18 @@ int cmd_verify(const util::CliFlags& flags) {
 
 int main(int argc, char** argv) {
   try {
+    util::FlagSpec spec("corelocate_tool map|list|show|verify",
+                        "Manage a map-store DB of solved core maps: map an "
+                        "instance, list/show stored maps, verify one.");
+    spec.add("db", "FILE", "map-store database file")
+        .add("model", "SKU", "CPU model: 8124M, 8175M, 8259CL or 6354")
+        .add("seed", "N", "instance seed (map command)")
+        .add("engine", "NAME", "solver engine: ilp, decomposed or refinement")
+        .add("ppin", "HEX", "instance PPIN (show/verify commands)");
     const util::CliFlags flags(argc, argv);
-    flags.validate({"db", "model", "seed", "engine", "ppin"});
+    if (flags.handle_help(spec, std::cout)) return 0;
     if (flags.positional().empty()) {
-      std::cerr << "usage: corelocate_tool map|list|show|verify [--db FILE] ...\n";
+      std::cerr << spec.usage();
       return 1;
     }
     const std::string& command = flags.positional().front();

@@ -45,8 +45,16 @@ std::string text_from_bits(const covert::Bits& bits) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  util::FlagSpec cli_spec("covert_message",
+                          "Send a text message across the thermal covert channel "
+                          "between co-located cores.");
+  cli_spec.add("message", "TEXT", "message to transmit")
+      .add("rate", "HZ", "covert-channel signalling rate")
+      .add("senders", "N", "sender cores surrounding the receiver")
+      .add("seed", "N", "instance seed")
+      .add("map-db", "FILE", "reuse a solved map from a map-store DB");
   const util::CliFlags flags(argc, argv);
-  flags.validate({"message", "rate", "senders", "seed", "map-db"});
+  if (flags.handle_help(cli_spec, std::cout)) return 0;
   const std::string message = flags.get("message", "KNOW YOUR NEIGHBOR");
   const double rate = flags.get_double("rate", 2.0);
   const int sender_count = static_cast<int>(flags.get_int("senders", 4));

@@ -16,8 +16,13 @@
 using namespace corelocate;
 
 int main(int argc, char** argv) {
+  util::FlagSpec spec("defense_knobs",
+                      "Measure how the mitigation knobs (sensor quantization, "
+                      "jitter) degrade the covert channel.");
+  spec.add("bits", "N", "bits transmitted per knob setting")
+      .add("rate", "HZ", "covert-channel signalling rate");
   const util::CliFlags flags(argc, argv);
-  flags.validate({"bits", "rate"});
+  if (flags.handle_help(spec, std::cout)) return 0;
   const int bits = static_cast<int>(flags.get_int("bits", 2000));
   const double rate = flags.get_double("rate", 2.0);
 

@@ -33,9 +33,18 @@ sim::XeonModel parse_model(const std::string& name) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  util::FlagSpec spec("fleet_survey",
+                      "Map many cloud instances of one CPU model and study the "
+                      "population of physical core layouts.");
+  spec.add("model", "SKU", "CPU model: 8124M, 8175M, 8259CL or 6354")
+      .add("instances", "N", "instances to survey")
+      .add("render-top", "N", "most common layouts to render")
+      .add("jobs", "N", "worker threads (1 = serial reference)")
+      .add("checkpoint", "DIR", "persist completed instances under DIR")
+      .add("resume", "", "skip instances already in the checkpoint")
+      .add("progress", "", "emit instances/sec + ETA lines on stderr");
   const util::CliFlags flags(argc, argv);
-  flags.validate({"model", "instances", "render-top", "jobs", "checkpoint", "resume",
-                  "progress"});
+  if (flags.handle_help(spec, std::cout)) return 0;
   const sim::XeonModel model = parse_model(flags.get("model", "8259CL"));
   const int render_top = static_cast<int>(flags.get_int("render-top", 2));
 

@@ -26,8 +26,14 @@ sim::XeonModel parse_model(const std::string& name) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  util::FlagSpec spec("quickstart",
+                      "Locate the cores of one simulated instance end to end "
+                      "(probe, solve, render the recovered map).");
+  spec.add("model", "SKU", "CPU model: 8124M, 8175M, 8259CL or 6354")
+      .add("seed", "N", "instance seed")
+      .add("engine", "NAME", "solver engine: ilp, decomposed or refinement");
   const util::CliFlags flags(argc, argv);
-  flags.validate({"model", "seed", "engine"});
+  if (flags.handle_help(spec, std::cout)) return 0;
   const sim::XeonModel model = parse_model(flags.get("model", "8259CL"));
   const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
 

@@ -1,0 +1,49 @@
+#include "serve/fingerprint.hpp"
+
+#include <algorithm>
+
+#include "ilp/signature.hpp"
+
+namespace corelocate::serve {
+
+std::uint64_t observation_signature(const core::ObservationSet& observations) {
+  std::vector<std::uint64_t> digests;
+  digests.reserve(observations.size());
+  for (const core::PathObservation& observation : observations) {
+    ilp::SignatureBuilder builder(0x0B5E12D1ULL);
+    builder.add_int(observation.source_cha).add_int(observation.sink_cha);
+    // Activation order is a readout artifact: sort a copy of the
+    // (cha, label, cycles) triples before hashing.
+    std::vector<std::uint64_t> activation_digests;
+    activation_digests.reserve(observation.activations.size());
+    for (const core::ChannelActivation& activation : observation.activations) {
+      ilp::SignatureBuilder act(0xAC7117A7ULL);
+      act.add_int(activation.cha)
+          .add(static_cast<std::uint64_t>(activation.label))
+          .add(activation.cycles);
+      activation_digests.push_back(act.digest());
+    }
+    builder.add(ilp::combine_unordered(std::move(activation_digests)));
+    digests.push_back(builder.digest());
+  }
+  return ilp::combine_unordered(std::move(digests));
+}
+
+Fingerprint fingerprint_of(const MappingRequest& request) {
+  Fingerprint fp;
+  fp.signature = request.observations ? observation_signature(*request.observations)
+                                      : 0;
+  ilp::SignatureBuilder builder(0xF1B6E250ULL);
+  builder.add(static_cast<std::uint64_t>(request.model))
+      .add(request.ppin)
+      .add_int(request.cha_count)
+      .add(fp.signature);
+  builder.add(request.os_core_to_cha.size());
+  for (const int cha : request.os_core_to_cha) builder.add_int(cha);
+  builder.add(request.llc_only_chas.size());
+  for (const int cha : request.llc_only_chas) builder.add_int(cha);
+  fp.value = builder.digest();
+  return fp;
+}
+
+}  // namespace corelocate::serve

@@ -1,0 +1,80 @@
+#include "serve/map_cache.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace corelocate::serve {
+
+MapCache::MapCache(std::size_t capacity, std::size_t shards) {
+  if (capacity == 0) throw std::invalid_argument("MapCache: capacity must be > 0");
+  if (shards == 0) throw std::invalid_argument("MapCache: shards must be > 0");
+  shard_capacity_ = (capacity + shards - 1) / shards;
+  shards_.resize(shards);
+}
+
+std::size_t MapCache::shard_of(std::uint64_t key) const noexcept {
+  // Keys are already well-mixed fingerprints, but re-mixing keeps the
+  // shard choice independent of how callers build their keys.
+  return static_cast<std::size_t>(util::mix64(key) % shards_.size());
+}
+
+std::shared_ptr<const ServedMap> MapCache::find(std::uint64_t key) {
+  Shard& shard = shards_[shard_of(key)];
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->map;
+}
+
+bool MapCache::contains(std::uint64_t key) const {
+  const Shard& shard = shards_[shard_of(key)];
+  return shard.index.find(key) != shard.index.end();
+}
+
+void MapCache::insert(std::uint64_t key, std::shared_ptr<const ServedMap> map) {
+  Shard& shard = shards_[shard_of(key)];
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->map = std::move(map);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{key, std::move(map)});
+  shard.index.emplace(key, shard.lru.begin());
+  if (shard.lru.size() > shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+CacheShardStats MapCache::shard_stats(std::size_t shard_index) const {
+  const Shard& shard = shards_.at(shard_index);
+  CacheShardStats stats;
+  stats.hits = shard.hits;
+  stats.misses = shard.misses;
+  stats.evictions = shard.evictions;
+  stats.size = shard.lru.size();
+  stats.capacity = shard_capacity_;
+  return stats;
+}
+
+CacheStats MapCache::stats() const {
+  CacheStats total;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const CacheShardStats shard = shard_stats(i);
+    total.hits += shard.hits;
+    total.misses += shard.misses;
+    total.evictions += shard.evictions;
+    total.size += shard.size;
+    total.capacity += shard.capacity;
+  }
+  return total;
+}
+
+}  // namespace corelocate::serve

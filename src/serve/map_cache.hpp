@@ -1,0 +1,98 @@
+#pragma once
+// Sharded LRU cache of solved core maps, keyed on instance fingerprint.
+//
+// The paper's fleet numbers justify the design: OS<->CHA maps repeat
+// massively across instances, so at fleet scale almost every mapping
+// query is answerable from a cache instead of a fresh ILP solve. Shards
+// split the key space (shard = mix of the key, modulo shard count) and
+// each shard runs its own LRU list over its own capacity slice, so one
+// hot key range cannot evict the whole cache and a future concurrent
+// serving layer can lock shards independently.
+//
+// Like obs::Registry, the cache is intentionally NOT thread-safe: the
+// service probes and fills it only from its serial intake/response
+// phases (see service.hpp), which is also what makes eviction order —
+// and therefore hit/miss status — a deterministic function of the
+// request stream.
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/core_map.hpp"
+
+namespace corelocate::serve {
+
+/// Cache value: the solved map plus its precomputed response digest, so
+/// the hit path never re-serializes the map's canonical form.
+struct ServedMap {
+  core::CoreMap map;
+  std::uint64_t digest = 0;  ///< content hash of map.pattern_key()
+};
+
+struct CacheShardStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t size = 0;
+  std::size_t capacity = 0;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t size = 0;
+  std::size_t capacity = 0;
+
+  double hit_rate() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class MapCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly across `shards`
+  /// (rounded up, so effective capacity is shard_capacity() * shards).
+  MapCache(std::size_t capacity, std::size_t shards);
+
+  /// Lookup. A hit refreshes the entry's LRU position and counts a
+  /// shard hit; a miss counts a shard miss. Returns nullptr on miss.
+  std::shared_ptr<const ServedMap> find(std::uint64_t key);
+
+  /// Read-only probe: no stats, no LRU touch (tests, introspection).
+  bool contains(std::uint64_t key) const;
+
+  /// Inserts (or refreshes) an entry; evicts the shard's LRU tail when
+  /// the shard is over its capacity slice.
+  void insert(std::uint64_t key, std::shared_ptr<const ServedMap> map);
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  std::size_t shard_capacity() const noexcept { return shard_capacity_; }
+  std::size_t shard_of(std::uint64_t key) const noexcept;
+
+  CacheShardStats shard_stats(std::size_t shard) const;
+  CacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;
+    std::shared_ptr<const ServedMap> map;
+  };
+
+  struct Shard {
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  std::size_t shard_capacity_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace corelocate::serve

@@ -1,0 +1,43 @@
+#include "serve/request.hpp"
+
+namespace corelocate::serve {
+
+const char* to_string(Endpoint endpoint) {
+  switch (endpoint) {
+    case Endpoint::kMapping:
+      return "mapping";
+    case Endpoint::kCovertPlan:
+      return "plan";
+    case Endpoint::kSurvey:
+      return "survey";
+  }
+  return "unknown";
+}
+
+std::string hex16(std::uint64_t value) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+const char* to_string(Status status) {
+  switch (status) {
+    case Status::kHit:
+      return "hit";
+    case Status::kSolved:
+      return "solved";
+    case Status::kCoalesced:
+      return "coalesced";
+    case Status::kComputed:
+      return "computed";
+    case Status::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+}  // namespace corelocate::serve

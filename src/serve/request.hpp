@@ -1,0 +1,99 @@
+#pragma once
+// Request/response value types of the `corelocated` mapping service.
+//
+// Three endpoints (paper Sec. III/IV turned into a serving workload):
+//   * mapping     — a client presents one instance (PPIN, step-1 ID
+//                   mapping, probe observations) and asks for its core
+//                   map; the expensive step-3 solve is what the service
+//                   caches and batches.
+//   * covert-plan — the same instance payload plus an attack-placement
+//                   ask (disjoint vertical pairs or a surrounded
+//                   receiver); rides the mapping cache, then plans on
+//                   the resulting map.
+//   * survey      — a fleet-survey summary over N simulated instances
+//                   of one SKU (completed counts, pattern variants).
+//
+// All payloads are plain values: a response is a pure function of the
+// request contents, never of arrival time or worker identity.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/core_map.hpp"
+#include "core/observation.hpp"
+#include "sim/xeon_config.hpp"
+
+namespace corelocate::serve {
+
+/// One instance's mapping ask. `observations` is shared because load
+/// generators replay the same instance many times; the service never
+/// mutates it.
+struct MappingRequest {
+  sim::XeonModel model{};
+  std::uint64_t ppin = 0;
+  int cha_count = 0;
+  std::vector<int> os_core_to_cha;  ///< client's (cheap, local) step-1 result
+  std::vector<int> llc_only_chas;
+  std::shared_ptr<const core::ObservationSet> observations;
+};
+
+enum class PlanKind : std::uint8_t {
+  kDisjointPairs,  ///< covert::plan_disjoint_vertical_pairs
+  kSurround,       ///< covert::find_surround
+};
+
+struct CovertPlanRequest {
+  MappingRequest instance;
+  PlanKind kind = PlanKind::kDisjointPairs;
+  int count = 1;  ///< channels requested / senders requested
+};
+
+struct SurveyRequest {
+  sim::XeonModel model{};
+  int instances = 10;
+  std::uint64_t base_seed = 0;
+  std::uint64_t fleet_seed = 0;
+};
+
+struct Request {
+  std::variant<MappingRequest, CovertPlanRequest, SurveyRequest> payload;
+};
+
+enum class Endpoint : std::uint8_t { kMapping, kCovertPlan, kSurvey };
+
+const char* to_string(Endpoint endpoint);
+
+/// Fixed-width lowercase hex rendering used in response-log lines and
+/// bodies (deterministic, locale-free).
+std::string hex16(std::uint64_t value);
+
+/// How a response was produced. The status is a deterministic function
+/// of the request stream and the batch partition (see service.hpp), not
+/// of the worker count.
+enum class Status : std::uint8_t {
+  kHit,        ///< served from the map cache
+  kSolved,     ///< first request of its signature group: paid the solve
+  kCoalesced,  ///< joined an in-batch group another request solved
+  kComputed,   ///< no cache involved (survey endpoint)
+  kFailed,     ///< solver or endpoint failure; see message
+};
+
+const char* to_string(Status status);
+
+struct Response {
+  std::uint64_t seq = 0;  ///< intake sequence number (response-log order)
+  Endpoint endpoint = Endpoint::kMapping;
+  Status status = Status::kFailed;
+  std::uint64_t fingerprint = 0;  ///< 0 for survey responses
+  /// Deterministic result summary (map digest, plan, survey counts).
+  std::string body;
+  std::string message;  ///< failure reason when status == kFailed
+  /// The served map (mapping and covert-plan endpoints). Shared with
+  /// the cache: hits alias the cached map instead of copying it.
+  std::shared_ptr<const core::CoreMap> map;
+};
+
+}  // namespace corelocate::serve

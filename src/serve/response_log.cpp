@@ -1,0 +1,39 @@
+#include "serve/response_log.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace corelocate::serve {
+
+std::string ResponseLog::format_line(const Response& response) {
+  std::string line = "seq=" + std::to_string(response.seq);
+  line += " endpoint=";
+  line += to_string(response.endpoint);
+  line += " status=";
+  line += to_string(response.status);
+  if (response.endpoint != Endpoint::kSurvey) {
+    line += " fp=" + hex16(response.fingerprint);
+  }
+  if (!response.body.empty()) line += " " + response.body;
+  if (!response.message.empty()) line += " error=\"" + response.message + "\"";
+  line += "\n";
+  return line;
+}
+
+void ResponseLog::append_response(const Response& response) {
+  if (response.seq != next_seq_) {
+    throw std::logic_error("ResponseLog: out-of-order append (seq " +
+                           std::to_string(response.seq) + ", expected " +
+                           std::to_string(next_seq_) + ")");
+  }
+  ++next_seq_;
+  const std::string line = format_line(response);
+  for (const char c : line) {
+    checksum_ ^= static_cast<unsigned char>(c);
+    checksum_ *= 0x100000001B3ULL;
+  }
+  ++lines_;
+  if (out_ != nullptr) *out_ << line;
+}
+
+}  // namespace corelocate::serve

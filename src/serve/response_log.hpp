@@ -1,0 +1,49 @@
+#pragma once
+// Deterministic response log: the service's externally visible output.
+//
+// One line per response, appended strictly in intake-sequence order.
+// The log is the artifact the determinism contract is stated over: for
+// a given request stream and batch size, the bytes are identical at any
+// worker count (--jobs=1/4/8). Consequently the log may only ever
+// carry values that are pure functions of the request stream — corelint
+// registers ResponseLog as a determinism-taint sink, so a wall-clock or
+// unordered-iteration value flowing into append_response() is a build
+// failure, not a code-review hope. Latency and throughput belong in the
+// obs::Registry, never in response bytes.
+//
+// The running FNV-1a checksum lets a million-line run assert byte
+// identity across worker counts without keeping the log on disk.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "serve/request.hpp"
+
+namespace corelocate::serve {
+
+class ResponseLog {
+ public:
+  /// `out` may be null: the checksum and line count still accumulate,
+  /// only the bytes are dropped (the 1M-request bench's default).
+  explicit ResponseLog(std::ostream* out = nullptr) noexcept : out_(out) {}
+
+  /// Formats and appends one response line. Must be called in ascending
+  /// seq order; throws std::logic_error on out-of-order appends.
+  void append_response(const Response& response);
+
+  /// FNV-1a 64-bit checksum over every appended byte.
+  std::uint64_t checksum() const noexcept { return checksum_; }
+  std::uint64_t lines() const noexcept { return lines_; }
+
+  /// The exact line append_response would write (exposed for tests).
+  static std::string format_line(const Response& response);
+
+ private:
+  std::ostream* out_;
+  std::uint64_t checksum_ = 0xCBF29CE484222325ULL;
+  std::uint64_t lines_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace corelocate::serve

@@ -1,0 +1,14 @@
+#pragma once
+// Umbrella header for the corelocated serving subsystem.
+//
+// Pulls in the full request -> fingerprint -> cache/batch -> response
+// stack. Include individual headers instead when you only need one
+// layer (e.g. serve/map_cache.hpp in tests).
+
+#include "serve/batcher.hpp"       // IWYU pragma: export
+#include "serve/fingerprint.hpp"   // IWYU pragma: export
+#include "serve/loadgen.hpp"       // IWYU pragma: export
+#include "serve/map_cache.hpp"     // IWYU pragma: export
+#include "serve/request.hpp"       // IWYU pragma: export
+#include "serve/response_log.hpp"  // IWYU pragma: export
+#include "serve/service.hpp"       // IWYU pragma: export

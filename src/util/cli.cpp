@@ -1,9 +1,53 @@
 #include "util/cli.hpp"
 
 #include <algorithm>
+#include <ostream>
 #include <stdexcept>
 
 namespace corelocate::util {
+
+FlagSpec::FlagSpec(std::string program, std::string summary)
+    : program_(std::move(program)), summary_(std::move(summary)) {
+  entries_.push_back(Entry{"help", "", "print this help text and exit"});
+}
+
+FlagSpec& FlagSpec::add(const std::string& name, const std::string& value_hint,
+                        const std::string& description) {
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) {
+      throw std::logic_error("FlagSpec: flag --" + name + " registered twice");
+    }
+  }
+  entries_.push_back(Entry{name, value_hint, description});
+  return *this;
+}
+
+std::vector<std::string> FlagSpec::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) out.push_back(entry.name);
+  return out;
+}
+
+std::string FlagSpec::usage() const {
+  std::string text = "usage: " + program_ + " [flags]\n";
+  if (!summary_.empty()) text += summary_ + "\n";
+  text += "\nflags:\n";
+  // Align descriptions on the longest "--name HINT" column.
+  std::size_t width = 0;
+  for (const Entry& entry : entries_) {
+    std::size_t w = 2 + entry.name.size();
+    if (!entry.value_hint.empty()) w += 1 + entry.value_hint.size();
+    width = std::max(width, w);
+  }
+  for (const Entry& entry : entries_) {
+    std::string head = "--" + entry.name;
+    if (!entry.value_hint.empty()) head += " " + entry.value_hint;
+    text += "  " + head + std::string(width - head.size() + 2, ' ') +
+            entry.description + "\n";
+  }
+  return text;
+}
 
 CliFlags::CliFlags(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
@@ -36,6 +80,15 @@ CliFlags::CliFlags(int argc, const char* const* argv) {
 }
 
 bool CliFlags::has(const std::string& name) const { return values_.count(name) != 0; }
+
+bool CliFlags::handle_help(const FlagSpec& spec, std::ostream& out) const {
+  if (get_bool("help")) {
+    out << spec.usage();
+    return true;
+  }
+  validate(spec.names());
+  return false;
+}
 
 std::string CliFlags::get(const std::string& name, const std::string& fallback) const {
   const auto it = values_.find(name);

@@ -6,12 +6,47 @@
 // experiment.
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 namespace corelocate::util {
+
+/// Declarative flag registry: every binary describes its flags once and
+/// gets `--help` output, the validate() allowlist and a usage banner for
+/// free. `add("jobs", "N", "worker threads")` registers a value flag;
+/// an empty value hint registers a boolean flag. "help" itself is
+/// pre-registered so `--help` never trips validate().
+class FlagSpec {
+ public:
+  FlagSpec(std::string program, std::string summary);
+
+  /// Registers a flag. Chainable. Throws on duplicate registration.
+  FlagSpec& add(const std::string& name, const std::string& value_hint,
+                const std::string& description);
+
+  /// All registered names (including "help"), for CliFlags::validate().
+  std::vector<std::string> names() const;
+
+  /// The generated help text: usage line, summary, one aligned row per
+  /// flag with its value hint and description.
+  std::string usage() const;
+
+  const std::string& program() const noexcept { return program_; }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string value_hint;  ///< empty = boolean flag
+    std::string description;
+  };
+
+  std::string program_;
+  std::string summary_;
+  std::vector<Entry> entries_;
+};
 
 class CliFlags {
  public:
@@ -30,6 +65,12 @@ class CliFlags {
 
   /// Names seen on the command line (for validate()).
   const std::map<std::string, std::string>& flags() const noexcept { return values_; }
+
+  /// One-call front door for binaries with a FlagSpec: prints the
+  /// generated usage text and returns true when --help was passed
+  /// (caller exits 0), otherwise validates against the spec's names and
+  /// returns false. Keeps main() to a single branch.
+  bool handle_help(const FlagSpec& spec, std::ostream& out) const;
 
   /// Throws if any parsed flag is not in `known` — catches typos early.
   /// The message names *every* unknown flag (and the known set), so a

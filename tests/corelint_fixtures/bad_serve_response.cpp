@@ -1,0 +1,27 @@
+// Taint fixture: the serve response log is part of the deterministic
+// response contract (byte-identical at any worker count), so a
+// wall-clock service time formatted into the line that reaches
+// append_response() is a det-taint-flow finding.
+// Not compiled — scanned by `corelint --selftest`.
+#include <string>
+
+struct Response {
+  unsigned long seq = 0;
+  std::string body;
+};
+
+struct ResponseLog {
+  void append_response(const Response& response);
+};
+
+struct Clock {
+  static double seconds();
+};
+
+void serve_one(ResponseLog& log, unsigned long seq) {
+  const double service_seconds = Clock::seconds();
+  Response response;
+  response.seq = seq;
+  response.body = "latency=" + std::to_string(service_seconds);
+  log.append_response(response);  // corelint-expect: det-taint-flow
+}

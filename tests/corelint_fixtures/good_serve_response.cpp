@@ -1,0 +1,33 @@
+// Taint fixture (clean): a serve response line is a pure function of
+// the request — seq and fingerprint-derived fields flow into
+// append_response(), while the wall-clock service time goes to the
+// metrics registry (an observability channel, not a sink).
+// Not compiled — scanned by `corelint --selftest`.
+#include <string>
+
+struct Response {
+  unsigned long seq = 0;
+  std::string body;
+};
+
+struct ResponseLog {
+  void append_response(const Response& response);
+};
+
+struct Registry {
+  void add_sample(const char* name, double value);
+};
+
+struct Clock {
+  static double seconds();
+};
+
+void serve_one(ResponseLog& log, Registry& registry, unsigned long seq,
+               unsigned long fingerprint) {
+  const double started = Clock::seconds();
+  Response response;
+  response.seq = seq;
+  response.body = "fp=" + std::to_string(fingerprint);
+  log.append_response(response);
+  registry.add_sample("serve.hit_service_seconds", Clock::seconds() - started);
+}

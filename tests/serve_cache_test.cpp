@@ -1,0 +1,133 @@
+// MapCache: LRU eviction order, sharded capacity accounting, stats.
+
+#include "serve/map_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace corelocate::serve {
+namespace {
+
+std::shared_ptr<const ServedMap> dummy_map(std::uint64_t digest) {
+  auto map = std::make_shared<ServedMap>();
+  map->digest = digest;
+  return map;
+}
+
+/// Keys that all land in shard 0 of a cache with `shards` shards, so a
+/// test can fill one LRU list deterministically.
+std::vector<std::uint64_t> keys_in_shard(const MapCache& cache, std::size_t shard,
+                                         std::size_t count) {
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t key = 1; keys.size() < count; ++key) {
+    if (cache.shard_of(key) == shard) keys.push_back(key);
+  }
+  return keys;
+}
+
+TEST(MapCacheTest, RejectsZeroCapacityAndZeroShards) {
+  EXPECT_THROW(MapCache(0, 1), std::invalid_argument);
+  EXPECT_THROW(MapCache(8, 0), std::invalid_argument);
+}
+
+TEST(MapCacheTest, FindReturnsInsertedValue) {
+  MapCache cache(8, 1);
+  cache.insert(42, dummy_map(7));
+  const auto hit = cache.find(42);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->digest, 7u);
+  EXPECT_EQ(cache.find(43), nullptr);
+}
+
+TEST(MapCacheTest, EvictsLeastRecentlyUsedFirst) {
+  MapCache cache(3, 1);
+  const auto keys = keys_in_shard(cache, 0, 4);
+  cache.insert(keys[0], dummy_map(0));
+  cache.insert(keys[1], dummy_map(1));
+  cache.insert(keys[2], dummy_map(2));
+  // Touch keys[0]: keys[1] becomes the LRU tail.
+  ASSERT_NE(cache.find(keys[0]), nullptr);
+  cache.insert(keys[3], dummy_map(3));
+  EXPECT_TRUE(cache.contains(keys[0]));
+  EXPECT_FALSE(cache.contains(keys[1]));
+  EXPECT_TRUE(cache.contains(keys[2]));
+  EXPECT_TRUE(cache.contains(keys[3]));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(MapCacheTest, InsertRefreshesExistingEntry) {
+  MapCache cache(2, 1);
+  const auto keys = keys_in_shard(cache, 0, 3);
+  cache.insert(keys[0], dummy_map(0));
+  cache.insert(keys[1], dummy_map(1));
+  // Re-insert keys[0]: refresh, not a new entry — keys[1] is now LRU.
+  cache.insert(keys[0], dummy_map(10));
+  cache.insert(keys[2], dummy_map(2));
+  EXPECT_TRUE(cache.contains(keys[0]));
+  EXPECT_FALSE(cache.contains(keys[1]));
+  const auto refreshed = cache.find(keys[0]);
+  ASSERT_NE(refreshed, nullptr);
+  EXPECT_EQ(refreshed->digest, 10u);
+}
+
+TEST(MapCacheTest, ContainsDoesNotTouchLruOrStats) {
+  MapCache cache(2, 1);
+  const auto keys = keys_in_shard(cache, 0, 3);
+  cache.insert(keys[0], dummy_map(0));
+  cache.insert(keys[1], dummy_map(1));
+  // contains() on keys[0] must NOT refresh it...
+  EXPECT_TRUE(cache.contains(keys[0]));
+  cache.insert(keys[2], dummy_map(2));
+  // ...so keys[0] (the LRU tail) is the one evicted.
+  EXPECT_FALSE(cache.contains(keys[0]));
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(MapCacheTest, ShardCapacityIsCeilOfCapacityOverShards) {
+  const MapCache cache(10, 4);
+  EXPECT_EQ(cache.shard_count(), 4u);
+  EXPECT_EQ(cache.shard_capacity(), 3u);  // ceil(10/4)
+  EXPECT_EQ(cache.stats().capacity, 12u);
+}
+
+TEST(MapCacheTest, ShardsAccountCapacityIndependently) {
+  MapCache cache(4, 2);  // 2 entries per shard
+  // Overfill shard 0; shard 1 stays empty and untouched.
+  const auto keys = keys_in_shard(cache, 0, 3);
+  for (std::uint64_t key : keys) cache.insert(key, dummy_map(key));
+  const CacheShardStats shard0 = cache.shard_stats(cache.shard_of(keys[0]));
+  EXPECT_EQ(shard0.size, 2u);
+  EXPECT_EQ(shard0.evictions, 1u);
+  const CacheShardStats shard1 = cache.shard_stats(1 - cache.shard_of(keys[0]));
+  EXPECT_EQ(shard1.size, 0u);
+  EXPECT_EQ(shard1.evictions, 0u);
+  // An eviction in shard 0 never displaces capacity from shard 1: total
+  // size tracks per-shard occupancy, not a global count.
+  EXPECT_EQ(cache.stats().size, 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(MapCacheTest, StatsAggregateAcrossShards) {
+  MapCache cache(16, 4);
+  cache.insert(1, dummy_map(1));
+  cache.insert(2, dummy_map(2));
+  EXPECT_NE(cache.find(1), nullptr);
+  EXPECT_NE(cache.find(2), nullptr);
+  EXPECT_EQ(cache.find(3), nullptr);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.size, 2u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 2.0 / 3.0);
+}
+
+TEST(MapCacheTest, HitRateOfEmptyCacheIsZero) {
+  const MapCache cache(4, 2);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace corelocate::serve

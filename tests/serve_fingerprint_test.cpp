@@ -1,0 +1,127 @@
+// Fingerprint canonicalization: the cache key must be invariant under
+// observation permutation (probe order is a measurement artifact) and
+// sensitive to everything that is actually information.
+
+#include "serve/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ilp/signature.hpp"
+#include "serve/loadgen.hpp"
+#include "sim/instance_factory.hpp"
+#include "util/rng.hpp"
+
+namespace corelocate::serve {
+namespace {
+
+MappingRequest make_request(sim::XeonModel model, std::uint64_t seed) {
+  const sim::InstanceFactory factory(sim::InstanceFactory::kDefaultFleetSeed);
+  return synthesize_client(model, seed, factory);
+}
+
+TEST(SignatureBuilderTest, OrderSensitiveForFields) {
+  ilp::SignatureBuilder ab;
+  ab.add(1).add(2);
+  ilp::SignatureBuilder ba;
+  ba.add(2).add(1);
+  EXPECT_NE(ab.digest(), ba.digest());
+}
+
+TEST(SignatureBuilderTest, SaltSeparatesDomains) {
+  ilp::SignatureBuilder a(1);
+  ilp::SignatureBuilder b(2);
+  a.add(7);
+  b.add(7);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(SignatureBuilderTest, TextDigestDependsOnContentAndLength) {
+  const auto digest_of = [](std::string_view text) {
+    ilp::SignatureBuilder builder;
+    builder.add_text(text);
+    return builder.digest();
+  };
+  EXPECT_EQ(digest_of("corelocate"), digest_of("corelocate"));
+  EXPECT_NE(digest_of("corelocate"), digest_of("corelocatf"));
+  EXPECT_NE(digest_of("aa"), digest_of("aaa"));
+}
+
+TEST(CombineUnorderedTest, PermutationInvariantButMultiplicityAware) {
+  EXPECT_EQ(ilp::combine_unordered({1, 2, 3}), ilp::combine_unordered({3, 1, 2}));
+  EXPECT_NE(ilp::combine_unordered({1, 2}), ilp::combine_unordered({1, 2, 2}));
+  EXPECT_NE(ilp::combine_unordered({}), ilp::combine_unordered({0}));
+}
+
+TEST(FingerprintTest, PermutingObservationsPreservesSignatureProperty) {
+  // Property check across models and seeds: any shuffle of the
+  // observation set (and of activations within each observation) maps
+  // to the same signature and the same cache key.
+  for (const sim::XeonModel model : sim::all_models()) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const MappingRequest original = make_request(model, seed);
+      const Fingerprint base = fingerprint_of(original);
+      for (std::uint64_t shuffle_seed = 1; shuffle_seed <= 8; ++shuffle_seed) {
+        MappingRequest permuted = original;
+        permuted.observations =
+            permute_observations(*original.observations, shuffle_seed);
+        const Fingerprint fp = fingerprint_of(permuted);
+        EXPECT_EQ(fp.signature, base.signature)
+            << sim::to_string(model) << " seed=" << seed
+            << " shuffle=" << shuffle_seed;
+        EXPECT_EQ(fp.value, base.value);
+      }
+    }
+  }
+}
+
+TEST(FingerprintTest, SignatureChangesWhenContentChanges) {
+  const MappingRequest original = make_request(sim::XeonModel::k8124M, 3);
+  auto tampered = std::make_shared<core::ObservationSet>(*original.observations);
+  ASSERT_FALSE(tampered->empty());
+  ASSERT_FALSE(tampered->front().activations.empty());
+  tampered->front().activations.front().cycles += 1;
+  MappingRequest modified = original;
+  modified.observations = std::move(tampered);
+  EXPECT_NE(fingerprint_of(modified).signature, fingerprint_of(original).signature);
+}
+
+TEST(FingerprintTest, DroppingAnObservationChangesSignature) {
+  const MappingRequest original = make_request(sim::XeonModel::k8124M, 3);
+  auto truncated = std::make_shared<core::ObservationSet>(*original.observations);
+  ASSERT_FALSE(truncated->empty());
+  truncated->pop_back();
+  MappingRequest modified = original;
+  modified.observations = std::move(truncated);
+  EXPECT_NE(fingerprint_of(modified).signature, fingerprint_of(original).signature);
+}
+
+TEST(FingerprintTest, IdentityDistinguishesInstancesWithEqualObservations) {
+  // Two instances with the same observation content but different PPIN
+  // share a signature (one solve) yet cache under different keys.
+  const MappingRequest a = make_request(sim::XeonModel::k8124M, 3);
+  MappingRequest b = a;
+  b.ppin ^= 0xDEADBEEFULL;
+  const Fingerprint fa = fingerprint_of(a);
+  const Fingerprint fb = fingerprint_of(b);
+  EXPECT_EQ(fa.signature, fb.signature);
+  EXPECT_NE(fa.value, fb.value);
+}
+
+TEST(FingerprintTest, DistinctSeedsGiveDistinctFingerprints) {
+  const Fingerprint a = fingerprint_of(make_request(sim::XeonModel::k8259CL, 1));
+  const Fingerprint b = fingerprint_of(make_request(sim::XeonModel::k8259CL, 2));
+  EXPECT_NE(a.value, b.value);
+}
+
+TEST(FingerprintTest, ModelTokenRoundTrips) {
+  for (const sim::XeonModel model : sim::all_models()) {
+    sim::XeonModel parsed;
+    ASSERT_TRUE(parse_model_token(model_token(model), parsed));
+    EXPECT_EQ(parsed, model);
+  }
+  sim::XeonModel parsed;
+  EXPECT_FALSE(parse_model_token("9999X", parsed));
+}
+
+}  // namespace
+}  // namespace corelocate::serve

@@ -1,0 +1,126 @@
+// Loadgen: the request stream is a pure function of (options, index),
+// repeats follow the configured pool, and request-file lines round-trip
+// through the same grammar corelocated parses.
+
+#include "serve/loadgen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "serve/fingerprint.hpp"
+
+namespace corelocate::serve {
+namespace {
+
+LoadgenOptions small_options() {
+  LoadgenOptions options;
+  options.distinct_per_sku = 2;
+  options.plan_fraction = 0.2;
+  options.survey_fraction = 0.05;
+  options.permute_fraction = 0.25;
+  return options;
+}
+
+TEST(LoadgenTest, PoolCoversEverySku) {
+  const Loadgen loadgen(small_options());
+  EXPECT_EQ(loadgen.pool_size(), 8u);  // 2 per SKU x 4 SKUs
+}
+
+TEST(LoadgenTest, RequestsArePureFunctionsOfIndex) {
+  const Loadgen a(small_options());
+  const Loadgen b(small_options());
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.request_line(i), b.request_line(i)) << "index " << i;
+    EXPECT_EQ(a.pool_index_of(i), b.pool_index_of(i));
+    // The payloads themselves fingerprint identically, permutation and
+    // all — two generators with equal options are interchangeable.
+    const Request ra = a.make_request(i);
+    const Request rb = b.make_request(i);
+    if (const auto* ma = std::get_if<MappingRequest>(&ra.payload)) {
+      const auto* mb = std::get_if<MappingRequest>(&rb.payload);
+      ASSERT_NE(mb, nullptr);
+      EXPECT_EQ(fingerprint_of(*ma).value, fingerprint_of(*mb).value);
+    }
+  }
+}
+
+TEST(LoadgenTest, SeedChangesTheStream) {
+  LoadgenOptions other = small_options();
+  other.seed ^= 0xABCDEFULL;
+  const Loadgen a(small_options());
+  const Loadgen b(other);
+  int differing = 0;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    differing += a.request_line(i) != b.request_line(i) ? 1 : 0;
+  }
+  EXPECT_GT(differing, 25);
+}
+
+TEST(LoadgenTest, RepeatDistributionIsHeadHeavy) {
+  LoadgenOptions options = small_options();
+  options.plan_fraction = 0.0;
+  options.survey_fraction = 0.0;
+  options.zipf_exponent = 1.2;
+  const Loadgen loadgen(options);
+  std::map<int, int> counts;
+  for (std::uint64_t i = 0; i < 2000; ++i) counts[loadgen.pool_index_of(i)]++;
+  // Rank 0 must dominate the tail ranks and every pool entry appears.
+  EXPECT_EQ(counts.size(), loadgen.pool_size());
+  EXPECT_GT(counts[0], counts[static_cast<int>(loadgen.pool_size()) - 1] * 3);
+}
+
+TEST(LoadgenTest, PermutedRequestsShareTheOriginalFingerprint) {
+  LoadgenOptions options = small_options();
+  options.permute_fraction = 1.0;  // every request re-permuted
+  options.plan_fraction = 0.0;
+  options.survey_fraction = 0.0;
+  const Loadgen loadgen(options);
+  std::set<std::uint64_t> fingerprints;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const Request request = loadgen.make_request(i);
+    const auto* mapping = std::get_if<MappingRequest>(&request.payload);
+    ASSERT_NE(mapping, nullptr);
+    fingerprints.insert(fingerprint_of(*mapping).value);
+  }
+  // Permutation never mints a new fingerprint: the distinct-fingerprint
+  // count is bounded by the pool, which is what makes the cache work.
+  EXPECT_LE(fingerprints.size(), loadgen.pool_size());
+}
+
+TEST(LoadgenTest, RequestLinesFollowTheDaemonGrammar) {
+  const Loadgen loadgen(small_options());
+  bool saw_mapping = false;
+  bool saw_plan = false;
+  bool saw_survey = false;
+  for (std::uint64_t i = 0; i < 400; ++i) {
+    const std::string line = loadgen.request_line(i);
+    if (line.rfind("mapping ", 0) == 0) saw_mapping = true;
+    if (line.rfind("plan ", 0) == 0) {
+      saw_plan = true;
+      EXPECT_NE(line.find(" kind="), std::string::npos) << line;
+      EXPECT_NE(line.find(" count="), std::string::npos) << line;
+    }
+    if (line.rfind("survey ", 0) == 0) {
+      saw_survey = true;
+      EXPECT_NE(line.find(" instances="), std::string::npos) << line;
+    }
+    EXPECT_NE(line.find(" model="), std::string::npos) << line;
+  }
+  EXPECT_TRUE(saw_mapping);
+  EXPECT_TRUE(saw_plan);
+  EXPECT_TRUE(saw_survey);
+}
+
+TEST(LoadgenTest, RejectsDegenerateOptions) {
+  LoadgenOptions no_instances = small_options();
+  no_instances.distinct_per_sku = 0;
+  EXPECT_THROW(Loadgen{no_instances}, std::invalid_argument);
+  LoadgenOptions no_skus = small_options();
+  no_skus.skus.clear();
+  EXPECT_THROW(Loadgen{no_skus}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace corelocate::serve

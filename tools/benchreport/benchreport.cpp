@@ -5,12 +5,17 @@
 //       bench-report schema (obs::validate_report). Exit 1 on the first
 //       invalid report.
 //
-//   benchreport compare <current.json> <baseline.json> [--max-regress F]
-//       Validates both reports, then fails (exit 1) if the current wall
-//       time regressed by more than F (default 0.25 = +25%) over the
-//       baseline. Expected-vs-measured rows are printed for context but
-//       never gate: result quality is the test suite's job.
+//   benchreport compare <current.json> <baseline.json>
+//                       [<current2.json> <baseline2.json> ...]
+//                       [--max-regress F]
+//       Validates every report, then fails (exit 1) if any current wall
+//       time regressed by more than F (default 0.25 = +25%) over its
+//       baseline. Multiple pairs print as one summary table, so a CI job
+//       gates a whole bench suite in a single invocation.
+//       Expected-vs-measured rows are printed for context but never
+//       gate: result quality is the test suite's job.
 
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -20,6 +25,7 @@
 #include "obs/json.hpp"
 #include "obs/report.hpp"
 #include "util/cli.hpp"
+#include "util/table.hpp"
 
 namespace {
 
@@ -64,40 +70,58 @@ int run_validate(const std::vector<std::string>& paths) {
   return 0;
 }
 
+std::string fmt_seconds(double seconds) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds);
+  return std::string(buf);
+}
+
 int run_compare(const std::vector<std::string>& paths, double max_regress) {
-  if (paths.size() != 2) {
-    std::cerr << "benchreport compare: expected <current.json> <baseline.json>\n";
+  if (paths.size() < 2 || paths.size() % 2 != 0) {
+    std::cerr << "benchreport compare: expected <current.json> <baseline.json>"
+                 " pairs (got " << paths.size() << " paths)\n";
     return 2;
   }
-  if (!validate_file(paths[0]) || !validate_file(paths[1])) return 1;
-  const obs::Json current = load(paths[0]);
-  const obs::Json baseline = load(paths[1]);
-  if (current.at("bench").as_string() != baseline.at("bench").as_string()) {
-    std::cerr << "benchreport compare: reports are for different benches ('"
-              << current.at("bench").as_string() << "' vs '"
-              << baseline.at("bench").as_string() << "')\n";
+  for (const std::string& path : paths) {
+    if (!validate_file(path)) return 1;
+  }
+
+  util::TablePrinter table({"bench", "current s", "baseline s", "budget s", "verdict"});
+  int regressions = 0;
+  for (std::size_t pair = 0; pair < paths.size(); pair += 2) {
+    const obs::Json current = load(paths[pair]);
+    const obs::Json baseline = load(paths[pair + 1]);
+    if (current.at("bench").as_string() != baseline.at("bench").as_string()) {
+      std::cerr << "benchreport compare: reports are for different benches ('"
+                << current.at("bench").as_string() << "' vs '"
+                << baseline.at("bench").as_string() << "')\n";
+      return 1;
+    }
+
+    const double current_wall = current.at("wall_seconds").as_number();
+    const double baseline_wall = baseline.at("wall_seconds").as_number();
+    const double budget = baseline_wall * (1.0 + max_regress);
+    const bool regressed = baseline_wall > 0.0 && current_wall > budget;
+    regressions += regressed ? 1 : 0;
+    table.add_row({current.at("bench").as_string(), fmt_seconds(current_wall),
+                   fmt_seconds(baseline_wall), fmt_seconds(budget),
+                   regressed ? "REGRESSED" : "ok"});
+
+    for (const obs::Json& row : current.at("expected").as_array()) {
+      std::cout << "  " << current.at("bench").as_string() << "/"
+                << row.at("metric").as_string() << ": expected "
+                << row.at("expected").as_number() << ", measured "
+                << row.at("measured").as_number() << "\n";
+    }
+  }
+
+  std::cout << "\nwall-time budget: +" << max_regress * 100.0 << "% over baseline\n";
+  table.print(std::cout);
+  if (regressions > 0) {
+    std::cerr << "benchreport compare: " << regressions << " bench(es) regressed\n";
     return 1;
   }
-
-  const double current_wall = current.at("wall_seconds").as_number();
-  const double baseline_wall = baseline.at("wall_seconds").as_number();
-  const double budget = baseline_wall * (1.0 + max_regress);
-  std::cout << "wall time: current " << current_wall << "s vs baseline "
-            << baseline_wall << "s (budget " << budget << "s at +"
-            << max_regress * 100.0 << "%)\n";
-
-  for (const obs::Json& row : current.at("expected").as_array()) {
-    std::cout << "  " << row.at("metric").as_string() << ": expected "
-              << row.at("expected").as_number() << ", measured "
-              << row.at("measured").as_number() << "\n";
-  }
-
-  if (baseline_wall > 0.0 && current_wall > budget) {
-    std::cerr << "benchreport compare: wall-time regression: " << current_wall
-              << "s > " << budget << "s\n";
-    return 1;
-  }
-  std::cout << "compare: OK\n";
+  std::cout << "compare: OK (" << paths.size() / 2 << " pair(s))\n";
   return 0;
 }
 
@@ -105,14 +129,17 @@ int run_compare(const std::vector<std::string>& paths, double max_regress) {
 
 int main(int argc, char** argv) {
   try {
+    util::FlagSpec spec("benchreport validate|compare <report.json>...",
+                        "Validate corelocate bench reports against the schema, or "
+                        "compare current/baseline report pairs and gate on "
+                        "wall-time regressions.");
+    spec.add("max-regress", "F", "wall-time regression budget (default 0.25 = +25%)");
     const util::CliFlags flags(argc, argv);
-    flags.validate({"max-regress"});
+    if (flags.handle_help(spec, std::cout)) return 0;
     const double max_regress = flags.get_double("max-regress", 0.25);
     const std::vector<std::string>& args = flags.positional();
     if (args.empty()) {
-      std::cerr << "usage: benchreport validate <report.json>...\n"
-                << "       benchreport compare <current.json> <baseline.json>"
-                   " [--max-regress F]\n";
+      std::cerr << spec.usage();
       return 2;
     }
     const std::string& command = args.front();

@@ -51,9 +51,10 @@ std::uint64_t translate(std::uint64_t mask, const std::vector<std::uint64_t>& ar
 // ------------------------------------------------------------------- sinks
 
 const char* kSinkTypes[] = {"SurveyRecord", "InstanceRecord", "MapStore",
-                            "Checkpoint",   "Aggregator",     "TablePrinter"};
+                            "Checkpoint",   "Aggregator",     "TablePrinter",
+                            "ResponseLog"};
 const char* kSinkCalls[] = {"add_row", "print_csv", "serialize_map", "manifest",
-                            "append_manifest"};
+                            "append_manifest", "append_response"};
 
 bool sink_type_name(const std::string& word) {
   for (const char* type : kSinkTypes) {
