@@ -23,7 +23,7 @@ void Aggregator::add(std::size_t worker, InstanceRecord record) {
   bucket.records.push_back(std::move(record));
 }
 
-AggregateResult Aggregator::merge() {
+AggregateResult Aggregator::merge() CORELOCATE_SERIAL_PHASE {
   AggregateResult result;
   for (Bucket& bucket : buckets_) {
     util::ReentryGuard::Scope scope(bucket.entry_guard, "Aggregator merge");

@@ -47,7 +47,8 @@ class Aggregator {
 
   /// Barrier step: folds all buckets. Call only after all add()ers are
   /// done; the aggregator may be reused afterwards (buckets are drained).
-  AggregateResult merge();
+  /// Serial-phase only: corelint proves no pool task can reach it.
+  AggregateResult merge() CORELOCATE_SERIAL_PHASE;
 
  private:
   struct alignas(64) Bucket {

@@ -81,7 +81,8 @@ std::string Checkpoint::manifest_path() const { return dir_ + "/manifest.txt"; }
 std::string Checkpoint::maps_path() const { return dir_ + "/maps.db"; }
 std::string Checkpoint::timings_path() const { return dir_ + "/timings.txt"; }
 
-void Checkpoint::write_header_locked(std::ofstream& out) const {
+void Checkpoint::write_header_locked(std::ofstream& out) const
+    CORELOCATE_REQUIRES(mutex_) {
   out << kMagic << '\n'
       << "model " << sim::to_string(model_) << '\n'
       << "base_seed " << fmt_hex(base_seed_) << '\n'
@@ -89,7 +90,7 @@ void Checkpoint::write_header_locked(std::ofstream& out) const {
 }
 
 void Checkpoint::record(const InstanceRecord& record) {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   // Map first, manifest line last: a manifest line implies its map is on
   // disk, so a crash between the two writes only costs a recompute.
   if (record.success) core::MapStore::append_file(maps_path(), record.map);

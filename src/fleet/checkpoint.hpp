@@ -58,7 +58,7 @@ class Checkpoint {
   std::string timings_path() const;
 
  private:
-  void write_header_locked(std::ofstream& out) const;
+  void write_header_locked(std::ofstream& out) const CORELOCATE_REQUIRES(mutex_);
 
   std::string dir_;
   sim::XeonModel model_;

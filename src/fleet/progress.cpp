@@ -18,7 +18,7 @@ ProgressMeter::ProgressMeter(int total, bool emit)
 }
 
 void ProgressMeter::note_resumed(int count) {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   acc_.done += count;
   acc_.resumed += count;
   // A resume can complete the survey outright (everything checkpointed).
@@ -27,7 +27,7 @@ void ProgressMeter::note_resumed(int count) {
 
 void ProgressMeter::instance_done(double step1_s, double step2_s, double step3_s,
                                   double wall_s) {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   ++acc_.done;
   acc_.step1.add(step1_s);
   acc_.step2.add(step2_s);
@@ -45,7 +45,8 @@ void ProgressMeter::instance_done(double step1_s, double step2_s, double step3_s
   emit_line_locked();
 }
 
-ProgressSummary ProgressMeter::snapshot_locked() const {
+ProgressSummary ProgressMeter::snapshot_locked() const
+    CORELOCATE_REQUIRES(mutex_) {
   ProgressSummary snap = acc_;
   snap.elapsed_seconds = obs::Clock::seconds_since(start_);
   const int computed = snap.done - snap.resumed;
@@ -58,7 +59,7 @@ ProgressSummary ProgressMeter::snapshot_locked() const {
   return snap;
 }
 
-void ProgressMeter::emit_line_locked() {
+void ProgressMeter::emit_line_locked() CORELOCATE_REQUIRES(mutex_) {
   const ProgressSummary s = snapshot_locked();
   std::ostringstream line;
   line << "fleet: " << s.done << "/" << s.total;
@@ -69,7 +70,7 @@ void ProgressMeter::emit_line_locked() {
   util::log_info() << line.str();
 }
 
-void ProgressMeter::emit_final_locked() {
+void ProgressMeter::emit_final_locked() CORELOCATE_REQUIRES(mutex_) {
   if (final_emitted_) return;
   final_emitted_ = true;
   const ProgressSummary s = snapshot_locked();
@@ -83,7 +84,7 @@ void ProgressMeter::emit_final_locked() {
 }
 
 ProgressSummary ProgressMeter::summary() const {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   return snapshot_locked();
 }
 

@@ -49,17 +49,17 @@ class ProgressMeter {
   ProgressSummary summary() const;
 
  private:
-  void emit_line_locked();
-  void emit_final_locked();
-  ProgressSummary snapshot_locked() const;
+  void emit_line_locked() CORELOCATE_REQUIRES(mutex_);
+  void emit_final_locked() CORELOCATE_REQUIRES(mutex_);
+  ProgressSummary snapshot_locked() const CORELOCATE_REQUIRES(mutex_);
 
   const int total_;
   const bool emit_;
   const obs::Clock::Time start_;
   mutable util::CheckedMutex<util::lockcheck::kRankProgress> mutex_{"ProgressMeter"};
-  ProgressSummary acc_;
-  obs::Clock::Time last_emit_;
-  bool final_emitted_ = false;
+  ProgressSummary acc_ CORELOCATE_GUARDED_BY(mutex_);
+  obs::Clock::Time last_emit_ CORELOCATE_GUARDED_BY(mutex_);
+  bool final_emitted_ CORELOCATE_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace corelocate::fleet

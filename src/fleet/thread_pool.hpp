@@ -63,7 +63,7 @@ class ThreadPool {
 
   struct WorkerDeque {
     DequeMutex mutex{"ThreadPool::WorkerDeque"};
-    std::deque<std::packaged_task<void()>> tasks;
+    std::deque<std::packaged_task<void()>> tasks CORELOCATE_GUARDED_BY(mutex);
   };
 
   std::future<void> enqueue(std::packaged_task<void()> task, WorkerDeque& target);
@@ -76,9 +76,11 @@ class ThreadPool {
   IdleMutex idle_mutex_{"ThreadPool::idle"};
   std::condition_variable_any work_cv_;  ///< signalled on submit and shutdown
   std::condition_variable_any idle_cv_;  ///< signalled when pending_ hits zero
-  std::size_t pending_ = 0;              ///< queued + running tasks
-  std::size_t queued_ = 0;               ///< queued, not yet popped
-  bool shutdown_ = false;
+  /// Queued + running tasks.
+  std::size_t pending_ CORELOCATE_GUARDED_BY(idle_mutex_) = 0;
+  /// Queued, not yet popped.
+  std::size_t queued_ CORELOCATE_GUARDED_BY(idle_mutex_) = 0;
+  bool shutdown_ CORELOCATE_GUARDED_BY(idle_mutex_) = false;
 
   std::vector<std::thread> threads_;
 };

@@ -51,7 +51,7 @@ std::shared_ptr<Tracer::ThreadBuffer> Tracer::buffer_for_this_thread() {
   }
   auto buffer = std::make_shared<ThreadBuffer>();
   {
-    std::lock_guard<decltype(registry_mutex_)> lock(registry_mutex_);
+    util::LockGuard lock(registry_mutex_);
     buffers_.push_back(buffer);
   }
   t_buffer_cache.push_back(BufferCache{id_, buffer});
@@ -61,19 +61,19 @@ std::shared_ptr<Tracer::ThreadBuffer> Tracer::buffer_for_this_thread() {
 void Tracer::record(TraceEvent event) {
   if (!enabled()) return;
   const std::shared_ptr<ThreadBuffer> buffer = buffer_for_this_thread();
-  std::lock_guard<decltype(buffer->mutex)> lock(buffer->mutex);
+  util::LockGuard lock(buffer->mutex);
   buffer->events.push_back(std::move(event));
 }
 
 std::vector<TraceEvent> Tracer::drain() {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
-    std::lock_guard<decltype(registry_mutex_)> lock(registry_mutex_);
+    util::LockGuard lock(registry_mutex_);
     buffers = buffers_;
   }
   std::vector<TraceEvent> events;
   for (const auto& buffer : buffers) {
-    std::lock_guard<decltype(buffer->mutex)> lock(buffer->mutex);
+    util::LockGuard lock(buffer->mutex);
     events.insert(events.end(), std::make_move_iterator(buffer->events.begin()),
                   std::make_move_iterator(buffer->events.end()));
     buffer->events.clear();

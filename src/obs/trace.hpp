@@ -76,7 +76,7 @@ class Tracer {
   struct ThreadBuffer {
     util::CheckedMutex<util::lockcheck::kRankObsTraceBuffer> mutex{
         "obs.trace.buffer"};
-    std::vector<TraceEvent> events;
+    std::vector<TraceEvent> events CORELOCATE_GUARDED_BY(mutex);
   };
 
   std::shared_ptr<ThreadBuffer> buffer_for_this_thread();
@@ -85,7 +85,8 @@ class Tracer {
   std::atomic<bool> enabled_{false};
   util::CheckedMutex<util::lockcheck::kRankObsTracer> registry_mutex_{
       "obs.trace.registry"};
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_
+      CORELOCATE_GUARDED_BY(registry_mutex_);
 };
 
 /// RAII span over Tracer::global(). Measures from construction to stop()

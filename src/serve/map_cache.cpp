@@ -19,7 +19,8 @@ std::size_t MapCache::shard_of(std::uint64_t key) const noexcept {
   return static_cast<std::size_t>(util::mix64(key) % shards_.size());
 }
 
-std::shared_ptr<const ServedMap> MapCache::find(std::uint64_t key) {
+std::shared_ptr<const ServedMap> MapCache::find(std::uint64_t key)
+    CORELOCATE_SERIAL_PHASE {
   Shard& shard = shards_[shard_of(key)];
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) {
@@ -36,7 +37,8 @@ bool MapCache::contains(std::uint64_t key) const {
   return shard.index.find(key) != shard.index.end();
 }
 
-void MapCache::insert(std::uint64_t key, std::shared_ptr<const ServedMap> map) {
+void MapCache::insert(std::uint64_t key, std::shared_ptr<const ServedMap> map)
+    CORELOCATE_SERIAL_PHASE {
   Shard& shard = shards_[shard_of(key)];
   const auto it = shard.index.find(key);
   if (it != shard.index.end()) {

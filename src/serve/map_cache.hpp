@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/core_map.hpp"
+#include "util/lockcheck.hpp"
 
 namespace corelocate::serve {
 
@@ -61,14 +62,17 @@ class MapCache {
 
   /// Lookup. A hit refreshes the entry's LRU position and counts a
   /// shard hit; a miss counts a shard miss. Returns nullptr on miss.
-  std::shared_ptr<const ServedMap> find(std::uint64_t key);
+  /// Serial-phase only (mutates LRU order and shard stats): corelint's
+  /// conc-phase-escape rule proves no ThreadPool task can reach it.
+  std::shared_ptr<const ServedMap> find(std::uint64_t key) CORELOCATE_SERIAL_PHASE;
 
   /// Read-only probe: no stats, no LRU touch (tests, introspection).
   bool contains(std::uint64_t key) const;
 
   /// Inserts (or refreshes) an entry; evicts the shard's LRU tail when
-  /// the shard is over its capacity slice.
-  void insert(std::uint64_t key, std::shared_ptr<const ServedMap> map);
+  /// the shard is over its capacity slice. Serial-phase only.
+  void insert(std::uint64_t key, std::shared_ptr<const ServedMap> map)
+      CORELOCATE_SERIAL_PHASE;
 
   std::size_t shard_count() const noexcept { return shards_.size(); }
   std::size_t shard_capacity() const noexcept { return shard_capacity_; }

@@ -20,7 +20,8 @@ std::string ResponseLog::format_line(const Response& response) {
   return line;
 }
 
-void ResponseLog::append_response(const Response& response) {
+void ResponseLog::append_response(const Response& response)
+    CORELOCATE_SERIAL_PHASE {
   if (response.seq != next_seq_) {
     throw std::logic_error("ResponseLog: out-of-order append (seq " +
                            std::to_string(response.seq) + ", expected " +

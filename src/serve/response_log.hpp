@@ -19,6 +19,7 @@
 #include <string>
 
 #include "serve/request.hpp"
+#include "util/lockcheck.hpp"
 
 namespace corelocate::serve {
 
@@ -30,7 +31,9 @@ class ResponseLog {
 
   /// Formats and appends one response line. Must be called in ascending
   /// seq order; throws std::logic_error on out-of-order appends.
-  void append_response(const Response& response);
+  /// Serial-phase only: seq ordering is only meaningful when appends
+  /// happen from the service's serial respond phase.
+  void append_response(const Response& response) CORELOCATE_SERIAL_PHASE;
 
   /// FNV-1a 64-bit checksum over every appended byte.
   std::uint64_t checksum() const noexcept { return checksum_; }

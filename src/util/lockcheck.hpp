@@ -17,17 +17,10 @@
 // (note_acquire / note_release) is always built so the unit tests cover
 // the rank logic in every configuration.
 //
-// Rank table (gaps left for future layers):
-//   10  fleet::ThreadPool worker deques + overflow queue
-//   20  fleet::ThreadPool idle/pending accounting
-//   30  fleet::Checkpoint manifest append
-//   40  fleet::ProgressMeter accumulator
-//   50  obs::Tracer thread-buffer registry
-//   52  obs::Tracer per-thread event buffer
-// The obs ranks sit above every fleet rank on purpose: spans are taken
-// inside fleet critical sections (checkpoint record, progress emit), so
-// tracer locks must always be acquirable while fleet locks are held,
-// never the other way around.
+// The rank table itself lives in lockranks.hpp — one registry of named
+// constants with a static_assert uniqueness check — so every
+// CheckedMutex declaration names its rank and corelint's static lock
+// graph resolves the same numbers the runtime checker enforces.
 //
 // Violations call the installed handler; the default prints the held
 // lockset to stderr and aborts. Tests install a throwing handler.
@@ -35,14 +28,49 @@
 #include <atomic>
 #include <mutex>
 
-namespace corelocate::util::lockcheck {
+#include "util/lockranks.hpp"
 
-inline constexpr int kRankPoolDeque = 10;
-inline constexpr int kRankPoolIdle = 20;
-inline constexpr int kRankCheckpoint = 30;
-inline constexpr int kRankProgress = 40;
-inline constexpr int kRankObsTracer = 50;
-inline constexpr int kRankObsTraceBuffer = 52;
+// --- Concurrency annotation macros -----------------------------------
+//
+// These expand to Clang's native thread-safety attributes when the tree
+// is compiled with -DCORELOCATE_THREAD_SAFETY under clang (the CI
+// thread-safety job does exactly that, with -Wthread-safety), and to
+// nothing everywhere else. corelint parses the macro *names* from raw
+// source, so the static checker sees them even in builds where the
+// compiler does not: the two checkers cross-check each other on the
+// same annotations.
+//
+//   CORELOCATE_GUARDED_BY(m)   field is only read/written with m held
+//   CORELOCATE_REQUIRES(m)     function must be entered with m held
+//   CORELOCATE_SERIAL_PHASE    function may only run in a serial phase
+//                              (never from a ThreadPool task); corelint
+//                              rule conc-phase-escape proves it
+#if defined(CORELOCATE_THREAD_SAFETY) && defined(__clang__)
+#define CORELOCATE_TS_ATTR(x) __attribute__((x))
+#else
+#define CORELOCATE_TS_ATTR(x)
+#endif
+
+#define CORELOCATE_CAPABILITY(x) CORELOCATE_TS_ATTR(capability(x))
+#define CORELOCATE_SCOPED_CAPABILITY CORELOCATE_TS_ATTR(scoped_lockable)
+#define CORELOCATE_GUARDED_BY(x) CORELOCATE_TS_ATTR(guarded_by(x))
+#define CORELOCATE_REQUIRES(x) CORELOCATE_TS_ATTR(requires_capability(x))
+#define CORELOCATE_ACQUIRE(...) \
+  CORELOCATE_TS_ATTR(acquire_capability(__VA_ARGS__))
+#define CORELOCATE_RELEASE(...) \
+  CORELOCATE_TS_ATTR(release_capability(__VA_ARGS__))
+#define CORELOCATE_TRY_ACQUIRE(...) \
+  CORELOCATE_TS_ATTR(try_acquire_capability(__VA_ARGS__))
+#define CORELOCATE_ACQUIRED_AFTER(...) \
+  CORELOCATE_TS_ATTR(acquired_after(__VA_ARGS__))
+#define CORELOCATE_NO_THREAD_SAFETY_ANALYSIS \
+  CORELOCATE_TS_ATTR(no_thread_safety_analysis)
+// Serial-phase marker: compile-time no-op under every compiler; only
+// corelint gives it meaning. Place it after the parameter list, like
+// the attribute macros above.
+#define CORELOCATE_SERIAL_PHASE
+
+namespace corelocate::util::lockcheck {
 
 /// Called with (attempted rank, attempted name, highest held rank).
 using ViolationHandler = void (*)(int rank, const char* name, int held_rank);
@@ -73,7 +101,7 @@ namespace corelocate::util {
 /// is on. Satisfies BasicLockable + Lockable; pair with
 /// std::condition_variable_any where a condition variable is needed.
 template <int Rank>
-class CheckedMutex {
+class CORELOCATE_CAPABILITY("mutex") CheckedMutex {
  public:
   explicit CheckedMutex(const char* name = "") noexcept : name_(name) {}
 
@@ -83,14 +111,14 @@ class CheckedMutex {
   static constexpr int rank() noexcept { return Rank; }
   const char* name() const noexcept { return name_; }
 
-  void lock() {
+  void lock() CORELOCATE_ACQUIRE() {
 #if defined(CORELOCATE_LOCK_CHECK)
     lockcheck::note_acquire(Rank, name_);
 #endif
     mutex_.lock();
   }
 
-  bool try_lock() {
+  bool try_lock() CORELOCATE_TRY_ACQUIRE(true) {
     const bool locked = mutex_.try_lock();
 #if defined(CORELOCATE_LOCK_CHECK)
     // A failed try_lock is not an acquisition and never deadlocks, so
@@ -100,7 +128,7 @@ class CheckedMutex {
     return locked;
   }
 
-  void unlock() {
+  void unlock() CORELOCATE_RELEASE() {
     mutex_.unlock();
 #if defined(CORELOCATE_LOCK_CHECK)
     lockcheck::note_release(Rank);
@@ -110,6 +138,29 @@ class CheckedMutex {
  private:
   std::mutex mutex_;
   const char* name_;
+};
+
+/// RAII lock for a CheckedMutex (or any BasicLockable), annotated as a
+/// scoped capability so Clang's -Wthread-safety follows acquisitions
+/// through it — std::lock_guard in libstdc++ carries no attributes, so
+/// guarded-by checking is blind through it. Use this at every plain
+/// lock site; keep std::unique_lock (plus
+/// CORELOCATE_NO_THREAD_SAFETY_ANALYSIS on the function) only where a
+/// condition variable needs the relock-in-wait protocol.
+template <typename MutexT>
+class CORELOCATE_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(MutexT& mutex) CORELOCATE_ACQUIRE(mutex)
+      : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~LockGuard() CORELOCATE_RELEASE() { mutex_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  MutexT& mutex_;
 };
 
 /// Guards a structure documented as "one thread at a time" without a

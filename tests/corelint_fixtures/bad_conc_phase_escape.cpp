@@ -1,0 +1,30 @@
+// Fixture: conc-phase-escape — CORELOCATE_SERIAL_PHASE functions must be
+// unreachable from any callable handed to ThreadPool::submit/submit_on,
+// directly, through helpers, or by function name.
+struct Pool {
+  template <typename F>
+  void submit(F&& f);
+};
+
+struct Cache {
+  void insert(int key) CORELOCATE_SERIAL_PHASE { last_ = key; }
+  int last_ = 0;
+};
+
+Cache g_cache;
+
+void fill_cache(Cache* cache, int key) { cache->insert(key); }
+
+void drain_logs() { g_cache.insert(3); }
+
+void bad_direct(Pool& pool, Cache* cache) {
+  pool.submit([cache] { cache->insert(7); });  // corelint-expect: conc-phase-escape
+}
+
+void bad_transitive(Pool& pool, Cache* cache) {
+  pool.submit([cache] { fill_cache(cache, 9); });  // corelint-expect: conc-phase-escape
+}
+
+void bad_by_name(Pool& pool) {
+  pool.submit(drain_logs);  // corelint-expect: conc-phase-escape
+}

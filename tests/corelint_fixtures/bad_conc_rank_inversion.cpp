@@ -1,0 +1,42 @@
+// Fixture: conc-rank-inversion — acquiring a CheckedMutex whose rank is
+// not strictly above every held rank (or re-acquiring a held mutex) is a
+// static deadlock, even on paths no test executes. The last case nests
+// through a helper: only the cross-TU lock graph sees the inversion.
+namespace util {
+template <int Rank>
+struct CheckedMutex {
+  void lock();
+  void unlock();
+};
+template <typename M>
+struct LockGuard {
+  explicit LockGuard(M& m);
+};
+}  // namespace util
+
+constexpr int kRankLow = 10;
+constexpr int kRankHigh = 20;
+
+struct Engine {
+  util::CheckedMutex<kRankLow> deque_mutex;
+  util::CheckedMutex<kRankHigh> idle_mutex;
+};
+
+void downward(Engine& e) {
+  util::LockGuard lock(e.idle_mutex);
+  util::LockGuard inner(e.deque_mutex);  // corelint-expect: conc-rank-inversion
+}
+
+void reacquire(Engine& e) {
+  util::LockGuard lock(e.idle_mutex);
+  util::LockGuard again(e.idle_mutex);  // corelint-expect: conc-rank-inversion
+}
+
+void locks_low(Engine& e) {
+  util::LockGuard lock(e.deque_mutex);
+}
+
+void calls_low_under_high(Engine& e) {
+  util::LockGuard lock(e.idle_mutex);
+  locks_low(e);  // corelint-expect: conc-rank-inversion
+}

@@ -1,5 +1,8 @@
-// Fixture: implicit [&] captures on pool submissions must fire
-// conc-ref-capture.
+// Fixture: conc-ref-capture — pool tasks must not capture implicitly by
+// reference, and a named by-reference capture of a stack local needs the
+// submitting frame to join the pool (.get()/wait()/wait_idle()/join())
+// before the frame can unwind. The last case escapes through a helper:
+// the call-graph pass proves `run_async`'s parameter reaches submit().
 struct Pool {
   template <typename F>
   void submit(F&& f);
@@ -14,4 +17,21 @@ void schedule(Pool& pool) {
   pool.submit(
       [&] { counter += 2; });               // corelint-expect: conc-ref-capture
   (void)counter;
+}
+
+void fire_and_forget(Pool& pool) {
+  int total = 0;
+  // No get()/wait_idle() follows: the task can outlive `total`.
+  pool.submit([&total] { total += 1; });  // corelint-expect: conc-ref-capture
+}
+
+template <typename F>
+void run_async(Pool& pool, F&& task) {
+  pool.submit(static_cast<F&&>(task));
+}
+
+void indirect_escape(Pool& pool) {
+  int sum = 0;
+  // The lambda escapes into the pool via run_async's `task` parameter.
+  run_async(pool, [&sum] { sum += 1; });  // corelint-expect: conc-ref-capture
 }

@@ -1,0 +1,39 @@
+// Fixture: conc-unguarded-access — a field annotated
+// CORELOCATE_GUARDED_BY(m) may only be touched where the static lockset
+// holds m (a lock region over m, or CORELOCATE_REQUIRES(m) on the
+// enclosing function). Holding a *different* mutex does not count.
+namespace util {
+template <int Rank>
+struct CheckedMutex {
+  void lock();
+  void unlock();
+};
+template <typename M>
+struct LockGuard {
+  explicit LockGuard(M& m);
+};
+}  // namespace util
+
+struct Meter {
+  util::CheckedMutex<30> mutex_;
+  int done_ CORELOCATE_GUARDED_BY(mutex_);
+  int total_ = 0;
+
+  void tick_unlocked() {
+    done_ += 1;  // corelint-expect: conc-unguarded-access
+  }
+
+  void tick_locked() {
+    util::LockGuard lock(mutex_);
+    done_ += 1;
+  }
+};
+
+struct Other {
+  util::CheckedMutex<40> other_mutex_;
+};
+
+void wrong_mutex(Meter& m, Other& o) {
+  util::LockGuard lock(o.other_mutex_);
+  m.done_ += 1;  // corelint-expect: conc-unguarded-access
+}

@@ -18,3 +18,15 @@ double live_after_splices() {
   // Scanning must resume on the first unspliced line:
   return static_cast<double>(std::rand());  // corelint-expect: det-wallclock
 }
+
+int spliced_block_comment() {
+  int x = 0; /\
+* this block comment opened across a line splice — its contents are
+  dead text: srand(7); std::random_device entropy; auto* leak = new int; *\
+/ x = 1;
+  return x;
+}
+
+double live_after_spliced_block() {
+  return static_cast<double>(std::rand());  // corelint-expect: det-wallclock
+}

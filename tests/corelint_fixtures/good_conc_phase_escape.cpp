@@ -1,0 +1,22 @@
+// Fixture (clean twin): serial-phase operations stay in the serial
+// phases around the pool burst; pool tasks only touch functions that
+// never reach a CORELOCATE_SERIAL_PHASE annotation.
+struct Pool {
+  template <typename F>
+  void submit(F&& f);
+  void wait_idle();
+};
+
+struct Cache {
+  void insert(int key) CORELOCATE_SERIAL_PHASE { last_ = key; }
+  int last_ = 0;
+};
+
+int compute(int x) { return x * 2; }
+
+void serial_then_parallel(Pool& pool, Cache* cache, int* out) {
+  cache->insert(1);  // serial phase, before the burst: fine
+  pool.submit([out] { *out = compute(2); });
+  pool.wait_idle();
+  cache->insert(3);  // serial phase again, after the join: fine
+}

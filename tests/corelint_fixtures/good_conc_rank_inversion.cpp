@@ -1,0 +1,52 @@
+// Fixture (clean twin): strictly ascending nesting, sequential
+// non-nested regions, manual lock/unlock pairing, and calls whose
+// callees only acquire upward are all fine.
+namespace util {
+template <int Rank>
+struct CheckedMutex {
+  void lock();
+  void unlock();
+};
+template <typename M>
+struct LockGuard {
+  explicit LockGuard(M& m);
+};
+}  // namespace util
+
+constexpr int kRankLow = 10;
+constexpr int kRankHigh = 20;
+
+struct Engine {
+  util::CheckedMutex<kRankLow> deque_mutex;
+  util::CheckedMutex<kRankHigh> idle_mutex;
+};
+
+void upward(Engine& e) {
+  util::LockGuard low(e.deque_mutex);
+  util::LockGuard high(e.idle_mutex);  // 10 then 20: strictly ascending
+}
+
+void sequential(Engine& e) {
+  {
+    util::LockGuard lock(e.deque_mutex);
+  }
+  {
+    util::LockGuard lock(e.deque_mutex);  // previous region already closed
+  }
+}
+
+void manual_pair(Engine& e) {
+  e.idle_mutex.lock();
+  e.idle_mutex.unlock();
+  e.deque_mutex.lock();  // idle_mutex released above: not an inversion
+  e.deque_mutex.unlock();
+}
+
+void locks_high(Engine& e) {
+  util::LockGuard lock(e.idle_mutex);
+}
+
+void calls_high_under_low(Engine& e) {
+  util::LockGuard lock(e.deque_mutex);
+  locks_high(e);  // callee acquires 20 while 10 is held: ascending, fine
+}

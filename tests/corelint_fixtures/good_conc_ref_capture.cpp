@@ -1,13 +1,33 @@
-// Fixture: named captures on pool submissions are auditable and fine.
+// Fixture (clean twin): named by-value captures are always fine, and a
+// named by-reference capture is fine when the submitting frame joins the
+// pool before returning — the capture cannot outlive the frame.
 struct Pool {
   template <typename F>
   void submit(F&& f);
+  void wait_idle();
 };
+
+struct Future {
+  void get();
+};
+
+Future track(Pool& pool);
 
 void schedule(Pool& pool) {
   int counter = 0;
-  pool.submit([&counter] { counter++; });
   pool.submit([counter] { (void)counter; });
   pool.submit([]() {});
   (void)counter;
+}
+
+void scatter_then_join(Pool& pool) {
+  int total = 0;
+  pool.submit([&total] { total += 1; });
+  pool.wait_idle();  // barrier: &total cannot outlive this frame
+}
+
+void submit_then_get(Pool& pool) {
+  int total = 0;
+  pool.submit([&total] { total += 2; });
+  track(pool).get();  // blocking on the future is also a join
 }

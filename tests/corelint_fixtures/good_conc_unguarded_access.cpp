@@ -1,0 +1,38 @@
+// Fixture (clean twin): guarded fields touched under their mutex, under
+// a CORELOCATE_REQUIRES contract, or from a constructor (no sharing can
+// exist yet) are all fine; unannotated fields are never checked.
+namespace util {
+template <int Rank>
+struct CheckedMutex {
+  void lock();
+  void unlock();
+};
+template <typename M>
+struct LockGuard {
+  explicit LockGuard(M& m);
+};
+}  // namespace util
+
+struct Meter {
+  util::CheckedMutex<30> mutex_;
+  int done_ CORELOCATE_GUARDED_BY(mutex_);
+  int total_ = 0;
+
+  explicit Meter(int total) {
+    done_ = 0;  // constructors run before any sharing is possible
+    total_ = total;
+  }
+
+  void tick() {
+    util::LockGuard lock(mutex_);
+    done_ += 1;
+  }
+
+  void tick_locked() CORELOCATE_REQUIRES(mutex_) {
+    done_ += 1;  // caller holds mutex_ by contract
+  }
+
+  void bump_total() {
+    total_ += 1;  // not annotated: no guard to enforce
+  }
+};

@@ -1,0 +1,16 @@
+// Fixture: an unclosed `#if 0` stays dead all the way to end of file —
+// there is no #endif to revive scanning, and the scanner must not fall
+// back to treating the tail as live code. Not compiled — scanned by
+// `corelint --selftest`.
+#include <cstdlib>
+
+double live_before_dead_tail() {
+  return static_cast<double>(std::rand());  // corelint-expect: det-wallclock
+}
+
+#if 0
+static int dead_tail() { return std::rand(); }
+auto* dead_tail_leak = new int;
+#if 1
+static int nested_in_dead_tail() { return std::clock(); }
+// neither this region nor the outer one is ever closed

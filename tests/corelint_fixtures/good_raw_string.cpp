@@ -21,3 +21,17 @@ double after_raw_string() {
   // Scanning must resume after the closing delimiter:
   return static_cast<double>(std::rand());  // corelint-expect: det-wallclock
 }
+
+std::string custom_delimiter_parens() {
+  // Custom delimiters whose payload is full of parens, plain-string
+  // closers, and near-miss terminators — only )x" / )if" may close.
+  const std::string one = R"x(call(now()) ")" )y" still data: rand())x";
+  const std::string two = R"if(#if 0
+    srand(9); auto* p = new int(3);
+  #endif)if";
+  return one + two;
+}
+
+double after_custom_delimiters() {
+  return static_cast<double>(std::rand());  // corelint-expect: det-wallclock
+}

@@ -1,0 +1,13 @@
+﻿#if 0
+static int dead_bom_branch() { return std::rand(); }
+auto* bom_leak = new int;
+#endif
+// Fixture: a UTF-8 byte-order mark precedes the very first directive.
+// If the BOM were not stripped, the `#if 0` above would go unrecognised
+// and its dead body would be scanned as live code. Not compiled --
+// scanned by `corelint --selftest`.
+#include <cstdlib>
+
+double live_after_bom() {
+  return static_cast<double>(std::rand());  // corelint-expect: det-wallclock
+}

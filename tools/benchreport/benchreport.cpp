@@ -10,8 +10,11 @@
 //                       [--max-regress F]
 //       Validates every report, then fails (exit 1) if any current wall
 //       time regressed by more than F (default 0.25 = +25%) over its
-//       baseline. Multiple pairs print as one summary table, so a CI job
-//       gates a whole bench suite in a single invocation.
+//       baseline. A pair whose current or baseline report is missing,
+//       fails the schema, or carries a zero baseline wall time fails the
+//       invocation outright — compare never reports "ok" on a gate it
+//       could not evaluate. Multiple pairs print as one summary table,
+//       so a CI job gates a whole bench suite in a single invocation.
 //       Expected-vs-measured rows are printed for context but never
 //       gate: result quality is the test suite's job.
 
@@ -82,8 +85,28 @@ int run_compare(const std::vector<std::string>& paths, double max_regress) {
                  " pairs (got " << paths.size() << " paths)\n";
     return 2;
   }
-  for (const std::string& path : paths) {
-    if (!validate_file(path)) return 1;
+  // Check every pair up front and name the broken ones: a missing or
+  // schema-invalid report in ANY pair fails the invocation. Compare must
+  // never print an "ok" verdict it could not actually establish.
+  int unusable = 0;
+  for (std::size_t pair = 0; pair < paths.size(); pair += 2) {
+    const std::size_t n = pair / 2 + 1;
+    if (!validate_file(paths[pair])) {
+      std::cerr << "benchreport compare: pair " << n << ": current report '"
+                << paths[pair] << "' is missing or fails the schema\n";
+      ++unusable;
+      continue;  // its baseline may be fine; the pair is dead either way
+    }
+    if (!validate_file(paths[pair + 1])) {
+      std::cerr << "benchreport compare: pair " << n << ": baseline report '"
+                << paths[pair + 1] << "' is missing or fails the schema\n";
+      ++unusable;
+    }
+  }
+  if (unusable > 0) {
+    std::cerr << "benchreport compare: " << unusable
+              << " pair(s) unusable — no wall-time verdict possible\n";
+    return 1;
   }
 
   util::TablePrinter table({"bench", "current s", "baseline s", "budget s", "verdict"});
@@ -100,8 +123,16 @@ int run_compare(const std::vector<std::string>& paths, double max_regress) {
 
     const double current_wall = current.at("wall_seconds").as_number();
     const double baseline_wall = baseline.at("wall_seconds").as_number();
+    if (!(baseline_wall > 0.0)) {
+      // A zero baseline would make every budget zero-or-nothing; the old
+      // behaviour of silently skipping the gate hid stale baselines.
+      std::cerr << "benchreport compare: baseline '" << paths[pair + 1]
+                << "' has wall_seconds " << baseline_wall
+                << " — a zero baseline gates nothing; regenerate it\n";
+      return 1;
+    }
     const double budget = baseline_wall * (1.0 + max_regress);
-    const bool regressed = baseline_wall > 0.0 && current_wall > budget;
+    const bool regressed = current_wall > budget;
     regressions += regressed ? 1 : 0;
     table.add_row({current.at("bench").as_string(), fmt_seconds(current_wall),
                    fmt_seconds(baseline_wall), fmt_seconds(budget),

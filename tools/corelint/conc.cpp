@@ -1,0 +1,811 @@
+#include "conc.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+
+namespace corelint {
+
+namespace {
+
+// ------------------------------------------------------------- small helpers
+
+bool guard_type_name(const std::string& word) {
+  return word == "lock_guard" || word == "unique_lock" || word == "scoped_lock" ||
+         word == "LockGuard";
+}
+
+bool submit_name(const std::string& word) {
+  return word == "submit" || word == "submit_on";
+}
+
+/// Calls that join submitted work back into the submitting frame:
+/// by-reference captures of stack locals are safe only behind one.
+bool barrier_name(const std::string& word) {
+  return word == "get" || word == "wait" || word == "wait_idle" || word == "join";
+}
+
+/// `std::scoped_lock(m, std::adopt_lock)`-style tag arguments are not
+/// mutexes.
+bool lock_tag_name(const std::string& word) {
+  return word == "adopt_lock" || word == "defer_lock" || word == "try_to_lock";
+}
+
+/// File-pair key: "src/fleet/thread_pool.hpp" and ".cpp" share the stem
+/// "thread_pool", so a mutex declared in the header resolves at lock
+/// sites in its own implementation file first — `mutex` in a WorkerDeque
+/// and `mutex` in a trace ThreadBuffer stay distinct.
+std::string path_stem(const std::string& path) {
+  const std::size_t slash = path.find_last_of("/\\");
+  std::string name = slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos) name.resize(dot);
+  return name;
+}
+
+/// Index one past the '>' matching the '<' at `open`; tokens.size() when
+/// the statement ends before it balances (then it was not a template-id).
+std::size_t skip_angles(const std::vector<Token>& tokens, std::size_t open) {
+  int depth = 0;
+  for (std::size_t t = open; t < tokens.size(); ++t) {
+    const Token& tok = tokens[t];
+    if (tok.is("<")) {
+      ++depth;
+    } else if (tok.is(">")) {
+      if (--depth <= 0) return t + 1;
+    } else if (tok.is(">>")) {
+      depth -= 2;
+      if (depth <= 0) return t + 1;
+    } else if (tok.is("(")) {
+      t = match_group(tokens, t);
+      if (t >= tokens.size()) break;
+    } else if (tok.is(";") || tok.is("{")) {
+      break;
+    }
+  }
+  return tokens.size();
+}
+
+std::string last_ident(const std::vector<Token>& tokens, std::size_t begin,
+                       std::size_t end) {
+  std::string last;
+  for (std::size_t t = begin; t < end && t < tokens.size(); ++t) {
+    if (tokens[t].kind == Token::Kind::kIdent && !is_control_keyword(tokens[t].text)) {
+      last = tokens[t].text;
+    }
+  }
+  return last;
+}
+
+// --------------------------------------------------------------- lock graph
+
+/// One static lock-held region inside a function body: from the
+/// acquisition token to the '}' closing its scope (RAII guards), to the
+/// matching `x.unlock()` (manual locks), or the whole body
+/// (CORELOCATE_REQUIRES entry locks).
+struct LockRegion {
+  std::string mutex;      ///< base identifier of the locked expression
+  int rank = -1;          ///< resolved CheckedMutex rank, -1 unknown
+  std::size_t begin = 0;  ///< token index of the acquisition
+  std::size_t end = 0;    ///< first token index past the region
+  std::size_t line = 0;   ///< 0-based line of the acquisition
+  bool entry = false;     ///< held on entry (REQUIRES), not acquired here
+};
+
+struct UnitInfo {
+  const TranslationUnit* unit = nullptr;
+  std::string stem;
+  std::vector<std::vector<CallSite>> fn_calls;
+  std::vector<std::vector<LockRegion>> fn_regions;
+  /// Guarded fields visible to this unit: field → guarding mutex name.
+  std::map<std::string, std::string> guards;
+};
+
+using FnKey = std::pair<std::string, int>;
+using FnRef = std::pair<std::size_t, std::size_t>;  ///< (unit index, fn index)
+
+/// What a function does to the concurrency state, as seen from a call
+/// site. Monotone (sets only grow), so the Kleene iteration converges.
+struct ConcSummary {
+  /// Ranks this function (transitively) acquires → an example mutex name
+  /// at that rank, for the report text.
+  std::map<int, std::string> acquires;
+  /// Reaches a CORELOCATE_SERIAL_PHASE function (possibly itself).
+  bool reaches_serial = false;
+  std::string serial_witness;  ///< not part of the fixpoint comparison
+  /// Parameter indices whose value is handed to ThreadPool::submit /
+  /// submit_on (possibly through further helpers).
+  std::set<std::size_t> escaping;
+
+  bool operator==(const ConcSummary& other) const {
+    return acquires == other.acquires && reaches_serial == other.reaches_serial &&
+           escaping == other.escaping;
+  }
+};
+
+struct Corpus {
+  std::vector<UnitInfo> infos;
+  std::map<FnKey, std::vector<FnRef>> index;
+  std::map<std::string, std::vector<FnRef>> name_index;  ///< any arity
+  std::map<std::string, long> constants;                 ///< constexpr int NAME = N
+  std::map<std::string, int> alias_rank;   ///< using X = CheckedMutex<R>
+  std::map<std::pair<std::string, std::string>, int> mutex_by_stem;
+  std::map<std::string, std::set<int>> mutex_global;
+  std::map<std::pair<std::string, std::string>, std::string> guard_by_stem;
+  std::map<std::string, std::set<std::string>> guard_global;
+  std::set<std::string> type_names;  ///< class/struct names (ctor/dtor exemption)
+  std::vector<std::vector<ConcSummary>> summaries;
+};
+
+/// Rank named by the token range of a CheckedMutex<...> argument: a
+/// literal, or a named constant from the corpus-wide table.
+int resolve_rank(const Corpus& corpus, const std::vector<Token>& tokens,
+                 std::size_t begin, std::size_t end) {
+  std::string ident;
+  std::string number;
+  for (std::size_t t = begin; t < end && t < tokens.size(); ++t) {
+    if (tokens[t].kind == Token::Kind::kIdent) ident = tokens[t].text;
+    if (tokens[t].kind == Token::Kind::kNumber) number = tokens[t].text;
+  }
+  if (!ident.empty()) {
+    const auto it = corpus.constants.find(ident);
+    return it == corpus.constants.end() ? -1 : static_cast<int>(it->second);
+  }
+  if (!number.empty()) {
+    char* rest = nullptr;
+    const long value = std::strtol(number.c_str(), &rest, 0);
+    if (rest != nullptr && *rest == '\0') return static_cast<int>(value);
+  }
+  return -1;
+}
+
+void record_mutex(Corpus& corpus, const std::string& stem, const std::string& var,
+                  int rank) {
+  const auto key = std::make_pair(stem, var);
+  const auto it = corpus.mutex_by_stem.find(key);
+  if (it == corpus.mutex_by_stem.end()) {
+    corpus.mutex_by_stem.emplace(key, rank);
+  } else if (it->second != rank) {
+    it->second = -1;  // two declarations in one file pair: ambiguous
+  }
+  corpus.mutex_global[var].insert(rank);
+}
+
+/// Rank of the mutex `name` seen from file pair `stem`: same-stem
+/// declaration first, then a globally unique declaration, else unknown.
+int rank_of(const Corpus& corpus, const std::string& stem, const std::string& name) {
+  const auto it = corpus.mutex_by_stem.find({stem, name});
+  if (it != corpus.mutex_by_stem.end()) return it->second;
+  const auto global = corpus.mutex_global.find(name);
+  if (global != corpus.mutex_global.end() && global->second.size() == 1) {
+    return *global->second.begin();
+  }
+  return -1;
+}
+
+/// Declaration scan: constants, CheckedMutex aliases and variables,
+/// GUARDED_BY fields and class/struct names, across the whole corpus.
+void scan_declarations(Corpus& corpus, const std::vector<TranslationUnit>& units) {
+  // Constants first — mutex declarations in any unit may name a constant
+  // from another (src/util/lockranks.hpp is the registry).
+  for (const TranslationUnit& unit : units) {
+    const std::vector<Token>& tokens = unit.tokens;
+    for (std::size_t t = 0; t + 1 < tokens.size(); ++t) {
+      if (!tokens[t].is_ident("constexpr")) continue;
+      for (std::size_t u = t + 1; u + 2 < tokens.size(); ++u) {
+        if (tokens[u].is(";") || tokens[u].is("{") || tokens[u].is("(")) break;
+        if (tokens[u].is("=") && u > t + 1 &&
+            tokens[u - 1].kind == Token::Kind::kIdent &&
+            tokens[u + 1].kind == Token::Kind::kNumber && tokens[u + 2].is(";")) {
+          char* rest = nullptr;
+          const long value = std::strtol(tokens[u + 1].text.c_str(), &rest, 0);
+          if (rest != nullptr && *rest == '\0') {
+            corpus.constants[tokens[u - 1].text] = value;
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  for (const TranslationUnit& unit : units) {
+    const std::vector<Token>& tokens = unit.tokens;
+    for (std::size_t t = 0; t + 2 < tokens.size(); ++t) {
+      if (tokens[t].is_ident("using") && tokens[t + 1].kind == Token::Kind::kIdent &&
+          tokens[t + 2].is("=")) {
+        for (std::size_t u = t + 3; u + 1 < tokens.size(); ++u) {
+          if (tokens[u].is(";")) break;
+          if (tokens[u].is_ident("CheckedMutex") && tokens[u + 1].is("<")) {
+            const std::size_t after = skip_angles(tokens, u + 1);
+            corpus.alias_rank[tokens[t + 1].text] =
+                resolve_rank(corpus, tokens, u + 2, after - 1);
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    const std::vector<Token>& tokens = units[u].tokens;
+    const std::string stem = path_stem(units[u].file.effective_path);
+    for (std::size_t t = 0; t + 1 < tokens.size(); ++t) {
+      const Token& tok = tokens[t];
+      if (tok.kind != Token::Kind::kIdent) continue;
+      if (tok.text == "CheckedMutex" && tokens[t + 1].is("<")) {
+        const std::size_t after = skip_angles(tokens, t + 1);
+        if (after >= tokens.size()) continue;
+        const int rank = resolve_rank(corpus, tokens, t + 2, after - 1);
+        if (tokens[after].kind == Token::Kind::kIdent &&
+            !is_control_keyword(tokens[after].text)) {
+          record_mutex(corpus, stem, tokens[after].text, rank);
+        }
+      } else if (corpus.alias_rank.count(tok.text) != 0 &&
+                 tokens[t + 1].kind == Token::Kind::kIdent &&
+                 !is_control_keyword(tokens[t + 1].text)) {
+        record_mutex(corpus, stem, tokens[t + 1].text, corpus.alias_rank[tok.text]);
+      } else if (tok.text == "CORELOCATE_GUARDED_BY" && tokens[t + 1].is("(")) {
+        const std::size_t close = match_group(tokens, t + 1);
+        const std::string guard = last_ident(tokens, t + 2, close);
+        if (!guard.empty() && t > 0 && tokens[t - 1].kind == Token::Kind::kIdent) {
+          const std::string& field = tokens[t - 1].text;
+          corpus.guard_by_stem[{stem, field}] = guard;
+          corpus.guard_global[field].insert(guard);
+        }
+      } else if (tok.text == "class" || tok.text == "struct") {
+        std::size_t v = t + 1;
+        if (v < tokens.size() && tokens[v].kind == Token::Kind::kIdent &&
+            tokens[v].text.rfind("CORELOCATE_", 0) == 0) {
+          ++v;
+          if (v < tokens.size() && tokens[v].is("(")) {
+            v = match_group(tokens, v) + 1;
+          }
+        }
+        if (v < tokens.size() && tokens[v].kind == Token::Kind::kIdent) {
+          corpus.type_names.insert(tokens[v].text);
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------- lock regions
+
+/// First token index of the '}' closing the scope the declaration at
+/// `from` lives in, or `body_end`.
+std::size_t scope_end(const std::vector<Token>& tokens, std::size_t from,
+                      std::size_t body_end) {
+  int depth = 0;
+  for (std::size_t t = from; t < body_end; ++t) {
+    if (tokens[t].is("{")) {
+      ++depth;
+    } else if (tokens[t].is("}")) {
+      if (depth == 0) return t;
+      --depth;
+    }
+  }
+  return body_end;
+}
+
+std::vector<LockRegion> find_regions(const Corpus& corpus, const std::string& stem,
+                                     const TranslationUnit& unit,
+                                     const FunctionDef& fn) {
+  const std::vector<Token>& tokens = unit.tokens;
+  std::vector<LockRegion> regions;
+
+  for (const std::string& name : fn.requires_locks) {
+    LockRegion region;
+    region.mutex = name;
+    region.rank = rank_of(corpus, stem, name);
+    region.begin = fn.body_begin;
+    region.end = fn.body_end;
+    region.line = fn.begin_line;
+    region.entry = true;
+    regions.push_back(std::move(region));
+  }
+
+  for (std::size_t t = fn.body_begin + 1; t < fn.body_end; ++t) {
+    const Token& tok = tokens[t];
+    if (tok.kind != Token::Kind::kIdent) continue;
+
+    if (guard_type_name(tok.text)) {
+      // `std::unique_lock<M> guard(expr);` / `util::LockGuard guard(expr);`
+      std::size_t u = t + 1;
+      if (u < tokens.size() && tokens[u].is("<")) u = skip_angles(tokens, u);
+      if (u >= fn.body_end || tokens[u].kind != Token::Kind::kIdent ||
+          is_control_keyword(tokens[u].text)) {
+        continue;
+      }
+      const std::size_t args_open = u + 1;
+      if (args_open >= fn.body_end ||
+          (!tokens[args_open].is("(") && !tokens[args_open].is("{"))) {
+        continue;
+      }
+      const std::size_t args_close = match_group(tokens, args_open);
+      if (args_close >= fn.body_end) continue;
+      const std::size_t end = scope_end(tokens, args_close + 1, fn.body_end);
+      for (const auto& [part_begin, part_end] :
+           split_top_level(tokens, args_open + 1, args_close)) {
+        const std::string mutex = last_ident(tokens, part_begin, part_end);
+        if (mutex.empty() || lock_tag_name(mutex)) continue;
+        LockRegion region;
+        region.mutex = mutex;
+        region.rank = rank_of(corpus, stem, mutex);
+        region.begin = t;
+        region.end = end;
+        region.line = tok.line;
+        regions.push_back(std::move(region));
+      }
+      t = args_close;
+      continue;
+    }
+
+    // Manual `expr.lock()` ... `expr.unlock()` pair.
+    if (tok.text == "lock" && t >= 2 && t + 2 < fn.body_end && tokens[t + 1].is("(") &&
+        tokens[t + 2].is(")") &&
+        (tokens[t - 1].is(".") || tokens[t - 1].is("->")) &&
+        tokens[t - 2].kind == Token::Kind::kIdent) {
+      const std::string& base = tokens[t - 2].text;
+      std::size_t end = fn.body_end;
+      for (std::size_t v = t + 3; v + 2 < fn.body_end; ++v) {
+        if (tokens[v].kind == Token::Kind::kIdent && tokens[v].text == base &&
+            (tokens[v + 1].is(".") || tokens[v + 1].is("->")) &&
+            tokens[v + 2].is_ident("unlock")) {
+          end = v;
+          break;
+        }
+      }
+      LockRegion region;
+      region.mutex = base;
+      region.rank = rank_of(corpus, stem, base);
+      region.begin = t;
+      region.end = end;
+      region.line = tok.line;
+      regions.push_back(std::move(region));
+    }
+  }
+  return regions;
+}
+
+// ---------------------------------------------------------------- summaries
+
+ConcSummary direct_summary(const UnitInfo& info, std::size_t fn_index) {
+  const FunctionDef& fn = info.unit->functions[fn_index];
+  const std::vector<Token>& tokens = info.unit->tokens;
+  ConcSummary summary;
+  for (const LockRegion& region : info.fn_regions[fn_index]) {
+    if (!region.entry && region.rank >= 0) {
+      summary.acquires.emplace(region.rank, region.mutex);
+    }
+  }
+  if (fn.serial_phase) {
+    summary.reaches_serial = true;
+    summary.serial_witness = fn.name;
+  }
+  for (const CallSite& call : info.fn_calls[fn_index]) {
+    if (!submit_name(call.name)) continue;
+    for (const auto& [arg_begin, arg_end] : call.args) {
+      for (std::size_t t = arg_begin; t < arg_end; ++t) {
+        if (tokens[t].kind != Token::Kind::kIdent) continue;
+        for (std::size_t p = 0; p < fn.params.size(); ++p) {
+          if (!fn.params[p].name.empty() && fn.params[p].name == tokens[t].text) {
+            summary.escaping.insert(p);
+          }
+        }
+      }
+    }
+  }
+  return summary;
+}
+
+/// One fixpoint step: merge the current summaries of every resolved
+/// callee into `base` (the direct summary).
+ConcSummary flow_step(const Corpus& corpus, const UnitInfo& info,
+                      std::size_t fn_index, ConcSummary base) {
+  const FunctionDef& fn = info.unit->functions[fn_index];
+  const std::vector<Token>& tokens = info.unit->tokens;
+  for (const CallSite& call : info.fn_calls[fn_index]) {
+    const auto callees = corpus.index.find({call.name, call.arity});
+    if (callees == corpus.index.end()) continue;
+    for (const FnRef& ref : callees->second) {
+      const ConcSummary& callee = corpus.summaries[ref.first][ref.second];
+      base.acquires.insert(callee.acquires.begin(), callee.acquires.end());
+      if (callee.reaches_serial && !base.reaches_serial) {
+        base.reaches_serial = true;
+        base.serial_witness =
+            callee.serial_witness.empty() ? call.name : callee.serial_witness;
+      }
+      for (std::size_t j : callee.escaping) {
+        if (j >= call.args.size()) continue;
+        for (std::size_t t = call.args[j].first; t < call.args[j].second; ++t) {
+          if (tokens[t].kind != Token::Kind::kIdent) continue;
+          for (std::size_t p = 0; p < fn.params.size(); ++p) {
+            if (!fn.params[p].name.empty() && fn.params[p].name == tokens[t].text) {
+              base.escaping.insert(p);
+            }
+          }
+        }
+      }
+    }
+  }
+  return base;
+}
+
+// ---------------------------------------------------------------- reporting
+
+struct ReportContext {
+  std::vector<Finding>* findings = nullptr;
+  std::set<std::tuple<const SourceFile*, std::size_t, std::string>>* reported =
+      nullptr;
+};
+
+void emit(const ReportContext& ctx, const SourceFile& file, std::size_t line,
+          const std::string& rule, const std::string& message) {
+  if (line >= file.lines.size()) return;
+  if (!ctx.reported->insert({&file, line, rule}).second) return;
+  if (file.suppressed(rule, line)) return;
+  ctx.findings->push_back(Finding{file.path, line + 1, rule, message,
+                                  file.lines[line].code});
+}
+
+/// Regions (including entry locks) held at token index `t`, excluding
+/// region `self`.
+std::vector<const LockRegion*> held_at(const std::vector<LockRegion>& regions,
+                                       std::size_t t, const LockRegion* self) {
+  std::vector<const LockRegion*> held;
+  for (const LockRegion& region : regions) {
+    if (&region == self) continue;
+    if (region.begin < t && t < region.end) held.push_back(&region);
+  }
+  return held;
+}
+
+void report_rank_inversion(const Corpus& corpus, const UnitInfo& info,
+                           std::size_t fn_index, const ReportContext& ctx) {
+  const TranslationUnit& unit = *info.unit;
+  const SourceFile& file = unit.file;
+  const std::vector<LockRegion>& regions = info.fn_regions[fn_index];
+  const std::string rule = "conc-rank-inversion";
+
+  for (const LockRegion& region : regions) {
+    if (region.entry) continue;
+    const std::vector<const LockRegion*> held =
+        held_at(regions, region.begin, &region);
+    bool fired = false;
+    for (const LockRegion* h : held) {
+      if (h->mutex == region.mutex) {
+        emit(ctx, file, region.line, rule,
+             "acquires mutex '" + region.mutex +
+                 "' while already holding it — self-deadlock on any schedule "
+                 "that runs this path");
+        fired = true;
+        break;
+      }
+    }
+    if (fired || region.rank < 0) continue;
+    for (const LockRegion* h : held) {
+      if (h->rank >= 0 && h->rank >= region.rank) {
+        emit(ctx, file, region.line, rule,
+             "acquires '" + region.mutex + "' (rank " +
+                 std::to_string(region.rank) + ") while '" + h->mutex + "' (rank " +
+                 std::to_string(h->rank) +
+                 ") is held — lock ranks must strictly increase along every "
+                 "acquisition path");
+        break;
+      }
+    }
+  }
+
+  // Interprocedural: a call made under a held lock must not reach an
+  // acquisition of an equal-or-lower rank.
+  for (const CallSite& call : info.fn_calls[fn_index]) {
+    const auto callees = corpus.index.find({call.name, call.arity});
+    if (callees == corpus.index.end()) continue;
+    const std::vector<const LockRegion*> held =
+        held_at(regions, call.name_index, nullptr);
+    int held_rank = -1;
+    const LockRegion* held_region = nullptr;
+    for (const LockRegion* h : held) {
+      if (h->rank > held_rank) {
+        held_rank = h->rank;
+        held_region = h;
+      }
+    }
+    if (held_region == nullptr || held_rank < 0) continue;
+    for (const FnRef& ref : callees->second) {
+      const ConcSummary& callee = corpus.summaries[ref.first][ref.second];
+      bool fired = false;
+      for (const auto& [rank, mutex] : callee.acquires) {
+        if (rank <= held_rank) {
+          emit(ctx, file, call.line, rule,
+               "call to '" + call.name + "' may acquire '" + mutex + "' (rank " +
+                   std::to_string(rank) + ") while '" + held_region->mutex +
+                   "' (rank " + std::to_string(held_rank) +
+                   ") is held — lock ranks must strictly increase along every "
+                   "acquisition path");
+          fired = true;
+          break;
+        }
+      }
+      if (fired) break;
+    }
+  }
+}
+
+void report_unguarded_access(const Corpus& corpus, const UnitInfo& info,
+                             std::size_t fn_index, const ReportContext& ctx) {
+  if (info.guards.empty()) return;
+  const TranslationUnit& unit = *info.unit;
+  const SourceFile& file = unit.file;
+  const FunctionDef& fn = unit.functions[fn_index];
+  const std::vector<Token>& tokens = unit.tokens;
+  // Constructors and destructors run before/after any sharing is
+  // possible (Clang's analysis makes the same exemption).
+  if (corpus.type_names.count(fn.name) != 0) return;
+
+  for (std::size_t t = fn.body_begin + 1; t < fn.body_end; ++t) {
+    const Token& tok = tokens[t];
+    if (tok.kind != Token::Kind::kIdent) continue;
+    const auto guard_it = info.guards.find(tok.text);
+    if (guard_it == info.guards.end()) continue;
+    const std::string& guard = guard_it->second;
+    // A field access is `expr.field`, `expr->field`, or a bare member
+    // whose trailing underscore marks it as a data member. A plain local
+    // identifier that happens to share the name is neither.
+    const bool member_syntax =
+        t > 0 && (tokens[t - 1].is(".") || tokens[t - 1].is("->"));
+    const bool member_name = !tok.text.empty() && tok.text.back() == '_';
+    if (!member_syntax && !member_name) continue;
+    if (t > 0 && tokens[t - 1].is("::")) continue;  // qualified name, not access
+
+    bool covered = false;
+    for (const LockRegion& region : info.fn_regions[fn_index]) {
+      if (region.mutex == guard && region.begin < t && t < region.end) {
+        covered = true;
+        break;
+      }
+    }
+    if (covered) continue;
+    emit(ctx, file, tok.line, "conc-unguarded-access",
+         "field '" + tok.text + "' is CORELOCATE_GUARDED_BY(" + guard +
+             ") but no static path here holds '" + guard +
+             "' — take util::LockGuard(" + guard +
+             ") or annotate the function CORELOCATE_REQUIRES(" + guard + ")");
+  }
+}
+
+/// Lambda body token range starting at the '[' at `intro`, or
+/// (0, 0) when no body brace follows before `limit`.
+std::pair<std::size_t, std::size_t> lambda_body(const std::vector<Token>& tokens,
+                                                std::size_t intro,
+                                                std::size_t limit) {
+  std::size_t u = match_group(tokens, intro) + 1;
+  while (u < limit && !tokens[u].is("{")) {
+    if (tokens[u].is("(")) {
+      u = match_group(tokens, u) + 1;
+    } else {
+      ++u;
+    }
+  }
+  if (u >= limit) return {0, 0};
+  const std::size_t close = match_group(tokens, u);
+  if (close > limit) return {0, 0};
+  return {u, close};
+}
+
+/// '[' at `t` introduces a lambda (not an index/subscript) when nothing
+/// indexable precedes it.
+bool lambda_intro(const std::vector<Token>& tokens, std::size_t t,
+                  std::size_t arg_begin) {
+  if (t == arg_begin) return true;
+  const Token& prev = tokens[t - 1];
+  if (prev.kind == Token::Kind::kIdent) return false;
+  if (prev.is(")") || prev.is("]")) return false;
+  return true;
+}
+
+void report_task_args(const Corpus& corpus, const UnitInfo& info,
+                      std::size_t fn_index, const CallSite& call,
+                      const std::vector<std::pair<std::size_t, std::size_t>>& args,
+                      const std::string& via, const ReportContext& ctx) {
+  const TranslationUnit& unit = *info.unit;
+  const SourceFile& file = unit.file;
+  const FunctionDef& fn = unit.functions[fn_index];
+  const std::vector<Token>& tokens = unit.tokens;
+
+  for (const auto& [arg_begin, arg_end] : args) {
+    for (std::size_t t = arg_begin; t < arg_end; ++t) {
+      const Token& tok = tokens[t];
+
+      if (tok.is("[") && lambda_intro(tokens, t, arg_begin)) {
+        const std::size_t captures_close = match_group(tokens, t);
+        const auto [body_open, body_close] = lambda_body(tokens, t, arg_end);
+
+        // conc-ref-capture: implicit [&] always fires; named by-ref
+        // captures fire unless the frame joins the pool afterwards.
+        bool joins = false;
+        const std::size_t call_close = match_group(tokens, call.name_index + 1);
+        for (std::size_t b = call_close + 1; b < fn.body_end; ++b) {
+          if (tokens[b].kind == Token::Kind::kIdent && barrier_name(tokens[b].text)) {
+            joins = true;
+            break;
+          }
+        }
+        for (const auto& [part_begin, part_end] :
+             split_top_level(tokens, t + 1, captures_close)) {
+          if (part_begin >= part_end) continue;
+          const Token& head = tokens[part_begin];
+          if (head.is("&") && part_end - part_begin == 1) {
+            emit(ctx, file, tok.line, "conc-ref-capture",
+                 "task handed to the pool" + via +
+                     " captures implicitly by reference ([&]) — name every "
+                     "capture so lifetimes stay auditable");
+            continue;
+          }
+          if (head.is("&") && !joins) {
+            const std::string name = last_ident(tokens, part_begin, part_end);
+            if (name.empty()) continue;
+            emit(ctx, file, tok.line, "conc-ref-capture",
+                 "task captures '" + name + "' by reference" + via + " but '" +
+                     fn.name +
+                     "' never joins the pool afterwards (.get()/wait_idle()) — "
+                     "the task can outlive the captured frame");
+          }
+        }
+
+        // conc-phase-escape: calls made from inside the task body.
+        if (body_open != 0) {
+          for (const CallSite& inner : info.fn_calls[fn_index]) {
+            if (inner.name_index <= body_open || inner.name_index >= body_close) {
+              continue;
+            }
+            const auto callees = corpus.index.find({inner.name, inner.arity});
+            if (callees == corpus.index.end()) continue;
+            for (const FnRef& ref : callees->second) {
+              const ConcSummary& callee = corpus.summaries[ref.first][ref.second];
+              if (!callee.reaches_serial) continue;
+              emit(ctx, file, inner.line, "conc-phase-escape",
+                   "pool task calls '" + inner.name +
+                       "', which reaches CORELOCATE_SERIAL_PHASE function '" +
+                       callee.serial_witness +
+                       "' — serial-only operations must not run on pool workers");
+              break;
+            }
+          }
+        }
+        t = captures_close;
+        continue;
+      }
+
+      // conc-phase-escape: a function handed to the pool by name
+      // (function pointer / reference argument).
+      if (tok.kind == Token::Kind::kIdent && !is_control_keyword(tok.text)) {
+        const bool called = t + 1 < arg_end && tokens[t + 1].is("(");
+        const bool qualifier = t + 1 < arg_end && tokens[t + 1].is("::");
+        const bool member = t > 0 && (tokens[t - 1].is(".") || tokens[t - 1].is("->"));
+        const bool method_base =
+            t + 1 < arg_end && (tokens[t + 1].is(".") || tokens[t + 1].is("->"));
+        if (called || qualifier || member || method_base) continue;
+        const auto by_name = corpus.name_index.find(tok.text);
+        if (by_name == corpus.name_index.end()) continue;
+        for (const FnRef& ref : by_name->second) {
+          const ConcSummary& callee = corpus.summaries[ref.first][ref.second];
+          if (!callee.reaches_serial) continue;
+          emit(ctx, file, tok.line, "conc-phase-escape",
+               "'" + tok.text + "' reaches CORELOCATE_SERIAL_PHASE function '" +
+                   callee.serial_witness +
+                   "' and is handed to the pool — serial-only operations must "
+                   "not run on pool workers");
+          break;
+        }
+      }
+    }
+  }
+}
+
+void report_pool_tasks(const Corpus& corpus, const UnitInfo& info,
+                       std::size_t fn_index, const ReportContext& ctx) {
+  for (const CallSite& call : info.fn_calls[fn_index]) {
+    if (submit_name(call.name)) {
+      report_task_args(corpus, info, fn_index, call, call.args, "", ctx);
+      continue;
+    }
+    const auto callees = corpus.index.find({call.name, call.arity});
+    if (callees == corpus.index.end()) continue;
+    std::set<std::size_t> escaping;
+    for (const FnRef& ref : callees->second) {
+      const ConcSummary& callee = corpus.summaries[ref.first][ref.second];
+      escaping.insert(callee.escaping.begin(), callee.escaping.end());
+    }
+    if (escaping.empty()) continue;
+    std::vector<std::pair<std::size_t, std::size_t>> args;
+    for (std::size_t j : escaping) {
+      if (j < call.args.size()) args.push_back(call.args[j]);
+    }
+    if (!args.empty()) {
+      report_task_args(corpus, info, fn_index, call, args,
+                       " via '" + call.name + "'", ctx);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> run_conc(const std::vector<TranslationUnit>& units) {
+  Corpus corpus;
+  scan_declarations(corpus, units);
+
+  corpus.infos.reserve(units.size());
+  for (const TranslationUnit& unit : units) {
+    UnitInfo info;
+    info.unit = &unit;
+    info.stem = path_stem(unit.file.effective_path);
+    info.fn_calls.reserve(unit.functions.size());
+    info.fn_regions.reserve(unit.functions.size());
+    for (const FunctionDef& fn : unit.functions) {
+      info.fn_calls.push_back(find_calls(unit.tokens, fn.body_begin + 1, fn.body_end));
+      info.fn_regions.push_back(find_regions(corpus, info.stem, unit, fn));
+    }
+    // Fields this unit must treat as guarded: its own stem's
+    // annotations, plus every globally unambiguous one.
+    for (const auto& [field, guards] : corpus.guard_global) {
+      const auto stem_it = corpus.guard_by_stem.find({info.stem, field});
+      if (stem_it != corpus.guard_by_stem.end()) {
+        info.guards[field] = stem_it->second;
+      } else if (guards.size() == 1) {
+        info.guards[field] = *guards.begin();
+      }
+    }
+    corpus.infos.push_back(std::move(info));
+  }
+
+  corpus.summaries.resize(units.size());
+  std::vector<std::vector<ConcSummary>> direct(units.size());
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    corpus.summaries[u].assign(units[u].functions.size(), ConcSummary{});
+    direct[u].reserve(units[u].functions.size());
+    for (std::size_t f = 0; f < units[u].functions.size(); ++f) {
+      direct[u].push_back(direct_summary(corpus.infos[u], f));
+      const FnKey key{units[u].functions[f].name, units[u].functions[f].arity};
+      corpus.index[key].push_back({u, f});
+      corpus.name_index[units[u].functions[f].name].push_back({u, f});
+    }
+  }
+
+  // Kleene iteration from bottom: acquires/escaping only grow and
+  // reaches_serial is monotone, so the fixed point exists; the cap is a
+  // safety net for pathological call graphs.
+  for (int iter = 0; iter < 24; ++iter) {
+    bool changed = false;
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      for (std::size_t f = 0; f < units[u].functions.size(); ++f) {
+        ConcSummary next = flow_step(corpus, corpus.infos[u], f, direct[u][f]);
+        if (!(next == corpus.summaries[u][f])) {
+          corpus.summaries[u][f] = std::move(next);
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  std::vector<Finding> findings;
+  std::set<std::tuple<const SourceFile*, std::size_t, std::string>> reported;
+  ReportContext ctx;
+  ctx.findings = &findings;
+  ctx.reported = &reported;
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    for (std::size_t f = 0; f < units[u].functions.size(); ++f) {
+      report_rank_inversion(corpus, corpus.infos[u], f, ctx);
+      report_unguarded_access(corpus, corpus.infos[u], f, ctx);
+      report_pool_tasks(corpus, corpus.infos[u], f, ctx);
+    }
+  }
+  return findings;
+}
+
+}  // namespace corelint

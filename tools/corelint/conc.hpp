@@ -1,0 +1,37 @@
+#pragma once
+// Static concurrency analysis (corelint v3; see docs/ANALYSIS.md).
+//
+// Builds a cross-TU lock graph from CheckedMutex<Rank> declarations and
+// RAII acquisitions (std::lock_guard / std::unique_lock / std::scoped_lock
+// / util::LockGuard), propagates may-acquire summaries over the same
+// (name, arity) call graph the taint pass uses, and checks four rules:
+//
+//   conc-rank-inversion   a static path acquires a rank not strictly
+//                         above every held rank (or re-acquires a held
+//                         mutex) — the deadlock the runtime lockcheck
+//                         would only catch on a schedule that runs it
+//   conc-unguarded-access a field annotated CORELOCATE_GUARDED_BY(m) is
+//                         touched on a path whose static lockset lacks m
+//                         (CORELOCATE_REQUIRES(m) on the enclosing
+//                         function counts as holding m)
+//   conc-phase-escape     a CORELOCATE_SERIAL_PHASE function is
+//                         reachable from a callable handed to
+//                         ThreadPool::submit/submit_on
+//   conc-ref-capture      a task submitted to the pool captures stack
+//                         locals by reference and the submitting frame
+//                         never joins (implicit [&] always fires),
+//                         including lambdas that escape through helper
+//                         functions into the pool
+
+#include <vector>
+
+#include "rules.hpp"
+#include "symbols.hpp"
+
+namespace corelint {
+
+/// Runs the concurrency passes over the whole corpus. Suppression
+/// comments apply as for every other rule.
+std::vector<Finding> run_conc(const std::vector<TranslationUnit>& units);
+
+}  // namespace corelint

@@ -11,6 +11,8 @@
 //                          (refuses when the working tree is dirty;
 //                          --allow-dirty overrides)
 //   --format=text|sarif    report format (default text)
+//   --concurrency          report only the conc-* rules (lock graph,
+//                          guarded fields, phase discipline)
 //   --list-rules           print the rule names and exit
 //
 // Exit codes: 0 clean, 1 findings (or failed selftest), 2 usage/IO error.
@@ -29,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "conc.hpp"
 #include "ilp_check.hpp"
 #include "rules.hpp"
 #include "sarif.hpp"
@@ -109,7 +112,8 @@ void sort_findings(std::vector<Finding>& findings) {
             });
 }
 
-/// Runs the per-file rules plus the cross-TU taint pass over a corpus.
+/// Runs the per-file rules plus the cross-TU taint and concurrency
+/// passes over a corpus.
 std::vector<Finding> run_all(const std::vector<TranslationUnit>& units) {
   std::vector<Finding> findings;
   for (const TranslationUnit& unit : units) {
@@ -118,6 +122,8 @@ std::vector<Finding> run_all(const std::vector<TranslationUnit>& units) {
   }
   std::vector<Finding> taint_findings = run_taint(units);
   findings.insert(findings.end(), taint_findings.begin(), taint_findings.end());
+  std::vector<Finding> conc_findings = run_conc(units);
+  findings.insert(findings.end(), conc_findings.begin(), conc_findings.end());
   sort_findings(findings);
   return findings;
 }
@@ -145,6 +151,7 @@ struct LintOptions {
   std::string write_baseline_path;
   std::string format = "text";
   bool allow_dirty = false;
+  bool concurrency_only = false;  ///< report only the conc-* rules
 };
 
 int run_lint(const std::vector<std::string>& paths, const LintOptions& options) {
@@ -152,7 +159,14 @@ int run_lint(const std::vector<std::string>& paths, const LintOptions& options) 
   for (const std::string& path : collect_files(paths)) {
     units.push_back(make_unit(scan_file(path)));
   }
-  const std::vector<Finding> findings = run_all(units);
+  std::vector<Finding> findings = run_all(units);
+  if (options.concurrency_only) {
+    findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                  [](const Finding& finding) {
+                                    return finding.rule.rfind("conc-", 0) != 0;
+                                  }),
+                   findings.end());
+  }
 
   if (!options.write_baseline_path.empty()) {
     if (!options.allow_dirty && tree_is_dirty(options.write_baseline_path)) {
@@ -212,6 +226,8 @@ int run_selftest(const std::string& dir) {
   int failures = 0;
   int expectations = 0;
   int files = 0;
+  std::map<std::string, int> rule_firings;  ///< matched expectations per rule
+  for (const std::string& rule : rule_names()) rule_firings[rule] = 0;
   std::vector<std::string> paths;
   for (const auto& entry : fs::directory_iterator(dir)) {
     if (entry.is_regular_file() && lintable(entry.path())) {
@@ -240,6 +256,7 @@ int run_selftest(const std::string& dir) {
           ++failures;
         } else {
           --it->second;
+          ++rule_firings[rule];
         }
       }
     }
@@ -249,6 +266,18 @@ int run_selftest(const std::string& dir) {
                   << report_path(path) << ':' << key.first << '\n';
         ++failures;
       }
+    }
+  }
+  // Every registered rule must have at least one firing fixture: a rule
+  // nobody can demonstrate is a rule nobody can trust.
+  std::cout << "selftest rule coverage:\n";
+  for (const auto& [rule, count] : rule_firings) {
+    std::cout << "  " << rule << ": " << count << " firing expectation"
+              << (count == 1 ? "" : "s") << '\n';
+    if (count == 0) {
+      std::cout << "selftest: rule [" << rule
+                << "] has no firing fixture — add a bad_*.cpp exercising it\n";
+      ++failures;
     }
   }
   if (failures > 0) {
@@ -284,6 +313,8 @@ int main(int argc, char** argv) {
       if (options.format != "text" && options.format != "sarif") {
         throw std::runtime_error("corelint: unknown format " + options.format);
       }
+    } else if (arg == "--concurrency") {
+      options.concurrency_only = true;
     } else if (arg == "--ilp") {
       ilp = true;
     } else if (arg == "--selftest") {
@@ -293,10 +324,13 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: corelint [--baseline FILE | --write-baseline FILE "
-                   "[--allow-dirty]] [--format=text|sarif] <file|dir>...\n"
+                   "[--allow-dirty]] [--format=text|sarif] [--concurrency] "
+                   "<file|dir>...\n"
                    "       corelint --selftest DIR\n"
                    "       corelint --ilp\n"
-                   "       corelint --list-rules\n";
+                   "       corelint --list-rules\n"
+                   "  --concurrency  report only the conc-* rules (the static "
+                   "lock graph / phase-discipline gate)\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       throw std::runtime_error("corelint: unknown option " + arg);

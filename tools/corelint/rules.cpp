@@ -219,33 +219,6 @@ void rule_conc_guarded_field(const SourceFile& file, std::vector<Finding>& findi
   }
 }
 
-// --------------------------------------------------------------- conc-ref-capture
-
-void rule_conc_ref_capture(const SourceFile& file, std::vector<Finding>& findings) {
-  const std::string rule = "conc-ref-capture";
-  for (std::size_t i = 0; i < file.lines.size(); ++i) {
-    const std::string& code = file.lines[i].code;
-    std::size_t pos = find_token(code, "submit");
-    if (pos == std::string::npos) pos = find_token(code, "submit_on");
-    if (pos == std::string::npos) continue;
-    // The lambda usually opens on the same line; allow the next one.
-    static const std::regex kImplicitRef(R"(\[\s*&\s*\](?:\s*\(|\s*\{|\s*mutable))");
-    const std::string tail = code.substr(pos);
-    if (std::regex_search(tail, kImplicitRef)) {
-      add_finding(findings, file, i, rule,
-                  "task submitted with implicit [&] capture — name the "
-                  "captures so shared state is auditable");
-      continue;
-    }
-    if (i + 1 < file.lines.size() &&
-        std::regex_search(file.lines[i + 1].code, kImplicitRef)) {
-      add_finding(findings, file, i + 1, rule,
-                  "task submitted with implicit [&] capture — name the "
-                  "captures so shared state is auditable");
-    }
-  }
-}
-
 // ----------------------------------------------------------------- hyg-naked-new
 
 void rule_hyg_naked_new(const SourceFile& file, std::vector<Finding>& findings) {
@@ -362,9 +335,12 @@ std::string report_path(const std::string& path) {
 
 const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> kNames = {
-      "det-wallclock",      "det-std-random",   "det-rng-default-seed",
-      "det-unordered-iter", "det-taint-flow",   "conc-guarded-field",
-      "conc-ref-capture",   "hyg-naked-new",    "hyg-narrowing-cast",
+      "det-wallclock",        "det-std-random",
+      "det-rng-default-seed", "det-unordered-iter",
+      "det-taint-flow",       "conc-guarded-field",
+      "conc-rank-inversion",  "conc-unguarded-access",
+      "conc-phase-escape",    "conc-ref-capture",
+      "hyg-naked-new",        "hyg-narrowing-cast",
   };
   return kNames;
 }
@@ -376,7 +352,6 @@ std::vector<Finding> run_rules(const SourceFile& file) {
   rule_det_rng_default_seed(file, findings);
   rule_det_unordered_iter(file, findings);
   rule_conc_guarded_field(file, findings);
-  rule_conc_ref_capture(file, findings);
   rule_hyg_naked_new(file, findings);
   rule_hyg_narrowing_cast(file, findings);
   std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {

@@ -17,12 +17,25 @@
 //                        (MapStore, Aggregator, Checkpoint, TablePrinter,
 //                        manifest/serialization helpers)
 //
-// Concurrency
+// Concurrency (per-file)
 //   conc-guarded-field   data members of fleet classes need a
 //                        synchronization story: a mutex/atomic in the
 //                        class, or a `corelint: owned-by(...)` annotation
-//   conc-ref-capture     tasks handed to ThreadPool::submit/submit_on
-//                        must name their captures — no implicit [&]
+//
+// Concurrency (cross-TU, tools/corelint/conc.cpp — the static lock
+// graph built from CheckedMutex<Rank> declarations and the annotation
+// macros in src/util/lockcheck.hpp)
+//   conc-rank-inversion    a static path acquires a rank not strictly
+//                          above every held rank, or re-acquires a held
+//                          mutex, including paths no test executes
+//   conc-unguarded-access  a CORELOCATE_GUARDED_BY(m) field is touched
+//                          where the static lockset lacks m
+//   conc-phase-escape      a CORELOCATE_SERIAL_PHASE function is
+//                          reachable from a pool task
+//   conc-ref-capture       tasks handed to ThreadPool::submit/submit_on
+//                          must not capture implicitly by reference, and
+//                          named by-ref captures require the frame to
+//                          join the pool before returning
 //
 // Hygiene
 //   hyg-naked-new        no naked `new` — use std::make_unique/container

@@ -24,10 +24,15 @@ struct StripState {
   bool in_block_comment = false;
   bool in_line_comment = false;  ///< previous // comment ended with '\'
   bool in_raw_string = false;
+  bool pending_open_slash = false;  ///< previous line ended "/\": splice
+                                    ///< may glue a comment opener together
+  bool pending_close_star = false;  ///< block comment line ended "*\":
+                                    ///< splice may glue the closing "*/"
   std::string raw_terminator;  ///< ")delim\"" that closes the raw string
 
   bool mid_construct() const {
-    return in_block_comment || in_line_comment || in_raw_string;
+    return in_block_comment || in_line_comment || in_raw_string ||
+           pending_open_slash;
   }
 };
 
@@ -65,6 +70,30 @@ void strip_line(const std::string& raw, StripState& state, std::string& code,
     return;
   }
   std::size_t start = 0;
+  if (state.pending_close_star) {
+    // Previous line ended "*\" inside a block comment: the splice glues
+    // the '*' to this line's first character, so a leading '/' closes
+    // the comment; anything else was ordinary comment text.
+    state.pending_close_star = false;
+    if (!raw.empty() && raw[0] == '/') {
+      state.in_block_comment = false;
+      start = 1;
+    }
+  } else if (state.pending_open_slash) {
+    // Previous line ended "/\": the splice glues the '/' to this line's
+    // first character, possibly forming "/*" or "//".
+    state.pending_open_slash = false;
+    if (!raw.empty() && raw[0] == '*') {
+      state.in_block_comment = true;
+      start = 1;
+    } else if (!raw.empty() && raw[0] == '/') {
+      comment.append(raw, 1, std::string::npos);
+      state.in_line_comment = ends_with_splice(raw);
+      return;
+    } else {
+      code += '/';  // no comment formed: the slash was ordinary code
+    }
+  }
   if (state.in_raw_string) {
     const std::size_t close = raw.find(state.raw_terminator);
     if (close == std::string::npos) return;  // whole line is literal data
@@ -80,6 +109,9 @@ void strip_line(const std::string& raw, StripState& state, std::string& code,
       if (c == '*' && next == '/') {
         state.in_block_comment = false;
         ++i;
+      } else if (c == '*' && next == '\\' && i + 2 == raw.size()) {
+        state.pending_close_star = true;
+        return;  // "*\" at end of line: splice decides on the next line
       } else {
         comment += c;
       }
@@ -87,6 +119,10 @@ void strip_line(const std::string& raw, StripState& state, std::string& code,
     }
     switch (lex) {
       case State::kCode:
+        if (c == '/' && next == '\\' && i + 2 == raw.size()) {
+          state.pending_open_slash = true;
+          return;  // "/\" at end of line: splice decides on the next line
+        }
         if (c == '/' && next == '/') {
           comment.append(raw, i + 2, std::string::npos);
           state.in_line_comment = ends_with_splice(raw);
@@ -488,7 +524,14 @@ SourceFile scan_file(const std::string& path) {
   PpTracker pp;
   bool in_directive_continuation = false;
   std::string raw;
+  bool first_line = true;
   while (std::getline(in, raw)) {
+    if (first_line) {
+      first_line = false;
+      // A UTF-8 byte-order mark would shadow a '#' directive or the
+      // first token on line 1; compilers accept it, so strip it here.
+      if (raw.rfind("\xEF\xBB\xBF", 0) == 0) raw.erase(0, 3);
+    }
     SourceLine line;
     // Preprocessor handling runs outside comments/raw strings only: a
     // '#if' spelled inside either is text, not a directive.

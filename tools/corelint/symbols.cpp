@@ -1,6 +1,7 @@
 #include "symbols.hpp"
 
 #include <set>
+#include <utility>
 
 namespace corelint {
 
@@ -19,9 +20,8 @@ bool qualifier_word(const std::string& word) {
   return kWords.count(word) != 0;
 }
 
-/// Splits the token range [begin, end) at top-level commas. Depth counts
-/// parens, brackets and braces; angle brackets are tracked heuristically
-/// (clamped at zero) so template-ids in parameter types group correctly.
+}  // namespace
+
 std::vector<std::pair<std::size_t, std::size_t>> split_top_level(
     const std::vector<Token>& tokens, std::size_t begin, std::size_t end) {
   std::vector<std::pair<std::size_t, std::size_t>> parts;
@@ -46,6 +46,8 @@ std::vector<std::pair<std::size_t, std::size_t>> split_top_level(
   parts.emplace_back(part_begin, end);
   return parts;
 }
+
+namespace {
 
 Param parse_param(const std::vector<Token>& tokens, std::size_t begin,
                   std::size_t end) {
@@ -143,17 +145,47 @@ TranslationUnit make_unit(SourceFile file) {
     if (tokens[t].kind != Token::Kind::kIdent) continue;
     if (!tokens[t + 1].is("(")) continue;
     if (non_function_word(tokens[t].text)) continue;
+    // Annotation macros carry argument lists but are never definitions.
+    if (tokens[t].text.rfind("CORELOCATE_", 0) == 0) continue;
     const std::size_t params_close = match_group(tokens, t + 1);
     if (params_close >= tokens.size()) continue;
 
-    // Walk past qualifiers, a trailing return type and a constructor
-    // init list; a function definition is confirmed by a '{'.
+    // Walk past qualifiers, annotation macros, a trailing return type and
+    // a constructor init list; a function definition is confirmed by a '{'.
     std::size_t u = params_close + 1;
     bool rejected = false;
+    std::vector<std::string> requires_locks;
+    bool serial_phase = false;
     while (u < tokens.size()) {
       const Token& tok = tokens[u];
       if (tok.kind == Token::Kind::kIdent && qualifier_word(tok.text)) {
         ++u;
+        continue;
+      }
+      // CORELOCATE_* annotation macros (util/lockcheck.hpp) sit between
+      // the parameter list and the body; REQUIRES carries the lockset
+      // the function is entered with, SERIAL_PHASE marks serial-only
+      // functions. Other annotations (and their argument groups) skip.
+      if (tok.kind == Token::Kind::kIdent &&
+          tok.text.rfind("CORELOCATE_", 0) == 0) {
+        if (tok.text == "CORELOCATE_SERIAL_PHASE") serial_phase = true;
+        ++u;
+        if (u < tokens.size() && tokens[u].is("(")) {
+          const std::size_t group_close = match_group(tokens, u);
+          if (tok.text == "CORELOCATE_REQUIRES") {
+            // The final identifier of each argument path names the mutex
+            // (`util::lockcheck::m` → m, `this->m_` → m_).
+            for (const auto& [part_begin, part_end] :
+                 split_top_level(tokens, u + 1, group_close)) {
+              std::string last;
+              for (std::size_t a = part_begin; a < part_end; ++a) {
+                if (tokens[a].kind == Token::Kind::kIdent) last = tokens[a].text;
+              }
+              if (!last.empty()) requires_locks.push_back(std::move(last));
+            }
+          }
+          u = group_close + 1;
+        }
         continue;
       }
       if (tok.is_ident("noexcept") && u + 1 < tokens.size() && tokens[u + 1].is("(")) {
@@ -203,6 +235,8 @@ TranslationUnit make_unit(SourceFile file) {
 
     FunctionDef fn;
     fn.name = tokens[t].text;
+    fn.requires_locks = std::move(requires_locks);
+    fn.serial_phase = serial_phase;
     fn.begin_line = tokens[u].line;
     fn.end_line = tokens[body_close].line;
     fn.body_begin = u;
@@ -220,6 +254,12 @@ TranslationUnit make_unit(SourceFile file) {
     }
     fn.arity = static_cast<int>(fn.params.size());
     unit.functions.push_back(std::move(fn));
+    // Resume past this body: `member(init)` items of a constructor init
+    // list and call-looking tokens inside the body would otherwise be
+    // recorded as bogus sibling "functions" sharing the same '{'.
+    // Nothing definable nests inside a function body except lambdas,
+    // which this layer never records anyway.
+    t = body_close;
   }
   return unit;
 }

@@ -33,6 +33,12 @@ struct FunctionDef {
   std::size_t end_line = 0;    ///< 0-based line of the matching '}'
   std::size_t body_begin = 0;  ///< token index of the body '{'
   std::size_t body_end = 0;    ///< token index of the matching '}'
+  /// Mutex names from a trailing CORELOCATE_REQUIRES(...) annotation:
+  /// the function is entered with these already held (conc passes).
+  std::vector<std::string> requires_locks;
+  /// Trailing CORELOCATE_SERIAL_PHASE annotation: the function may only
+  /// run from a serial phase, never from a ThreadPool task.
+  bool serial_phase = false;
 };
 
 struct CallSite {
@@ -67,5 +73,11 @@ int innermost_function(const std::vector<FunctionDef>& functions, std::size_t li
 /// (tokens[open] must be "(" or "{" or "["), or tokens.size() when
 /// unbalanced.
 std::size_t match_group(const std::vector<Token>& tokens, std::size_t open);
+
+/// Splits the token range [begin, end) at top-level commas. Depth counts
+/// parens, brackets and braces; angle brackets are tracked heuristically
+/// (clamped at zero) so template-ids in parameter types group correctly.
+std::vector<std::pair<std::size_t, std::size_t>> split_top_level(
+    const std::vector<Token>& tokens, std::size_t begin, std::size_t end);
 
 }  // namespace corelint
