@@ -68,6 +68,7 @@ ChaMappingResult ChaMapper::map() {
     cha_taken[static_cast<std::size_t>(quietest_cha)] = 1;
   }
 
+  result.llc_only_chas.reserve(static_cast<std::size_t>(chas));
   for (int cha = 0; cha < chas; ++cha) {
     if (!cha_taken[static_cast<std::size_t>(cha)]) result.llc_only_chas.push_back(cha);
   }

@@ -123,6 +123,7 @@ class IncrementalDiff {
     // Temporary adjacency for the extra edges.
     std::vector<std::vector<DirEdge>> extra_adj(static_cast<std::size_t>(n_));
     std::vector<int> work;
+    work.reserve(extra.size());
     for (const DirEdge& e : extra) {
       extra_adj[static_cast<std::size_t>(e.from)].push_back(e);
       if (relax(dist, e)) {
@@ -227,6 +228,9 @@ class DirectionSearch {
   bool budget_exceeded() const noexcept { return nodes_ > max_nodes_; }
 
  private:
+  /// Each branch mutates its own copies of the diff system and assignment,
+  /// so by-value parameters ARE the backtracking state — not stray copies.
+  // corelint: disable(perf-copy-in-hot-path)
   std::optional<std::vector<int>> dfs(IncrementalDiff state, std::vector<int> assignment) {
     if (++nodes_ > max_nodes_) return std::nullopt;
     // Unit propagation to fixpoint: commit every forced group.
@@ -304,7 +308,13 @@ MapSolveResult DecomposedMapSolver::solve(const ObservationSet& observations,
   }
 
   // ---- Rows: pure difference constraints -----------------------------------
+  std::size_t activation_count = 0;
+  for (const PathObservation& obs : observations) {
+    activation_count += obs.activations.size();
+  }
   std::vector<ExtraEdge> row_edges;
+  // Every activation contributes exactly two row edges.
+  row_edges.reserve(activation_count * 2 + options_.extra_row_edges.size());
   for (const PathObservation& obs : observations) {
     for (const ChannelActivation& act : obs.activations) {
       switch (act.label) {
@@ -384,9 +394,11 @@ MapSolveResult DecomposedMapSolver::solve(const ObservationSet& observations,
   // identical constraints share one decision).
   std::map<std::vector<DirEdge>, std::size_t> group_index;
   std::vector<DirectionGroup> groups;
+  groups.reserve(observations.size());
   for (const PathObservation& obs : observations) {
     if (!obs.has_horizontal()) continue;
     std::vector<DirEdge> east;
+    east.reserve(1 + 2 * obs.activations.size());
     // Endpoint: C_e >= C_s + 1 (eastbound).
     east.push_back(DirEdge{cls(obs.source_cha), cls(obs.sink_cha), 1});
     for (const ChannelActivation& act : obs.activations) {
@@ -406,6 +418,7 @@ MapSolveResult DecomposedMapSolver::solve(const ObservationSet& observations,
   }
 
   std::vector<DirEdge> base_edges;
+  base_edges.reserve(options_.extra_col_edges.size());
   for (const ExtraEdge& edge : options_.extra_col_edges) {
     base_edges.push_back(DirEdge{cls(edge.from_cha), cls(edge.to_cha), edge.weight});
   }

@@ -49,6 +49,9 @@ int EvictionSetBuilder::home_of_line(cache::LineAddr line) {
 std::vector<std::vector<cache::LineAddr>> EvictionSetBuilder::build_all() {
   const int cha_count = cpu_.cha_count();
   std::vector<std::vector<cache::LineAddr>> sets(static_cast<std::size_t>(cha_count));
+  for (auto& bucket : sets) {
+    bucket.reserve(static_cast<std::size_t>(options_.lines_per_set));
+  }
   int filled = 0;
   for (int drawn = 0; drawn < options_.max_candidates && filled < cha_count; ++drawn) {
     const cache::LineAddr line = draw_candidate();

@@ -13,6 +13,8 @@ constexpr const char* kMapEnd = "end";
 
 std::vector<std::string> split(const std::string& line) {
   std::vector<std::string> tokens;
+  // Whitespace-separated tokens: at most one per two characters.
+  tokens.reserve(line.size() / 2 + 1);
   std::istringstream iss(line);
   std::string token;
   while (iss >> token) tokens.push_back(token);
@@ -86,15 +88,18 @@ CoreMap deserialize_map(const std::string& text) {
       if (tokens.size() % 2 != 1) {
         throw std::invalid_argument("deserialize_map: odd cha coordinate count");
       }
+      map.cha_position.reserve(tokens.size() / 2);
       for (std::size_t i = 1; i + 1 < tokens.size(); i += 2) {
         map.cha_position.push_back(
             mesh::Coord{parse_int(tokens[i]), parse_int(tokens[i + 1])});
       }
     } else if (key == "os") {
+      map.os_core_to_cha.reserve(tokens.size() - 1);
       for (std::size_t i = 1; i < tokens.size(); ++i) {
         map.os_core_to_cha.push_back(parse_int(tokens[i]));
       }
     } else if (key == "llconly") {
+      map.llc_only_chas.reserve(tokens.size() - 1);
       for (std::size_t i = 1; i < tokens.size(); ++i) {
         map.llc_only_chas.push_back(parse_int(tokens[i]));
       }
@@ -144,6 +149,9 @@ MapStore MapStore::load(std::istream& in) {
   MapStore store;
   std::string line;
   std::string record;
+  // A serialized record is a handful of short lines; this keeps the
+  // per-line appends below from reallocating the accumulator.
+  record.reserve(256);
   bool in_record = false;
   while (std::getline(in, line)) {
     if (line.empty()) continue;

@@ -46,6 +46,7 @@ void PatternStats::add(const CoreMap& map) {
 
 void PatternStats::merge(const PatternStats& other) {
   total_instances += other.total_instances;
+  entries.reserve(entries.size() + other.entries.size());
   for (const Entry& theirs : other.entries) {
     bool found = false;
     for (Entry& ours : entries) {
@@ -99,6 +100,7 @@ void IdMappingStats::add(const std::vector<int>& mapping) {
 
 void IdMappingStats::merge(const IdMappingStats& other) {
   total_instances += other.total_instances;
+  entries.reserve(entries.size() + other.entries.size());
   for (const Entry& theirs : other.entries) {
     bool found = false;
     for (Entry& ours : entries) {

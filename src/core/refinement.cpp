@@ -19,6 +19,7 @@ std::vector<Violation> find_violations(const std::vector<mesh::Coord>& positions
                                        const ObservationSet& observations,
                                        const mesh::TileGrid& grid) {
   std::vector<Violation> violations;
+  violations.reserve(observations.size());
   for (std::size_t p = 0; p < observations.size(); ++p) {
     const PathObservation& obs = observations[p];
     const mesh::Route route =
@@ -125,6 +126,9 @@ RefinementResult solve_with_refinement(const ObservationSet& observations,
       for (const Cut& cut :
            cuts_for(violations[v], observations, result.solved.cha_position)) {
         DecomposedSolverOptions trial = solver_options;
+        // The copy's vectors have no slack; size the one-edge append.
+        trial.extra_row_edges.reserve(trial.extra_row_edges.size() + 1);
+        trial.extra_col_edges.reserve(trial.extra_col_edges.size() + 1);
         if (cut.row_system) {
           trial.extra_row_edges.push_back(cut.edge);
         } else {

@@ -49,6 +49,7 @@ PathObservation TrafficProber::probe_pair(int source_core, int sink_core,
   PathObservation obs;
   obs.source_cha = source_cha;
   obs.sink_cha = sink_cha;
+  obs.activations.reserve(static_cast<std::size_t>(cha_count));
   for (int cha = 0; cha < cha_count; ++cha) {
     for (int idx = 0; idx < 4; ++idx) {
       const std::uint64_t cycles = driver_.read(cha, idx);

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/trace.hpp"
+#include "util/hotpath.hpp"
 
 namespace corelocate::covert {
 
@@ -22,6 +23,7 @@ TransmissionResult run_transmission(thermal::ThermalModel& model,
   std::vector<double> starts;
   senders.reserve(channels.size());
   receivers.reserve(channels.size());
+  starts.reserve(channels.size());
   std::size_t max_bits = 0;
   for (std::size_t i = 0; i < channels.size(); ++i) {
     const ChannelSpec& spec = channels[i];
@@ -68,6 +70,7 @@ TransmissionResult run_transmission(thermal::ThermalModel& model,
   result.channels.reserve(channels.size());
   result.traces.reserve(channels.size());
   obs::Span decode_span("covert_decode", "covert");
+  CORELOCATE_HOT_LOOP;  // per-channel decode: the covert receive hot path
   for (std::size_t i = 0; i < channels.size(); ++i) {
     const DecodeResult decoded = decode_trace(
         receivers[i].trace(), bit_period, starts[i], signature,

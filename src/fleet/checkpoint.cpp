@@ -47,6 +47,8 @@ double parse_double(const std::string& token) {
 std::string fmt_metrics(const std::map<std::string, double>& metrics) {
   if (metrics.empty()) return "-";
   std::string out;
+  // key=<17-sig-digit double>; — ~32 chars per entry covers the common case.
+  out.reserve(metrics.size() * 32);
   for (const auto& [key, value] : metrics) {
     if (!out.empty()) out += ';';
     out += key + "=" + fmt_double(value);
@@ -127,6 +129,7 @@ void Checkpoint::record(const InstanceRecord& record) {
 
 std::vector<InstanceRecord> Checkpoint::load_completed() const {
   std::vector<InstanceRecord> records;
+  records.reserve(64);  // one growth step for small resumes, fewer for large
   std::ifstream in(manifest_path());
   if (!in) return records;  // no previous run
 

@@ -10,6 +10,7 @@
 #include "fleet/thread_pool.hpp"
 #include "obs/clock.hpp"
 #include "obs/trace.hpp"
+#include "util/hotpath.hpp"
 #include "util/log.hpp"
 
 namespace corelocate::fleet {
@@ -21,6 +22,7 @@ namespace {
 constexpr std::uint64_t kToolSeedTweak = 0x700150EEDULL;
 
 InstanceRecord run_instance(const InstanceTask& task, const AnalyzeFn& analyze) {
+  CORELOCATE_HOT_LOOP;  // per-instance body: the survey's unit of work
   InstanceRecord record;
   record.index = task.index;
   record.seed = task.seed;

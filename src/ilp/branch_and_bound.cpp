@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/trace.hpp"
+#include "util/hotpath.hpp"
 
 namespace corelocate::ilp {
 
@@ -72,6 +73,9 @@ MilpSolution BranchAndBoundSolver::solve(const Model& model) const {
   }
 
   std::vector<Node> stack;
+  // DFS holds at most one sibling per branching level; variable count
+  // bounds the usual depth, and growing past the hint stays correct.
+  stack.reserve(static_cast<std::size_t>(model.variable_count()) * 2 + 1);
   stack.push_back(std::move(root));
 
   bool have_incumbent = false;
@@ -79,6 +83,13 @@ MilpSolution BranchAndBoundSolver::solve(const Model& model) const {
   std::vector<double> incumbent;
   bool truncated = false;
 
+  // The objective and constraint rows do not depend on the node — only
+  // the variable bounds do. Build the relaxation once and copy-assign
+  // the bound vectors per node instead of re-copying every constraint
+  // row on every node.
+  LpProblem lp = relax(model, nullptr, nullptr);
+
+  CORELOCATE_HOT_LOOP;
   while (!stack.empty()) {
     if (result.nodes_explored >= options_.max_nodes) {
       truncated = true;
@@ -88,7 +99,8 @@ MilpSolution BranchAndBoundSolver::solve(const Model& model) const {
     stack.pop_back();
     ++result.nodes_explored;
 
-    const LpProblem lp = relax(model, &node.lower, &node.upper);
+    lp.lower = node.lower;
+    lp.upper = node.upper;
     const LpSolution rel = solve_lp(lp, options_.lp);
     result.lp_iterations += rel.iterations;
     if (rel.status == LpStatus::kInfeasible) continue;

@@ -14,6 +14,7 @@ LinExpr& LinExpr::operator+=(const LinExpr& other) {
 }
 
 LinExpr& LinExpr::operator-=(const LinExpr& other) {
+  terms_.reserve(terms_.size() + other.terms_.size());
   for (const auto& [var, coef] : other.terms_) terms_.emplace_back(var, -coef);
   constant_ -= other.constant_;
   return *this;
@@ -29,6 +30,7 @@ void LinExpr::normalize() {
   std::map<int, double> merged;
   for (const auto& [var, coef] : terms_) merged[var] += coef;
   terms_.clear();
+  terms_.reserve(merged.size());
   for (const auto& [var, coef] : merged) {
     if (std::abs(coef) > 0.0) terms_.emplace_back(var, coef);
   }

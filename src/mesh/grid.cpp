@@ -46,6 +46,7 @@ std::vector<Coord> TileGrid::all_coords() const {
 
 std::vector<Coord> TileGrid::cha_coords_column_major() const {
   std::vector<Coord> coords;
+  coords.reserve(tiles_.size());
   for (int c = 0; c < cols_; ++c) {
     for (int r = 0; r < rows_; ++r) {
       if (has_cha(kind_at(Coord{r, c}))) coords.push_back(Coord{r, c});
@@ -56,6 +57,7 @@ std::vector<Coord> TileGrid::cha_coords_column_major() const {
 
 std::vector<Coord> TileGrid::cha_coords_row_major() const {
   std::vector<Coord> coords;
+  coords.reserve(tiles_.size());
   for (int r = 0; r < rows_; ++r) {
     for (int c = 0; c < cols_; ++c) {
       if (has_cha(kind_at(Coord{r, c}))) coords.push_back(Coord{r, c});

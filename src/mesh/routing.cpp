@@ -1,5 +1,7 @@
 #include "mesh/routing.hpp"
 
+#include <cstdlib>
+
 namespace corelocate::mesh {
 
 const char* to_string(Direction d) {
@@ -41,6 +43,9 @@ Route route_yx(const TileGrid& grid, const Coord& source, const Coord& sink) {
   Route route;
   route.source = source;
   route.sink = sink;
+  // YX routing takes exactly one hop per row step plus one per column step.
+  route.hops.reserve(static_cast<std::size_t>(std::abs(sink.row - source.row)) +
+                     static_cast<std::size_t>(std::abs(sink.col - source.col)));
 
   // Vertical leg along the source column. "Up" means towards row 0.
   Coord cursor = source;

@@ -11,8 +11,10 @@
 #include "fleet/thread_pool.hpp"
 #include "ilp/signature.hpp"
 #include "obs/clock.hpp"
+#include "obs/trace.hpp"
 #include "serve/batcher.hpp"
 #include "serve/fingerprint.hpp"
+#include "util/hotpath.hpp"
 
 namespace corelocate::serve {
 
@@ -141,10 +143,13 @@ void Service::drain() {
 }
 
 std::size_t Service::run_batch(std::vector<Queued>& batch) {
+  obs::Span batch_span("serve_batch", "serve");
   const std::size_t n = batch.size();
   std::vector<ItemState> items(n);
   std::vector<PendingSolve> pending;
   std::vector<const SurveyRequest*> survey_requests;
+  pending.reserve(n);
+  survey_requests.reserve(n);
 
   // Phase A (serial): fingerprint + cache probe, strictly in seq order,
   // so LRU recency — and with it every future eviction — is a pure
@@ -189,6 +194,7 @@ std::size_t Service::run_batch(std::vector<Queued>& batch) {
   std::vector<GroupResult> results(groups.size());
   std::vector<SurveyOutcome> surveys(survey_requests.size());
   const auto solve_task = [&](std::size_t g) {
+    CORELOCATE_HOT_LOOP;  // Phase B solver task: the serving hot path
     const MappingRequest& mapping = *items[groups[g].members.front()].mapping;
     const auto start = obs::Clock::now();  // corelint: non-deterministic
     try {
@@ -200,6 +206,7 @@ std::size_t Service::run_batch(std::vector<Queued>& batch) {
     results[g].seconds = obs::Clock::seconds_since(start);  // corelint: non-deterministic
   };
   const auto survey_task = [&](std::size_t s) {
+    CORELOCATE_HOT_LOOP;  // Phase B survey task: drives a whole fleet run
     surveys[s] = run_survey_request(*survey_requests[s]);
   };
   if (pool_) {

@@ -22,6 +22,7 @@ std::optional<int> InstanceConfig::os_core_of_cha(int cha) const {
 
 std::vector<int> InstanceConfig::llc_only_chas() const {
   std::vector<int> result;
+  result.reserve(static_cast<std::size_t>(cha_count()));
   for (int cha = 0; cha < cha_count(); ++cha) {
     if (grid.kind_at(tile_of_cha(cha)) == mesh::TileKind::kLlcOnly) result.push_back(cha);
   }
@@ -166,6 +167,7 @@ std::vector<int> InstanceFactory::pick_llc_only_chas(const ModelSpec& spec,
   util::Rng rng(util::mix64(pattern_hash ^ 0x11CC0117ULL));
   auto random_set = [&rng, &spec, n] {
     std::vector<int> ids;
+    ids.reserve(static_cast<std::size_t>(spec.llc_only_tiles));
     while (static_cast<int>(ids.size()) < spec.llc_only_tiles) {
       const int id = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
       if (std::find(ids.begin(), ids.end(), id) == ids.end()) ids.push_back(id);
@@ -189,6 +191,7 @@ std::vector<int> InstanceFactory::pick_llc_only_chas(const ModelSpec& spec,
     util::Rng canonical(0x1CE1A4EULL + static_cast<std::uint64_t>(spec.model) * 31 +
                         (u < 0.50 ? 0 : 1));
     std::vector<int> ids;
+    ids.reserve(static_cast<std::size_t>(spec.llc_only_tiles));
     while (static_cast<int>(ids.size()) < spec.llc_only_tiles) {
       const int id = static_cast<int>(canonical.below(static_cast<std::uint64_t>(n)));
       if (std::find(ids.begin(), ids.end(), id) == ids.end()) ids.push_back(id);
@@ -239,6 +242,7 @@ InstanceConfig InstanceFactory::make_instance(XeonModel model, util::Rng& rng) c
   }
 
   std::vector<int> core_chas;
+  core_chas.reserve(static_cast<std::size_t>(config.cha_count()));
   for (int cha = 0; cha < config.cha_count(); ++cha) {
     if (config.grid.kind_at(config.tile_of_cha(cha)) == mesh::TileKind::kCore) {
       core_chas.push_back(cha);

@@ -29,6 +29,13 @@ std::vector<std::string> FlagSpec::names() const {
   return out;
 }
 
+std::optional<bool> FlagSpec::takes_value(const std::string& name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) return !entry.value_hint.empty();
+  }
+  return std::nullopt;
+}
+
 std::string FlagSpec::usage() const {
   std::string text = "usage: " + program_ + " [flags]\n";
   if (!summary_.empty()) text += summary_ + "\n";
@@ -50,6 +57,14 @@ std::string FlagSpec::usage() const {
 }
 
 CliFlags::CliFlags(int argc, const char* const* argv) {
+  parse(argc, argv, nullptr);
+}
+
+CliFlags::CliFlags(int argc, const char* const* argv, const FlagSpec& spec) {
+  parse(argc, argv, &spec);
+}
+
+void CliFlags::parse(int argc, const char* const* argv, const FlagSpec* spec) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
@@ -67,10 +82,18 @@ CliFlags::CliFlags(int argc, const char* const* argv) {
       seen.second = true;
       continue;
     }
-    // `--name value` when the next token is not itself a flag; else boolean.
     auto& seen = occurrences_[body];
     ++seen.first;
-    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+    // `--name value` when the flag is declared to take one, or (with no
+    // spec, or an unregistered flag) when the next token is not itself a
+    // flag; else boolean.
+    const std::optional<bool> declared =
+        spec == nullptr ? std::nullopt : spec->takes_value(body);
+    const bool next_free =
+        i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0;
+    const bool consume = declared.has_value() ? (*declared && next_free)
+                                              : next_free;
+    if (consume) {
       values_[body] = argv[++i];
       seen.second = true;
     } else {

@@ -30,6 +30,11 @@ class FlagSpec {
   /// All registered names (including "help"), for CliFlags::validate().
   std::vector<std::string> names() const;
 
+  /// Whether `name` is registered and declared with a value hint —
+  /// std::nullopt when unregistered. The spec-aware CliFlags constructor
+  /// uses this to keep boolean flags from consuming the next token.
+  std::optional<bool> takes_value(const std::string& name) const;
+
   /// The generated help text: usage line, summary, one aligned row per
   /// flag with its value hint and description.
   std::string usage() const;
@@ -51,7 +56,15 @@ class FlagSpec {
 class CliFlags {
  public:
   /// Parses argv. Throws std::invalid_argument on malformed input.
+  /// `--name value` binds the next token to the flag whenever that token
+  /// is not itself a flag.
   CliFlags(int argc, const char* const* argv);
+
+  /// Spec-aware parse: flags the spec declares boolean never consume the
+  /// next token, so `tool --verbose path` keeps `path` positional.
+  /// Unregistered flags fall back to the heuristic above (validate()
+  /// rejects them later with the full known-flag list).
+  CliFlags(int argc, const char* const* argv, const FlagSpec& spec);
 
   bool has(const std::string& name) const;
 
@@ -82,6 +95,8 @@ class CliFlags {
   void validate(const std::vector<std::string>& known) const;
 
  private:
+  void parse(int argc, const char* const* argv, const FlagSpec* spec);
+
   std::map<std::string, std::string> values_;
   /// Occurrences per flag and whether any occurrence carried an
   /// explicit value (duplicate detection in validate()).

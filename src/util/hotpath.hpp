@@ -1,0 +1,28 @@
+#pragma once
+// Hot-path marker for corelint's interprocedural performance analysis
+// (tools/corelint/hotpath.cpp; see docs/ANALYSIS.md).
+//
+// `CORELOCATE_HOT_LOOP;` is a compile-time no-op under every compiler —
+// only corelint gives it meaning, the same contract as the concurrency
+// annotation macros in util/lockcheck.hpp. Place it as a statement:
+//
+//   * immediately before a `for`/`while`/`do` statement, it marks that
+//     loop as a hot loop — the loop body becomes a hot region and every
+//     function called from it is statically hot;
+//   * anywhere else, it marks the innermost enclosing brace scope (a
+//     lambda body, a block, or the whole function body) as the hot
+//     region.
+//
+// From the marked regions corelint propagates hotness through the
+// cross-TU call graph (Kleene fixpoint over (name, arity) summaries,
+// the same graph the taint and concurrency passes use) and enforces the
+// perf-* rules: no allocation, container growth without reserve, string
+// concatenation or CheckedMutex acquisition inside a hot loop, no heavy
+// by-value parameters or by-value range-for on hot functions, and an
+// obs::Span on every marker-bearing entry point.
+//
+// Mark only the loops the ROADMAP's scaling targets live on (the B&B
+// node loop, the serve batch pump's parallel phase, the per-instance
+// survey body, covert decode loops): every marker widens the statically
+// hot closure the rules police.
+#define CORELOCATE_HOT_LOOP static_cast<void>(0)

@@ -1,0 +1,7 @@
+// Fixture: arch-layering (include cycles) — a file reachable from its own
+// include closes a cycle; the self-include is the smallest case. The
+// finding lands on the edge that closes the cycle.
+// corelint: pretend-path(src/util/selfcycle.hpp)
+#include "util/selfcycle.hpp"  // corelint-expect: arch-layering
+
+void forward();

@@ -1,0 +1,7 @@
+// Fixture: arch-layering — util sits at the bottom of the subsystem DAG
+// (util -> obs/mesh/msr -> thermal/cache/ilp -> sim -> core ->
+// covert/fleet -> serve) and must not reach up into serve.
+// corelint: pretend-path(src/util/bad_layering.cpp)
+#include "serve/service.hpp"  // corelint-expect: arch-layering
+
+void helper();

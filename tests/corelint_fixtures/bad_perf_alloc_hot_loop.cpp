@@ -1,0 +1,46 @@
+// Fixture: perf-alloc-in-hot-loop — allocations repeated on every
+// iteration of a hot loop: vector growth with no visible reserve, a fresh
+// make_unique per item, and string += accumulation without capacity. The
+// Spans keep perf-span-missing quiet; they are not under test here.
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace obs {
+struct Span {
+  Span(const char* name, const char* category);
+};
+}  // namespace obs
+
+struct Item {
+  int value = 0;
+};
+
+std::vector<int> collect(const std::vector<Item>& items) {
+  obs::Span span("collect", "fixture");
+  std::vector<int> out;
+  CORELOCATE_HOT_LOOP;
+  for (const Item& item : items) {
+    out.push_back(item.value);  // corelint-expect: perf-alloc-in-hot-loop
+  }
+  return out;
+}
+
+std::string render(const std::vector<Item>& items) {
+  obs::Span span("render", "fixture");
+  std::string body;
+  CORELOCATE_HOT_LOOP;
+  for (const Item& item : items) {
+    (void)item;
+    body += "row;";  // corelint-expect: perf-alloc-in-hot-loop
+  }
+  return body;
+}
+
+void refresh(std::vector<std::unique_ptr<Item>>& slots) {
+  obs::Span span("refresh", "fixture");
+  CORELOCATE_HOT_LOOP;
+  for (auto& slot : slots) {
+    slot = std::make_unique<Item>();  // corelint-expect: perf-alloc-in-hot-loop
+  }
+}

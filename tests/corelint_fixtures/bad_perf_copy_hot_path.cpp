@@ -1,0 +1,43 @@
+// Fixture: perf-copy-in-hot-path — heavy types crossing a hot call
+// boundary by value, and a by-value range-for over heavy elements. The
+// marker stands alone at the top of pump, so the whole body is the hot
+// region and the callees join the hot closure.
+#include <string>
+#include <vector>
+
+namespace obs {
+struct Span {
+  Span(const char* name, const char* category);
+};
+}  // namespace obs
+
+int consume(std::vector<int> samples) {  // corelint-expect: perf-copy-in-hot-path
+  return static_cast<int>(samples.size());
+}
+
+int measure(std::string label) {  // corelint-expect: perf-copy-in-hot-path
+  return static_cast<int>(label.size());
+}
+
+// By-value-then-move is the sink idiom, not a stray copy: no finding.
+struct Record {
+  explicit Record(std::string text) : text_(std::move(text)) {}
+  std::string text_;
+};
+
+void pump(const std::vector<std::string>& rows) {
+  obs::Span span("pump", "fixture");
+  CORELOCATE_HOT_LOOP;
+  int total = 0;
+  for (std::string row : rows) {  // corelint-expect: perf-copy-in-hot-path
+    total += static_cast<int>(row.size());
+  }
+  std::vector<int> samples;
+  samples.reserve(4);
+  samples.push_back(total);
+  total += consume(samples);
+  total += measure("x");
+  Record record("keep");
+  (void)record;
+  (void)total;
+}

@@ -1,0 +1,55 @@
+// Fixture: hot-closure propagation — hotness must survive recursion
+// through a helper (drive -> descend -> helper -> descend needs the
+// Kleene fixpoint, not one propagation sweep), flow into callbacks that
+// are referenced by bare name only (register_callback(on_tick) never
+// calls on_tick), and resolve by (name, arity): the cold two-argument
+// overload of descend has an identical loop and must produce nothing.
+#include <vector>
+
+namespace obs {
+struct Span {
+  Span(const char* name, const char* category);
+};
+}  // namespace obs
+
+void descend(int depth);
+
+void helper(int depth) { descend(depth - 1); }
+
+void descend(int depth) {
+  std::vector<int> trail;
+  while (depth > 0) {
+    trail.push_back(depth);  // corelint-expect: perf-alloc-in-hot-loop
+    helper(depth);
+    --depth;
+  }
+}
+
+// Same name, different arity: never called from the hot closure, so its
+// loop stays cold even though it is textually identical to the one above.
+void descend(int depth, std::vector<int>& trail) {
+  while (depth > 0) {
+    trail.push_back(depth);
+    --depth;
+  }
+}
+
+void on_tick() {
+  std::vector<int> samples;
+  for (int i = 0; i < 8; ++i) {
+    samples.push_back(i);  // corelint-expect: perf-alloc-in-hot-loop
+  }
+}
+
+template <typename Fn>
+void register_callback(Fn fn);
+
+void drive(int rounds) {
+  obs::Span span("drive", "fixture");
+  CORELOCATE_HOT_LOOP;
+  while (rounds > 0) {
+    descend(rounds);
+    register_callback(on_tick);
+    --rounds;
+  }
+}

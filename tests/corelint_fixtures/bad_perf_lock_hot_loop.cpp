@@ -1,0 +1,37 @@
+// Fixture: perf-lock-in-hot-loop — a mutex acquired afresh on every
+// iteration of a hot loop pays the acquisition per item; hoist it or
+// batch the critical section.
+namespace util {
+template <int Rank>
+struct CheckedMutex {
+  void lock();
+  void unlock();
+};
+template <typename M>
+struct LockGuard {
+  explicit LockGuard(M& m);
+};
+}  // namespace util
+
+namespace obs {
+struct Span {
+  Span(const char* name, const char* category);
+};
+}  // namespace obs
+
+constexpr int kRankStats = 10;
+
+struct Stats {
+  util::CheckedMutex<kRankStats> mutex;
+  int total = 0;
+};
+
+void accumulate(Stats& stats, int rounds) {
+  obs::Span span("accumulate", "fixture");
+  CORELOCATE_HOT_LOOP;
+  while (rounds > 0) {
+    util::LockGuard lock(stats.mutex);  // corelint-expect: perf-lock-in-hot-loop
+    ++stats.total;
+    --rounds;
+  }
+}

@@ -1,0 +1,11 @@
+// Fixture: perf-span-missing — a function marks a hot region but never
+// opens an obs::Span, so perf reports cannot attribute its cost.
+void churn(int rounds) {
+  int total = 0;
+  CORELOCATE_HOT_LOOP;  // corelint-expect: perf-span-missing
+  while (rounds > 0) {
+    total += rounds;
+    --rounds;
+  }
+  (void)total;
+}

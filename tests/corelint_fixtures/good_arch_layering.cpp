@@ -1,0 +1,8 @@
+// Fixture: arch-layering, clean — core (layer 4) includes strictly lower
+// layers only, and same-directory includes are exempt. Must lint clean.
+// corelint: pretend-path(src/core/good_layering.cpp)
+#include "core/locator.hpp"
+#include "ilp/model.hpp"
+#include "util/log.hpp"
+
+void forward();

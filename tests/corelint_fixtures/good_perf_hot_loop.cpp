@@ -1,0 +1,53 @@
+// Fixture: hot-path rules, clean idioms — reserve before growth, += into
+// reserved capacity, sink params moved into place, the lock hoisted out
+// of the loop, and a Span attributing the marked region. Must lint clean.
+#include <string>
+#include <vector>
+
+namespace util {
+template <int Rank>
+struct CheckedMutex {
+  void lock();
+  void unlock();
+};
+template <typename M>
+struct LockGuard {
+  explicit LockGuard(M& m);
+};
+}  // namespace util
+
+namespace obs {
+struct Span {
+  Span(const char* name, const char* category);
+};
+}  // namespace obs
+
+constexpr int kRankStats = 10;
+
+struct Stats {
+  util::CheckedMutex<kRankStats> mutex;
+  int total = 0;
+};
+
+struct Sink {
+  explicit Sink(std::string text) : text_(std::move(text)) {}
+  std::string text_;
+};
+
+std::string render(const std::vector<int>& items, Stats& stats) {
+  obs::Span span("render", "fixture");
+  std::string body;
+  body.reserve(items.size() * 4);
+  std::vector<int> doubled;
+  doubled.reserve(items.size());
+  util::LockGuard lock(stats.mutex);  // hoisted: one acquisition per batch
+  CORELOCATE_HOT_LOOP;
+  for (int item : items) {
+    body += "row;";
+    doubled.push_back(item * 2);
+    ++stats.total;
+  }
+  Sink sink(body);
+  (void)sink;
+  return body;
+}

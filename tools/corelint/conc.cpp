@@ -35,18 +35,6 @@ bool lock_tag_name(const std::string& word) {
   return word == "adopt_lock" || word == "defer_lock" || word == "try_to_lock";
 }
 
-/// File-pair key: "src/fleet/thread_pool.hpp" and ".cpp" share the stem
-/// "thread_pool", so a mutex declared in the header resolves at lock
-/// sites in its own implementation file first — `mutex` in a WorkerDeque
-/// and `mutex` in a trace ThreadBuffer stay distinct.
-std::string path_stem(const std::string& path) {
-  const std::size_t slash = path.find_last_of("/\\");
-  std::string name = slash == std::string::npos ? path : path.substr(slash + 1);
-  const std::size_t dot = name.find_last_of('.');
-  if (dot != std::string::npos) name.resize(dot);
-  return name;
-}
-
 /// Index one past the '>' matching the '<' at `open`; tokens.size() when
 /// the statement ends before it balances (then it was not a template-id).
 std::size_t skip_angles(const std::vector<Token>& tokens, std::size_t open) {
@@ -82,19 +70,8 @@ std::string last_ident(const std::vector<Token>& tokens, std::size_t begin,
 }
 
 // --------------------------------------------------------------- lock graph
-
-/// One static lock-held region inside a function body: from the
-/// acquisition token to the '}' closing its scope (RAII guards), to the
-/// matching `x.unlock()` (manual locks), or the whole body
-/// (CORELOCATE_REQUIRES entry locks).
-struct LockRegion {
-  std::string mutex;      ///< base identifier of the locked expression
-  int rank = -1;          ///< resolved CheckedMutex rank, -1 unknown
-  std::size_t begin = 0;  ///< token index of the acquisition
-  std::size_t end = 0;    ///< first token index past the region
-  std::size_t line = 0;   ///< 0-based line of the acquisition
-  bool entry = false;     ///< held on entry (REQUIRES), not acquired here
-};
+// LockRegion and the declaration tables (LockDecls) are declared in
+// conc.hpp: the hot-path pass reuses both.
 
 struct UnitInfo {
   const TranslationUnit* unit = nullptr;
@@ -131,19 +108,13 @@ struct Corpus {
   std::vector<UnitInfo> infos;
   std::map<FnKey, std::vector<FnRef>> index;
   std::map<std::string, std::vector<FnRef>> name_index;  ///< any arity
-  std::map<std::string, long> constants;                 ///< constexpr int NAME = N
-  std::map<std::string, int> alias_rank;   ///< using X = CheckedMutex<R>
-  std::map<std::pair<std::string, std::string>, int> mutex_by_stem;
-  std::map<std::string, std::set<int>> mutex_global;
-  std::map<std::pair<std::string, std::string>, std::string> guard_by_stem;
-  std::map<std::string, std::set<std::string>> guard_global;
-  std::set<std::string> type_names;  ///< class/struct names (ctor/dtor exemption)
+  LockDecls decls;
   std::vector<std::vector<ConcSummary>> summaries;
 };
 
 /// Rank named by the token range of a CheckedMutex<...> argument: a
 /// literal, or a named constant from the corpus-wide table.
-int resolve_rank(const Corpus& corpus, const std::vector<Token>& tokens,
+int resolve_rank(const LockDecls& decls, const std::vector<Token>& tokens,
                  std::size_t begin, std::size_t end) {
   std::string ident;
   std::string number;
@@ -152,8 +123,8 @@ int resolve_rank(const Corpus& corpus, const std::vector<Token>& tokens,
     if (tokens[t].kind == Token::Kind::kNumber) number = tokens[t].text;
   }
   if (!ident.empty()) {
-    const auto it = corpus.constants.find(ident);
-    return it == corpus.constants.end() ? -1 : static_cast<int>(it->second);
+    const auto it = decls.constants.find(ident);
+    return it == decls.constants.end() ? -1 : static_cast<int>(it->second);
   }
   if (!number.empty()) {
     char* rest = nullptr;
@@ -163,33 +134,21 @@ int resolve_rank(const Corpus& corpus, const std::vector<Token>& tokens,
   return -1;
 }
 
-void record_mutex(Corpus& corpus, const std::string& stem, const std::string& var,
+void record_mutex(LockDecls& decls, const std::string& stem, const std::string& var,
                   int rank) {
   const auto key = std::make_pair(stem, var);
-  const auto it = corpus.mutex_by_stem.find(key);
-  if (it == corpus.mutex_by_stem.end()) {
-    corpus.mutex_by_stem.emplace(key, rank);
+  const auto it = decls.mutex_by_stem.find(key);
+  if (it == decls.mutex_by_stem.end()) {
+    decls.mutex_by_stem.emplace(key, rank);
   } else if (it->second != rank) {
     it->second = -1;  // two declarations in one file pair: ambiguous
   }
-  corpus.mutex_global[var].insert(rank);
-}
-
-/// Rank of the mutex `name` seen from file pair `stem`: same-stem
-/// declaration first, then a globally unique declaration, else unknown.
-int rank_of(const Corpus& corpus, const std::string& stem, const std::string& name) {
-  const auto it = corpus.mutex_by_stem.find({stem, name});
-  if (it != corpus.mutex_by_stem.end()) return it->second;
-  const auto global = corpus.mutex_global.find(name);
-  if (global != corpus.mutex_global.end() && global->second.size() == 1) {
-    return *global->second.begin();
-  }
-  return -1;
+  decls.mutex_global[var].insert(rank);
 }
 
 /// Declaration scan: constants, CheckedMutex aliases and variables,
 /// GUARDED_BY fields and class/struct names, across the whole corpus.
-void scan_declarations(Corpus& corpus, const std::vector<TranslationUnit>& units) {
+void scan_declarations(LockDecls& decls, const std::vector<TranslationUnit>& units) {
   // Constants first — mutex declarations in any unit may name a constant
   // from another (src/util/lockranks.hpp is the registry).
   for (const TranslationUnit& unit : units) {
@@ -204,7 +163,7 @@ void scan_declarations(Corpus& corpus, const std::vector<TranslationUnit>& units
           char* rest = nullptr;
           const long value = std::strtol(tokens[u + 1].text.c_str(), &rest, 0);
           if (rest != nullptr && *rest == '\0') {
-            corpus.constants[tokens[u - 1].text] = value;
+            decls.constants[tokens[u - 1].text] = value;
           }
           break;
         }
@@ -221,8 +180,8 @@ void scan_declarations(Corpus& corpus, const std::vector<TranslationUnit>& units
           if (tokens[u].is(";")) break;
           if (tokens[u].is_ident("CheckedMutex") && tokens[u + 1].is("<")) {
             const std::size_t after = skip_angles(tokens, u + 1);
-            corpus.alias_rank[tokens[t + 1].text] =
-                resolve_rank(corpus, tokens, u + 2, after - 1);
+            decls.alias_rank[tokens[t + 1].text] =
+                resolve_rank(decls, tokens, u + 2, after - 1);
             break;
           }
         }
@@ -239,22 +198,22 @@ void scan_declarations(Corpus& corpus, const std::vector<TranslationUnit>& units
       if (tok.text == "CheckedMutex" && tokens[t + 1].is("<")) {
         const std::size_t after = skip_angles(tokens, t + 1);
         if (after >= tokens.size()) continue;
-        const int rank = resolve_rank(corpus, tokens, t + 2, after - 1);
+        const int rank = resolve_rank(decls, tokens, t + 2, after - 1);
         if (tokens[after].kind == Token::Kind::kIdent &&
             !is_control_keyword(tokens[after].text)) {
-          record_mutex(corpus, stem, tokens[after].text, rank);
+          record_mutex(decls, stem, tokens[after].text, rank);
         }
-      } else if (corpus.alias_rank.count(tok.text) != 0 &&
+      } else if (decls.alias_rank.count(tok.text) != 0 &&
                  tokens[t + 1].kind == Token::Kind::kIdent &&
                  !is_control_keyword(tokens[t + 1].text)) {
-        record_mutex(corpus, stem, tokens[t + 1].text, corpus.alias_rank[tok.text]);
+        record_mutex(decls, stem, tokens[t + 1].text, decls.alias_rank[tok.text]);
       } else if (tok.text == "CORELOCATE_GUARDED_BY" && tokens[t + 1].is("(")) {
         const std::size_t close = match_group(tokens, t + 1);
         const std::string guard = last_ident(tokens, t + 2, close);
         if (!guard.empty() && t > 0 && tokens[t - 1].kind == Token::Kind::kIdent) {
           const std::string& field = tokens[t - 1].text;
-          corpus.guard_by_stem[{stem, field}] = guard;
-          corpus.guard_global[field].insert(guard);
+          decls.guard_by_stem[{stem, field}] = guard;
+          decls.guard_global[field].insert(guard);
         }
       } else if (tok.text == "class" || tok.text == "struct") {
         std::size_t v = t + 1;
@@ -266,7 +225,7 @@ void scan_declarations(Corpus& corpus, const std::vector<TranslationUnit>& units
           }
         }
         if (v < tokens.size() && tokens[v].kind == Token::Kind::kIdent) {
-          corpus.type_names.insert(tokens[v].text);
+          decls.type_names.insert(tokens[v].text);
         }
       }
     }
@@ -291,85 +250,9 @@ std::size_t scope_end(const std::vector<Token>& tokens, std::size_t from,
   return body_end;
 }
 
-std::vector<LockRegion> find_regions(const Corpus& corpus, const std::string& stem,
-                                     const TranslationUnit& unit,
-                                     const FunctionDef& fn) {
-  const std::vector<Token>& tokens = unit.tokens;
-  std::vector<LockRegion> regions;
-
-  for (const std::string& name : fn.requires_locks) {
-    LockRegion region;
-    region.mutex = name;
-    region.rank = rank_of(corpus, stem, name);
-    region.begin = fn.body_begin;
-    region.end = fn.body_end;
-    region.line = fn.begin_line;
-    region.entry = true;
-    regions.push_back(std::move(region));
-  }
-
-  for (std::size_t t = fn.body_begin + 1; t < fn.body_end; ++t) {
-    const Token& tok = tokens[t];
-    if (tok.kind != Token::Kind::kIdent) continue;
-
-    if (guard_type_name(tok.text)) {
-      // `std::unique_lock<M> guard(expr);` / `util::LockGuard guard(expr);`
-      std::size_t u = t + 1;
-      if (u < tokens.size() && tokens[u].is("<")) u = skip_angles(tokens, u);
-      if (u >= fn.body_end || tokens[u].kind != Token::Kind::kIdent ||
-          is_control_keyword(tokens[u].text)) {
-        continue;
-      }
-      const std::size_t args_open = u + 1;
-      if (args_open >= fn.body_end ||
-          (!tokens[args_open].is("(") && !tokens[args_open].is("{"))) {
-        continue;
-      }
-      const std::size_t args_close = match_group(tokens, args_open);
-      if (args_close >= fn.body_end) continue;
-      const std::size_t end = scope_end(tokens, args_close + 1, fn.body_end);
-      for (const auto& [part_begin, part_end] :
-           split_top_level(tokens, args_open + 1, args_close)) {
-        const std::string mutex = last_ident(tokens, part_begin, part_end);
-        if (mutex.empty() || lock_tag_name(mutex)) continue;
-        LockRegion region;
-        region.mutex = mutex;
-        region.rank = rank_of(corpus, stem, mutex);
-        region.begin = t;
-        region.end = end;
-        region.line = tok.line;
-        regions.push_back(std::move(region));
-      }
-      t = args_close;
-      continue;
-    }
-
-    // Manual `expr.lock()` ... `expr.unlock()` pair.
-    if (tok.text == "lock" && t >= 2 && t + 2 < fn.body_end && tokens[t + 1].is("(") &&
-        tokens[t + 2].is(")") &&
-        (tokens[t - 1].is(".") || tokens[t - 1].is("->")) &&
-        tokens[t - 2].kind == Token::Kind::kIdent) {
-      const std::string& base = tokens[t - 2].text;
-      std::size_t end = fn.body_end;
-      for (std::size_t v = t + 3; v + 2 < fn.body_end; ++v) {
-        if (tokens[v].kind == Token::Kind::kIdent && tokens[v].text == base &&
-            (tokens[v + 1].is(".") || tokens[v + 1].is("->")) &&
-            tokens[v + 2].is_ident("unlock")) {
-          end = v;
-          break;
-        }
-      }
-      LockRegion region;
-      region.mutex = base;
-      region.rank = rank_of(corpus, stem, base);
-      region.begin = t;
-      region.end = end;
-      region.line = tok.line;
-      regions.push_back(std::move(region));
-    }
-  }
-  return regions;
-}
+// find_lock_regions is defined below, after the namespace closes: it is
+// exported (conc.hpp) so the hot-path pass can reuse it, but still leans
+// on the helpers above, which remain visible for the rest of this TU.
 
 // ---------------------------------------------------------------- summaries
 
@@ -545,7 +428,7 @@ void report_unguarded_access(const Corpus& corpus, const UnitInfo& info,
   const std::vector<Token>& tokens = unit.tokens;
   // Constructors and destructors run before/after any sharing is
   // possible (Clang's analysis makes the same exemption).
-  if (corpus.type_names.count(fn.name) != 0) return;
+  if (corpus.decls.type_names.count(fn.name) != 0) return;
 
   for (std::size_t t = fn.body_begin + 1; t < fn.body_end; ++t) {
     const Token& tok = tokens[t];
@@ -735,9 +618,115 @@ void report_pool_tasks(const Corpus& corpus, const UnitInfo& info,
 
 }  // namespace
 
+std::string path_stem(const std::string& path) {
+  const std::size_t slash = path.find_last_of("/\\");
+  std::string name = slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos) name.resize(dot);
+  return name;
+}
+
+LockDecls scan_lock_declarations(const std::vector<TranslationUnit>& units) {
+  LockDecls decls;
+  scan_declarations(decls, units);
+  return decls;
+}
+
+int lock_rank_of(const LockDecls& decls, const std::string& stem,
+                 const std::string& name) {
+  const auto it = decls.mutex_by_stem.find({stem, name});
+  if (it != decls.mutex_by_stem.end()) return it->second;
+  const auto global = decls.mutex_global.find(name);
+  if (global != decls.mutex_global.end() && global->second.size() == 1) {
+    return *global->second.begin();
+  }
+  return -1;
+}
+
+std::vector<LockRegion> find_lock_regions(const LockDecls& decls,
+                                          const std::string& stem,
+                                          const TranslationUnit& unit,
+                                          const FunctionDef& fn) {
+  const std::vector<Token>& tokens = unit.tokens;
+  std::vector<LockRegion> regions;
+
+  for (const std::string& name : fn.requires_locks) {
+    LockRegion region;
+    region.mutex = name;
+    region.rank = lock_rank_of(decls, stem, name);
+    region.begin = fn.body_begin;
+    region.end = fn.body_end;
+    region.line = fn.begin_line;
+    region.entry = true;
+    regions.push_back(std::move(region));
+  }
+
+  for (std::size_t t = fn.body_begin + 1; t < fn.body_end; ++t) {
+    const Token& tok = tokens[t];
+    if (tok.kind != Token::Kind::kIdent) continue;
+
+    if (guard_type_name(tok.text)) {
+      // `std::unique_lock<M> guard(expr);` / `util::LockGuard guard(expr);`
+      std::size_t u = t + 1;
+      if (u < tokens.size() && tokens[u].is("<")) u = skip_angles(tokens, u);
+      if (u >= fn.body_end || tokens[u].kind != Token::Kind::kIdent ||
+          is_control_keyword(tokens[u].text)) {
+        continue;
+      }
+      const std::size_t args_open = u + 1;
+      if (args_open >= fn.body_end ||
+          (!tokens[args_open].is("(") && !tokens[args_open].is("{"))) {
+        continue;
+      }
+      const std::size_t args_close = match_group(tokens, args_open);
+      if (args_close >= fn.body_end) continue;
+      const std::size_t end = scope_end(tokens, args_close + 1, fn.body_end);
+      for (const auto& [part_begin, part_end] :
+           split_top_level(tokens, args_open + 1, args_close)) {
+        const std::string mutex = last_ident(tokens, part_begin, part_end);
+        if (mutex.empty() || lock_tag_name(mutex)) continue;
+        LockRegion region;
+        region.mutex = mutex;
+        region.rank = lock_rank_of(decls, stem, mutex);
+        region.begin = t;
+        region.end = end;
+        region.line = tok.line;
+        regions.push_back(std::move(region));
+      }
+      t = args_close;
+      continue;
+    }
+
+    // Manual `expr.lock()` ... `expr.unlock()` pair.
+    if (tok.text == "lock" && t >= 2 && t + 2 < fn.body_end && tokens[t + 1].is("(") &&
+        tokens[t + 2].is(")") &&
+        (tokens[t - 1].is(".") || tokens[t - 1].is("->")) &&
+        tokens[t - 2].kind == Token::Kind::kIdent) {
+      const std::string& base = tokens[t - 2].text;
+      std::size_t end = fn.body_end;
+      for (std::size_t v = t + 3; v + 2 < fn.body_end; ++v) {
+        if (tokens[v].kind == Token::Kind::kIdent && tokens[v].text == base &&
+            (tokens[v + 1].is(".") || tokens[v + 1].is("->")) &&
+            tokens[v + 2].is_ident("unlock")) {
+          end = v;
+          break;
+        }
+      }
+      LockRegion region;
+      region.mutex = base;
+      region.rank = lock_rank_of(decls, stem, base);
+      region.begin = t;
+      region.end = end;
+      region.line = tok.line;
+      regions.push_back(std::move(region));
+    }
+  }
+  return regions;
+}
+
 std::vector<Finding> run_conc(const std::vector<TranslationUnit>& units) {
   Corpus corpus;
-  scan_declarations(corpus, units);
+  corpus.decls = scan_lock_declarations(units);
 
   corpus.infos.reserve(units.size());
   for (const TranslationUnit& unit : units) {
@@ -748,13 +737,13 @@ std::vector<Finding> run_conc(const std::vector<TranslationUnit>& units) {
     info.fn_regions.reserve(unit.functions.size());
     for (const FunctionDef& fn : unit.functions) {
       info.fn_calls.push_back(find_calls(unit.tokens, fn.body_begin + 1, fn.body_end));
-      info.fn_regions.push_back(find_regions(corpus, info.stem, unit, fn));
+      info.fn_regions.push_back(find_lock_regions(corpus.decls, info.stem, unit, fn));
     }
     // Fields this unit must treat as guarded: its own stem's
     // annotations, plus every globally unambiguous one.
-    for (const auto& [field, guards] : corpus.guard_global) {
-      const auto stem_it = corpus.guard_by_stem.find({info.stem, field});
-      if (stem_it != corpus.guard_by_stem.end()) {
+    for (const auto& [field, guards] : corpus.decls.guard_global) {
+      const auto stem_it = corpus.decls.guard_by_stem.find({info.stem, field});
+      if (stem_it != corpus.decls.guard_by_stem.end()) {
         info.guards[field] = stem_it->second;
       } else if (guards.size() == 1) {
         info.guards[field] = *guards.begin();

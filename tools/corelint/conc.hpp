@@ -23,12 +23,64 @@
 //                         including lambdas that escape through helper
 //                         functions into the pool
 
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "rules.hpp"
 #include "symbols.hpp"
 
 namespace corelint {
+
+/// One static lock-held region inside a function body: from the
+/// acquisition token to the '}' closing its scope (RAII guards), to the
+/// matching `x.unlock()` (manual locks), or the whole body
+/// (CORELOCATE_REQUIRES entry locks). Shared with the hot-path pass
+/// (perf-lock-in-hot-loop composes these regions with hot loops).
+struct LockRegion {
+  std::string mutex;      ///< base identifier of the locked expression
+  int rank = -1;          ///< resolved CheckedMutex rank, -1 unknown
+  std::size_t begin = 0;  ///< token index of the acquisition
+  std::size_t end = 0;    ///< first token index past the region
+  std::size_t line = 0;   ///< 0-based line of the acquisition
+  bool entry = false;     ///< held on entry (REQUIRES), not acquired here
+};
+
+/// Corpus-wide lock/guard declaration tables: constexpr rank constants,
+/// CheckedMutex aliases and variables (resolved per file-pair stem),
+/// CORELOCATE_GUARDED_BY fields and class/struct names.
+struct LockDecls {
+  std::map<std::string, long> constants;  ///< constexpr int NAME = N
+  std::map<std::string, int> alias_rank;  ///< using X = CheckedMutex<R>
+  std::map<std::pair<std::string, std::string>, int> mutex_by_stem;
+  std::map<std::string, std::set<int>> mutex_global;
+  std::map<std::pair<std::string, std::string>, std::string> guard_by_stem;
+  std::map<std::string, std::set<std::string>> guard_global;
+  std::set<std::string> type_names;  ///< class/struct names (ctor/dtor exemption)
+};
+
+/// File-pair key: "src/fleet/thread_pool.hpp" and ".cpp" share the stem
+/// "thread_pool", so a mutex declared in the header resolves at lock
+/// sites in its own implementation file first.
+std::string path_stem(const std::string& path);
+
+/// Declaration scan over the whole corpus (run once per lint).
+LockDecls scan_lock_declarations(const std::vector<TranslationUnit>& units);
+
+/// Rank of the mutex `name` seen from file pair `stem`: same-stem
+/// declaration first, then a globally unique declaration, else -1.
+int lock_rank_of(const LockDecls& decls, const std::string& stem,
+                 const std::string& name);
+
+/// Static lock-held regions of one function body: RAII guards
+/// (lock_guard/unique_lock/scoped_lock/LockGuard), manual lock()/unlock()
+/// pairs and CORELOCATE_REQUIRES entry locks.
+std::vector<LockRegion> find_lock_regions(const LockDecls& decls,
+                                          const std::string& stem,
+                                          const TranslationUnit& unit,
+                                          const FunctionDef& fn);
 
 /// Runs the concurrency passes over the whole corpus. Suppression
 /// comments apply as for every other rule.

@@ -2,18 +2,12 @@
 //
 // Usage:
 //   corelint [options] <file|dir>...      lint files / trees
-//   corelint --selftest <dir>             check fixture expectations
+//   corelint --selftest DIR               check fixture expectations
 //   corelint --ilp                        validate the built-in ILP models
 //
-// Options:
-//   --baseline FILE        suppress findings recorded in FILE
-//   --write-baseline FILE  write current findings to FILE and exit 0
-//                          (refuses when the working tree is dirty;
-//                          --allow-dirty overrides)
-//   --format=text|sarif    report format (default text)
-//   --concurrency          report only the conc-* rules (lock graph,
-//                          guarded fields, phase discipline)
-//   --list-rules           print the rule names and exit
+// Run `corelint --help` for the flag list (generated from the FlagSpec)
+// and the registered rules with their one-line descriptions (generated
+// from rule_table()).
 //
 // Exit codes: 0 clean, 1 findings (or failed selftest), 2 usage/IO error.
 //
@@ -22,6 +16,7 @@
 // invalidate it.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -32,17 +27,54 @@
 #include <vector>
 
 #include "conc.hpp"
+#include "hotpath.hpp"
 #include "ilp_check.hpp"
 #include "rules.hpp"
 #include "sarif.hpp"
 #include "scanner.hpp"
 #include "symbols.hpp"
 #include "taint.hpp"
+#include "util/cli.hpp"
 
 namespace corelint {
 namespace {
 
 namespace fs = std::filesystem;
+namespace util = corelocate::util;
+
+/// --stats: wall time per analysis pass, printed to stderr so it never
+/// pollutes the finding stream a CI job or SARIF consumer parses.
+struct PassStats {
+  bool enabled = false;
+  std::vector<std::pair<std::string, double>> passes;
+
+  /// Runs `body` and records its wall time under `name`.
+  template <typename Body>
+  auto time(const char* name, Body body) {
+    if (!enabled) return body();
+    const auto start = std::chrono::steady_clock::now();
+    auto result = body();
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - start;
+    passes.emplace_back(name, elapsed.count());
+    return result;
+  }
+
+  void print(std::ostream& out) const {
+    if (!enabled) return;
+    double total = 0.0;
+    out << "corelint pass timings:\n";
+    for (const auto& [name, ms] : passes) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "  %-10s %8.2f ms\n", name.c_str(), ms);
+      out << buf;
+      total += ms;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "  %-10s %8.2f ms\n", "total", total);
+    out << buf;
+  }
+};
 
 bool lintable(const fs::path& path) {
   const std::string ext = path.extension().string();
@@ -112,18 +144,29 @@ void sort_findings(std::vector<Finding>& findings) {
             });
 }
 
-/// Runs the per-file rules plus the cross-TU taint and concurrency
-/// passes over a corpus.
-std::vector<Finding> run_all(const std::vector<TranslationUnit>& units) {
-  std::vector<Finding> findings;
-  for (const TranslationUnit& unit : units) {
-    std::vector<Finding> file_findings = run_rules(unit.file);
-    findings.insert(findings.end(), file_findings.begin(), file_findings.end());
-  }
-  std::vector<Finding> taint_findings = run_taint(units);
+/// Runs the per-file rules plus the cross-TU taint, concurrency and
+/// hot-path passes over a corpus.
+std::vector<Finding> run_all(const std::vector<TranslationUnit>& units,
+                             PassStats* stats = nullptr) {
+  PassStats local;
+  if (stats == nullptr) stats = &local;
+  std::vector<Finding> findings = stats->time("rules", [&] {
+    std::vector<Finding> out;
+    for (const TranslationUnit& unit : units) {
+      std::vector<Finding> file_findings = run_rules(unit.file);
+      out.insert(out.end(), file_findings.begin(), file_findings.end());
+    }
+    return out;
+  });
+  std::vector<Finding> taint_findings =
+      stats->time("taint", [&] { return run_taint(units); });
   findings.insert(findings.end(), taint_findings.begin(), taint_findings.end());
-  std::vector<Finding> conc_findings = run_conc(units);
+  std::vector<Finding> conc_findings =
+      stats->time("conc", [&] { return run_conc(units); });
   findings.insert(findings.end(), conc_findings.begin(), conc_findings.end());
+  std::vector<Finding> hot_findings =
+      stats->time("hotpath", [&] { return run_hotpath(units); });
+  findings.insert(findings.end(), hot_findings.begin(), hot_findings.end());
   sort_findings(findings);
   return findings;
 }
@@ -152,18 +195,36 @@ struct LintOptions {
   std::string format = "text";
   bool allow_dirty = false;
   bool concurrency_only = false;  ///< report only the conc-* rules
+  bool hotpath_only = false;      ///< report only the perf-* / arch-* rules
+  bool stats = false;             ///< print per-pass wall time to stderr
 };
 
 int run_lint(const std::vector<std::string>& paths, const LintOptions& options) {
-  std::vector<TranslationUnit> units;
-  for (const std::string& path : collect_files(paths)) {
-    units.push_back(make_unit(scan_file(path)));
-  }
-  std::vector<Finding> findings = run_all(units);
-  if (options.concurrency_only) {
+  PassStats stats;
+  stats.enabled = options.stats;
+  std::vector<TranslationUnit> units = stats.time("scan", [&] {
+    std::vector<TranslationUnit> out;
+    for (const std::string& path : collect_files(paths)) {
+      out.push_back(make_unit(scan_file(path)));
+    }
+    return out;
+  });
+  std::vector<Finding> findings = run_all(units, &stats);
+  stats.print(std::cerr);
+  if (options.concurrency_only || options.hotpath_only) {
+    const auto kept = [&](const Finding& finding) {
+      if (options.concurrency_only && finding.rule.rfind("conc-", 0) == 0) {
+        return true;
+      }
+      if (options.hotpath_only && (finding.rule.rfind("perf-", 0) == 0 ||
+                                   finding.rule.rfind("arch-", 0) == 0)) {
+        return true;
+      }
+      return false;
+    };
     findings.erase(std::remove_if(findings.begin(), findings.end(),
-                                  [](const Finding& finding) {
-                                    return finding.rule.rfind("conc-", 0) != 0;
+                                  [&](const Finding& finding) {
+                                    return !kept(finding);
                                   }),
                    findings.end());
   }
@@ -290,59 +351,75 @@ int run_selftest(const std::string& dir) {
   return 0;
 }
 
-int main(int argc, char** argv) {
-  std::vector<std::string> paths;
-  LintOptions options;
-  std::string selftest_dir;
-  bool ilp = false;
+util::FlagSpec make_spec() {
+  util::FlagSpec spec("corelint <file|dir>...",
+                      "the corelocate repo linter (docs/ANALYSIS.md)");
+  spec.add("baseline", "FILE", "suppress findings recorded in FILE")
+      .add("write-baseline", "FILE",
+           "write current findings to FILE and exit 0 (refuses on a dirty "
+           "tree)")
+      .add("allow-dirty", "", "let --write-baseline run on a dirty tree")
+      .add("format", "text|sarif", "report format (default text)")
+      .add("concurrency", "",
+           "report only the conc-* rules (lock graph / phase discipline)")
+      .add("hotpath", "",
+           "report only the perf-* and arch-* rules (hot-path performance / "
+           "layering gate)")
+      .add("stats", "", "print per-pass wall time to stderr")
+      .add("selftest", "DIR", "check fixture expectations in DIR and exit")
+      .add("ilp", "", "validate the built-in ILP models and exit")
+      .add("list-rules", "", "print the rule names and exit");
+  return spec;
+}
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value = [&]() -> std::string {
-      if (i + 1 >= argc) throw std::runtime_error("corelint: " + arg + " needs a value");
-      return argv[++i];
-    };
-    if (arg == "--baseline") {
-      options.baseline_path = value();
-    } else if (arg == "--write-baseline") {
-      options.write_baseline_path = value();
-    } else if (arg == "--allow-dirty") {
-      options.allow_dirty = true;
-    } else if (arg.rfind("--format=", 0) == 0) {
-      options.format = arg.substr(9);
-      if (options.format != "text" && options.format != "sarif") {
-        throw std::runtime_error("corelint: unknown format " + options.format);
-      }
-    } else if (arg == "--concurrency") {
-      options.concurrency_only = true;
-    } else if (arg == "--ilp") {
-      ilp = true;
-    } else if (arg == "--selftest") {
-      selftest_dir = value();
-    } else if (arg == "--list-rules") {
-      for (const std::string& rule : rule_names()) std::cout << rule << '\n';
-      return 0;
-    } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: corelint [--baseline FILE | --write-baseline FILE "
-                   "[--allow-dirty]] [--format=text|sarif] [--concurrency] "
-                   "<file|dir>...\n"
-                   "       corelint --selftest DIR\n"
-                   "       corelint --ilp\n"
-                   "       corelint --list-rules\n"
-                   "  --concurrency  report only the conc-* rules (the static "
-                   "lock graph / phase-discipline gate)\n";
-      return 0;
-    } else if (!arg.empty() && arg[0] == '-') {
-      throw std::runtime_error("corelint: unknown option " + arg);
-    } else {
-      paths.push_back(arg);
-    }
+/// `--help` output: the FlagSpec usage block plus every registered rule
+/// with its one-line description, both generated from their tables so
+/// the help can never drift from the implementation.
+void print_help(std::ostream& out, const util::FlagSpec& spec) {
+  out << spec.usage() << "\nrules:\n";
+  std::size_t width = 0;
+  for (const RuleInfo& rule : rule_table()) {
+    width = std::max(width, std::string(rule.name).size());
+  }
+  for (const RuleInfo& rule : rule_table()) {
+    const std::string name = rule.name;
+    out << "  " << name << std::string(width - name.size() + 2, ' ')
+        << rule.summary << '\n';
+  }
+}
+
+int main(int argc, char** argv) {
+  const util::FlagSpec spec = make_spec();
+  const util::CliFlags flags(argc, argv, spec);
+  if (flags.get_bool("help")) {
+    print_help(std::cout, spec);
+    return 0;
+  }
+  flags.validate(spec.names());
+
+  if (flags.get_bool("list-rules")) {
+    for (const std::string& rule : rule_names()) std::cout << rule << '\n';
+    return 0;
   }
 
-  if (ilp) return run_ilp_check(std::cout);
-  if (!selftest_dir.empty()) return run_selftest(selftest_dir);
-  if (paths.empty()) throw std::runtime_error("corelint: no inputs (try --help)");
-  return run_lint(paths, options);
+  LintOptions options;
+  options.baseline_path = flags.get("baseline", "");
+  options.write_baseline_path = flags.get("write-baseline", "");
+  options.allow_dirty = flags.get_bool("allow-dirty");
+  options.format = flags.get("format", "text");
+  if (options.format != "text" && options.format != "sarif") {
+    throw std::runtime_error("corelint: unknown format " + options.format);
+  }
+  options.concurrency_only = flags.get_bool("concurrency");
+  options.hotpath_only = flags.get_bool("hotpath");
+  options.stats = flags.get_bool("stats");
+
+  if (flags.get_bool("ilp")) return run_ilp_check(std::cout);
+  if (flags.has("selftest")) return run_selftest(flags.get("selftest", ""));
+  if (flags.positional().empty()) {
+    throw std::runtime_error("corelint: no inputs (try --help)");
+  }
+  return run_lint(flags.positional(), options);
 }
 
 }  // namespace

@@ -333,15 +333,54 @@ std::string report_path(const std::string& path) {
   return best == std::string::npos ? path : path.substr(best);
 }
 
-const std::vector<std::string>& rule_names() {
-  static const std::vector<std::string> kNames = {
-      "det-wallclock",        "det-std-random",
-      "det-rng-default-seed", "det-unordered-iter",
-      "det-taint-flow",       "conc-guarded-field",
-      "conc-rank-inversion",  "conc-unguarded-access",
-      "conc-phase-escape",    "conc-ref-capture",
-      "hyg-naked-new",        "hyg-narrowing-cast",
+const std::vector<RuleInfo>& rule_table() {
+  static const std::vector<RuleInfo> kRules = {
+      {"det-wallclock",
+       "ambient time/randomness source outside the determinism contract"},
+      {"det-std-random",
+       "<random> engine/distribution or std::shuffle — use util::Rng"},
+      {"det-rng-default-seed",
+       "util::Rng constructed without an explicit seed in library code"},
+      {"det-unordered-iter",
+       "iteration over std::unordered_{map,set} near a result sink"},
+      {"det-taint-flow",
+       "nondeterministic value reaches a result sink, possibly cross-TU"},
+      {"conc-guarded-field",
+       "fleet class data member with no synchronization story"},
+      {"conc-rank-inversion",
+       "static path acquires a lock rank not above every held rank"},
+      {"conc-unguarded-access",
+       "CORELOCATE_GUARDED_BY field touched without its mutex held"},
+      {"conc-phase-escape",
+       "CORELOCATE_SERIAL_PHASE function reachable from a pool task"},
+      {"conc-ref-capture",
+       "pool task captures stack locals by reference without a join"},
+      {"hyg-naked-new",
+       "naked `new` — use std::make_unique or a container"},
+      {"hyg-narrowing-cast",
+       "C-style arithmetic cast or float cast in ILP solver code"},
+      {"perf-alloc-in-hot-loop",
+       "allocation (new/make_*/push_back sans reserve/string concat) in a "
+       "hot loop"},
+      {"perf-copy-in-hot-path",
+       "heavy parameter or range-for element copied by value on a hot path"},
+      {"perf-lock-in-hot-loop",
+       "lock acquired inside a hot loop body — hoist or restructure"},
+      {"perf-span-missing",
+       "CORELOCATE_HOT_LOOP function publishes no obs::Span"},
+      {"arch-layering",
+       "#include violates subsystem layering or forms an include cycle"},
   };
+  return kRules;
+}
+
+const std::vector<std::string>& rule_names() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    names.reserve(rule_table().size());
+    for (const RuleInfo& rule : rule_table()) names.emplace_back(rule.name);
+    return names;
+  }();
   return kNames;
 }
 

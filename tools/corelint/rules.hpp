@@ -46,6 +46,25 @@
 //   det-taint-flow       a value derived from a nondeterminism source
 //                        reaches a result sink, possibly through helper
 //                        functions, return values or out-parameters
+//
+// Hot-path performance + architecture (tools/corelint/hotpath.cpp —
+// hotness seeds at CORELOCATE_HOT_LOOP markers and propagates over the
+// same cross-TU call graph)
+//   perf-alloc-in-hot-loop  allocation in a hot loop: new/make_unique/
+//                           make_shared, push_back without a visible
+//                           reserve(), or string concatenation
+//   perf-copy-in-hot-path   heavy (container/string) parameter taken by
+//                           value in a hot function, or a by-value
+//                           range-for over heavy elements in a hot loop
+//   perf-lock-in-hot-loop   a lock acquired inside a hot loop body —
+//                           hoist it or restructure the critical section
+//   perf-span-missing       a CORELOCATE_HOT_LOOP function publishes no
+//                           obs::Span, so its cost is invisible to perf
+//                           reports
+//   arch-layering           an #include that violates the subsystem
+//                           layering (util → obs/mesh/msr → thermal/
+//                           cache/ilp → sim → core → covert/fleet →
+//                           serve) or participates in an include cycle
 
 #include <string>
 #include <vector>
@@ -62,7 +81,18 @@ struct Finding {
   std::string code;   ///< stripped code of the offending line (baseline key)
 };
 
-/// All rule names, in report order.
+/// One registered rule: the name the baseline/suppression machinery
+/// keys on, plus the one-line description `--help` prints.
+struct RuleInfo {
+  const char* name;
+  const char* summary;
+};
+
+/// Every registered rule with its description, in report order.
+/// run_selftest checks that each entry has at least one firing fixture.
+const std::vector<RuleInfo>& rule_table();
+
+/// All rule names, in report order (derived from rule_table()).
 const std::vector<std::string>& rule_names();
 
 /// Runs every per-file rule over one scanned file (the interprocedural

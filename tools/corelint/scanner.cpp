@@ -505,6 +505,53 @@ void extract_structure(SourceFile& file) {
   }
 }
 
+/// Parses `#include "path"` / `#include <path>` out of a raw directive
+/// line. Returns false when the line is some other directive.
+bool parse_include(const std::string& raw, IncludeDirective& include) {
+  const std::size_t hash = raw.find_first_not_of(" \t");
+  if (hash == std::string::npos || raw[hash] != '#') return false;
+  std::size_t word_begin = raw.find_first_not_of(" \t", hash + 1);
+  if (word_begin == std::string::npos) return false;
+  std::size_t word_end = word_begin;
+  while (word_end < raw.size() && ident_char(raw[word_end])) ++word_end;
+  if (raw.compare(word_begin, word_end - word_begin, "include") != 0) return false;
+  const std::size_t open = raw.find_first_not_of(" \t", word_end);
+  if (open == std::string::npos) return false;
+  const char open_char = raw[open];
+  if (open_char != '"' && open_char != '<') return false;
+  const char close_char = open_char == '"' ? '"' : '>';
+  const std::size_t close = raw.find(close_char, open + 1);
+  if (close == std::string::npos) return false;
+  include.path = raw.substr(open + 1, close - open - 1);
+  include.angled = open_char == '<';
+  return true;
+}
+
+/// Trailing `//` comment of a raw directive line, skipping quoted and
+/// angle-bracketed include paths — so control comments (`corelint-expect`,
+/// `corelint: disable`) work on `#include` lines too. Block comments on
+/// directive lines stay unsupported.
+std::string directive_comment(const std::string& raw) {
+  char quote = '\0';
+  for (std::size_t i = 0; i + 1 < raw.size(); ++i) {
+    const char c = raw[i];
+    if (quote != '\0') {
+      if (c == quote) quote = '\0';
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      quote = c;
+      continue;
+    }
+    if (c == '<') {
+      quote = '>';
+      continue;
+    }
+    if (c == '/' && raw[i + 1] == '/') return raw.substr(i + 2);
+  }
+  return std::string();
+}
+
 }  // namespace
 
 bool SourceFile::suppressed(const std::string& rule, std::size_t line) const {
@@ -543,7 +590,15 @@ SourceFile scan_file(const std::string& path) {
         continue;
       }
       if (pp.live() && pp.handle(raw)) {
-        // The directive line itself carries no lintable code either.
+        // The directive line itself carries no lintable code, but live
+        // includes feed the include graph (arch-layering) and a trailing
+        // comment still carries corelint controls.
+        IncludeDirective include;
+        if (parse_include(raw, include)) {
+          include.line = file.lines.size();
+          file.includes.push_back(std::move(include));
+        }
+        line.comment = directive_comment(raw);
         in_directive_continuation = ends_with_splice(raw);
         file.lines.push_back(std::move(line));
         continue;

@@ -63,6 +63,16 @@ struct ClassSpan {
   bool has_sync_member = false;
 };
 
+/// One `#include` directive. Directive lines are blanked before any rule
+/// sees them, so includes are captured here during the scan — the
+/// include-graph builder (symbols.hpp) and the arch-layering rule are
+/// the consumers.
+struct IncludeDirective {
+  std::string path;        ///< text between the quotes / angle brackets
+  std::size_t line = 0;    ///< 0-based line of the directive
+  bool angled = false;     ///< `<...>` (system) rather than `"..."`
+};
+
 struct SourceFile {
   std::string path;           ///< path as given on the command line
   std::string effective_path; ///< path used for scoping (pretend-path)
@@ -70,6 +80,7 @@ struct SourceFile {
   std::set<std::string> file_disabled;  ///< rules suppressed file-wide
   std::vector<BodySpan> bodies;
   std::vector<ClassSpan> classes;
+  std::vector<IncludeDirective> includes;  ///< live `#include` lines only
 
   bool suppressed(const std::string& rule, std::size_t line) const;
 };

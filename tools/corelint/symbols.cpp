@@ -241,6 +241,8 @@ TranslationUnit make_unit(SourceFile file) {
     fn.end_line = tokens[body_close].line;
     fn.body_begin = u;
     fn.body_end = body_close;
+    fn.params_begin = t + 2;
+    fn.params_end = params_close;
     if (params_close > t + 2) {
       for (const auto& [part_begin, part_end] :
            split_top_level(tokens, t + 2, params_close)) {
@@ -262,6 +264,25 @@ TranslationUnit make_unit(SourceFile file) {
     t = body_close;
   }
   return unit;
+}
+
+IncludeGraph build_include_graph(const std::vector<TranslationUnit>& units) {
+  IncludeGraph graph;
+  graph.deps.resize(units.size());
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    for (const IncludeDirective& include : units[u].file.includes) {
+      if (include.angled || include.path.empty()) continue;
+      for (std::size_t v = 0; v < units.size(); ++v) {
+        const std::string& target = units[v].file.effective_path;
+        if (target.size() < include.path.size()) continue;
+        const std::size_t tail = target.size() - include.path.size();
+        if (target.compare(tail, include.path.size(), include.path) != 0) continue;
+        if (tail != 0 && target[tail - 1] != '/') continue;
+        graph.deps[u].emplace_back(v, include.line);
+      }
+    }
+  }
+  return graph;
 }
 
 }  // namespace corelint

@@ -33,6 +33,11 @@ struct FunctionDef {
   std::size_t end_line = 0;    ///< 0-based line of the matching '}'
   std::size_t body_begin = 0;  ///< token index of the body '{'
   std::size_t body_end = 0;    ///< token index of the matching '}'
+  /// Token range [params_begin, params_end) inside the parameter list's
+  /// parentheses — the declared types, which Param drops (the hot-path
+  /// pass checks them for heavy by-value parameters).
+  std::size_t params_begin = 0;
+  std::size_t params_end = 0;
   /// Mutex names from a trailing CORELOCATE_REQUIRES(...) annotation:
   /// the function is entered with these already held (conc passes).
   std::vector<std::string> requires_locks;
@@ -79,5 +84,18 @@ std::size_t match_group(const std::vector<Token>& tokens, std::size_t open);
 /// (clamped at zero) so template-ids in parameter types group correctly.
 std::vector<std::pair<std::size_t, std::size_t>> split_top_level(
     const std::vector<Token>& tokens, std::size_t begin, std::size_t end);
+
+/// Corpus-wide include graph over the scanned units, built from the
+/// `#include "..."` directives the scanner captured (angled includes are
+/// external and carry no edges). An include resolves to the unit whose
+/// effective path ends with the included path — the repo's includes are
+/// all root-relative (`"serve/service.hpp"`), so the suffix match is
+/// exact whenever the target was scanned at all.
+struct IncludeGraph {
+  /// deps[u] = (unit index of the included file, 0-based include line).
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> deps;
+};
+
+IncludeGraph build_include_graph(const std::vector<TranslationUnit>& units);
 
 }  // namespace corelint
