@@ -14,6 +14,8 @@
 
 #include "bench_common.hpp"
 #include "core/decomposed_map_solver.hpp"
+#include "core/ilp_map_solver.hpp"
+#include "ilp/solution_cache.hpp"
 
 namespace {
 
@@ -60,11 +62,25 @@ int main(int argc, char** argv) {
                       "Ablation: compare the map-solver engines (monolithic ILP, "
                       "decomposed, refinement) on time and correctness.");
   spec.add("skip-paper-objective", "", "skip the slow paper-objective engine")
-      .add("csv", "", "emit machine-readable CSV rows");
+      .add("csv", "", "emit machine-readable CSV rows")
+      .add("presolve", "0|1",
+           "run ilp::presolve before branch & bound on the ILP engines "
+           "(default 0)")
+      .add("warm-start", "0|1",
+           "seed the ILP engines from the Hamming-nearest cached solution "
+           "(needs --solution-cache 1; default 0)")
+      .add("solution-cache", "0|1",
+           "attach a run-local solver solution cache to every engine "
+           "(default 0)");
   bench::add_report_flags(spec);
   const util::CliFlags flags(argc, argv);
   if (flags.handle_help(spec, std::cout)) return 0;
   const bool skip_paper = flags.get_bool("skip-paper-objective", false);
+  const bool use_presolve = flags.get_bool("presolve", false);
+  const bool use_warm_start = flags.get_bool("warm-start", false);
+  ilp::SolutionCache solution_cache;
+  ilp::SolutionCache* cache_ptr =
+      flags.get_bool("solution-cache", false) ? &solution_cache : nullptr;
   bench::BenchReporter reporter("ablation_solver_engines", flags);
   bench::ExpectedActual comparison;
 
@@ -85,6 +101,7 @@ int main(int argc, char** argv) {
     core::DecomposedSolverOptions options;
     options.grid_rows = config.grid.rows();
     options.grid_cols = config.grid.cols();
+    options.solution_cache = cache_ptr;
     const EngineResult r = timed(
         "decomposed",
         [&] { return core::DecomposedMapSolver(options).solve(obs, config.cha_count()); },
@@ -102,6 +119,9 @@ int main(int argc, char** argv) {
     options.grid_cols = config.grid.cols();
     options.objective = core::IlpObjective::kCompactSum;
     options.max_observations = 40;
+    options.milp.presolve = use_presolve;
+    options.warm_start = use_warm_start;
+    options.solution_cache = cache_ptr;
     const EngineResult r = timed(
         "ilp_compact",
         [&] { return core::IlpMapSolver(options).solve(obs, config.cha_count()); },
@@ -119,6 +139,9 @@ int main(int argc, char** argv) {
     options.grid_cols = config.grid.cols();
     options.objective = core::IlpObjective::kPaperIndicators;
     options.max_observations = 40;
+    options.milp.presolve = use_presolve;
+    options.warm_start = use_warm_start;
+    options.solution_cache = cache_ptr;
     const EngineResult r = timed(
         "ilp_paper",
         [&] { return core::IlpMapSolver(options).solve(obs, config.cha_count()); },

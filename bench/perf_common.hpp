@@ -16,8 +16,13 @@
 namespace corelocate::bench {
 
 /// Console reporter that also folds each finished run into the perf
-/// report: one stage per benchmark (adjusted real seconds/iteration) and
-/// an iteration counter in the metrics registry.
+/// report: one stage per benchmark (adjusted real seconds/iteration), an
+/// iteration counter, and every user counter the benchmark set
+/// (state.counters) as `<bench>.<counter>` in the metrics registry.
+/// The solver benches publish search-size counters (nodes explored,
+/// prunes, LP solves avoided) this way, so `benchreport compare
+/// --metric` can gate search-size regressions even when wall time is
+/// noisy.
 class PerfCaptureReporter : public benchmark::ConsoleReporter {
  public:
   explicit PerfCaptureReporter(obs::PerfReport& report) : report_(report) {}
@@ -31,6 +36,11 @@ class PerfCaptureReporter : public benchmark::ConsoleReporter {
       report_.registry()
           .counter(run.benchmark_name() + ".iterations")
           .add(static_cast<std::uint64_t>(run.iterations));
+      for (const auto& [counter_name, counter] : run.counters) {
+        report_.registry()
+            .counter(run.benchmark_name() + "." + counter_name)
+            .add(static_cast<std::uint64_t>(counter.value));
+      }
     }
     ConsoleReporter::ReportRuns(runs);
   }

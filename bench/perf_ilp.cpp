@@ -57,6 +57,82 @@ sim::InstanceConfig bench_instance(sim::XeonModel model) {
   return factory.make_instance(model, rng);
 }
 
+/// A chain of `n` independent one-hot implication motifs, shaped so
+/// every solver speed path does deterministic, countable work. Each
+/// motif has six binaries and three overlapping one-hot blocks
+///
+///   a + b + c = 1,   a + d + e = 1,   b + d + f = 1,   c = 0,  e = 0
+///
+/// whose LP relaxation bottoms out at the fractional vertex a = 1/2
+/// (f >= 2a - 1 forces a >= 1/2, and the objective pulls a down), so
+/// branch & bound must branch on every motif. The two passes compose:
+/// presolve turns the singleton c/e rows into fixed bounds the bitset
+/// propagation can see, after which the a = 1 branch cascades to a fully
+/// fixed motif (LP solve avoided) and the a = 0 branch cascades to
+/// b = d = 1, which kills the third block — a propagation prune with no
+/// LP solve. With presolve the search explores exactly n+1 nodes, prunes
+/// n, and avoids n+1 LP solves; without it the c/e rows stay opaque to
+/// the bitset masks and the search wanders through ~2n LP-backed nodes.
+ilp::Model one_hot_gadget(int n) {
+  ilp::Model m;
+  ilp::LinExpr objective;
+  for (int k = 0; k < n; ++k) {
+    const ilp::Variable a = m.add_binary();
+    const ilp::Variable b = m.add_binary();
+    const ilp::Variable c = m.add_binary();
+    const ilp::Variable d = m.add_binary();
+    const ilp::Variable e = m.add_binary();
+    const ilp::Variable f = m.add_binary();
+    m.add_constraint(ilp::LinExpr(a) + ilp::LinExpr(b) + ilp::LinExpr(c),
+                     ilp::Sense::kEqual, 1.0);
+    m.add_constraint(ilp::LinExpr(a) + ilp::LinExpr(d) + ilp::LinExpr(e),
+                     ilp::Sense::kEqual, 1.0);
+    m.add_constraint(ilp::LinExpr(b) + ilp::LinExpr(d) + ilp::LinExpr(f),
+                     ilp::Sense::kEqual, 1.0);
+    m.add_constraint(ilp::LinExpr(c), ilp::Sense::kEqual, 0.0);
+    m.add_constraint(ilp::LinExpr(e), ilp::Sense::kEqual, 0.0);
+    // Deterministic per-motif costs keep the optimum unique and the node
+    // counts meaningful across runs.
+    objective += (1.0 + 0.01 * (k % 7)) * ilp::LinExpr(a);
+    objective += 0.001 * (k % 3) * ilp::LinExpr(f);
+  }
+  m.minimize(objective);
+  return m;
+}
+
+/// Publishes a solve's search-size diagnostics as user counters, which
+/// PerfCaptureReporter folds into the report registry for
+/// `benchreport compare --metric` gating.
+void publish_search_counters(benchmark::State& state, const ilp::MilpSolution& solution) {
+  state.counters["nodes_explored"] =
+      static_cast<double>(solution.nodes_explored);
+  state.counters["lp_iterations"] = static_cast<double>(solution.lp_iterations);
+  state.counters["nodes_pruned"] = static_cast<double>(solution.nodes_pruned);
+  state.counters["lp_solves_avoided"] =
+      static_cast<double>(solution.lp_solves_avoided);
+}
+
+void BM_MilpOneHotAssign(benchmark::State& state) {
+  const ilp::Model m = one_hot_gadget(24);
+  ilp::MilpOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ilp::solve_milp(m, options));
+  }
+  publish_search_counters(state, ilp::solve_milp(m, options));
+}
+BENCHMARK(BM_MilpOneHotAssign);
+
+void BM_MilpOneHotAssignPresolve(benchmark::State& state) {
+  const ilp::Model m = one_hot_gadget(24);
+  ilp::MilpOptions options;
+  options.presolve = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ilp::solve_milp(m, options));
+  }
+  publish_search_counters(state, ilp::solve_milp(m, options));
+}
+BENCHMARK(BM_MilpOneHotAssignPresolve);
+
 void BM_DecomposedSolver8124M(benchmark::State& state) {
   const sim::InstanceConfig config = bench_instance(sim::XeonModel::k8124M);
   const core::ObservationSet obs = core::synthesize_observations(config);
@@ -67,6 +143,10 @@ void BM_DecomposedSolver8124M(benchmark::State& state) {
     benchmark::DoNotOptimize(
         core::DecomposedMapSolver(options).solve(obs, config.cha_count()));
   }
+  const core::MapSolveResult solved =
+      core::DecomposedMapSolver(options).solve(obs, config.cha_count());
+  state.counters["nodes"] = static_cast<double>(solved.nodes);
+  state.counters["lp_iterations"] = static_cast<double>(solved.lp_iterations);
 }
 BENCHMARK(BM_DecomposedSolver8124M);
 
@@ -80,6 +160,10 @@ void BM_DecomposedSolver6354(benchmark::State& state) {
     benchmark::DoNotOptimize(
         core::DecomposedMapSolver(options).solve(obs, config.cha_count()));
   }
+  const core::MapSolveResult solved =
+      core::DecomposedMapSolver(options).solve(obs, config.cha_count());
+  state.counters["nodes"] = static_cast<double>(solved.nodes);
+  state.counters["lp_iterations"] = static_cast<double>(solved.lp_iterations);
 }
 BENCHMARK(BM_DecomposedSolver6354);
 

@@ -41,6 +41,9 @@ int main(int argc, char** argv) {
            "fraction of requests with re-permuted observations (default 0.0625)")
       .add("engine", "NAME",
            "solver engine: decomposed, ilp or refined (default refined)")
+      .add("solution-cache", "0|1",
+           "probe/fill the solver solution cache around batch dispatch "
+           "(responses stay byte-identical either way; default 0)")
       .add("seed", "N", "workload seed (default 0x10AD6E2)")
       .add("min-hit-rate", "F", "exit nonzero when cache hit rate falls below F")
       .add("response-log", "PATH", "write the response log to PATH")
@@ -70,6 +73,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("cache-capacity", 4096));
   service_options.cache_shards =
       static_cast<std::size_t>(flags.get_int("cache-shards", 8));
+  service_options.solution_cache = flags.get_bool("solution-cache", false);
   const std::string engine_name = flags.get("engine", "refined");
   if (!serve::parse_engine_token(engine_name, service_options.engine)) {
     std::cerr << "unknown --engine '" << engine_name
@@ -131,8 +135,17 @@ int main(int argc, char** argv) {
             << "batched solves:   " << solves << " (pool " << loadgen.pool_size()
             << " instances)\n"
             << "throughput:       " << static_cast<std::uint64_t>(throughput)
-            << " responses/s\n"
-            << "cached p99:       " << hit_p99 * 1e6 << " us\n"
+            << " responses/s\n";
+  if (service_options.solution_cache) {
+    const auto cache_counter = [&registry](const char* name) {
+      const obs::Counter* counter = registry.find_counter(name);
+      return counter != nullptr ? counter->value() : 0;
+    };
+    std::cout << "solution cache:   " << cache_counter("serve.solution_cache.hits")
+              << " hits / " << cache_counter("serve.solution_cache.misses")
+              << " misses (" << service.solution_cache().size() << " entries)\n";
+  }
+  std::cout << "cached p99:       " << hit_p99 * 1e6 << " us\n"
             << "cold p99:         " << cold_p99 * 1e3 << " ms ("
             << static_cast<std::uint64_t>(p99_ratio) << "x cached)\n";
 

@@ -115,6 +115,9 @@ int main(int argc, char** argv) {
       .add("cache-shards", "N", "map-cache shards (default 8)")
       .add("engine", "NAME",
            "solver engine: decomposed, ilp or refined (default refined)")
+      .add("solution-cache", "0|1",
+           "probe/fill the solver solution cache around batch dispatch "
+           "(responses stay byte-identical either way; default 0)")
       .add("fleet-seed", "N", "manufacturing distribution seed")
       .add("response-log", "PATH", "write responses to PATH instead of stdout")
       .add("report", "json", "write a schema-checked perf report on exit")
@@ -128,6 +131,7 @@ int main(int argc, char** argv) {
   options.cache_capacity =
       static_cast<std::size_t>(flags.get_int("cache-capacity", 4096));
   options.cache_shards = static_cast<std::size_t>(flags.get_int("cache-shards", 8));
+  options.solution_cache = flags.get_bool("solution-cache", false);
   const std::string engine_name = flags.get("engine", "refined");
   if (!serve::parse_engine_token(engine_name, options.engine)) {
     std::cerr << "corelocated: unknown --engine '" << engine_name

@@ -42,7 +42,11 @@ int main(int argc, char** argv) {
       .add("jobs", "N", "worker threads (1 = serial reference)")
       .add("checkpoint", "DIR", "persist completed instances under DIR")
       .add("resume", "", "skip instances already in the checkpoint")
-      .add("progress", "", "emit instances/sec + ETA lines on stderr");
+      .add("progress", "", "emit instances/sec + ETA lines on stderr")
+      .add("solution-cache", "0|1",
+           "share a cross-instance solver solution cache (per-worker "
+           "copies, merged at aggregation; results stay jobs-N == jobs-1 "
+           "identical; default 0)");
   const util::CliFlags flags(argc, argv);
   if (flags.handle_help(spec, std::cout)) return 0;
   const sim::XeonModel model = parse_model(flags.get("model", "8259CL"));
@@ -55,6 +59,10 @@ int main(int argc, char** argv) {
   options.checkpoint_dir = flags.get("checkpoint", "");
   options.resume = flags.get_bool("resume");
   options.progress = flags.get_bool("progress");
+  ilp::SolutionCache solution_cache;
+  if (flags.get_bool("solution-cache", false)) {
+    options.solution_cache = &solution_cache;
+  }
   if (options.progress && util::log_level() > util::LogLevel::kInfo) {
     util::set_log_level(util::LogLevel::kInfo);
   }
@@ -80,7 +88,11 @@ int main(int argc, char** argv) {
             << "survey wall clock:        " << std::fixed << std::setprecision(2)
             << survey.wall_seconds << " s ("
             << survey.timing.instances_per_second << " inst/s, jobs=" << options.jobs
-            << ")\n\n";
+            << ")\n";
+  if (options.solution_cache != nullptr) {
+    std::cout << "solution cache entries:   " << solution_cache.size() << "\n";
+  }
+  std::cout << "\n";
 
   util::TablePrinter table({"rank", "instances", "share"});
   int rank = 1;

@@ -1,11 +1,12 @@
 #include "core/decomposed_map_solver.hpp"
 
 #include <algorithm>
-#include <map>
+#include <limits>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <tuple>
+#include <unordered_map>
 
 #include "obs/trace.hpp"
 
@@ -26,22 +27,53 @@ class DifferenceSystem {
 
   /// Returns false on a positive cycle or if any value would exceed
   /// `max_value`.
+  ///
+  /// Worklist relaxation instead of whole-edge-set Bellman-Ford passes:
+  /// values are integers that only rise, each relaxation raises one by at
+  /// least 1, and everything is capped at `max_value` — so a node
+  /// re-enters the list at most max_value+1 times and a positive cycle
+  /// necessarily winds some value past the cap. The fixpoint is the
+  /// unique elementwise-minimal solution either way, so results are
+  /// identical to the pass-based version.
   bool solve(int max_value) {
     std::fill(values_.begin(), values_.end(), 0);
     const int n = static_cast<int>(values_.size());
-    for (int pass = 0; pass <= n; ++pass) {
-      bool changed = false;
+    // CSR adjacency so each node's out-edges are scanned contiguously.
+    std::vector<int> offsets(static_cast<std::size_t>(n) + 1, 0);
+    for (const Edge& e : edges_) ++offsets[static_cast<std::size_t>(e.from) + 1];
+    for (int i = 0; i < n; ++i) {
+      offsets[static_cast<std::size_t>(i) + 1] += offsets[static_cast<std::size_t>(i)];
+    }
+    std::vector<Edge> sorted(edges_.size());
+    {
+      std::vector<int> cursor = offsets;
       for (const Edge& e : edges_) {
+        sorted[static_cast<std::size_t>(cursor[static_cast<std::size_t>(e.from)]++)] = e;
+      }
+    }
+    std::vector<char> queued(static_cast<std::size_t>(n), 1);
+    std::vector<int> work;
+    work.reserve(static_cast<std::size_t>(n) * 2);
+    for (int i = 0; i < n; ++i) work.push_back(i);
+    while (!work.empty()) {
+      const int node = work.back();
+      work.pop_back();
+      queued[static_cast<std::size_t>(node)] = 0;
+      for (int k = offsets[static_cast<std::size_t>(node)];
+           k < offsets[static_cast<std::size_t>(node) + 1]; ++k) {
+        const Edge& e = sorted[static_cast<std::size_t>(k)];
         const int candidate = values_[static_cast<std::size_t>(e.from)] + e.weight;
         if (candidate > values_[static_cast<std::size_t>(e.to)]) {
+          if (candidate > max_value) return false;
           values_[static_cast<std::size_t>(e.to)] = candidate;
-          if (values_[static_cast<std::size_t>(e.to)] > max_value) return false;
-          changed = true;
+          if (!queued[static_cast<std::size_t>(e.to)]) {
+            queued[static_cast<std::size_t>(e.to)] = 1;
+            work.push_back(e.to);
+          }
         }
       }
-      if (!changed) return true;
     }
-    return false;  // still changing after |V| passes: positive cycle
+    return true;
   }
 
   int value(int variable) const { return values_[static_cast<std::size_t>(variable)]; }
@@ -90,9 +122,12 @@ struct DirEdge {
   friend bool operator==(const DirEdge&, const DirEdge&) = default;
 };
 
-/// One horizontal path's direction choice: the east bundle, or its mirror.
+/// One horizontal path's direction choice: the east bundle and its
+/// precomputed mirror (the DFS probes both at every node — recomputing
+/// the mirror there used to allocate and sort per probe).
 struct DirectionGroup {
-  std::vector<DirEdge> east;  // west is the exact mirror (edges reversed)
+  std::vector<DirEdge> east;
+  std::vector<DirEdge> west;  // exact mirror of east (edges reversed)
   int multiplicity = 0;       // how many paths share this bundle
 };
 
@@ -107,117 +142,144 @@ std::vector<DirEdge> mirrored(const std::vector<DirEdge>& east) {
 /// Incremental longest-path state over committed edges. Values are
 /// bounded by `max_value`, so each node can rise at most max_value times
 /// in total — tests and commits are near-constant-time.
+///
+/// test() relaxes into a reusable scratch vector instead of returning a
+/// fresh one, and walks the candidate edges in place (they arrive sorted
+/// by `from`, so a node's extra out-edges are one lower_bound away) — the
+/// steady-state probe allocates nothing. commit_scratch()/undo() give the
+/// search an undo trail so backtracking no longer deep-copies the whole
+/// adjacency structure per child.
 class IncrementalDiff {
  public:
   IncrementalDiff(int variables, int max_value)
-      : n_(variables),
-        max_value_(max_value),
+      : max_value_(max_value),
         adj_(static_cast<std::size_t>(variables)),
-        dist_(static_cast<std::size_t>(variables), 0) {}
+        dist_(static_cast<std::size_t>(variables), 0),
+        scratch_(static_cast<std::size_t>(variables), 0) {}
 
-  /// Tries `extra` on top of the committed set. Returns the relaxed
-  /// distance vector when feasible, nullopt otherwise. Does not mutate
-  /// committed state.
-  std::optional<std::vector<int>> test(const std::vector<DirEdge>& extra) const {
-    std::vector<int> dist = dist_;
-    // Temporary adjacency for the extra edges.
-    std::vector<std::vector<DirEdge>> extra_adj(static_cast<std::size_t>(n_));
-    std::vector<int> work;
-    work.reserve(extra.size());
+  /// Tries `extra` (sorted by DirEdge order, hence by `from`) on top of
+  /// the committed set. On success the relaxed distances are left in the
+  /// scratch vector for an immediate commit_scratch(); committed state is
+  /// never mutated. Each call overwrites the previous scratch.
+  bool test(const std::vector<DirEdge>& extra) const {
+    scratch_ = dist_;
+    work_.clear();
+    work_.reserve(scratch_.size() + extra.size());
     for (const DirEdge& e : extra) {
-      extra_adj[static_cast<std::size_t>(e.from)].push_back(e);
-      if (relax(dist, e)) {
-        if (dist[static_cast<std::size_t>(e.to)] > max_value_) return std::nullopt;
-        work.push_back(e.to);
+      if (relax(e)) {
+        if (scratch_[static_cast<std::size_t>(e.to)] > max_value_) return false;
+        work_.push_back(e.to);
       }
     }
-    while (!work.empty()) {
-      const int node = work.back();
-      work.pop_back();
-      auto push_out = [&](const DirEdge& e) {
-        if (relax(dist, e)) {
-          if (dist[static_cast<std::size_t>(e.to)] > max_value_) return false;
-          work.push_back(e.to);
-        }
-        return true;
-      };
+    while (!work_.empty()) {
+      const int node = work_.back();
+      work_.pop_back();
       for (const DirEdge& e : adj_[static_cast<std::size_t>(node)]) {
-        if (!push_out(e)) return std::nullopt;
+        if (relax(e)) {
+          if (scratch_[static_cast<std::size_t>(e.to)] > max_value_) return false;
+          work_.push_back(e.to);
+        }
       }
-      for (const DirEdge& e : extra_adj[static_cast<std::size_t>(node)]) {
-        if (!push_out(e)) return std::nullopt;
+      auto it = std::lower_bound(
+          extra.begin(), extra.end(), node,
+          [](const DirEdge& e, int from) { return e.from < from; });
+      for (; it != extra.end() && it->from == node; ++it) {
+        if (relax(*it)) {
+          if (scratch_[static_cast<std::size_t>(it->to)] > max_value_) return false;
+          work_.push_back(it->to);
+        }
       }
     }
-    return dist;
+    return true;
   }
 
-  /// Commits edges known (via test) to be feasible.
-  void commit(const std::vector<DirEdge>& edges, std::vector<int> relaxed_dist) {
+  /// Commits the edges a successful test() just proved feasible (no other
+  /// test may intervene — it would clobber the scratch distances).
+  /// Returns the previous distance vector for undo().
+  std::vector<int> commit_scratch(const std::vector<DirEdge>& edges) {
     for (const DirEdge& e : edges) adj_[static_cast<std::size_t>(e.from)].push_back(e);
-    dist_ = std::move(relaxed_dist);
+    std::vector<int> prev(dist_);
+    dist_.swap(scratch_);
+    return prev;
+  }
+
+  /// Reverts one commit_scratch(): `edges` must be the exact vector that
+  /// was committed (its edges are popped off the adjacency lists) and
+  /// `prev_dist` the vector that commit returned.
+  void undo(const std::vector<DirEdge>& edges, std::vector<int>&& prev_dist) {
+    for (auto it = edges.rbegin(); it != edges.rend(); ++it) {
+      adj_[static_cast<std::size_t>(it->from)].pop_back();
+    }
+    dist_ = std::move(prev_dist);
   }
 
   const std::vector<int>& dist() const noexcept { return dist_; }
 
  private:
-  static bool relax(std::vector<int>& dist, const DirEdge& e) {
-    const int candidate = dist[static_cast<std::size_t>(e.from)] + e.weight;
-    if (candidate > dist[static_cast<std::size_t>(e.to)]) {
-      dist[static_cast<std::size_t>(e.to)] = candidate;
+  bool relax(const DirEdge& e) const {
+    const int candidate = scratch_[static_cast<std::size_t>(e.from)] + e.weight;
+    if (candidate > scratch_[static_cast<std::size_t>(e.to)]) {
+      scratch_[static_cast<std::size_t>(e.to)] = candidate;
       return true;
     }
     return false;
   }
 
-  int n_;
   int max_value_;
   std::vector<std::vector<DirEdge>> adj_;
   std::vector<int> dist_;
+  mutable std::vector<int> scratch_;  // test()'s relaxation target
+  mutable std::vector<int> work_;     // test()'s worklist
 };
 
-/// DFS with unit propagation over per-group direction choices.
+/// DFS with unit propagation over per-group direction choices. One shared
+/// IncrementalDiff, mutated along the current branch and unwound via an
+/// undo trail on backtrack.
 class DirectionSearch {
  public:
-  DirectionSearch(const std::vector<DirectionGroup>& groups, int cha_count, int max_col,
+  DirectionSearch(std::vector<DirectionGroup>& groups, int cha_count, int max_col,
                   std::int64_t max_nodes, std::vector<DirEdge> base_edges = {})
       : groups_(groups),
         cha_count_(cha_count),
         max_col_(max_col),
         max_nodes_(max_nodes),
-        base_edges_(std::move(base_edges)) {}
+        base_edges_(std::move(base_edges)) {
+    for (DirectionGroup& group : groups_) group.west = mirrored(group.east);
+    // test() scans candidate edges by sorted `from`.
+    std::sort(base_edges_.begin(), base_edges_.end());
+  }
 
   /// Returns the final per-CHA-class column values, or nullopt.
   std::optional<std::vector<int>> run(std::int64_t& nodes_out) {
     nodes_ = 0;
-    std::vector<int> assignment(groups_.size(), 0);
+    assignment_.assign(groups_.size(), 0);
     IncrementalDiff state(cha_count_, max_col_);
     if (!base_edges_.empty()) {
-      auto relaxed = state.test(base_edges_);
-      if (!relaxed.has_value()) {
+      if (!state.test(base_edges_)) {
         nodes_out = 0;
         return std::nullopt;  // the injected cuts alone are infeasible
       }
-      state.commit(base_edges_, std::move(*relaxed));
+      state.commit_scratch(base_edges_);
     }
     std::optional<std::vector<int>> result;
     if (groups_.empty()) {
       result = state.dist();
     } else {
       // Break the global mirror symmetry: group 0 eastbound.
-      if (auto relaxed = state.test(groups_[0].east); relaxed.has_value()) {
-        IncrementalDiff seeded = state;
-        seeded.commit(groups_[0].east, std::move(*relaxed));
-        assignment[0] = 1;
-        result = dfs(seeded, assignment);
+      if (state.test(groups_[0].east)) {
+        std::vector<int> prev = state.commit_scratch(groups_[0].east);
+        assignment_[0] = 1;
+        result = dfs(state);
+        assignment_[0] = 0;
+        state.undo(groups_[0].east, std::move(prev));
       }
       if (!result.has_value() && nodes_ <= max_nodes_) {
         // Fallback (kept for robustness; mirror symmetry should make the
         // eastbound seeding sufficient).
-        std::fill(assignment.begin(), assignment.end(), 0);
-        if (auto relaxed = state.test(mirrored(groups_[0].east)); relaxed.has_value()) {
-          state.commit(mirrored(groups_[0].east), std::move(*relaxed));
-          assignment[0] = 2;
-          result = dfs(state, assignment);
+        if (state.test(groups_[0].west)) {
+          state.commit_scratch(groups_[0].west);
+          assignment_[0] = 2;
+          result = dfs(state);
         }
       }
     }
@@ -228,63 +290,82 @@ class DirectionSearch {
   bool budget_exceeded() const noexcept { return nodes_ > max_nodes_; }
 
  private:
-  /// Each branch mutates its own copies of the diff system and assignment,
-  /// so by-value parameters ARE the backtracking state — not stray copies.
-  // corelint: disable(perf-copy-in-hot-path)
-  std::optional<std::vector<int>> dfs(IncrementalDiff state, std::vector<int> assignment) {
+  /// One propagation/branch commit this DFS node must revert on exit.
+  struct TrailEntry {
+    std::size_t group;
+    const std::vector<DirEdge>* edges;
+    std::vector<int> prev_dist;
+  };
+
+  std::optional<std::vector<int>> dfs(IncrementalDiff& state) {
     if (++nodes_ > max_nodes_) return std::nullopt;
+    std::vector<TrailEntry> trail;
+    trail.reserve(groups_.size());
+    const auto unwind = [&]() {
+      for (auto it = trail.rbegin(); it != trail.rend(); ++it) {
+        assignment_[it->group] = 0;
+        state.undo(*it->edges, std::move(it->prev_dist));
+      }
+    };
     // Unit propagation to fixpoint: commit every forced group.
     bool changed = true;
     while (changed) {
       changed = false;
       for (std::size_t g = 0; g < groups_.size(); ++g) {
-        if (assignment[g] != 0) continue;
-        auto east = state.test(groups_[g].east);
-        auto west = state.test(mirrored(groups_[g].east));
-        if (!east.has_value() && !west.has_value()) return std::nullopt;
-        if (east.has_value() != west.has_value()) {
-          if (east.has_value()) {
-            state.commit(groups_[g].east, std::move(*east));
-            assignment[g] = 1;
-          } else {
-            state.commit(mirrored(groups_[g].east), std::move(*west));
-            assignment[g] = 2;
+        if (assignment_[g] != 0) continue;
+        if (!state.test(groups_[g].east)) {
+          if (!state.test(groups_[g].west)) {
+            unwind();
+            return std::nullopt;
           }
+          trail.push_back({g, &groups_[g].west, state.commit_scratch(groups_[g].west)});
+          assignment_[g] = 2;
+          changed = true;
+        } else if (!state.test(groups_[g].west)) {
+          // The west probe clobbered east's scratch distances; recompute.
+          state.test(groups_[g].east);
+          trail.push_back({g, &groups_[g].east, state.commit_scratch(groups_[g].east)});
+          assignment_[g] = 1;
           changed = true;
         }
       }
     }
     std::size_t undecided = groups_.size();
     for (std::size_t g = 0; g < groups_.size(); ++g) {
-      if (assignment[g] == 0) {
+      if (assignment_[g] == 0) {
         undecided = g;
         break;
       }
     }
-    if (undecided == groups_.size()) return state.dist();
-    for (int dir : {1, 2}) {
-      const std::vector<DirEdge> edges =
-          (dir == 1) ? groups_[undecided].east : mirrored(groups_[undecided].east);
-      auto relaxed = state.test(edges);
-      if (!relaxed.has_value()) continue;
-      IncrementalDiff child = state;
-      child.commit(edges, std::move(*relaxed));
-      std::vector<int> child_assign = assignment;
-      child_assign[undecided] = dir;
-      if (auto solved = dfs(std::move(child), std::move(child_assign));
-          solved.has_value()) {
-        return solved;
-      }
-      if (nodes_ > max_nodes_) return std::nullopt;
+    if (undecided == groups_.size()) {
+      std::optional<std::vector<int>> solved(state.dist());
+      unwind();
+      return solved;
     }
+    for (int dir : {1, 2}) {
+      const std::vector<DirEdge>& edges =
+          (dir == 1) ? groups_[undecided].east : groups_[undecided].west;
+      if (!state.test(edges)) continue;
+      std::vector<int> prev = state.commit_scratch(edges);
+      assignment_[undecided] = dir;
+      std::optional<std::vector<int>> solved = dfs(state);
+      assignment_[undecided] = 0;
+      state.undo(edges, std::move(prev));
+      if (solved.has_value() || nodes_ > max_nodes_) {
+        unwind();
+        return solved.has_value() ? solved : std::nullopt;
+      }
+    }
+    unwind();
     return std::nullopt;
   }
 
-  const std::vector<DirectionGroup>& groups_;
+  std::vector<DirectionGroup>& groups_;
   int cha_count_;
   int max_col_;
   std::int64_t max_nodes_;
   std::vector<DirEdge> base_edges_;
+  std::vector<int> assignment_;  // 0 undecided, 1 east, 2 west
   std::int64_t nodes_ = 0;
 };
 
@@ -297,6 +378,45 @@ DecomposedMapSolver::DecomposedMapSolver(DecomposedSolverOptions options)
   }
 }
 
+std::uint64_t DecomposedMapSolver::cache_key(const ObservationSet& observations,
+                                             int cha_count) const {
+  ilp::SignatureBuilder builder(0xD3C0A11EB5F17A02ULL);
+  builder.add(observation_signature(observations))
+      .add_int(cha_count)
+      .add_int(options_.grid_rows)
+      .add_int(options_.grid_cols)
+      .add(static_cast<std::uint64_t>(options_.max_nodes))
+      .add_int(options_.validate_model ? 1 : 0);
+  builder.add(options_.extra_row_edges.size());
+  for (const ExtraEdge& edge : options_.extra_row_edges) {
+    builder.add_int(edge.from_cha).add_int(edge.to_cha).add_int(edge.weight);
+  }
+  builder.add(options_.extra_col_edges.size());
+  for (const ExtraEdge& edge : options_.extra_col_edges) {
+    builder.add_int(edge.from_cha).add_int(edge.to_cha).add_int(edge.weight);
+  }
+  return builder.digest();
+}
+
+bool DecomposedMapSolver::probe_cache(const ObservationSet& observations,
+                                      int cha_count, MapSolveResult& out) const {
+  if (options_.solution_cache == nullptr) return false;
+  const ilp::CachedSolution* hit =
+      options_.solution_cache->find(cache_key(observations, cha_count));
+  if (hit == nullptr) return false;
+  out = replay_cached_solution(*hit);
+  return true;
+}
+
+void DecomposedMapSolver::store_cache(const ObservationSet& observations,
+                                      int cha_count,
+                                      const MapSolveResult& result) const {
+  if (options_.solution_cache == nullptr) return;
+  // Sketch stays zero: this engine has no warm start that would read it.
+  options_.solution_cache->insert(cache_key(observations, cha_count),
+                                  ilp::SimhashSketch{}, to_cached_solution(result));
+}
+
 MapSolveResult DecomposedMapSolver::solve(const ObservationSet& observations,
                                           int cha_count) const {
   obs::Span span("decomposed_solve", "core");
@@ -306,6 +426,17 @@ MapSolveResult DecomposedMapSolver::solve(const ObservationSet& observations,
     result.message = "invalid observations: " + err;
     return result;
   }
+
+  if (probe_cache(observations, cha_count, result)) {
+    span.arg("cache", obs::Json("hit"));
+    return result;
+  }
+  // Every outcome past this point (including failures) replays byte for
+  // byte on a future hit, so cache it wholesale.
+  const auto cache_result = [&](MapSolveResult&& r) {
+    store_cache(observations, cha_count, r);
+    return std::move(r);
+  };
 
   // ---- Rows: pure difference constraints -----------------------------------
   std::size_t activation_count = 0;
@@ -336,9 +467,31 @@ MapSolveResult DecomposedMapSolver::solve(const ObservationSet& observations,
   }
   row_edges.insert(row_edges.end(), options_.extra_row_edges.begin(),
                    options_.extra_row_edges.end());
-  DifferenceSystem rows(cha_count);
+  // Paths sharing activations emit the same edges many times over, and a
+  // (from, to) pair is dominated by its largest weight. Feed the fixpoint
+  // only the maximal edge per pair — same unique least solution, a
+  // fraction of the relaxation work. A flat max table does the dedup in
+  // one pass; sorting the edge list here used to dominate the whole
+  // solve. (The validator below still sees the raw edge list; dedup
+  // cannot change feasibility.)
+  constexpr int kNoEdge = std::numeric_limits<int>::min();
+  std::vector<int> best_weight(
+      static_cast<std::size_t>(cha_count) * static_cast<std::size_t>(cha_count),
+      kNoEdge);
   for (const ExtraEdge& edge : row_edges) {
-    rows.add_edge(edge.from_cha, edge.to_cha, edge.weight);
+    int& cell = best_weight[static_cast<std::size_t>(edge.from_cha) *
+                                static_cast<std::size_t>(cha_count) +
+                            static_cast<std::size_t>(edge.to_cha)];
+    if (edge.weight > cell) cell = edge.weight;
+  }
+  DifferenceSystem rows(cha_count);
+  for (int from = 0; from < cha_count; ++from) {
+    for (int to = 0; to < cha_count; ++to) {
+      const int weight = best_weight[static_cast<std::size_t>(from) *
+                                         static_cast<std::size_t>(cha_count) +
+                                     static_cast<std::size_t>(to)];
+      if (weight != kNoEdge) rows.add_edge(from, to, weight);
+    }
   }
   const bool rows_feasible = rows.solve(options_.grid_rows - 1);
 
@@ -378,7 +531,7 @@ MapSolveResult DecomposedMapSolver::solve(const ObservationSet& observations,
 
   if (!rows_feasible) {
     result.message = "row constraints inconsistent (positive cycle or overflow)";
-    return result;
+    return cache_result(std::move(result));
   }
 
   // ---- Columns: classes + direction search ---------------------------------
@@ -391,13 +544,31 @@ MapSolveResult DecomposedMapSolver::solve(const ObservationSet& observations,
   auto cls = [&classes](int cha) { return classes.find(cha); };
 
   // One direction group per distinct horizontal bundle (paths that induce
-  // identical constraints share one decision).
-  std::map<std::vector<DirEdge>, std::size_t> group_index;
+  // identical constraints share one decision). Hash-consed: buckets key
+  // on a hash of the sorted bundle and hold indices into `groups`, so a
+  // repeat bundle costs one hash plus one vector compare instead of the
+  // lexicographic tree walk a map keyed on the vectors used to do.
+  // Group order stays first-encounter, so results are unchanged.
+  const auto hash_edges = [](const std::vector<DirEdge>& edges) {
+    std::uint64_t h = 1469598103934665603ULL;  // FNV-1a over the fields
+    for (const DirEdge& e : edges) {
+      h = (h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.from))) *
+          1099511628211ULL;
+      h = (h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.to))) *
+          1099511628211ULL;
+      h = (h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.weight))) *
+          1099511628211ULL;
+    }
+    return h;
+  };
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> group_buckets;
+  group_buckets.reserve(observations.size());
   std::vector<DirectionGroup> groups;
   groups.reserve(observations.size());
+  std::vector<DirEdge> east;
   for (const PathObservation& obs : observations) {
     if (!obs.has_horizontal()) continue;
-    std::vector<DirEdge> east;
+    east.clear();
     east.reserve(1 + 2 * obs.activations.size());
     // Endpoint: C_e >= C_s + 1 (eastbound).
     east.push_back(DirEdge{cls(obs.source_cha), cls(obs.sink_cha), 1});
@@ -408,13 +579,25 @@ MapSolveResult DecomposedMapSolver::solve(const ObservationSet& observations,
     }
     std::sort(east.begin(), east.end());
     east.erase(std::unique(east.begin(), east.end()), east.end());
-    const auto [it, inserted] = group_index.try_emplace(east, groups.size());
-    if (inserted) {
+    std::vector<std::size_t>& bucket = group_buckets[hash_edges(east)];
+    std::size_t found = groups.size();
+    for (const std::size_t index : bucket) {
+      if (groups[index].east == east) {
+        found = index;
+        break;
+      }
+    }
+    if (found == groups.size()) {
+      // A bucket holds one index per distinct bundle sharing a hash —
+      // almost always exactly one; pre-reserving every bucket would cost
+      // more than the rare growth.
+      // corelint: disable(perf-alloc-in-hot-loop)
+      bucket.push_back(found);
       DirectionGroup group;
       group.east = east;
       groups.push_back(std::move(group));
     }
-    ++groups[it->second].multiplicity;
+    ++groups[found].multiplicity;
   }
 
   std::vector<DirEdge> base_edges;
@@ -430,7 +613,7 @@ MapSolveResult DecomposedMapSolver::solve(const ObservationSet& observations,
   if (!columns.has_value()) {
     result.message = search.budget_exceeded() ? "direction search node budget exceeded"
                                               : "column constraints inconsistent";
-    return result;
+    return cache_result(std::move(result));
   }
 
   result.success = true;
@@ -440,7 +623,7 @@ MapSolveResult DecomposedMapSolver::solve(const ObservationSet& observations,
     result.cha_position[static_cast<std::size_t>(cha)] =
         mesh::Coord{rows.value(cha), (*columns)[static_cast<std::size_t>(cls(cha))]};
   }
-  return result;
+  return cache_result(std::move(result));
 }
 
 }  // namespace corelocate::core

@@ -12,34 +12,48 @@ using ilp::Model;
 using ilp::Sense;
 using ilp::Variable;
 
+MapSolveResult replay_cached_solution(const ilp::CachedSolution& hit) {
+  MapSolveResult result;
+  result.success = hit.success;
+  result.message = hit.message;
+  result.nodes = hit.nodes_explored;
+  result.lp_iterations = hit.lp_iterations;
+  result.nodes_pruned = hit.nodes_pruned;
+  result.lp_solves_avoided = hit.lp_solves_avoided;
+  result.cache_hit = true;
+  result.cha_position.reserve(hit.positions.size());
+  for (const auto& [row, col] : hit.positions) {
+    result.cha_position.push_back(mesh::Coord{row, col});
+  }
+  return result;
+}
+
+ilp::CachedSolution to_cached_solution(const MapSolveResult& result) {
+  ilp::CachedSolution cached;
+  cached.success = result.success;
+  cached.message = result.message;
+  cached.nodes_explored = result.nodes;
+  cached.lp_iterations = result.lp_iterations;
+  cached.nodes_pruned = result.nodes_pruned;
+  cached.lp_solves_avoided = result.lp_solves_avoided;
+  cached.positions.reserve(result.cha_position.size());
+  for (const mesh::Coord& pos : result.cha_position) {
+    cached.positions.emplace_back(pos.row, pos.col);
+  }
+  return cached;
+}
+
 IlpMapSolver::IlpMapSolver(IlpMapSolverOptions options) : options_(std::move(options)) {
   if (options_.grid_rows <= 0 || options_.grid_cols <= 0) {
     throw std::invalid_argument("IlpMapSolver: non-positive grid dimensions");
   }
 }
 
-Model IlpMapSolver::build_model(const ObservationSet& observations, int cha_count) const {
-  const int th = options_.grid_rows;
-  const int tw = options_.grid_cols;
-  const double big_m_cols = static_cast<double>(tw);
-
-  Model model;
-  std::vector<Variable> row_var;
-  std::vector<Variable> col_var;
-  row_var.reserve(static_cast<std::size_t>(cha_count));
-  col_var.reserve(static_cast<std::size_t>(cha_count));
-  for (int i = 0; i < cha_count; ++i) {
-    Variable r = model.add_integer(0, th - 1, "R" + std::to_string(i));
-    Variable c = model.add_integer(0, tw - 1, "C" + std::to_string(i));
-    model.set_branch_priority(r, 50);
-    model.set_branch_priority(c, 50);
-    row_var.push_back(r);
-    col_var.push_back(c);
-  }
-
-  // Observation selection: with a cap, greedily pick probes that spread
-  // coverage across CHAs (a plain prefix would constrain only the first
-  // couple of source cores).
+// Observation selection: with a cap, greedily pick probes that spread
+// coverage across CHAs (a plain prefix would constrain only the first
+// couple of source cores).
+std::vector<const PathObservation*> IlpMapSolver::select_observations(
+    const ObservationSet& observations, int cha_count) const {
   std::vector<const PathObservation*> selected;
   selected.reserve(observations.size());
   if (options_.max_observations <= 0 ||
@@ -67,6 +81,30 @@ Model IlpMapSolver::build_model(const ObservationSet& observations, int cha_coun
       ++uses[static_cast<std::size_t>(observations[static_cast<std::size_t>(best)].sink_cha)];
     }
   }
+  return selected;
+}
+
+Model IlpMapSolver::build_model(const ObservationSet& observations, int cha_count) const {
+  const int th = options_.grid_rows;
+  const int tw = options_.grid_cols;
+  const double big_m_cols = static_cast<double>(tw);
+
+  Model model;
+  std::vector<Variable> row_var;
+  std::vector<Variable> col_var;
+  row_var.reserve(static_cast<std::size_t>(cha_count));
+  col_var.reserve(static_cast<std::size_t>(cha_count));
+  for (int i = 0; i < cha_count; ++i) {
+    Variable r = model.add_integer(0, th - 1, "R" + std::to_string(i));
+    Variable c = model.add_integer(0, tw - 1, "C" + std::to_string(i));
+    model.set_branch_priority(r, 50);
+    model.set_branch_priority(c, 50);
+    row_var.push_back(r);
+    col_var.push_back(c);
+  }
+
+  const std::vector<const PathObservation*> selected =
+      select_observations(observations, cha_count);
 
   for (std::size_t p = 0; p < selected.size(); ++p) {
     const PathObservation& obs = *selected[p];
@@ -214,6 +252,77 @@ Model IlpMapSolver::build_model(const ObservationSet& observations, int cha_coun
   return model;
 }
 
+std::uint64_t IlpMapSolver::cache_key(const ObservationSet& observations,
+                                      int cha_count) const {
+  ilp::SignatureBuilder builder(0x11F5A9C3D02B71E4ULL);
+  builder.add(observation_signature(observations))
+      .add_int(cha_count)
+      .add_int(options_.grid_rows)
+      .add_int(options_.grid_cols)
+      .add_int(static_cast<int>(options_.objective))
+      .add_int(options_.disaggregated_indicators ? 1 : 0)
+      .add_int(options_.max_observations)
+      .add_int(options_.validate_model ? 1 : 0)
+      .add_int(options_.milp.max_nodes);
+  // presolve and warm_start are deliberately absent: they never change
+  // the answer, so entries are shared across those modes — the point of
+  // the byte-identity contract.
+  return builder.digest();
+}
+
+std::vector<double> IlpMapSolver::warm_assignment(
+    const std::vector<std::pair<int, int>>& positions,
+    const ObservationSet& observations, int cha_count) const {
+  const int th = options_.grid_rows;
+  const int tw = options_.grid_cols;
+  if (positions.size() != static_cast<std::size_t>(cha_count)) return {};
+  for (const auto& [row, col] : positions) {
+    if (row < 0 || row >= th || col < 0 || col >= tw) return {};
+  }
+
+  // Mirror build_model's variable order exactly: R_i/C_i pairs, then
+  // NE/NW per selected horizontal path, then (paper objective only)
+  // OHR/OHC blocks per CHA and the RI/CI indicators.
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(2 * cha_count));
+  for (int i = 0; i < cha_count; ++i) {
+    values.push_back(static_cast<double>(positions[static_cast<std::size_t>(i)].first));
+    values.push_back(static_cast<double>(positions[static_cast<std::size_t>(i)].second));
+  }
+  for (const PathObservation* obs : select_observations(observations, cha_count)) {
+    if (!obs->has_horizontal()) continue;
+    const int cs = positions[static_cast<std::size_t>(obs->source_cha)].second;
+    const int ce = positions[static_cast<std::size_t>(obs->sink_cha)].second;
+    // Eastbound (cs < ce) voids the westbound rows via NW=1 and vice
+    // versa. cs == ce is infeasible for a horizontal path; emit either
+    // setting and let the feasibility check reject the whole warm start.
+    const bool eastbound = cs < ce;
+    values.push_back(eastbound ? 0.0 : 1.0);  // NE
+    values.push_back(eastbound ? 1.0 : 0.0);  // NW
+  }
+  if (options_.objective == IlpObjective::kPaperIndicators) {
+    for (int i = 0; i < cha_count; ++i) {
+      for (int r = 0; r < th; ++r) {
+        values.push_back(positions[static_cast<std::size_t>(i)].first == r ? 1.0 : 0.0);
+      }
+      for (int c = 0; c < tw; ++c) {
+        values.push_back(positions[static_cast<std::size_t>(i)].second == c ? 1.0 : 0.0);
+      }
+    }
+    for (int r = 0; r < th; ++r) {
+      bool occupied = false;
+      for (const auto& [row, col] : positions) occupied = occupied || row == r;
+      values.push_back(occupied ? 1.0 : 0.0);
+    }
+    for (int c = 0; c < tw; ++c) {
+      bool occupied = false;
+      for (const auto& [row, col] : positions) occupied = occupied || col == c;
+      values.push_back(occupied ? 1.0 : 0.0);
+    }
+  }
+  return values;
+}
+
 MapSolveResult IlpMapSolver::solve(const ObservationSet& observations,
                                    int cha_count) const {
   obs::Span span("ilp_map_solve", "core");
@@ -223,6 +332,12 @@ MapSolveResult IlpMapSolver::solve(const ObservationSet& observations,
     result.message = "invalid observations: " + err;
     return result;
   }
+
+  if (probe_cache(observations, cha_count, result)) {
+    span.arg("cache", obs::Json("hit"));
+    return result;
+  }
+
   obs::Span build_span("build_model", "core");
   const Model model = build_model(observations, cha_count);
   build_span.arg("variables", obs::Json(model.variable_count()));
@@ -237,29 +352,64 @@ MapSolveResult IlpMapSolver::solve(const ObservationSet& observations,
       return result;
     }
   }
-  const ilp::MilpSolution solution = ilp::solve_milp(model, options_.milp);
+
+  ilp::MilpOptions milp = options_.milp;
+  if (options_.warm_start && options_.solution_cache != nullptr &&
+      !options_.solution_cache->empty()) {
+    const ilp::SolutionCache::Entry* neighbor =
+        options_.solution_cache->nearest(observation_sketch(observations));
+    if (neighbor != nullptr && neighbor->solution.success) {
+      milp.warm_start =
+          warm_assignment(neighbor->solution.positions, observations, cha_count);
+    }
+  }
+
+  const ilp::MilpSolution solution = ilp::solve_milp(model, milp);
   result.nodes = solution.nodes_explored;
   result.lp_iterations = solution.lp_iterations;
+  result.nodes_pruned = solution.nodes_pruned;
+  result.lp_solves_avoided = solution.lp_solves_avoided;
   if (solution.status != ilp::MilpStatus::kOptimal &&
       solution.status != ilp::MilpStatus::kNodeLimit) {
     result.message = std::string("MILP ") + ilp::to_string(solution.status);
-    return result;
-  }
-  if (solution.values.empty()) {
+  } else if (solution.values.empty()) {
     result.message = "MILP returned no assignment";
-    return result;
+  } else {
+    result.success = true;
+    result.message = ilp::to_string(solution.status);
+    result.cha_position.resize(static_cast<std::size_t>(cha_count));
+    for (int i = 0; i < cha_count; ++i) {
+      // R_i and C_i are the first two variables per CHA, in order.
+      const double r = solution.values[static_cast<std::size_t>(2 * i)];
+      const double c = solution.values[static_cast<std::size_t>(2 * i + 1)];
+      result.cha_position[static_cast<std::size_t>(i)] =
+          mesh::Coord{static_cast<int>(std::lround(r)), static_cast<int>(std::lround(c))};
+    }
   }
-  result.success = true;
-  result.message = ilp::to_string(solution.status);
-  result.cha_position.resize(static_cast<std::size_t>(cha_count));
-  for (int i = 0; i < cha_count; ++i) {
-    // R_i and C_i are the first two variables per CHA, in order.
-    const double r = solution.values[static_cast<std::size_t>(2 * i)];
-    const double c = solution.values[static_cast<std::size_t>(2 * i + 1)];
-    result.cha_position[static_cast<std::size_t>(i)] =
-        mesh::Coord{static_cast<int>(std::lround(r)), static_cast<int>(std::lround(c))};
-  }
+
+  store_cache(observations, cha_count, result);
   return result;
+}
+
+bool IlpMapSolver::probe_cache(const ObservationSet& observations, int cha_count,
+                               MapSolveResult& out) const {
+  if (options_.solution_cache == nullptr) return false;
+  const ilp::CachedSolution* hit =
+      options_.solution_cache->find(cache_key(observations, cha_count));
+  if (hit == nullptr) return false;
+  out = replay_cached_solution(*hit);
+  return true;
+}
+
+void IlpMapSolver::store_cache(const ObservationSet& observations, int cha_count,
+                               const MapSolveResult& result) const {
+  if (options_.solution_cache == nullptr) return;
+  // The sketch is only consulted by warm-start lookups; skip the
+  // O(observations) vote pass when nobody will read it.
+  const ilp::SimhashSketch sketch =
+      options_.warm_start ? observation_sketch(observations) : ilp::SimhashSketch{};
+  options_.solution_cache->insert(cache_key(observations, cha_count), sketch,
+                                  to_cached_solution(result));
 }
 
 }  // namespace corelocate::core

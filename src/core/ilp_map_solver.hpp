@@ -24,6 +24,7 @@
 #include "core/observation.hpp"
 #include "ilp/branch_and_bound.hpp"
 #include "ilp/model_check.hpp"
+#include "ilp/solution_cache.hpp"
 #include "mesh/grid.hpp"
 
 namespace corelocate::core {
@@ -39,7 +40,25 @@ struct MapSolveResult {
   std::vector<mesh::Coord> cha_position;  ///< by CHA id, when success
   std::int64_t nodes = 0;
   std::int64_t lp_iterations = 0;
+  /// Search-size diagnostics from branch & bound (zero for engines that
+  /// never enter it). A solution-cache hit replays the cold solve's
+  /// values, so the whole struct is byte-identical either way.
+  std::int64_t nodes_pruned = 0;
+  std::int64_t lp_solves_avoided = 0;
+  /// True when the result came out of the solution cache without a
+  /// solve. Observability only — never recorded into survey data, where
+  /// it would depend on work partitioning.
+  bool cache_hit = false;
 };
+
+/// Lifts a cached solve back into solver-result terms (`cache_hit` set).
+/// The inverse of `to_cached_solution`; both engines share it so a hit
+/// replays a cold solve byte for byte.
+MapSolveResult replay_cached_solution(const ilp::CachedSolution& hit);
+
+/// Flattens a finished solve for storage (positions become (row, col)
+/// pairs; the `cache_hit` flag is not stored — replays recreate it).
+ilp::CachedSolution to_cached_solution(const MapSolveResult& result);
 
 struct IlpMapSolverOptions {
   int grid_rows = 5;  ///< T_h
@@ -58,6 +77,15 @@ struct IlpMapSolverOptions {
   /// Defaults on in debug builds, off under NDEBUG.
   bool validate_model = ilp::kValidateModelsByDefault;
   ilp::MilpOptions milp;
+  /// Optional cross-instance solution cache, keyed on the canonical
+  /// observation signature plus every option that changes the answer.
+  /// Hits replay the cold solve byte for byte. Not owned; the cache is
+  /// not thread-safe — share it only across serial solves.
+  ilp::SolutionCache* solution_cache = nullptr;
+  /// On a cache miss, seed branch & bound with the Hamming-nearest
+  /// cached solution as a pruning bound (ilp::MilpOptions::warm_start
+  /// semantics: the returned map is identical to a cold solve).
+  bool warm_start = false;
 };
 
 class IlpMapSolver {
@@ -69,7 +97,31 @@ class IlpMapSolver {
   /// Builds the MILP without solving (exposed for tests / size reporting).
   ilp::Model build_model(const ObservationSet& observations, int cha_count) const;
 
+  /// Serial-phase cache primitives for callers whose parallel solves must
+  /// run cache-free (serve's batcher probes groups before dispatch and
+  /// fills after the join, both serial). `probe_cache` is exactly the
+  /// exact-hit replay `solve` performs on entry — true and a filled
+  /// `out` on a hit, false on a miss or with no cache attached.
+  /// `store_cache` is exactly the insert `solve` performs on exit.
+  bool probe_cache(const ObservationSet& observations, int cha_count,
+                   MapSolveResult& out) const;
+  void store_cache(const ObservationSet& observations, int cha_count,
+                   const MapSolveResult& result) const;
+
  private:
+  /// Observation subset the model is built from (max_observations cap).
+  std::vector<const PathObservation*> select_observations(
+      const ObservationSet& observations, int cha_count) const;
+  /// Solution-cache key: observation signature + every option that can
+  /// change the solve's outcome.
+  std::uint64_t cache_key(const ObservationSet& observations, int cha_count) const;
+  /// Lifts cached (row, col) positions into a full model assignment
+  /// (direction binaries, one-hots, indicators) for warm starting.
+  /// Empty when the positions cannot fit this model's shape.
+  std::vector<double> warm_assignment(
+      const std::vector<std::pair<int, int>>& positions,
+      const ObservationSet& observations, int cha_count) const;
+
   IlpMapSolverOptions options_;
 };
 

@@ -134,6 +134,45 @@ ConsistencyReport check_consistency(const std::vector<mesh::Coord>& positions,
   return score(straight) <= score(flipped) ? straight : flipped;
 }
 
+namespace {
+
+/// One digest per observation, the shared input of both the exact
+/// signature and the simhash sketch. The salts and field order are
+/// load-bearing: serve's fingerprint layer historically produced these
+/// exact values, and stored cache keys must keep matching.
+std::vector<std::uint64_t> observation_digests(const ObservationSet& observations) {
+  std::vector<std::uint64_t> digests;
+  digests.reserve(observations.size());
+  for (const PathObservation& observation : observations) {
+    ilp::SignatureBuilder builder(0x0B5E12D1ULL);
+    builder.add_int(observation.source_cha).add_int(observation.sink_cha);
+    // Activation order is a readout artifact: sort a copy of the
+    // (cha, label, cycles) triples before hashing.
+    std::vector<std::uint64_t> activation_digests;
+    activation_digests.reserve(observation.activations.size());
+    for (const ChannelActivation& activation : observation.activations) {
+      ilp::SignatureBuilder act(0xAC7117A7ULL);
+      act.add_int(activation.cha)
+          .add(static_cast<std::uint64_t>(activation.label))
+          .add(activation.cycles);
+      activation_digests.push_back(act.digest());
+    }
+    builder.add(ilp::combine_unordered(std::move(activation_digests)));
+    digests.push_back(builder.digest());
+  }
+  return digests;
+}
+
+}  // namespace
+
+std::uint64_t observation_signature(const ObservationSet& observations) {
+  return ilp::combine_unordered(observation_digests(observations));
+}
+
+ilp::SimhashSketch observation_sketch(const ObservationSet& observations) {
+  return ilp::combine_simhash(observation_digests(observations));
+}
+
 ObservationSet synthesize_observations(const sim::InstanceConfig& config,
                                        std::uint64_t cycles_per_activation) {
   ObservationSet observations;

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "ilp/signature.hpp"
 #include "mesh/routing.hpp"
 #include "sim/instance_factory.hpp"
 
@@ -52,6 +53,19 @@ using ObservationSet = std::vector<PathObservation>;
 /// (labels consistent per path, endpoints sane). Returns a diagnostic
 /// string, empty when OK.
 std::string validate_observations(const ObservationSet& observations, int cha_count);
+
+/// Canonical, permutation-invariant signature of an observation set:
+/// each observation hashes its fields in order (activations sorted,
+/// because PMON readout order is a measurement artifact) and the
+/// per-observation digests fold order-invariantly. This is the
+/// ilp::SolutionCache key; serve's fingerprint layer forwards here so
+/// both produce identical values.
+std::uint64_t observation_signature(const ObservationSet& observations);
+
+/// Simhash sketch over the same per-observation digests, for the
+/// solution cache's Hamming-nearest warm-start lookup: observation sets
+/// differing in a few probes land a few bits apart.
+ilp::SimhashSketch observation_sketch(const ObservationSet& observations);
 
 /// How well a candidate placement explains an observation set, judged by
 /// re-routing every observed pair on the placed grid.

@@ -42,6 +42,9 @@ LocateResult locate_cores(sim::VirtualXeon& cpu, util::Rng& rng,
       IlpMapSolverOptions ilp_options = options.ilp;
       ilp_options.grid_rows = options.grid_rows;
       ilp_options.grid_cols = options.grid_cols;
+      if (ilp_options.solution_cache == nullptr) {
+        ilp_options.solution_cache = options.solution_cache;
+      }
       solved = IlpMapSolver(ilp_options).solve(result.observations, cpu.cha_count());
     } else if (options.engine == SolverEngine::kRefined) {
       RefinementOptions refine_options = options.refinement;
@@ -58,6 +61,9 @@ LocateResult locate_cores(sim::VirtualXeon& cpu, util::Rng& rng,
       DecomposedSolverOptions dec_options = options.decomposed;
       dec_options.grid_rows = options.grid_rows;
       dec_options.grid_cols = options.grid_cols;
+      if (dec_options.solution_cache == nullptr) {
+        dec_options.solution_cache = options.solution_cache;
+      }
       solved = DecomposedMapSolver(dec_options).solve(result.observations,
                                                       cpu.cha_count());
     }
@@ -67,6 +73,9 @@ LocateResult locate_cores(sim::VirtualXeon& cpu, util::Rng& rng,
   }
   result.solver_nodes = solved.nodes;
   result.solver_lp_iterations = solved.lp_iterations;
+  result.solver_nodes_pruned = solved.nodes_pruned;
+  result.solver_lp_solves_avoided = solved.lp_solves_avoided;
+  result.cache_hit = solved.cache_hit;
 
   if (!solved.success) {
     result.message = "solver failed: " + solved.message;

@@ -31,6 +31,11 @@ struct LocateOptions {
   IlpMapSolverOptions ilp;              ///< grid dims overridden from above
   DecomposedSolverOptions decomposed;   ///< grid dims overridden from above
   RefinementOptions refinement;         ///< grid dims overridden from above
+  /// Optional cross-instance solution cache, forwarded to the ILP or
+  /// decomposed engine when their own pointer is unset. The refined
+  /// engine never consults it (its per-iteration cut sets would pollute
+  /// the keyspace one entry per cut). Not owned; not thread-safe.
+  ilp::SolutionCache* solution_cache = nullptr;
 };
 
 /// Fills grid dimensions from a model spec (what a real attacker reads
@@ -47,9 +52,15 @@ struct LocateResult {
   double step2_seconds = 0.0;
   double step3_seconds = 0.0;
   /// Solver work counters (branch & bound nodes, simplex pivots across
-  /// all LP solves). Deterministic, unlike the wall times above.
+  /// all LP solves, nodes pruned by constraint propagation, LP solves
+  /// avoided). Deterministic, unlike the wall times above.
   std::int64_t solver_nodes = 0;
   std::int64_t solver_lp_iterations = 0;
+  std::int64_t solver_nodes_pruned = 0;
+  std::int64_t solver_lp_solves_avoided = 0;
+  /// True when the map came out of the solution cache (observability
+  /// only — never recorded into survey data).
+  bool cache_hit = false;
 };
 
 /// Runs the full pipeline against a (virtual) machine.

@@ -21,7 +21,8 @@ namespace {
 /// part of the survey seeding contract (see survey.hpp).
 constexpr std::uint64_t kToolSeedTweak = 0x700150EEDULL;
 
-InstanceRecord run_instance(const InstanceTask& task, const AnalyzeFn& analyze) {
+InstanceRecord run_instance(const InstanceTask& task, const AnalyzeFn& analyze,
+                            ilp::SolutionCache* solution_cache) {
   CORELOCATE_HOT_LOOP;  // per-instance body: the survey's unit of work
   InstanceRecord record;
   record.index = task.index;
@@ -29,17 +30,25 @@ InstanceRecord run_instance(const InstanceTask& task, const AnalyzeFn& analyze) 
   obs::Span span("instance", "fleet");
   span.arg("index", obs::Json(task.index));
   try {
-    const LocatedInstance located = locate_instance(task.model, task.seed, *task.factory);
+    const LocatedInstance located =
+        locate_instance(task.model, task.seed, *task.factory, solution_cache);
     record.success = located.result.success;
     record.message = located.result.message;
     record.step1_seconds = located.result.step1_seconds;
     record.step2_seconds = located.result.step2_seconds;
     record.step3_seconds = located.result.step3_seconds;
     // Deterministic solver work counters; identifier-like keys so they
-    // round-trip through the checkpoint manifest on resume.
+    // round-trip through the checkpoint manifest on resume. A solution-
+    // cache hit replays the cold solve's counters, so these stay
+    // partition-independent; the hit/miss flag itself is deliberately
+    // NOT recorded (it depends on how work was sharded).
     record.metrics["solver_nodes"] = static_cast<double>(located.result.solver_nodes);
     record.metrics["solver_lp_iterations"] =
         static_cast<double>(located.result.solver_lp_iterations);
+    record.metrics["solver_nodes_pruned"] =
+        static_cast<double>(located.result.solver_nodes_pruned);
+    record.metrics["solver_lp_solves_avoided"] =
+        static_cast<double>(located.result.solver_lp_solves_avoided);
     if (located.result.success) record.map = located.result.map;
     if (analyze) analyze(task, located, record);
   } catch (const std::exception& e) {
@@ -64,6 +73,10 @@ void observe_record(obs::Registry& registry, const InstanceRecord& record) {
       .add(static_cast<std::uint64_t>(metric("solver_nodes")));
   registry.counter("fleet.solver_lp_iterations")
       .add(static_cast<std::uint64_t>(metric("solver_lp_iterations")));
+  registry.counter("fleet.solver_nodes_pruned")
+      .add(static_cast<std::uint64_t>(metric("solver_nodes_pruned")));
+  registry.counter("fleet.solver_lp_solves_avoided")
+      .add(static_cast<std::uint64_t>(metric("solver_lp_solves_avoided")));
   registry.stat("fleet.step1_seconds").add(record.step1_seconds);
   registry.stat("fleet.step2_seconds").add(record.step2_seconds);
   registry.stat("fleet.step3_seconds").add(record.step3_seconds);
@@ -75,13 +88,15 @@ void observe_record(obs::Registry& registry, const InstanceRecord& record) {
 }  // namespace
 
 LocatedInstance locate_instance(sim::XeonModel model, std::uint64_t seed,
-                                const sim::InstanceFactory& factory) {
+                                const sim::InstanceFactory& factory,
+                                ilp::SolutionCache* solution_cache) {
   util::Rng machine_rng(seed);
   LocatedInstance located{factory.make_instance(model, machine_rng), {}};
   sim::VirtualXeon cpu(located.config);
   util::Rng tool_rng(seed ^ kToolSeedTweak);
-  located.result =
-      core::locate_cores(cpu, tool_rng, core::options_for(sim::spec_for(model)));
+  core::LocateOptions options = core::options_for(sim::spec_for(model));
+  options.solution_cache = solution_cache;
+  located.result = core::locate_cores(cpu, tool_rng, options);
   return located;
 }
 
@@ -138,10 +153,20 @@ SurveyResult run_survey(sim::XeonModel model, const SurveyOptions& options) {
     if (!have.count(i)) todo.push_back(i);
   }
 
+  // Per-worker solution caches, seeded from the caller's cache. A worker
+  // only ever touches its own copy (the exclusion argument of the
+  // aggregator buckets again); the copies merge back after the join.
+  std::vector<ilp::SolutionCache> worker_caches;
+  if (options.solution_cache != nullptr) {
+    worker_caches.assign(static_cast<std::size_t>(jobs), *options.solution_cache);
+  }
+
   const auto run_one = [&](int index, std::size_t worker) {
     const InstanceTask task{index, options.base_seed + static_cast<std::uint64_t>(index),
                             model, &factory};
-    InstanceRecord record = run_instance(task, options.analyze);
+    InstanceRecord record =
+        run_instance(task, options.analyze,
+                     worker_caches.empty() ? nullptr : &worker_caches[worker]);
     if (checkpoint) checkpoint->record(record);
     meter.instance_done(record.step1_seconds, record.step2_seconds,
                         record.step3_seconds, record.wall_seconds);
@@ -162,6 +187,15 @@ SurveyResult run_survey(sim::XeonModel model, const SurveyOptions& options) {
       });
     }
     pool.wait_idle();
+  }
+
+  // Merge-at-aggregation: worker caches fold back into the caller's
+  // cache in worker order. Insert-if-absent plus byte-identical cold
+  // solves per key make the merged contents partition-independent.
+  if (options.solution_cache != nullptr) {
+    for (const ilp::SolutionCache& cache : worker_caches) {
+      options.solution_cache->merge(cache);
+    }
   }
 
   AggregateResult merged = aggregator.merge();

@@ -28,13 +28,18 @@
 
 #include "fleet/progress.hpp"
 #include "fleet/survey_record.hpp"
+#include "ilp/solution_cache.hpp"
 #include "obs/metrics.hpp"
 
 namespace corelocate::fleet {
 
 /// Runs the full locating pipeline on instance (`model`, `seed`).
+/// `solution_cache` (optional) is handed to the step-3 solver for
+/// exact-hit replay and gets the cold result on a miss; the caller owns
+/// it and must not share one instance across concurrent calls.
 LocatedInstance locate_instance(sim::XeonModel model, std::uint64_t seed,
-                                const sim::InstanceFactory& factory);
+                                const sim::InstanceFactory& factory,
+                                ilp::SolutionCache* solution_cache = nullptr);
 
 /// Optional per-instance analysis, run right after the pipeline while the
 /// ground truth is still in hand (e.g. score against truth, try the
@@ -54,6 +59,14 @@ struct SurveyOptions {
   std::string checkpoint_dir;  ///< empty = checkpointing off
   bool resume = false;         ///< load completed instances from checkpoint_dir
   bool progress = false;       ///< emit progress lines via util::log (info level)
+  /// Optional cross-instance solution cache. Every worker runs with a
+  /// private copy seeded from it (exact-hit replay only — the fleet
+  /// never warm-starts, which would make node counts depend on the work
+  /// partition); at aggregation the copies merge back into it in worker
+  /// order. A hit replays the cold solve byte for byte, so records —
+  /// and the merged cache contents — stay jobs-N == jobs-1 identical.
+  /// Not owned.
+  ilp::SolutionCache* solution_cache = nullptr;
   AnalyzeFn analyze;
 };
 

@@ -3,7 +3,10 @@
 #include <cmath>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 
+#include "ilp/presolve.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/hotpath.hpp"
 
@@ -49,10 +52,187 @@ int pick_branch_var(const Model& model, const std::vector<double>& values, doubl
   return best;
 }
 
-}  // namespace
+// ------------------------------------------------ one-hot bitset system
+//
+// The map models spend most of their rows on one-hot blocks (OHR/OHC
+// assignment bits per CHA). Branching a member to 1 logically zeroes its
+// siblings and branching the second-to-last member to 0 forces the last
+// one — facts the LP only rediscovers through simplex pivots. The
+// blocks are compiled once per solve into bit masks over the member
+// variables; each node then replays its bound decisions through the
+// masks to a fixpoint, in a few words of popcount each.
 
-MilpSolution BranchAndBoundSolver::solve(const Model& model) const {
-  obs::Span span("milp_solve", "ilp");
+struct OneHotSystem {
+  int bit_count = 0;
+  std::vector<int> var_of_bit;                     ///< bit -> model variable
+  std::vector<std::vector<std::uint64_t>> masks;   ///< per block, over bit words
+  std::size_t words = 0;
+
+  bool empty() const noexcept { return masks.empty(); }
+};
+
+OneHotSystem build_one_hot_system(const Model& model, double tol) {
+  OneHotSystem sys;
+  std::vector<int> bit_of_var(static_cast<std::size_t>(model.variable_count()), -1);
+  sys.var_of_bit.reserve(static_cast<std::size_t>(model.variable_count()));
+  std::vector<std::vector<int>> blocks;
+  blocks.reserve(model.constraints().size());
+  for (const ConstraintInfo& row : model.constraints()) {
+    if (row.sense != Sense::kEqual) continue;
+    if (row.expr.terms().size() < 2) continue;
+    if (std::abs(row.rhs - 1.0) > tol) continue;
+    bool one_hot = true;
+    for (const auto& [index, coefficient] : row.expr.terms()) {
+      if (std::abs(coefficient - 1.0) > tol ||
+          model.variable(index).type != VarType::kBinary) {
+        one_hot = false;
+        break;
+      }
+    }
+    if (!one_hot) continue;
+    std::vector<int> members;
+    members.reserve(row.expr.terms().size());
+    for (const auto& [index, coefficient] : row.expr.terms()) {
+      (void)coefficient;
+      int& bit = bit_of_var[static_cast<std::size_t>(index)];
+      if (bit < 0) {
+        bit = sys.bit_count++;
+        sys.var_of_bit.push_back(index);
+      }
+      members.push_back(bit);
+    }
+    blocks.push_back(std::move(members));
+  }
+  sys.words = static_cast<std::size_t>(sys.bit_count + 63) / 64;
+  sys.masks.reserve(blocks.size());
+  for (const std::vector<int>& members : blocks) {
+    std::vector<std::uint64_t> mask(sys.words, 0);
+    for (const int bit : members) {
+      mask[static_cast<std::size_t>(bit) >> 6] |=
+          std::uint64_t{1} << (static_cast<std::size_t>(bit) & 63);
+    }
+    sys.masks.push_back(std::move(mask));
+  }
+  return sys;
+}
+
+int popcount_masked(const std::vector<std::uint64_t>& bits,
+                    const std::vector<std::uint64_t>& mask) {
+  int count = 0;
+  for (std::size_t w = 0; w < mask.size(); ++w) {
+    std::uint64_t word = bits[w] & mask[w];
+    while (word != 0) {
+      word &= word - 1;
+      ++count;
+    }
+  }
+  return count;
+}
+
+/// Propagates the node's binary decisions through the one-hot blocks to
+/// a fixpoint, tightening `node` in place. Returns false when the node
+/// is infeasible (two members at 1, or a block with no member left).
+/// `fixed_one`/`available` are scratch, reused across nodes.
+bool propagate_one_hot(const OneHotSystem& sys, Node& node,
+                       std::vector<std::uint64_t>& fixed_one,
+                       std::vector<std::uint64_t>& available) {
+  fixed_one.assign(sys.words, 0);
+  available.assign(sys.words, 0);
+  for (int bit = 0; bit < sys.bit_count; ++bit) {
+    const std::size_t var = static_cast<std::size_t>(sys.var_of_bit[static_cast<std::size_t>(bit)]);
+    const bool at_one = node.lower[var] >= 0.5;
+    const bool open = node.upper[var] >= 0.5;
+    if (at_one && !open) return false;  // crossed bounds from branching
+    const std::uint64_t word_bit = std::uint64_t{1} << (static_cast<std::size_t>(bit) & 63);
+    if (at_one) fixed_one[static_cast<std::size_t>(bit) >> 6] |= word_bit;
+    if (open) available[static_cast<std::size_t>(bit) >> 6] |= word_bit;
+  }
+
+  bool changed = true;
+  // Runs once per B&B node: a span here would spend two clock reads on
+  // the prune fast path this function exists to make cheap. The caller's
+  // milp_solve span attributes the whole search, nodes included.
+  // corelint: disable(perf-span-missing)
+  CORELOCATE_HOT_LOOP;
+  while (changed) {
+    changed = false;
+    for (const std::vector<std::uint64_t>& mask : sys.masks) {
+      const int ones = popcount_masked(fixed_one, mask);
+      if (ones > 1) return false;
+      if (ones == 1) {
+        // The winner is decided: every other open member drops to zero.
+        for (std::size_t w = 0; w < sys.words; ++w) {
+          std::uint64_t to_clear = available[w] & mask[w] & ~fixed_one[w];
+          if (to_clear == 0) continue;
+          available[w] &= ~to_clear;
+          changed = true;
+          while (to_clear != 0) {
+            const int bit = static_cast<int>(w) * 64 +
+                            static_cast<int>(__builtin_ctzll(to_clear));
+            to_clear &= to_clear - 1;
+            node.upper[static_cast<std::size_t>(
+                sys.var_of_bit[static_cast<std::size_t>(bit)])] = 0.0;
+          }
+        }
+        continue;
+      }
+      const int open = popcount_masked(available, mask);
+      if (open == 0) return false;
+      if (open == 1) {
+        // Exactly one member left: it must take the 1.
+        for (std::size_t w = 0; w < sys.words; ++w) {
+          std::uint64_t last = available[w] & mask[w];
+          if (last == 0) continue;
+          const int bit = static_cast<int>(w) * 64 +
+                          static_cast<int>(__builtin_ctzll(last));
+          fixed_one[w] |= last;
+          node.lower[static_cast<std::size_t>(
+              sys.var_of_bit[static_cast<std::size_t>(bit)])] = 1.0;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+/// True when every variable's node interval is a single point.
+bool fully_fixed(const Node& node) {
+  for (std::size_t j = 0; j < node.lower.size(); ++j) {
+    if (node.lower[j] != node.upper[j]) return false;
+  }
+  return true;
+}
+
+/// Exact feasibility of a fully-fixed assignment against the rows (the
+/// bounds hold by construction). Mirrors the LP's feasibility tolerance.
+bool rows_feasible(const Model& model, const std::vector<double>& values,
+                   double tol) {
+  for (const ConstraintInfo& row : model.constraints()) {
+    double lhs = 0.0;
+    for (const auto& [index, coefficient] : row.expr.terms()) {
+      lhs += coefficient * values[static_cast<std::size_t>(index)];
+    }
+    switch (row.sense) {
+      case Sense::kLessEq:
+        if (lhs > row.rhs + tol) return false;
+        break;
+      case Sense::kGreaterEq:
+        if (lhs < row.rhs - tol) return false;
+        break;
+      case Sense::kEqual:
+        if (std::abs(lhs - row.rhs) > tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+/// The depth-first search itself, over whichever model survived
+/// presolve. Kept free of presolve/span concerns so `solve` composes
+/// the layers without nesting spans.
+MilpSolution run_search(const Model& model, const MilpOptions& options) {
   MilpSolution result;
   const double sense_sign = model.is_minimization() ? 1.0 : -1.0;
 
@@ -66,9 +246,9 @@ MilpSolution BranchAndBoundSolver::solve(const Model& model) const {
       root.lower[static_cast<std::size_t>(j)] = info.lower;
       root.upper[static_cast<std::size_t>(j)] = info.upper;
     } else {
-      root.lower[static_cast<std::size_t>(j)] = std::ceil(info.lower - options_.int_tol);
+      root.lower[static_cast<std::size_t>(j)] = std::ceil(info.lower - options.int_tol);
       root.upper[static_cast<std::size_t>(j)] =
-          info.upper >= kInfinity ? info.upper : std::floor(info.upper + options_.int_tol);
+          info.upper >= kInfinity ? info.upper : std::floor(info.upper + options.int_tol);
     }
   }
 
@@ -89,41 +269,92 @@ MilpSolution BranchAndBoundSolver::solve(const Model& model) const {
   // row on every node.
   LpProblem lp = relax(model, nullptr, nullptr);
 
+  // Warm start: a feasible point's objective is a valid upper bound on
+  // the optimum, so subtrees strictly worse than it can go — and
+  // because every subtree that could still contain the cold solve's
+  // answer survives (its relaxation is <= the optimum <= the bound),
+  // the search returns exactly what a cold run would.
+  bool warm_active = false;
+  double warm_obj = 0.0;
+  if (options.warm_start.size() ==
+          static_cast<std::size_t>(model.variable_count()) &&
+      model.is_feasible(options.warm_start, options.int_tol)) {
+    warm_active = true;
+    for (int j = 0; j < model.variable_count(); ++j) {
+      warm_obj += lp.objective[static_cast<std::size_t>(j)] *
+                  options.warm_start[static_cast<std::size_t>(j)];
+    }
+  }
+
+  const OneHotSystem one_hot = build_one_hot_system(model, options.int_tol);
+  std::vector<std::uint64_t> scratch_ones;
+  std::vector<std::uint64_t> scratch_avail;
+
+  // solve() wraps this function one-to-one in the milp_solve span; a
+  // second span here would double-count the search in perf reports.
+  // corelint: disable(perf-span-missing)
   CORELOCATE_HOT_LOOP;
   while (!stack.empty()) {
-    if (result.nodes_explored >= options_.max_nodes) {
+    if (result.nodes_explored >= options.max_nodes) {
       truncated = true;
       break;
     }
     Node node = std::move(stack.back());
     stack.pop_back();
-    ++result.nodes_explored;
 
-    lp.lower = node.lower;
-    lp.upper = node.upper;
-    const LpSolution rel = solve_lp(lp, options_.lp);
-    result.lp_iterations += rel.iterations;
-    if (rel.status == LpStatus::kInfeasible) continue;
-    if (rel.status == LpStatus::kIterLimit) {
-      truncated = true;
+    if (!one_hot.empty() &&
+        !propagate_one_hot(one_hot, node, scratch_ones, scratch_avail)) {
+      ++result.nodes_pruned;
+      ++result.lp_solves_avoided;
       continue;
     }
-    if (rel.status == LpStatus::kUnbounded) {
-      // An unbounded relaxation of a bounded-variable MILP means the user
-      // left a continuous direction open; surface it loudly.
-      throw std::runtime_error("solve_milp: LP relaxation unbounded");
-    }
-    if (have_incumbent && rel.objective >= incumbent_obj - options_.gap_tol) {
-      continue;  // bound: cannot improve on the incumbent
+    ++result.nodes_explored;
+
+    double node_obj = 0.0;
+    std::vector<double> node_values;
+    if (fully_fixed(node)) {
+      // Propagation pinned everything: the LP would only echo the point
+      // back, so evaluate it directly.
+      ++result.lp_solves_avoided;
+      if (!rows_feasible(model, node.lower, options.lp.feas_tol)) continue;
+      node_values = node.lower;
+      for (int j = 0; j < model.variable_count(); ++j) {
+        node_obj += lp.objective[static_cast<std::size_t>(j)] *
+                    node_values[static_cast<std::size_t>(j)];
+      }
+    } else {
+      lp.lower = node.lower;
+      lp.upper = node.upper;
+      const LpSolution rel = solve_lp(lp, options.lp);
+      result.lp_iterations += rel.iterations;
+      if (rel.status == LpStatus::kInfeasible) continue;
+      if (rel.status == LpStatus::kIterLimit) {
+        truncated = true;
+        continue;
+      }
+      if (rel.status == LpStatus::kUnbounded) {
+        // An unbounded relaxation of a bounded-variable MILP means the user
+        // left a continuous direction open; surface it loudly.
+        throw std::runtime_error("solve_milp: LP relaxation unbounded");
+      }
+      node_obj = rel.objective;
+      node_values = rel.values;
     }
 
-    const int branch_var = pick_branch_var(model, rel.values, options_.int_tol);
+    if (have_incumbent && node_obj >= incumbent_obj - options.gap_tol) {
+      continue;  // bound: cannot improve on the incumbent
+    }
+    if (warm_active && node_obj >= warm_obj + options.gap_tol) {
+      continue;  // bound: strictly worse than the known feasible point
+    }
+
+    const int branch_var = pick_branch_var(model, node_values, options.int_tol);
     if (branch_var < 0) {
       // Integral: new incumbent.
-      if (!have_incumbent || rel.objective < incumbent_obj) {
+      if (!have_incumbent || node_obj < incumbent_obj) {
         have_incumbent = true;
-        incumbent_obj = rel.objective;
-        incumbent = rel.values;
+        incumbent_obj = node_obj;
+        incumbent = node_values;
         for (int j = 0; j < model.variable_count(); ++j) {
           if (model.variable(j).type != VarType::kContinuous) {
             incumbent[static_cast<std::size_t>(j)] =
@@ -134,7 +365,7 @@ MilpSolution BranchAndBoundSolver::solve(const Model& model) const {
       continue;
     }
 
-    const double v = rel.values[static_cast<std::size_t>(branch_var)];
+    const double v = node_values[static_cast<std::size_t>(branch_var)];
     // Down branch (x <= floor(v)) and up branch (x >= ceil(v)); push the
     // branch whose bound is nearer the relaxation value last so DFS dives
     // into it first.
@@ -156,18 +387,91 @@ MilpSolution BranchAndBoundSolver::solve(const Model& model) const {
     result.status = truncated ? MilpStatus::kNodeLimit : MilpStatus::kOptimal;
     result.values = std::move(incumbent);
     result.objective = sense_sign * incumbent_obj;
+  } else if (truncated && warm_active) {
+    // Truncated with nothing of our own: the warm assignment is the best
+    // feasible point we can prove. (A finished search never takes this
+    // path, preserving cold-solve identity.)
+    result.status = MilpStatus::kNodeLimit;
+    result.values = options.warm_start;
+    result.objective = sense_sign * warm_obj;
   } else {
     result.status = truncated ? MilpStatus::kNoSolution : MilpStatus::kInfeasible;
+  }
+  return result;
+}
+
+}  // namespace
+
+MilpSolution BranchAndBoundSolver::solve(const Model& model) const {
+  obs::Span span("milp_solve", "ilp");
+  MilpSolution result;
+
+  if (options_.presolve) {
+    const Presolved pre = presolve(model);
+    if (options_.registry != nullptr) {
+      options_.registry->counter("ilp.presolve.fixed_vars")
+          .add(static_cast<std::uint64_t>(pre.stats.fixed_variables));
+      options_.registry->counter("ilp.presolve.dropped_rows")
+          .add(static_cast<std::uint64_t>(pre.stats.dropped_rows));
+    }
+    if (pre.infeasible) {
+      result.status = MilpStatus::kInfeasible;
+    } else {
+      MilpOptions reduced_options = options_;
+      reduced_options.presolve = false;
+      // Map the warm start into the reduced space; if it contradicts a
+      // fixing, is_feasible rejects it there, matching the full model.
+      if (options_.warm_start.size() ==
+          static_cast<std::size_t>(model.variable_count())) {
+        std::vector<double> reduced_warm(
+            static_cast<std::size_t>(pre.reduced.variable_count()), 0.0);
+        bool consistent = true;
+        for (std::size_t j = 0; j < pre.var_map.size(); ++j) {
+          const int target = pre.var_map[j];
+          if (target >= 0) {
+            reduced_warm[static_cast<std::size_t>(target)] =
+                options_.warm_start[j];
+          } else if (std::abs(options_.warm_start[j] - pre.fixed_value[j]) >
+                     options_.int_tol) {
+            consistent = false;
+            break;
+          }
+        }
+        reduced_options.warm_start =
+            consistent ? std::move(reduced_warm) : std::vector<double>{};
+      }
+      result = run_search(pre.reduced, reduced_options);
+      if (!result.values.empty()) {
+        result.values = pre.restore(result.values);
+      }
+      if (result.status == MilpStatus::kOptimal ||
+          result.status == MilpStatus::kNodeLimit) {
+        result.objective += pre.objective_offset;
+      }
+    }
+  } else {
+    result = run_search(model, options_);
+  }
+
+  if (options_.registry != nullptr) {
+    options_.registry->counter("ilp.bnb.nodes_explored")
+        .add(static_cast<std::uint64_t>(result.nodes_explored));
+    options_.registry->counter("ilp.bnb.nodes_pruned")
+        .add(static_cast<std::uint64_t>(result.nodes_pruned));
+    options_.registry->counter("ilp.bnb.lp_solves_avoided")
+        .add(static_cast<std::uint64_t>(result.lp_solves_avoided));
   }
   span.arg("variables", obs::Json(model.variable_count()));
   span.arg("nodes", obs::Json(result.nodes_explored));
   span.arg("lp_iterations", obs::Json(result.lp_iterations));
+  span.arg("nodes_pruned", obs::Json(result.nodes_pruned));
+  span.arg("lp_solves_avoided", obs::Json(result.lp_solves_avoided));
   span.arg("status", obs::Json(to_string(result.status)));
   return result;
 }
 
 MilpSolution solve_milp(const Model& model, MilpOptions options) {
-  return BranchAndBoundSolver(options).solve(model);
+  return BranchAndBoundSolver(std::move(options)).solve(model);
 }
 
 }  // namespace corelocate::ilp

@@ -6,12 +6,35 @@
 // (ties: most fractional), which lets the map solver steer the search
 // toward the structural NE/NW direction binaries before the one-hot
 // bookkeeping variables.
+//
+// Three speed layers sit on top of the plain search:
+//
+//   * presolve (MilpOptions::presolve): interval-propagation reductions
+//     from ilp/presolve.hpp run first and the search works the reduced
+//     model; solutions are mapped back through the invertible
+//     Presolved mapping, so callers see original-model values.
+//   * one-hot bitset propagation (always on): the one-hot rows of the
+//     model become bitset blocks, and every popped node propagates its
+//     branching decisions through them to a fixpoint — siblings of an
+//     assigned binary drop to zero, last-available members snap to one,
+//     and contradictions prune the node with no LP solve at all.
+//   * warm starts (MilpOptions::warm_start): a feasible assignment
+//     whose objective is used as an extra pruning *bound*. It is never
+//     adopted as an incumbent while the search runs, so the returned
+//     solution is identical to a cold solve (the bound only removes
+//     subtrees that are strictly worse than a known feasible point);
+//     only a truncated search with no incumbent of its own falls back
+//     to returning the warm assignment.
 
 #include <cstdint>
 #include <vector>
 
 #include "ilp/model.hpp"
 #include "ilp/simplex.hpp"
+
+namespace corelocate::obs {
+class Registry;
+}  // namespace corelocate::obs
 
 namespace corelocate::ilp {
 
@@ -30,6 +53,11 @@ struct MilpSolution {
   std::vector<double> values;
   std::int64_t nodes_explored = 0;
   std::int64_t lp_iterations = 0;
+  /// Nodes discarded by one-hot propagation before any LP solve.
+  std::int64_t nodes_pruned = 0;
+  /// LP solves skipped: propagation prunes plus fully-fixed nodes
+  /// resolved by direct evaluation.
+  std::int64_t lp_solves_avoided = 0;
 };
 
 struct MilpOptions {
@@ -37,11 +65,21 @@ struct MilpOptions {
   double int_tol = 1e-6;
   double gap_tol = 1e-9;  // prune nodes within this of the incumbent
   SimplexOptions lp;
+  /// Run ilp::presolve reductions before the search.
+  bool presolve = false;
+  /// Warm-start assignment in the model's variable order (empty = none;
+  /// ignored unless it is a feasible point of `model`). Bound-only — see
+  /// the header comment for the exactness contract.
+  std::vector<double> warm_start;
+  /// Optional metrics sink: ilp.bnb.* and ilp.presolve.* counters.
+  /// Leave null in fleet workers — node counts depend on warm starts and
+  /// would break the merged-registry partition-independence contract.
+  obs::Registry* registry = nullptr;
 };
 
 class BranchAndBoundSolver {
  public:
-  explicit BranchAndBoundSolver(MilpOptions options = {}) : options_(options) {}
+  explicit BranchAndBoundSolver(MilpOptions options = {}) : options_(std::move(options)) {}
 
   MilpSolution solve(const Model& model) const;
 

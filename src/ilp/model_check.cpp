@@ -131,17 +131,12 @@ void check_one_hot_rows(const Model& model, const ModelCheckOptions& options,
 
 // --------------------------------------------------- bound propagation check
 
-struct Bounds {
-  double lower = 0.0;
-  double upper = 0.0;
-};
-
-void round_integer_bounds(const Model& model, std::vector<Bounds>& bounds,
+void round_integer_bounds(const Model& model, std::vector<VarBounds>& bounds,
                           double tolerance) {
   for (int j = 0; j < model.variable_count(); ++j) {
     const VarInfo& info = model.variable(j);
     if (info.type == VarType::kContinuous) continue;
-    Bounds& b = bounds[static_cast<std::size_t>(j)];
+    VarBounds& b = bounds[static_cast<std::size_t>(j)];
     if (!infinite(b.lower)) b.lower = std::ceil(b.lower - tolerance);
     if (!infinite(b.upper)) b.upper = std::floor(b.upper + tolerance);
   }
@@ -150,10 +145,10 @@ void round_integer_bounds(const Model& model, std::vector<Bounds>& bounds,
 /// Minimum activity of a row under the current bounds (use negated
 /// coefficients for the maximum).
 Activity min_activity(const std::vector<std::pair<int, double>>& terms,
-                      const std::vector<Bounds>& bounds) {
+                      const std::vector<VarBounds>& bounds) {
   Activity activity;
   for (const auto& [index, coefficient] : terms) {
-    const Bounds& b = bounds[static_cast<std::size_t>(index)];
+    const VarBounds& b = bounds[static_cast<std::size_t>(index)];
     const double bound = coefficient > 0.0 ? b.lower : b.upper;
     if (infinite(bound)) {
       ++activity.infinities;
@@ -166,21 +161,23 @@ Activity min_activity(const std::vector<std::pair<int, double>>& terms,
 
 /// Propagates one `expr <= rhs` row: row-level infeasibility plus bound
 /// tightening of every variable against the rest of the row. Returns
-/// true if any bound moved; appends at most one defect.
+/// true if any bound moved; writes at most one infeasibility proof into
+/// `infeasible_detail` (first proof wins).
 bool propagate_leq(const Model& model, const ConstraintInfo& row,
                    std::size_t row_index, const std::vector<std::pair<int, double>>& terms,
-                   double rhs, std::vector<Bounds>& bounds,
-                   const ModelCheckOptions& options, ModelCheckReport& report) {
+                   double rhs, std::vector<VarBounds>& bounds,
+                   const ModelCheckOptions& options, std::string& infeasible_detail) {
   const Activity total = min_activity(terms, bounds);
   const double slack_tolerance =
       options.tolerance * std::max(1.0, std::abs(rhs)) + 1e-7;
   if (total.infinities == 0 && total.finite > rhs + slack_tolerance) {
-    std::ostringstream detail;
-    detail << "constraint '" << row_label(row, row_index)
-           << "' needs activity <= " << rhs << " but the variable bounds force "
-           << "at least " << total.finite << " — the model is infeasible";
-    report.defects.push_back(
-        {DefectClass::kInfeasible, "bound-infeasible", detail.str()});
+    if (infeasible_detail.empty()) {
+      std::ostringstream detail;
+      detail << "constraint '" << row_label(row, row_index)
+             << "' needs activity <= " << rhs << " but the variable bounds force "
+             << "at least " << total.finite << " — the model is infeasible";
+      infeasible_detail = detail.str();
+    }
     return false;
   }
   if (total.infinities > 1) return false;  // no single-var rest is finite
@@ -188,7 +185,7 @@ bool propagate_leq(const Model& model, const ConstraintInfo& row,
   bool changed = false;
   for (const auto& [index, coefficient] : terms) {
     if (coefficient == 0.0) continue;
-    Bounds& b = bounds[static_cast<std::size_t>(index)];
+    VarBounds& b = bounds[static_cast<std::size_t>(index)];
     const double own_bound = coefficient > 0.0 ? b.lower : b.upper;
     Activity rest = total;
     if (infinite(own_bound)) {
@@ -221,12 +218,23 @@ bool propagate_leq(const Model& model, const ConstraintInfo& row,
 
 void check_bound_propagation(const Model& model, const ModelCheckOptions& options,
                              ModelCheckReport& report) {
-  std::vector<Bounds> bounds;
-  bounds.reserve(static_cast<std::size_t>(model.variable_count()));
-  for (const VarInfo& info : model.variables()) {
-    bounds.push_back(Bounds{info.lower, info.upper});
+  const PropagationResult result = propagate_bounds(model, options);
+  if (result.infeasible) {
+    report.defects.push_back(
+        {DefectClass::kInfeasible, "bound-infeasible", result.detail});
   }
-  round_integer_bounds(model, bounds, options.tolerance);
+}
+
+}  // namespace
+
+PropagationResult propagate_bounds(const Model& model,
+                                   const ModelCheckOptions& options) {
+  PropagationResult result;
+  result.bounds.reserve(static_cast<std::size_t>(model.variable_count()));
+  for (const VarInfo& info : model.variables()) {
+    result.bounds.push_back(VarBounds{info.lower, info.upper});
+  }
+  round_integer_bounds(model, result.bounds, options.tolerance);
 
   for (int round = 0; round < options.propagation_rounds; ++round) {
     bool changed = false;
@@ -234,8 +242,8 @@ void check_bound_propagation(const Model& model, const ModelCheckOptions& option
       const ConstraintInfo& row = model.constraints()[c];
       const auto& terms = row.expr.terms();
       if (row.sense == Sense::kLessEq || row.sense == Sense::kEqual) {
-        changed |= propagate_leq(model, row, c, terms, row.rhs, bounds, options,
-                                 report);
+        changed |= propagate_leq(model, row, c, terms, row.rhs, result.bounds,
+                                 options, result.detail);
       }
       if (row.sense == Sense::kGreaterEq || row.sense == Sense::kEqual) {
         std::vector<std::pair<int, double>> negated = terms;
@@ -243,32 +251,31 @@ void check_bound_propagation(const Model& model, const ModelCheckOptions& option
           (void)index;
           coefficient = -coefficient;
         }
-        changed |= propagate_leq(model, row, c, negated, -row.rhs, bounds,
-                                 options, report);
+        changed |= propagate_leq(model, row, c, negated, -row.rhs,
+                                 result.bounds, options, result.detail);
       }
-      if (!report.defects.empty() &&
-          report.defects.back().check == "bound-infeasible") {
-        return;  // one infeasibility proof is enough
+      if (!result.detail.empty()) {
+        result.infeasible = true;
+        return result;  // one infeasibility proof is enough
       }
     }
     // Crossed bounds after tightening are an infeasibility proof too.
     for (int j = 0; j < model.variable_count(); ++j) {
-      const Bounds& b = bounds[static_cast<std::size_t>(j)];
+      const VarBounds& b = result.bounds[static_cast<std::size_t>(j)];
       if (b.lower > b.upper + options.tolerance) {
         std::ostringstream detail;
         detail << "variable '" << var_label(model, j)
                << "' has empty domain [" << b.lower << ", " << b.upper
                << "] after bound propagation — the model is infeasible";
-        report.defects.push_back(
-            {DefectClass::kInfeasible, "bound-infeasible", detail.str()});
-        return;
+        result.detail = detail.str();
+        result.infeasible = true;
+        return result;
       }
     }
     if (!changed) break;
   }
+  return result;
 }
-
-}  // namespace
 
 bool ModelCheckReport::structural() const {
   return std::any_of(defects.begin(), defects.end(), [](const ModelDefect& d) {

@@ -65,6 +65,29 @@ struct ModelCheckReport {
 /// Runs every check; never throws, never modifies the model.
 ModelCheckReport check_model(const Model& model, const ModelCheckOptions& options = {});
 
+/// One variable's interval after propagation. Integer variables carry
+/// integral bounds (rounded to the integral hull).
+struct VarBounds {
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+/// Result of the integer interval propagation pass on its own — the same
+/// sweep `check_model` uses for its bound-infeasible check, exposed so
+/// presolve (ilp/presolve.hpp) can reuse the tightened intervals instead
+/// of re-deriving them.
+struct PropagationResult {
+  std::vector<VarBounds> bounds;  ///< per variable, tightened
+  bool infeasible = false;        ///< a row or domain was proven empty
+  std::string detail;             ///< first infeasibility proof, when any
+};
+
+/// Runs interval bound propagation over all rows; never throws, never
+/// modifies the model. `bounds` is valid (best effort) even when
+/// `infeasible` is set.
+PropagationResult propagate_bounds(const Model& model,
+                                   const ModelCheckOptions& options = {});
+
 /// Default for the solvers' validate_model switches: on in debug builds,
 /// off when NDEBUG (the validator is cheap, but release perf runs should
 /// measure the solver alone).

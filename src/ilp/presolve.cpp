@@ -1,0 +1,231 @@
+#include "ilp/presolve.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace corelocate::ilp {
+
+namespace {
+
+bool infinite(double value) { return std::abs(value) >= kInfinity; }
+
+std::string row_label(const ConstraintInfo& row, std::size_t index) {
+  if (!row.name.empty()) return row.name;
+  return "row " + std::to_string(index);
+}
+
+bool is_one_hot_row(const Model& model, const ConstraintInfo& row, double tol) {
+  if (row.sense != Sense::kEqual || row.expr.terms().size() < 2) return false;
+  for (const auto& [index, coefficient] : row.expr.terms()) {
+    if (std::abs(coefficient - 1.0) > tol) return false;
+    if (model.variable(index).type != VarType::kBinary) return false;
+  }
+  return true;
+}
+
+/// Extreme activity of the *unfixed* part of a row under the propagated
+/// bounds. `want_max` picks the maximizing corner, else the minimizing
+/// one. Returns false when an needed bound is infinite (no finite proof).
+bool finite_activity(const std::vector<std::pair<int, double>>& terms,
+                     const std::vector<int>& var_map,
+                     const std::vector<VarBounds>& bounds, bool want_max,
+                     double& activity) {
+  activity = 0.0;
+  for (const auto& [index, coefficient] : terms) {
+    if (var_map[static_cast<std::size_t>(index)] < 0) continue;  // fixed
+    const VarBounds& b = bounds[static_cast<std::size_t>(index)];
+    const bool take_upper = (coefficient > 0.0) == want_max;
+    const double bound = take_upper ? b.upper : b.lower;
+    if (infinite(bound)) return false;
+    activity += coefficient * bound;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<double> Presolved::restore(const std::vector<double>& reduced_values) const {
+  if (var_map.size() != fixed_value.size()) {
+    throw std::logic_error(
+        "presolve mapping corrupt: var_map and fixed_value disagree on the "
+        "variable count");
+  }
+  std::vector<char> seen(reduced_values.size(), 0);
+  std::size_t mapped = 0;
+  std::vector<double> full(var_map.size(), 0.0);
+  for (std::size_t j = 0; j < var_map.size(); ++j) {
+    const int target = var_map[j];
+    if (target < 0) {
+      full[j] = fixed_value[j];
+      continue;
+    }
+    if (static_cast<std::size_t>(target) >= reduced_values.size()) {
+      throw std::logic_error(
+          "presolve mapping corrupt: variable #" + std::to_string(j) +
+          " maps to reduced index " + std::to_string(target) +
+          " outside the reduced solution");
+    }
+    if (seen[static_cast<std::size_t>(target)]) {
+      throw std::logic_error(
+          "presolve mapping corrupt: reduced index " + std::to_string(target) +
+          " is claimed by two original variables — the mapping is not "
+          "invertible");
+    }
+    seen[static_cast<std::size_t>(target)] = 1;
+    ++mapped;
+    full[j] = reduced_values[static_cast<std::size_t>(target)];
+  }
+  if (mapped != reduced_values.size()) {
+    throw std::logic_error(
+        "presolve mapping corrupt: reduced solution has " +
+        std::to_string(reduced_values.size()) + " values but the mapping "
+        "covers only " + std::to_string(mapped));
+  }
+  return full;
+}
+
+Presolved presolve(const Model& model, const PresolveOptions& options) {
+  Presolved result;
+  const std::size_t n = static_cast<std::size_t>(model.variable_count());
+  result.var_map.assign(n, -1);
+  result.fixed_value.assign(n, 0.0);
+
+  const PropagationResult prop = propagate_bounds(model, options.check);
+  if (prop.infeasible) {
+    result.infeasible = true;
+    result.message = prop.detail;
+    return result;
+  }
+
+  // Pin every variable whose propagated interval collapsed to a point.
+  // Integer bounds are integral after propagation, so "collapsed" means a
+  // width below one; continuous intervals collapse within tolerance.
+  std::vector<char> fixed(n, 0);
+  for (std::size_t j = 0; j < n; ++j) {
+    const VarBounds& b = prop.bounds[j];
+    if (infinite(b.lower) || infinite(b.upper)) continue;
+    const bool integral = model.variable(static_cast<int>(j)).type != VarType::kContinuous;
+    const bool pinned = integral ? (b.upper - b.lower < 0.5)
+                                 : (b.upper - b.lower <= options.check.tolerance);
+    if (!pinned) continue;
+    fixed[j] = 1;
+    result.fixed_value[j] = integral ? b.lower : 0.5 * (b.lower + b.upper);
+    ++result.stats.fixed_variables;
+  }
+
+  // Surviving variables, with their tightened bounds and priorities.
+  for (std::size_t j = 0; j < n; ++j) {
+    if (fixed[j]) continue;
+    const VarInfo& info = model.variable(static_cast<int>(j));
+    const VarBounds& b = prop.bounds[j];
+    Variable reduced_var;
+    switch (info.type) {
+      case VarType::kBinary:
+        reduced_var = result.reduced.add_binary(info.name);
+        break;
+      case VarType::kInteger:
+        reduced_var = result.reduced.add_integer(b.lower, b.upper, info.name);
+        break;
+      case VarType::kContinuous:
+        reduced_var = result.reduced.add_continuous(b.lower, b.upper, info.name);
+        break;
+    }
+    if (info.branch_priority != 0) {
+      result.reduced.set_branch_priority(reduced_var, info.branch_priority);
+    }
+    result.var_map[j] = reduced_var.index;
+  }
+
+  // Rows: substitute the fixings, drop what is satisfied or dominated.
+  const double tol = options.tolerance;
+  for (std::size_t c = 0; c < model.constraints().size(); ++c) {
+    const ConstraintInfo& row = model.constraints()[c];
+    const bool one_hot = is_one_hot_row(model, row, options.check.tolerance);
+
+    double shift = 0.0;
+    LinExpr reduced_expr;
+    bool any_free = false;
+    for (const auto& [index, coefficient] : row.expr.terms()) {
+      const int target = result.var_map[static_cast<std::size_t>(index)];
+      if (target < 0) {
+        shift += coefficient * result.fixed_value[static_cast<std::size_t>(index)];
+      } else {
+        reduced_expr += LinExpr(Variable{target}) * coefficient;
+        any_free = true;
+      }
+    }
+    const double rhs = row.rhs - shift;
+
+    if (!any_free) {
+      // Entirely pinned: either the fixings satisfy it (drop) or the
+      // model is infeasible and propagation missed the proof only
+      // because it works row-by-row.
+      const bool satisfied = (row.sense == Sense::kLessEq && 0.0 <= rhs + tol) ||
+                             (row.sense == Sense::kGreaterEq && 0.0 >= rhs - tol) ||
+                             (row.sense == Sense::kEqual && std::abs(rhs) <= tol);
+      if (!satisfied) {
+        std::ostringstream detail;
+        detail << "constraint '" << row_label(row, c)
+               << "' is violated by the propagated fixings — the model is "
+                  "infeasible";
+        result.infeasible = true;
+        result.message = detail.str();
+        result.reduced = Model{};
+        result.kept_rows.clear();
+        return result;
+      }
+      ++result.stats.dropped_rows;
+      if (one_hot) ++result.stats.one_hot_eliminated;
+      continue;
+    }
+
+    // Dominated inequality rows: the propagated bounds already imply
+    // them, so branch and bound never needs their dual values. This is
+    // what retires the NE/NW big-M gadget rows once the direction
+    // binaries and bounding boxes are pinned.
+    double extreme = 0.0;
+    if (row.sense == Sense::kLessEq &&
+        finite_activity(row.expr.terms(), result.var_map, prop.bounds,
+                        /*want_max=*/true, extreme) &&
+        extreme <= rhs + tol) {
+      ++result.stats.dropped_rows;
+      ++result.stats.dominated_rows;
+      continue;
+    }
+    if (row.sense == Sense::kGreaterEq &&
+        finite_activity(row.expr.terms(), result.var_map, prop.bounds,
+                        /*want_max=*/false, extreme) &&
+        extreme >= rhs - tol) {
+      ++result.stats.dropped_rows;
+      ++result.stats.dominated_rows;
+      continue;
+    }
+
+    result.reduced.add_constraint(std::move(reduced_expr), row.sense, rhs,
+                                  row.name);
+    result.kept_rows.push_back(static_cast<int>(c));
+  }
+
+  // Objective: fixed terms become a constant offset, the rest remaps.
+  LinExpr reduced_obj(model.objective().constant());
+  for (const auto& [index, coefficient] : model.objective().terms()) {
+    const int target = result.var_map[static_cast<std::size_t>(index)];
+    if (target < 0) {
+      result.objective_offset +=
+          coefficient * result.fixed_value[static_cast<std::size_t>(index)];
+    } else {
+      reduced_obj += LinExpr(Variable{target}) * coefficient;
+    }
+  }
+  if (model.is_minimization()) {
+    result.reduced.minimize(std::move(reduced_obj));
+  } else {
+    result.reduced.maximize(std::move(reduced_obj));
+  }
+
+  return result;
+}
+
+}  // namespace corelocate::ilp

@@ -1,0 +1,73 @@
+#pragma once
+// Presolve reductions for the map-reconstruction MILPs.
+//
+// The paper's mapping models (ilp_map_solver.cpp) carry a lot of slack a
+// solver never needs to branch on: interval bound propagation pins the
+// row/column integers of CHAs with tight difference chains, which in turn
+// forces most of the one-hot bookkeeping binaries to zero through the
+// link rows, and leaves the NE/NW big-M gadget rows trivially satisfied.
+// This pass runs `model_check`'s integer interval propagation once, fixes
+// every variable whose propagated interval collapsed to a point, drops
+// rows the fixed values already satisfy and rows the remaining bounds
+// dominate, and hands back a smaller model plus an *invertible* mapping:
+//
+//   Presolved p = presolve(model);
+//   MilpSolution s = solve_milp(p.reduced);
+//   std::vector<double> full = p.restore(s.values);   // original var order
+//   double objective = s.objective + p.objective_offset;
+//
+// The mapping is exact — `restore` reproduces the assignment the direct
+// solve would report, bit for bit, and throws std::logic_error when the
+// bookkeeping is inconsistent (a presolve bug, never a model property).
+
+#include <string>
+#include <vector>
+
+#include "ilp/model.hpp"
+#include "ilp/model_check.hpp"
+
+namespace corelocate::ilp {
+
+struct PresolveOptions {
+  /// Settings for the interval propagation sweep (rounds, tolerances).
+  ModelCheckOptions check;
+  /// Feasibility slack when deciding a row is satisfied or dominated.
+  double tolerance = 1e-6;
+};
+
+struct PresolveStats {
+  int fixed_variables = 0;   ///< variables pinned by propagation
+  int dropped_rows = 0;      ///< rows removed (satisfied + dominated)
+  int dominated_rows = 0;    ///< rows whose activity bounds imply them
+  int one_hot_eliminated = 0;  ///< one-hot rows already satisfied by fixings
+};
+
+/// Output of `presolve`: the reduced model and the exact mapping back.
+struct Presolved {
+  Model reduced;
+  bool infeasible = false;  ///< propagation proved the model empty
+  std::string message;      ///< infeasibility proof, when any
+  PresolveStats stats;
+
+  /// Original variable index -> reduced index, or -1 when fixed.
+  std::vector<int> var_map;
+  /// Original variable index -> pinned value (meaningful where var_map==-1).
+  std::vector<double> fixed_value;
+  /// Reduced row index -> original row index.
+  std::vector<int> kept_rows;
+  /// Objective contribution of the fixed variables: add to the reduced
+  /// model's objective value to recover the original objective.
+  double objective_offset = 0.0;
+
+  /// Maps a reduced-model assignment back to the original variable order.
+  /// Throws std::logic_error when the mapping is not a bijection between
+  /// the reduced variables and the non-fixed originals, or when
+  /// `reduced_values` has the wrong size — both are presolve bugs.
+  std::vector<double> restore(const std::vector<double>& reduced_values) const;
+};
+
+/// Runs the reductions; never modifies `model`. When `infeasible` is set
+/// the reduced model is empty and `message` carries the proof.
+Presolved presolve(const Model& model, const PresolveOptions& options = {});
+
+}  // namespace corelocate::ilp

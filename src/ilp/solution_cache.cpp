@@ -1,0 +1,42 @@
+#include "ilp/solution_cache.hpp"
+
+namespace corelocate::ilp {
+
+const CachedSolution* SolutionCache::find(std::uint64_t signature) const {
+  const auto it = entries_.find(signature);
+  return it == entries_.end() ? nullptr : &it->second.solution;
+}
+
+void SolutionCache::insert(std::uint64_t signature, const SimhashSketch& sketch,
+                           CachedSolution solution) {
+  if (capacity_ != 0 && entries_.size() >= capacity_ &&
+      entries_.find(signature) == entries_.end()) {
+    return;
+  }
+  entries_.emplace(signature, Entry{sketch, std::move(solution)});
+}
+
+const SolutionCache::Entry* SolutionCache::nearest(const SimhashSketch& sketch) const {
+  const Entry* best = nullptr;
+  int best_distance = 0;
+  // Ascending key order makes the first minimum the smallest signature,
+  // so ties resolve identically for any insertion history.
+  for (const auto& [signature, entry] : entries_) {
+    (void)signature;
+    const int distance = hamming_distance(sketch, entry.sketch);
+    if (best == nullptr || distance < best_distance) {
+      best = &entry;
+      best_distance = distance;
+    }
+  }
+  return best;
+}
+
+void SolutionCache::merge(const SolutionCache& other) {
+  for (const auto& [signature, entry] : other.entries_) {
+    if (capacity_ != 0 && entries_.size() >= capacity_) break;
+    entries_.emplace(signature, entry);
+  }
+}
+
+}  // namespace corelocate::ilp

@@ -1,0 +1,86 @@
+#pragma once
+// Cross-instance solution cache for the map solvers.
+//
+// The paper's fleet data is the motivation: 8124M/8175M present one
+// identical OS<->CHA map across 100 instances and 8259CL only 7
+// variants, so almost every fleet solve re-derives a known answer. The
+// cache keys on the canonical observation signature (signature.hpp) and
+// stores the *complete* solve outcome — positions, message, node and
+// iteration counts — so a hit replays the cold solve byte for byte
+// regardless of which worker or batch produced it.
+//
+// Misses still profit: every entry carries a simhash sketch of its
+// element digests, and `nearest` returns the Hamming-closest stored
+// solve, whose positions seed the ILP warm start (a bound, never an
+// incumbent — see branch_and_bound.hpp — so the answer stays identical
+// to a cold solve).
+//
+// Determinism contract: storage is an ordered map, `merge` is
+// insert-if-absent in key order, and lookups never mutate. Merging
+// per-worker caches at aggregation therefore yields the same cache for
+// any worker count. The class is not thread-safe: use one instance per
+// worker, or confine a shared instance to serial phases (serve's
+// batcher does the latter).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ilp/signature.hpp"
+
+namespace corelocate::ilp {
+
+/// A finished solve, in solver-agnostic terms: grid positions per CHA
+/// plus the diagnostics a replay must reproduce exactly.
+struct CachedSolution {
+  bool success = true;
+  std::vector<std::pair<int, int>> positions;  ///< CHA -> (row, column)
+  std::string message;
+  std::int64_t nodes_explored = 0;
+  std::int64_t lp_iterations = 0;
+  std::int64_t nodes_pruned = 0;
+  std::int64_t lp_solves_avoided = 0;
+};
+
+class SolutionCache {
+ public:
+  struct Entry {
+    SimhashSketch sketch{};
+    CachedSolution solution;
+  };
+
+  /// `capacity` of 0 means unbounded. A full cache refuses further
+  /// inserts instead of evicting: any deterministic eviction order would
+  /// still make hit patterns depend on insertion history, and the fleet
+  /// data says the working set is tiny anyway.
+  explicit SolutionCache(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Exact-signature lookup; nullptr on miss. Never mutates.
+  const CachedSolution* find(std::uint64_t signature) const;
+
+  /// Stores a solve under its signature. First write wins: an existing
+  /// entry is never replaced (the same signature always describes the
+  /// same input, so replays must not depend on arrival order).
+  void insert(std::uint64_t signature, const SimhashSketch& sketch,
+              CachedSolution solution);
+
+  /// Hamming-nearest stored entry by sketch, or nullptr when empty.
+  /// Ties break toward the smaller signature, so the choice is a pure
+  /// function of the cache contents.
+  const Entry* nearest(const SimhashSketch& sketch) const;
+
+  /// Insert-if-absent union, in `other`'s key order. Deterministic: the
+  /// merged contents do not depend on how work was partitioned.
+  void merge(const SolutionCache& other);
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+
+ private:
+  std::size_t capacity_ = 0;
+  std::map<std::uint64_t, Entry> entries_;
+};
+
+}  // namespace corelocate::ilp

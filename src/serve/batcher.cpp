@@ -9,6 +9,27 @@
 
 namespace corelocate::serve {
 
+namespace {
+
+// One option-construction path shared by solve_mapping, probe_solution
+// and store_solution: the probe and the fill must key the solution
+// cache exactly as a cache-attached solve would.
+core::IlpMapSolverOptions ilp_solver_options(const sim::ModelSpec& spec) {
+  core::IlpMapSolverOptions options;
+  options.grid_rows = spec.die.rows;
+  options.grid_cols = spec.die.cols;
+  return options;
+}
+
+core::DecomposedSolverOptions decomposed_solver_options(const sim::ModelSpec& spec) {
+  core::DecomposedSolverOptions options;
+  options.grid_rows = spec.die.rows;
+  options.grid_cols = spec.die.cols;
+  return options;
+}
+
+}  // namespace
+
 std::uint64_t solve_group_key(const MappingRequest& request, std::uint64_t signature) {
   ilp::SignatureBuilder builder(0xBA7C4E12ULL);
   builder.add(static_cast<std::uint64_t>(request.model))
@@ -41,11 +62,8 @@ core::MapSolveResult solve_mapping(const MappingRequest& request,
   }
   const sim::ModelSpec& spec = sim::spec_for(request.model);
   if (engine == core::SolverEngine::kIlp) {
-    core::IlpMapSolverOptions options;
-    options.grid_rows = spec.die.rows;
-    options.grid_cols = spec.die.cols;
-    return core::IlpMapSolver(options).solve(*request.observations,
-                                             request.cha_count);
+    return core::IlpMapSolver(ilp_solver_options(spec))
+        .solve(*request.observations, request.cha_count);
   }
   if (engine == core::SolverEngine::kRefined) {
     core::RefinementOptions options;
@@ -55,11 +73,41 @@ core::MapSolveResult solve_mapping(const MappingRequest& request,
                                        options)
         .solved;
   }
-  core::DecomposedSolverOptions options;
-  options.grid_rows = spec.die.rows;
-  options.grid_cols = spec.die.cols;
-  return core::DecomposedMapSolver(options).solve(*request.observations,
-                                                  request.cha_count);
+  return core::DecomposedMapSolver(decomposed_solver_options(spec))
+      .solve(*request.observations, request.cha_count);
+}
+
+bool probe_solution(const MappingRequest& request, core::SolverEngine engine,
+                    ilp::SolutionCache& cache, core::MapSolveResult& solved) {
+  if (!request.observations || engine == core::SolverEngine::kRefined) return false;
+  const sim::ModelSpec& spec = sim::spec_for(request.model);
+  if (engine == core::SolverEngine::kIlp) {
+    core::IlpMapSolverOptions options = ilp_solver_options(spec);
+    options.solution_cache = &cache;
+    return core::IlpMapSolver(options).probe_cache(*request.observations,
+                                                   request.cha_count, solved);
+  }
+  core::DecomposedSolverOptions options = decomposed_solver_options(spec);
+  options.solution_cache = &cache;
+  return core::DecomposedMapSolver(options).probe_cache(*request.observations,
+                                                        request.cha_count, solved);
+}
+
+void store_solution(const MappingRequest& request, core::SolverEngine engine,
+                    ilp::SolutionCache& cache, const core::MapSolveResult& solved) {
+  if (!request.observations || engine == core::SolverEngine::kRefined) return;
+  const sim::ModelSpec& spec = sim::spec_for(request.model);
+  if (engine == core::SolverEngine::kIlp) {
+    core::IlpMapSolverOptions options = ilp_solver_options(spec);
+    options.solution_cache = &cache;
+    core::IlpMapSolver(options).store_cache(*request.observations,
+                                            request.cha_count, solved);
+    return;
+  }
+  core::DecomposedSolverOptions options = decomposed_solver_options(spec);
+  options.solution_cache = &cache;
+  core::DecomposedMapSolver(options).store_cache(*request.observations,
+                                                 request.cha_count, solved);
 }
 
 core::CoreMap build_map(const MappingRequest& request, core::MapSolveResult solved) {

@@ -44,6 +44,20 @@ std::vector<SolveGroup> group_pending(const std::vector<PendingSolve>& pending);
 core::MapSolveResult solve_mapping(const MappingRequest& request,
                                    core::SolverEngine engine);
 
+/// Serial-phase solution-cache probe for one solve group's request: an
+/// exact-signature hit replays the group's cold solve into `solved`
+/// without dispatching it (returns true). Misses — and the refined
+/// engine, which never consults the cache — return false. Must only run
+/// in a serial phase: ilp::SolutionCache is not thread-safe.
+bool probe_solution(const MappingRequest& request, core::SolverEngine engine,
+                    ilp::SolutionCache& cache, core::MapSolveResult& solved);
+
+/// Serial-phase solution-cache fill after a Phase B solve: stores
+/// `solved` under exactly the key `probe_solution` would look up.
+/// First write wins; the refined engine no-ops.
+void store_solution(const MappingRequest& request, core::SolverEngine engine,
+                    ilp::SolutionCache& cache, const core::MapSolveResult& solved);
+
 /// Assembles the served CoreMap from a successful solve plus the
 /// request's identity fields (mirrors core::locate_cores' final step).
 core::CoreMap build_map(const MappingRequest& request, core::MapSolveResult solved);

@@ -7,32 +7,18 @@
 namespace corelocate::serve {
 
 std::uint64_t observation_signature(const core::ObservationSet& observations) {
-  std::vector<std::uint64_t> digests;
-  digests.reserve(observations.size());
-  for (const core::PathObservation& observation : observations) {
-    ilp::SignatureBuilder builder(0x0B5E12D1ULL);
-    builder.add_int(observation.source_cha).add_int(observation.sink_cha);
-    // Activation order is a readout artifact: sort a copy of the
-    // (cha, label, cycles) triples before hashing.
-    std::vector<std::uint64_t> activation_digests;
-    activation_digests.reserve(observation.activations.size());
-    for (const core::ChannelActivation& activation : observation.activations) {
-      ilp::SignatureBuilder act(0xAC7117A7ULL);
-      act.add_int(activation.cha)
-          .add(static_cast<std::uint64_t>(activation.label))
-          .add(activation.cycles);
-      activation_digests.push_back(act.digest());
-    }
-    builder.add(ilp::combine_unordered(std::move(activation_digests)));
-    digests.push_back(builder.digest());
-  }
-  return ilp::combine_unordered(std::move(digests));
+  // The canonical implementation moved next to the solvers (they key the
+  // ilp::SolutionCache on it); this forwarder keeps serve's historical
+  // entry point and values.
+  return core::observation_signature(observations);
 }
 
 Fingerprint fingerprint_of(const MappingRequest& request) {
   Fingerprint fp;
-  fp.signature = request.observations ? observation_signature(*request.observations)
-                                      : 0;
+  // Qualified: ADL would also find core::observation_signature (same
+  // values, but the call would be ambiguous).
+  fp.signature =
+      request.observations ? serve::observation_signature(*request.observations) : 0;
   ilp::SignatureBuilder builder(0xF1B6E250ULL);
   builder.add(static_cast<std::uint64_t>(request.model))
       .add(request.ppin)

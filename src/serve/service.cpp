@@ -104,6 +104,7 @@ std::string plan_body(const CovertPlanRequest& request, const core::CoreMap& map
 Service::Service(ServiceOptions options)
     : options_(options),
       cache_(options.cache_capacity, options.cache_shards),
+      solution_cache_(options.solution_cache_capacity),
       log_(options.log_stream) {
   if (options_.jobs < 1) throw std::invalid_argument("Service: jobs < 1");
   if (options_.batch_max < 1) throw std::invalid_argument("Service: batch_max < 1");
@@ -188,10 +189,29 @@ std::size_t Service::run_batch(std::vector<Queued>& batch) {
     }
   }
 
-  // Phase B (parallel): one solver task per unique group, one task per
-  // survey request. Tasks write only their own slot; nothing here
-  // touches the cache, the log or the registry.
+  // Pre-dispatch (still serial): probe the solution cache once per
+  // group. A hit replays the group's cold solve — the group skips Phase
+  // B, its members keep their kSolved/kCoalesced statuses and bytes.
   std::vector<GroupResult> results(groups.size());
+  std::vector<char> group_replayed(groups.size(), 0);
+  if (options_.solution_cache) {
+    std::uint64_t solution_hits = 0;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const MappingRequest& mapping = *items[groups[g].members.front()].mapping;
+      if (probe_solution(mapping, options_.engine, solution_cache_,
+                         results[g].solved)) {
+        group_replayed[g] = 1;
+        ++solution_hits;
+      }
+    }
+    registry_.counter("serve.solution_cache.hits").add(solution_hits);
+    registry_.counter("serve.solution_cache.misses")
+        .add(groups.size() - solution_hits);
+  }
+
+  // Phase B (parallel): one solver task per unique un-replayed group,
+  // one task per survey request. Tasks write only their own slot;
+  // nothing here touches the caches, the log or the registry.
   std::vector<SurveyOutcome> surveys(survey_requests.size());
   const auto solve_task = [&](std::size_t g) {
     CORELOCATE_HOT_LOOP;  // Phase B solver task: the serving hot path
@@ -213,6 +233,7 @@ std::size_t Service::run_batch(std::vector<Queued>& batch) {
     std::vector<std::future<void>> futures;
     futures.reserve(groups.size() + surveys.size());
     for (std::size_t g = 0; g < groups.size(); ++g) {
+      if (group_replayed[g]) continue;
       futures.push_back(pool_->submit([&solve_task, g] { solve_task(g); }));
     }
     for (std::size_t s = 0; s < surveys.size(); ++s) {
@@ -220,8 +241,24 @@ std::size_t Service::run_batch(std::vector<Queued>& batch) {
     }
     for (std::future<void>& future : futures) future.get();
   } else {
-    for (std::size_t g = 0; g < groups.size(); ++g) solve_task(g);
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      if (!group_replayed[g]) solve_task(g);
+    }
     for (std::size_t s = 0; s < surveys.size(); ++s) survey_task(s);
+  }
+
+  // Solution-cache fills (serial again), in group — i.e. first-
+  // appearance — order, before any response is built. Only successful
+  // cold solves are stored: a solver exception in Phase B would never
+  // have reached a cache-attached solver's own insert either.
+  if (options_.solution_cache) {
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      if (group_replayed[g] || !results[g].solved.success) continue;
+      const MappingRequest& mapping = *items[groups[g].members.front()].mapping;
+      store_solution(mapping, options_.engine, solution_cache_, results[g].solved);
+    }
+    registry_.gauge("serve.solution_cache.size")
+        .set(static_cast<double>(solution_cache_.size()));
   }
 
   // Phase C (serial): responses, cache fills and the log, in seq order.

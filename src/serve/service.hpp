@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "ilp/solution_cache.hpp"
 #include "obs/metrics.hpp"
 #include "serve/map_cache.hpp"
 #include "serve/request.hpp"
@@ -54,6 +55,14 @@ struct ServiceOptions {
   std::size_t cache_capacity = 4096;
   std::size_t cache_shards = 8;
   core::SolverEngine engine = core::SolverEngine::kDecomposed;
+  /// Put a solver-level ilp::SolutionCache behind the map cache: solve
+  /// groups are probed against it before Phase B dispatch and cold
+  /// successes fill it after the join — both serial phases, honouring
+  /// the cache's no-concurrency contract. Hits only skip the dispatch:
+  /// every response, statuses included, stays byte-identical to a run
+  /// with the cache off (a hit replays the cold solve byte for byte).
+  bool solution_cache = false;
+  std::size_t solution_cache_capacity = 0;  ///< 0 = unbounded
   /// Response log destination (null = count/checksum only).
   std::ostream* log_stream = nullptr;
   /// Called once per response, in seq order, after the log append.
@@ -80,6 +89,7 @@ class Service {
   std::size_t pending() const noexcept { return queue_.size(); }
 
   const MapCache& cache() const noexcept { return cache_; }
+  const ilp::SolutionCache& solution_cache() const noexcept { return solution_cache_; }
   const ResponseLog& response_log() const noexcept { return log_; }
 
   /// Per-endpoint instruments (counters, service-time stats and
@@ -97,6 +107,9 @@ class Service {
 
   ServiceOptions options_;
   MapCache cache_;
+  /// Solver-level cache; touched only in run_batch's serial phases.
+  /// Empty (and never consulted) unless options_.solution_cache is set.
+  ilp::SolutionCache solution_cache_;
   ResponseLog log_;
   obs::Registry registry_;
   std::deque<Queued> queue_;

@@ -1,0 +1,32 @@
+// Taint fixture: SolutionCache neutrality must not launder real taint.
+// A wall-clock stamp mixed into a cache-adjacent helper still flows to
+// the SurveyRecord sink — the cache being neither source nor sink does
+// not cut the path running THROUGH its call site.
+#include <ctime>
+
+struct SurveyRecord {
+  double wall_ms = 0.0;
+  int row = 0;
+};
+
+struct SolutionCache {
+  double best = 0.0;
+  double nearest_value() const { return best; }
+};
+
+namespace {
+
+double stamp_entry() {
+  return static_cast<double>(clock());  // corelint-expect: det-wallclock
+}
+
+double cached_or_stamp(const SolutionCache& cache) {
+  // The cache read contributes nothing; the stamp taints the sum.
+  return cache.nearest_value() + stamp_entry();
+}
+
+}  // namespace
+
+void fill_record(SurveyRecord& rec, const SolutionCache& cache) {
+  rec.wall_ms = cached_or_stamp(cache);  // corelint-expect: det-taint-flow
+}

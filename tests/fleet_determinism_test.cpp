@@ -106,6 +106,28 @@ TEST(FleetDeterminism, ResumedParallelSurveyMatchesSerialReference) {
   fs::remove_all(dir);
 }
 
+TEST(FleetDeterminism, SolutionCacheKeepsJobsNEqualToJobs1) {
+  // The solution cache rides per-worker copies merged at aggregation:
+  // records AND merged cache contents must not depend on the worker
+  // count, and the cache must not change the survey's answer at all.
+  const SurveyResult plain = run_survey(sim::XeonModel::k8259CL, options_with_jobs(1));
+
+  ilp::SolutionCache serial_cache;
+  SurveyOptions serial_options = options_with_jobs(1);
+  serial_options.solution_cache = &serial_cache;
+  const SurveyResult serial = run_survey(sim::XeonModel::k8259CL, serial_options);
+
+  ilp::SolutionCache parallel_cache;
+  SurveyOptions parallel_options = options_with_jobs(8);
+  parallel_options.solution_cache = &parallel_cache;
+  const SurveyResult parallel = run_survey(sim::XeonModel::k8259CL, parallel_options);
+
+  expect_identical(plain, serial);
+  expect_identical(serial, parallel);
+  EXPECT_GT(serial_cache.size(), 0u);
+  EXPECT_EQ(serial_cache.size(), parallel_cache.size());
+}
+
 TEST(FleetDeterminism, SeedDerivesFromIndexOnly) {
   SurveyOptions options;
   options.instances = 5;

@@ -1,0 +1,176 @@
+// Presolve round-tripping: the reductions must be invisible in the
+// answer. Un-presolving a presolved solution reproduces the direct
+// solve's assignment on all four paper SKU model shapes and on fuzzed
+// one-hot models, and a corrupted mapping is a loud std::logic_error,
+// never a silently wrong map.
+
+#include "ilp/presolve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/ilp_map_solver.hpp"
+#include "core/observation.hpp"
+#include "ilp/branch_and_bound.hpp"
+#include "sim/instance_factory.hpp"
+#include "util/rng.hpp"
+
+namespace corelocate::ilp {
+namespace {
+
+/// A chain of overlapping one-hot blocks with singleton pins — the
+/// model family presolve and the bitset propagation were built for
+/// (bench/perf_ilp.cpp carries the annotated version).
+Model one_hot_chain(int motifs, util::Rng* rng) {
+  Model m;
+  LinExpr objective;
+  for (int k = 0; k < motifs; ++k) {
+    const Variable a = m.add_binary();
+    const Variable b = m.add_binary();
+    const Variable c = m.add_binary();
+    const Variable d = m.add_binary();
+    const Variable e = m.add_binary();
+    const Variable f = m.add_binary();
+    m.add_constraint(LinExpr(a) + LinExpr(b) + LinExpr(c), Sense::kEqual, 1.0);
+    m.add_constraint(LinExpr(a) + LinExpr(d) + LinExpr(e), Sense::kEqual, 1.0);
+    m.add_constraint(LinExpr(b) + LinExpr(d) + LinExpr(f), Sense::kEqual, 1.0);
+    m.add_constraint(LinExpr(c), Sense::kEqual, 0.0);
+    m.add_constraint(LinExpr(e), Sense::kEqual, 0.0);
+    // Distinct per-motif costs keep the optimum unique, so the direct
+    // and presolved searches cannot land on different ties.
+    const double jitter =
+        rng != nullptr ? 0.001 * static_cast<double>(rng->range(1, 9)) : 0.0;
+    objective += (1.0 + 0.01 * (k % 7) + jitter) * LinExpr(a);
+    objective += (0.0001 * (k + 1)) * LinExpr(f);
+  }
+  m.minimize(objective);
+  return m;
+}
+
+/// The manual pipeline (presolve -> solve reduced -> restore) must agree
+/// with both the direct solve and the integrated solve_milp presolve
+/// path, assignment for assignment.
+void expect_round_trip(const Model& m) {
+  const MilpSolution direct = solve_milp(m);
+  ASSERT_EQ(direct.status, MilpStatus::kOptimal);
+
+  const Presolved p = presolve(m);
+  ASSERT_FALSE(p.infeasible) << p.message;
+  const MilpSolution reduced = solve_milp(p.reduced);
+  ASSERT_EQ(reduced.status, MilpStatus::kOptimal);
+  const std::vector<double> restored = p.restore(reduced.values);
+
+  ASSERT_EQ(restored.size(), direct.values.size());
+  EXPECT_NEAR(reduced.objective + p.objective_offset, direct.objective, 1e-6);
+  for (std::size_t i = 0; i < restored.size(); ++i) {
+    // Every model under test is pure-integer with a unique optimum, so
+    // the rounded assignments must agree exactly.
+    EXPECT_EQ(std::lround(restored[i]), std::lround(direct.values[i]))
+        << "variable #" << i;
+  }
+
+  // The integrated path IS the manual path: bit-for-bit.
+  MilpOptions options;
+  options.presolve = true;
+  const MilpSolution integrated = solve_milp(m, options);
+  ASSERT_EQ(integrated.status, MilpStatus::kOptimal);
+  ASSERT_EQ(integrated.values.size(), restored.size());
+  for (std::size_t i = 0; i < restored.size(); ++i) {
+    EXPECT_EQ(integrated.values[i], restored[i]) << "variable #" << i;
+  }
+}
+
+TEST(PresolveRoundTrip, OneHotChain) {
+  expect_round_trip(one_hot_chain(6, nullptr));
+}
+
+TEST(PresolveRoundTrip, FuzzedOneHotModels) {
+  util::Rng rng(0xC0FE);
+  for (int round = 0; round < 8; ++round) {
+    const int motifs = 1 + round % 5;
+    const Model m = one_hot_chain(motifs, &rng);
+    SCOPED_TRACE("round " + std::to_string(round));
+    expect_round_trip(m);
+  }
+}
+
+TEST(PresolveRoundTrip, ReducesTheOneHotChain) {
+  const Model m = one_hot_chain(6, nullptr);
+  const Presolved p = presolve(m);
+  ASSERT_FALSE(p.infeasible);
+  // The singleton c/e rows pin variables; their one-hot rows shrink.
+  EXPECT_GT(p.stats.fixed_variables, 0);
+  EXPECT_GT(p.stats.dropped_rows, 0);
+  EXPECT_LT(p.reduced.variable_count(), m.variable_count());
+}
+
+/// The map-level property on every paper SKU shape: presolve on vs off
+/// yields the same CHA positions, coordinate for coordinate.
+TEST(PresolveRoundTrip, PaperSkuShapesBitForBit) {
+  const sim::XeonModel skus[] = {sim::XeonModel::k8124M, sim::XeonModel::k8175M,
+                                 sim::XeonModel::k8259CL, sim::XeonModel::k6354};
+  const sim::InstanceFactory factory(sim::InstanceFactory::kDefaultFleetSeed);
+  for (const sim::XeonModel sku : skus) {
+    SCOPED_TRACE(sim::to_string(sku));
+    util::Rng rng(777);
+    const sim::InstanceConfig config = factory.make_instance(sku, rng);
+    const core::ObservationSet obs = core::synthesize_observations(config);
+
+    core::IlpMapSolverOptions options;
+    options.grid_rows = config.grid.rows();
+    options.grid_cols = config.grid.cols();
+    options.objective = core::IlpObjective::kCompactSum;
+    options.max_observations = 12;
+    const core::MapSolveResult cold =
+        core::IlpMapSolver(options).solve(obs, config.cha_count());
+
+    options.milp.presolve = true;
+    const core::MapSolveResult reduced =
+        core::IlpMapSolver(options).solve(obs, config.cha_count());
+
+    ASSERT_TRUE(cold.success) << cold.message;
+    ASSERT_TRUE(reduced.success) << reduced.message;
+    EXPECT_EQ(cold.cha_position, reduced.cha_position);
+  }
+}
+
+TEST(PresolveRestore, CorruptVarMapThrows) {
+  const Model m = one_hot_chain(2, nullptr);
+  Presolved p = presolve(m);
+  const MilpSolution reduced = solve_milp(p.reduced);
+  ASSERT_EQ(reduced.status, MilpStatus::kOptimal);
+
+  // Point two originals at the same reduced slot: no longer a bijection.
+  int first_kept = -1;
+  for (std::size_t i = 0; i < p.var_map.size(); ++i) {
+    if (p.var_map[i] < 0) continue;
+    if (first_kept < 0) {
+      first_kept = p.var_map[i];
+    } else {
+      p.var_map[i] = first_kept;
+      break;
+    }
+  }
+  ASSERT_GE(first_kept, 0);
+  try {
+    (void)p.restore(reduced.values);
+    FAIL() << "corrupt mapping restored without throwing";
+  } catch (const std::logic_error& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("presolve mapping corrupt:", 0), 0u)
+        << e.what();
+  }
+}
+
+TEST(PresolveRestore, WrongSizeThrows) {
+  const Model m = one_hot_chain(2, nullptr);
+  const Presolved p = presolve(m);
+  const std::vector<double> wrong(p.reduced.variable_count() + 1, 0.0);
+  EXPECT_THROW((void)p.restore(wrong), std::logic_error);
+}
+
+}  // namespace
+}  // namespace corelocate::ilp

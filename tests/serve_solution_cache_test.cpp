@@ -1,0 +1,107 @@
+// The serving layer's solution-cache contract: probing/filling the
+// solver-level ilp::SolutionCache around batch dispatch never changes a
+// response byte, at any worker count — and the probe/store primitives
+// agree on the key.
+
+#include "serve/batcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "serve/loadgen.hpp"
+#include "serve/service.hpp"
+#include "sim/instance_factory.hpp"
+
+namespace corelocate::serve {
+namespace {
+
+/// A small head-heavy stream over a tiny map cache: the capacity-1 map
+/// cache keeps evicting, so repeated mappings reach the solver again and
+/// the solution cache actually fields hits.
+LoadgenOptions stream_options() {
+  LoadgenOptions options;
+  options.requests = 600;
+  options.distinct_per_sku = 3;
+  options.permute_fraction = 0.25;
+  return options;
+}
+
+struct ReplayOutcome {
+  std::string log_bytes;
+  std::uint64_t checksum = 0;
+  std::uint64_t solution_hits = 0;
+  std::size_t cache_entries = 0;
+};
+
+ReplayOutcome replay(int jobs, bool solution_cache) {
+  const Loadgen loadgen(stream_options());
+  std::ostringstream log;
+  ServiceOptions options;
+  options.jobs = jobs;
+  options.batch_max = 64;
+  options.cache_capacity = 1;  // starve the map cache: solver sees repeats
+  options.cache_shards = 1;
+  options.engine = core::SolverEngine::kDecomposed;
+  options.solution_cache = solution_cache;
+  options.log_stream = &log;
+  Service service(options);
+  for (std::uint64_t i = 0; i < stream_options().requests; ++i) {
+    service.submit(loadgen.make_request(i));
+    if (service.pending() >= 64) service.pump();
+  }
+  service.drain();
+  ReplayOutcome outcome;
+  outcome.log_bytes = log.str();
+  outcome.checksum = service.response_log().checksum();
+  const obs::Counter* hits =
+      service.registry().find_counter("serve.solution_cache.hits");
+  outcome.solution_hits = hits != nullptr ? hits->value() : 0;
+  outcome.cache_entries = service.solution_cache().size();
+  return outcome;
+}
+
+TEST(ServeSolutionCache, OnOffByteIdenticalAcrossWorkerCounts) {
+  const ReplayOutcome baseline = replay(1, false);
+  ASSERT_FALSE(baseline.log_bytes.empty());
+  EXPECT_EQ(baseline.cache_entries, 0u);
+
+  for (const int jobs : {1, 4, 8}) {
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    const ReplayOutcome cached = replay(jobs, true);
+    EXPECT_EQ(cached.log_bytes, baseline.log_bytes);
+    EXPECT_EQ(cached.checksum, baseline.checksum);
+    EXPECT_GT(cached.cache_entries, 0u);
+  }
+  // The starved map cache guarantees the solver re-sees signatures, so
+  // at least one replay must have come from the solution cache.
+  EXPECT_GT(replay(1, true).solution_hits, 0u);
+}
+
+TEST(ServeSolutionCache, ProbeStorePrimitivesShareTheKey) {
+  const sim::InstanceFactory factory(sim::InstanceFactory::kDefaultFleetSeed);
+  const MappingRequest request =
+      synthesize_client(sim::XeonModel::k8259CL, 13, factory);
+
+  ilp::SolutionCache cache;
+  core::MapSolveResult solved;
+  EXPECT_FALSE(probe_solution(request, core::SolverEngine::kDecomposed, cache, solved));
+
+  const core::MapSolveResult cold =
+      solve_mapping(request, core::SolverEngine::kDecomposed);
+  ASSERT_TRUE(cold.success) << cold.message;
+  store_solution(request, core::SolverEngine::kDecomposed, cache, cold);
+  EXPECT_EQ(cache.size(), 1u);
+
+  ASSERT_TRUE(probe_solution(request, core::SolverEngine::kDecomposed, cache, solved));
+  EXPECT_TRUE(solved.cache_hit);
+  EXPECT_EQ(solved.cha_position, cold.cha_position);
+  EXPECT_EQ(solved.nodes, cold.nodes);
+
+  // The refined engine never consults the cache, even on a stored key.
+  EXPECT_FALSE(probe_solution(request, core::SolverEngine::kRefined, cache, solved));
+}
+
+}  // namespace
+}  // namespace corelocate::serve

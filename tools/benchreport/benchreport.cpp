@@ -7,7 +7,7 @@
 //
 //   benchreport compare <current.json> <baseline.json>
 //                       [<current2.json> <baseline2.json> ...]
-//                       [--max-regress F]
+//                       [--max-regress F] [--metric NAME,NAME,...]
 //       Validates every report, then fails (exit 1) if any current wall
 //       time regressed by more than F (default 0.25 = +25%) over its
 //       baseline. A pair whose current or baseline report is missing,
@@ -17,6 +17,14 @@
 //       so a CI job gates a whole bench suite in a single invocation.
 //       Expected-vs-measured rows are printed for context but never
 //       gate: result quality is the test suite's job.
+//
+//       --metric additionally gates the named registry counters (e.g.
+//       B&B nodes explored, LP iterations) with the same budget:
+//       current <= baseline * (1 + F). Every named counter must be
+//       present in BOTH reports of EVERY pair — a missing counter fails
+//       that pair loudly rather than skipping the gate, so a renamed or
+//       dropped counter cannot silently disarm CI. Counter gates are
+//       one-sided like the wall gate: shrinking is always fine.
 
 #include <cstdio>
 #include <fstream>
@@ -79,7 +87,40 @@ std::string fmt_seconds(double seconds) {
   return std::string(buf);
 }
 
-int run_compare(const std::vector<std::string>& paths, double max_regress) {
+/// Splits a --metric value on commas, dropping empty segments (so a
+/// trailing comma is not a silent empty metric name).
+std::vector<std::string> split_metric_names(const std::string& value) {
+  std::vector<std::string> names;
+  std::string::size_type begin = 0;
+  while (begin <= value.size()) {
+    const std::string::size_type comma = value.find(',', begin);
+    const std::string::size_type end = comma == std::string::npos ? value.size() : comma;
+    if (end > begin) names.push_back(value.substr(begin, end - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return names;
+}
+
+/// Fetches `metrics.counters.<name>` from a report, or returns false.
+bool lookup_counter(const obs::Json& report, const std::string& name, double* value) {
+  if (!report.contains("metrics")) return false;
+  const obs::Json& metrics = report.at("metrics");
+  if (!metrics.contains("counters") || !metrics.at("counters").contains(name)) {
+    return false;
+  }
+  *value = metrics.at("counters").at(name).as_number();
+  return true;
+}
+
+std::string fmt_count(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.0f", value);
+  return std::string(buf);
+}
+
+int run_compare(const std::vector<std::string>& paths, double max_regress,
+                const std::vector<std::string>& metric_names) {
   if (paths.size() < 2 || paths.size() % 2 != 0) {
     std::cerr << "benchreport compare: expected <current.json> <baseline.json>"
                  " pairs (got " << paths.size() << " paths)\n";
@@ -110,7 +151,10 @@ int run_compare(const std::vector<std::string>& paths, double max_regress) {
   }
 
   util::TablePrinter table({"bench", "current s", "baseline s", "budget s", "verdict"});
+  util::TablePrinter metric_table(
+      {"metric", "current", "baseline", "budget", "verdict"});
   int regressions = 0;
+  int missing_metrics = 0;
   for (std::size_t pair = 0; pair < paths.size(); pair += 2) {
     const obs::Json current = load(paths[pair]);
     const obs::Json baseline = load(paths[pair + 1]);
@@ -144,15 +188,52 @@ int run_compare(const std::vector<std::string>& paths, double max_regress) {
                 << row.at("expected").as_number() << ", measured "
                 << row.at("measured").as_number() << "\n";
     }
+
+    // Counter gates: every requested metric must resolve in both reports
+    // of this pair. A missing counter is a loud per-pair failure, never a
+    // silently skipped gate.
+    const std::size_t pair_number = pair / 2 + 1;
+    for (const std::string& name : metric_names) {
+      double current_value = 0.0;
+      double baseline_value = 0.0;
+      const bool in_current = lookup_counter(current, name, &current_value);
+      const bool in_baseline = lookup_counter(baseline, name, &baseline_value);
+      if (!in_current || !in_baseline) {
+        std::cerr << "benchreport compare: pair " << pair_number << ": metric '"
+                  << name << "' missing from "
+                  << (!in_current ? paths[pair] : paths[pair + 1])
+                  << " — cannot gate it; fix the counter name or refresh the "
+                     "report\n";
+        ++missing_metrics;
+        continue;
+      }
+      const double metric_budget = baseline_value * (1.0 + max_regress);
+      const bool regressed = current_value > metric_budget;
+      regressions += regressed ? 1 : 0;
+      metric_table.add_row({name, fmt_count(current_value),
+                            fmt_count(baseline_value), fmt_count(metric_budget),
+                            regressed ? "REGRESSED" : "ok"});
+    }
   }
 
   std::cout << "\nwall-time budget: +" << max_regress * 100.0 << "% over baseline\n";
   table.print(std::cout);
-  if (regressions > 0) {
-    std::cerr << "benchreport compare: " << regressions << " bench(es) regressed\n";
+  if (!metric_names.empty() && missing_metrics == 0) metric_table.print(std::cout);
+  if (missing_metrics > 0) {
+    std::cerr << "benchreport compare: " << missing_metrics
+              << " metric gate(s) could not be evaluated\n";
     return 1;
   }
-  std::cout << "compare: OK (" << paths.size() / 2 << " pair(s))\n";
+  if (regressions > 0) {
+    std::cerr << "benchreport compare: " << regressions
+              << " gate(s) regressed (wall time or counters)\n";
+    return 1;
+  }
+  std::cout << "compare: OK (" << paths.size() / 2 << " pair(s)";
+  if (!metric_names.empty()) {
+    std::cout << ", " << metric_names.size() << " counter metric(s) per pair";
+  }
+  std::cout << ")\n";
   return 0;
 }
 
@@ -165,9 +246,14 @@ int main(int argc, char** argv) {
                         "compare current/baseline report pairs and gate on "
                         "wall-time regressions.");
     spec.add("max-regress", "F", "wall-time regression budget (default 0.25 = +25%)");
+    spec.add("metric", "NAMES",
+             "comma-separated registry counter names to gate with the same "
+             "budget (compare only); each must exist in every compared report");
     const util::CliFlags flags(argc, argv);
     if (flags.handle_help(spec, std::cout)) return 0;
     const double max_regress = flags.get_double("max-regress", 0.25);
+    const std::vector<std::string> metric_names =
+        split_metric_names(flags.get("metric", ""));
     const std::vector<std::string>& args = flags.positional();
     if (args.empty()) {
       std::cerr << spec.usage();
@@ -176,7 +262,7 @@ int main(int argc, char** argv) {
     const std::string& command = args.front();
     const std::vector<std::string> rest(args.begin() + 1, args.end());
     if (command == "validate") return run_validate(rest);
-    if (command == "compare") return run_compare(rest, max_regress);
+    if (command == "compare") return run_compare(rest, max_regress, metric_names);
     std::cerr << "benchreport: unknown command '" << command << "'\n";
     return 2;
   } catch (const std::exception& e) {

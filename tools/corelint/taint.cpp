@@ -156,7 +156,13 @@ UnitInfo make_info(const TranslationUnit& unit) {
     // findings unless tagged as pure timing metadata. obs::Span and
     // obs::Registry are deliberately neither sources nor sinks: they are
     // observability channels (timing may flow *into* them and on into
-    // perf reports), so mentioning them taints nothing.
+    // perf reports), so mentioning them taints nothing. The same holds
+    // for ilp::SolutionCache lookups: cache contents are deterministic
+    // solver results keyed on canonical observation signatures (a hit
+    // replays a cold solve byte for byte), so a lookup introduces no
+    // nondeterminism and a store publishes nothing — but taint carried
+    // by OTHER operands of a cache-adjacent expression still propagates
+    // (good/bad_taint_solution_cache.cpp pin both directions).
     if (contains_token(code, "Clock")) {
       info.line_source[i] = "obs::Clock wall-clock";
       continue;
