@@ -118,6 +118,10 @@ int main(int argc, char** argv) {
       .add("solution-cache", "0|1",
            "probe/fill the solver solution cache around batch dispatch "
            "(responses stay byte-identical either way; default 0)")
+      .add("solution-cache-file", "PATH",
+           "persist the solution cache: warm from PATH if it exists, save "
+           "it back on exit (implies --solution-cache 1; shares a format "
+           "with fleet_survey --solution-cache-file)")
       .add("fleet-seed", "N", "manufacturing distribution seed")
       .add("response-log", "PATH", "write responses to PATH instead of stdout")
       .add("report", "json", "write a schema-checked perf report on exit")
@@ -131,7 +135,9 @@ int main(int argc, char** argv) {
   options.cache_capacity =
       static_cast<std::size_t>(flags.get_int("cache-capacity", 4096));
   options.cache_shards = static_cast<std::size_t>(flags.get_int("cache-shards", 8));
-  options.solution_cache = flags.get_bool("solution-cache", false);
+  const std::string solution_cache_path = flags.get("solution-cache-file", "");
+  options.solution_cache =
+      flags.get_bool("solution-cache", false) || !solution_cache_path.empty();
   const std::string engine_name = flags.get("engine", "refined");
   if (!serve::parse_engine_token(engine_name, options.engine)) {
     std::cerr << "corelocated: unknown --engine '" << engine_name
@@ -168,6 +174,13 @@ int main(int argc, char** argv) {
       flags.get_int("fleet-seed",
                     static_cast<std::int64_t>(sim::InstanceFactory::kDefaultFleetSeed))));
   serve::Service service(options);
+  if (!solution_cache_path.empty()) {
+    const std::size_t warmed = service.warm_solution_cache(solution_cache_path);
+    if (warmed != 0) {
+      std::cerr << "corelocated: warmed " << warmed
+                << " solution-cache entries from " << solution_cache_path << "\n";
+    }
+  }
 
   const auto start = obs::Clock::now();
   std::string line;
@@ -219,6 +232,12 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::cerr << "corelocated: " << e.what() << "\n";
     return 1;
+  }
+
+  if (!solution_cache_path.empty()) {
+    service.save_solution_cache(solution_cache_path);
+    std::cerr << "corelocated: saved " << service.solution_cache().size()
+              << " solution-cache entries to " << solution_cache_path << "\n";
   }
 
   const serve::CacheStats cache = service.cache().stats();

@@ -5,7 +5,8 @@
 
 namespace corelocate::fleet {
 
-Aggregator::Aggregator(std::size_t workers) : buckets_(workers == 0 ? 1 : workers) {}
+Aggregator::Aggregator(std::size_t workers, bool keep_records)
+    : buckets_(workers == 0 ? 1 : workers), keep_records_(keep_records) {}
 
 void Aggregator::add(std::size_t worker, InstanceRecord record) {
   Bucket& bucket = buckets_[worker % buckets_.size()];
@@ -13,6 +14,9 @@ void Aggregator::add(std::size_t worker, InstanceRecord record) {
   if (record.success) {
     bucket.patterns.add(record.map);
     bucket.id_mappings.add(record.map.os_core_to_cha);
+    ++bucket.completed;
+  } else {
+    ++bucket.failed;
   }
   if (!record.from_checkpoint) {
     bucket.step1.add(record.step1_seconds);
@@ -20,11 +24,15 @@ void Aggregator::add(std::size_t worker, InstanceRecord record) {
     bucket.step3.add(record.step3_seconds);
     bucket.wall.add(record.wall_seconds);
   }
-  bucket.records.push_back(std::move(record));
+  for (const auto& [key, value] : record.metrics) {
+    bucket.metric_totals[key].add(value);
+  }
+  if (keep_records_) bucket.records.push_back(std::move(record));
 }
 
 AggregateResult Aggregator::merge() CORELOCATE_SERIAL_PHASE {
   AggregateResult result;
+  std::map<std::string, util::ExactSum> totals;
   for (Bucket& bucket : buckets_) {
     util::ReentryGuard::Scope scope(bucket.entry_guard, "Aggregator merge");
     result.patterns.merge(bucket.patterns);
@@ -33,6 +41,11 @@ AggregateResult Aggregator::merge() CORELOCATE_SERIAL_PHASE {
     result.step2.merge(bucket.step2);
     result.step3.merge(bucket.step3);
     result.wall.merge(bucket.wall);
+    result.completed += bucket.completed;
+    result.failed += bucket.failed;
+    for (const auto& [key, sum] : bucket.metric_totals) {
+      totals[key].merge(sum);
+    }
     std::move(bucket.records.begin(), bucket.records.end(),
               std::back_inserter(result.records));
     bucket = Bucket{};
@@ -41,15 +54,8 @@ AggregateResult Aggregator::merge() CORELOCATE_SERIAL_PHASE {
             [](const InstanceRecord& a, const InstanceRecord& b) {
               return a.index < b.index;
             });
-  for (const InstanceRecord& record : result.records) {
-    if (record.success) {
-      ++result.completed;
-    } else {
-      ++result.failed;
-    }
-    for (const auto& [key, value] : record.metrics) {
-      result.metric_totals[key] += value;
-    }
+  for (const auto& [key, sum] : totals) {
+    result.metric_totals[key] = sum.value();
   }
   return result;
 }

@@ -8,11 +8,16 @@
 // Determinism: PatternStats/IdMappingStats keep a total entry order
 // (count desc, key asc), and their integer counts make the merge
 // fold-order independent — merged parallel stats equal serial stats
-// exactly. Floating-point metric totals are *not* fold-order safe, so
-// merge() recomputes them from the index-sorted records instead of
-// summing per-worker partials. Timing accumulators are merged per-worker
-// (last-ulp variation is fine for throughput reporting; they never feed
-// the reproduced tables).
+// exactly. Floating-point metric totals stream through util::ExactSum,
+// whose fixed-point accumulation is order-independent too, so the
+// barrier folds per-worker partials instead of retaining rows. Timing
+// accumulators are merged per-worker (last-ulp variation is fine for
+// throughput reporting; they never feed the reproduced tables).
+//
+// Memory: aggregation is streaming end to end. With keep_records off
+// (the fleet shard/bench path) the aggregator holds O(workers x
+// distinct patterns) state however many instances flow through it —
+// the bench/fleet_million RSS gate leans on exactly this.
 
 #include <cstddef>
 #include <map>
@@ -20,16 +25,18 @@
 #include <vector>
 
 #include "fleet/survey_record.hpp"
+#include "util/exact_sum.hpp"
 #include "util/lockcheck.hpp"
 #include "util/stats.hpp"
 
 namespace corelocate::fleet {
 
 struct AggregateResult {
-  std::vector<InstanceRecord> records;  ///< sorted by instance index
+  /// Sorted by instance index; empty when keep_records was off.
+  std::vector<InstanceRecord> records;
   core::PatternStats patterns;          ///< successful instances only
   core::IdMappingStats id_mappings;     ///< successful instances only
-  std::map<std::string, double> metric_totals;  ///< summed in index order
+  std::map<std::string, double> metric_totals;  ///< exact order-free sums
   util::RunningStats step1, step2, step3, wall;
   int completed = 0;
   int failed = 0;
@@ -37,9 +44,13 @@ struct AggregateResult {
 
 class Aggregator {
  public:
-  explicit Aggregator(std::size_t workers);
+  /// `keep_records` retains every InstanceRecord for the report path;
+  /// switch it off to aggregate unbounded instance counts in bounded
+  /// memory (stats stream either way).
+  explicit Aggregator(std::size_t workers, bool keep_records = true);
 
   std::size_t worker_count() const noexcept { return buckets_.size(); }
+  bool keeps_records() const noexcept { return keep_records_; }
 
   /// Accumulates into worker `worker`'s private bucket. Callers must
   /// ensure one thread per bucket (the survey uses the pool worker id).
@@ -55,13 +66,17 @@ class Aggregator {
     std::vector<InstanceRecord> records;
     core::PatternStats patterns;
     core::IdMappingStats id_mappings;
+    std::map<std::string, util::ExactSum> metric_totals;
     util::RunningStats step1, step2, step3, wall;
+    int completed = 0;
+    int failed = 0;
     /// Catches two threads inside the same bucket at once — the misuse
     /// the lock-free design forbids (see the header comment).
     util::ReentryGuard entry_guard;
   };
 
   std::vector<Bucket> buckets_;  // corelint: owned-by(pool worker `worker`)
+  const bool keep_records_;      // set once at construction, read-only after
 };
 
 }  // namespace corelocate::fleet

@@ -6,7 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
-#include "core/map_store.hpp"
+#include "fleet/record_stream.hpp"
+#include "recordio/reader.hpp"
 #include "util/log.hpp"
 
 namespace corelocate::fleet {
@@ -15,8 +16,11 @@ namespace {
 
 // v2: wall-clock durations moved out of the manifest into the
 // timings.txt sidecar so the manifest is deterministic (see header).
-constexpr const char* kMagic = "fleet-manifest v2";
+// v3: the maps sidecar moved from the text maps.db to the recordio
+// maps.rio segment; the manifest line format itself is unchanged.
+constexpr const char* kMagic = "fleet-manifest v3";
 constexpr const char* kMagicV1 = "fleet-manifest v1";
+constexpr const char* kMagicV2 = "fleet-manifest v2";
 
 std::string fmt_double(double value) {
   char buf[64];
@@ -80,7 +84,7 @@ Checkpoint::Checkpoint(std::string dir, sim::XeonModel model, std::uint64_t base
 }
 
 std::string Checkpoint::manifest_path() const { return dir_ + "/manifest.txt"; }
-std::string Checkpoint::maps_path() const { return dir_ + "/maps.db"; }
+std::string Checkpoint::maps_path() const { return dir_ + "/maps.rio"; }
 std::string Checkpoint::timings_path() const { return dir_ + "/timings.txt"; }
 
 void Checkpoint::write_header_locked(std::ofstream& out) const
@@ -94,8 +98,20 @@ void Checkpoint::write_header_locked(std::ofstream& out) const
 void Checkpoint::record(const InstanceRecord& record) {
   util::LockGuard lock(mutex_);
   // Map first, manifest line last: a manifest line implies its map is on
-  // disk, so a crash between the two writes only costs a recompute.
-  if (record.success) core::MapStore::append_file(maps_path(), record.map);
+  // disk, so a crash between the two writes only costs a recompute. The
+  // writer stays open across records; flush() seals one CRC block per
+  // record, which is what makes a torn tail detectable (and truncatable)
+  // instead of silently corrupting the segment.
+  if (record.success) {
+    if (!maps_writer_) {
+      recordio::WriterOptions writer_options;
+      writer_options.append = true;
+      maps_writer_ = std::make_unique<recordio::RecordWriter>(
+          maps_path(), core_map_schema(), writer_options);
+    }
+    maps_writer_->append_row(encode_core_map(record.map));
+    maps_writer_->flush();
+  }
 
   const bool fresh = !std::filesystem::exists(manifest_path());
   std::ofstream out(manifest_path(), std::ios::app);
@@ -141,6 +157,13 @@ std::vector<InstanceRecord> Checkpoint::load_completed() const {
           " is a v1 manifest (timings moved to the timings.txt sidecar in "
           "v2); re-run the survey without --resume");
     }
+    if (line == kMagicV2) {
+      throw std::runtime_error(
+          "Checkpoint: " + manifest_path() +
+          " is a v2 manifest (maps moved from the text maps.db to the "
+          "recordio maps.rio segment in v3); re-run the survey without "
+          "--resume");
+    }
     throw std::runtime_error("Checkpoint: " + manifest_path() +
                              " is not a fleet manifest");
   }
@@ -171,8 +194,26 @@ std::vector<InstanceRecord> Checkpoint::load_completed() const {
     }
   }
 
-  core::MapStore maps;
-  if (std::filesystem::exists(maps_path())) maps = core::MapStore::load_file(maps_path());
+  // Recovered maps, keyed by ppin. A torn tail block (crashed writer) is
+  // tolerated here; the next record() truncates it before appending.
+  std::map<std::uint64_t, core::CoreMap> maps;
+  if (std::filesystem::exists(maps_path())) {
+    recordio::ReaderOptions reader_options;
+    reader_options.tolerate_trailing_corruption = true;
+    recordio::RecordReader reader(maps_path(), reader_options);
+    reader.require_schema(core_map_schema());
+    recordio::Row row;
+    while (reader.next(&row)) {
+      core::CoreMap map = decode_core_map(row);
+      const std::uint64_t ppin = map.ppin;
+      maps.emplace(ppin, std::move(map));  // first wins, like the manifest
+    }
+    if (reader.truncated()) {
+      util::log_warn() << "fleet checkpoint: " << maps_path()
+                       << " has a torn tail block; the affected instances "
+                          "will be recomputed";
+    }
+  }
 
   // Wall-clock sidecar, best-effort: a missing or torn entry leaves the
   // durations at zero, which only dims throughput reporting.
@@ -217,10 +258,12 @@ std::vector<InstanceRecord> Checkpoint::load_completed() const {
       if (status == "ok" && tail_kw == "ppin") {
         std::string ppin_tok;
         if (!(iss >> ppin_tok)) throw std::invalid_argument("missing ppin");
-        const auto map = maps.get(parse_hex(ppin_tok));
-        if (!map.has_value()) throw std::invalid_argument("map missing from maps.db");
+        const auto map = maps.find(parse_hex(ppin_tok));
+        if (map == maps.end()) {
+          throw std::invalid_argument("map missing from maps.rio");
+        }
         record.success = true;
-        record.map = *map;
+        record.map = map->second;
       } else if (status == "fail" && tail_kw == "msg") {
         std::getline(iss, record.message);
         if (!record.message.empty() && record.message.front() == ' ') {

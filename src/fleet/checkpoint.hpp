@@ -4,12 +4,13 @@
 // Layout under the checkpoint directory:
 //   manifest.txt — header identifying the survey (model, seeds) followed
 //                  by one line per completed instance; append-only.
-//   maps.db      — core::MapStore records of the recovered maps,
-//                  appended via MapStore::append_file.
+//   maps.rio     — recordio segment of the recovered maps (v3; replaces
+//                  the v2 text maps.db, whose per-record reopen/reparse
+//                  dominated the fleet hot write path).
 //   timings.txt  — wall-clock sidecar: per-instance stage durations,
 //                  append-only, best-effort.
 //
-// Determinism contract: manifest.txt and maps.db are pure functions of
+// Determinism contract: manifest.txt and maps.rio are pure functions of
 // (model, fleet_seed, base_seed, instance set) — they contain *no*
 // wall-clock values, so a serial run, a parallel run drained in index
 // order, and a checkpoint/resume cycle all produce byte-identical files.
@@ -17,22 +18,26 @@
 // live only in the timings.txt sidecar, which is never checksummed or
 // compared and whose loss costs nothing but throughput reporting.
 //
-// Crash tolerance: all files are append-only and flushed per record
-// (manifest last, so a manifest line implies its map is on disk). On
-// load, a torn trailing manifest line or a manifest line whose map is
-// missing from maps.db is dropped with a warning — that instance is
-// simply recomputed; a torn timings line only loses timing metadata. A
+// Crash tolerance: all files are append-only and flushed per record —
+// maps.rio gets one CRC-checked block per record, and the manifest line
+// lands last, so a manifest line implies its map is on disk. On load, a
+// torn trailing manifest line or a manifest line whose map is missing
+// from maps.rio is dropped with a warning — that instance is simply
+// recomputed; a torn maps.rio tail block is truncated away before the
+// next append; a torn timings line only loses timing metadata. A
 // manifest whose header names a different survey (model or seed
 // mismatch) is an error: resuming it would silently mix incompatible
 // fleets.
 
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "fleet/survey_record.hpp"
+#include "recordio/writer.hpp"
 #include "util/lockcheck.hpp"
 
 namespace corelocate::fleet {
@@ -65,6 +70,9 @@ class Checkpoint {
   std::uint64_t base_seed_;
   std::uint64_t fleet_seed_;
   util::CheckedMutex<util::lockcheck::kRankCheckpoint> mutex_{"Checkpoint"};
+  /// Lazily opened on the first successful record; append mode validates
+  /// (and tail-truncates) whatever a previous run left behind.
+  std::unique_ptr<recordio::RecordWriter> maps_writer_ CORELOCATE_GUARDED_BY(mutex_);
 };
 
 }  // namespace corelocate::fleet

@@ -11,8 +11,8 @@ namespace {
 constexpr std::uint64_t kEmitIntervalNs = 500'000'000;  // 500 ms
 }  // namespace
 
-ProgressMeter::ProgressMeter(int total, bool emit)
-    : total_(total), emit_(emit), start_(obs::Clock::now()) {
+ProgressMeter::ProgressMeter(int total, bool emit, std::string label)
+    : total_(total), emit_(emit), label_(std::move(label)), start_(obs::Clock::now()) {
   acc_.total = total;
   last_emit_.ns = start_.ns >= kEmitIntervalNs ? start_.ns - kEmitIntervalNs : 0;
 }
@@ -59,10 +59,14 @@ ProgressSummary ProgressMeter::snapshot_locked() const
   return snap;
 }
 
+std::string ProgressMeter::prefix_locked() const CORELOCATE_REQUIRES(mutex_) {
+  return label_.empty() ? "fleet: " : "fleet[" + label_ + "]: ";
+}
+
 void ProgressMeter::emit_line_locked() CORELOCATE_REQUIRES(mutex_) {
   const ProgressSummary s = snapshot_locked();
   std::ostringstream line;
-  line << "fleet: " << s.done << "/" << s.total;
+  line << prefix_locked() << s.done << "/" << s.total;
   if (s.resumed > 0) line << " (" << s.resumed << " resumed)";
   line << std::fixed << std::setprecision(1) << " | " << s.instances_per_second
        << " inst/s | eta " << s.eta_seconds << "s | p50 inst "
@@ -75,7 +79,7 @@ void ProgressMeter::emit_final_locked() CORELOCATE_REQUIRES(mutex_) {
   final_emitted_ = true;
   const ProgressSummary s = snapshot_locked();
   std::ostringstream line;
-  line << "fleet: done " << s.done << "/" << s.total;
+  line << prefix_locked() << "done " << s.done << "/" << s.total;
   if (s.resumed > 0) line << " (" << s.resumed << " resumed)";
   line << std::fixed << std::setprecision(1) << " in " << s.elapsed_seconds
        << "s | " << s.instances_per_second << " inst/s | p50 inst "

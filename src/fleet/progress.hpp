@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <mutex>
+#include <string>
 
 #include "obs/clock.hpp"
 #include "util/lockcheck.hpp"
@@ -38,8 +39,10 @@ struct ProgressSummary {
 /// time (never throttled), so a survey always ends with its totals.
 class ProgressMeter {
  public:
-  /// `emit` turns on log lines (info level); metrics accumulate either way.
-  ProgressMeter(int total, bool emit);
+  /// `emit` turns on log lines (info level); metrics accumulate either
+  /// way. `label` tags every line — a sharded fleet passes "shard k/n"
+  /// so N concurrent processes stay tellable apart in one terminal.
+  ProgressMeter(int total, bool emit, std::string label = "");
 
   /// Accounts instances that resume from a checkpoint (not recomputed).
   void note_resumed(int count);
@@ -53,8 +56,11 @@ class ProgressMeter {
   void emit_final_locked() CORELOCATE_REQUIRES(mutex_);
   ProgressSummary snapshot_locked() const CORELOCATE_REQUIRES(mutex_);
 
+  std::string prefix_locked() const CORELOCATE_REQUIRES(mutex_);
+
   const int total_;
   const bool emit_;
+  const std::string label_;
   const obs::Clock::Time start_;
   mutable util::CheckedMutex<util::lockcheck::kRankProgress> mutex_{"ProgressMeter"};
   ProgressSummary acc_ CORELOCATE_GUARDED_BY(mutex_);

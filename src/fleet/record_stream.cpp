@@ -1,0 +1,228 @@
+#include "fleet/record_stream.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace corelocate::fleet {
+
+namespace {
+
+using recordio::FieldType;
+
+enum Column : std::size_t {
+  kIndex = 0,
+  kSeed,
+  kSuccess,
+  kMessage,
+  kMapRows,
+  kMapCols,
+  kPpin,
+  kChaPositions,
+  kOsCoreToCha,
+  kLlcOnlyChas,
+  kMetricNames,
+  kMetricValues,
+  kColumnCount,
+};
+
+}  // namespace
+
+const recordio::Schema& survey_record_schema() {
+  static const recordio::Schema schema = {
+      {"index", FieldType::kDeltaU64},
+      {"seed", FieldType::kDeltaU64},
+      {"success", FieldType::kU64},
+      {"message", FieldType::kBytes},
+      {"map_rows", FieldType::kU64},
+      {"map_cols", FieldType::kU64},
+      {"ppin", FieldType::kU64},
+      {"cha_positions", FieldType::kI64List},
+      {"os_core_to_cha", FieldType::kI64List},
+      {"llc_only_chas", FieldType::kI64List},
+      {"metric_names", FieldType::kBytes},
+      {"metric_values", FieldType::kF64List},
+  };
+  return schema;
+}
+
+recordio::Row encode_survey_record(const InstanceRecord& record) {
+  recordio::Row row(kColumnCount);
+  row[kIndex] = static_cast<std::uint64_t>(record.index);
+  row[kSeed] = record.seed;
+  row[kSuccess] = static_cast<std::uint64_t>(record.success ? 1 : 0);
+  row[kMessage] = record.message;
+  row[kMapRows] = static_cast<std::uint64_t>(record.map.rows);
+  row[kMapCols] = static_cast<std::uint64_t>(record.map.cols);
+  row[kPpin] = record.map.ppin;
+
+  std::vector<std::int64_t> positions;
+  positions.reserve(record.map.cha_position.size() * 2);
+  for (const mesh::Coord& coord : record.map.cha_position) {
+    positions.push_back(coord.row);
+    positions.push_back(coord.col);
+  }
+  row[kChaPositions] = std::move(positions);
+
+  std::vector<std::int64_t> os_map(record.map.os_core_to_cha.begin(),
+                                   record.map.os_core_to_cha.end());
+  row[kOsCoreToCha] = std::move(os_map);
+  std::vector<std::int64_t> llc_only(record.map.llc_only_chas.begin(),
+                                     record.map.llc_only_chas.end());
+  row[kLlcOnlyChas] = std::move(llc_only);
+
+  // metrics is an ordered map with identifier-like keys (no ';'), so a
+  // ';'-joined name column plus a parallel value list round-trips it.
+  std::string names;
+  std::vector<double> values;
+  values.reserve(record.metrics.size());
+  for (const auto& [key, value] : record.metrics) {
+    if (!names.empty()) names.push_back(';');
+    names.append(key);
+    values.push_back(value);
+  }
+  row[kMetricNames] = std::move(names);
+  row[kMetricValues] = std::move(values);
+  return row;
+}
+
+InstanceRecord decode_survey_record(const recordio::Row& row) {
+  if (row.size() != kColumnCount) {
+    throw std::runtime_error("fleet: survey record row has wrong column count");
+  }
+  InstanceRecord record;
+  record.index = static_cast<int>(std::get<std::uint64_t>(row[kIndex]));
+  record.seed = std::get<std::uint64_t>(row[kSeed]);
+  record.success = std::get<std::uint64_t>(row[kSuccess]) != 0;
+  record.message = std::get<std::string>(row[kMessage]);
+  record.map.rows = static_cast<int>(std::get<std::uint64_t>(row[kMapRows]));
+  record.map.cols = static_cast<int>(std::get<std::uint64_t>(row[kMapCols]));
+  record.map.ppin = std::get<std::uint64_t>(row[kPpin]);
+
+  const auto& positions = std::get<std::vector<std::int64_t>>(row[kChaPositions]);
+  if (positions.size() % 2 != 0) {
+    throw std::runtime_error("fleet: survey record has an odd CHA position list");
+  }
+  record.map.cha_position.reserve(positions.size() / 2);
+  for (std::size_t i = 0; i + 1 < positions.size(); i += 2) {
+    record.map.cha_position.push_back(mesh::Coord{
+        static_cast<int>(positions[i]), static_cast<int>(positions[i + 1])});
+  }
+  const auto& os_map = std::get<std::vector<std::int64_t>>(row[kOsCoreToCha]);
+  record.map.os_core_to_cha.assign(os_map.begin(), os_map.end());
+  const auto& llc_only = std::get<std::vector<std::int64_t>>(row[kLlcOnlyChas]);
+  record.map.llc_only_chas.assign(llc_only.begin(), llc_only.end());
+
+  const auto& names = std::get<std::string>(row[kMetricNames]);
+  const auto& values = std::get<std::vector<double>>(row[kMetricValues]);
+  std::size_t value_index = 0;
+  std::size_t start = 0;
+  while (start < names.size()) {
+    std::size_t end = names.find(';', start);
+    if (end == std::string::npos) end = names.size();
+    if (value_index >= values.size()) {
+      throw std::runtime_error("fleet: survey record metric name/value mismatch");
+    }
+    record.metrics.emplace(names.substr(start, end - start), values[value_index]);
+    ++value_index;
+    start = end + 1;
+  }
+  if (value_index != values.size()) {
+    throw std::runtime_error("fleet: survey record metric name/value mismatch");
+  }
+  return record;
+}
+
+namespace {
+
+enum MapColumn : std::size_t {
+  kMCPpin = 0,
+  kMCRows,
+  kMCCols,
+  kMCChaPositions,
+  kMCOsCoreToCha,
+  kMCLlcOnlyChas,
+  kMCColumnCount,
+};
+
+}  // namespace
+
+const recordio::Schema& core_map_schema() {
+  static const recordio::Schema schema = {
+      {"ppin", FieldType::kU64},
+      {"rows", FieldType::kU64},
+      {"cols", FieldType::kU64},
+      {"cha_positions", FieldType::kI64List},
+      {"os_core_to_cha", FieldType::kI64List},
+      {"llc_only_chas", FieldType::kI64List},
+  };
+  return schema;
+}
+
+recordio::Row encode_core_map(const core::CoreMap& map) {
+  recordio::Row row(kMCColumnCount);
+  row[kMCPpin] = map.ppin;
+  row[kMCRows] = static_cast<std::uint64_t>(map.rows);
+  row[kMCCols] = static_cast<std::uint64_t>(map.cols);
+  std::vector<std::int64_t> positions;
+  positions.reserve(map.cha_position.size() * 2);
+  for (const mesh::Coord& coord : map.cha_position) {
+    positions.push_back(coord.row);
+    positions.push_back(coord.col);
+  }
+  row[kMCChaPositions] = std::move(positions);
+  row[kMCOsCoreToCha] =
+      std::vector<std::int64_t>(map.os_core_to_cha.begin(), map.os_core_to_cha.end());
+  row[kMCLlcOnlyChas] =
+      std::vector<std::int64_t>(map.llc_only_chas.begin(), map.llc_only_chas.end());
+  return row;
+}
+
+core::CoreMap decode_core_map(const recordio::Row& row) {
+  if (row.size() != kMCColumnCount) {
+    throw std::runtime_error("fleet: core map row has wrong column count");
+  }
+  core::CoreMap map;
+  map.ppin = std::get<std::uint64_t>(row[kMCPpin]);
+  map.rows = static_cast<int>(std::get<std::uint64_t>(row[kMCRows]));
+  map.cols = static_cast<int>(std::get<std::uint64_t>(row[kMCCols]));
+  const auto& positions = std::get<std::vector<std::int64_t>>(row[kMCChaPositions]);
+  if (positions.size() % 2 != 0) {
+    throw std::runtime_error("fleet: core map row has an odd CHA position list");
+  }
+  map.cha_position.reserve(positions.size() / 2);
+  for (std::size_t i = 0; i + 1 < positions.size(); i += 2) {
+    map.cha_position.push_back(mesh::Coord{static_cast<int>(positions[i]),
+                                           static_cast<int>(positions[i + 1])});
+  }
+  const auto& os_map = std::get<std::vector<std::int64_t>>(row[kMCOsCoreToCha]);
+  map.os_core_to_cha.assign(os_map.begin(), os_map.end());
+  const auto& llc_only = std::get<std::vector<std::int64_t>>(row[kMCLlcOnlyChas]);
+  map.llc_only_chas.assign(llc_only.begin(), llc_only.end());
+  return map;
+}
+
+OrderedSink::OrderedSink(int first_index, Emit emit)
+    : emit_(std::move(emit)), next_index_(first_index) {}
+
+void OrderedSink::deliver(InstanceRecord record) {
+  util::LockGuard lock(mutex_);
+  heap_.push(std::move(record));
+  if (heap_.size() > max_buffered_) max_buffered_ = heap_.size();
+  while (!heap_.empty() && heap_.top().index == next_index_) {
+    emit_(heap_.top());
+    heap_.pop();
+    ++next_index_;
+  }
+}
+
+std::size_t OrderedSink::pending() const {
+  util::LockGuard lock(mutex_);
+  return heap_.size();
+}
+
+std::size_t OrderedSink::max_buffered() const {
+  util::LockGuard lock(mutex_);
+  return max_buffered_;
+}
+
+}  // namespace corelocate::fleet

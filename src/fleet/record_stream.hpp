@@ -1,0 +1,86 @@
+#pragma once
+// Fleet <-> recordio bridge: the survey-record schema, the
+// InstanceRecord codec, and the reorder buffer that turns out-of-order
+// worker completions back into an index-ordered record stream.
+//
+// The recordio segment is part of the determinism contract, so the
+// schema carries only the deterministic fields of an InstanceRecord:
+// identity (index, seed), outcome, the core map, and the metric map.
+// The measured stage durations are wall-clock (tagged
+// `corelint: non-deterministic` in survey_record.hpp) and stay in the
+// timings.txt sidecar — a segment written by a jobs-8 shard run must be
+// byte-identical to the serial run's, and timings never are.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "fleet/survey_record.hpp"
+#include "recordio/schema.hpp"
+#include "util/lockcheck.hpp"
+#include "util/lockranks.hpp"
+
+namespace corelocate::fleet {
+
+/// Column layout of a survey-record segment. Indices and seeds are
+/// delta-coded (both are monotone in a serial or sharded stream); CHA
+/// positions interleave (row, col) pairs into one delta-coded list.
+const recordio::Schema& survey_record_schema();
+
+/// Deterministic fields of `record` as a recordio row (schema order).
+recordio::Row encode_survey_record(const InstanceRecord& record);
+
+/// Inverse of encode_survey_record. Timing fields come back zero and
+/// from_checkpoint false — the segment never stored them.
+InstanceRecord decode_survey_record(const recordio::Row& row);
+
+/// Column layout of a core-map segment (the checkpoint's maps.rio).
+const recordio::Schema& core_map_schema();
+
+recordio::Row encode_core_map(const core::CoreMap& map);
+core::CoreMap decode_core_map(const recordio::Row& row);
+
+/// Reorder buffer: workers complete instances in pool order, the sink
+/// emits them in index order. deliver() buffers a record until every
+/// earlier index has been emitted; the emit callback runs under the
+/// sink's mutex, so it needs no locking of its own (recordio writers
+/// are single-threaded by design).
+///
+/// The buffer is bounded in practice by how far the pool runs ahead of
+/// the slowest in-flight instance (~worker count, not instance count);
+/// max_buffered() reports the high-water mark so the survey can export
+/// it as an observability counter.
+class OrderedSink {
+ public:
+  using Emit = std::function<void(const InstanceRecord&)>;
+
+  /// Emits records with consecutive indices starting at `first_index`.
+  OrderedSink(int first_index, Emit emit);
+
+  /// Hands one record to the sink. Thread-safe; blocks only for the
+  /// flush of any newly in-order run.
+  void deliver(InstanceRecord record);
+
+  /// Records still waiting for an earlier index. Zero after a complete
+  /// stream.
+  std::size_t pending() const;
+
+  std::size_t max_buffered() const;
+
+ private:
+  struct IndexAfter {
+    bool operator()(const InstanceRecord& a, const InstanceRecord& b) const {
+      return a.index > b.index;  // min-heap on index
+    }
+  };
+
+  Emit emit_;
+  mutable util::CheckedMutex<util::lockcheck::kRankRecordSink> mutex_{"OrderedSink"};
+  std::priority_queue<InstanceRecord, std::vector<InstanceRecord>, IndexAfter>
+      heap_ CORELOCATE_GUARDED_BY(mutex_);
+  int next_index_ CORELOCATE_GUARDED_BY(mutex_);
+  std::size_t max_buffered_ CORELOCATE_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace corelocate::fleet

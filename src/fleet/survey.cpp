@@ -7,6 +7,7 @@
 
 #include "fleet/aggregator.hpp"
 #include "fleet/checkpoint.hpp"
+#include "fleet/record_stream.hpp"
 #include "fleet/thread_pool.hpp"
 #include "obs/clock.hpp"
 #include "obs/trace.hpp"
@@ -102,6 +103,9 @@ LocatedInstance locate_instance(sim::XeonModel model, std::uint64_t seed,
 
 SurveyResult run_survey(sim::XeonModel model, const SurveyOptions& options) {
   if (options.instances < 0) throw std::invalid_argument("run_survey: instances < 0");
+  if (options.first_instance < 0) {
+    throw std::invalid_argument("run_survey: first_instance < 0");
+  }
   if (options.jobs < 1) throw std::invalid_argument("run_survey: jobs < 1");
   if (options.resume && options.checkpoint_dir.empty()) {
     throw std::invalid_argument("run_survey: --resume needs a checkpoint directory");
@@ -111,9 +115,11 @@ SurveyResult run_survey(sim::XeonModel model, const SurveyOptions& options) {
   survey_span.arg("jobs", obs::Json(options.jobs));
 
   const sim::InstanceFactory factory(options.fleet_seed);
+  const int first = options.first_instance;
+  const int end = options.first_instance + options.instances;
   const int jobs = options.jobs;
-  Aggregator aggregator(static_cast<std::size_t>(jobs));
-  ProgressMeter meter(options.instances, options.progress);
+  Aggregator aggregator(static_cast<std::size_t>(jobs), options.keep_records);
+  ProgressMeter meter(options.instances, options.progress, options.progress_label);
   // One registry per worker: a worker only ever touches its own slot
   // (same exclusion argument as the aggregator buckets), merged below.
   std::vector<obs::Registry> registries(static_cast<std::size_t>(jobs));
@@ -122,18 +128,18 @@ SurveyResult run_survey(sim::XeonModel model, const SurveyOptions& options) {
   // aggregator; only the remaining indices are scheduled.
   std::optional<Checkpoint> checkpoint;
   std::set<int> have;
+  std::vector<InstanceRecord> resumed_records;
   int resumed = 0;
   if (!options.checkpoint_dir.empty()) {
     checkpoint.emplace(options.checkpoint_dir, model, options.base_seed,
                        options.fleet_seed);
     if (options.resume) {
-      for (InstanceRecord& record : checkpoint->load_completed()) {
-        if (record.index < 0 || record.index >= options.instances) continue;
+      std::vector<InstanceRecord> loaded = checkpoint->load_completed();
+      resumed_records.reserve(loaded.size());
+      for (InstanceRecord& record : loaded) {
+        if (record.index < first || record.index >= end) continue;
         if (!have.insert(record.index).second) continue;  // duplicate: first wins
-        // Resumed instances fold into worker 0's registry (their wall
-        // times come from the checkpoint's timings.txt sidecar).
-        observe_record(registries[0], record);
-        aggregator.add(0, std::move(record));
+        resumed_records.push_back(std::move(record));
         ++resumed;
       }
       meter.note_resumed(resumed);
@@ -147,9 +153,28 @@ SurveyResult run_survey(sim::XeonModel model, const SurveyOptions& options) {
     }
   }
 
+  // Every record — resumed or computed, whatever the completion order —
+  // drains through one index-ordered sink, so the checkpoint files and
+  // the caller's record stream are byte-for-byte independent of jobs.
+  std::optional<OrderedSink> sink;
+  if (checkpoint || options.record_sink) {
+    sink.emplace(first, [&](const InstanceRecord& record) {
+      if (checkpoint && !record.from_checkpoint) checkpoint->record(record);
+      if (options.record_sink) options.record_sink(record);
+    });
+  }
+  for (InstanceRecord& record : resumed_records) {
+    // Resumed instances fold into worker 0's registry (their wall times
+    // come from the checkpoint's timings.txt sidecar).
+    observe_record(registries[0], record);
+    if (sink) sink->deliver(record);
+    aggregator.add(0, std::move(record));
+  }
+  resumed_records.clear();
+
   std::vector<int> todo;
   todo.reserve(static_cast<std::size_t>(options.instances));
-  for (int i = 0; i < options.instances; ++i) {
+  for (int i = first; i < end; ++i) {
     if (!have.count(i)) todo.push_back(i);
   }
 
@@ -167,7 +192,7 @@ SurveyResult run_survey(sim::XeonModel model, const SurveyOptions& options) {
     InstanceRecord record =
         run_instance(task, options.analyze,
                      worker_caches.empty() ? nullptr : &worker_caches[worker]);
-    if (checkpoint) checkpoint->record(record);
+    if (sink) sink->deliver(record);
     meter.instance_done(record.step1_seconds, record.step2_seconds,
                         record.step3_seconds, record.wall_seconds);
     observe_record(registries[worker], record);
@@ -196,6 +221,21 @@ SurveyResult run_survey(sim::XeonModel model, const SurveyOptions& options) {
     for (const ilp::SolutionCache& cache : worker_caches) {
       options.solution_cache->merge(cache);
     }
+  }
+
+  if (sink) {
+    // Every index in [first, end) was pushed exactly once, so a drained
+    // pool means a drained sink; anything left is an engine bug.
+    if (sink->pending() != 0) {
+      throw std::runtime_error("run_survey: record sink still holds " +
+                               std::to_string(sink->pending()) +
+                               " records after the pool drained");
+    }
+    // Scheduling metadata, like the wall-clock stats: how far completion
+    // order ran ahead of index order, never part of deterministic output.
+    registries[0]
+        .counter("fleet.record_sink_max_buffered")
+        .add(static_cast<std::uint64_t>(sink->max_buffered()));
   }
 
   AggregateResult merged = aggregator.merge();

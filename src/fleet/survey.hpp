@@ -16,9 +16,13 @@
 //
 // Checkpoint/resume
 // -----------------
-// With a checkpoint directory set, every completed instance is appended
-// durably (manifest line + core::MapStore record) before the survey moves
-// on; `resume = true` loads those records and only computes the rest.
+// With a checkpoint directory set, completed instances drain through an
+// index-ordered sink into the checkpoint (manifest line + recordio map
+// block, durable per record); `resume = true` loads those records and
+// only computes the rest. Index-ordered draining makes the checkpoint
+// files byte-identical across jobs counts — a parallel run may hold a
+// completed record in the reorder buffer until its predecessors land,
+// so a crash can cost up to ~jobs recomputes, never correctness.
 
 #include <cstdint>
 #include <functional>
@@ -51,6 +55,11 @@ using AnalyzeFn =
 
 struct SurveyOptions {
   int instances = 100;
+  /// Index of the first instance: the survey covers
+  /// [first_instance, first_instance + instances). A shard of a larger
+  /// fleet sets this to its partition start; seeds stay a function of
+  /// the *global* index, so sharded and serial runs agree per instance.
+  int first_instance = 0;
   int jobs = 1;  ///< 1 = serial reference path (no threads spawned)
   /// Instance i runs with seed base_seed + i.
   std::uint64_t base_seed = 0;
@@ -68,13 +77,29 @@ struct SurveyOptions {
   /// Not owned.
   ilp::SolutionCache* solution_cache = nullptr;
   AnalyzeFn analyze;
+  /// Retain per-instance records in SurveyResult.records. Switch off to
+  /// survey unbounded instance counts in bounded memory: aggregation is
+  /// streaming throughout, so only the stats survive.
+  bool keep_records = true;
+  /// Optional streaming consumer of completed records, invoked in
+  /// strict index order (an OrderedSink reorders out-of-order pool
+  /// completions) regardless of jobs. Resumed records flow through it
+  /// too. The callback runs under the sink's lock: keep it quick and
+  /// never let it take a lower-ranked fleet lock.
+  std::function<void(const InstanceRecord&)> record_sink;
+  /// Tags progress lines (e.g. "shard 1/3") so concurrent shard
+  /// processes stay tellable apart; empty = plain "fleet:" lines.
+  std::string progress_label;
 };
 
 struct SurveyResult {
-  std::vector<InstanceRecord> records;  ///< all instances, ordered by index
+  /// All instances, ordered by index (empty when keep_records is off).
+  std::vector<InstanceRecord> records;
   core::PatternStats patterns;          ///< over successful instances
   core::IdMappingStats id_mappings;     ///< over successful instances
-  std::map<std::string, double> metric_totals;  ///< summed in index order
+  /// Exact order-independent sums (util::ExactSum): identical however
+  /// the work was partitioned.
+  std::map<std::string, double> metric_totals;
   int completed = 0;  ///< successful instances (incl. resumed)
   int failed = 0;
   int resumed = 0;    ///< instances loaded from the checkpoint

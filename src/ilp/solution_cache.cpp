@@ -1,6 +1,63 @@
 #include "ilp/solution_cache.hpp"
 
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "recordio/reader.hpp"
+#include "recordio/writer.hpp"
+
 namespace corelocate::ilp {
+
+namespace {
+
+enum Column : std::size_t {
+  kSignature = 0,  // map keys ascend, so delta coding packs tightly
+  kSketch,         // 32 bytes, little-endian words
+  kSuccess,
+  kPositions,  // (row, col) interleaved
+  kMessage,
+  kNodesExplored,
+  kLpIterations,
+  kNodesPruned,
+  kLpSolvesAvoided,
+  kColumnCount,
+};
+
+const recordio::Schema& cache_schema() {
+  using recordio::FieldType;
+  static const recordio::Schema schema = {
+      {"signature", FieldType::kDeltaU64},
+      {"sketch", FieldType::kBytes},
+      {"success", FieldType::kU64},
+      {"positions", FieldType::kI64List},
+      {"message", FieldType::kBytes},
+      {"nodes_explored", FieldType::kU64},
+      {"lp_iterations", FieldType::kU64},
+      {"nodes_pruned", FieldType::kU64},
+      {"lp_solves_avoided", FieldType::kU64},
+  };
+  return schema;
+}
+
+std::string encode_sketch(const SimhashSketch& sketch) {
+  std::string bytes;
+  bytes.reserve(sketch.size() * 8);
+  for (const std::uint64_t word : sketch) recordio::put_u64(bytes, word);
+  return bytes;
+}
+
+SimhashSketch decode_sketch(const std::string& bytes) {
+  SimhashSketch sketch{};
+  if (bytes.size() != sketch.size() * 8) {
+    throw std::runtime_error("SolutionCache: cache entry has a malformed sketch");
+  }
+  std::size_t pos = 0;
+  for (std::uint64_t& word : sketch) word = recordio::get_u64(bytes, &pos);
+  return sketch;
+}
+
+}  // namespace
 
 const CachedSolution* SolutionCache::find(std::uint64_t signature) const {
   const auto it = entries_.find(signature);
@@ -37,6 +94,72 @@ void SolutionCache::merge(const SolutionCache& other) {
     if (capacity_ != 0 && entries_.size() >= capacity_) break;
     entries_.emplace(signature, entry);
   }
+}
+
+void SolutionCache::save(const std::string& path) const {
+  recordio::RecordWriter writer(path, cache_schema());
+  for (const auto& [signature, entry] : entries_) {
+    recordio::Row row(kColumnCount);
+    row[kSignature] = signature;
+    row[kSketch] = encode_sketch(entry.sketch);
+    row[kSuccess] = static_cast<std::uint64_t>(entry.solution.success ? 1 : 0);
+    std::vector<std::int64_t> positions;
+    positions.reserve(entry.solution.positions.size() * 2);
+    for (const auto& [pos_row, pos_col] : entry.solution.positions) {
+      positions.push_back(pos_row);
+      positions.push_back(pos_col);
+    }
+    row[kPositions] = std::move(positions);
+    row[kMessage] = entry.solution.message;
+    row[kNodesExplored] = static_cast<std::uint64_t>(entry.solution.nodes_explored);
+    row[kLpIterations] = static_cast<std::uint64_t>(entry.solution.lp_iterations);
+    row[kNodesPruned] = static_cast<std::uint64_t>(entry.solution.nodes_pruned);
+    row[kLpSolvesAvoided] =
+        static_cast<std::uint64_t>(entry.solution.lp_solves_avoided);
+    writer.append_row(row);
+  }
+  writer.close();
+}
+
+std::size_t SolutionCache::load(const std::string& path) {
+  if (!std::filesystem::exists(path)) return 0;  // cold start, not an error
+  recordio::RecordReader reader(path);
+  reader.require_schema(cache_schema());
+  const std::size_t before = entries_.size();
+  recordio::Row row;
+  while (reader.next(&row)) {
+    if (row.size() != kColumnCount) {
+      throw std::runtime_error("SolutionCache: cache row has wrong column count");
+    }
+    Entry entry;
+    entry.sketch = decode_sketch(std::get<std::string>(row[kSketch]));
+    entry.solution.success = std::get<std::uint64_t>(row[kSuccess]) != 0;
+    const auto& positions = std::get<std::vector<std::int64_t>>(row[kPositions]);
+    if (positions.size() % 2 != 0) {
+      throw std::runtime_error("SolutionCache: cache entry has an odd position list");
+    }
+    entry.solution.positions.reserve(positions.size() / 2);
+    for (std::size_t i = 0; i + 1 < positions.size(); i += 2) {
+      entry.solution.positions.emplace_back(static_cast<int>(positions[i]),
+                                            static_cast<int>(positions[i + 1]));
+    }
+    entry.solution.message = std::get<std::string>(row[kMessage]);
+    entry.solution.nodes_explored =
+        static_cast<std::int64_t>(std::get<std::uint64_t>(row[kNodesExplored]));
+    entry.solution.lp_iterations =
+        static_cast<std::int64_t>(std::get<std::uint64_t>(row[kLpIterations]));
+    entry.solution.nodes_pruned =
+        static_cast<std::int64_t>(std::get<std::uint64_t>(row[kNodesPruned]));
+    entry.solution.lp_solves_avoided =
+        static_cast<std::int64_t>(std::get<std::uint64_t>(row[kLpSolvesAvoided]));
+    const std::uint64_t signature = std::get<std::uint64_t>(row[kSignature]);
+    if (capacity_ != 0 && entries_.size() >= capacity_ &&
+        entries_.find(signature) == entries_.end()) {
+      break;  // full: same refuse-don't-evict policy as insert()
+    }
+    entries_.emplace(signature, std::move(entry));  // first wins, like merge()
+  }
+  return entries_.size() - before;
 }
 
 }  // namespace corelocate::ilp

@@ -75,6 +75,20 @@ class SolutionCache {
   /// merged contents do not depend on how work was partitioned.
   void merge(const SolutionCache& other);
 
+  /// Writes every entry, in key order, to a recordio segment at `path`.
+  /// Because storage is an ordered map and merge is order-independent,
+  /// the bytes are a pure function of the cache *contents* — two caches
+  /// built from the same solves save identical files, whatever the
+  /// worker count or insertion history.
+  void save(const std::string& path) const;
+
+  /// Insert-if-absent load of a segment written by save(). Returns the
+  /// number of entries inserted; 0 with no error when `path` does not
+  /// exist (a cold cache file is not a failure). Damage is loud: the
+  /// recordio CRCs make corruption throw rather than warm-start from
+  /// garbage.
+  std::size_t load(const std::string& path);
+
   std::size_t size() const noexcept { return entries_.size(); }
   bool empty() const noexcept { return entries_.empty(); }
 

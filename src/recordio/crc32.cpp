@@ -1,0 +1,35 @@
+#include "recordio/crc32.hpp"
+
+#include <array>
+
+namespace corelocate::recordio {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0xEDB88320u;  // reflected ISO-HDLC
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t state, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    state = (state >> 8) ^ kTable[(state ^ bytes[i]) & 0xFFu];
+  }
+  return state;
+}
+
+}  // namespace corelocate::recordio

@@ -1,0 +1,23 @@
+#pragma once
+// CRC-32 (ISO-HDLC polynomial, the zlib/PNG variant) used to checksum
+// recordio blocks. Table-driven, no dependencies; the table is built
+// once at static-init time from the reflected polynomial 0xEDB88320.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace corelocate::recordio {
+
+/// Incremental CRC-32. Start from kCrc32Init, fold bytes in any number
+/// of calls, finish with crc32_finish. One-shot: crc32(data, size).
+inline constexpr std::uint32_t kCrc32Init = 0xFFFFFFFFu;
+
+std::uint32_t crc32_update(std::uint32_t state, const void* data, std::size_t size);
+
+inline std::uint32_t crc32_finish(std::uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+inline std::uint32_t crc32(const void* data, std::size_t size) {
+  return crc32_finish(crc32_update(kCrc32Init, data, size));
+}
+
+}  // namespace corelocate::recordio

@@ -1,0 +1,254 @@
+#include "recordio/reader.hpp"
+
+#include <stdexcept>
+
+#include "recordio/crc32.hpp"
+
+namespace corelocate::recordio {
+
+namespace {
+
+constexpr std::size_t kBlockHeaderSize = 12;  // magic + row count + payload size
+constexpr std::uint32_t kMaxPayloadSize = 1u << 30;
+
+}  // namespace
+
+RecordReader::RecordReader(std::string path, ReaderOptions options)
+    : path_(std::move(path)), options_(options) {
+  in_.open(path_, std::ios::binary);
+  if (!in_) {
+    throw std::runtime_error("recordio: cannot open for reading: " + path_);
+  }
+  read_header();
+}
+
+void RecordReader::fail(const std::string& what) const {
+  throw std::runtime_error("recordio: " + what + ": " + path_);
+}
+
+void RecordReader::read_header() {
+  // Fixed prefix: magic, version, column count, schema hash.
+  std::string prefix(4 + 2 + 4 + 8, '\0');
+  in_.read(prefix.data(), static_cast<std::streamsize>(prefix.size()));
+  if (in_.gcount() != static_cast<std::streamsize>(prefix.size())) {
+    fail("file too short for a container header");
+  }
+  if (prefix.compare(0, 4, kFileMagic, sizeof kFileMagic) != 0) {
+    fail("bad file magic (not a recordio container)");
+  }
+  std::size_t pos = 4;
+  const std::uint16_t version = get_u16(prefix, &pos);
+  if (version != kFormatVersion) {
+    fail("unsupported format version " + std::to_string(version));
+  }
+  const std::uint32_t columns = get_u32(prefix, &pos);
+  const std::uint64_t stored_hash = get_u64(prefix, &pos);
+  if (columns == 0 || columns > 0xFFFF) {
+    fail("implausible column count " + std::to_string(columns));
+  }
+
+  std::string schema_bytes;
+  schema_.clear();
+  schema_.reserve(columns);
+  for (std::uint32_t i = 0; i < columns; ++i) {
+    std::string entry(3, '\0');
+    in_.read(entry.data(), 3);
+    if (in_.gcount() != 3) fail("truncated schema entry");
+    std::size_t entry_pos = 1;
+    const std::uint16_t name_size = get_u16(entry, &entry_pos);
+    if (name_size == 0) fail("empty column name in schema");
+    std::string name(name_size, '\0');
+    in_.read(name.data(), static_cast<std::streamsize>(name.size()));
+    if (in_.gcount() != static_cast<std::streamsize>(name.size())) {
+      fail("truncated column name in schema");
+    }
+    Field field;
+    field.type = static_cast<FieldType>(static_cast<unsigned char>(entry[0]));
+    switch (field.type) {
+      case FieldType::kU64:
+      case FieldType::kDeltaU64:
+      case FieldType::kF64:
+      case FieldType::kBytes:
+      case FieldType::kI64List:
+      case FieldType::kF64List:
+        break;
+      default:
+        fail("unknown field type in schema");
+    }
+    field.name = std::move(name);
+    schema_bytes.append(entry);
+    schema_bytes.append(field.name);
+    schema_.push_back(std::move(field));
+  }
+
+  std::string crc_bytes(4, '\0');
+  in_.read(crc_bytes.data(), 4);
+  if (in_.gcount() != 4) fail("truncated header CRC");
+  std::size_t crc_pos = 0;
+  const std::uint32_t stored_crc = get_u32(crc_bytes, &crc_pos);
+  std::uint32_t crc = crc32_update(kCrc32Init, prefix.data(), prefix.size());
+  crc = crc32_update(crc, schema_bytes.data(), schema_bytes.size());
+  ++stats_.crc_checks;
+  if (crc32_finish(crc) != stored_crc) fail("container header CRC mismatch");
+  if (schema_hash(schema_) != stored_hash) {
+    fail("schema hash does not match the schema section");
+  }
+
+  valid_prefix_bytes_ = prefix.size() + schema_bytes.size() + crc_bytes.size();
+  stats_.bytes_read = valid_prefix_bytes_;
+}
+
+void RecordReader::require_schema(const Schema& expected) const {
+  if (schema_ != expected) {
+    throw std::runtime_error(
+        "recordio: container schema does not match the expected schema: " + path_);
+  }
+}
+
+bool RecordReader::read_block() {
+  std::string header(kBlockHeaderSize, '\0');
+  in_.read(header.data(), static_cast<std::streamsize>(header.size()));
+  const auto got = static_cast<std::size_t>(in_.gcount());
+  if (got == 0 && in_.eof()) return false;  // clean end of stream
+  if (got != header.size()) {
+    if (options_.tolerate_trailing_corruption) {
+      truncated_ = true;
+      return false;
+    }
+    fail("truncated block header");
+  }
+  if (header.compare(0, 4, kBlockMagic, sizeof kBlockMagic) != 0) {
+    if (options_.tolerate_trailing_corruption) {
+      truncated_ = true;
+      return false;
+    }
+    fail("bad block magic");
+  }
+  std::size_t pos = 4;
+  const std::uint32_t row_count = get_u32(header, &pos);
+  const std::uint32_t payload_size = get_u32(header, &pos);
+  if (row_count == 0 || payload_size > kMaxPayloadSize) {
+    if (options_.tolerate_trailing_corruption) {
+      truncated_ = true;
+      return false;
+    }
+    fail("implausible block header");
+  }
+
+  std::string payload(payload_size, '\0');
+  in_.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+  std::string crc_bytes(4, '\0');
+  bool short_read = in_.gcount() != static_cast<std::streamsize>(payload.size());
+  if (!short_read) {
+    in_.read(crc_bytes.data(), 4);
+    short_read = in_.gcount() != 4;
+  }
+  if (short_read) {
+    if (options_.tolerate_trailing_corruption) {
+      truncated_ = true;
+      return false;
+    }
+    fail("truncated block");
+  }
+  std::size_t crc_pos = 0;
+  const std::uint32_t stored_crc = get_u32(crc_bytes, &crc_pos);
+  std::uint32_t crc = crc32_update(kCrc32Init, header.data(), header.size());
+  crc = crc32_update(crc, payload.data(), payload.size());
+  ++stats_.crc_checks;
+  if (crc32_finish(crc) != stored_crc) {
+    if (options_.tolerate_trailing_corruption) {
+      truncated_ = true;
+      return false;
+    }
+    fail("block CRC mismatch");
+  }
+
+  // The block is authenticated; decode errors past this point are format
+  // bugs, not I/O damage, and always throw.
+  block_rows_.assign(row_count, Row(schema_.size()));
+  std::size_t cursor = 0;
+  for (std::size_t column = 0; column < schema_.size(); ++column) {
+    const std::uint32_t column_size = get_u32(payload, &cursor);
+    const std::size_t column_end = cursor + column_size;
+    if (column_end > payload.size()) fail("column payload overruns its block");
+    const Field& field = schema_[column];
+    std::uint64_t previous_u64 = 0;
+    for (std::uint32_t r = 0; r < row_count; ++r) {
+      Value& cell = block_rows_[r][column];
+      switch (field.type) {
+        case FieldType::kU64:
+          cell = get_varint(payload, &cursor);
+          break;
+        case FieldType::kDeltaU64: {
+          const std::uint64_t delta =
+              static_cast<std::uint64_t>(zigzag_decode(get_varint(payload, &cursor)));
+          previous_u64 += delta;  // mod 2^64, mirrors the writer
+          cell = previous_u64;
+          break;
+        }
+        case FieldType::kF64:
+          cell = get_f64(payload, &cursor);
+          break;
+        case FieldType::kBytes: {
+          const std::uint64_t size = get_varint(payload, &cursor);
+          if (size > payload.size() - cursor) fail("bytes cell overruns its block");
+          cell = payload.substr(cursor, size);
+          cursor += size;
+          break;
+        }
+        case FieldType::kI64List: {
+          const std::uint64_t count = get_varint(payload, &cursor);
+          // Each element costs at least one byte on the wire.
+          if (count > payload.size() - cursor) fail("i64 list overruns its block");
+          std::vector<std::int64_t> list;
+          list.reserve(count);
+          std::int64_t previous = 0;
+          for (std::uint64_t i = 0; i < count; ++i) {
+            previous += zigzag_decode(get_varint(payload, &cursor));
+            list.push_back(previous);
+          }
+          cell = std::move(list);
+          break;
+        }
+        case FieldType::kF64List: {
+          const std::uint64_t count = get_varint(payload, &cursor);
+          if (count > (payload.size() - cursor) / 8) {
+            fail("f64 list overruns its block");
+          }
+          std::vector<double> list;
+          list.reserve(count);
+          for (std::uint64_t i = 0; i < count; ++i) {
+            list.push_back(get_f64(payload, &cursor));
+          }
+          cell = std::move(list);
+          break;
+        }
+      }
+    }
+    if (cursor != column_end) fail("column payload size disagrees with its cells");
+  }
+  if (cursor != payload.size()) fail("trailing bytes after the last column");
+
+  next_row_ = 0;
+  ++stats_.blocks_read;
+  stats_.bytes_read += kBlockHeaderSize + payload.size() + 4;
+  valid_prefix_bytes_ = stats_.bytes_read;
+  return true;
+}
+
+bool RecordReader::next(Row* row) {
+  if (done_) return false;
+  if (next_row_ >= block_rows_.size()) {
+    if (!read_block()) {
+      done_ = true;
+      block_rows_.clear();
+      return false;
+    }
+  }
+  *row = std::move(block_rows_[next_row_]);
+  ++next_row_;
+  ++stats_.rows_read;
+  return true;
+}
+
+}  // namespace corelocate::recordio

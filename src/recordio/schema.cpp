@@ -1,0 +1,114 @@
+#include "recordio/schema.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace corelocate::recordio {
+
+std::uint64_t schema_hash(const Schema& schema) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  const auto fold = [&hash](unsigned char byte) {
+    hash ^= byte;
+    hash *= 0x100000001B3ULL;  // FNV prime
+  };
+  for (const Field& field : schema) {
+    for (const char c : field.name) fold(static_cast<unsigned char>(c));
+    fold(':');
+    fold(static_cast<unsigned char>(field.type));
+    fold(';');
+  }
+  return hash;
+}
+
+void put_varint(std::string& out, std::uint64_t value) {
+  // At most 10 bytes; callers size the column buffer across many cells,
+  // so a per-call reserve would only fight the string's growth policy.
+  while (value >= 0x80u) {
+    out.push_back(static_cast<char>((value & 0x7Fu) | 0x80u));  // corelint: disable(perf-alloc-in-hot-loop)
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+std::uint64_t get_varint(const std::string& data, std::size_t* pos) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    if (*pos >= data.size()) {
+      throw std::runtime_error("recordio: varint runs past the end of its block");
+    }
+    const auto byte = static_cast<unsigned char>(data[(*pos)++]);
+    if (shift == 63 && (byte & 0xFEu) != 0) {
+      throw std::runtime_error("recordio: over-long varint");
+    }
+    value |= static_cast<std::uint64_t>(byte & 0x7Fu) << shift;
+    if ((byte & 0x80u) == 0) return value;
+    shift += 7;
+  }
+}
+
+void put_f64(std::string& out, double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof value);
+  std::memcpy(&bits, &value, sizeof bits);
+  // Fixed eight bytes; see put_varint on why there is no reserve here.
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((bits >> (8 * i)) & 0xFFu));  // corelint: disable(perf-alloc-in-hot-loop)
+  }
+}
+
+double get_f64(const std::string& data, std::size_t* pos) {
+  if (*pos + 8 > data.size()) {
+    throw std::runtime_error("recordio: f64 runs past the end of its block");
+  }
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<std::uint64_t>(static_cast<unsigned char>(data[*pos + static_cast<std::size_t>(i)]))
+            << (8 * i);
+  }
+  *pos += 8;
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof value);
+  return value;
+}
+
+namespace {
+
+void put_fixed(std::string& out, std::uint64_t value, int bytes) {
+  // At most eight bytes; see put_varint on why there is no reserve here.
+  for (int i = 0; i < bytes; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));  // corelint: disable(perf-alloc-in-hot-loop)
+  }
+}
+
+std::uint64_t get_fixed(const std::string& data, std::size_t* pos, int bytes) {
+  if (*pos + static_cast<std::size_t>(bytes) > data.size()) {
+    throw std::runtime_error("recordio: fixed-width field runs past the end");
+  }
+  std::uint64_t value = 0;
+  for (int i = 0; i < bytes; ++i) {
+    value |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(data[*pos + static_cast<std::size_t>(i)]))
+             << (8 * i);
+  }
+  *pos += static_cast<std::size_t>(bytes);
+  return value;
+}
+
+}  // namespace
+
+void put_u16(std::string& out, std::uint16_t value) { put_fixed(out, value, 2); }
+void put_u32(std::string& out, std::uint32_t value) { put_fixed(out, value, 4); }
+void put_u64(std::string& out, std::uint64_t value) { put_fixed(out, value, 8); }
+
+std::uint16_t get_u16(const std::string& data, std::size_t* pos) {
+  return static_cast<std::uint16_t>(get_fixed(data, pos, 2));
+}
+std::uint32_t get_u32(const std::string& data, std::size_t* pos) {
+  return static_cast<std::uint32_t>(get_fixed(data, pos, 4));
+}
+std::uint64_t get_u64(const std::string& data, std::size_t* pos) {
+  return get_fixed(data, pos, 8);
+}
+
+}  // namespace corelocate::recordio

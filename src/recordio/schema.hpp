@@ -1,0 +1,104 @@
+#pragma once
+// recordio: a compact binary columnar record container.
+//
+// A recordio file is a self-describing stream of fixed-schema records:
+//
+//   file header   magic "RIO1", format version, schema hash, column count
+//   schema        one (type, name) entry per column, CRC-checked
+//   block*        up to rows_per_block records, stored column-major:
+//                 per-column encoded payloads, one CRC32 over the block
+//
+// Encodings are chosen for the fleet workload (survey records, core
+// maps, solution-cache entries): monotone ids delta-code to one byte,
+// small ints varint-code, doubles keep their exact bit pattern, and
+// int lists (CHA positions, OS<->CHA mappings) delta-code within the
+// list. Every block carries a CRC32 so torn appends and bit rot are
+// *detected* — a reader never misparses garbage into records.
+//
+// Determinism contract: the byte stream is a pure function of (schema,
+// record sequence, block policy). No timestamps, no padding, no
+// pointer-dependent state. Writing the same records through the same
+// block policy yields byte-identical files, which is what lets the
+// fleet shard/merge pipeline reproduce a serial survey segment exactly.
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace corelocate::recordio {
+
+inline constexpr char kFileMagic[4] = {'R', 'I', 'O', '1'};
+inline constexpr char kBlockMagic[4] = {'B', 'L', 'K', '1'};
+inline constexpr std::uint16_t kFormatVersion = 1;
+
+enum class FieldType : std::uint8_t {
+  kU64 = 1,       ///< varint-coded unsigned 64-bit
+  kDeltaU64 = 2,  ///< zigzag varint of the delta vs the previous row (per block)
+  kF64 = 3,       ///< 8-byte little-endian IEEE-754 bit pattern
+  kBytes = 4,     ///< varint length + raw bytes
+  kI64List = 5,   ///< varint count + zigzag varint intra-list deltas
+  kF64List = 6,   ///< varint count + 8-byte little-endian values
+};
+
+struct Field {
+  std::string name;
+  FieldType type = FieldType::kU64;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+using Schema = std::vector<Field>;
+
+/// FNV-1a over "name:type;" of every column, in order. Identifies the
+/// schema in the file header so a reader rejects foreign containers
+/// before decoding a single block.
+std::uint64_t schema_hash(const Schema& schema);
+
+/// One cell. The active alternative must match the column's FieldType
+/// (kU64/kDeltaU64 -> uint64_t, kF64 -> double, kBytes -> string,
+/// kI64List -> vector<int64>, kF64List -> vector<double>).
+using Value = std::variant<std::uint64_t, double, std::string,
+                           std::vector<std::int64_t>, std::vector<double>>;
+
+/// One record: cells in schema column order.
+using Row = std::vector<Value>;
+
+// ---------------------------------------------------------------- codecs
+// Shared by the writer, the reader and the tests; also handy for callers
+// that embed varints in their own side-channel formats.
+
+/// Appends the LEB128 varint encoding of `value` to `out`.
+void put_varint(std::string& out, std::uint64_t value);
+
+/// Decodes a varint from `data` at `*pos`; advances `*pos`. Throws
+/// std::runtime_error on overrun or an over-long encoding.
+std::uint64_t get_varint(const std::string& data, std::size_t* pos);
+
+inline std::uint64_t zigzag_encode(std::int64_t value) {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+
+inline std::int64_t zigzag_decode(std::uint64_t value) {
+  return static_cast<std::int64_t>((value >> 1) ^ (~(value & 1) + 1));
+}
+
+/// Appends the 8-byte little-endian image of `value`'s bit pattern.
+void put_f64(std::string& out, double value);
+
+/// Reads an 8-byte little-endian double; advances `*pos`.
+double get_f64(const std::string& data, std::size_t* pos);
+
+// Fixed-width little-endian integers, used by the container framing
+// (header fields, block headers, column payload lengths).
+void put_u16(std::string& out, std::uint16_t value);
+void put_u32(std::string& out, std::uint32_t value);
+void put_u64(std::string& out, std::uint64_t value);
+std::uint16_t get_u16(const std::string& data, std::size_t* pos);
+std::uint32_t get_u32(const std::string& data, std::size_t* pos);
+std::uint64_t get_u64(const std::string& data, std::size_t* pos);
+
+}  // namespace corelocate::recordio

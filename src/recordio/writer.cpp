@@ -1,0 +1,240 @@
+#include "recordio/writer.hpp"
+
+#include <filesystem>
+#include <stdexcept>
+#include <system_error>
+
+#include "recordio/crc32.hpp"
+#include "recordio/reader.hpp"
+
+namespace corelocate::recordio {
+
+namespace {
+
+std::string encode_header(const Schema& schema) {
+  std::string header;
+  header.append(kFileMagic, sizeof kFileMagic);
+  put_u16(header, kFormatVersion);
+  put_u32(header, static_cast<std::uint32_t>(schema.size()));
+  put_u64(header, schema_hash(schema));
+  for (const Field& field : schema) {
+    header.push_back(static_cast<char>(field.type));
+    put_u16(header, static_cast<std::uint16_t>(field.name.size()));
+    header.append(field.name);
+  }
+  put_u32(header, crc32(header.data(), header.size()));
+  return header;
+}
+
+void validate_schema(const Schema& schema) {
+  if (schema.empty()) {
+    throw std::invalid_argument("recordio: schema needs at least one column");
+  }
+  for (const Field& field : schema) {
+    if (field.name.empty() || field.name.size() > 0xFFFF) {
+      throw std::invalid_argument("recordio: column name must be 1..65535 bytes");
+    }
+    switch (field.type) {
+      case FieldType::kU64:
+      case FieldType::kDeltaU64:
+      case FieldType::kF64:
+      case FieldType::kBytes:
+      case FieldType::kI64List:
+      case FieldType::kF64List:
+        break;
+      default:
+        throw std::invalid_argument("recordio: unknown field type for column '" +
+                                    field.name + "'");
+    }
+  }
+}
+
+[[noreturn]] void type_mismatch(const Field& field) {
+  throw std::invalid_argument("recordio: value type does not match column '" +
+                              field.name + "'");
+}
+
+}  // namespace
+
+RecordWriter::RecordWriter(std::string path, Schema schema, WriterOptions options)
+    : path_(std::move(path)), schema_(std::move(schema)), options_(options) {
+  validate_schema(schema_);
+  if (options_.rows_per_block == 0) options_.rows_per_block = 1;
+
+  bool fresh = true;
+  if (options_.append) {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path_, ec);
+    if (!ec && size > 0) {
+      // Validate the existing container and cut off any torn tail block
+      // a crashed writer may have left, so appended blocks land on a
+      // clean boundary.
+      ReaderOptions reader_options;
+      reader_options.tolerate_trailing_corruption = true;
+      RecordReader reader(path_, reader_options);
+      reader.require_schema(schema_);
+      Row row;
+      while (reader.next(&row)) {
+      }
+      const std::uint64_t keep = reader.valid_prefix_bytes();
+      if (keep < size) {
+        std::filesystem::resize_file(path_, keep);
+      }
+      fresh = false;
+    }
+  }
+
+  const auto mode = std::ios::binary | (fresh ? std::ios::trunc : std::ios::app);
+  out_.open(path_, mode);
+  if (!out_) {
+    throw std::runtime_error("recordio: cannot open for writing: " + path_);
+  }
+  if (fresh) write_header();
+
+  column_buffers_.resize(schema_.size());
+  delta_previous_.assign(schema_.size(), 0);
+}
+
+RecordWriter::~RecordWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor path: the caller chose not to observe close() errors.
+  }
+}
+
+void RecordWriter::write_header() { write_raw(encode_header(schema_)); }
+
+void RecordWriter::write_raw(const std::string& bytes) {
+  out_.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out_) {
+    throw std::runtime_error("recordio: write failed: " + path_);
+  }
+  stats_.bytes_written += bytes.size();
+}
+
+void RecordWriter::encode_cell(std::size_t column, const Value& value) {
+  const Field& field = schema_[column];
+  std::string& buffer = column_buffers_[column];
+  const std::size_t before = buffer.size();
+  switch (field.type) {
+    case FieldType::kU64: {
+      const auto* v = std::get_if<std::uint64_t>(&value);
+      if (v == nullptr) type_mismatch(field);
+      put_varint(buffer, *v);
+      break;
+    }
+    case FieldType::kDeltaU64: {
+      const auto* v = std::get_if<std::uint64_t>(&value);
+      if (v == nullptr) type_mismatch(field);
+      const std::uint64_t delta = *v - delta_previous_[column];  // mod 2^64
+      put_varint(buffer, zigzag_encode(static_cast<std::int64_t>(delta)));
+      delta_previous_[column] = *v;
+      break;
+    }
+    case FieldType::kF64: {
+      const auto* v = std::get_if<double>(&value);
+      if (v == nullptr) type_mismatch(field);
+      put_f64(buffer, *v);
+      break;
+    }
+    case FieldType::kBytes: {
+      const auto* v = std::get_if<std::string>(&value);
+      if (v == nullptr) type_mismatch(field);
+      put_varint(buffer, v->size());
+      buffer.append(*v);
+      break;
+    }
+    case FieldType::kI64List: {
+      const auto* v = std::get_if<std::vector<std::int64_t>>(&value);
+      if (v == nullptr) type_mismatch(field);
+      put_varint(buffer, v->size());
+      std::int64_t previous = 0;
+      for (const std::int64_t element : *v) {
+        put_varint(buffer, zigzag_encode(element - previous));
+        previous = element;
+      }
+      break;
+    }
+    case FieldType::kF64List: {
+      const auto* v = std::get_if<std::vector<double>>(&value);
+      if (v == nullptr) type_mismatch(field);
+      put_varint(buffer, v->size());
+      for (const double element : *v) put_f64(buffer, element);
+      break;
+    }
+  }
+  buffered_payload_bytes_ += buffer.size() - before;
+}
+
+void RecordWriter::append_row(const Row& row) {
+  if (closed_) {
+    throw std::logic_error("recordio: append_row on a closed writer");
+  }
+  if (row.size() != schema_.size()) {
+    throw std::invalid_argument("recordio: row has " + std::to_string(row.size()) +
+                                " cells, schema has " +
+                                std::to_string(schema_.size()) + " columns");
+  }
+  for (std::size_t column = 0; column < row.size(); ++column) {
+    encode_cell(column, row[column]);
+  }
+  ++rows_in_block_;
+  ++stats_.rows;
+  if (rows_in_block_ >= options_.rows_per_block ||
+      buffered_payload_bytes_ >= options_.block_payload_limit) {
+    flush_block();
+  }
+}
+
+void RecordWriter::flush_block() {
+  if (rows_in_block_ == 0) return;
+
+  std::string payload;
+  payload.reserve(buffered_payload_bytes_ + 4 * column_buffers_.size());
+  for (std::string& buffer : column_buffers_) {
+    put_u32(payload, static_cast<std::uint32_t>(buffer.size()));
+    payload.append(buffer);
+    buffer.clear();
+  }
+
+  if (payload.size() >= (1u << 30)) {
+    // The reader rejects absurd sizes as corruption; never produce one.
+    throw std::runtime_error("recordio: block payload exceeds 1 GiB: " + path_);
+  }
+
+  std::string block;
+  block.reserve(payload.size() + 16);
+  block.append(kBlockMagic, sizeof kBlockMagic);
+  put_u32(block, static_cast<std::uint32_t>(rows_in_block_));
+  put_u32(block, static_cast<std::uint32_t>(payload.size()));
+  block.append(payload);
+  put_u32(block, crc32(block.data(), block.size()));
+  write_raw(block);
+
+  ++stats_.blocks;
+  rows_in_block_ = 0;
+  buffered_payload_bytes_ = 0;
+  delta_previous_.assign(schema_.size(), 0);
+}
+
+void RecordWriter::flush() {
+  if (closed_) return;
+  flush_block();
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error("recordio: flush failed: " + path_);
+  }
+}
+
+void RecordWriter::close() {
+  if (closed_) return;
+  flush();
+  out_.close();
+  closed_ = true;
+  if (out_.fail()) {
+    throw std::runtime_error("recordio: close failed: " + path_);
+  }
+}
+
+}  // namespace corelocate::recordio

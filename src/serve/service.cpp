@@ -143,6 +143,23 @@ void Service::drain() {
   }
 }
 
+std::size_t Service::warm_solution_cache(const std::string& path) {
+  if (!options_.solution_cache) {
+    throw std::logic_error(
+        "Service: warm_solution_cache needs options.solution_cache on");
+  }
+  const std::size_t warmed = solution_cache_.load(path);
+  registry_.counter("serve.solution_cache.warmed")
+      .add(static_cast<std::uint64_t>(warmed));
+  registry_.gauge("serve.solution_cache.size")
+      .set(static_cast<double>(solution_cache_.size()));
+  return warmed;
+}
+
+void Service::save_solution_cache(const std::string& path) const {
+  solution_cache_.save(path);
+}
+
 std::size_t Service::run_batch(std::vector<Queued>& batch) {
   obs::Span batch_span("serve_batch", "serve");
   const std::size_t n = batch.size();

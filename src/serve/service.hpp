@@ -86,6 +86,20 @@ class Service {
   /// Processes batches until the queue is empty.
   void drain();
 
+  /// Warms the solver-level solution cache from a segment written by
+  /// ilp::SolutionCache::save (or by fleet_survey --solution-cache-file
+  /// — the formats are one and the same, so a fleet survey's cold
+  /// solves can pre-warm the daemon). Returns the entries inserted; 0
+  /// with no error when `path` does not exist. Serial-phase only: call
+  /// before the first pump(). Throws std::logic_error unless
+  /// options.solution_cache is on — warming a cache the service never
+  /// consults is a configuration bug, not a no-op.
+  std::size_t warm_solution_cache(const std::string& path);
+
+  /// Persists the solution cache for the next process's
+  /// warm_solution_cache. Serial-phase only: call after drain().
+  void save_solution_cache(const std::string& path) const;
+
   std::size_t pending() const noexcept { return queue_.size(); }
 
   const MapCache& cache() const noexcept { return cache_; }

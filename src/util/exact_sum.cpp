@@ -1,0 +1,109 @@
+#include "util/exact_sum.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace corelocate::util {
+
+namespace {
+
+// Each add() deposits at most (2^32 - 1) into any one limb. Starting
+// from a normalized state (limbs in [0, 2^32)), 2^30 adds keep every
+// limb's magnitude under 2^62 — comfortably inside int64.
+constexpr std::uint32_t kNormalizeEvery = 1u << 30;
+
+}  // namespace
+
+void ExactSum::add(double x) noexcept {
+  ++count_;
+  if (!std::isfinite(x)) {
+    nonfinite_ += x;
+    has_nonfinite_ = true;
+    return;
+  }
+
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &x, sizeof bits);
+  const std::uint64_t exponent_field = (bits >> 52) & 0x7FFu;
+  std::uint64_t significand = bits & 0xFFFFFFFFFFFFFu;
+  // Normal numbers carry the implicit leading bit; subnormals do not.
+  // Both scale so the significand's LSB sits at bit `offset` of the
+  // fixed-point accumulator (bit 0 == 2^-1074).
+  std::uint64_t offset = 0;
+  if (exponent_field != 0) {
+    significand |= 1ull << 52;
+    offset = exponent_field - 1;
+  }
+  if (significand == 0) return;  // +-0.0
+
+  const bool negative = (bits >> 63) != 0;
+  const std::size_t limb = offset / 32;
+  const unsigned shift = static_cast<unsigned>(offset % 32);
+
+  // The shifted 53-bit significand spans at most 85 bits: three limbs.
+  const unsigned __int128 wide = static_cast<unsigned __int128>(significand) << shift;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto chunk =
+        static_cast<std::int64_t>(static_cast<std::uint32_t>(wide >> (32 * i)));
+    if (chunk == 0) continue;
+    limbs_[limb + i] += negative ? -chunk : chunk;
+  }
+
+  if (++adds_since_normalize_ >= kNormalizeEvery) normalize();
+}
+
+void ExactSum::normalize() noexcept {
+  std::int64_t carry = 0;
+  for (std::size_t i = 0; i < kLimbs; ++i) {
+    const std::int64_t v = limbs_[i] + carry;
+    limbs_[i] = v & 0xFFFFFFFFll;
+    carry = v >> 32;  // arithmetic: negative totals borrow downward
+  }
+  // A leftover carry would need a sum beyond 2^1102 — unreachable from
+  // doubles. A *negative* final carry is the sign of the total; fold it
+  // into the top limb so value() sees it.
+  limbs_[kLimbs - 1] += carry << 32;
+  adds_since_normalize_ = 0;
+}
+
+void ExactSum::merge(const ExactSum& other) noexcept {
+  ExactSum theirs = other;
+  theirs.normalize();
+  normalize();
+  for (std::size_t i = 0; i < kLimbs; ++i) limbs_[i] += theirs.limbs_[i];
+  count_ += theirs.count_;
+  if (theirs.has_nonfinite_) {
+    nonfinite_ += theirs.nonfinite_;
+    has_nonfinite_ = true;
+  }
+  normalize();
+}
+
+double ExactSum::value() const noexcept {
+  if (has_nonfinite_) return nonfinite_;
+  ExactSum canonical = *this;
+  canonical.normalize();
+  // The canonical form keeps limbs in [0, 2^32) with the total's sign
+  // carried by the top limb. Fold a negative total as -(magnitude):
+  // folding the signed form directly would put the top limb's term at
+  // ~2^1102 — past double range — and round through infinity into NaN
+  // before the lower limbs could cancel it.
+  const bool negative = canonical.limbs_[kLimbs - 1] < 0;
+  if (negative) {
+    for (std::int64_t& limb : canonical.limbs_) limb = -limb;
+    canonical.normalize();
+  }
+  // High-to-low fold: each limb is exact and non-negative, so the
+  // partial sums grow monotonically toward the total and the only
+  // rounding is the final few ldexp additions — a fixed order, hence
+  // deterministic.
+  double result = 0.0;
+  for (std::size_t i = kLimbs; i-- > 0;) {
+    if (canonical.limbs_[i] == 0 && result == 0.0) continue;
+    result += std::ldexp(static_cast<double>(canonical.limbs_[i]),
+                         32 * static_cast<int>(i) - 1074);
+  }
+  return negative ? -result : result;
+}
+
+}  // namespace corelocate::util

@@ -1,0 +1,58 @@
+#pragma once
+// Exact, order-independent accumulation of doubles.
+//
+// ExactSum is a Kulisch-style superaccumulator: a 2176-bit fixed-point
+// number wide enough to hold any sum of doubles without rounding. add()
+// splits each finite value into its 53-bit integer significand and a
+// bit offset, and folds it into an array of base-2^32 limbs; since
+// fixed-point addition is associative and commutative, the accumulated
+// value — and therefore value() — is independent of add/merge order.
+//
+// This is what lets the fleet aggregator stream metric totals instead
+// of retaining every record: workers fold metrics into per-worker
+// ExactSums as instances complete (in whatever order the pool finishes
+// them), the barrier merges limb-wise, and the single final rounding is
+// byte-identical to the serial run's (which streams through the same
+// accumulator).
+//
+// Non-finite inputs (inf/NaN) fall back to plain double accumulation in
+// arrival order; survey metrics never produce them, and once one shows
+// up there is no meaningful "exact" answer anyway.
+
+#include <array>
+#include <cstdint>
+
+namespace corelocate::util {
+
+class ExactSum {
+ public:
+  /// Folds one value in. O(1), no allocation; safe for hot paths.
+  void add(double x) noexcept;
+
+  /// Folds another accumulator in. Equivalent to replaying every add()
+  /// the other has seen, in any order.
+  void merge(const ExactSum& other) noexcept;
+
+  /// The sum, rounded once to double. Deterministic: a pure function of
+  /// the multiset of added values.
+  double value() const noexcept;
+
+  /// Number of values added (merges included).
+  std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  // 68 limbs x 32 bits covers 2^-1074 .. 2^1023 significands plus
+  // carry/overflow slack. Limbs hold deferred carries in int64 and are
+  // renormalised before they can overflow.
+  static constexpr std::size_t kLimbs = 68;
+
+  void normalize() noexcept;
+
+  std::array<std::int64_t, kLimbs> limbs_{};
+  std::uint64_t count_ = 0;
+  std::uint32_t adds_since_normalize_ = 0;
+  double nonfinite_ = 0.0;
+  bool has_nonfinite_ = false;
+};
+
+}  // namespace corelocate::util

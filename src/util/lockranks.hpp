@@ -11,7 +11,10 @@
 //
 // Layering (gaps left for future layers):
 //   10..19  fleet::ThreadPool internals (deques below idle accounting)
-//   20..29  fleet::ThreadPool idle/pending accounting
+//   20..24  fleet::ThreadPool idle/pending accounting
+//   25..29  fleet::OrderedSink — the reorder buffer drains into the
+//           checkpoint from inside its emit callback, so the sink must
+//           rank below every lock the drain can take
 //   30..39  fleet::Checkpoint
 //   40..49  fleet::ProgressMeter
 //   50..59  obs::Tracer (registry below per-thread buffers)
@@ -24,6 +27,7 @@ namespace corelocate::util::lockcheck {
 
 inline constexpr int kRankPoolDeque = 10;
 inline constexpr int kRankPoolIdle = 20;
+inline constexpr int kRankRecordSink = 25;
 inline constexpr int kRankCheckpoint = 30;
 inline constexpr int kRankProgress = 40;
 inline constexpr int kRankObsTracer = 50;
@@ -32,8 +36,8 @@ inline constexpr int kRankObsTraceBuffer = 52;
 namespace detail {
 
 inline constexpr int kAllRanks[] = {
-    kRankPoolDeque,  kRankPoolIdle,  kRankCheckpoint,
-    kRankProgress,   kRankObsTracer, kRankObsTraceBuffer,
+    kRankPoolDeque, kRankPoolIdle,  kRankRecordSink,     kRankCheckpoint,
+    kRankProgress,  kRankObsTracer, kRankObsTraceBuffer,
 };
 
 constexpr bool ranks_strictly_increasing() {

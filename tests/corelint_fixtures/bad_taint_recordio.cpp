@@ -1,0 +1,33 @@
+// Taint fixture: recordio::RecordWriter is a determinism sink — its
+// bytes are compared across serial and sharded runs, so a wall-clock
+// value flowing into append_row corrupts the byte-identity contract
+// even through an intermediate encoding helper.
+#include <ctime>
+
+struct Row {
+  double cells[4] = {};
+};
+
+struct RecordWriter {
+  void append_row(const Row& row) { last = row; }
+  Row last;
+};
+
+namespace {
+
+double measure_wall() {
+  return static_cast<double>(clock());  // corelint-expect: det-wallclock
+}
+
+Row encode_with_timing(double wall) {
+  Row row;
+  row.cells[0] = wall;  // the helper forwards the taint, not launders it
+  return row;
+}
+
+}  // namespace
+
+void write_timed_row(RecordWriter& writer) {
+  const double wall = measure_wall();
+  writer.append_row(encode_with_timing(wall));  // corelint-expect: det-taint-flow
+}

@@ -1,0 +1,29 @@
+// Taint fixture (clean): deterministic fields may stream through a
+// recordio::RecordWriter freely. Encoding outcome data — indices,
+// seeds, solver counters — into rows and appending them is exactly what
+// the segment is for; only wall-clock taint must stay out.
+
+struct Row {
+  double cells[4] = {};
+};
+
+struct RecordWriter {
+  void append_row(const Row& row) { last = row; }
+  Row last;
+};
+
+namespace {
+
+Row encode_outcome(int index, double solver_nodes) {
+  Row row;
+  row.cells[0] = static_cast<double>(index);
+  row.cells[1] = solver_nodes;
+  return row;
+}
+
+}  // namespace
+
+void write_outcome_row(RecordWriter& writer, int index, double solver_nodes) {
+  // Deterministic data into a deterministic segment: no finding.
+  writer.append_row(encode_outcome(index, solver_nodes));
+}

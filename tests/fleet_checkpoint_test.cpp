@@ -169,8 +169,8 @@ TEST_F(FleetCheckpointTest, ManifestIsByteIdenticalAcrossFreshRuns) {
 
   EXPECT_EQ(read_file((dir_a / "manifest.txt").string()),
             read_file((dir_b / "manifest.txt").string()));
-  EXPECT_EQ(read_file((dir_a / "maps.db").string()),
-            read_file((dir_b / "maps.db").string()));
+  EXPECT_EQ(read_file((dir_a / "maps.rio").string()),
+            read_file((dir_b / "maps.rio").string()));
 }
 
 TEST_F(FleetCheckpointTest, ResumedRunMatchesFreshRunByteForByte) {
@@ -198,8 +198,8 @@ TEST_F(FleetCheckpointTest, ResumedRunMatchesFreshRunByteForByte) {
 
   EXPECT_EQ(read_file((fresh_dir / "manifest.txt").string()),
             read_file((resumed_dir / "manifest.txt").string()));
-  EXPECT_EQ(read_file((fresh_dir / "maps.db").string()),
-            read_file((resumed_dir / "maps.db").string()));
+  EXPECT_EQ(read_file((fresh_dir / "maps.rio").string()),
+            read_file((resumed_dir / "maps.rio").string()));
 }
 
 TEST_F(FleetCheckpointTest, TimingsLiveInSidecarNotManifest) {
@@ -246,6 +246,25 @@ TEST_F(FleetCheckpointTest, V1ManifestGetsATargetedError) {
     FAIL() << "expected a v1-manifest error";
   } catch (const std::runtime_error& e) {
     EXPECT_NE(std::string(e.what()).find("v1 manifest"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(FleetCheckpointTest, V2ManifestGetsATargetedError) {
+  fs::create_directories(dir_);
+  {
+    std::ofstream out(dir() + "/manifest.txt");
+    out << "fleet-manifest v2\n";
+  }
+  Checkpoint checkpoint(dir(), sim::XeonModel::k8124M, 0xC0FFEEULL,
+                        sim::InstanceFactory::kDefaultFleetSeed);
+  try {
+    checkpoint.load_completed();
+    FAIL() << "expected a v2-manifest error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("v2 manifest"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("maps.rio"), std::string::npos)
         << e.what();
   }
 }

@@ -8,6 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/decomposed_map_solver.hpp"
@@ -88,6 +93,119 @@ TEST(SolutionCacheTest, MergeIsInsertIfAbsent) {
   EXPECT_EQ(a.size(), 3u);
   EXPECT_EQ(a.find(2)->nodes_explored, 2);  // a's entry survived
   EXPECT_EQ(a.find(3)->nodes_explored, 3);
+}
+
+// ---------------------------------------------------------- persistence
+
+std::string cache_temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() /
+          ("ilp_cache_" +
+           std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + "_" +
+           name))
+      .string();
+}
+
+TEST(SolutionCachePersistTest, SaveLoadRoundTripsEveryField) {
+  SolutionCache cache;
+  CachedSolution failed;
+  failed.success = false;
+  failed.message = "infeasible: odd parity";
+  cache.insert(7, SimhashSketch{{1, 2, 3, ~std::uint64_t{0}}}, failed);
+  CachedSolution rich = solution_with_nodes(42);
+  rich.lp_iterations = 17;
+  rich.nodes_pruned = 5;
+  rich.lp_solves_avoided = 9;
+  cache.insert(0xFFFFFFFFFFFFFFF0ULL, SimhashSketch{{8, 9, 10, 11}}, rich);
+
+  const std::string file = cache_temp_path("roundtrip.rio");
+  cache.save(file);
+  SolutionCache loaded;
+  EXPECT_EQ(loaded.load(file), 2u);
+  std::filesystem::remove(file);
+
+  EXPECT_EQ(loaded.size(), 2u);
+  const CachedSolution* f = loaded.find(7);
+  ASSERT_NE(f, nullptr);
+  EXPECT_FALSE(f->success);
+  EXPECT_EQ(f->message, "infeasible: odd parity");
+  const CachedSolution* r = loaded.find(0xFFFFFFFFFFFFFFF0ULL);
+  ASSERT_NE(r, nullptr);
+  EXPECT_TRUE(r->success);
+  EXPECT_EQ(r->positions, (std::vector<std::pair<int, int>>{{1, 2}, {3, 4}}));
+  EXPECT_EQ(r->nodes_explored, 42);
+  EXPECT_EQ(r->lp_iterations, 17);
+  EXPECT_EQ(r->nodes_pruned, 5);
+  EXPECT_EQ(r->lp_solves_avoided, 9);
+
+  // The sketch round-trips too: nearest() sees the same geometry.
+  const SolutionCache::Entry* nearest =
+      loaded.nearest(SimhashSketch{{8, 9, 10, 11}});
+  ASSERT_NE(nearest, nullptr);
+  EXPECT_EQ(nearest->solution.nodes_explored, 42);
+}
+
+TEST(SolutionCachePersistTest, MissingFileLoadsNothing) {
+  SolutionCache cache;
+  EXPECT_EQ(cache.load(cache_temp_path("never-written.rio")), 0u);
+  EXPECT_TRUE(cache.empty());
+}
+
+TEST(SolutionCachePersistTest, LoadIsInsertIfAbsent) {
+  SolutionCache on_disk;
+  on_disk.insert(1, SimhashSketch{}, solution_with_nodes(100));
+  on_disk.insert(2, SimhashSketch{}, solution_with_nodes(200));
+  const std::string file = cache_temp_path("absent.rio");
+  on_disk.save(file);
+
+  SolutionCache cache;
+  cache.insert(1, SimhashSketch{}, solution_with_nodes(1));  // pre-existing
+  EXPECT_EQ(cache.load(file), 1u);  // only signature 2 is new
+  std::filesystem::remove(file);
+  EXPECT_EQ(cache.find(1)->nodes_explored, 1);  // first write won
+  EXPECT_EQ(cache.find(2)->nodes_explored, 200);
+}
+
+TEST(SolutionCachePersistTest, SavedBytesAreAPureFunctionOfContents) {
+  // Insertion order must not leak into the file: the map iterates in
+  // key order, so two caches with equal contents save equal bytes.
+  SolutionCache ab;
+  ab.insert(10, SimhashSketch{{1, 0, 0, 0}}, solution_with_nodes(1));
+  ab.insert(20, SimhashSketch{{2, 0, 0, 0}}, solution_with_nodes(2));
+  SolutionCache ba;
+  ba.insert(20, SimhashSketch{{2, 0, 0, 0}}, solution_with_nodes(2));
+  ba.insert(10, SimhashSketch{{1, 0, 0, 0}}, solution_with_nodes(1));
+
+  const std::string file_ab = cache_temp_path("ab.rio");
+  const std::string file_ba = cache_temp_path("ba.rio");
+  ab.save(file_ab);
+  ba.save(file_ba);
+  std::ifstream in_ab(file_ab, std::ios::binary);
+  std::ifstream in_ba(file_ba, std::ios::binary);
+  std::ostringstream bytes_ab, bytes_ba;
+  bytes_ab << in_ab.rdbuf();
+  bytes_ba << in_ba.rdbuf();
+  EXPECT_EQ(bytes_ab.str(), bytes_ba.str());
+  std::filesystem::remove(file_ab);
+  std::filesystem::remove(file_ba);
+}
+
+TEST(SolutionCachePersistTest, CorruptedFileThrowsInsteadOfMisparsing) {
+  SolutionCache cache;
+  cache.insert(1, SimhashSketch{}, solution_with_nodes(1));
+  const std::string file = cache_temp_path("corrupt.rio");
+  cache.save(file);
+  {
+    std::fstream io(file, std::ios::binary | std::ios::in | std::ios::out);
+    io.seekp(-6, std::ios::end);  // inside the single block
+    char byte = 0;
+    io.read(&byte, 1);
+    io.seekp(-6, std::ios::end);
+    byte = static_cast<char>(byte ^ 0x20);
+    io.write(&byte, 1);
+  }
+  SolutionCache fresh;
+  EXPECT_THROW(fresh.load(file), std::runtime_error);
+  std::filesystem::remove(file);
 }
 
 // ------------------------------------------------------- solver contract

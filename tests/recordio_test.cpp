@@ -1,0 +1,433 @@
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "recordio/crc32.hpp"
+#include "recordio/reader.hpp"
+#include "recordio/schema.hpp"
+#include "recordio/writer.hpp"
+#include "util/rng.hpp"
+
+namespace corelocate::recordio {
+namespace {
+
+namespace fs = std::filesystem;
+
+class RecordioTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("recordio_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+  fs::path dir_;
+};
+
+Schema full_schema() {
+  return {
+      {"plain", FieldType::kU64},       {"delta", FieldType::kDeltaU64},
+      {"real", FieldType::kF64},        {"text", FieldType::kBytes},
+      {"ints", FieldType::kI64List},    {"reals", FieldType::kF64List},
+  };
+}
+
+Row sample_row(std::uint64_t i) {
+  Row row(6);
+  row[0] = i * 3 + 1;
+  row[1] = 1000 + i * 7;  // monotone: the delta column's natural diet
+  row[2] = 0.5 * static_cast<double>(i) - 3.25;
+  row[3] = std::string("record-") + std::to_string(i);
+  row[4] = std::vector<std::int64_t>{static_cast<std::int64_t>(i), -5, 1 << 20};
+  row[5] = std::vector<double>{static_cast<double>(i), -0.125};
+  return row;
+}
+
+std::string read_bytes(const std::string& file) {
+  std::ifstream in(file, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot open " << file;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_bytes(const std::string& file, const std::string& bytes) {
+  std::ofstream out(file, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+TEST(RecordioCrc32Test, MatchesKnownVector) {
+  // The standard check value for CRC-32/ISO-HDLC.
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(crc32("", 0), 0x00000000u);
+}
+
+TEST(RecordioVarintTest, RoundTripsEdgeValues) {
+  for (const std::uint64_t value :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{127}, std::uint64_t{128},
+        std::uint64_t{16383}, std::uint64_t{16384}, ~std::uint64_t{0}}) {
+    std::string buffer;
+    put_varint(buffer, value);
+    std::size_t pos = 0;
+    EXPECT_EQ(get_varint(buffer, &pos), value);
+    EXPECT_EQ(pos, buffer.size());
+  }
+}
+
+TEST(RecordioVarintTest, RejectsOverlongEncoding) {
+  // Eleven 0x80 continuation bytes: no u64 needs them.
+  std::string evil(10, '\x80');
+  evil.push_back('\x02');
+  std::size_t pos = 0;
+  EXPECT_THROW(get_varint(evil, &pos), std::runtime_error);
+}
+
+TEST(RecordioSchemaTest, HashSeparatesNamesAndTypes) {
+  const Schema a = {{"x", FieldType::kU64}};
+  const Schema b = {{"x", FieldType::kDeltaU64}};
+  const Schema c = {{"y", FieldType::kU64}};
+  EXPECT_NE(schema_hash(a), schema_hash(b));
+  EXPECT_NE(schema_hash(a), schema_hash(c));
+  EXPECT_EQ(schema_hash(a), schema_hash({{"x", FieldType::kU64}}));
+}
+
+TEST_F(RecordioTest, RoundTripsEveryFieldType) {
+  const std::string file = path("all.rio");
+  {
+    RecordWriter writer(file, full_schema());
+    for (std::uint64_t i = 0; i < 100; ++i) writer.append_row(sample_row(i));
+    writer.close();
+  }
+  RecordReader reader(file);
+  reader.require_schema(full_schema());
+  Row row;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(reader.next(&row)) << "row " << i;
+    EXPECT_EQ(row, sample_row(i)) << "row " << i;
+  }
+  EXPECT_FALSE(reader.next(&row));
+  EXPECT_FALSE(reader.truncated());
+  EXPECT_EQ(reader.stats().rows_read, 100u);
+}
+
+TEST_F(RecordioTest, BlockPolicySplitsButBytesStayDeterministic) {
+  WriterOptions small;
+  small.rows_per_block = 7;
+  const std::string file_a = path("a.rio");
+  const std::string file_b = path("b.rio");
+  for (const std::string& file : {file_a, file_b}) {
+    RecordWriter writer(file, full_schema(), small);
+    for (std::uint64_t i = 0; i < 50; ++i) writer.append_row(sample_row(i));
+    writer.close();
+    EXPECT_EQ(writer.stats().blocks, 8u);  // ceil(50 / 7)
+  }
+  EXPECT_EQ(read_bytes(file_a), read_bytes(file_b));
+}
+
+TEST_F(RecordioTest, RejectsSchemaMismatch) {
+  const std::string file = path("schema.rio");
+  {
+    RecordWriter writer(file, full_schema());
+    writer.append_row(sample_row(0));
+    writer.close();
+  }
+  RecordReader reader(file);
+  const Schema other = {{"something", FieldType::kU64}};
+  EXPECT_THROW(reader.require_schema(other), std::runtime_error);
+}
+
+TEST_F(RecordioTest, RejectsWrongCellType) {
+  RecordWriter writer(path("type.rio"), full_schema());
+  Row row = sample_row(0);
+  row[0] = 1.5;  // double into a kU64 column
+  EXPECT_THROW(writer.append_row(row), std::invalid_argument);
+}
+
+TEST_F(RecordioTest, AppendModeContinuesAnExistingSegment) {
+  const std::string file = path("append.rio");
+  {
+    RecordWriter writer(file, full_schema());
+    for (std::uint64_t i = 0; i < 10; ++i) writer.append_row(sample_row(i));
+    writer.close();
+  }
+  {
+    WriterOptions options;
+    options.append = true;
+    RecordWriter writer(file, full_schema(), options);
+    for (std::uint64_t i = 10; i < 20; ++i) writer.append_row(sample_row(i));
+    writer.close();
+  }
+  RecordReader reader(file);
+  Row row;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(reader.next(&row)) << "row " << i;
+    EXPECT_EQ(row, sample_row(i));
+  }
+  EXPECT_FALSE(reader.next(&row));
+}
+
+TEST_F(RecordioTest, AppendModeRejectsForeignSchema) {
+  const std::string file = path("foreign.rio");
+  {
+    RecordWriter writer(file, full_schema());
+    writer.append_row(sample_row(0));
+    writer.close();
+  }
+  WriterOptions options;
+  options.append = true;
+  const Schema other = {{"other", FieldType::kU64}};
+  EXPECT_THROW(RecordWriter(file, other, options), std::runtime_error);
+}
+
+TEST_F(RecordioTest, AppendModeTruncatesATornTail) {
+  const std::string file = path("torn.rio");
+  {
+    RecordWriter writer(file, full_schema());
+    for (std::uint64_t i = 0; i < 10; ++i) writer.append_row(sample_row(i));
+    writer.close();
+  }
+  // Crash mid-block: drop the last 3 bytes.
+  const std::string intact = read_bytes(file);
+  write_bytes(file, intact.substr(0, intact.size() - 3));
+  {
+    WriterOptions options;
+    options.append = true;
+    RecordWriter writer(file, full_schema(), options);
+    // The torn block (all 10 rows: one block) was truncated away, so
+    // appends start from a clean boundary.
+    for (std::uint64_t i = 0; i < 5; ++i) writer.append_row(sample_row(100 + i));
+    writer.close();
+  }
+  RecordReader reader(file);
+  Row row;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(reader.next(&row));
+    EXPECT_EQ(row, sample_row(100 + i));
+  }
+  EXPECT_FALSE(reader.next(&row));
+  EXPECT_FALSE(reader.truncated());
+}
+
+TEST_F(RecordioTest, TruncationThrowsByDefaultAndStopsWhenTolerated) {
+  const std::string file = path("trunc.rio");
+  WriterOptions two_per_block;
+  two_per_block.rows_per_block = 2;
+  {
+    RecordWriter writer(file, full_schema(), two_per_block);
+    for (std::uint64_t i = 0; i < 6; ++i) writer.append_row(sample_row(i));
+    writer.close();
+  }
+  const std::string intact = read_bytes(file);
+  write_bytes(file, intact.substr(0, intact.size() - 5));
+
+  {
+    RecordReader strict(file);
+    Row row;
+    EXPECT_THROW(
+        {
+          while (strict.next(&row)) {
+          }
+        },
+        std::runtime_error);
+  }
+  ReaderOptions tolerate;
+  tolerate.tolerate_trailing_corruption = true;
+  RecordReader reader(file, tolerate);
+  Row row;
+  int rows = 0;
+  while (reader.next(&row)) ++rows;
+  EXPECT_EQ(rows, 4);  // two intact blocks; the torn third dropped
+  EXPECT_TRUE(reader.truncated());
+  EXPECT_LT(reader.valid_prefix_bytes(), intact.size());
+}
+
+TEST_F(RecordioTest, CorruptedBlockByteTripsTheCrc) {
+  const std::string file = path("crc.rio");
+  {
+    RecordWriter writer(file, full_schema());
+    for (std::uint64_t i = 0; i < 4; ++i) writer.append_row(sample_row(i));
+    writer.close();
+  }
+  std::string bytes = read_bytes(file);
+  bytes[bytes.size() - 10] ^= 0x40;  // flip one payload bit in the block
+  write_bytes(file, bytes);
+  RecordReader reader(file);
+  Row row;
+  EXPECT_THROW(
+      {
+        while (reader.next(&row)) {
+        }
+      },
+      std::runtime_error);
+}
+
+TEST_F(RecordioTest, CorruptedHeaderThrowsEvenWhenTolerant) {
+  const std::string file = path("header.rio");
+  {
+    RecordWriter writer(file, full_schema());
+    writer.append_row(sample_row(0));
+    writer.close();
+  }
+  std::string bytes = read_bytes(file);
+  bytes[6] ^= 0x01;  // inside the header's schema section
+  write_bytes(file, bytes);
+  ReaderOptions tolerate;
+  tolerate.tolerate_trailing_corruption = true;
+  EXPECT_THROW(RecordReader(file, tolerate), std::runtime_error);
+}
+
+Row random_row(util::Rng& rng) {
+  Row row(6);
+  row[0] = rng();
+  row[1] = rng() >> 8;  // delta column takes any order
+  row[2] = rng.uniform() * 1e9 - 5e8;
+  std::string text;
+  const int text_len = static_cast<int>(rng.below(20));
+  for (int i = 0; i < text_len; ++i) {
+    text.push_back(static_cast<char>(rng.below(256)));
+  }
+  row[3] = std::move(text);
+  std::vector<std::int64_t> ints(rng.below(8));
+  for (auto& v : ints) v = static_cast<std::int64_t>(rng());
+  row[4] = std::move(ints);
+  std::vector<double> reals(rng.below(5));
+  for (auto& v : reals) v = rng.uniform() * 2.0 - 1.0;
+  row[5] = std::move(reals);
+  return row;
+}
+
+TEST_F(RecordioTest, FuzzRoundTripsRandomRows) {
+  util::Rng rng(0xF00DULL);
+  for (int round = 0; round < 5; ++round) {
+    const std::string file = path("fuzz-" + std::to_string(round) + ".rio");
+    WriterOptions options;
+    options.rows_per_block = 1 + rng.below(16);
+    std::vector<Row> rows(16 + rng.below(64));
+    for (Row& row : rows) row = random_row(rng);
+    {
+      RecordWriter writer(file, full_schema(), options);
+      for (const Row& row : rows) writer.append_row(row);
+      writer.close();
+    }
+    RecordReader reader(file);
+    Row row;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      ASSERT_TRUE(reader.next(&row)) << "round " << round << " row " << i;
+      EXPECT_EQ(row, rows[i]) << "round " << round << " row " << i;
+    }
+    EXPECT_FALSE(reader.next(&row));
+  }
+}
+
+TEST_F(RecordioTest, FuzzTruncationNeverMisparses) {
+  // Chop a valid segment at every length: the reader must either serve
+  // a prefix of the original rows and stop, or throw — never hand back
+  // a row that was not written. (Strict mode must throw or stop short.)
+  const std::string file = path("base.rio");
+  WriterOptions options;
+  options.rows_per_block = 3;
+  std::vector<Row> rows(20);
+  util::Rng rng(0xBEEFULL);
+  for (Row& row : rows) row = random_row(rng);
+  {
+    RecordWriter writer(file, full_schema(), options);
+    for (const Row& row : rows) writer.append_row(row);
+    writer.close();
+  }
+  const std::string intact = read_bytes(file);
+  const std::string cut_file = path("cut.rio");
+  for (std::size_t cut = 0; cut < intact.size(); cut += 7) {
+    write_bytes(cut_file, intact.substr(0, cut));
+    ReaderOptions tolerate;
+    tolerate.tolerate_trailing_corruption = true;
+    try {
+      RecordReader reader(cut_file, tolerate);
+      Row row;
+      std::size_t i = 0;
+      while (reader.next(&row)) {
+        ASSERT_LT(i, rows.size()) << "cut " << cut;
+        EXPECT_EQ(row, rows[i]) << "cut " << cut << " row " << i;
+        ++i;
+      }
+      EXPECT_EQ(i % 3, 0u) << "cut " << cut << ": partial block served";
+    } catch (const std::runtime_error&) {
+      // Header damage: refusing the whole file is the right answer.
+    }
+  }
+}
+
+TEST_F(RecordioTest, FuzzBitFlipsNeverMisparse) {
+  // Flip single bits all over a valid segment. Every read must either
+  // throw (CRC catches it) or return exactly the original rows (the
+  // flip landed in already-read bytes is impossible — so only a
+  // *detected* error or a clean full read is acceptable; a silent
+  // wrong row is the one forbidden outcome).
+  const std::string file = path("flip-base.rio");
+  WriterOptions options;
+  options.rows_per_block = 4;
+  std::vector<Row> rows(12);
+  util::Rng rng(0x5EEDULL);
+  for (Row& row : rows) row = random_row(rng);
+  {
+    RecordWriter writer(file, full_schema(), options);
+    for (const Row& row : rows) writer.append_row(row);
+    writer.close();
+  }
+  const std::string intact = read_bytes(file);
+  const std::string flip_file = path("flip.rio");
+  for (std::size_t byte = 0; byte < intact.size(); byte += 11) {
+    std::string bytes = intact;
+    bytes[byte] ^= static_cast<char>(1u << (byte % 8));
+    write_bytes(flip_file, bytes);
+    try {
+      RecordReader reader(flip_file);
+      Row row;
+      std::size_t i = 0;
+      while (reader.next(&row)) {
+        ASSERT_LT(i, rows.size()) << "flip at " << byte;
+        EXPECT_EQ(row, rows[i]) << "flip at " << byte << " row " << i;
+        ++i;
+      }
+      // A clean full read with a flipped bit can only mean the flip
+      // never entered any CRC-covered byte we depend on — but every
+      // byte is covered, so reaching here with all rows intact means
+      // the reader caught nothing because nothing material changed.
+      EXPECT_EQ(i, rows.size()) << "flip at " << byte;
+    } catch (const std::exception&) {
+      // Detected: the expected outcome for nearly every flip.
+    }
+  }
+}
+
+TEST_F(RecordioTest, WriterStatsCountRowsBlocksAndBytes) {
+  const std::string file = path("stats.rio");
+  WriterOptions options;
+  options.rows_per_block = 10;
+  RecordWriter writer(file, full_schema(), options);
+  for (std::uint64_t i = 0; i < 25; ++i) writer.append_row(sample_row(i));
+  writer.close();
+  EXPECT_EQ(writer.stats().rows, 25u);
+  EXPECT_EQ(writer.stats().blocks, 3u);
+  EXPECT_EQ(writer.stats().bytes_written, fs::file_size(file));
+}
+
+TEST_F(RecordioTest, AppendAfterCloseThrows) {
+  RecordWriter writer(path("closed.rio"), full_schema());
+  writer.close();
+  EXPECT_THROW(writer.append_row(sample_row(0)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace corelocate::recordio

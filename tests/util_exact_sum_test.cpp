@@ -1,0 +1,130 @@
+#include "util/exact_sum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace corelocate::util {
+namespace {
+
+TEST(ExactSumTest, EmptySumIsZero) {
+  ExactSum sum;
+  EXPECT_EQ(sum.value(), 0.0);
+  EXPECT_EQ(sum.count(), 0u);
+}
+
+TEST(ExactSumTest, SumsSmallIntegersExactly) {
+  ExactSum sum;
+  for (int i = 1; i <= 1000; ++i) sum.add(static_cast<double>(i));
+  EXPECT_EQ(sum.value(), 500500.0);
+  EXPECT_EQ(sum.count(), 1000u);
+}
+
+TEST(ExactSumTest, CancellationThatBreaksNaiveSummation) {
+  // 1e100 + 1 - 1e100 is 0 for a double accumulator; the true sum is 1.
+  ExactSum sum;
+  sum.add(1e100);
+  sum.add(1.0);
+  sum.add(-1e100);
+  EXPECT_EQ(sum.value(), 1.0);
+}
+
+TEST(ExactSumTest, HandlesDenormalsAndExtremes) {
+  const double denormal = std::numeric_limits<double>::denorm_min();
+  ExactSum sum;
+  sum.add(denormal);
+  sum.add(denormal);
+  EXPECT_EQ(sum.value(), 2.0 * denormal);
+
+  ExactSum big;
+  big.add(std::numeric_limits<double>::max());
+  big.add(-std::numeric_limits<double>::max());
+  EXPECT_EQ(big.value(), 0.0);
+}
+
+TEST(ExactSumTest, OrderIndependent) {
+  util::Rng rng(0xACC0ULL);
+  std::vector<double> values(500);
+  for (double& v : values) {
+    v = (rng.uniform() - 0.5) * std::pow(10.0, static_cast<double>(rng.below(60)) - 30.0);
+  }
+  ExactSum forward;
+  for (const double v : values) forward.add(v);
+
+  std::vector<double> shuffled = values;
+  for (std::size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.below(i)]);
+  }
+  ExactSum backward;
+  for (auto it = shuffled.rbegin(); it != shuffled.rend(); ++it) backward.add(*it);
+
+  // Bit-for-bit equality, not tolerance: that is the whole point.
+  EXPECT_EQ(forward.value(), backward.value());
+}
+
+TEST(ExactSumTest, MergeEqualsSequentialAdd) {
+  util::Rng rng(0x3E16ULL);
+  std::vector<double> values(300);
+  for (double& v : values) v = rng.uniform(-1e6, 1e6);
+
+  ExactSum serial;
+  for (const double v : values) serial.add(v);
+
+  // Partition into 4 "workers", merge in a different order.
+  ExactSum workers[4];
+  for (std::size_t i = 0; i < values.size(); ++i) workers[i % 4].add(values[i]);
+  ExactSum merged;
+  for (const int w : {2, 0, 3, 1}) merged.merge(workers[w]);
+
+  EXPECT_EQ(serial.value(), merged.value());
+  EXPECT_EQ(serial.count(), merged.count());
+}
+
+TEST(ExactSumTest, ManyAddsTriggerNormalizationSafely) {
+  // 3M adds of the same magnitude stress the deferred-carry path.
+  ExactSum sum;
+  for (int i = 0; i < 3'000'000; ++i) sum.add(0.25);
+  EXPECT_EQ(sum.value(), 750000.0);
+}
+
+TEST(ExactSumTest, NonfiniteFallsBackToDoubleSemantics) {
+  ExactSum sum;
+  sum.add(1.0);
+  sum.add(std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isinf(sum.value()));
+
+  ExactSum nan_sum;
+  nan_sum.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_TRUE(std::isnan(nan_sum.value()));
+
+  // A merge carries the non-finite state across.
+  ExactSum target;
+  target.add(2.0);
+  target.merge(sum);
+  EXPECT_TRUE(std::isinf(target.value()));
+}
+
+TEST(ExactSumTest, NegativeTotalsRoundCorrectly) {
+  ExactSum sum;
+  sum.add(-0.1);
+  sum.add(-0.2);
+  sum.add(0.3);
+  // The exact sum of these three doubles is a tiny negative residue
+  // (the usual 0.1+0.2 story); all that matters here is determinism
+  // and closeness, not a zero.
+  const double first = sum.value();
+  ExactSum again;
+  again.add(0.3);
+  again.add(-0.2);
+  again.add(-0.1);
+  EXPECT_EQ(first, again.value());
+  EXPECT_NEAR(first, 0.0, 1e-16);
+}
+
+}  // namespace
+}  // namespace corelocate::util

@@ -508,9 +508,9 @@ void report_span_missing(const UnitHot& info, const ReportContext& ctx) {
 int subsystem_layer(const std::string& name) {
   static const std::map<std::string, int> kLayers = {
       {"util", 0},  {"obs", 1},     {"mesh", 1},  {"msr", 1},
-      {"thermal", 2}, {"cache", 2}, {"ilp", 2},   {"sim", 3},
-      {"core", 4},  {"covert", 5},  {"fleet", 5}, {"serve", 6},
-      {"corelocate", 7}};
+      {"recordio", 1}, {"thermal", 2}, {"cache", 2}, {"ilp", 2},
+      {"sim", 3},   {"core", 4},  {"covert", 5},  {"fleet", 5},
+      {"serve", 6}, {"corelocate", 7}};
   const auto it = kLayers.find(name);
   return it == kLayers.end() ? -1 : it->second;
 }
@@ -545,8 +545,8 @@ void report_layering(const std::vector<TranslationUnit>& units,
                ") includes \"" + include.path + "\" from '" + to + "' (layer " +
                std::to_string(to_layer) +
                ") — subsystems may only include strictly lower layers "
-               "(util -> obs/mesh/msr -> thermal/cache/ilp -> sim -> core "
-               "-> covert/fleet -> serve)");
+               "(util -> obs/mesh/msr/recordio -> thermal/cache/ilp -> "
+               "sim -> core -> covert/fleet -> serve)");
     }
   }
 

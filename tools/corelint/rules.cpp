@@ -126,7 +126,8 @@ void rule_det_unordered_iter(const SourceFile& file, std::vector<Finding>& findi
   const std::string rule = "det-unordered-iter";
   static const char* kSinks[] = {"MapStore",  "Aggregator", "Checkpoint",
                                  "TablePrinter", "add_row", "print_csv",
-                                 "serialize_map", "manifest"};
+                                 "serialize_map", "manifest", "RecordWriter",
+                                 "append_row"};
   const std::vector<std::string> idents = unordered_idents(file);
 
   auto span_has_sink = [&](const BodySpan& span) {

@@ -52,9 +52,9 @@ std::uint64_t translate(std::uint64_t mask, const std::vector<std::uint64_t>& ar
 
 const char* kSinkTypes[] = {"SurveyRecord", "InstanceRecord", "MapStore",
                             "Checkpoint",   "Aggregator",     "TablePrinter",
-                            "ResponseLog"};
+                            "ResponseLog",  "RecordWriter"};
 const char* kSinkCalls[] = {"add_row", "print_csv", "serialize_map", "manifest",
-                            "append_manifest", "append_response"};
+                            "append_manifest", "append_response", "append_row"};
 
 bool sink_type_name(const std::string& word) {
   for (const char* type : kSinkTypes) {
